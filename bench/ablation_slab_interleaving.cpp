@@ -1,0 +1,56 @@
+// Section IV-C's slab-interleaving ("wider columns"): storing each record's
+// fields contiguously within a row makes a record touch exactly ONE DRAM
+// row, so multi-field kernels run with tiny prefetch windows — the layout
+// flexibility the paper credits to Millipede over the GPGPU's mandatory
+// word-size columns. Field-major needs the window to cover all `fields`
+// rows; slab-interleaving runs the same kernels at 4 entries.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mlp;
+  using namespace mlp::bench;
+  print_header("Ablation: slab-interleaving (record-contiguous layout)");
+
+  Table table("Field-major vs record-contiguous layout (Millipede)");
+  table.set_columns({"bench", "layout", "pf_entries", "runtime_us",
+                     "fill_waits", "dram_bytes"});
+
+  // Power-of-two field counts support the contiguous layout.
+  const std::vector<std::string> benches = {"count", "classify", "kmeans",
+                                            "pca", "gda"};
+  for (const std::string& bench : benches) {
+    workloads::WorkloadParams probe;
+    probe.num_records = 1;
+    const u32 fields = workloads::make_bmla(bench, probe).fields;
+    struct Case {
+      bool slab;
+      u32 entries;
+    };
+    const Case cases[] = {
+        {false, std::max(16u, fields)},  // paper default window
+        {true, std::max(16u, fields)},   // same window, contiguous records
+        {true, 4},                        // tiny window: only possible here
+    };
+    for (const Case& c : cases) {
+      sim::SuiteOptions options;
+      options.cfg.slab_layout = c.slab;
+      options.cfg.millipede.pf_entries = c.entries;
+      const RunResult r = sim::run_verified(ArchKind::kMillipedeNoRateMatch,
+                                            bench, options);
+      table.add_row();
+      table.cell(bench);
+      table.cell(std::string(c.slab ? "contiguous" : "field-major"));
+      table.cell(u64{c.entries});
+      table.cell(static_cast<double>(r.runtime_ps) / 1e6, 1);
+      table.cell(r.stats.at("pb.fill_waits"));
+      table.cell(r.stats.at("dram.bytes"));
+    }
+  }
+  emit(table);
+  std::printf("Expected: identical verified results and comparable runtimes; "
+              "the contiguous layout cuts fill waits by ~an order of "
+              "magnitude and still runs at a 4-entry window (8 KB of "
+              "buffering), which deadlock-checks reject for field-major.\n");
+  return 0;
+}

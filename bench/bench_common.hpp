@@ -1,0 +1,60 @@
+#pragma once
+// Shared helpers for the figure/table reproduction binaries: consistent
+// benchmark ordering (the paper sorts its x-axis by instructions per input
+// word), normalization, and table emission.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+
+namespace mlp::bench {
+
+using arch::ArchKind;
+using arch::RunResult;
+
+/// Results of one architecture across the whole suite, keyed by benchmark.
+using SuiteResults = std::map<std::string, RunResult>;
+
+inline SuiteResults run_suite_map(ArchKind kind,
+                                  const sim::SuiteOptions& options) {
+  SuiteResults map;
+  for (RunResult& result : sim::run_suite(kind, options)) {
+    const std::string bench = result.workload;
+    map.emplace(bench, std::move(result));
+  }
+  return map;
+}
+
+/// Benchmark names sorted by measured instructions per input word (the
+/// paper's Fig. 3/4 x-axis ordering, Table IV top-to-bottom).
+inline std::vector<std::string> sorted_benches(const SuiteResults& any) {
+  std::vector<std::string> names = workloads::bmla_names();
+  std::sort(names.begin(), names.end(),
+            [&](const std::string& a, const std::string& b) {
+              return any.at(a).insts_per_word < any.at(b).insts_per_word;
+            });
+  return names;
+}
+
+inline void emit(const Table& table) {
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("CSV:\n%s\n", table.to_csv().c_str());
+}
+
+inline void print_header(const char* what) {
+  std::printf("=================================================================\n");
+  std::printf("Millipede reproduction — %s\n", what);
+  std::printf(
+      "data volume per benchmark: %llu DRAM rows "
+      "(override with MLP_BENCH_ROWS or MLP_BENCH_RECORDS)\n",
+      static_cast<unsigned long long>(sim::default_rows()));
+  std::printf("=================================================================\n\n");
+  std::fflush(stdout);
+}
+
+}  // namespace mlp::bench

@@ -1,0 +1,69 @@
+// Fig. 3 reproduction: performance of GPGPU, VWS, SSMC, VWS-row,
+// Millipede-no-flow-control and Millipede, normalized to the GPGPU
+// (with cache-block prefetch), across the eight BMLAs sorted by
+// instructions per input word. Paper expectation: Millipede ~2.35x GPGPU
+// and ~1.35x SSMC on average; its edge over GPGPU shrinks left-to-right
+// (branch frequency falls) while its edge over SSMC grows (row-miss
+// exposure rises), except the compute-heavy pca/gda tail.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mlp;
+  using namespace mlp::bench;
+  print_header("Fig. 3: Performance (normalized to GPGPU, higher is better)");
+
+  sim::SuiteOptions options;
+  const std::vector<std::pair<std::string, ArchKind>> archs = {
+      {"gpgpu", ArchKind::kGpgpu},
+      {"vws", ArchKind::kVws},
+      {"ssmc", ArchKind::kSsmc},
+      {"vws-row", ArchKind::kVwsRow},
+      {"mlp-no-fc", ArchKind::kMillipedeNoFlowControl},
+      {"millipede", ArchKind::kMillipede},
+  };
+
+  std::map<std::string, SuiteResults> all;
+  for (const auto& [name, kind] : archs) {
+    std::printf("running %s suite...\n", name.c_str());
+    std::fflush(stdout);
+    all[name] = run_suite_map(kind, options);
+  }
+
+  const std::vector<std::string> benches = sorted_benches(all["millipede"]);
+
+  Table table("Fig. 3 — Speedup over GPGPU");
+  std::vector<std::string> headers = {"bench", "insts/word"};
+  for (const auto& [name, kind] : archs) headers.push_back(name);
+  table.set_columns(headers);
+
+  std::map<std::string, std::vector<double>> speedups;
+  for (const std::string& bench : benches) {
+    const double base =
+        static_cast<double>(all["gpgpu"].at(bench).runtime_ps);
+    table.add_row();
+    table.cell(bench);
+    table.cell(all["millipede"].at(bench).insts_per_word, 1);
+    for (const auto& [name, kind] : archs) {
+      const double speedup =
+          base / static_cast<double>(all[name].at(bench).runtime_ps);
+      speedups[name].push_back(speedup);
+      table.cell(speedup, 2);
+    }
+  }
+  table.add_row();
+  table.cell(std::string("geomean"));
+  table.cell(std::string("-"));
+  for (const auto& [name, kind] : archs) {
+    table.cell(sim::geomean(speedups[name]), 2);
+  }
+  emit(table);
+
+  const double mlp_gain = sim::geomean(speedups["millipede"]);
+  const double ssmc_gain = sim::geomean(speedups["ssmc"]);
+  std::printf("Millipede vs GPGPU: +%.0f%% (paper: +135%%)\n",
+              (mlp_gain - 1.0) * 100.0);
+  std::printf("Millipede vs SSMC:  +%.0f%% (paper: +35%%)\n",
+              (mlp_gain / ssmc_gain - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 4 reproduction: energy of every PNM architecture normalized to the
+// GPGPU, with the paper's core / DRAM / leakage stacked breakdown, including
+// Millipede with and without rate matching. Paper expectation: Millipede
+// ~27% below GPGPU and ~36% below SSMC; rate matching trims core energy
+// ~16%; SSMC pays heavily in DRAM energy for its row misses.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mlp;
+  using namespace mlp::bench;
+  print_header("Fig. 4: Energy (normalized to GPGPU, lower is better)");
+
+  sim::SuiteOptions options;
+  const std::vector<std::pair<std::string, ArchKind>> archs = {
+      {"gpgpu", ArchKind::kGpgpu},
+      {"vws", ArchKind::kVws},
+      {"ssmc", ArchKind::kSsmc},
+      {"vws-row", ArchKind::kVwsRow},
+      {"mlp-no-rm", ArchKind::kMillipedeNoRateMatch},
+      {"millipede", ArchKind::kMillipede},
+  };
+
+  std::map<std::string, SuiteResults> all;
+  for (const auto& [name, kind] : archs) {
+    std::printf("running %s suite...\n", name.c_str());
+    std::fflush(stdout);
+    all[name] = run_suite_map(kind, options);
+  }
+  const std::vector<std::string> benches = sorted_benches(all["millipede"]);
+
+  Table totals("Fig. 4 — Total energy normalized to GPGPU");
+  std::vector<std::string> headers = {"bench"};
+  for (const auto& [name, kind] : archs) headers.push_back(name);
+  totals.set_columns(headers);
+  std::map<std::string, std::vector<double>> ratios;
+  for (const std::string& bench : benches) {
+    const double base = all["gpgpu"].at(bench).energy.total_j();
+    totals.add_row();
+    totals.cell(bench);
+    for (const auto& [name, kind] : archs) {
+      const double ratio = all[name].at(bench).energy.total_j() / base;
+      ratios[name].push_back(ratio);
+      totals.cell(ratio, 2);
+    }
+  }
+  totals.add_row();
+  totals.cell(std::string("geomean"));
+  for (const auto& [name, kind] : archs) {
+    totals.cell(sim::geomean(ratios[name]), 2);
+  }
+  emit(totals);
+
+  Table breakdown("Fig. 4 — Breakdown (uJ): core / DRAM / leakage");
+  breakdown.set_columns({"bench", "arch", "core_uJ", "dram_uJ", "leak_uJ",
+                         "total_uJ"});
+  for (const std::string& bench : benches) {
+    for (const auto& [name, kind] : archs) {
+      const RunResult& r = all[name].at(bench);
+      breakdown.add_row();
+      breakdown.cell(bench);
+      breakdown.cell(name);
+      breakdown.cell(r.energy.core_j * 1e6, 3);
+      breakdown.cell(r.energy.dram_j * 1e6, 3);
+      breakdown.cell(r.energy.leak_j * 1e6, 3);
+      breakdown.cell(r.energy.total_j() * 1e6, 3);
+    }
+  }
+  emit(breakdown);
+
+  // Rate-matching core-energy saving (paper: ~16%).
+  std::vector<double> rm_savings;
+  for (const std::string& bench : benches) {
+    rm_savings.push_back(all["millipede"].at(bench).energy.core_j /
+                         all["mlp-no-rm"].at(bench).energy.core_j);
+  }
+  std::printf("Rate matching core-energy ratio (geomean): %.3f (paper ~0.84)\n",
+              sim::geomean(rm_savings));
+  std::printf("Millipede vs GPGPU energy: %.0f%% lower (paper: 27%%)\n",
+              (1.0 - sim::geomean(ratios["millipede"])) * 100.0);
+  std::printf("Millipede vs SSMC energy:  %.0f%% lower (paper: 36%%)\n",
+              (1.0 - sim::geomean(ratios["millipede"]) /
+                         sim::geomean(ratios["ssmc"])) *
+                  100.0);
+  return 0;
+}

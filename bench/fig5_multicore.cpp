@@ -1,0 +1,63 @@
+// Fig. 5 reproduction: Millipede versus a conventional multicore (8 OoO-class
+// cores at 3.6 GHz with a deep cache hierarchy and quarter-bandwidth off-chip
+// DRAM at 70 pJ/bit). Paper expectation: very large speedups and energy
+// gains, dominated by thread count and off-chip memory energy — a technology
+// comparison the paper itself caveats (Section VI-C).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mlp;
+  using namespace mlp::bench;
+  print_header("Fig. 5: Millipede vs conventional multicore");
+
+  sim::SuiteOptions options;
+  std::printf("running millipede suite...\n");
+  std::fflush(stdout);
+  SuiteResults mlp_results = run_suite_map(ArchKind::kMillipede, options);
+  std::printf("running multicore suite...\n");
+  std::fflush(stdout);
+  SuiteResults mc_results = run_suite_map(ArchKind::kMulticore, options);
+
+  const std::vector<std::string> benches = sorted_benches(mlp_results);
+
+  // The paper compares a full NODE — 32 Millipede processors (4096 threads),
+  // each with its own die-stacked channel, working on disjoint shards — to
+  // one 8-core multicore. Processors are independent, so the node's runtime
+  // on the same data volume is the single-processor runtime divided by 32;
+  // node energy on that volume equals the single-processor energy (same
+  // work, same joules, 32x the leakage power for 1/32 the time).
+  constexpr double kNodeProcessors = 32.0;
+
+  Table table("Fig. 5 — Millipede node (32 processors) vs multicore");
+  table.set_columns({"bench", "speedup", "energy_ratio", "energy_delay_x"});
+  std::vector<double> speedups, eratios, eds;
+  for (const std::string& bench : benches) {
+    const RunResult& m = mlp_results.at(bench);
+    const RunResult& c = mc_results.at(bench);
+    const double speedup = static_cast<double>(c.runtime_ps) /
+                           (static_cast<double>(m.runtime_ps) /
+                            kNodeProcessors);
+    const double eratio = c.energy.total_j() / m.energy.total_j();
+    const double ed = c.energy_delay() /
+                      (m.energy.total_j() * m.seconds() / kNodeProcessors);
+    speedups.push_back(speedup);
+    eratios.push_back(eratio);
+    eds.push_back(ed);
+    table.add_row();
+    table.cell(bench);
+    table.cell(speedup, 2);
+    table.cell(eratio, 2);
+    table.cell(ed, 1);
+  }
+  table.add_row();
+  table.cell(std::string("geomean"));
+  table.cell(sim::geomean(speedups), 2);
+  table.cell(sim::geomean(eratios), 2);
+  table.cell(sim::geomean(eds), 1);
+  emit(table);
+
+  std::printf("Energy-delay improvement (geomean): %.1fx (paper: ~125x)\n",
+              sim::geomean(eds));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 6 reproduction: sensitivity to system size. Doubling corelets / lanes
+// / cores from 32 to 64 (with correspondingly doubled memory bandwidth) must
+// WIDEN Millipede's advantage: the GPGPU's branch inefficiency grows with
+// wider warps, and SSMC's straying disrupts row locality more with more
+// cores. All speedups are normalized to the 32-lane GPGPU.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mlp;
+  using namespace mlp::bench;
+  print_header("Fig. 6: Speedup vs system size (normalized to 32-lane GPGPU)");
+
+  const std::vector<std::pair<std::string, ArchKind>> archs = {
+      {"gpgpu", ArchKind::kGpgpu},
+      {"ssmc", ArchKind::kSsmc},
+      {"millipede", ArchKind::kMillipede},
+  };
+
+  std::map<u32, std::map<std::string, SuiteResults>> all;
+  for (u32 size : {32u, 64u}) {
+    sim::SuiteOptions options;
+    options.cfg.core.cores = size;
+    // Paper: "correspondingly double the memory bandwidth".
+    options.cfg.dram.channel_bits =
+        options.cfg.dram.channel_bits * size / 32;
+    for (const auto& [name, kind] : archs) {
+      std::printf("running %s at %u lanes...\n", name.c_str(), size);
+      std::fflush(stdout);
+      all[size][name] = run_suite_map(kind, options);
+    }
+  }
+
+  const std::vector<std::string> benches = sorted_benches(all[32]["millipede"]);
+
+  Table table("Fig. 6 — Speedup over 32-lane GPGPU");
+  table.set_columns({"bench", "gpgpu32", "ssmc32", "mlp32", "gpgpu64",
+                     "ssmc64", "mlp64"});
+  std::map<std::string, std::vector<double>> gains;
+  for (const std::string& bench : benches) {
+    const double base =
+        static_cast<double>(all[32]["gpgpu"].at(bench).runtime_ps);
+    table.add_row();
+    table.cell(bench);
+    for (u32 size : {32u, 64u}) {
+      for (const auto& [name, kind] : archs) {
+        const double speedup =
+            base / static_cast<double>(all[size][name].at(bench).runtime_ps);
+        gains[name + std::to_string(size)].push_back(speedup);
+        table.cell(speedup, 2);
+      }
+    }
+  }
+  table.add_row();
+  table.cell(std::string("geomean"));
+  for (u32 size : {32u, 64u}) {
+    for (const auto& [name, kind] : archs) {
+      table.cell(sim::geomean(gains[name + std::to_string(size)]), 2);
+    }
+  }
+  emit(table);
+
+  const double gap32 = sim::geomean(gains["millipede32"]) /
+                       sim::geomean(gains["gpgpu32"]);
+  const double gap64 = sim::geomean(gains["millipede64"]) /
+                       sim::geomean(gains["gpgpu64"]);
+  std::printf("Millipede/GPGPU gap: %.2fx at 32 lanes -> %.2fx at 64 lanes "
+              "(paper: widens)\n", gap32, gap64);
+  const double sgap32 = sim::geomean(gains["millipede32"]) /
+                        sim::geomean(gains["ssmc32"]);
+  const double sgap64 = sim::geomean(gains["millipede64"]) /
+                        sim::geomean(gains["ssmc64"]);
+  std::printf("Millipede/SSMC gap:  %.2fx at 32 cores -> %.2fx at 64 cores "
+              "(paper: widens)\n", sgap32, sgap64);
+  return 0;
+}

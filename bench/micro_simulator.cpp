@@ -1,0 +1,99 @@
+// Simulator micro-benchmarks (google-benchmark): throughput of the hot
+// components — assembler, functional executor, DRAM controller, prefetch
+// buffer, and a full small Millipede run. Useful for keeping the simulator
+// itself fast enough for large sweeps.
+
+#include <benchmark/benchmark.h>
+
+#include "arch/system.hpp"
+#include "isa/assembler.hpp"
+#include "workloads/binding.hpp"
+#include "workloads/bmla.hpp"
+
+namespace {
+
+using namespace mlp;
+
+void BM_Assemble(benchmark::State& state) {
+  workloads::WorkloadParams params;
+  params.num_records = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workloads::make_bmla("nbayes", params));
+  }
+}
+BENCHMARK(BM_Assemble);
+
+void BM_FunctionalExecution(benchmark::State& state) {
+  workloads::WorkloadParams params;
+  params.num_records = 2048;
+  const workloads::Workload wl = workloads::make_bmla("count", params);
+  u64 instructions = 0;
+  for (auto _ : state) {
+    const auto result = workloads::run_functional(wl, 4, 2, 2048, 4096, 1);
+    instructions += result.instructions;
+    benchmark::DoNotOptimize(result.instructions);
+  }
+  state.counters["insts/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalExecution);
+
+void BM_ControllerStreaming(benchmark::State& state) {
+  const DramConfig cfg = MachineConfig::paper_defaults().dram;
+  u64 rows = 0;
+  for (auto _ : state) {
+    StatSet stats;
+    mem::MemoryController ctrl(cfg, "dram", &stats);
+    Picos now = 0;
+    u64 issued = 0;
+    u64 done = 0;
+    while (done < 512) {
+      if (issued < 512) {
+        mem::MemRequest req;
+        req.addr = issued * 2048;
+        req.bytes = 2048;
+        req.on_complete = [&done](Picos) { ++done; };
+        if (ctrl.try_push(std::move(req), now)) ++issued;
+      }
+      ctrl.tick(now);
+      now += cfg.period_ps();
+    }
+    rows += done;
+  }
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(rows), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ControllerStreaming);
+
+void BM_MillipedeEndToEnd(benchmark::State& state) {
+  workloads::WorkloadParams params;
+  params.num_records = 4096;
+  const workloads::Workload wl = workloads::make_bmla("count", params);
+  u64 cycles = 0;
+  for (auto _ : state) {
+    const arch::RunResult r = arch::run_arch(
+        arch::ArchKind::kMillipede, MachineConfig::paper_defaults(), wl);
+    MLP_CHECK(r.verification.empty(), "verification failed");
+    cycles += r.compute_cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MillipedeEndToEnd);
+
+void BM_GpgpuEndToEnd(benchmark::State& state) {
+  workloads::WorkloadParams params;
+  params.num_records = 4096;
+  const workloads::Workload wl = workloads::make_bmla("count", params);
+  for (auto _ : state) {
+    const arch::RunResult r = arch::run_arch(
+        arch::ArchKind::kGpgpu, MachineConfig::paper_defaults(), wl);
+    MLP_CHECK(r.verification.empty(), "verification failed");
+    benchmark::DoNotOptimize(r.compute_cycles);
+  }
+}
+BENCHMARK(BM_GpgpuEndToEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Extending the suite: write your own BMLA kernel in the Millipede ISA,
+// package it as a Workload (generator + schema + golden reference), and run
+// it — verified — on any architecture. The kernel here computes per-bin
+// min/max over a stream of integer samples: irregular (data-dependent
+// branches + indirect state updates), compact (64 words of live state), and
+// row-dense — the three properties Section III demands.
+
+#include <cstdio>
+
+#include "arch/system.hpp"
+#include "isa/assembler.hpp"
+#include "workloads/skeleton.hpp"
+
+int main() {
+  using namespace mlp;
+
+  // Live state: bin b at byte b*8 — {min, max}, 8 bins. Records: one word,
+  // value in [0, 1<<20), bin = value & 7.
+  const char* preamble = R"(
+    li  r20, 0              ; scratch
+  )";
+  const char* body = R"(
+    lw   r16, 0(r15)        ; value
+    andi r17, r16, 7        ; bin
+    slli r17, r17, 3        ; bin * 8
+    lw.l r18, 0(r17)        ; current min
+    bge  r16, r18, mm_no_min    ; data-dependent
+    sw.l r16, 0(r17)
+mm_no_min:
+    lw.l r18, 4(r17)        ; current max
+    ble  r16, r18, mm_no_max
+    sw.l r16, 4(r17)
+mm_no_max:
+  )";
+
+  workloads::Workload wl;
+  wl.name = "minmax";
+  wl.description = "per-bin running min/max (custom example kernel)";
+  wl.program = isa::must_assemble(
+      "minmax", workloads::kernel_skeleton(preamble, body));
+  wl.fields = 1;
+  wl.num_records = 32768;
+  // min/max are idempotent under per-corelet partitioning, but NOT additive:
+  // reduce by hand below instead of the generic schema reduce.
+  wl.state_schema = {};
+
+  wl.generate = [](const workloads::InterleavedLayout& layout,
+                   mem::DramImage& image, Rng& rng) {
+    for (u64 r = 0; r < layout.num_records(); ++r) {
+      image.write_u32(layout.address(0, r),
+                      static_cast<u32>(rng.below(1u << 20)));
+    }
+  };
+  wl.reference = [](const mem::DramImage&, const workloads::InterleavedLayout&) {
+    return std::vector<double>{};  // schema empty: verified by hand below
+  };
+  wl.init_state = [](mem::LocalStore& state) {
+    for (u32 b = 0; b < 8; ++b) {
+      state.store(b * 8, 0x7fffffff);  // min seed
+      state.store(b * 8 + 4, 0);       // max seed
+    }
+  };
+
+  // NOTE on correctness: min/max via load-compare-store is race-free here
+  // because each bin's candidates from different contexts still serialize
+  // per instruction, and a lost update can only be overwritten by a value
+  // that is itself <= min (resp >= max) seen so far... which is NOT true in
+  // general! To stay truly race-free this example runs ONE context per
+  // corelet — a deliberate demonstration that shared-state kernels must use
+  // the single-instruction atomics unless they reason carefully.
+  MachineConfig cfg = MachineConfig::paper_defaults();
+  cfg.core.contexts = 1;
+
+  const arch::RunResult r =
+      arch::run_arch(arch::ArchKind::kMillipede, cfg, wl);
+  std::printf("ran custom kernel '%s': %.2f us, %.1f insts/word\n",
+              wl.name.c_str(), static_cast<double>(r.runtime_ps) / 1e6,
+              r.insts_per_word);
+
+  // Hand-rolled verification: recompute min/max from the same generated
+  // image and compare against the final Reduce over the corelet states.
+  arch::PreparedInput input = arch::prepare_input(cfg, wl, 1);
+  u32 ref_min[8], ref_max[8];
+  for (u32 b = 0; b < 8; ++b) {
+    ref_min[b] = 0x7fffffff;
+    ref_max[b] = 0;
+  }
+  for (u64 rec = 0; rec < wl.num_records; ++rec) {
+    const u32 v = input.image.read_u32(input.layout.address(0, rec));
+    const u32 b = v & 7;
+    ref_min[b] = std::min(ref_min[b], v);
+    ref_max[b] = std::max(ref_max[b], v);
+  }
+  // Re-run functionally to get the states (run_arch verified the schema —
+  // empty here — so redo the reduce manually).
+  workloads::FunctionalResult func =
+      workloads::run_functional(wl, cfg.core.cores, cfg.core.contexts,
+                                cfg.dram.row_bytes, cfg.core.local_mem_bytes,
+                                1);
+  bool ok = true;
+  for (u32 b = 0; b < 8; ++b) {
+    u32 got_min = 0x7fffffff, got_max = 0;
+    for (const mem::LocalStore& state : func.states) {
+      got_min = std::min(got_min, state.load(b * 8));
+      got_max = std::max(got_max, state.load(b * 8 + 4));
+    }
+    if (got_min != ref_min[b] || got_max != ref_max[b]) {
+      std::printf("bin %u MISMATCH: got [%u,%u] want [%u,%u]\n", b, got_min,
+                  got_max, ref_min[b], ref_max[b]);
+      ok = false;
+    }
+  }
+  std::printf(ok ? "custom kernel verified across all bins\n"
+                 : "custom kernel FAILED verification\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+// Domain scenario: one k-means iteration for a market-segmentation-style
+// clustering job (the paper's motivating "full application" example),
+// executed on all four PNM architectures. Prints the recovered cluster
+// means (from the host-side final Reduce) and a cross-architecture
+// performance/energy comparison.
+
+#include <cstdio>
+
+#include "arch/system.hpp"
+
+int main() {
+  using namespace mlp;
+
+  workloads::WorkloadParams params;
+  params.num_records = 64 * 1024;
+  const workloads::Workload workload = workloads::make_bmla("kmeans", params);
+  const MachineConfig cfg = MachineConfig::paper_defaults();
+
+  std::printf("k-means, %llu points in %u dimensions, k=8\n\n",
+              static_cast<unsigned long long>(workload.num_records),
+              workload.fields);
+
+  std::printf("%-12s %12s %12s %14s\n", "architecture", "runtime_us",
+              "energy_uJ", "energy*delay");
+  arch::RunResult mlp_result;
+  for (const arch::ArchKind kind :
+       {arch::ArchKind::kGpgpu, arch::ArchKind::kSsmc, arch::ArchKind::kVws,
+        arch::ArchKind::kMillipede}) {
+    const arch::RunResult r = arch::run_arch(kind, cfg, workload);
+    MLP_CHECK(r.verification.empty(), "verification failed");
+    std::printf("%-12s %12.1f %12.2f %14.3g\n", r.arch.c_str(),
+                static_cast<double>(r.runtime_ps) / 1e6,
+                r.energy.total_j() * 1e6, r.energy_delay());
+    if (kind == arch::ArchKind::kMillipede) mlp_result = r;
+  }
+
+  // Host-side final Reduce already happened inside the run (that's how
+  // verification works); recompute the cluster means from the reference
+  // (identical within float tolerance) for display.
+  arch::PreparedInput input = arch::prepare_input(cfg, workload, 1);
+  const auto reduced = workload.reference(input.image, input.layout);
+  // Layout of the reduced vector: acc[8*8], counts[8], var[8*8].
+  std::printf("\nrecovered cluster means (first 4 dims):\n");
+  for (u32 c = 0; c < 8; ++c) {
+    const double n = reduced[64 + c];
+    std::printf("  cluster %u (n=%6.0f): [", c, n);
+    for (u32 d = 0; d < 4; ++d) {
+      std::printf("%7.2f%s", reduced[c * 8 + d] / n, d + 1 < 4 ? ", " : "");
+    }
+    std::printf(" ...]\n");
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: run a built-in BMLA benchmark on the Millipede processor and
+// inspect the results. Shows the three-line happy path — make a workload,
+// run it on an architecture, read the verified result — plus where the
+// interesting statistics live.
+//
+//   ./examples/quickstart [benchmark] [records]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "arch/system.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlp;
+
+  const std::string bench = argc > 1 ? argv[1] : "nbayes";
+  workloads::WorkloadParams params;
+  params.num_records = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 32768;
+
+  // 1. Build the workload: kernel binary + data generator + golden reference.
+  const workloads::Workload workload = workloads::make_bmla(bench, params);
+  std::printf("workload '%s': %llu records x %u words, %u-instruction kernel\n",
+              workload.name.c_str(),
+              static_cast<unsigned long long>(workload.num_records),
+              workload.fields, workload.program.size());
+
+  // 2. Run it on the paper's Millipede configuration (Table III).
+  const MachineConfig cfg = MachineConfig::paper_defaults();
+  const arch::RunResult result =
+      arch::run_arch(arch::ArchKind::kMillipede, cfg, workload);
+
+  // 3. Results are verified against the host golden reference on every run.
+  if (!result.verification.empty()) {
+    std::printf("VERIFICATION FAILED: %s\n", result.verification.c_str());
+    return 1;
+  }
+  std::printf("verified OK against the golden reference\n\n");
+
+  std::printf("runtime:            %.2f us (%llu compute cycles)\n",
+              static_cast<double>(result.runtime_ps) / 1e6,
+              static_cast<unsigned long long>(result.compute_cycles));
+  std::printf("instructions:       %llu (%.1f per input word)\n",
+              static_cast<unsigned long long>(result.thread_instructions),
+              result.insts_per_word);
+  std::printf("rate-matched clock: %.0f MHz (nominal 700)\n",
+              result.final_clock_mhz);
+  std::printf("energy:             %.2f uJ (core %.2f / dram %.2f / leak %.2f)\n",
+              result.energy.total_j() * 1e6, result.energy.core_j * 1e6,
+              result.energy.dram_j * 1e6, result.energy.leak_j * 1e6);
+  std::printf("row prefetches:     %llu (premature evictions: %llu)\n",
+              static_cast<unsigned long long>(
+                  result.stats.at("pb.row_prefetches")),
+              static_cast<unsigned long long>(
+                  result.stats.at("pb.premature_evictions")));
+  return 0;
+}

@@ -1,0 +1,210 @@
+// GPGPU-based PNM system: one SM with the same lane count, thread count and
+// on-die memory budget as the Millipede processor. Variants:
+//  * plain GPGPU — 32-wide warps, word-interleaved record mapping (coalesced
+//    loads), cache-block prefetch into the 32 KB L1D, live state in the
+//    128 KB banked shared memory;
+//  * VWS — dynamically picks 4- or 32-wide warps from a divergence-sampling
+//    pilot run (the paper reports it always picks 4-wide for BMLAs);
+//  * VWS-row — VWS plus Millipede's row-oriented, flow-controlled prefetch
+//    buffer on the input path (slab record mapping).
+
+#include "arch/system.hpp"
+
+#include <memory>
+#include "common/clock.hpp"
+#include "gpgpu/sm.hpp"
+#include "mem/controller.hpp"
+
+namespace mlp::arch {
+namespace {
+
+struct GpgpuParts {
+  StatSet stats;
+  std::unique_ptr<mem::MemoryController> ctrl;
+  std::unique_ptr<mem::ControllerBackend> backend;
+  std::unique_ptr<mem::Cache> l1d;
+  std::unique_ptr<mem::SequentialPrefetcher> prefetcher;
+  std::unique_ptr<millipede::PrefetchBuffer> pb;
+  std::unique_ptr<mem::SharedMemBanking> banking;
+  std::vector<mem::LocalStore> lane_state;
+  gpgpu::SmStats sm_stats;
+  std::unique_ptr<gpgpu::StreamingMultiprocessor> sm;
+};
+
+/// Builds a fresh SM system of `width`-wide warps over the prepared input.
+GpgpuParts build(const MachineConfig& cfg, const workloads::Workload& wl,
+                 PreparedInput& input, u32 width) {
+  GpgpuParts parts;
+  parts.ctrl = std::make_unique<mem::MemoryController>(cfg.dram, "dram",
+                                                       &parts.stats);
+  parts.backend = std::make_unique<mem::ControllerBackend>(parts.ctrl.get());
+  const bool row = cfg.gpgpu.row_oriented;
+  if (!row) {
+    parts.l1d = std::make_unique<mem::Cache>(
+        "l1d", cfg.gpgpu.l1d_bytes, cfg.gpgpu.line_bytes, cfg.gpgpu.l1d_assoc,
+        cfg.gpgpu.mshrs,
+        static_cast<Picos>(cfg.gpgpu.l1_hit_latency) * cfg.core.period_ps(),
+        parts.backend.get(), &parts.stats);
+    parts.prefetcher = std::make_unique<mem::SequentialPrefetcher>(
+        cfg.gpgpu.line_bytes, cfg.gpgpu.prefetch_degree,
+        cfg.gpgpu.prefetch_distance);
+  } else {
+    millipede::RowPlan plan;
+    plan.first_row = input.layout.first_row();
+    plan.num_rows = input.layout.num_rows();
+    const workloads::InterleavedLayout layout = input.layout;
+    const u32 cores = cfg.core.cores;
+    plan.expected_mask = [layout, cores](u64 r, u32 c) {
+      return layout.expected_slab_mask(r, c, cores);
+    };
+    parts.pb = std::make_unique<millipede::PrefetchBuffer>(
+        cfg, plan, parts.ctrl.get(), nullptr, &parts.stats, "pb");
+  }
+  parts.banking = std::make_unique<mem::SharedMemBanking>(
+      cfg.gpgpu.shared_banks, mem::BankMapping::kLanePrivate);
+  for (u32 i = 0; i < cfg.core.cores; ++i) {
+    parts.lane_state.emplace_back(cfg.core.local_mem_bytes);
+    if (wl.init_state) wl.init_state(parts.lane_state.back());
+  }
+  parts.sm_stats.register_with(&parts.stats, "sm");
+
+  gpgpu::StreamingMultiprocessor::Deps deps;
+  deps.program = &wl.program;
+  deps.lane_state = &parts.lane_state;
+  deps.dram = &input.image;
+  deps.l1d = parts.l1d.get();
+  deps.prefetcher = parts.prefetcher.get();
+  deps.pb = parts.pb.get();
+  deps.banking = parts.banking.get();
+  deps.stats = &parts.sm_stats;
+  parts.sm =
+      std::make_unique<gpgpu::StreamingMultiprocessor>(cfg, width, deps);
+
+  // Thread-to-record mapping and CSR binding.
+  const u32 groups = cfg.core.cores / width;
+  for (u32 g = 0; g < groups; ++g) {
+    for (u32 s = 0; s < cfg.core.contexts; ++s) {
+      for (u32 l = 0; l < width; ++l) {
+        const u32 lane = g * width + l;
+        const u32 tid = s * cfg.core.cores + lane;
+        workloads::ThreadSlice slice;
+        if (row || cfg.gpgpu.slab_mapping_ablation) {
+          // Slab mapping: physical lane == prefetch-buffer slab.
+          slice = input.layout.slice(workloads::ThreadMapping::kSlab,
+                                     cfg.core.cores, cfg.core.contexts, lane,
+                                     s);
+        } else {
+          // Word-interleaved mapping: warp (g, s) covers consecutive
+          // records so its loads coalesce.
+          const u32 warp_index = g * cfg.core.contexts + s;
+          slice = input.layout.slice(workloads::ThreadMapping::kWordInterleaved,
+                                     cfg.core.cores, cfg.core.contexts,
+                                     warp_index, l, width);
+        }
+        workloads::bind_csrs(parts.sm->context(g, s, l).csr, wl, input.layout,
+                             slice, tid, cfg.core.threads(), lane,
+                             cfg.core.cores, s, cfg.core.contexts);
+      }
+    }
+  }
+  if (parts.pb) parts.pb->prime(0);
+  return parts;
+}
+
+/// Runs to completion (or until `max_warp_instructions` for VWS pilots).
+Picos run_loop(const MachineConfig& cfg, GpgpuParts& parts,
+               u64 max_warp_instructions, u64* cycles_out) {
+  ClockDomain compute(cfg.core.period_ps());
+  ClockDomain channel(cfg.dram.period_ps());
+  Picos now = 0;
+  u64 guard = 0;
+  while (!parts.sm->halted() &&
+         parts.sm_stats.warp_instructions.value < max_warp_instructions) {
+    MLP_CHECK(++guard < 20'000'000'000ull, "gpgpu run did not converge");
+    if (compute.next_edge_ps() <= channel.next_edge_ps()) {
+      now = compute.next_edge_ps();
+      parts.sm->tick(now, compute.period_ps());
+      compute.advance();
+    } else {
+      now = channel.next_edge_ps();
+      if (parts.pb) parts.pb->pump(now);
+      if (parts.l1d) parts.l1d->pump(now);
+      parts.ctrl->tick(now);
+      channel.advance();
+    }
+  }
+  *cycles_out = compute.ticks();
+  return now;
+}
+
+}  // namespace
+
+RunResult run_gpgpu(const MachineConfig& cfg,
+                    const workloads::Workload& workload, u64 seed) {
+  cfg.validate();
+  MLP_CHECK(!cfg.slab_layout,
+            "the GPGPU needs word-size columns for coalescing (paper III-B)");
+  MLP_CHECK(!cfg.gpgpu.row_oriented ||
+                cfg.millipede.pf_entries >= workload.fields,
+            "prefetch window smaller than a record's row footprint");
+  PreparedInput input = prepare_input(cfg, workload, seed);
+
+  u32 width = cfg.gpgpu.vws ? 0 : cfg.gpgpu.warp_width;
+  if (cfg.gpgpu.vws) {
+    // VWS pilot: sample divergence at full width, then commit to 4- or
+    // 32-wide warps for the real run (Rogers et al. [41], coarse-grained).
+    MachineConfig pilot_cfg = cfg;
+    pilot_cfg.gpgpu.row_oriented = false;  // pilot on the plain input path
+    GpgpuParts pilot = build(pilot_cfg, workload, input, cfg.core.cores);
+    u64 cycles = 0;
+    run_loop(pilot_cfg, pilot, /*max_warp_instructions=*/20000, &cycles);
+    const double divergence =
+        pilot.sm_stats.branches.value == 0
+            ? 0.0
+            : static_cast<double>(pilot.sm_stats.divergent_branches.value) /
+                  static_cast<double>(pilot.sm_stats.branches.value);
+    width = divergence > 0.10 ? 4 : cfg.core.cores;
+    // Pilot mutated nothing persistent: lane state and image are rebuilt.
+    input = prepare_input(cfg, workload, seed);
+  }
+
+  GpgpuParts parts = build(cfg, workload, input, width);
+  u64 cycles = 0;
+  const Picos runtime =
+      run_loop(cfg, parts, /*max_warp_instructions=*/~0ull, &cycles);
+
+  RunResult result;
+  result.arch = cfg.gpgpu.row_oriented ? "vws-row"
+                                       : (cfg.gpgpu.vws ? "vws" : "gpgpu");
+  result.workload = workload.name;
+  result.compute_cycles = cycles;
+  result.runtime_ps = runtime;
+  result.thread_instructions = parts.sm_stats.thread_instructions.value;
+  result.input_words = workload.num_records * workload.fields;
+  result.insts_per_word = static_cast<double>(result.thread_instructions) /
+                          static_cast<double>(result.input_words);
+  result.branches_per_inst =
+      static_cast<double>(parts.sm_stats.branches.value * width) /
+      static_cast<double>(result.thread_instructions);
+  result.final_clock_mhz = cfg.core.clock_mhz;
+  result.warp_width = width;
+  fill_dram_stats(&result, parts.stats);
+
+  energy::EnergyModel model;
+  result.energy.core_j = model.gpgpu_core_j(parts.sm_stats);
+  result.energy.dram_j = model.dram_j(parts.ctrl->bytes_transferred(),
+                                      parts.ctrl->activations());
+  const double sram_kb =
+      (cfg.gpgpu.l1d_bytes + cfg.gpgpu.shared_mem_bytes +
+       cfg.core.icache_bytes) /
+      1024.0;
+  result.energy.leak_j =
+      model.leakage_j(cfg.core.cores, sram_kb, result.seconds());
+
+  std::vector<const mem::LocalStore*> states;
+  for (const auto& local : parts.lane_state) states.push_back(&local);
+  result.verification = verify_run(workload, input, states);
+  return result;
+}
+
+}  // namespace mlp::arch

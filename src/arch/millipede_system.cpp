@@ -1,0 +1,152 @@
+// The Millipede processor system: 32 MIMD corelets with per-corelet local
+// memories, fed by the flow-controlled row-granularity prefetch buffer, with
+// optional DFS rate matching — the paper's proposed architecture, plus the
+// no-flow-control and no-rate-match ablations (selected via MachineConfig).
+
+#include "arch/system.hpp"
+
+#include <algorithm>
+#include <memory>
+#include "common/clock.hpp"
+#include "core/barrier.hpp"
+#include "core/corelet.hpp"
+#include "mem/controller.hpp"
+#include "millipede/prefetch_buffer.hpp"
+
+namespace mlp::arch {
+
+RunResult run_millipede(const MachineConfig& cfg,
+                        const workloads::Workload& workload, u64 seed) {
+  cfg.validate();
+  PreparedInput input = prepare_input(cfg, workload, seed);
+  // A record's field loads touch `record_row_footprint()` concurrent rows
+  // (= fields under the field-major layout, 1 under slab-interleaving);
+  // flow control deadlocks if the window cannot hold them all. Fail fast.
+  MLP_CHECK(cfg.millipede.pf_entries >= input.layout.record_row_footprint(),
+            "prefetch window smaller than a record's row footprint");
+
+  StatSet stats;
+  mem::MemoryController ctrl(cfg.dram, "dram", &stats);
+
+  ClockDomain compute(cfg.core.period_ps());
+  ClockDomain channel(cfg.dram.period_ps());
+
+  std::unique_ptr<millipede::RateMatcher> rate_matcher;
+  if (cfg.millipede.rate_match) {
+    rate_matcher = std::make_unique<millipede::RateMatcher>(
+        cfg.millipede, cfg.core, &compute, &stats, "rate");
+  }
+
+  millipede::RowPlan plan;
+  plan.first_row = input.layout.first_row();
+  plan.num_rows = input.layout.num_rows();
+  const workloads::InterleavedLayout layout = input.layout;
+  const u32 cores = cfg.core.cores;
+  plan.expected_mask = [layout, cores](u64 row, u32 corelet) {
+    return layout.expected_slab_mask(row, corelet, cores);
+  };
+  millipede::PrefetchBuffer pb(cfg, plan, &ctrl, rate_matcher.get(), &stats,
+                               "pb");
+  // The software-barrier ablation compiles `bar` into the kernels; wire a
+  // processor-wide barrier over the prefetch-buffer port when present.
+  bool uses_bar = false;
+  for (const isa::Instr& in : workload.program.instrs()) {
+    uses_bar |= in.op == isa::Opcode::kBar;
+  }
+  core::BarrierPort barrier_port(&pb, cfg.core.threads());
+  core::GlobalPort* port =
+      uses_bar ? static_cast<core::GlobalPort*>(&barrier_port)
+               : static_cast<core::GlobalPort*>(&pb);
+
+  std::vector<mem::LocalStore> locals;
+  locals.reserve(cores);
+  for (u32 c = 0; c < cores; ++c) {
+    locals.emplace_back(cfg.core.local_mem_bytes);
+    if (workload.init_state) workload.init_state(locals.back());
+  }
+
+  core::ExecStats exec;
+  exec.register_with(&stats, "exec");
+  std::vector<core::Corelet> corelets;
+  corelets.reserve(cores);
+  for (u32 c = 0; c < cores; ++c) {
+    corelets.emplace_back(c, cfg.core, &workload.program, &locals[c],
+                          &input.image, port, &exec);
+    for (u32 x = 0; x < cfg.core.contexts; ++x) {
+      const workloads::ThreadSlice slice = input.layout.slice(
+          workloads::ThreadMapping::kSlab, cores, cfg.core.contexts, c, x);
+      workloads::bind_csrs(corelets.back().context(x).csr, workload,
+                           input.layout, slice, c * cfg.core.contexts + x,
+                           cfg.core.threads(), c, cores, x,
+                           cfg.core.contexts);
+    }
+  }
+
+  pb.prime(0);
+  Picos now = 0;
+  u64 guard = 0;
+  auto all_halted = [&] {
+    for (const auto& corelet : corelets) {
+      if (!corelet.halted()) return false;
+    }
+    return true;
+  };
+  while (!all_halted()) {
+    MLP_CHECK(++guard < 20'000'000'000ull, "millipede run did not converge");
+    if (compute.next_edge_ps() <= channel.next_edge_ps()) {
+      now = compute.next_edge_ps();
+      for (auto& corelet : corelets) {
+        corelet.tick(now, compute.period_ps());
+      }
+      compute.advance();
+    } else {
+      now = channel.next_edge_ps();
+      pb.pump(now);
+      ctrl.tick(now);
+      channel.advance();
+    }
+  }
+
+  RunResult result;
+  result.arch = cfg.millipede.flow_control
+                    ? (cfg.millipede.rate_match ? "millipede"
+                                                : "millipede-no-rate-match")
+                    : "millipede-no-flow-control";
+  result.workload = workload.name;
+  result.compute_cycles = compute.ticks();
+  result.runtime_ps = now;
+  result.thread_instructions = exec.instructions.value;
+  result.input_words = workload.num_records * workload.fields;
+  result.insts_per_word = static_cast<double>(result.thread_instructions) /
+                          static_cast<double>(result.input_words);
+  result.branches_per_inst = static_cast<double>(exec.branches.value) /
+                             static_cast<double>(exec.instructions.value);
+  result.final_clock_mhz = compute.frequency_mhz();
+  fill_dram_stats(&result, stats);
+
+  energy::EnergyModel model;
+  result.energy.core_j = model.mimd_core_j(exec, /*state_via_cache=*/false,
+                                           /*input_via_cache=*/false);
+  if (cfg.millipede.rate_match && cfg.millipede.voltage_scaling) {
+    // DVS on top of DFS: dynamic energy scales with V^2; approximate V by
+    // the converged frequency ratio (the clock converges once, early).
+    const double f_ratio = result.final_clock_mhz / cfg.core.clock_mhz;
+    const double v_ratio =
+        std::max(cfg.millipede.min_voltage_ratio, std::min(1.0, f_ratio));
+    result.energy.core_j *= v_ratio * v_ratio;
+  }
+  result.energy.dram_j =
+      model.dram_j(ctrl.bytes_transferred(), ctrl.activations());
+  const double sram_kb =
+      cores * (cfg.core.local_mem_bytes + cfg.core.icache_bytes +
+               cfg.millipede.pf_entries * cfg.dram.row_bytes / cores) /
+      1024.0;
+  result.energy.leak_j = model.leakage_j(cores, sram_kb, result.seconds());
+
+  std::vector<const mem::LocalStore*> states;
+  for (const auto& local : locals) states.push_back(&local);
+  result.verification = verify_run(workload, input, states);
+  return result;
+}
+
+}  // namespace mlp::arch

@@ -1,0 +1,199 @@
+// Conventional multicore baseline for the Fig. 5 comparison: 8 Xeon-like
+// cores at 3.6 GHz, 4-way SMT, 4-wide issue (approximated by issuing up to
+// 4 instructions per cycle across a core's SMT contexts — see DESIGN.md),
+// 64 KB L1 + 1 MB per-core L2, and off-chip DRAM at one quarter of the
+// die-stacked channel bandwidth with 70 pJ/bit access energy.
+
+#include "arch/system.hpp"
+#include "common/clock.hpp"
+#include "core/corelet.hpp"
+#include "mem/cache.hpp"
+#include "mem/controller.hpp"
+#include "mem/prefetcher.hpp"
+
+namespace mlp::arch {
+namespace {
+
+/// Routes loads and state accesses through the per-core L1 -> L2 -> DRAM.
+class MulticorePort : public core::GlobalPort {
+ public:
+  MulticorePort(std::vector<mem::Cache>* l1s,
+                std::vector<mem::StreamTable>* prefetchers,
+                Addr state_base, u32 state_stride)
+      : l1s_(l1s),
+        prefetchers_(prefetchers),
+        state_base_(state_base),
+        state_stride_(state_stride) {}
+
+  core::PortResult load(u32 core, u32 /*ctx*/, Addr addr, Picos now,
+                        std::function<void(Picos)> wakeup) override {
+    mem::Cache& l1 = (*l1s_)[core];
+    for (Addr line : (*prefetchers_)[core].observe(addr)) {
+      l1.prefetch(line, now);
+    }
+    return access(l1, addr, false, now, std::move(wakeup));
+  }
+
+  core::PortResult local_access(u32 core, u32 /*ctx*/, Addr addr,
+                                bool is_write, Picos /*fixed*/, Picos now,
+                                std::function<void(Picos)> wakeup) override {
+    const Addr global =
+        state_base_ + static_cast<Addr>(core) * state_stride_ + addr;
+    return access((*l1s_)[core], global, is_write, now, std::move(wakeup));
+  }
+
+ private:
+  core::PortResult access(mem::Cache& l1, Addr addr, bool is_write, Picos now,
+                          std::function<void(Picos)> wakeup) {
+    switch (l1.access(addr, is_write, now, std::move(wakeup))) {
+      case mem::AccessStatus::kHit:
+        return {core::PortStatus::kDone, now + l1.hit_latency_ps()};
+      case mem::AccessStatus::kMiss:
+        return {core::PortStatus::kPending, 0};
+      case mem::AccessStatus::kMshrFull:
+        return {core::PortStatus::kRetry, 0};
+    }
+    return {core::PortStatus::kRetry, 0};
+  }
+
+  std::vector<mem::Cache>* l1s_;
+  std::vector<mem::StreamTable>* prefetchers_;
+  Addr state_base_;
+  u32 state_stride_;
+};
+
+}  // namespace
+
+RunResult run_multicore(const MachineConfig& cfg,
+                        const workloads::Workload& workload, u64 seed) {
+  // Off-chip memory: one quarter of the die-stacked memory bandwidth. A
+  // die-stacked cube exposes 4 channels, so the multicore's off-chip DRAM
+  // gets one channel's worth of bandwidth (~DDR4-class).
+  MachineConfig mc = cfg;
+  mc.dram.channel_bits = static_cast<u32>(cfg.dram.channel_bits * 4 *
+                                          cfg.multicore.offchip_bw_fraction);
+  mc.core.cores = cfg.multicore.cores;
+  mc.core.contexts = cfg.multicore.smt;
+  mc.core.clock_mhz = cfg.multicore.clock_mhz;
+  mc.gpgpu.warp_width = 1;  // unused; keep validation happy
+  mc.validate();
+  PreparedInput input = prepare_input(mc, workload, seed);
+
+  StatSet stats;
+  mem::MemoryController ctrl(mc.dram, "dram", &stats);
+  mem::ControllerBackend backend(&ctrl);
+
+  const u32 cores = mc.core.cores;
+  const Picos period = mc.core.period_ps();
+  std::vector<mem::Cache> l2s, l1s;
+  std::vector<mem::StreamTable> prefetchers;
+  l2s.reserve(cores);
+  l1s.reserve(cores);
+  for (u32 c = 0; c < cores; ++c) {
+    l2s.emplace_back("l2." + std::to_string(c), cfg.multicore.l2_bytes,
+                     cfg.multicore.line_bytes, cfg.multicore.l2_assoc, 16,
+                     static_cast<Picos>(cfg.multicore.l2_latency) * period,
+                     &backend, c == 0 ? &stats : nullptr);
+  }
+  for (u32 c = 0; c < cores; ++c) {
+    l1s.emplace_back("l1." + std::to_string(c), cfg.multicore.l1_bytes,
+                     cfg.multicore.line_bytes, cfg.multicore.l1_assoc, 16,
+                     static_cast<Picos>(cfg.multicore.l1_latency) * period,
+                     &l2s[c], c == 0 ? &stats : nullptr);
+    prefetchers.emplace_back(cfg.multicore.line_bytes, 4, 16, 8);
+  }
+
+  const u32 state_stride =
+      (mc.core.local_mem_bytes + mc.dram.row_bytes - 1) / mc.dram.row_bytes *
+      mc.dram.row_bytes;
+  MulticorePort port(&l1s, &prefetchers, input.layout.total_bytes(),
+                     state_stride);
+
+  std::vector<mem::LocalStore> locals;
+  for (u32 c = 0; c < cores; ++c) {
+    locals.emplace_back(mc.core.local_mem_bytes);
+    if (workload.init_state) workload.init_state(locals.back());
+  }
+
+  core::ExecStats exec;
+  exec.register_with(&stats, "exec");
+  std::vector<core::Corelet> corelets;
+  corelets.reserve(cores);
+  for (u32 c = 0; c < cores; ++c) {
+    corelets.emplace_back(c, mc.core, &workload.program, &locals[c],
+                          &input.image, &port, &exec);
+    for (u32 x = 0; x < mc.core.contexts; ++x) {
+      const workloads::ThreadSlice slice = input.layout.slice(
+          workloads::ThreadMapping::kSlab, cores, mc.core.contexts, c, x);
+      workloads::bind_csrs(corelets.back().context(x).csr, workload,
+                           input.layout, slice, c * mc.core.contexts + x,
+                           mc.core.threads(), c, cores, x, mc.core.contexts);
+    }
+  }
+
+  ClockDomain compute(period);
+  ClockDomain channel(mc.dram.period_ps());
+  Picos now = 0;
+  u64 guard = 0;
+  auto all_halted = [&] {
+    for (const auto& corelet : corelets) {
+      if (!corelet.halted()) return false;
+    }
+    return true;
+  };
+  while (!all_halted()) {
+    MLP_CHECK(++guard < 40'000'000'000ull, "multicore run did not converge");
+    if (compute.next_edge_ps() <= channel.next_edge_ps()) {
+      now = compute.next_edge_ps();
+      for (auto& corelet : corelets) {
+        // Wide issue: up to issue_width instructions per core per cycle,
+        // drawn from its SMT contexts (OoO approximation; DESIGN.md).
+        for (u32 slot = 0; slot < cfg.multicore.issue_width; ++slot) {
+          corelet.tick(now, period);
+        }
+      }
+      compute.advance();
+    } else {
+      now = channel.next_edge_ps();
+      for (auto& l1 : l1s) l1.pump(now);
+      for (auto& l2 : l2s) l2.pump(now);
+      ctrl.tick(now);
+      channel.advance();
+    }
+  }
+
+  RunResult result;
+  result.arch = "multicore";
+  result.workload = workload.name;
+  result.compute_cycles = compute.ticks();
+  result.runtime_ps = now;
+  result.thread_instructions = exec.instructions.value;
+  result.input_words = workload.num_records * workload.fields;
+  result.insts_per_word = static_cast<double>(result.thread_instructions) /
+                          static_cast<double>(result.input_words);
+  result.branches_per_inst = static_cast<double>(exec.branches.value) /
+                             static_cast<double>(exec.instructions.value);
+  result.final_clock_mhz = mc.core.clock_mhz;
+  fill_dram_stats(&result, stats);
+
+  energy::EnergyModel model;
+  const u64 l1_accesses = exec.local_ops.value + exec.global_loads.value;
+  // Approximate L2 accesses by scaling core 0's L1 miss count to all cores.
+  const u64 l2_accesses = stats.get("l1.0.misses") * cores;
+  result.energy.core_j = model.multicore_core_j(
+      exec.instructions.value, l1_accesses, l2_accesses,
+      exec.idle_cycles.value);
+  result.energy.dram_j = model.dram_j(ctrl.bytes_transferred(),
+                                      ctrl.activations(), /*offchip=*/true);
+  const double sram_kb =
+      cores * (cfg.multicore.l1_bytes + cfg.multicore.l2_bytes) / 1024.0;
+  result.energy.leak_j =
+      model.leakage_j(cores, sram_kb, result.seconds(), /*ooo=*/true);
+
+  std::vector<const mem::LocalStore*> states;
+  for (const auto& local : locals) states.push_back(&local);
+  result.verification = verify_run(workload, input, states);
+  return result;
+}
+
+}  // namespace mlp::arch

@@ -1,0 +1,184 @@
+// Plain SSMC: the same MIMD corelets as Millipede, but with a per-core 5 KB
+// L1 D-cache holding BOTH the live state and the cache-block-prefetched
+// input stream (Section III-E). The cores stray from each other, interleave
+// row accesses at the shared FR-FCFS controller, and destroy row locality —
+// the baseline Millipede's row-orientedness is measured against.
+
+#include "arch/system.hpp"
+#include "common/clock.hpp"
+#include "core/corelet.hpp"
+#include "mem/cache.hpp"
+#include "mem/controller.hpp"
+#include "mem/prefetcher.hpp"
+
+namespace mlp::arch {
+namespace {
+
+/// Routes input loads and live-state accesses through the per-core L1D.
+class SsmcPort : public core::GlobalPort {
+ public:
+  SsmcPort(std::vector<mem::Cache>* caches,
+           std::vector<mem::StreamTable>* prefetchers, Addr state_base,
+           u32 state_stride)
+      : caches_(caches),
+        prefetchers_(prefetchers),
+        state_base_(state_base),
+        state_stride_(state_stride) {}
+
+  core::PortResult load(u32 core, u32 /*ctx*/, Addr addr, Picos now,
+                        std::function<void(Picos)> wakeup) override {
+    mem::Cache& l1 = (*caches_)[core];
+    for (Addr line : (*prefetchers_)[core].observe(addr)) {
+      l1.prefetch(line, now);
+    }
+    return access(l1, addr, /*is_write=*/false, now, std::move(wakeup),
+                  /*fixed=*/0);
+  }
+
+  core::PortResult local_access(u32 core, u32 /*ctx*/, Addr addr,
+                                bool is_write, Picos /*fixed*/, Picos now,
+                                std::function<void(Picos)> wakeup) override {
+    // The live state lives in a cached per-core region of the global
+    // address space, competing with the input stream for the 5 KB L1D.
+    const Addr global = state_base_ + static_cast<Addr>(core) * state_stride_ +
+                        addr;
+    return access((*caches_)[core], global, is_write, now, std::move(wakeup),
+                  0);
+  }
+
+ private:
+  core::PortResult access(mem::Cache& l1, Addr addr, bool is_write, Picos now,
+                          std::function<void(Picos)> wakeup, Picos) {
+    switch (l1.access(addr, is_write, now, std::move(wakeup))) {
+      case mem::AccessStatus::kHit:
+        return {core::PortStatus::kDone, now + l1.hit_latency_ps()};
+      case mem::AccessStatus::kMiss:
+        return {core::PortStatus::kPending, 0};
+      case mem::AccessStatus::kMshrFull:
+        return {core::PortStatus::kRetry, 0};
+    }
+    return {core::PortStatus::kRetry, 0};
+  }
+
+  std::vector<mem::Cache>* caches_;
+  std::vector<mem::StreamTable>* prefetchers_;
+  Addr state_base_;
+  u32 state_stride_;
+};
+
+}  // namespace
+
+RunResult run_ssmc(const MachineConfig& cfg,
+                   const workloads::Workload& workload, u64 seed) {
+  cfg.validate();
+  PreparedInput input = prepare_input(cfg, workload, seed);
+
+  StatSet stats;
+  mem::MemoryController ctrl(cfg.dram, "dram", &stats);
+  mem::ControllerBackend backend(&ctrl);
+
+  const u32 cores = cfg.core.cores;
+  const Picos hit_latency =
+      static_cast<Picos>(cfg.ssmc.hit_latency) * cfg.core.period_ps();
+  std::vector<mem::Cache> caches;
+  std::vector<mem::StreamTable> prefetchers;
+  caches.reserve(cores);
+  prefetchers.reserve(cores);
+  for (u32 c = 0; c < cores; ++c) {
+    // Only core 0's cache registers stats to keep snapshots readable; all
+    // cores behave statistically alike.
+    caches.emplace_back("l1d" + std::to_string(c), cfg.ssmc.l1d_bytes,
+                        cfg.ssmc.line_bytes, cfg.ssmc.assoc, cfg.ssmc.mshrs,
+                        hit_latency, &backend, c == 0 ? &stats : nullptr);
+    prefetchers.emplace_back(cfg.ssmc.line_bytes, cfg.ssmc.prefetch_degree,
+                             cfg.ssmc.prefetch_distance,
+                             cfg.ssmc.prefetch_streams);
+  }
+
+  // State region: row-aligned, beyond the input image.
+  const u32 state_stride =
+      (cfg.core.local_mem_bytes + cfg.dram.row_bytes - 1) /
+      cfg.dram.row_bytes * cfg.dram.row_bytes;
+  const Addr state_base = input.layout.total_bytes();
+  SsmcPort port(&caches, &prefetchers, state_base, state_stride);
+
+  std::vector<mem::LocalStore> locals;
+  locals.reserve(cores);
+  for (u32 c = 0; c < cores; ++c) {
+    locals.emplace_back(cfg.core.local_mem_bytes);
+    if (workload.init_state) workload.init_state(locals.back());
+  }
+
+  core::ExecStats exec;
+  exec.register_with(&stats, "exec");
+  std::vector<core::Corelet> corelets;
+  corelets.reserve(cores);
+  for (u32 c = 0; c < cores; ++c) {
+    corelets.emplace_back(c, cfg.core, &workload.program, &locals[c],
+                          &input.image, &port, &exec);
+    for (u32 x = 0; x < cfg.core.contexts; ++x) {
+      const workloads::ThreadSlice slice = input.layout.slice(
+          workloads::ThreadMapping::kSlab, cores, cfg.core.contexts, c, x);
+      workloads::bind_csrs(corelets.back().context(x).csr, workload,
+                           input.layout, slice, c * cfg.core.contexts + x,
+                           cfg.core.threads(), c, cores, x,
+                           cfg.core.contexts);
+    }
+  }
+
+  ClockDomain compute(cfg.core.period_ps());
+  ClockDomain channel(cfg.dram.period_ps());
+  Picos now = 0;
+  u64 guard = 0;
+  auto all_halted = [&] {
+    for (const auto& corelet : corelets) {
+      if (!corelet.halted()) return false;
+    }
+    return true;
+  };
+  while (!all_halted()) {
+    MLP_CHECK(++guard < 20'000'000'000ull, "ssmc run did not converge");
+    if (compute.next_edge_ps() <= channel.next_edge_ps()) {
+      now = compute.next_edge_ps();
+      for (auto& corelet : corelets) {
+        corelet.tick(now, compute.period_ps());
+      }
+      compute.advance();
+    } else {
+      now = channel.next_edge_ps();
+      for (auto& cache : caches) cache.pump(now);
+      ctrl.tick(now);
+      channel.advance();
+    }
+  }
+
+  RunResult result;
+  result.arch = "ssmc";
+  result.workload = workload.name;
+  result.compute_cycles = compute.ticks();
+  result.runtime_ps = now;
+  result.thread_instructions = exec.instructions.value;
+  result.input_words = workload.num_records * workload.fields;
+  result.insts_per_word = static_cast<double>(result.thread_instructions) /
+                          static_cast<double>(result.input_words);
+  result.branches_per_inst = static_cast<double>(exec.branches.value) /
+                             static_cast<double>(exec.instructions.value);
+  result.final_clock_mhz = compute.frequency_mhz();
+  fill_dram_stats(&result, stats);
+
+  energy::EnergyModel model;
+  result.energy.core_j = model.mimd_core_j(exec, /*state_via_cache=*/true,
+                                           /*input_via_cache=*/true);
+  result.energy.dram_j =
+      model.dram_j(ctrl.bytes_transferred(), ctrl.activations());
+  const double sram_kb =
+      cores * (cfg.ssmc.l1d_bytes + cfg.core.icache_bytes) / 1024.0;
+  result.energy.leak_j = model.leakage_j(cores, sram_kb, result.seconds());
+
+  std::vector<const mem::LocalStore*> states;
+  for (const auto& local : locals) states.push_back(&local);
+  result.verification = verify_run(workload, input, states);
+  return result;
+}
+
+}  // namespace mlp::arch

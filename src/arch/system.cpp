@@ -1,0 +1,90 @@
+#include "arch/system.hpp"
+
+namespace mlp::arch {
+
+const char* arch_name(ArchKind kind) {
+  switch (kind) {
+    case ArchKind::kMillipede: return "millipede";
+    case ArchKind::kMillipedeNoFlowControl: return "millipede-no-flow-control";
+    case ArchKind::kMillipedeNoRateMatch: return "millipede-no-rate-match";
+    case ArchKind::kSsmc: return "ssmc";
+    case ArchKind::kGpgpu: return "gpgpu";
+    case ArchKind::kVws: return "vws";
+    case ArchKind::kVwsRow: return "vws-row";
+    case ArchKind::kMulticore: return "multicore";
+  }
+  return "?";
+}
+
+PreparedInput prepare_input(const MachineConfig& cfg,
+                            const workloads::Workload& workload, u64 seed) {
+  const workloads::LayoutMode mode =
+      cfg.slab_layout ? workloads::LayoutMode::kRecordContiguous
+                      : workloads::LayoutMode::kFieldMajor;
+  workloads::InterleavedLayout layout(cfg.dram.row_bytes, workload.fields,
+                                      workload.num_records, /*base=*/0, mode);
+  PreparedInput input{layout, mem::DramImage(layout.total_bytes())};
+  Rng rng(seed);
+  workload.generate(input.layout, input.image, rng);
+  return input;
+}
+
+std::string verify_run(const workloads::Workload& workload,
+                       const PreparedInput& input,
+                       const std::vector<const mem::LocalStore*>& states) {
+  const auto reference = workload.reference(input.image, input.layout);
+  const auto measured = workloads::reduce_state(workload, states);
+  return workloads::compare_results(reference, measured, workload.tolerance);
+}
+
+void fill_dram_stats(RunResult* result, const StatSet& stats) {
+  const u64 hits = stats.get("dram.row_hits");
+  const u64 misses = stats.get("dram.row_misses");
+  result->row_miss_rate =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(misses) / static_cast<double>(hits + misses);
+  for (const auto& [name, value] : stats.snapshot()) {
+    result->stats.emplace(name, value);
+  }
+}
+
+RunResult run_arch(ArchKind kind, const MachineConfig& cfg,
+                   const workloads::Workload& workload, u64 seed) {
+  MachineConfig tuned = cfg;
+  switch (kind) {
+    case ArchKind::kMillipede:
+      tuned.millipede.flow_control = true;
+      tuned.millipede.rate_match = true;
+      return run_millipede(tuned, workload, seed);
+    case ArchKind::kMillipedeNoFlowControl:
+      tuned.millipede.flow_control = false;
+      tuned.millipede.rate_match = false;
+      return run_millipede(tuned, workload, seed);
+    case ArchKind::kMillipedeNoRateMatch:
+      tuned.millipede.flow_control = true;
+      tuned.millipede.rate_match = false;
+      return run_millipede(tuned, workload, seed);
+    case ArchKind::kSsmc:
+      return run_ssmc(tuned, workload, seed);
+    case ArchKind::kGpgpu:
+      tuned.gpgpu.vws = false;
+      tuned.gpgpu.row_oriented = false;
+      tuned.gpgpu.warp_width = tuned.core.cores;
+      return run_gpgpu(tuned, workload, seed);
+    case ArchKind::kVws:
+      tuned.gpgpu.vws = true;
+      tuned.gpgpu.row_oriented = false;
+      return run_gpgpu(tuned, workload, seed);
+    case ArchKind::kVwsRow:
+      tuned.gpgpu.vws = true;
+      tuned.gpgpu.row_oriented = true;
+      return run_gpgpu(tuned, workload, seed);
+    case ArchKind::kMulticore:
+      return run_multicore(tuned, workload, seed);
+  }
+  MLP_CHECK(false, "unknown architecture");
+  return {};
+}
+
+}  // namespace mlp::arch

@@ -1,0 +1,85 @@
+#pragma once
+// Common result type and helpers shared by the architecture systems. Every
+// run is also functionally verified: the per-corelet live states are reduced
+// on the (simulated) host and compared against the workload's golden
+// reference, so a timing-model bug that corrupts execution cannot silently
+// produce "results".
+
+#include <map>
+#include <string>
+
+#include "common/config.hpp"
+#include "energy/energy.hpp"
+#include "mem/dram_image.hpp"
+#include "workloads/binding.hpp"
+#include "workloads/bmla.hpp"
+
+namespace mlp::arch {
+
+enum class ArchKind : u8 {
+  kMillipede,
+  kMillipedeNoFlowControl,
+  kMillipedeNoRateMatch,
+  kSsmc,
+  kGpgpu,
+  kVws,
+  kVwsRow,
+  kMulticore,
+};
+
+const char* arch_name(ArchKind kind);
+
+struct RunResult {
+  std::string arch;
+  std::string workload;
+  u64 compute_cycles = 0;
+  Picos runtime_ps = 0;
+  u64 thread_instructions = 0;
+  u64 input_words = 0;
+  double insts_per_word = 0.0;
+  double branches_per_inst = 0.0;
+  double row_miss_rate = 0.0;      ///< DRAM row misses / row accesses
+  double final_clock_mhz = 0.0;    ///< rate-matched clock (Millipede)
+  u32 warp_width = 0;              ///< chosen width (GPGPU/VWS)
+  energy::EnergyBreakdown energy;
+  std::map<std::string, u64> stats;
+  std::string verification;  ///< empty iff results matched the reference
+
+  double seconds() const { return static_cast<double>(runtime_ps) * 1e-12; }
+  double energy_delay() const { return energy.total_j() * seconds(); }
+};
+
+/// Generated input image + layout for a workload under a machine config.
+struct PreparedInput {
+  workloads::InterleavedLayout layout;
+  mem::DramImage image;
+};
+
+PreparedInput prepare_input(const MachineConfig& cfg,
+                            const workloads::Workload& workload, u64 seed);
+
+/// Verify reduced live state against the golden reference; returns the
+/// diagnostic ("" on success).
+std::string verify_run(const workloads::Workload& workload,
+                       const PreparedInput& input,
+                       const std::vector<const mem::LocalStore*>& states);
+
+/// Fill common RunResult fields from the DRAM controller counters.
+void fill_dram_stats(RunResult* result, const StatSet& stats);
+
+/// Run `workload` on the architecture selected by `kind` (dispatches to the
+/// concrete systems below).
+RunResult run_arch(ArchKind kind, const MachineConfig& cfg,
+                   const workloads::Workload& workload, u64 seed = 1);
+
+// Concrete system entry points.
+RunResult run_millipede(const MachineConfig& cfg,
+                        const workloads::Workload& workload, u64 seed);
+RunResult run_ssmc(const MachineConfig& cfg,
+                   const workloads::Workload& workload, u64 seed);
+RunResult run_gpgpu(const MachineConfig& cfg,
+                    const workloads::Workload& workload, u64 seed);
+RunResult run_multicore(const MachineConfig& cfg,
+                        const workloads::Workload& workload, u64 seed);
+
+}  // namespace mlp::arch

@@ -1,0 +1,30 @@
+#include "common/config.hpp"
+
+namespace mlp {
+
+void MachineConfig::validate() const {
+  MLP_CHECK(is_pow2(dram.row_bytes), "row size must be a power of two");
+  MLP_CHECK(dram.banks > 0 && is_pow2(dram.banks), "bank count must be a power of two");
+  MLP_CHECK(dram.channel_bits % 8 == 0 && dram.channel_bits > 0, "channel width in whole bytes");
+  MLP_CHECK(dram.queue_depth > 0, "controller queue must be nonempty");
+  MLP_CHECK(dram.bus_efficiency > 0.0 && dram.bus_efficiency <= 1.0,
+            "bus efficiency must be in (0, 1]");
+  MLP_CHECK(core.cores > 0 && core.contexts > 0, "need at least one thread");
+  MLP_CHECK(core.regs >= 8 && core.regs <= 32, "register count out of range");
+  MLP_CHECK(is_pow2(core.cores), "core count must be a power of two for slab mapping");
+  MLP_CHECK(is_pow2(core.contexts), "context count must be a power of two");
+  MLP_CHECK(millipede.pf_entries >= 2, "prefetch buffer needs >= 2 entries");
+  MLP_CHECK(millipede.prime_rows <= millipede.pf_entries,
+            "prime depth must fit in the prefetch buffer");
+  MLP_CHECK(millipede.rate_step > 0 && millipede.rate_step < 0.5, "rate step out of range");
+  MLP_CHECK(gpgpu.warp_width > 0 && core.cores % gpgpu.warp_width == 0,
+            "warp width must divide lane count");
+  MLP_CHECK(gpgpu.shared_banks > 0, "shared memory needs banks");
+  MLP_CHECK(ssmc.assoc > 0 && ssmc.l1d_bytes % (ssmc.line_bytes * ssmc.assoc) == 0,
+            "SSMC L1 size must be sets*ways*line");
+  // A row must split evenly into per-corelet slabs of whole words.
+  MLP_CHECK(dram.row_bytes % core.cores == 0, "row must split into corelet slabs");
+  MLP_CHECK((dram.row_bytes / core.cores) % 4 == 0, "slab must hold whole words");
+}
+
+}  // namespace mlp

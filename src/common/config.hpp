@@ -1,0 +1,159 @@
+#pragma once
+// Machine configuration structs mirroring the paper's Table III plus the
+// knobs the evaluation sweeps (system size, prefetch-buffer count, warp
+// width). Every architecture model is constructed from a MachineConfig so
+// that cross-architecture comparisons hold resources identical by
+// construction, as the paper requires.
+
+#include <string>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace mlp {
+
+/// Die-stacked DRAM channel parameters (Table III). Timing values are in
+/// channel-clock cycles; the controller converts to picoseconds.
+struct DramConfig {
+  u32 row_bytes = 2048;
+  u32 banks = 4;
+  double channel_mhz = 1200.0;
+  u32 channel_bits = 128;  ///< data bus width; 16 B transferred per cycle
+  u32 t_cas = 9;
+  u32 t_rp = 9;
+  u32 t_rcd = 9;
+  u32 t_ras = 27;
+  u32 queue_depth = 16;  ///< FR-FCFS scheduler window
+  /// Effective fraction of peak data-bus bandwidth actually delivered
+  /// (refresh, command bandwidth, read/write turnaround, DBI, ...).
+  /// Calibrated to ~0.5, which reproduces the paper's observable that its
+  /// GPGPU-Sim DRAM makes the light BMLAs memory-bandwidth-bound (Table IV
+  /// rate-matched clocks); see EXPERIMENTS.md.
+  double bus_efficiency = 0.30;
+
+  Picos period_ps() const { return period_ps_from_hz(channel_mhz * 1e6); }
+  u32 bytes_per_cycle() const { return channel_bits / 8; }
+  double peak_gbps() const {
+    return channel_mhz * 1e6 * bytes_per_cycle() / 1e9;
+  }
+};
+
+/// Parameters shared by corelets, SSMC cores and GPGPU lanes: the paper holds
+/// the number and pipeline of cores and the on-processor-die memory identical
+/// across the PNM architectures it compares.
+struct CoreConfig {
+  double clock_mhz = 700.0;
+  u32 cores = 32;     ///< corelets / lanes / simple cores per processor
+  u32 contexts = 4;   ///< hardware thread contexts (warps for the SM)
+  u32 regs = 32;      ///< architectural registers per context
+  u32 icache_bytes = 4 * 1024;
+  u32 local_mem_bytes = 4 * 1024;  ///< per corelet (live state)
+  u32 local_latency = 2;           ///< compute cycles for a local access
+  u32 branch_penalty = 1;          ///< extra busy cycles on taken branches
+
+  Picos period_ps() const { return period_ps_from_hz(clock_mhz * 1e6); }
+  u32 threads() const { return cores * contexts; }
+};
+
+/// Millipede-specific structures (Section IV).
+struct MillipedeConfig {
+  u32 pf_entries = 16;      ///< prefetch buffer entries, one DRAM row each
+  u32 prime_rows = 0;       ///< rows prefetched at kernel start; 0 = fill the
+                            ///< queue. The trigger chain sustains exactly
+                            ///< this run-ahead, so it must cover the rows a
+                            ///< record's fields touch concurrently.
+  bool flow_control = true; ///< DF-counter based cross-corelet flow control
+  bool rate_match = true;   ///< coarse-grain compute-memory DFS
+  double rate_step = 0.05;  ///< hill-climbing frequency step (5%)
+  double min_clock_mhz = 100.0;
+  u32 pb_hit_latency = 2;   ///< compute cycles for a prefetch-buffer hit
+  u32 rate_window = 16;     ///< per-row votes accumulated per DFS step
+  /// Section IV-F extension: the paper conservatively assumes frequency-only
+  /// scaling ("otherwise, our energy savings would be higher"). When set,
+  /// rate matching also scales voltage with frequency (dynamic energy then
+  /// falls quadratically with V, floored at min_voltage_ratio).
+  bool voltage_scaling = false;
+  double min_voltage_ratio = 0.7;
+};
+
+/// GPGPU SM parameters (Table III) plus the VWS / VWS-row variants.
+struct GpgpuConfig {
+  u32 warp_width = 32;       ///< lanes ganged per warp (VWS may pick 4)
+  bool vws = false;          ///< dynamic 4-vs-32 warp width selection
+  bool row_oriented = false; ///< VWS-row: input via row prefetch buffer
+  u32 l1d_bytes = 32 * 1024;
+  u32 line_bytes = 128;
+  u32 l1d_assoc = 8;
+  u32 mshrs = 16;
+  u32 shared_mem_bytes = 128 * 1024;
+  u32 shared_banks = 32;
+  u32 l1_hit_latency = 4;
+  u32 shared_latency = 2;
+  u32 divergence_penalty = 8;  ///< extra cycles per divergent branch
+                               ///< (SIMT-stack push + fetch redirect)
+  u32 prefetch_degree = 4;    ///< sequential cache-block prefetcher
+  u32 prefetch_distance = 16;
+  u32 prefetch_streams = 32;  ///< stride streams tracked (one per warp)
+  /// Ablation (Section III-B): force the corelet-style 64 B slab record
+  /// mapping on the plain GPGPU, destroying coalescing — demonstrates why
+  /// GPGPUs need word-size columns in the interleaved layout.
+  bool slab_mapping_ablation = false;
+};
+
+/// Plain SSMC: simple MIMD cores with small private L1 D-caches that hold
+/// both live state and the prefetched input stream.
+struct SsmcConfig {
+  u32 l1d_bytes = 5 * 1024;  ///< 5 KB per core (Table III)
+  u32 line_bytes = 128;
+  u32 assoc = 5;             ///< 8 sets x 5 ways = 40 lines = 5 KB
+  u32 mshrs = 8;
+  u32 hit_latency = 2;
+  // A 40-line cache cannot absorb deep prefetch run-ahead: pollution evicts
+  // the hot state/field lines. Shallow, conservative prefetch.
+  u32 prefetch_degree = 1;
+  u32 prefetch_distance = 2;
+  u32 prefetch_streams = 4;  ///< per-core stride streams tracked
+};
+
+/// Conventional multicore for the Fig. 5 comparison: Xeon-like out-of-order
+/// cores approximated by a wide-issue SMT in-order model (see DESIGN.md).
+struct MulticoreConfig {
+  u32 cores = 8;
+  u32 smt = 4;
+  u32 issue_width = 4;
+  double clock_mhz = 3600.0;
+  u32 l1_bytes = 64 * 1024;
+  u32 l1_assoc = 8;
+  u32 l2_bytes = 1024 * 1024;  ///< per core
+  u32 l2_assoc = 16;
+  u32 line_bytes = 128;
+  u32 l1_latency = 3;
+  u32 l2_latency = 12;
+  double offchip_bw_fraction = 0.25;  ///< of one die-stacked channel
+  double dram_pj_per_bit = 70.0;      ///< off-chip access energy [44]
+};
+
+/// Top-level configuration handed to every System.
+struct MachineConfig {
+  DramConfig dram;
+  CoreConfig core;
+  MillipedeConfig millipede;
+  GpgpuConfig gpgpu;
+  SsmcConfig ssmc;
+  MulticoreConfig multicore;
+
+  /// Section IV-C's slab-interleaving ("wider columns"): store each record's
+  /// fields contiguously within a row so a record touches exactly one DRAM
+  /// row. Supported by the MIMD systems (Millipede/SSMC/multicore) for
+  /// power-of-two field counts; the GPGPU keeps word-size columns, as the
+  /// paper requires for coalescing.
+  bool slab_layout = false;
+
+  /// Aborts on inconsistent parameter combinations.
+  void validate() const;
+
+  /// Paper Table III defaults.
+  static MachineConfig paper_defaults() { return MachineConfig{}; }
+};
+
+}  // namespace mlp

@@ -1,0 +1,45 @@
+#include "common/stats.hpp"
+
+#include <sstream>
+
+namespace mlp {
+
+void StatSet::add(std::string name, const Counter* counter) {
+  MLP_CHECK(counter != nullptr, "null counter");
+  MLP_CHECK(counters_.emplace(std::move(name), counter).second,
+            "duplicate counter name");
+}
+
+void StatSet::add_scalar(std::string name, const double* scalar) {
+  MLP_CHECK(scalar != nullptr, "null scalar");
+  MLP_CHECK(scalars_.emplace(std::move(name), scalar).second,
+            "duplicate scalar name");
+}
+
+u64 StatSet::get(const std::string& name) const {
+  auto it = counters_.find(name);
+  MLP_CHECK(it != counters_.end(), name.c_str());
+  return it->second->value;
+}
+
+double StatSet::get_scalar(const std::string& name) const {
+  auto it = scalars_.find(name);
+  MLP_CHECK(it != scalars_.end(), name.c_str());
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, u64>> StatSet::snapshot() const {
+  std::vector<std::pair<std::string, u64>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) out.emplace_back(name, counter->value);
+  return out;
+}
+
+std::string StatSet::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, counter] : counters_) os << name << " = " << counter->value << "\n";
+  for (const auto& [name, scalar] : scalars_) os << name << " = " << *scalar << "\n";
+  return os.str();
+}
+
+}  // namespace mlp

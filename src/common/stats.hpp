@@ -1,0 +1,48 @@
+#pragma once
+// Lightweight named-statistics registry. Components own Counter/Scalar
+// members registered into a StatSet so the harness can dump every statistic
+// uniformly and tests can assert on individual counters by name.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mlp {
+
+/// Monotonic event counter.
+struct Counter {
+  u64 value = 0;
+  void inc(u64 by = 1) { value += by; }
+  void reset() { value = 0; }
+};
+
+/// A set of named statistics. Names are hierarchical by convention
+/// ("dram.row_misses"). The set stores pointers to the owning components'
+/// counters; it does not own them and must not outlive them.
+class StatSet {
+ public:
+  void add(std::string name, const Counter* counter);
+  void add_scalar(std::string name, const double* scalar);
+
+  /// Value of a registered counter; aborts if absent (test convenience).
+  u64 get(const std::string& name) const;
+
+  /// Value of a registered scalar; aborts if absent.
+  double get_scalar(const std::string& name) const;
+
+  bool has(const std::string& name) const { return counters_.count(name) != 0; }
+
+  /// Stable (sorted) name -> value snapshot of all counters.
+  std::vector<std::pair<std::string, u64>> snapshot() const;
+
+  /// Render all statistics as "name = value" lines.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, const Counter*> counters_;
+  std::map<std::string, const double*> scalars_;
+};
+
+}  // namespace mlp

@@ -1,0 +1,56 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace mlp {
+
+void Table::cell(std::string text) {
+  MLP_CHECK(!rows_.empty(), "add_row() before cell()");
+  rows_.back().push_back(std::move(text));
+}
+
+void Table::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  cell(std::string(buf));
+}
+
+void Table::cell(u64 value) { cell(std::to_string(value)); }
+
+std::string Table::to_string() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& text = c < row.size() ? row[c] : std::string();
+      os << text << std::string(widths[c] - text.size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  size_t rule = 0;
+  for (size_t w : widths) rule += w + 2;
+  os << std::string(rule, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (size_t c = 0; c < headers_.size(); ++c)
+    os << headers_[c] << (c + 1 < headers_.size() ? "," : "\n");
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      os << row[c] << (c + 1 < row.size() ? "," : "\n");
+  return os.str();
+}
+
+}  // namespace mlp

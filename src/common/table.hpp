@@ -1,0 +1,41 @@
+#pragma once
+// ASCII table renderer used by the benchmark harness to print paper-shaped
+// tables (Fig. 3/4/... rows and Table II/IV). Also emits CSV so results can
+// be post-processed.
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mlp {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_columns(std::vector<std::string> headers) { headers_ = std::move(headers); }
+
+  /// Begin a new row; subsequent cell() calls append to it.
+  void add_row() { rows_.emplace_back(); }
+
+  void cell(std::string text);
+  void cell(double value, int precision = 3);
+  void cell(u64 value);
+
+  /// Render with aligned columns and a title rule.
+  std::string to_string() const;
+
+  /// Comma-separated form, one header line then one line per row.
+  std::string to_csv() const;
+
+  const std::string& title() const { return title_; }
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mlp

@@ -1,0 +1,40 @@
+#pragma once
+// Fundamental integer/width aliases and the check macro used across the
+// simulator. Kept deliberately tiny: every other header includes this one.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mlp {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Byte address into the simulated machine's global (DRAM) or local space.
+using Addr = u64;
+
+/// Simulated wall-clock time in picoseconds. Two clock domains (compute and
+/// DRAM channel) are reconciled through this common unit, which also lets
+/// dynamic frequency scaling change the compute period mid-run.
+using Picos = u64;
+
+}  // namespace mlp
+
+/// Internal invariant check, active in all build types: a simulator that
+/// silently corrupts its own state produces subtly wrong "results", which is
+/// worse than an abort.
+#define MLP_CHECK(cond, msg)                                                 \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "MLP_CHECK failed at %s:%d: %s\n  %s\n",          \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)

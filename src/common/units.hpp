@@ -1,0 +1,45 @@
+#pragma once
+// Unit helpers for frequencies, periods and capacities. The simulator keeps
+// all time in picoseconds (see types.hpp); these helpers centralize the
+// conversions so off-by-1000 errors cannot scatter across modules.
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace mlp {
+
+inline constexpr u64 kKilo = 1000ull;
+inline constexpr u64 kMega = 1000ull * 1000ull;
+inline constexpr u64 kGiga = 1000ull * 1000ull * 1000ull;
+
+inline constexpr u64 kKiB = 1024ull;
+inline constexpr u64 kMiB = 1024ull * 1024ull;
+
+/// Picoseconds per cycle for a clock of `hz` Hertz, rounded to nearest.
+constexpr Picos period_ps_from_hz(double hz) {
+  return static_cast<Picos>(1e12 / hz + 0.5);
+}
+
+/// Frequency in Hz corresponding to a period in picoseconds.
+constexpr double hz_from_period_ps(Picos ps) { return 1e12 / static_cast<double>(ps); }
+
+constexpr double mhz_from_period_ps(Picos ps) { return hz_from_period_ps(ps) / 1e6; }
+
+/// Seconds represented by a picosecond count (for energy = power * time).
+constexpr double seconds(Picos ps) { return static_cast<double>(ps) * 1e-12; }
+
+/// True iff x is a nonzero power of two (row sizes, bank counts, ...).
+constexpr bool is_pow2(u64 x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr u32 log2_exact(u64 x) {
+  u32 n = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace mlp

@@ -1,0 +1,103 @@
+#pragma once
+// Processor-wide software barrier used by the record-granularity-barrier
+// ablation (Section IV-C): the paper argues MapReduce-expressible barriers
+// are the only software alternative to hardware flow control, and shows
+// they do not help. A thread executing `bar` blocks until every live
+// (non-halted) thread has arrived; halted threads deregister so tail
+// imbalance cannot deadlock the machine.
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/port.hpp"
+
+namespace mlp::core {
+
+class Barrier {
+ public:
+  explicit Barrier(u32 expected) : expected_(expected) {
+    MLP_CHECK(expected_ > 0, "barrier needs participants");
+  }
+
+  /// A thread arrives. Returns kDone (releasing everyone) if this arrival
+  /// completes the barrier; otherwise registers `wakeup` and returns
+  /// kPending.
+  PortResult arrive(Picos now, Picos period_ps,
+                    std::function<void(Picos)> wakeup) {
+    ++arrived_;
+    if (arrived_ >= expected_) {
+      release(now + period_ps);
+      return {PortStatus::kDone, now + period_ps};
+    }
+    waiters_.push_back(std::move(wakeup));
+    return {PortStatus::kPending, 0};
+  }
+
+  /// A thread halted: it will never arrive again. May release the barrier.
+  void deregister(Picos now, Picos period_ps) {
+    MLP_CHECK(expected_ > 0, "deregister below zero");
+    --expected_;
+    if (expected_ > 0 && arrived_ >= expected_) release(now + period_ps);
+  }
+
+  u32 waiting() const { return static_cast<u32>(waiters_.size()); }
+  u64 episodes() const { return episodes_; }
+
+ private:
+  void release(Picos at) {
+    ++episodes_;
+    arrived_ = 0;
+    auto batch = std::move(waiters_);
+    waiters_.clear();
+    for (auto& waiter : batch) waiter(at);
+  }
+
+  u32 expected_;
+  u32 arrived_ = 0;
+  u64 episodes_ = 0;
+  std::vector<std::function<void(Picos)>> waiters_;
+};
+
+/// GlobalPort decorator adding barrier support on top of any memory port.
+class BarrierPort : public GlobalPort {
+ public:
+  BarrierPort(GlobalPort* inner, u32 threads)
+      : inner_(inner), barrier_(threads) {
+    MLP_CHECK(inner_ != nullptr, "barrier needs an inner port");
+  }
+
+  PortResult load(u32 core, u32 ctx, Addr addr, Picos now,
+                  std::function<void(Picos)> wakeup) override {
+    return inner_->load(core, ctx, addr, now, std::move(wakeup));
+  }
+
+  PortResult store(u32 core, u32 ctx, Addr addr, Picos now) override {
+    return inner_->store(core, ctx, addr, now);
+  }
+
+  PortResult local_access(u32 core, u32 ctx, Addr addr, bool is_write,
+                          Picos fixed_ready_at, Picos now,
+                          std::function<void(Picos)> wakeup) override {
+    return inner_->local_access(core, ctx, addr, is_write, fixed_ready_at,
+                                now, std::move(wakeup));
+  }
+
+  PortResult barrier(u32 /*core*/, u32 /*ctx*/, Picos now, Picos period_ps,
+                     std::function<void(Picos)> wakeup) override {
+    return barrier_.arrive(now, period_ps, std::move(wakeup));
+  }
+
+  void thread_halted(u32 /*core*/, u32 /*ctx*/, Picos now,
+                     Picos period_ps) override {
+    barrier_.deregister(now, period_ps);
+  }
+
+  const Barrier& state() const { return barrier_; }
+
+ private:
+  GlobalPort* inner_;
+  Barrier barrier_;
+};
+
+}  // namespace mlp::core

@@ -1,0 +1,174 @@
+#include "core/corelet.hpp"
+
+namespace mlp::core {
+
+Corelet::Corelet(u32 core_id, const CoreConfig& cfg,
+                 const isa::Program* program, mem::LocalStore* local,
+                 mem::DramImage* dram, GlobalPort* port, ExecStats* stats)
+    : core_id_(core_id),
+      cfg_(cfg),
+      program_(program),
+      local_(local),
+      dram_(dram),
+      port_(port),
+      stats_(stats),
+      contexts_(cfg.contexts) {
+  MLP_CHECK(program_ != nullptr && local_ != nullptr && dram_ != nullptr &&
+                port_ != nullptr && stats_ != nullptr,
+            "corelet wiring incomplete");
+}
+
+bool Corelet::halted() const {
+  for (const Context& ctx : contexts_) {
+    if (ctx.state != Context::State::kHalted) return false;
+  }
+  return true;
+}
+
+void Corelet::tick(Picos now, Picos period_ps) {
+  // Round-robin pick of the next runnable context.
+  Context* chosen = nullptr;
+  u32 chosen_index = 0;
+  for (u32 i = 0; i < contexts_.size(); ++i) {
+    const u32 idx = (rr_next_ + i) % contexts_.size();
+    if (contexts_[idx].runnable(now)) {
+      chosen = &contexts_[idx];
+      chosen_index = idx;
+      break;
+    }
+  }
+  if (chosen == nullptr) {
+    if (!halted()) stats_->idle_cycles.inc();
+    return;
+  }
+  rr_next_ = (chosen_index + 1) % contexts_.size();
+  Context& ctx = *chosen;
+
+  const isa::Instr& instr = program_->at(ctx.pc);
+  const StepKind kind = classify(instr);
+
+  // Global accesses negotiate the port before committing execution.
+  if (kind == StepKind::kGlobalLoad) {
+    const Addr addr = global_addr(ctx, instr);
+    ctx.state = Context::State::kWaitMem;  // callback may fire synchronously
+    const PortResult port_result = port_->load(
+        core_id_, chosen_index, addr, now, [&ctx](Picos at) {
+          ctx.state = Context::State::kReady;
+          ctx.ready_at = at;
+        });
+    if (port_result.status == PortStatus::kRetry) {
+      ctx.state = Context::State::kReady;
+      stats_->retry_stalls.inc();
+      return;
+    }
+    step(ctx, *program_, *local_, *dram_);
+    stats_->instructions.inc();
+    stats_->global_loads.inc();
+    stats_->busy_cycles.inc();
+    if (port_result.status == PortStatus::kDone) {
+      ctx.state = Context::State::kReady;
+      ctx.ready_at = port_result.ready_at;
+    }
+    return;
+  }
+  if (kind == StepKind::kGlobalStore) {
+    const Addr addr = global_addr(ctx, instr);
+    const PortResult port_result = port_->store(core_id_, chosen_index, addr, now);
+    if (port_result.status == PortStatus::kRetry) {
+      stats_->retry_stalls.inc();
+      return;
+    }
+    step(ctx, *program_, *local_, *dram_);
+    stats_->instructions.inc();
+    stats_->global_stores.inc();
+    stats_->busy_cycles.inc();
+    ctx.ready_at = std::max(port_result.ready_at, now + period_ps);
+    return;
+  }
+
+  if (kind == StepKind::kBarrier) {
+    ctx.state = Context::State::kWaitMem;  // release may fire synchronously
+    const PortResult port_result =
+        port_->barrier(core_id_, chosen_index, now, period_ps,
+                       [&ctx](Picos at) {
+                         ctx.state = Context::State::kReady;
+                         ctx.ready_at = at;
+                       });
+    step(ctx, *program_, *local_, *dram_);
+    stats_->instructions.inc();
+    stats_->busy_cycles.inc();
+    if (port_result.status == PortStatus::kDone) {
+      ctx.state = Context::State::kReady;
+      ctx.ready_at = port_result.ready_at;
+    }
+    return;
+  }
+  if (kind == StepKind::kLocal) {
+    // Live-state access: latency is architecture-specific (dedicated local
+    // memory vs. a cached state region competing with the input stream).
+    const Addr addr = global_addr(ctx, instr);
+    const Picos fixed =
+        now + static_cast<Picos>(cfg_.local_latency) * period_ps;
+    ctx.state = Context::State::kWaitMem;  // callback may fire synchronously
+    const PortResult port_result = port_->local_access(
+        core_id_, chosen_index, addr, isa::op_info(instr.op).is_store, fixed,
+        now, [&ctx](Picos at) {
+          ctx.state = Context::State::kReady;
+          ctx.ready_at = at;
+        });
+    if (port_result.status == PortStatus::kRetry) {
+      ctx.state = Context::State::kReady;
+      stats_->retry_stalls.inc();
+      return;
+    }
+    step(ctx, *program_, *local_, *dram_);
+    stats_->instructions.inc();
+    stats_->local_ops.inc();
+    stats_->busy_cycles.inc();
+    if (port_result.status == PortStatus::kDone) {
+      ctx.state = Context::State::kReady;
+      ctx.ready_at = port_result.ready_at;
+    }
+    return;
+  }
+
+  const StepResult result = step(ctx, *program_, *local_, *dram_);
+  stats_->instructions.inc();
+  stats_->busy_cycles.inc();
+  switch (result.kind) {
+    case StepKind::kAlu:
+    case StepKind::kCsr:
+      stats_->int_alu.inc();
+      ctx.ready_at = now + period_ps;
+      break;
+    case StepKind::kFloat:
+      stats_->float_alu.inc();
+      ctx.ready_at = now + period_ps;
+      break;
+    case StepKind::kBranch:
+      stats_->branches.inc();
+      if (result.branch_taken) {
+        stats_->branches_taken.inc();
+        ctx.ready_at =
+            now + static_cast<Picos>(1 + cfg_.branch_penalty) * period_ps;
+      } else {
+        ctx.ready_at = now + period_ps;
+      }
+      break;
+    case StepKind::kJump:
+      stats_->jumps.inc();
+      ctx.ready_at =
+          now + static_cast<Picos>(1 + cfg_.branch_penalty) * period_ps;
+      break;
+    case StepKind::kHalt:
+      port_->thread_halted(core_id_, chosen_index, now, period_ps);
+      break;
+    case StepKind::kLocal:
+    case StepKind::kGlobalLoad:
+    case StepKind::kGlobalStore:
+    case StepKind::kBarrier:
+      MLP_CHECK(false, "handled above");
+  }
+}
+
+}  // namespace mlp::core

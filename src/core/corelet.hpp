@@ -1,0 +1,73 @@
+#pragma once
+// The in-order, single-issue, fine-grain multithreaded simple core used as
+// the Millipede corelet and the SSMC core (the paper holds the pipeline
+// identical across architectures). Each cycle the core issues at most one
+// instruction from the next runnable hardware context in round-robin order;
+// memory latency is tolerated by switching contexts, exactly the
+// "small-scale hardware multithreading" of Section IV-A.
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "core/functional.hpp"
+#include "core/port.hpp"
+
+namespace mlp::core {
+
+/// Execution counters aggregated across all corelets of a processor; the
+/// energy model and Table IV derive from these.
+struct ExecStats {
+  Counter instructions;
+  Counter int_alu, float_alu, local_ops, global_loads, global_stores;
+  Counter branches, branches_taken, jumps;
+  Counter busy_cycles, idle_cycles, retry_stalls;
+
+  void register_with(StatSet* stats, const std::string& prefix) {
+    if (stats == nullptr) return;
+    stats->add(prefix + ".instructions", &instructions);
+    stats->add(prefix + ".int_alu", &int_alu);
+    stats->add(prefix + ".float_alu", &float_alu);
+    stats->add(prefix + ".local_ops", &local_ops);
+    stats->add(prefix + ".global_loads", &global_loads);
+    stats->add(prefix + ".global_stores", &global_stores);
+    stats->add(prefix + ".branches", &branches);
+    stats->add(prefix + ".branches_taken", &branches_taken);
+    stats->add(prefix + ".jumps", &jumps);
+    stats->add(prefix + ".busy_cycles", &busy_cycles);
+    stats->add(prefix + ".idle_cycles", &idle_cycles);
+    stats->add(prefix + ".retry_stalls", &retry_stalls);
+  }
+};
+
+class Corelet {
+ public:
+  Corelet(u32 core_id, const CoreConfig& cfg, const isa::Program* program,
+          mem::LocalStore* local, mem::DramImage* dram, GlobalPort* port,
+          ExecStats* stats);
+
+  /// One compute-clock edge: issue at most one instruction.
+  /// `period_ps` is the current compute period (DFS may change it).
+  void tick(Picos now, Picos period_ps);
+
+  bool halted() const;
+
+  Context& context(u32 i) { return contexts_[i]; }
+  const Context& context(u32 i) const { return contexts_[i]; }
+  u32 num_contexts() const { return static_cast<u32>(contexts_.size()); }
+  u32 core_id() const { return core_id_; }
+
+ private:
+  u32 core_id_;
+  CoreConfig cfg_;
+  const isa::Program* program_;
+  mem::LocalStore* local_;
+  mem::DramImage* dram_;
+  GlobalPort* port_;
+  ExecStats* stats_;
+
+  std::vector<Context> contexts_;
+  u32 rr_next_ = 0;
+};
+
+}  // namespace mlp::core

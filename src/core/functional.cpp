@@ -1,0 +1,176 @@
+#include "core/functional.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace mlp::core {
+namespace {
+
+float as_f(u32 bits) {
+  float value;
+  std::memcpy(&value, &bits, 4);
+  return value;
+}
+
+u32 as_u(float value) {
+  u32 bits;
+  std::memcpy(&bits, &value, 4);
+  return bits;
+}
+
+}  // namespace
+
+StepKind classify(const isa::Instr& in) {
+  using isa::Opcode;
+  const isa::OpInfo& info = isa::op_info(in.op);
+  if (in.op == Opcode::kHalt) return StepKind::kHalt;
+  if (in.op == Opcode::kBar) return StepKind::kBarrier;
+  if (info.is_branch) return StepKind::kBranch;
+  if (info.is_jump) return StepKind::kJump;
+  if (info.is_local_mem) return StepKind::kLocal;
+  if (info.is_global_mem) {
+    return info.is_load ? StepKind::kGlobalLoad : StepKind::kGlobalStore;
+  }
+  if (in.op == Opcode::kCsrr) return StepKind::kCsr;
+  if (info.is_float) return StepKind::kFloat;
+  return StepKind::kAlu;
+}
+
+Addr global_addr(const Context& ctx, const isa::Instr& in) {
+  return static_cast<Addr>(
+      static_cast<i64>(ctx.reg(in.rs1)) + in.imm);
+}
+
+StepResult step(Context& ctx, const isa::Program& program,
+                mem::LocalStore& local, mem::DramImage& dram) {
+  using isa::Opcode;
+  const isa::Instr& in = program.at(ctx.pc);
+  StepResult result;
+  result.kind = classify(in);
+  ++ctx.instret;
+
+  const u32 a = ctx.reg(in.rs1);
+  const u32 b = ctx.reg(in.rs2);
+  const i32 sa = static_cast<i32>(a);
+  const i32 sb = static_cast<i32>(b);
+  u32 next_pc = ctx.pc + 1;
+
+  switch (in.op) {
+    case Opcode::kAdd: ctx.set_reg(in.rd, a + b); break;
+    case Opcode::kSub: ctx.set_reg(in.rd, a - b); break;
+    case Opcode::kMul: ctx.set_reg(in.rd, a * b); break;
+    case Opcode::kMulh:
+      ctx.set_reg(in.rd, static_cast<u32>(
+                             (static_cast<i64>(sa) * sb) >> 32));
+      break;
+    case Opcode::kDiv:
+      ctx.set_reg(in.rd, sb == 0 ? 0xffffffffu
+                                 : static_cast<u32>(sa / sb));
+      break;
+    case Opcode::kRem:
+      ctx.set_reg(in.rd, sb == 0 ? a : static_cast<u32>(sa % sb));
+      break;
+    case Opcode::kAnd: ctx.set_reg(in.rd, a & b); break;
+    case Opcode::kOr: ctx.set_reg(in.rd, a | b); break;
+    case Opcode::kXor: ctx.set_reg(in.rd, a ^ b); break;
+    case Opcode::kSll: ctx.set_reg(in.rd, a << (b & 31)); break;
+    case Opcode::kSrl: ctx.set_reg(in.rd, a >> (b & 31)); break;
+    case Opcode::kSra: ctx.set_reg(in.rd, static_cast<u32>(sa >> (b & 31))); break;
+    case Opcode::kSlt: ctx.set_reg(in.rd, sa < sb ? 1 : 0); break;
+    case Opcode::kSltu: ctx.set_reg(in.rd, a < b ? 1 : 0); break;
+
+    case Opcode::kFadd: ctx.set_reg(in.rd, as_u(as_f(a) + as_f(b))); break;
+    case Opcode::kFsub: ctx.set_reg(in.rd, as_u(as_f(a) - as_f(b))); break;
+    case Opcode::kFmul: ctx.set_reg(in.rd, as_u(as_f(a) * as_f(b))); break;
+    case Opcode::kFdiv: ctx.set_reg(in.rd, as_u(as_f(a) / as_f(b))); break;
+    case Opcode::kFmin: ctx.set_reg(in.rd, as_u(std::fmin(as_f(a), as_f(b)))); break;
+    case Opcode::kFmax: ctx.set_reg(in.rd, as_u(std::fmax(as_f(a), as_f(b)))); break;
+    case Opcode::kFlt: ctx.set_reg(in.rd, as_f(a) < as_f(b) ? 1 : 0); break;
+    case Opcode::kFle: ctx.set_reg(in.rd, as_f(a) <= as_f(b) ? 1 : 0); break;
+    case Opcode::kFeq: ctx.set_reg(in.rd, as_f(a) == as_f(b) ? 1 : 0); break;
+    case Opcode::kFsqrt: ctx.set_reg(in.rd, as_u(std::sqrt(as_f(a)))); break;
+    case Opcode::kFabs: ctx.set_reg(in.rd, as_u(std::fabs(as_f(a)))); break;
+    case Opcode::kFneg: ctx.set_reg(in.rd, as_u(-as_f(a))); break;
+    case Opcode::kFcvtWs:
+      ctx.set_reg(in.rd, static_cast<u32>(static_cast<i32>(as_f(a))));
+      break;
+    case Opcode::kFcvtSw:
+      ctx.set_reg(in.rd, as_u(static_cast<float>(sa)));
+      break;
+
+    case Opcode::kAddi: ctx.set_reg(in.rd, a + static_cast<u32>(in.imm)); break;
+    case Opcode::kAndi: ctx.set_reg(in.rd, a & static_cast<u32>(in.imm)); break;
+    case Opcode::kOri: ctx.set_reg(in.rd, a | static_cast<u32>(in.imm)); break;
+    case Opcode::kXori: ctx.set_reg(in.rd, a ^ static_cast<u32>(in.imm)); break;
+    case Opcode::kSlli: ctx.set_reg(in.rd, a << (in.imm & 31)); break;
+    case Opcode::kSrli: ctx.set_reg(in.rd, a >> (in.imm & 31)); break;
+    case Opcode::kSrai:
+      ctx.set_reg(in.rd, static_cast<u32>(sa >> (in.imm & 31)));
+      break;
+    case Opcode::kSlti: ctx.set_reg(in.rd, sa < in.imm ? 1 : 0); break;
+    case Opcode::kLui:
+      ctx.set_reg(in.rd, static_cast<u32>(in.imm) << 13);
+      break;
+
+    case Opcode::kLw: {
+      result.mem_addr = global_addr(ctx, in);
+      ctx.set_reg(in.rd, dram.read_u32(result.mem_addr));
+      break;
+    }
+    case Opcode::kSw: {
+      result.mem_addr = global_addr(ctx, in);
+      dram.write_u32(result.mem_addr, b);
+      break;
+    }
+    case Opcode::kLwl:
+      ctx.set_reg(in.rd, local.load(a + static_cast<u32>(in.imm)));
+      break;
+    case Opcode::kSwl:
+      local.store(a + static_cast<u32>(in.imm), b);
+      break;
+    case Opcode::kAmoaddl:
+      ctx.set_reg(in.rd, local.amoadd(a + static_cast<u32>(in.imm), b));
+      break;
+    case Opcode::kFamoaddl:
+      ctx.set_reg(in.rd, local.famoadd(a + static_cast<u32>(in.imm), b));
+      break;
+
+    case Opcode::kBeq: result.branch_taken = a == b; break;
+    case Opcode::kBne: result.branch_taken = a != b; break;
+    case Opcode::kBlt: result.branch_taken = sa < sb; break;
+    case Opcode::kBge: result.branch_taken = sa >= sb; break;
+    case Opcode::kBltu: result.branch_taken = a < b; break;
+    case Opcode::kBgeu: result.branch_taken = a >= b; break;
+
+    case Opcode::kJal:
+      ctx.set_reg(in.rd, ctx.pc + 1);
+      next_pc = static_cast<u32>(static_cast<i32>(ctx.pc) + in.imm);
+      break;
+    case Opcode::kJalr: {
+      const u32 target = a + static_cast<u32>(in.imm);
+      ctx.set_reg(in.rd, ctx.pc + 1);
+      next_pc = target;
+      break;
+    }
+
+    case Opcode::kCsrr:
+      ctx.set_reg(in.rd, ctx.csr.values[static_cast<u32>(in.imm)]);
+      break;
+    case Opcode::kHalt:
+      ctx.state = Context::State::kHalted;
+      next_pc = ctx.pc;
+      break;
+    case Opcode::kBar:
+      break;  // synchronization is the timing model's job
+    case Opcode::kCount_:
+      MLP_CHECK(false, "invalid opcode");
+  }
+
+  if (result.branch_taken) {
+    next_pc = static_cast<u32>(static_cast<i32>(ctx.pc) + in.imm);
+  }
+  if (ctx.state != Context::State::kHalted) ctx.pc = next_pc;
+  return result;
+}
+
+}  // namespace mlp::core

@@ -1,0 +1,46 @@
+#pragma once
+// The functional executor: one instruction-set semantics shared by every
+// architecture model (corelet, SSMC core, GPGPU lane, multicore context).
+// Timing models call classify()/global_addr() first to negotiate structural
+// resources, then step() to commit architectural state.
+
+#include "core/context.hpp"
+#include "isa/program.hpp"
+#include "mem/dram_image.hpp"
+#include "mem/local_store.hpp"
+
+namespace mlp::core {
+
+enum class StepKind : u8 {
+  kAlu,
+  kFloat,
+  kLocal,        ///< lw.l / sw.l / amoadd.l / famoadd.l
+  kGlobalLoad,
+  kGlobalStore,
+  kBranch,
+  kJump,
+  kCsr,
+  kHalt,
+  kBarrier,  ///< processor-wide thread barrier (bar)
+};
+
+struct StepResult {
+  StepKind kind = StepKind::kAlu;
+  bool branch_taken = false;
+  Addr mem_addr = 0;  ///< global accesses only
+};
+
+/// Classification of the instruction at ctx.pc without side effects; timing
+/// models use it to reserve ports before committing execution.
+StepKind classify(const isa::Instr& instr);
+
+/// Effective global address of the (global) memory instruction at ctx.pc.
+Addr global_addr(const Context& ctx, const isa::Instr& instr);
+
+/// Execute the instruction at ctx.pc: updates registers, pc, instret and the
+/// local store; reads global values from `dram` (timing-decoupled). Global
+/// stores also write `dram` immediately. Returns what happened for timing.
+StepResult step(Context& ctx, const isa::Program& program,
+                mem::LocalStore& local, mem::DramImage& dram);
+
+}  // namespace mlp::core

@@ -1,0 +1,69 @@
+#pragma once
+// The global-memory port a core issues input-data accesses through. Each
+// architecture provides its own implementation: Millipede's row prefetch
+// buffer, SSMC's per-core L1D, the GPGPU's coalescer+L1D, the multicore's
+// L1/L2 hierarchy. Keeping the port virtual is what lets one corelet timing
+// model serve several architectures.
+
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace mlp::core {
+
+enum class PortStatus : u8 {
+  kDone,     ///< satisfied locally; data ready at `ready_at`
+  kPending,  ///< in flight; the wakeup callback will fire
+  kRetry,    ///< structural hazard (MSHR/queue full); retry next cycle
+};
+
+struct PortResult {
+  PortStatus status = PortStatus::kDone;
+  Picos ready_at = 0;  ///< meaningful for kDone
+};
+
+class GlobalPort {
+ public:
+  virtual ~GlobalPort() = default;
+
+  /// Word load from the input stream by (core, context).
+  /// On kPending, `wakeup(at)` fires exactly once when the data is usable.
+  virtual PortResult load(u32 core, u32 ctx, Addr addr, Picos now,
+                          std::function<void(Picos)> wakeup) = 0;
+
+  /// Global store (rare in BMLAs; results live in local state). Default:
+  /// fire-and-forget with unit occupancy.
+  virtual PortResult store(u32 core, u32 ctx, Addr addr, Picos now) {
+    (void)core; (void)ctx; (void)addr;
+    return PortResult{PortStatus::kDone, now};
+  }
+
+  /// Live-state (local-space) access timing. Millipede and the GPGPU have a
+  /// dedicated local memory / shared memory, so the default is a fixed
+  /// latency supplied by the caller. SSMC and the conventional multicore
+  /// override this to route the access through their data caches, where the
+  /// input stream competes with the state for capacity.
+  virtual PortResult local_access(u32 core, u32 ctx, Addr addr, bool is_write,
+                                  Picos fixed_ready_at, Picos now,
+                                  std::function<void(Picos)> wakeup) {
+    (void)core; (void)ctx; (void)addr; (void)is_write; (void)now;
+    (void)wakeup;
+    return PortResult{PortStatus::kDone, fixed_ready_at};
+  }
+
+  /// Processor-wide thread barrier (`bar`). Default: free no-op, for
+  /// architectures that don't wire one up (the ablation uses BarrierPort).
+  virtual PortResult barrier(u32 core, u32 ctx, Picos now, Picos period_ps,
+                             std::function<void(Picos)> wakeup) {
+    (void)core; (void)ctx; (void)wakeup;
+    return PortResult{PortStatus::kDone, now + period_ps};
+  }
+
+  /// Notification that a hardware thread executed halt (barriers must stop
+  /// expecting it).
+  virtual void thread_halted(u32 core, u32 ctx, Picos now, Picos period_ps) {
+    (void)core; (void)ctx; (void)now; (void)period_ps;
+  }
+};
+
+}  // namespace mlp::core

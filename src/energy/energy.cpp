@@ -1,0 +1,78 @@
+#include "energy/energy.hpp"
+
+namespace mlp::energy {
+
+double EnergyModel::dram_j(u64 bytes, u64 activations, bool offchip) const {
+  const double per_bit =
+      offchip ? params_.pj_per_bit_offchip : params_.pj_per_bit_stacked;
+  return (static_cast<double>(bytes) * 8.0 * per_bit) * 1e-12 +
+         static_cast<double>(activations) * params_.nj_per_activation * 1e-9;
+}
+
+double EnergyModel::mimd_core_j(const core::ExecStats& stats,
+                                bool state_via_cache,
+                                bool input_via_cache) const {
+  const double ints =
+      static_cast<double>(stats.instructions.value - stats.float_alu.value);
+  const double floats = static_cast<double>(stats.float_alu.value);
+  double pj = ints * params_.pj_int_op + floats * params_.pj_float_op;
+  // Per-core I-cache fetch for every instruction (MIMD pays this per core;
+  // the GPGPU amortizes it across a warp).
+  pj += static_cast<double>(stats.instructions.value) * params_.pj_icache_fetch;
+  // Live-state accesses: scratchpad (Millipede) vs L1D (SSMC).
+  pj += static_cast<double>(stats.local_ops.value) *
+        (state_via_cache ? params_.pj_ssmc_l1d_access
+                         : params_.pj_local_access);
+  // Input loads: L1D (SSMC) vs prefetch-buffer slab slice (Millipede).
+  pj += static_cast<double>(stats.global_loads.value) *
+        (input_via_cache ? params_.pj_ssmc_l1d_access : params_.pj_pb_access);
+  // Idle dynamic from imperfect clock gating.
+  pj += static_cast<double>(stats.idle_cycles.value +
+                            stats.retry_stalls.value) *
+        params_.idle_fraction * params_.pj_int_op;
+  return pj * 1e-12;
+}
+
+double EnergyModel::gpgpu_core_j(const gpgpu::SmStats& stats) const {
+  const double threads = static_cast<double>(stats.thread_instructions.value);
+  const double floats = static_cast<double>(stats.thread_float_ops.value);
+  double pj = (threads - floats) * params_.pj_int_op +
+              floats * params_.pj_float_op;
+  // One fetch/decode per *warp* instruction: SIMT's amortization advantage.
+  pj += static_cast<double>(stats.warp_instructions.value) *
+        params_.pj_warp_fetch_decode;
+  // Live state in the big banked shared memory (crossbar included).
+  pj += static_cast<double>(stats.thread_local_accesses.value) *
+        params_.pj_shared_mem_access;
+  // Input path: one L1D access per coalesced line.
+  pj += static_cast<double>(stats.global_lines.value) *
+        params_.pj_gpgpu_l1d_line;
+  // Idle dynamic: whole-group idle slots, plus lanes that are clocked but
+  // masked off under divergence — the paper's "higher idle energy due to
+  // branches" on the GPGPU.
+  pj += static_cast<double>(stats.issue_slots_idle.value) *
+        params_.idle_fraction * params_.pj_int_op;
+  pj += static_cast<double>(stats.inactive_lane_slots.value) *
+        params_.idle_fraction * params_.pj_int_op;
+  return pj * 1e-12;
+}
+
+double EnergyModel::multicore_core_j(u64 instructions, u64 l1_accesses,
+                                     u64 l2_accesses, u64 idle_cycles) const {
+  double pj = static_cast<double>(instructions) * params_.pj_ooo_op +
+              static_cast<double>(l1_accesses) * params_.pj_l1_access +
+              static_cast<double>(l2_accesses) * params_.pj_l2_access +
+              static_cast<double>(idle_cycles) * params_.idle_fraction *
+                  params_.pj_ooo_op;
+  return pj * 1e-12;
+}
+
+double EnergyModel::leakage_j(u32 cores, double sram_kb, double seconds,
+                              bool ooo) const {
+  const double core_w = ooo ? params_.leak_ooo_core_w : params_.leak_core_w;
+  return (static_cast<double>(cores) * core_w +
+          sram_kb * params_.leak_sram_w_per_kb) *
+         seconds;
+}
+
+}  // namespace mlp::energy

@@ -1,0 +1,313 @@
+#include "gpgpu/sm.hpp"
+
+#include <bit>
+
+#include <algorithm>
+#include <set>
+
+namespace mlp::gpgpu {
+
+StreamingMultiprocessor::StreamingMultiprocessor(const MachineConfig& cfg,
+                                                 u32 warp_width, Deps deps)
+    : cfg_(cfg),
+      warp_width_(warp_width),
+      groups_(cfg.core.cores / warp_width),
+      deps_(deps),
+      reconv_(isa::ReconvergenceTable::build(*deps.program)),
+      rr_(groups_, 0) {
+  MLP_CHECK(cfg.core.cores % warp_width == 0, "width must divide lanes");
+  MLP_CHECK(deps_.program != nullptr && deps_.lane_state != nullptr &&
+                deps_.dram != nullptr && deps_.banking != nullptr &&
+                deps_.stats != nullptr,
+            "SM wiring incomplete");
+  MLP_CHECK(deps_.l1d != nullptr || deps_.pb != nullptr,
+            "SM needs an input path (L1D or prefetch buffer)");
+  MLP_CHECK(deps_.lane_state->size() == cfg.core.cores,
+            "one live-state store per lane");
+  warps_.reserve(static_cast<size_t>(groups_) * cfg.core.contexts);
+  for (u32 g = 0; g < groups_; ++g) {
+    for (u32 s = 0; s < cfg.core.contexts; ++s) warps_.emplace_back(warp_width_);
+  }
+}
+
+core::Context& StreamingMultiprocessor::context(u32 group, u32 slot,
+                                                u32 lane) {
+  MLP_CHECK(group < groups_ && slot < cfg_.core.contexts && lane < warp_width_,
+            "context index out of range");
+  return warps_[group * cfg_.core.contexts + slot].lanes[lane];
+}
+
+bool StreamingMultiprocessor::halted() const {
+  for (const Warp& warp : warps_) {
+    if (!warp.stack.all_halted()) return false;
+  }
+  return true;
+}
+
+void StreamingMultiprocessor::tick(Picos now, Picos period_ps) {
+  for (u32 g = 0; g < groups_; ++g) {
+    // Retry lines previously bounced by a full MSHR (their `outstanding`
+    // slots are already counted; only the L1 access is replayed).
+    for (u32 s = 0; s < cfg_.core.contexts; ++s) {
+      Warp& warp = warps_[g * cfg_.core.contexts + s];
+      while (!warp.retry_lines.empty()) {
+        const Addr line = warp.retry_lines.back();
+        const auto status = deps_.l1d->access(
+            line, /*is_write=*/false, now, [&warp](Picos at) {
+              warp.latest_fill = std::max(warp.latest_fill, at);
+              MLP_CHECK(warp.outstanding > 0, "spurious fill");
+              if (--warp.outstanding == 0) {
+                warp.waiting = false;
+                warp.ready_at = warp.latest_fill;
+              }
+            });
+        if (status == mem::AccessStatus::kMshrFull) break;
+        warp.retry_lines.pop_back();
+        if (status == mem::AccessStatus::kHit) {
+          warp.latest_fill =
+              std::max(warp.latest_fill, now + deps_.l1d->hit_latency_ps());
+          MLP_CHECK(warp.outstanding > 0, "retry bookkeeping");
+          if (--warp.outstanding == 0) {
+            warp.waiting = false;
+            warp.ready_at = warp.latest_fill;
+          }
+        }
+      }
+    }
+    // Issue one ready warp from this lane group (round robin).
+    Warp* chosen = nullptr;
+    for (u32 i = 0; i < cfg_.core.contexts; ++i) {
+      const u32 slot = (rr_[g] + i) % cfg_.core.contexts;
+      Warp& warp = warps_[g * cfg_.core.contexts + slot];
+      if (warp.runnable(now)) {
+        chosen = &warp;
+        rr_[g] = (slot + 1) % cfg_.core.contexts;
+        break;
+      }
+    }
+    if (chosen == nullptr) {
+      bool group_live = false;
+      for (u32 s = 0; s < cfg_.core.contexts; ++s) {
+        group_live |= !warps_[g * cfg_.core.contexts + s].stack.all_halted();
+      }
+      if (group_live) {
+        deps_.stats->issue_slots_idle.inc();
+        // An idle lane group still clocks all its lanes.
+        deps_.stats->inactive_lane_slots.inc(warp_width_);
+      }
+      continue;
+    }
+    deps_.stats->issue_slots_busy.inc();
+    issue(*chosen, g, now, period_ps);
+  }
+}
+
+void StreamingMultiprocessor::issue(Warp& warp, u32 group, Picos now,
+                                    Picos period_ps) {
+  const u32 pc = warp.stack.pc();
+  const LaneMask mask = warp.stack.active_mask();
+  const isa::Instr& instr = deps_.program->at(pc);
+  const core::StepKind kind = core::classify(instr);
+
+  const u64 active_lanes = static_cast<u64>(std::popcount(mask));
+  deps_.stats->warp_instructions.inc();
+  deps_.stats->thread_instructions.inc(active_lanes);
+  deps_.stats->inactive_lane_slots.inc(warp_width_ - active_lanes);
+  if (kind == core::StepKind::kFloat) {
+    deps_.stats->thread_float_ops.inc(active_lanes);
+  } else if (kind == core::StepKind::kLocal) {
+    deps_.stats->thread_local_accesses.inc(active_lanes);
+  } else if (kind == core::StepKind::kGlobalLoad) {
+    deps_.stats->thread_global_loads.inc(active_lanes);
+  }
+
+  // Execute all active lanes functionally at the warp pc.
+  auto for_active = [&](auto&& fn) {
+    for (u32 l = 0; l < warp_width_; ++l) {
+      if (mask & (LaneMask{1} << l)) fn(l);
+    }
+  };
+  auto step_lane = [&](u32 l) -> core::StepResult {
+    core::Context& ctx = warp.lanes[l];
+    ctx.pc = pc;
+    return core::step(ctx, *deps_.program,
+                      (*deps_.lane_state)[lane_id(group, l)], *deps_.dram);
+  };
+
+  switch (kind) {
+    case core::StepKind::kAlu:
+    case core::StepKind::kFloat:
+    case core::StepKind::kCsr: {
+      for_active([&](u32 l) { step_lane(l); });
+      warp.stack.advance(pc + 1);
+      warp.ready_at = now + period_ps;
+      break;
+    }
+    case core::StepKind::kLocal: {
+      // Gather each lane's shared-memory address for the conflict model.
+      std::vector<mem::SharedMemBanking::LaneAccess> accesses;
+      for_active([&](u32 l) {
+        core::Context& ctx = warp.lanes[l];
+        accesses.push_back(
+            {lane_id(group, l),
+             ctx.reg(instr.rs1) + static_cast<u32>(instr.imm)});
+        step_lane(l);
+      });
+      const u32 conflicts = deps_.banking->conflict_cycles(accesses);
+      deps_.stats->shared_accesses.inc();
+      if (conflicts > 1) {
+        deps_.stats->shared_conflict_cycles.inc(conflicts - 1);
+      }
+      warp.stack.advance(pc + 1);
+      warp.ready_at =
+          now + static_cast<Picos>(cfg_.gpgpu.shared_latency + conflicts - 1) *
+                    period_ps;
+      break;
+    }
+    case core::StepKind::kBranch: {
+      LaneMask taken = 0;
+      for_active([&](u32 l) {
+        if (step_lane(l).branch_taken) taken |= LaneMask{1} << l;
+      });
+      deps_.stats->branches.inc();
+      const u32 target = static_cast<u32>(static_cast<i32>(pc) + instr.imm);
+      const bool diverged =
+          warp.stack.branch(taken, target, pc + 1, reconv_.at(pc));
+      if (diverged) deps_.stats->divergent_branches.inc();
+      u32 cycles = 1;
+      if (diverged) {
+        cycles += cfg_.core.branch_penalty + cfg_.gpgpu.divergence_penalty;
+      } else if (taken != 0) {
+        cycles += cfg_.core.branch_penalty;
+      }
+      warp.ready_at = now + static_cast<Picos>(cycles) * period_ps;
+      break;
+    }
+    case core::StepKind::kJump: {
+      u32 target = 0;
+      bool first = true;
+      for_active([&](u32 l) {
+        step_lane(l);
+        const u32 lane_target = warp.lanes[l].pc;
+        if (first) {
+          target = lane_target;
+          first = false;
+        } else {
+          MLP_CHECK(target == lane_target, "divergent indirect jump");
+        }
+      });
+      warp.stack.advance(target);
+      warp.ready_at =
+          now + static_cast<Picos>(1 + cfg_.core.branch_penalty) * period_ps;
+      break;
+    }
+    case core::StepKind::kHalt: {
+      for_active([&](u32 l) { step_lane(l); });
+      warp.stack.halt_lanes(mask);
+      break;
+    }
+    case core::StepKind::kBarrier: {
+      // The software-barrier ablation targets the MIMD machines; SIMT warps
+      // are already lockstep within a warp and the kernels never emit `bar`
+      // for the SM.
+      MLP_CHECK(false, "bar is not supported on the SM");
+      break;
+    }
+    case core::StepKind::kGlobalStore: {
+      for_active([&](u32 l) { step_lane(l); });
+      warp.stack.advance(pc + 1);
+      warp.ready_at = now + period_ps;
+      break;
+    }
+    case core::StepKind::kGlobalLoad: {
+      deps_.stats->global_load_warps.inc();
+      warp.outstanding = 0;
+      warp.latest_fill = now + period_ps;
+      if (deps_.pb != nullptr) {
+        // Row-oriented input path: per-lane word demands into the prefetch
+        // buffer (slab discipline: lane == slab).
+        for_active([&](u32 l) {
+          core::Context& ctx = warp.lanes[l];
+          ctx.pc = pc;
+          const Addr addr = core::global_addr(ctx, instr);
+          const auto result = deps_.pb->load(
+              lane_id(group, l), 0, addr, now, [&warp](Picos at) {
+                warp.latest_fill = std::max(warp.latest_fill, at);
+                MLP_CHECK(warp.outstanding > 0, "spurious wakeup");
+                if (--warp.outstanding == 0) {
+                  warp.waiting = false;
+                  warp.ready_at = warp.latest_fill;
+                }
+              });
+          step_lane(l);
+          if (result.status == core::PortStatus::kDone) {
+            warp.latest_fill = std::max(warp.latest_fill, result.ready_at);
+          } else {
+            MLP_CHECK(result.status == core::PortStatus::kPending,
+                      "prefetch buffer cannot retry");
+            ++warp.outstanding;
+          }
+        });
+      } else {
+        // Plain path: coalesce active lanes' addresses into L1 lines.
+        std::set<Addr> lines;
+        for_active([&](u32 l) {
+          core::Context& ctx = warp.lanes[l];
+          ctx.pc = pc;
+          const Addr addr = core::global_addr(ctx, instr);
+          lines.insert(addr & ~static_cast<Addr>(cfg_.gpgpu.line_bytes - 1));
+          step_lane(l);
+        });
+        deps_.stats->global_lines.inc(lines.size());
+        for (Addr line : lines) {
+          if (deps_.prefetcher != nullptr) {
+            for (Addr pf : deps_.prefetcher->observe(line)) {
+              deps_.l1d->prefetch(pf, now);
+            }
+          }
+          start_line_fill(warp, line, now);
+        }
+      }
+      warp.stack.advance(pc + 1);
+      if (warp.outstanding == 0) {
+        warp.ready_at = std::max(warp.latest_fill,
+                                 now + static_cast<Picos>(
+                                           cfg_.gpgpu.l1_hit_latency) *
+                                           period_ps);
+      } else {
+        warp.waiting = true;
+      }
+      break;
+    }
+  }
+}
+
+void StreamingMultiprocessor::start_line_fill(Warp& warp, Addr line,
+                                              Picos now) {
+  const auto status = deps_.l1d->access(
+      line, /*is_write=*/false, now, [&warp](Picos at) {
+        warp.latest_fill = std::max(warp.latest_fill, at);
+        MLP_CHECK(warp.outstanding > 0, "spurious fill");
+        if (--warp.outstanding == 0) {
+          warp.waiting = false;
+          warp.ready_at = warp.latest_fill;
+        }
+      });
+  switch (status) {
+    case mem::AccessStatus::kHit:
+      warp.latest_fill =
+          std::max(warp.latest_fill, now + deps_.l1d->hit_latency_ps());
+      break;
+    case mem::AccessStatus::kMiss:
+      ++warp.outstanding;
+      warp.waiting = true;
+      break;
+    case mem::AccessStatus::kMshrFull:
+      warp.retry_lines.push_back(line);
+      ++warp.outstanding;  // accounted so the warp stays blocked
+      warp.waiting = true;
+      break;
+  }
+}
+
+}  // namespace mlp::gpgpu

@@ -1,0 +1,120 @@
+#pragma once
+// GPGPU streaming multiprocessor timing model. One SM has `cores.cores`
+// lanes (32), ganged into warps of `warp_width` lanes (32, or 4 under VWS),
+// with `cores.contexts` warps per lane group — so thread count and peak
+// issue width match the MIMD architectures exactly, as the paper requires.
+//
+// Modeled effects (the ones the paper's comparison hinges on):
+//  * SIMT divergence via an IPDom reconvergence stack — BMLAs' 70/30
+//    data-dependent branches serialize the arms;
+//  * shared-memory bank conflicts for the live state (conflict-free under
+//    the lane-striped BMLA mapping of Section III-E);
+//  * global-access coalescing into 128 B L1 lines + sequential cache-block
+//    prefetch (the paper grants the GPGPU baseline a prefetcher);
+//  * optionally (VWS-row) the input stream is served by Millipede's row
+//    prefetch buffer instead of the L1D.
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "core/functional.hpp"
+#include "gpgpu/simt_stack.hpp"
+#include "isa/cfg.hpp"
+#include "mem/cache.hpp"
+#include "mem/prefetcher.hpp"
+#include "mem/sharedmem.hpp"
+#include "millipede/prefetch_buffer.hpp"
+
+namespace mlp::gpgpu {
+
+/// Counters for performance analysis, the energy model and the VWS policy.
+struct SmStats {
+  Counter warp_instructions, thread_instructions;
+  Counter thread_float_ops, thread_local_accesses, thread_global_loads;
+  Counter branches, divergent_branches;
+  Counter shared_accesses, shared_conflict_cycles;
+  Counter global_load_warps, global_lines;
+  Counter issue_slots_idle, issue_slots_busy;
+  Counter inactive_lane_slots;  ///< lanes clocked but masked off (divergence)
+
+  void register_with(StatSet* stats, const std::string& prefix) {
+    if (stats == nullptr) return;
+    stats->add(prefix + ".warp_instructions", &warp_instructions);
+    stats->add(prefix + ".thread_instructions", &thread_instructions);
+    stats->add(prefix + ".thread_float_ops", &thread_float_ops);
+    stats->add(prefix + ".thread_local_accesses", &thread_local_accesses);
+    stats->add(prefix + ".thread_global_loads", &thread_global_loads);
+    stats->add(prefix + ".branches", &branches);
+    stats->add(prefix + ".divergent_branches", &divergent_branches);
+    stats->add(prefix + ".shared_accesses", &shared_accesses);
+    stats->add(prefix + ".shared_conflict_cycles", &shared_conflict_cycles);
+    stats->add(prefix + ".global_load_warps", &global_load_warps);
+    stats->add(prefix + ".global_lines", &global_lines);
+    stats->add(prefix + ".issue_slots_idle", &issue_slots_idle);
+    stats->add(prefix + ".issue_slots_busy", &issue_slots_busy);
+    stats->add(prefix + ".inactive_lane_slots", &inactive_lane_slots);
+  }
+};
+
+class StreamingMultiprocessor {
+ public:
+  struct Deps {
+    const isa::Program* program = nullptr;
+    std::vector<mem::LocalStore>* lane_state = nullptr;  ///< one per lane
+    mem::DramImage* dram = nullptr;
+    mem::Cache* l1d = nullptr;                        ///< input path (plain)
+    mem::SequentialPrefetcher* prefetcher = nullptr;  ///< optional
+    millipede::PrefetchBuffer* pb = nullptr;          ///< input path (row)
+    const mem::SharedMemBanking* banking = nullptr;
+    SmStats* stats = nullptr;
+  };
+
+  StreamingMultiprocessor(const MachineConfig& cfg, u32 warp_width, Deps deps);
+
+  /// Thread context for (group, warp slot, lane-in-warp); the system
+  /// initializes CSRs through this before running.
+  core::Context& context(u32 group, u32 slot, u32 lane);
+
+  /// One compute-clock edge: each lane group may issue one warp instruction.
+  void tick(Picos now, Picos period_ps);
+
+  bool halted() const;
+
+  u32 warp_width() const { return warp_width_; }
+  u32 groups() const { return groups_; }
+
+ private:
+  struct Warp {
+    SimtStack stack;
+    std::vector<core::Context> lanes;
+    bool waiting = false;     ///< blocked on outstanding global fills
+    Picos ready_at = 0;
+    u32 outstanding = 0;
+    Picos latest_fill = 0;
+    std::vector<Addr> retry_lines;  ///< lines bounced by a full MSHR
+
+    explicit Warp(u32 width) : stack(width), lanes(width) {}
+    bool runnable(Picos now) const {
+      return !waiting && !stack.all_halted() && ready_at <= now;
+    }
+  };
+
+  void issue(Warp& warp, u32 group, Picos now, Picos period_ps);
+  void start_line_fill(Warp& warp, Addr line, Picos now);
+  u32 lane_id(u32 group, u32 lane_in_warp) const {
+    return group * warp_width_ + lane_in_warp;
+  }
+
+  MachineConfig cfg_;
+  u32 warp_width_;
+  u32 groups_;
+  Deps deps_;
+  isa::ReconvergenceTable reconv_;
+
+  /// warps_[group * contexts + slot]
+  std::vector<Warp> warps_;
+  std::vector<u32> rr_;  ///< per-group round-robin cursor
+};
+
+}  // namespace mlp::gpgpu

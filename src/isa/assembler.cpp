@@ -1,0 +1,429 @@
+#include "isa/assembler.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <optional>
+#include <sstream>
+
+#include "isa/encoding.hpp"
+
+namespace mlp::isa {
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+// A pending branch/jump whose label operand is patched in pass 2.
+struct Fixup {
+  u32 instr_index;
+  std::string label;
+  u32 line;
+};
+
+class Assembler {
+ public:
+  AsmResult run(const std::string& name, const std::string& source) {
+    std::istringstream stream(source);
+    std::string line;
+    u32 line_no = 0;
+    while (std::getline(stream, line)) {
+      ++line_no;
+      if (!parse_line(line, line_no)) return fail_result();
+    }
+    // Pass 2: patch label operands with pc-relative offsets.
+    for (const Fixup& fix : fixups_) {
+      auto it = labels_.find(fix.label);
+      if (it == labels_.end()) {
+        set_error(fix.line, "undefined label '" + fix.label + "'");
+        return fail_result();
+      }
+      Instr& in = instrs_[fix.instr_index];
+      in.imm = static_cast<i32>(it->second) - static_cast<i32>(fix.instr_index);
+      if (!imm_fits(in.op, in.imm)) {
+        set_error(fix.line, "branch offset out of range");
+        return fail_result();
+      }
+    }
+    if (instrs_.empty()) {
+      set_error(line_no, "program has no instructions");
+      return fail_result();
+    }
+    AsmResult result;
+    result.ok = true;
+    result.program = Program(name, std::move(instrs_), std::move(labels_));
+    return result;
+  }
+
+ private:
+  AsmResult fail_result() {
+    AsmResult result;
+    result.error = error_;
+    return result;
+  }
+
+  void set_error(u32 line, const std::string& msg) {
+    error_ = "line " + std::to_string(line) + ": " + msg;
+  }
+
+  static std::string strip(const std::string& line) {
+    std::string out = line;
+    const size_t comment = out.find_first_of(";#");
+    if (comment != std::string::npos) out.resize(comment);
+    size_t begin = out.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) return "";
+    size_t end = out.find_last_not_of(" \t\r");
+    return out.substr(begin, end - begin + 1);
+  }
+
+  bool parse_line(const std::string& raw, u32 line_no) {
+    std::string text = strip(raw);
+    if (text.empty()) return true;
+
+    // Leading "label:" (possibly followed by an instruction).
+    const size_t colon = text.find(':');
+    if (colon != std::string::npos &&
+        text.find_first_of(" \t(") > colon) {
+      std::string label = text.substr(0, colon);
+      if (label.empty() || !std::isalpha(static_cast<unsigned char>(label[0])) ) {
+        set_error(line_no, "bad label '" + label + "'");
+        return false;
+      }
+      if (!labels_.emplace(label, static_cast<u32>(instrs_.size())).second) {
+        set_error(line_no, "duplicate label '" + label + "'");
+        return false;
+      }
+      text = strip(text.substr(colon + 1));
+      if (text.empty()) return true;
+    }
+
+    // Mnemonic and comma-separated operands.
+    size_t space = text.find_first_of(" \t");
+    std::string mnemonic = text.substr(0, space);
+    std::vector<std::string> ops;
+    if (space != std::string::npos) {
+      std::string rest = text.substr(space + 1);
+      std::string current;
+      for (char c : rest) {
+        if (c == ',') {
+          ops.push_back(strip(current));
+          current.clear();
+        } else {
+          current += c;
+        }
+      }
+      std::string last = strip(current);
+      if (!last.empty()) ops.push_back(last);
+    }
+    return emit(mnemonic, ops, line_no);
+  }
+
+  std::optional<u8> parse_reg(const std::string& text) {
+    if (text.size() < 2 || text[0] != 'r') return std::nullopt;
+    u32 value = 0;
+    for (size_t i = 1; i < text.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(text[i]))) return std::nullopt;
+      value = value * 10 + static_cast<u32>(text[i] - '0');
+    }
+    if (value >= 32) return std::nullopt;
+    return static_cast<u8>(value);
+  }
+
+  std::optional<i64> parse_int(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    size_t pos = 0;
+    bool negative = false;
+    if (text[0] == '-' || text[0] == '+') {
+      negative = text[0] == '-';
+      pos = 1;
+    }
+    i64 value = 0;
+    int base = 10;
+    if (text.size() > pos + 2 && text[pos] == '0' &&
+        (text[pos + 1] == 'x' || text[pos + 1] == 'X')) {
+      base = 16;
+      pos += 2;
+    }
+    if (pos >= text.size()) return std::nullopt;
+    for (; pos < text.size(); ++pos) {
+      const char c = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(text[pos])));
+      int digit;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (base == 16 && c >= 'a' && c <= 'f') digit = 10 + (c - 'a');
+      else return std::nullopt;
+      value = value * base + digit;
+    }
+    return negative ? -value : value;
+  }
+
+  /// Parses "imm(rN)" or "(rN)"; returns {imm, reg}.
+  bool parse_mem_operand(const std::string& text, i32* imm, u8* reg,
+                         u32 line_no) {
+    const size_t open = text.find('(');
+    const size_t close = text.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open || close + 1 != text.size()) {
+      set_error(line_no, "expected imm(reg) operand, got '" + text + "'");
+      return false;
+    }
+    std::string imm_text = strip(text.substr(0, open));
+    if (imm_text.empty()) {
+      *imm = 0;
+    } else {
+      auto value = parse_int(imm_text);
+      if (!value) {
+        set_error(line_no, "bad immediate '" + imm_text + "'");
+        return false;
+      }
+      *imm = static_cast<i32>(*value);
+    }
+    auto r = parse_reg(strip(text.substr(open + 1, close - open - 1)));
+    if (!r) {
+      set_error(line_no, "bad register in '" + text + "'");
+      return false;
+    }
+    *reg = *r;
+    return true;
+  }
+
+  void push(Instr in) { instrs_.push_back(in); }
+
+  /// Emit li-style load of an arbitrary 32-bit constant.
+  void push_li(u8 rd, u32 value) {
+    const i32 signed_value = static_cast<i32>(value);
+    if (signed_value >= -(1 << 13) && signed_value <= (1 << 13) - 1) {
+      push({Opcode::kAddi, rd, 0, 0, signed_value});
+      return;
+    }
+    const u32 hi = value >> 13;
+    const u32 lo = value & 0x1fff;
+    push({Opcode::kLui, rd, 0, 0, static_cast<i32>(hi)});
+    if (lo != 0) push({Opcode::kOri, rd, rd, 0, static_cast<i32>(lo)});
+  }
+
+  bool expect_ops(const std::vector<std::string>& ops, size_t n, u32 line_no,
+                  const std::string& mnemonic) {
+    if (ops.size() == n) return true;
+    set_error(line_no, mnemonic + " expects " + std::to_string(n) +
+                           " operands, got " + std::to_string(ops.size()));
+    return false;
+  }
+
+  bool emit(const std::string& mnemonic, const std::vector<std::string>& ops,
+            u32 line_no) {
+    // Pseudo-instructions first.
+    if (mnemonic == "nop") {
+      if (!expect_ops(ops, 0, line_no, mnemonic)) return false;
+      push({Opcode::kAddi, 0, 0, 0, 0});
+      return true;
+    }
+    if (mnemonic == "mv") {
+      if (!expect_ops(ops, 2, line_no, mnemonic)) return false;
+      auto rd = parse_reg(ops[0]);
+      auto rs = parse_reg(ops[1]);
+      if (!rd || !rs) return bad_reg(line_no);
+      push({Opcode::kAddi, *rd, *rs, 0, 0});
+      return true;
+    }
+    if (mnemonic == "j") {
+      if (!expect_ops(ops, 1, line_no, mnemonic)) return false;
+      fixups_.push_back({static_cast<u32>(instrs_.size()), ops[0], line_no});
+      push({Opcode::kJal, 0, 0, 0, 0});
+      return true;
+    }
+    if (mnemonic == "li") {
+      if (!expect_ops(ops, 2, line_no, mnemonic)) return false;
+      auto rd = parse_reg(ops[0]);
+      auto value = parse_int(ops[1]);
+      if (!rd) return bad_reg(line_no);
+      if (!value || *value < INT32_MIN || *value > static_cast<i64>(UINT32_MAX)) {
+        set_error(line_no, "bad li constant '" + ops[1] + "'");
+        return false;
+      }
+      push_li(*rd, static_cast<u32>(*value));
+      return true;
+    }
+    if (mnemonic == "li.f") {
+      if (!expect_ops(ops, 2, line_no, mnemonic)) return false;
+      auto rd = parse_reg(ops[0]);
+      if (!rd) return bad_reg(line_no);
+      char* end = nullptr;
+      const float f = std::strtof(ops[1].c_str(), &end);
+      if (end == ops[1].c_str() || *end != '\0') {
+        set_error(line_no, "bad float constant '" + ops[1] + "'");
+        return false;
+      }
+      u32 bits;
+      std::memcpy(&bits, &f, sizeof bits);
+      push_li(*rd, bits);
+      return true;
+    }
+    if (mnemonic == "ble" || mnemonic == "bgt") {
+      if (!expect_ops(ops, 3, line_no, mnemonic)) return false;
+      auto rs1 = parse_reg(ops[0]);
+      auto rs2 = parse_reg(ops[1]);
+      if (!rs1 || !rs2) return bad_reg(line_no);
+      const Opcode op = mnemonic == "ble" ? Opcode::kBge : Opcode::kBlt;
+      fixups_.push_back({static_cast<u32>(instrs_.size()), ops[2], line_no});
+      // Swapped operands: a<=b  <=>  b>=a ; a>b  <=>  b<a.
+      push({op, 0, *rs2, *rs1, 0});
+      return true;
+    }
+
+    Opcode op;
+    if (!opcode_from_name(mnemonic, &op)) {
+      set_error(line_no, "unknown mnemonic '" + mnemonic + "'");
+      return false;
+    }
+    const OpInfo& info = op_info(op);
+    Instr in;
+    in.op = op;
+    switch (info.format) {
+      case Format::kR: {
+        if (!expect_ops(ops, 3, line_no, mnemonic)) return false;
+        auto rd = parse_reg(ops[0]);
+        auto rs1 = parse_reg(ops[1]);
+        auto rs2 = parse_reg(ops[2]);
+        if (!rd || !rs1 || !rs2) return bad_reg(line_no);
+        in.rd = *rd; in.rs1 = *rs1; in.rs2 = *rs2;
+        break;
+      }
+      case Format::kRu: {
+        if (!expect_ops(ops, 2, line_no, mnemonic)) return false;
+        auto rd = parse_reg(ops[0]);
+        auto rs1 = parse_reg(ops[1]);
+        if (!rd || !rs1) return bad_reg(line_no);
+        in.rd = *rd; in.rs1 = *rs1;
+        break;
+      }
+      case Format::kI: {
+        if (!expect_ops(ops, 3, line_no, mnemonic)) return false;
+        auto rd = parse_reg(ops[0]);
+        auto rs1 = parse_reg(ops[1]);
+        auto imm = parse_int(ops[2]);
+        if (!rd || !rs1) return bad_reg(line_no);
+        if (!imm) {
+          set_error(line_no, "bad immediate '" + ops[2] + "'");
+          return false;
+        }
+        in.rd = *rd; in.rs1 = *rs1; in.imm = static_cast<i32>(*imm);
+        break;
+      }
+      case Format::kU: {
+        if (!expect_ops(ops, 2, line_no, mnemonic)) return false;
+        auto rd = parse_reg(ops[0]);
+        auto imm = parse_int(ops[1]);
+        if (!rd) return bad_reg(line_no);
+        if (!imm) {
+          set_error(line_no, "bad immediate '" + ops[1] + "'");
+          return false;
+        }
+        in.rd = *rd; in.imm = static_cast<i32>(*imm);
+        break;
+      }
+      case Format::kL: {
+        if (!expect_ops(ops, 2, line_no, mnemonic)) return false;
+        auto rd = parse_reg(ops[0]);
+        if (!rd) return bad_reg(line_no);
+        in.rd = *rd;
+        if (!parse_mem_operand(ops[1], &in.imm, &in.rs1, line_no)) return false;
+        break;
+      }
+      case Format::kS: {
+        if (!expect_ops(ops, 2, line_no, mnemonic)) return false;
+        auto rs2 = parse_reg(ops[0]);
+        if (!rs2) return bad_reg(line_no);
+        in.rs2 = *rs2;
+        if (!parse_mem_operand(ops[1], &in.imm, &in.rs1, line_no)) return false;
+        break;
+      }
+      case Format::kA: {
+        if (!expect_ops(ops, 3, line_no, mnemonic)) return false;
+        auto rd = parse_reg(ops[0]);
+        auto rs2 = parse_reg(ops[1]);
+        if (!rd || !rs2) return bad_reg(line_no);
+        in.rd = *rd; in.rs2 = *rs2;
+        if (!parse_mem_operand(ops[2], &in.imm, &in.rs1, line_no)) return false;
+        break;
+      }
+      case Format::kB: {
+        if (!expect_ops(ops, 3, line_no, mnemonic)) return false;
+        auto rs1 = parse_reg(ops[0]);
+        auto rs2 = parse_reg(ops[1]);
+        if (!rs1 || !rs2) return bad_reg(line_no);
+        in.rs1 = *rs1; in.rs2 = *rs2;
+        if (auto imm = parse_int(ops[2])) {
+          in.imm = static_cast<i32>(*imm);
+        } else {
+          fixups_.push_back({static_cast<u32>(instrs_.size()), ops[2], line_no});
+        }
+        break;
+      }
+      case Format::kJ: {
+        if (!expect_ops(ops, 2, line_no, mnemonic)) return false;
+        auto rd = parse_reg(ops[0]);
+        if (!rd) return bad_reg(line_no);
+        in.rd = *rd;
+        if (auto imm = parse_int(ops[1])) {
+          in.imm = static_cast<i32>(*imm);
+        } else {
+          fixups_.push_back({static_cast<u32>(instrs_.size()), ops[1], line_no});
+        }
+        break;
+      }
+      case Format::kC: {
+        if (!expect_ops(ops, 2, line_no, mnemonic)) return false;
+        auto rd = parse_reg(ops[0]);
+        if (!rd) return bad_reg(line_no);
+        Csr csr;
+        if (!csr_from_name(ops[1], &csr)) {
+          set_error(line_no, "unknown CSR '" + ops[1] + "'");
+          return false;
+        }
+        in.rd = *rd;
+        in.imm = static_cast<i32>(csr);
+        break;
+      }
+      case Format::kN: {
+        if (!expect_ops(ops, 0, line_no, mnemonic)) return false;
+        break;
+      }
+    }
+    if (!imm_fits(in.op, in.imm)) {
+      set_error(line_no, "immediate out of range");
+      return false;
+    }
+    push(in);
+    return true;
+  }
+
+  bool bad_reg(u32 line_no) {
+    set_error(line_no, "bad register operand");
+    return false;
+  }
+
+  std::vector<Instr> instrs_;
+  std::map<std::string, u32> labels_;
+  std::vector<Fixup> fixups_;
+  std::string error_;
+};
+
+}  // namespace
+
+AsmResult assemble(const std::string& name, const std::string& source) {
+  Assembler assembler;
+  return assembler.run(name, source);
+}
+
+Program must_assemble(const std::string& name, const std::string& source) {
+  AsmResult result = assemble(name, source);
+  if (!result.ok) {
+    std::fprintf(stderr, "assembly of '%s' failed: %s\n", name.c_str(),
+                 result.error.c_str());
+    std::abort();
+  }
+  return std::move(result.program);
+}
+
+}  // namespace mlp::isa

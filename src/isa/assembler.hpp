@@ -1,0 +1,38 @@
+#pragma once
+// Two-pass text assembler for the kernel ISA.
+//
+// Syntax (one instruction per line, ';' or '#' start comments):
+//   label:
+//     add   r1, r2, r3
+//     addi  r1, r2, -4
+//     lw    r4, 8(r5)          ; global load
+//     sw.l  r4, 8(r5)          ; local store
+//     amoadd.l r6, r4, 0(r5)   ; r6 = old local[r5]; local[r5] += r4
+//     beq   r1, r2, label
+//     jal   r0, label
+//     csrr  r1, TID
+//     halt
+// Pseudo-instructions: nop, mv, j, li (32-bit int), li.f (float literal),
+// ble, bgt (operand-swapped bge/blt).
+//
+// Registers are r0..r31; r0 reads as zero and ignores writes.
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace mlp::isa {
+
+struct AsmResult {
+  bool ok = false;
+  std::string error;  ///< "line N: message" when !ok
+  Program program;
+};
+
+AsmResult assemble(const std::string& name, const std::string& source);
+
+/// Assemble source that is expected to be valid (built-in kernels); aborts
+/// with the assembler diagnostic otherwise.
+Program must_assemble(const std::string& name, const std::string& source);
+
+}  // namespace mlp::isa

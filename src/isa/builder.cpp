@@ -1,0 +1,64 @@
+#include "isa/builder.hpp"
+
+#include <cstring>
+
+namespace mlp::isa {
+
+Label KernelBuilder::new_label() {
+  label_pcs_.push_back(kUnbound);
+  return Label{static_cast<u32>(label_pcs_.size() - 1)};
+}
+
+void KernelBuilder::bind(Label label) {
+  MLP_CHECK(label.id < label_pcs_.size(), "unknown label");
+  MLP_CHECK(label_pcs_[label.id] == kUnbound, "label bound twice");
+  label_pcs_[label.id] = static_cast<u32>(instrs_.size());
+}
+
+void KernelBuilder::li(u8 rd, u32 value) {
+  const i32 as_signed = static_cast<i32>(value);
+  if (as_signed >= -(1 << 13) && as_signed <= (1 << 13) - 1) {
+    addi(rd, 0, as_signed);
+    return;
+  }
+  emit(Instr{Opcode::kLui, rd, 0, 0, static_cast<i32>(value >> 13)});
+  if ((value & 0x1fff) != 0) {
+    emit(Instr{Opcode::kOri, rd, rd, 0, static_cast<i32>(value & 0x1fff)});
+  }
+}
+
+void KernelBuilder::li_f(u8 rd, float value) {
+  u32 bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  li(rd, bits);
+}
+
+void KernelBuilder::emit_branch(Opcode op, u8 rs1, u8 rs2, Label l) {
+  MLP_CHECK(l.id < label_pcs_.size(), "unknown label");
+  pendings_.push_back({static_cast<u32>(instrs_.size()), l.id});
+  emit(Instr{op, 0, rs1, rs2, 0});
+}
+
+void KernelBuilder::jump(Label l) {
+  MLP_CHECK(l.id < label_pcs_.size(), "unknown label");
+  pendings_.push_back({static_cast<u32>(instrs_.size()), l.id});
+  emit(Instr{Opcode::kJal, 0, 0, 0, 0});
+}
+
+Program KernelBuilder::build(std::string name) {
+  for (const Pending& p : pendings_) {
+    const u32 pc = label_pcs_[p.label_id];
+    MLP_CHECK(pc != kUnbound, "label never bound");
+    instrs_[p.instr_index].imm =
+        static_cast<i32>(pc) - static_cast<i32>(p.instr_index);
+  }
+  std::map<std::string, u32> labels;
+  for (u32 i = 0; i < label_pcs_.size(); ++i) {
+    if (label_pcs_[i] != kUnbound) {
+      labels.emplace("L" + std::to_string(i), label_pcs_[i]);
+    }
+  }
+  return Program(std::move(name), std::move(instrs_), std::move(labels));
+}
+
+}  // namespace mlp::isa

@@ -1,0 +1,109 @@
+#pragma once
+// Programmatic kernel construction: a thin, type-safe alternative to writing
+// assembler text, used by examples and tests that generate code.
+//
+//   KernelBuilder b;
+//   Label loop = b.new_label();
+//   b.csrr(1, Csr::kTid);
+//   b.bind(loop);
+//   ...
+//   b.blt(2, 3, loop);
+//   b.halt();
+//   Program p = b.build("my_kernel");
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace mlp::isa {
+
+/// Opaque forward-referenceable code position.
+struct Label {
+  u32 id = 0;
+};
+
+class KernelBuilder {
+ public:
+  Label new_label();
+  /// Attach `label` to the next emitted instruction.
+  void bind(Label label);
+
+  // Integer ALU.
+  void add(u8 rd, u8 rs1, u8 rs2) { emit_r(Opcode::kAdd, rd, rs1, rs2); }
+  void sub(u8 rd, u8 rs1, u8 rs2) { emit_r(Opcode::kSub, rd, rs1, rs2); }
+  void mul(u8 rd, u8 rs1, u8 rs2) { emit_r(Opcode::kMul, rd, rs1, rs2); }
+  void and_(u8 rd, u8 rs1, u8 rs2) { emit_r(Opcode::kAnd, rd, rs1, rs2); }
+  void or_(u8 rd, u8 rs1, u8 rs2) { emit_r(Opcode::kOr, rd, rs1, rs2); }
+  void xor_(u8 rd, u8 rs1, u8 rs2) { emit_r(Opcode::kXor, rd, rs1, rs2); }
+  void sll(u8 rd, u8 rs1, u8 rs2) { emit_r(Opcode::kSll, rd, rs1, rs2); }
+  void srl(u8 rd, u8 rs1, u8 rs2) { emit_r(Opcode::kSrl, rd, rs1, rs2); }
+  void slt(u8 rd, u8 rs1, u8 rs2) { emit_r(Opcode::kSlt, rd, rs1, rs2); }
+  void addi(u8 rd, u8 rs1, i32 imm) { emit_i(Opcode::kAddi, rd, rs1, imm); }
+  void slli(u8 rd, u8 rs1, i32 imm) { emit_i(Opcode::kSlli, rd, rs1, imm); }
+  void srli(u8 rd, u8 rs1, i32 imm) { emit_i(Opcode::kSrli, rd, rs1, imm); }
+  void andi(u8 rd, u8 rs1, i32 imm) { emit_i(Opcode::kAndi, rd, rs1, imm); }
+  /// Materialize any 32-bit constant (expands to 1-2 instructions).
+  void li(u8 rd, u32 value);
+  void li_f(u8 rd, float value);
+  void mv(u8 rd, u8 rs) { addi(rd, rs, 0); }
+
+  // Float ALU (values bit-cast in integer registers).
+  void fadd(u8 rd, u8 rs1, u8 rs2) { emit_r(Opcode::kFadd, rd, rs1, rs2); }
+  void fsub(u8 rd, u8 rs1, u8 rs2) { emit_r(Opcode::kFsub, rd, rs1, rs2); }
+  void fmul(u8 rd, u8 rs1, u8 rs2) { emit_r(Opcode::kFmul, rd, rs1, rs2); }
+  void fdiv(u8 rd, u8 rs1, u8 rs2) { emit_r(Opcode::kFdiv, rd, rs1, rs2); }
+  void flt(u8 rd, u8 rs1, u8 rs2) { emit_r(Opcode::kFlt, rd, rs1, rs2); }
+  void i2f(u8 rd, u8 rs1) { emit(Instr{Opcode::kFcvtSw, rd, rs1, 0, 0}); }
+  void f2i(u8 rd, u8 rs1) { emit(Instr{Opcode::kFcvtWs, rd, rs1, 0, 0}); }
+
+  // Memory.
+  void lw(u8 rd, u8 rs1, i32 imm) { emit(Instr{Opcode::kLw, rd, rs1, 0, imm}); }
+  void sw(u8 rs2, u8 rs1, i32 imm) { emit(Instr{Opcode::kSw, 0, rs1, rs2, imm}); }
+  void lwl(u8 rd, u8 rs1, i32 imm) { emit(Instr{Opcode::kLwl, rd, rs1, 0, imm}); }
+  void swl(u8 rs2, u8 rs1, i32 imm) { emit(Instr{Opcode::kSwl, 0, rs1, rs2, imm}); }
+  void amoaddl(u8 rd, u8 rs2, u8 rs1, i32 imm = 0) {
+    emit(Instr{Opcode::kAmoaddl, rd, rs1, rs2, imm});
+  }
+  void famoaddl(u8 rd, u8 rs2, u8 rs1, i32 imm = 0) {
+    emit(Instr{Opcode::kFamoaddl, rd, rs1, rs2, imm});
+  }
+
+  // Control.
+  void beq(u8 rs1, u8 rs2, Label l) { emit_branch(Opcode::kBeq, rs1, rs2, l); }
+  void bne(u8 rs1, u8 rs2, Label l) { emit_branch(Opcode::kBne, rs1, rs2, l); }
+  void blt(u8 rs1, u8 rs2, Label l) { emit_branch(Opcode::kBlt, rs1, rs2, l); }
+  void bge(u8 rs1, u8 rs2, Label l) { emit_branch(Opcode::kBge, rs1, rs2, l); }
+  void jump(Label l);
+  void halt() { emit(Instr{Opcode::kHalt, 0, 0, 0, 0}); }
+
+  void csrr(u8 rd, Csr csr) {
+    emit(Instr{Opcode::kCsrr, rd, 0, 0, static_cast<i32>(csr)});
+  }
+
+  /// Finalize: resolves all labels; aborts on unbound labels.
+  Program build(std::string name);
+
+ private:
+  void emit(Instr in) { instrs_.push_back(in); }
+  void emit_r(Opcode op, u8 rd, u8 rs1, u8 rs2) {
+    emit(Instr{op, rd, rs1, rs2, 0});
+  }
+  void emit_i(Opcode op, u8 rd, u8 rs1, i32 imm) {
+    emit(Instr{op, rd, rs1, 0, imm});
+  }
+  void emit_branch(Opcode op, u8 rs1, u8 rs2, Label l);
+
+  struct Pending {
+    u32 instr_index;
+    u32 label_id;
+  };
+
+  static constexpr u32 kUnbound = 0xffffffffu;
+  std::vector<Instr> instrs_;
+  std::vector<u32> label_pcs_;  ///< indexed by label id
+  std::vector<u32> bind_queue_;  ///< labels waiting for the next instruction
+  std::vector<Pending> pendings_;
+};
+
+}  // namespace mlp::isa

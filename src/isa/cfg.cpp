@@ -1,0 +1,133 @@
+#include "isa/cfg.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace mlp::isa {
+namespace {
+
+bool ends_block(const Instr& in) {
+  const OpInfo& info = op_info(in.op);
+  return info.is_branch || info.is_jump || in.op == Opcode::kHalt;
+}
+
+/// Branch/jal target pc (absolute) for a control instruction at `pc`.
+u32 target_pc(u32 pc, const Instr& in) {
+  return static_cast<u32>(static_cast<i32>(pc) + in.imm);
+}
+
+}  // namespace
+
+Cfg Cfg::build(const Program& program) {
+  const u32 n = program.size();
+  std::set<u32> leaders{0};
+  for (u32 pc = 0; pc < n; ++pc) {
+    const Instr& in = program.at(pc);
+    const OpInfo& info = op_info(in.op);
+    if (info.is_branch || in.op == Opcode::kJal) {
+      const u32 t = target_pc(pc, in);
+      MLP_CHECK(t < n, "control transfer outside program");
+      leaders.insert(t);
+    }
+    if (ends_block(in) && pc + 1 < n) leaders.insert(pc + 1);
+  }
+
+  Cfg cfg;
+  cfg.block_of_pc_.assign(n, 0);
+  std::vector<u32> leader_list(leaders.begin(), leaders.end());
+  for (u32 b = 0; b < leader_list.size(); ++b) {
+    BasicBlock block;
+    block.first = leader_list[b];
+    block.last = (b + 1 < leader_list.size() ? leader_list[b + 1] : n) - 1;
+    for (u32 pc = block.first; pc <= block.last; ++pc) cfg.block_of_pc_[pc] = b;
+    cfg.blocks_.push_back(block);
+  }
+
+  for (u32 b = 0; b < cfg.blocks_.size(); ++b) {
+    BasicBlock& block = cfg.blocks_[b];
+    const Instr& term = program.at(block.last);
+    const OpInfo& info = op_info(term.op);
+    if (info.is_branch) {
+      block.succs.push_back(cfg.block_of_pc_[target_pc(block.last, term)]);
+      if (block.last + 1 < n) {
+        block.succs.push_back(cfg.block_of_pc_[block.last + 1]);
+      } else {
+        block.succs.push_back(kExitBlock);
+      }
+    } else if (term.op == Opcode::kJal) {
+      block.succs.push_back(cfg.block_of_pc_[target_pc(block.last, term)]);
+    } else if (term.op == Opcode::kJalr || term.op == Opcode::kHalt) {
+      block.succs.push_back(kExitBlock);
+    } else {
+      // Fallthrough into the next leader.
+      if (block.last + 1 < n) {
+        block.succs.push_back(cfg.block_of_pc_[block.last + 1]);
+      } else {
+        block.succs.push_back(kExitBlock);
+      }
+    }
+    // Deduplicate (a branch whose target is its own fallthrough).
+    std::sort(block.succs.begin(), block.succs.end());
+    block.succs.erase(std::unique(block.succs.begin(), block.succs.end()),
+                      block.succs.end());
+  }
+  return cfg;
+}
+
+ReconvergenceTable ReconvergenceTable::build(const Program& program) {
+  const Cfg cfg = Cfg::build(program);
+  const u32 nb = static_cast<u32>(cfg.blocks().size());
+  const u32 exit = nb;  // dense id for the virtual exit
+
+  // Post-dominator sets via iterative dataflow. Programs are tiny (a few
+  // hundred instructions), so set intersection is simple and fast enough.
+  std::vector<std::set<u32>> pdom(nb + 1);
+  std::set<u32> all;
+  for (u32 b = 0; b <= nb; ++b) all.insert(b);
+  for (u32 b = 0; b < nb; ++b) pdom[b] = all;
+  pdom[exit] = {exit};
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (u32 b = 0; b < nb; ++b) {
+      std::set<u32> meet = all;
+      for (u32 s : cfg.blocks()[b].succs) {
+        const u32 sid = (s == Cfg::kExitBlock) ? exit : s;
+        std::set<u32> next;
+        std::set_intersection(meet.begin(), meet.end(), pdom[sid].begin(),
+                              pdom[sid].end(),
+                              std::inserter(next, next.begin()));
+        meet = std::move(next);
+      }
+      meet.insert(b);
+      if (meet != pdom[b]) {
+        pdom[b] = std::move(meet);
+        changed = true;
+      }
+    }
+  }
+
+  // ipdom(b): the unique strict post-dominator d whose own strict
+  // post-dominator set equals pdom(b) minus {b, d}.
+  auto ipdom = [&](u32 b) -> u32 {
+    const size_t strict = pdom[b].size() - 1;
+    for (u32 d : pdom[b]) {
+      if (d == b) continue;
+      if (pdom[d].size() == strict) return d;
+    }
+    return exit;
+  };
+
+  ReconvergenceTable table;
+  table.reconv_.assign(program.size(), kNotABranch);
+  for (u32 pc = 0; pc < program.size(); ++pc) {
+    if (!op_info(program.at(pc).op).is_branch) continue;
+    const u32 d = ipdom(cfg.block_of(pc));
+    table.reconv_[pc] =
+        (d == exit) ? kNoReconv : cfg.blocks()[d].first;
+  }
+  return table;
+}
+
+}  // namespace mlp::isa

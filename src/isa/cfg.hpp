@@ -1,0 +1,59 @@
+#pragma once
+// Control-flow analysis over kernel binaries: basic blocks, the CFG, and
+// immediate post-dominators. The GPGPU model needs the reconvergence point
+// of every branch (classic IPDom-based SIMT stack); static workload analysis
+// (Table II) reuses the block structure.
+
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace mlp::isa {
+
+struct BasicBlock {
+  u32 first = 0;               ///< pc of the first instruction
+  u32 last = 0;                ///< pc of the terminator (inclusive)
+  std::vector<u32> succs;      ///< successor block ids (kExitBlock = exit)
+};
+
+class Cfg {
+ public:
+  /// Virtual exit reached by halt and jalr terminators.
+  static constexpr u32 kExitBlock = 0xffffffffu;
+
+  static Cfg build(const Program& program);
+
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  u32 block_of(u32 pc) const {
+    MLP_CHECK(pc < block_of_pc_.size(), "pc outside program");
+    return block_of_pc_[pc];
+  }
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  std::vector<u32> block_of_pc_;
+};
+
+/// Per-branch reconvergence pcs derived from immediate post-dominators.
+class ReconvergenceTable {
+ public:
+  /// Branches with no post-dominating join before program exit (e.g. one arm
+  /// halts) get kNoReconv; the SIMT stack then reconverges only when the
+  /// entry's lane mask empties.
+  static constexpr u32 kNoReconv = 0xffffffffu;
+
+  static ReconvergenceTable build(const Program& program);
+
+  /// Reconvergence pc for the branch at `pc` (must be a branch).
+  u32 at(u32 pc) const {
+    MLP_CHECK(pc < reconv_.size(), "pc outside program");
+    MLP_CHECK(reconv_[pc] != kNotABranch, "pc is not a branch");
+    return reconv_[pc];
+  }
+
+ private:
+  static constexpr u32 kNotABranch = 0xfffffffeu;
+  std::vector<u32> reconv_;
+};
+
+}  // namespace mlp::isa

@@ -1,0 +1,65 @@
+#include "isa/disassembler.hpp"
+
+#include <sstream>
+
+namespace mlp::isa {
+namespace {
+
+std::string reg(u8 r) { return "r" + std::to_string(r); }
+
+}  // namespace
+
+std::string disassemble(const Instr& in) {
+  const OpInfo& info = op_info(in.op);
+  std::ostringstream os;
+  os << info.name;
+  switch (info.format) {
+    case Format::kR:
+      os << " " << reg(in.rd) << ", " << reg(in.rs1) << ", " << reg(in.rs2);
+      break;
+    case Format::kRu:
+      os << " " << reg(in.rd) << ", " << reg(in.rs1);
+      break;
+    case Format::kI:
+      os << " " << reg(in.rd) << ", " << reg(in.rs1) << ", " << in.imm;
+      break;
+    case Format::kU:
+    case Format::kJ:
+      os << " " << reg(in.rd) << ", " << in.imm;
+      break;
+    case Format::kL:
+      os << " " << reg(in.rd) << ", " << in.imm << "(" << reg(in.rs1) << ")";
+      break;
+    case Format::kS:
+      os << " " << reg(in.rs2) << ", " << in.imm << "(" << reg(in.rs1) << ")";
+      break;
+    case Format::kA:
+      os << " " << reg(in.rd) << ", " << reg(in.rs2) << ", " << in.imm << "("
+         << reg(in.rs1) << ")";
+      break;
+    case Format::kB:
+      os << " " << reg(in.rs1) << ", " << reg(in.rs2) << ", " << in.imm;
+      break;
+    case Format::kC:
+      os << " " << reg(in.rd) << ", " << csr_name(static_cast<Csr>(in.imm));
+      break;
+    case Format::kN:
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble(const Program& program) {
+  // Invert the label map for annotation.
+  std::map<u32, std::string> by_pc;
+  for (const auto& [name, pc] : program.labels()) by_pc[pc] = name;
+  std::ostringstream os;
+  for (u32 pc = 0; pc < program.size(); ++pc) {
+    auto it = by_pc.find(pc);
+    if (it != by_pc.end()) os << it->second << ":\n";
+    os << "  " << pc << ":\t" << disassemble(program.at(pc)) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mlp::isa

@@ -1,0 +1,16 @@
+#pragma once
+// Renders decoded instructions back to assembler syntax; used for debugging
+// dumps and for assembler round-trip tests.
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace mlp::isa {
+
+std::string disassemble(const Instr& instr);
+
+/// Full listing with pc numbers and label annotations.
+std::string disassemble(const Program& program);
+
+}  // namespace mlp::isa

@@ -1,0 +1,150 @@
+#include "isa/encoding.hpp"
+
+namespace mlp::isa {
+namespace {
+
+constexpr i32 kImm14Min = -(1 << 13), kImm14Max = (1 << 13) - 1;
+constexpr i32 kImm9Min = -(1 << 8), kImm9Max = (1 << 8) - 1;
+constexpr i32 kImm19Min = -(1 << 18), kImm19Max = (1 << 18) - 1;
+
+u32 field(u32 value, u32 shift, u32 bits) {
+  return (value & ((1u << bits) - 1)) << shift;
+}
+
+u32 extract(u32 word, u32 shift, u32 bits) {
+  return (word >> shift) & ((1u << bits) - 1);
+}
+
+i32 sign_extend(u32 value, u32 bits) {
+  const u32 mask = 1u << (bits - 1);
+  return static_cast<i32>((value ^ mask)) - static_cast<i32>(mask);
+}
+
+}  // namespace
+
+bool imm_fits(Opcode op, i32 imm) {
+  switch (op_info(op).format) {
+    case Format::kR:
+    case Format::kRu:
+    case Format::kN:
+      return imm == 0;
+    case Format::kI:
+    case Format::kL:
+    case Format::kS:
+    case Format::kB:
+    case Format::kC:
+      return imm >= kImm14Min && imm <= kImm14Max;
+    case Format::kA:
+      return imm >= kImm9Min && imm <= kImm9Max;
+    case Format::kJ:
+      return imm >= kImm19Min && imm <= kImm19Max;
+    case Format::kU:
+      return imm >= 0 && imm <= ((1 << 19) - 1);
+  }
+  return false;
+}
+
+u32 encode(const Instr& in) {
+  MLP_CHECK(in.rd < 32 && in.rs1 < 32 && in.rs2 < 32, "register out of range");
+  MLP_CHECK(imm_fits(in.op, in.imm), "immediate out of range for format");
+  u32 w = field(static_cast<u32>(in.op), 24, 8);
+  const u32 uimm = static_cast<u32>(in.imm);
+  switch (op_info(in.op).format) {
+    case Format::kR:
+      w |= field(in.rd, 19, 5) | field(in.rs1, 14, 5) | field(in.rs2, 9, 5);
+      break;
+    case Format::kRu:
+      w |= field(in.rd, 19, 5) | field(in.rs1, 14, 5);
+      break;
+    case Format::kI:
+    case Format::kL:
+      w |= field(in.rd, 19, 5) | field(in.rs1, 14, 5) | field(uimm, 0, 14);
+      break;
+    case Format::kC:
+      w |= field(in.rd, 19, 5) | field(uimm, 0, 14);
+      break;
+    case Format::kU:
+    case Format::kJ:
+      w |= field(in.rd, 19, 5) | field(uimm, 0, 19);
+      break;
+    case Format::kS:
+    case Format::kB:
+      w |= field(uimm >> 9, 19, 5) | field(in.rs1, 14, 5) |
+           field(in.rs2, 9, 5) | field(uimm, 0, 9);
+      break;
+    case Format::kA:
+      w |= field(in.rd, 19, 5) | field(in.rs1, 14, 5) | field(in.rs2, 9, 5) |
+           field(uimm, 0, 9);
+      break;
+    case Format::kN:
+      break;
+  }
+  return w;
+}
+
+Instr decode(u32 word) {
+  const u32 opbyte = extract(word, 24, 8);
+  MLP_CHECK(opbyte < kNumOpcodes, "invalid opcode byte");
+  Instr in;
+  in.op = static_cast<Opcode>(opbyte);
+  switch (op_info(in.op).format) {
+    case Format::kR:
+      in.rd = static_cast<u8>(extract(word, 19, 5));
+      in.rs1 = static_cast<u8>(extract(word, 14, 5));
+      in.rs2 = static_cast<u8>(extract(word, 9, 5));
+      break;
+    case Format::kRu:
+      in.rd = static_cast<u8>(extract(word, 19, 5));
+      in.rs1 = static_cast<u8>(extract(word, 14, 5));
+      break;
+    case Format::kI:
+    case Format::kL:
+      in.rd = static_cast<u8>(extract(word, 19, 5));
+      in.rs1 = static_cast<u8>(extract(word, 14, 5));
+      in.imm = sign_extend(extract(word, 0, 14), 14);
+      break;
+    case Format::kC:
+      in.rd = static_cast<u8>(extract(word, 19, 5));
+      in.imm = static_cast<i32>(extract(word, 0, 14));
+      break;
+    case Format::kU:
+      in.rd = static_cast<u8>(extract(word, 19, 5));
+      in.imm = static_cast<i32>(extract(word, 0, 19));
+      break;
+    case Format::kJ:
+      in.rd = static_cast<u8>(extract(word, 19, 5));
+      in.imm = sign_extend(extract(word, 0, 19), 19);
+      break;
+    case Format::kS:
+    case Format::kB:
+      in.rs1 = static_cast<u8>(extract(word, 14, 5));
+      in.rs2 = static_cast<u8>(extract(word, 9, 5));
+      in.imm = sign_extend((extract(word, 19, 5) << 9) | extract(word, 0, 9), 14);
+      break;
+    case Format::kA:
+      in.rd = static_cast<u8>(extract(word, 19, 5));
+      in.rs1 = static_cast<u8>(extract(word, 14, 5));
+      in.rs2 = static_cast<u8>(extract(word, 9, 5));
+      in.imm = sign_extend(extract(word, 0, 9), 9);
+      break;
+    case Format::kN:
+      break;
+  }
+  return in;
+}
+
+std::vector<u32> encode_program(const std::vector<Instr>& instrs) {
+  std::vector<u32> words;
+  words.reserve(instrs.size());
+  for (const Instr& in : instrs) words.push_back(encode(in));
+  return words;
+}
+
+std::vector<Instr> decode_program(const std::vector<u32>& words) {
+  std::vector<Instr> instrs;
+  instrs.reserve(words.size());
+  for (u32 w : words) instrs.push_back(decode(w));
+  return instrs;
+}
+
+}  // namespace mlp::isa

@@ -1,0 +1,38 @@
+#pragma once
+// Binary encoding of the kernel ISA into 32-bit words.
+//
+// Layout (bit 31 is the MSB):
+//   [31:24] opcode
+//   R  : rd[23:19] rs1[18:14] rs2[13:9]
+//   Ru : rd[23:19] rs1[18:14]
+//   I,L: rd[23:19] rs1[18:14] imm14[13:0] (signed)
+//   C  : rd[23:19] csr[13:0]
+//   U,J: rd[23:19] imm19[18:0]  (J signed, U unsigned)
+//   S,B: hi5[23:19] rs1[18:14] rs2[13:9] lo9[8:0]; imm14 = hi5:lo9 (signed)
+//   A  : rd[23:19] rs1[18:14] rs2[13:9] imm9[8:0] (signed)
+//   N  : opcode only
+//
+// Encoding exists so binaries have a realistic footprint (I-cache sizing)
+// and so assembler output can be round-trip tested; the timing models
+// execute the decoded Instr form.
+
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace mlp::isa {
+
+/// Encodes one instruction. Aborts if a field is out of encodable range
+/// (the assembler validates ranges first and reports source locations).
+u32 encode(const Instr& instr);
+
+/// Decodes one word. Aborts on an invalid opcode byte.
+Instr decode(u32 word);
+
+/// True if `imm` fits the immediate field of `op`'s format.
+bool imm_fits(Opcode op, i32 imm);
+
+std::vector<u32> encode_program(const std::vector<Instr>& instrs);
+std::vector<Instr> decode_program(const std::vector<u32>& words);
+
+}  // namespace mlp::isa

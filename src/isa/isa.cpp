@@ -1,0 +1,97 @@
+#include "isa/isa.hpp"
+
+#include <array>
+
+namespace mlp::isa {
+namespace {
+
+constexpr OpInfo make(const char* name, Format f, bool branch = false,
+                      bool jump = false, bool gmem = false, bool lmem = false,
+                      bool load = false, bool store = false, bool flt = false) {
+  return OpInfo{name, f, branch, jump, gmem, lmem, load, store, flt};
+}
+
+// Indexed by Opcode. Order must match the enum exactly; checked in tests by
+// round-tripping every opcode through its name.
+constexpr std::array<OpInfo, kNumOpcodes> kOpTable = {{
+    make("add", Format::kR), make("sub", Format::kR), make("mul", Format::kR),
+    make("mulh", Format::kR), make("div", Format::kR), make("rem", Format::kR),
+    make("and", Format::kR), make("or", Format::kR), make("xor", Format::kR),
+    make("sll", Format::kR), make("srl", Format::kR), make("sra", Format::kR),
+    make("slt", Format::kR), make("sltu", Format::kR),
+    make("fadd", Format::kR, false, false, false, false, false, false, true),
+    make("fsub", Format::kR, false, false, false, false, false, false, true),
+    make("fmul", Format::kR, false, false, false, false, false, false, true),
+    make("fdiv", Format::kR, false, false, false, false, false, false, true),
+    make("fmin", Format::kR, false, false, false, false, false, false, true),
+    make("fmax", Format::kR, false, false, false, false, false, false, true),
+    make("flt", Format::kR, false, false, false, false, false, false, true),
+    make("fle", Format::kR, false, false, false, false, false, false, true),
+    make("feq", Format::kR, false, false, false, false, false, false, true),
+    make("fsqrt", Format::kRu, false, false, false, false, false, false, true),
+    make("fabs", Format::kRu, false, false, false, false, false, false, true),
+    make("fneg", Format::kRu, false, false, false, false, false, false, true),
+    make("fcvt.w.s", Format::kRu, false, false, false, false, false, false, true),
+    make("fcvt.s.w", Format::kRu, false, false, false, false, false, false, true),
+    make("addi", Format::kI), make("andi", Format::kI), make("ori", Format::kI),
+    make("xori", Format::kI), make("slli", Format::kI), make("srli", Format::kI),
+    make("srai", Format::kI), make("slti", Format::kI),
+    make("lui", Format::kU),
+    make("lw", Format::kL, false, false, true, false, true, false),
+    make("sw", Format::kS, false, false, true, false, false, true),
+    make("lw.l", Format::kL, false, false, false, true, true, false),
+    make("sw.l", Format::kS, false, false, false, true, false, true),
+    make("amoadd.l", Format::kA, false, false, false, true, true, true),
+    make("famoadd.l", Format::kA, false, false, false, true, true, true, true),
+    make("beq", Format::kB, true), make("bne", Format::kB, true),
+    make("blt", Format::kB, true), make("bge", Format::kB, true),
+    make("bltu", Format::kB, true), make("bgeu", Format::kB, true),
+    make("jal", Format::kJ, false, true),
+    make("jalr", Format::kI, false, true),
+    make("csrr", Format::kC),
+    make("halt", Format::kN),
+    make("bar", Format::kN),
+}};
+
+constexpr std::array<const char*, kNumCsrs> kCsrNames = {{
+    "TID", "NTHREADS", "CID", "NCORES", "CTX", "NCTX",
+    "IDX_BASE", "IDX_STRIDE", "RPT", "GROUP_SHIFT", "ROW_SHIFT",
+    "NGROUPS", "NRECORDS", "FIELDS", "INPUT_BASE", "",
+    "ARG0", "ARG1", "ARG2", "ARG3", "ARG4", "ARG5", "ARG6", "ARG7",
+}};
+
+}  // namespace
+
+const OpInfo& op_info(Opcode op) {
+  const auto idx = static_cast<u32>(op);
+  MLP_CHECK(idx < kNumOpcodes, "opcode out of range");
+  return kOpTable[idx];
+}
+
+bool opcode_from_name(const std::string& name, Opcode* out) {
+  for (u32 i = 0; i < kNumOpcodes; ++i) {
+    if (name == kOpTable[i].name) {
+      *out = static_cast<Opcode>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* csr_name(Csr csr) {
+  const auto idx = static_cast<u32>(csr);
+  MLP_CHECK(idx < kNumCsrs && kCsrNames[idx][0] != '\0', "bad csr");
+  return kCsrNames[idx];
+}
+
+bool csr_from_name(const std::string& name, Csr* out) {
+  for (u32 i = 0; i < kNumCsrs; ++i) {
+    if (kCsrNames[i][0] != '\0' && name == kCsrNames[i]) {
+      *out = static_cast<Csr>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mlp::isa

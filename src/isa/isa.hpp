@@ -1,0 +1,132 @@
+#pragma once
+// The Millipede kernel ISA: a small 32-bit RISC instruction set executed by
+// every simulated architecture (corelet, SSMC core, GPGPU lane, multicore
+// context) from identical binaries. The set mirrors what the paper's CUDA
+// kernels compile to: integer/float ALU ops, data-dependent branches,
+// global (input-stream) loads, local (live-state) accesses, and
+// single-instruction atomic accumulations into the live state (the
+// MapReduce partial reduce).
+//
+// Memory spaces:
+//   * global  — die-stacked DRAM holding the interleaved input data (lw/sw)
+//   * local   — per-corelet (per-lane) live-state memory (lw.l/sw.l/amoadd.l)
+//
+// Atomic adds (amoadd.l / famoadd.l) return the OLD value, which makes
+// shared-state accumulation by the corelet's four contexts race-free with a
+// single instruction, exactly as CUDA shared-memory atomics do for the
+// paper's GPGPU mapping.
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace mlp::isa {
+
+enum class Opcode : u8 {
+  // Integer register-register.
+  kAdd, kSub, kMul, kMulh, kDiv, kRem,
+  kAnd, kOr, kXor, kSll, kSrl, kSra, kSlt, kSltu,
+  // Float register-register (values live bit-cast in integer registers).
+  kFadd, kFsub, kFmul, kFdiv, kFmin, kFmax,
+  kFlt, kFle, kFeq,                       // compare, integer 0/1 result
+  kFsqrt, kFabs, kFneg, kFcvtWs, kFcvtSw, // unary (rs2 unused)
+  // Integer immediate.
+  kAddi, kAndi, kOri, kXori, kSlli, kSrli, kSrai, kSlti,
+  kLui,  // rd = imm19 << 13
+  // Memory.
+  kLw,    // rd = global[rs1+imm]
+  kSw,    // global[rs1+imm] = rs2
+  kLwl,   // rd = local[rs1+imm]
+  kSwl,   // local[rs1+imm] = rs2
+  kAmoaddl,   // rd = local[rs1+imm]; local[rs1+imm] += rs2        (integer)
+  kFamoaddl,  // rd = local[rs1+imm]; local[rs1+imm] +=f rs2       (float)
+  // Control.
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,  // pc-relative, imm in instructions
+  kJal,   // rd = pc+1; pc += imm
+  kJalr,  // rd = pc+1; pc = rs1 + imm
+  // System.
+  kCsrr,  // rd = csr[imm]
+  kHalt,
+  kBar,   // processor-wide thread barrier (software-barrier ablation)
+  kCount_,
+};
+
+inline constexpr u32 kNumOpcodes = static_cast<u32>(Opcode::kCount_);
+
+/// Encoding formats; see encoding.cpp for the exact bit layout.
+enum class Format : u8 {
+  kR,    // op rd, rs1, rs2
+  kRu,   // op rd, rs1          (float unary)
+  kI,    // op rd, rs1, imm14
+  kU,    // op rd, imm19
+  kL,    // op rd, imm14(rs1)   (loads)
+  kS,    // op rs2, imm14(rs1)  (stores)
+  kA,    // op rd, rs2, imm9(rs1)  (atomics)
+  kB,    // op rs1, rs2, imm14  (branches)
+  kJ,    // op rd, imm19        (jal)
+  kC,    // op rd, csr          (csrr)
+  kN,    // op                  (halt)
+};
+
+/// Control/status registers readable by kernels. They expose the thread's
+/// identity, the interleaved-layout geometry, and up to eight kernel
+/// arguments.
+enum class Csr : u8 {
+  kTid = 0,        ///< global hardware thread id
+  kNthreads = 1,   ///< total hardware threads on the processor
+  kCid = 2,        ///< corelet / lane / core id
+  kNcores = 3,
+  kCtx = 4,        ///< context (warp) index within the core
+  kNctx = 5,
+  kIdxBase = 6,    ///< this thread's first record index within a group
+  kIdxStride = 7,  ///< stride between its consecutive records in a group
+  kRpt = 8,        ///< records per thread per group
+  kGroupShift = 9, ///< log2(records per group)
+  kRowShift = 10,  ///< log2(row bytes)
+  kNgroups = 11,
+  kNrecords = 12,
+  kFields = 13,    ///< fields (words) per record
+  kInputBase = 14, ///< base address of the input image
+  kArg0 = 16, kArg1, kArg2, kArg3, kArg4, kArg5, kArg6, kArg7,
+  kCount_ = 24,
+};
+
+inline constexpr u32 kNumCsrs = static_cast<u32>(Csr::kCount_);
+
+/// A decoded instruction. The simulator executes this form directly; the
+/// 32-bit binary encoding (encoding.hpp) is used for storage, the I-cache
+/// footprint, and round-trip tests.
+struct Instr {
+  Opcode op = Opcode::kHalt;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  i32 imm = 0;
+
+  bool operator==(const Instr&) const = default;
+};
+
+/// Static opcode properties used by the assembler, disassembler, timing
+/// models and static kernel analysis.
+struct OpInfo {
+  const char* name;
+  Format format;
+  bool is_branch;       // conditional branches only
+  bool is_jump;         // jal/jalr
+  bool is_global_mem;   // lw/sw
+  bool is_local_mem;    // lw.l/sw.l/amoadd.l/famoadd.l
+  bool is_load;         // produces a register from memory
+  bool is_store;
+  bool is_float;        // float datapath op
+};
+
+const OpInfo& op_info(Opcode op);
+
+/// Opcode from mnemonic; returns false if unknown.
+bool opcode_from_name(const std::string& name, Opcode* out);
+
+/// CSR name table ("TID", "ARG0", ...).
+const char* csr_name(Csr csr);
+bool csr_from_name(const std::string& name, Csr* out);
+
+}  // namespace mlp::isa

@@ -1,0 +1,34 @@
+#include "isa/program.hpp"
+
+namespace mlp::isa {
+
+Program::Program(std::string name, std::vector<Instr> instrs,
+                 std::map<std::string, u32> labels)
+    : name_(std::move(name)),
+      instrs_(std::move(instrs)),
+      labels_(std::move(labels)) {
+  MLP_CHECK(!instrs_.empty(), "empty program");
+}
+
+u32 Program::label(const std::string& name) const {
+  auto it = labels_.find(name);
+  MLP_CHECK(it != labels_.end(), "undefined label");
+  return it->second;
+}
+
+StaticCounts Program::static_counts() const {
+  StaticCounts counts;
+  counts.total = size();
+  for (const Instr& in : instrs_) {
+    const OpInfo& info = op_info(in.op);
+    if (info.is_branch) ++counts.branches;
+    if (info.is_jump) ++counts.jumps;
+    if (info.is_global_mem && info.is_load) ++counts.global_loads;
+    if (info.is_global_mem && info.is_store) ++counts.global_stores;
+    if (info.is_local_mem) ++counts.local_accesses;
+    if (info.is_float) ++counts.float_ops;
+  }
+  return counts;
+}
+
+}  // namespace mlp::isa

@@ -1,0 +1,50 @@
+#pragma once
+// DRAM address decomposition. Rows are interleaved across banks
+// (bank = rowId % banks) so that a sequential row stream — exactly what
+// Millipede's row prefetcher produces — overlaps each row's activation with
+// the previous row's data transfer on a different bank.
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace mlp::mem {
+
+struct DramCoord {
+  u32 bank = 0;
+  u64 row = 0;     ///< row index within the bank
+  u32 column = 0;  ///< byte offset within the row
+};
+
+class AddressMap {
+ public:
+  explicit AddressMap(const DramConfig& cfg)
+      : row_bytes_(cfg.row_bytes),
+        row_shift_(log2_exact(cfg.row_bytes)),
+        bank_mask_(cfg.banks - 1),
+        bank_shift_(log2_exact(cfg.banks)) {
+    MLP_CHECK(is_pow2(cfg.banks), "bank count must be a power of two");
+  }
+
+  DramCoord decode(Addr addr) const {
+    const u64 row_id = addr >> row_shift_;
+    return DramCoord{static_cast<u32>(row_id & bank_mask_),
+                     row_id >> bank_shift_,
+                     static_cast<u32>(addr & (row_bytes_ - 1))};
+  }
+
+  /// Global row id (bank-agnostic), the unit of Millipede's row prefetch.
+  u64 row_id(Addr addr) const { return addr >> row_shift_; }
+
+  Addr row_base(u64 row_id) const { return row_id << row_shift_; }
+
+  u32 row_bytes() const { return row_bytes_; }
+
+ private:
+  u32 row_bytes_;
+  u32 row_shift_;
+  u64 bank_mask_;
+  u32 bank_shift_;
+};
+
+}  // namespace mlp::mem

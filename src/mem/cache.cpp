@@ -1,0 +1,185 @@
+#include "mem/cache.hpp"
+
+#include "common/units.hpp"
+#include "mem/controller.hpp"
+
+namespace mlp::mem {
+
+Cache::Cache(std::string name, u32 size_bytes, u32 line_bytes, u32 assoc,
+             u32 mshrs, Picos hit_latency_ps, MemBackend* backend,
+             StatSet* stats)
+    : name_(std::move(name)),
+      line_bytes_(line_bytes),
+      sets_(size_bytes / (line_bytes * assoc)),
+      assoc_(assoc),
+      max_mshrs_(mshrs),
+      hit_latency_ps_(hit_latency_ps),
+      backend_(backend) {
+  MLP_CHECK(sets_ > 0 && is_pow2(sets_), "cache sets must be a power of two");
+  MLP_CHECK(is_pow2(line_bytes_), "line size must be a power of two");
+  MLP_CHECK(backend_ != nullptr, "cache needs a backend");
+  lines_.assign(sets_, std::vector<Line>(assoc_));
+  if (stats != nullptr) {
+    stats->add(name_ + ".hits", &hits_);
+    stats->add(name_ + ".misses", &misses_);
+    stats->add(name_ + ".mshr_merges", &mshr_merges_);
+    stats->add(name_ + ".mshr_stalls", &mshr_stalls_);
+    stats->add(name_ + ".writebacks", &writebacks_);
+    stats->add(name_ + ".prefetch_issued", &prefetch_issued_);
+    stats->add(name_ + ".prefetch_useful", &prefetch_useful_);
+    stats->add(name_ + ".evictions", &evictions_);
+  }
+}
+
+Cache::Line* Cache::find(Addr line) {
+  auto& set = lines_[set_of(line)];
+  const u64 tag = tag_of(line);
+  for (Line& way : set) {
+    if (way.valid && way.tag == tag) return &way;
+  }
+  return nullptr;
+}
+
+AccessStatus Cache::access(Addr addr, bool is_write, Picos now,
+                           FillCallback on_fill) {
+  const Addr line = line_base(addr);
+  if (Line* hit = find(line)) {
+    hit->lru = ++lru_clock_;
+    hit->dirty |= is_write;
+    if (hit->prefetched) {
+      hit->prefetched = false;
+      prefetch_useful_.inc();
+    }
+    hits_.inc();
+    return AccessStatus::kHit;
+  }
+
+  auto it = mshrs_.find(line);
+  if (it != mshrs_.end()) {
+    it->second.waiters.push_back(std::move(on_fill));
+    it->second.waiter_writes.push_back(is_write);
+    it->second.is_prefetch = false;  // demand access upgrades a prefetch
+    mshr_merges_.inc();
+    misses_.inc();
+    return AccessStatus::kMiss;
+  }
+
+  if (mshrs_.size() >= max_mshrs_) {
+    mshr_stalls_.inc();
+    return AccessStatus::kMshrFull;
+  }
+
+  Mshr& mshr = mshrs_[line];
+  mshr.waiters.push_back(std::move(on_fill));
+  mshr.waiter_writes.push_back(is_write);
+  misses_.inc();
+  queue_fill(line, now);
+  return AccessStatus::kMiss;
+}
+
+void Cache::prefetch(Addr addr, Picos now) {
+  const Addr line = line_base(addr);
+  if (find(line) != nullptr) return;
+  if (mshrs_.count(line) != 0) return;
+  if (mshrs_.size() >= max_mshrs_) return;
+  Mshr& mshr = mshrs_[line];
+  mshr.is_prefetch = true;
+  prefetch_issued_.inc();
+  queue_fill(line, now);
+}
+
+void Cache::queue_fill(Addr line, Picos now) {
+  MemRequest fill;
+  fill.addr = line;
+  fill.bytes = line_bytes_;
+  fill.is_write = false;
+  fill.is_prefetch = mshrs_[line].is_prefetch;
+  fill.on_complete = [this, line](Picos at) { on_fill_arrived(line, at); };
+  if (backend_->request(fill, now)) {
+    // A backing cache may hit and complete synchronously, in which case the
+    // MSHR is already retired — do not resurrect it.
+    auto it = mshrs_.find(line);
+    if (it != mshrs_.end()) it->second.issued = true;
+  } else {
+    issue_queue_.push_back(std::move(fill));
+  }
+}
+
+void Cache::on_fill_arrived(Addr line, Picos at) {
+  auto it = mshrs_.find(line);
+  MLP_CHECK(it != mshrs_.end(), "fill for unknown MSHR");
+  Mshr mshr = std::move(it->second);
+  mshrs_.erase(it);
+
+  bool write = false;
+  for (bool w : mshr.waiter_writes) write |= w;
+  install(line, write, mshr.is_prefetch && mshr.waiters.empty(), at);
+  for (FillCallback& waiter : mshr.waiters) {
+    if (waiter) waiter(at + hit_latency_ps_);
+  }
+}
+
+void Cache::install(Addr line, bool dirty, bool prefetched, Picos now) {
+  auto& set = lines_[set_of(line)];
+  Line* victim = nullptr;
+  for (Line& way : set) {
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (victim == nullptr || way.lru < victim->lru) victim = &way;
+  }
+  if (victim->valid) {
+    evictions_.inc();
+    if (victim->dirty) {
+      // The tag holds the full line number (the set index is hashed).
+      const Addr victim_line = victim->tag * line_bytes_;
+      MemRequest wb;
+      wb.addr = victim_line;
+      wb.bytes = line_bytes_;
+      wb.is_write = true;
+      writebacks_.inc();
+      if (!backend_->request(wb, now)) issue_queue_.push_back(std::move(wb));
+    }
+  }
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->prefetched = prefetched;
+  victim->tag = tag_of(line);
+  victim->lru = ++lru_clock_;
+}
+
+void Cache::pump(Picos now) {
+  while (!issue_queue_.empty()) {
+    if (!backend_->request(issue_queue_.front(), now)) return;
+    if (!issue_queue_.front().is_write) {
+      auto it = mshrs_.find(line_base(issue_queue_.front().addr));
+      if (it != mshrs_.end()) it->second.issued = true;
+    }
+    issue_queue_.erase(issue_queue_.begin());
+  }
+}
+
+bool Cache::request(MemRequest request, Picos now) {
+  // Serving as a backend (e.g. L2 under L1): a hit completes after our hit
+  // latency; a miss is tracked by an MSHR like any demand access.
+  MLP_CHECK(request.bytes <= line_bytes_, "upstream line larger than ours");
+  auto cb = request.on_complete;
+  const Picos latency = hit_latency_ps_;
+  const AccessStatus status =
+      access(request.addr, request.is_write, now,
+             [cb](Picos at) {
+               if (cb) cb(at);
+             });
+  if (status == AccessStatus::kHit) {
+    if (cb) cb(now + latency);
+    return true;
+  }
+  return status != AccessStatus::kMshrFull;
+}
+
+bool ControllerBackend::request(MemRequest request, Picos now) {
+  return ctrl_->try_push(std::move(request), now);
+}
+
+}  // namespace mlp::mem

@@ -1,0 +1,123 @@
+#pragma once
+// Set-associative, write-back, write-allocate cache with MSHRs and a retry
+// path for controller backpressure. Used as: SSMC per-core 5 KB L1D, GPGPU
+// per-SM 32 KB L1D, and the conventional multicore's L1/L2 (an L2 cache can
+// serve as another cache's backend). Timing-only: data comes from DramImage.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "mem/req.hpp"
+
+namespace mlp::mem {
+
+/// Downstream of a cache: either the memory controller or a larger cache.
+class MemBackend {
+ public:
+  virtual ~MemBackend() = default;
+
+  /// Submit a request. May invoke `on_complete` immediately (with a future
+  /// timestamp) or later. Returns false when the backend cannot accept the
+  /// request this cycle; the caller retries on a later pump.
+  virtual bool request(MemRequest request, Picos now) = 0;
+};
+
+/// Adapts MemoryController to the MemBackend interface.
+class MemoryController;
+
+enum class AccessStatus : u8 {
+  kHit,       ///< data available after the cache's hit latency
+  kMiss,      ///< an MSHR tracks the fill; callback fires on arrival
+  kMshrFull,  ///< structural stall: retry next cycle
+};
+
+class Cache : public MemBackend {
+ public:
+  using FillCallback = std::function<void(Picos)>;
+
+  Cache(std::string name, u32 size_bytes, u32 line_bytes, u32 assoc, u32 mshrs,
+        Picos hit_latency_ps, MemBackend* backend, StatSet* stats);
+
+  /// Demand access. On kMiss, `on_fill` fires once the line (plus hit
+  /// latency) is available; on kHit the caller adds hit_latency itself.
+  AccessStatus access(Addr addr, bool is_write, Picos now, FillCallback on_fill);
+
+  /// Best-effort prefetch of the line containing `addr`; silently dropped if
+  /// the line is present, already being fetched, or no MSHR is free.
+  void prefetch(Addr addr, Picos now);
+
+  /// Retry queued downstream requests (fills, writebacks) that previously
+  /// hit backpressure. Call once per channel tick.
+  void pump(Picos now);
+
+  /// MemBackend: lets this cache be another cache's next level.
+  bool request(MemRequest request, Picos now) override;
+
+  bool quiescent() const { return mshrs_.empty() && issue_queue_.empty(); }
+
+  Picos hit_latency_ps() const { return hit_latency_ps_; }
+  u32 line_bytes() const { return line_bytes_; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    bool prefetched = false;  ///< filled by prefetch, not yet demanded
+    u64 tag = 0;
+    u64 lru = 0;
+  };
+
+  struct Mshr {
+    bool is_prefetch = false;
+    bool issued = false;
+    std::vector<FillCallback> waiters;
+    std::vector<bool> waiter_writes;
+  };
+
+  Addr line_base(Addr addr) const { return addr & ~static_cast<Addr>(line_bytes_ - 1); }
+  /// XOR-folded set index: the interleaved layout strides streams by whole
+  /// DRAM rows (2 KB = 16 lines), which would alias every stream of a core
+  /// into one set of a small cache. Real L1s hash the index for exactly this
+  /// reason; fold higher line-number bits in.
+  u32 set_of(Addr line) const {
+    const u64 n = line / line_bytes_;
+    return static_cast<u32>((n ^ (n >> 4) ^ (n >> 8)) & (sets_ - 1));
+  }
+  u64 tag_of(Addr line) const { return line / line_bytes_; }
+
+  Line* find(Addr line);
+  void install(Addr line, bool dirty, bool prefetched, Picos now);
+  void queue_fill(Addr line, Picos now);
+  void on_fill_arrived(Addr line, Picos at);
+
+  std::string name_;
+  u32 line_bytes_;
+  u32 sets_;
+  u32 assoc_;
+  u32 max_mshrs_;
+  Picos hit_latency_ps_;
+  MemBackend* backend_;
+
+  std::vector<std::vector<Line>> lines_;  ///< [set][way]
+  std::map<Addr, Mshr> mshrs_;            ///< keyed by line base address
+  std::vector<MemRequest> issue_queue_;   ///< pending downstream requests
+  u64 lru_clock_ = 0;
+
+  Counter hits_, misses_, mshr_merges_, mshr_stalls_, writebacks_,
+      prefetch_issued_, prefetch_useful_, evictions_;
+};
+
+/// MemBackend view of a MemoryController.
+class ControllerBackend : public MemBackend {
+ public:
+  explicit ControllerBackend(MemoryController* ctrl) : ctrl_(ctrl) {}
+  bool request(MemRequest request, Picos now) override;
+
+ private:
+  MemoryController* ctrl_;
+};
+
+}  // namespace mlp::mem

@@ -1,0 +1,118 @@
+#include "mem/controller.hpp"
+
+#include <algorithm>
+
+namespace mlp::mem {
+
+MemoryController::MemoryController(const DramConfig& cfg,
+                                   std::string stat_prefix, StatSet* stats)
+    : cfg_(cfg),
+      map_(cfg),
+      period_ps_(cfg.period_ps()),
+      bytes_per_cycle_(cfg.bytes_per_cycle()),
+      banks_(cfg.banks) {
+  if (stats != nullptr) {
+    stats->add(stat_prefix + ".reads", &reads_);
+    stats->add(stat_prefix + ".writes", &writes_);
+    stats->add(stat_prefix + ".row_hits", &row_hits_);
+    stats->add(stat_prefix + ".row_misses", &row_misses_);
+    stats->add(stat_prefix + ".bytes", &bytes_);
+    stats->add(stat_prefix + ".queue_rejections", &rejected_);
+  }
+}
+
+bool MemoryController::try_push(MemRequest request, Picos now) {
+  if (queue_.size() >= cfg_.queue_depth) {
+    rejected_.inc();
+    return false;
+  }
+  MLP_CHECK(request.bytes > 0, "empty request");
+  Pending pending;
+  pending.coord = map_.decode(request.addr);
+  // A request must not straddle a row boundary: callers split at rows.
+  MLP_CHECK(pending.coord.column + request.bytes <= cfg_.row_bytes,
+            "request crosses a row boundary");
+  pending.request = std::move(request);
+  pending.arrived_at = now;
+  pending.order = next_order_++;
+  queue_.push_back(std::move(pending));
+  return true;
+}
+
+bool MemoryController::try_issue(Pending& pending, Picos now,
+                                 bool row_hit_only) {
+  Bank& bank = banks_[pending.coord.bank];
+  if (bank.ready_at > now) return false;
+
+  const bool row_hit = bank.has_open_row && bank.open_row == pending.coord.row;
+  if (row_hit_only && !row_hit) return false;
+
+  Picos cas_start;
+  if (row_hit) {
+    cas_start = now;
+    row_hits_.inc();
+  } else {
+    Picos start = now;
+    if (bank.has_open_row) {
+      // Respect tRAS before precharging the currently open row.
+      const Picos ras_done = bank.activated_at + cycles(cfg_.t_ras);
+      start = std::max(start, ras_done) + cycles(cfg_.t_rp);
+    }
+    const Picos act_start = start;
+    cas_start = act_start + cycles(cfg_.t_rcd);
+    bank.has_open_row = true;
+    bank.open_row = pending.coord.row;
+    bank.activated_at = act_start;
+    row_misses_.inc();
+  }
+
+  const Picos data_start =
+      std::max(cas_start + cycles(cfg_.t_cas), bus_free_at_);
+  const Picos data_end = data_start + transfer_ps(pending.request.bytes);
+  bus_free_at_ = data_end;
+  bank.ready_at = data_end;
+  busy_ps_ += data_end - data_start;
+
+  bytes_.inc(pending.request.bytes);
+  if (pending.request.is_write) {
+    writes_.inc();
+  } else {
+    reads_.inc();
+  }
+  in_flight_.push_back(InFlight{std::move(pending.request), data_end});
+  return true;
+}
+
+void MemoryController::tick(Picos now) {
+  // Retire completed transfers.
+  for (size_t i = 0; i < in_flight_.size();) {
+    if (in_flight_[i].done_at <= now) {
+      if (in_flight_[i].request.on_complete) {
+        in_flight_[i].request.on_complete(in_flight_[i].done_at);
+      }
+      in_flight_[i] = std::move(in_flight_.back());
+      in_flight_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+
+  if (queue_.empty()) return;
+
+  // FR: any ready row-buffer hit, oldest first.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (try_issue(*it, now, /*row_hit_only=*/true)) {
+      queue_.erase(it);
+      return;
+    }
+  }
+  // FCFS: oldest request whose bank can begin the activate sequence.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (try_issue(*it, now, /*row_hit_only=*/false)) {
+      queue_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace mlp::mem

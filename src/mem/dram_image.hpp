@@ -1,0 +1,51 @@
+#pragma once
+// Functional contents of the die-stacked DRAM. Timing (controller/banks) and
+// contents are deliberately decoupled, as in most architecture simulators:
+// loads read their value here at issue time while the timing model decides
+// when the value becomes architecturally visible.
+
+#include <cstring>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mlp::mem {
+
+class DramImage {
+ public:
+  DramImage() = default;
+  explicit DramImage(u64 bytes) { resize(bytes); }
+
+  void resize(u64 bytes) { bytes_.assign(bytes, 0); }
+  u64 size() const { return bytes_.size(); }
+
+  u32 read_u32(Addr addr) const {
+    MLP_CHECK(addr + 4 <= bytes_.size() && addr % 4 == 0, "bad DRAM read");
+    u32 value;
+    std::memcpy(&value, bytes_.data() + addr, 4);
+    return value;
+  }
+
+  void write_u32(Addr addr, u32 value) {
+    MLP_CHECK(addr + 4 <= bytes_.size() && addr % 4 == 0, "bad DRAM write");
+    std::memcpy(bytes_.data() + addr, &value, 4);
+  }
+
+  float read_f32(Addr addr) const {
+    const u32 bits = read_u32(addr);
+    float value;
+    std::memcpy(&value, &bits, 4);
+    return value;
+  }
+
+  void write_f32(Addr addr, float value) {
+    u32 bits;
+    std::memcpy(&bits, &value, 4);
+    write_u32(addr, bits);
+  }
+
+ private:
+  std::vector<u8> bytes_;
+};
+
+}  // namespace mlp::mem

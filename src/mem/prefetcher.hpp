@@ -1,0 +1,83 @@
+#pragma once
+// Sequential / stride stream prefetcher at cache-block granularity: the
+// "cache-block prefetch" the paper grants to the GPGPU, VWS and SSMC
+// baselines. Detects a constant line stride (1 for the GPGPU's coalesced
+// stream, row-sized strides for an SSMC core hopping between field rows) and
+// runs `degree` lines ahead up to `distance` once confident.
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mlp::mem {
+
+class StreamPrefetcher {
+ public:
+  StreamPrefetcher(u32 line_bytes, u32 degree, u32 distance)
+      : line_bytes_(line_bytes), degree_(degree), distance_(distance) {}
+
+  /// Observe a demand access; returns line addresses to prefetch now.
+  std::vector<Addr> observe(Addr addr);
+
+  void reset();
+
+ private:
+  u32 line_bytes_;
+  u32 degree_;
+  u32 distance_;
+
+  bool has_last_ = false;
+  u64 last_line_ = 0;
+  i64 stride_ = 0;      ///< in lines
+  u32 confidence_ = 0;  ///< consecutive accesses matching the stride
+  u64 issued_up_to_ = 0;  ///< furthest line already prefetched on this stream
+};
+
+/// Jitter-tolerant sequential window prefetcher for a GLOBALLY sequential
+/// stream produced by many slightly out-of-phase requesters (an SM's warps
+/// marching through the interleaved layout). It tracks a high-water mark and
+/// runs `distance` lines ahead of the newest access, so reordered accesses
+/// behind the head neither confuse it nor re-issue covered lines.
+class SequentialPrefetcher {
+ public:
+  SequentialPrefetcher(u32 line_bytes, u32 degree, u32 distance)
+      : line_bytes_(line_bytes), degree_(degree), distance_(distance) {}
+
+  std::vector<Addr> observe(Addr addr);
+
+ private:
+  u32 line_bytes_;
+  u32 degree_;
+  u32 distance_;
+  bool started_ = false;
+  u64 next_line_ = 0;  ///< first line not yet prefetched
+};
+
+/// A table of independent stride streams, as real prefetchers keep: each
+/// access is routed to the stream whose last line is nearest (within a
+/// window), so interleaved access streams — e.g. 32 narrow VWS warps or a
+/// core hopping between field rows — are each tracked separately instead of
+/// destroying one another's stride detection. LRU replacement.
+class StreamTable {
+ public:
+  StreamTable(u32 line_bytes, u32 degree, u32 distance, u32 streams);
+
+  /// Observe a demand access; returns line addresses to prefetch now.
+  std::vector<Addr> observe(Addr addr);
+
+ private:
+  struct Entry {
+    StreamPrefetcher prefetcher;
+    u64 last_line = 0;
+    bool valid = false;
+    u64 lru = 0;
+  };
+
+  u32 line_bytes_;
+  u32 degree_;
+  u32 distance_;
+  std::vector<Entry> entries_;
+  u64 clock_ = 0;
+};
+
+}  // namespace mlp::mem

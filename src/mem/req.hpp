@@ -1,0 +1,22 @@
+#pragma once
+// Memory request/response types exchanged between cores, caches, prefetch
+// buffers and the memory controller.
+
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace mlp::mem {
+
+/// A read or write of `bytes` starting at `addr`. Completion is signalled by
+/// invoking `on_complete` with the time the last data beat leaves the
+/// channel. Timing-only: functional data lives in the flat DramImage.
+struct MemRequest {
+  Addr addr = 0;
+  u32 bytes = 0;
+  bool is_write = false;
+  bool is_prefetch = false;
+  std::function<void(Picos)> on_complete;  ///< may be empty (e.g. writebacks)
+};
+
+}  // namespace mlp::mem

@@ -1,0 +1,54 @@
+#pragma once
+// GPGPU shared-memory bank-conflict model. The SM's shared memory has
+// `banks` single-ported banks; a warp's simultaneous accesses serialize by
+// the maximum number of lanes mapping to one bank.
+//
+// Two mappings matter for the paper:
+//  * kLanePrivate — the BMLA mapping from Section III-E: the i-th thread's
+//    live state is striped so its accesses always fall in the i-th bank,
+//    making indirect (data-dependent) accesses conflict-free.
+//  * kWordInterleaved — the generic CUDA mapping (bank = word % banks),
+//    under which indirect accesses from different lanes can collide.
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mlp::mem {
+
+enum class BankMapping : u8 { kLanePrivate, kWordInterleaved };
+
+class SharedMemBanking {
+ public:
+  SharedMemBanking(u32 banks, BankMapping mapping)
+      : banks_(banks), mapping_(mapping) {
+    MLP_CHECK(banks_ > 0, "need at least one bank");
+  }
+
+  struct LaneAccess {
+    u32 lane;
+    u32 addr;  ///< local-space byte address
+  };
+
+  /// Cycles to service all of a warp's accesses in one shared-memory op.
+  u32 conflict_cycles(const std::vector<LaneAccess>& accesses) const {
+    if (accesses.empty()) return 0;
+    std::vector<u32> per_bank(banks_, 0);
+    u32 worst = 0;
+    for (const LaneAccess& a : accesses) {
+      const u32 bank = mapping_ == BankMapping::kLanePrivate
+                           ? a.lane % banks_
+                           : (a.addr / 4) % banks_;
+      worst = std::max(worst, ++per_bank[bank]);
+    }
+    return worst;
+  }
+
+  BankMapping mapping() const { return mapping_; }
+
+ private:
+  u32 banks_;
+  BankMapping mapping_;
+};
+
+}  // namespace mlp::mem

@@ -1,0 +1,302 @@
+#include "millipede/prefetch_buffer.hpp"
+
+#include "common/units.hpp"
+
+namespace mlp::millipede {
+
+PrefetchBuffer::PrefetchBuffer(const MachineConfig& cfg, RowPlan plan,
+                               mem::MemoryController* ctrl,
+                               RateMatcher* rate_matcher, StatSet* stats,
+                               const std::string& prefix)
+    : cfg_(cfg),
+      plan_(std::move(plan)),
+      ctrl_(ctrl),
+      rate_matcher_(rate_matcher),
+      num_entries_(cfg.millipede.pf_entries),
+      slab_bytes_(cfg.dram.row_bytes / cfg.core.cores),
+      slab_words_(slab_bytes_ / 4),
+      row_shift_(log2_exact(cfg.dram.row_bytes)),
+      hit_latency_ps_(static_cast<Picos>(cfg.millipede.pb_hit_latency) *
+                      cfg.core.period_ps()),
+      entries_(num_entries_),
+      next_row_(plan_.first_row) {
+  MLP_CHECK(ctrl_ != nullptr, "prefetch buffer needs a controller");
+  MLP_CHECK(slab_words_ <= 64, "slab word mask limited to 64 words");
+  MLP_CHECK(plan_.expected_mask != nullptr, "row plan needs an expected mask");
+  if (stats != nullptr) {
+    stats->add(prefix + ".row_prefetches", &row_prefetches_);
+    stats->add(prefix + ".hits", &hits_);
+    stats->add(prefix + ".fill_waits", &fill_waits_);
+    stats->add(prefix + ".flow_waits", &flow_waits_);
+    stats->add(prefix + ".premature_evictions", &premature_evictions_);
+    stats->add(prefix + ".direct_fetches", &direct_fetches_);
+    stats->add(prefix + ".votes_memory", &votes_memory_);
+    stats->add(prefix + ".votes_compute", &votes_compute_);
+  }
+}
+
+u32 PrefetchBuffer::index_of(u64 row) const {
+  return static_cast<u32>((head_ + (row - head_row())) % num_entries_);
+}
+
+PrefetchBuffer::Entry* PrefetchBuffer::find(u64 row) {
+  if (count_ == 0) return nullptr;
+  if (row < head_row() || row >= head_row() + count_) return nullptr;
+  Entry& entry = entries_[index_of(row)];
+  MLP_CHECK(entry.valid && entry.row == row, "prefetch queue out of order");
+  return &entry;
+}
+
+bool PrefetchBuffer::all_filled() const {
+  for (u32 i = 0; i < count_; ++i) {
+    if (!entries_[(head_ + i) % num_entries_].filled) return false;
+  }
+  return count_ > 0;
+}
+
+void PrefetchBuffer::prime(Picos now) {
+  const u64 end = plan_.first_row + plan_.num_rows;
+  // Steady-state run-ahead equals the priming depth (each entry's first
+  // demand access triggers exactly one further row), so prime deep enough
+  // to cover all the rows a record's fields touch concurrently — by default
+  // the whole queue, as in the paper.
+  const u32 depth = cfg_.millipede.prime_rows == 0
+                        ? num_entries_
+                        : cfg_.millipede.prime_rows;
+  while (count_ < depth && next_row_ < end) allocate_next(now);
+}
+
+void PrefetchBuffer::allocate_next(Picos now) {
+  MLP_CHECK(count_ < num_entries_, "allocation into a full queue");
+  const u64 row = next_row_++;
+  Entry& entry = entries_[(head_ + count_) % num_entries_];
+  ++count_;
+  entry.row = row;
+  entry.valid = true;
+  entry.filled = false;
+  entry.pft = true;
+  entry.df = 0;
+  entry.consumed.assign(cfg_.core.cores, 0);
+  entry.expected.resize(cfg_.core.cores);
+  for (u32 c = 0; c < cfg_.core.cores; ++c) {
+    entry.expected[c] = plan_.expected_mask(row, c);
+    if (entry.expected[c] == 0) ++entry.df;  // nothing to consume
+  }
+  entry.waiters.clear();
+  entry.demanded_before_fill = false;
+  // Leading corelets already blocked on this row (flow-control waits): the
+  // demand clearly precedes the data.
+  auto pending = future_waiters_.find(row);
+  if (pending != future_waiters_.end()) {
+    entry.waiters = std::move(pending->second);
+    entry.demanded_before_fill = !entry.waiters.empty();
+    future_waiters_.erase(pending);
+  }
+  issue_prefetch(row, now);
+}
+
+void PrefetchBuffer::issue_prefetch(u64 row, Picos now) {
+  mem::MemRequest req;
+  req.addr = ctrl_->address_map().row_base(row);
+  req.bytes = cfg_.dram.row_bytes;
+  req.is_prefetch = true;
+  req.on_complete = [this, row](Picos at) { on_fill(row, at); };
+  row_prefetches_.inc();
+  if (!ctrl_->try_push(req, now)) issue_queue_.push_back(std::move(req));
+}
+
+void PrefetchBuffer::pump(Picos now) {
+  while (!issue_queue_.empty()) {
+    if (!ctrl_->try_push(issue_queue_.front(), now)) return;
+    issue_queue_.erase(issue_queue_.begin());
+  }
+}
+
+void PrefetchBuffer::on_fill(u64 row, Picos at) {
+  Entry* entry = find(row);
+  if (entry == nullptr) return;  // evicted before arrival (no flow control)
+  entry->filled = true;
+  auto waiters = std::move(entry->waiters);
+  entry->waiters.clear();
+  for (auto& waiter : waiters) waiter(at + hit_latency_ps_);
+  retire_saturated_heads(at);
+}
+
+void PrefetchBuffer::retire_saturated_heads(Picos now) {
+  while (count_ > 0) {
+    Entry& head = entries_[head_];
+    if (!head.filled || head.df < cfg_.core.cores) break;
+    // Rate-matching signal, one vote per retired row: a row some corelet had
+    // to WAIT for means the buffers ran empty ahead of compute (memory
+    // behind -> slow the clock); a row whose data arrived before anyone
+    // asked means memory ran ahead (compute behind -> speed up, capped at
+    // nominal). The equilibrium is just-in-time delivery — exactly
+    // compute-memory rate matching. Startup rows are warmup and do not vote.
+    if (rate_matcher_ != nullptr &&
+        retired_rows_ > 2ull * num_entries_) {
+      if (head.demanded_before_fill) {
+        votes_memory_.inc();
+        rate_matcher_->vote_memory_bound();
+      } else {
+        votes_compute_.inc();
+        rate_matcher_->vote_compute_bound();
+      }
+    }
+    ++retired_rows_;
+    head.valid = false;
+    head_ = (head_ + 1) % num_entries_;
+    --count_;
+  }
+  trigger(now);
+}
+
+void PrefetchBuffer::trigger(Picos now, bool force_evict) {
+  const u64 end = plan_.first_row + plan_.num_rows;
+  while (pending_triggers_ > 0 && next_row_ < end) {
+    if (count_ < num_entries_) {
+      allocate_next(now);
+      --pending_triggers_;
+      continue;
+    }
+    // Forced eviction only runs until every wrapped demand is covered.
+    if (force_evict && future_waiters_.empty()) force_evict = false;
+    if (cfg_.millipede.flow_control || !force_evict) {
+      // Deferred until the head's DF counter saturates. Without flow
+      // control ordinary PFT triggers also wait — eviction happens only
+      // when a leading corelet's demand wraps past the whole window
+      // (force_evict), which is what makes it "not frequent with 16
+      // buffers" in the paper.
+      return;
+    }
+    // Premature eviction: re-allocate the unsaturated head.
+    Entry& head = entries_[head_];
+    if (head.df < cfg_.core.cores || !head.filled) {
+      premature_evictions_.inc();
+      // Orphaned waiters must still get data: direct slab fetches.
+      for (auto& waiter : head.waiters) {
+        mem::MemRequest req;
+        req.addr = ctrl_->address_map().row_base(head.row);
+        req.bytes = slab_bytes_;
+        req.on_complete = std::move(waiter);
+        direct_fetches_.inc();
+        if (!ctrl_->try_push(req, now)) issue_queue_.push_back(std::move(req));
+      }
+    }
+    head.valid = false;
+    head.waiters.clear();
+    head_ = (head_ + 1) % num_entries_;
+    --count_;
+    allocate_next(now);
+    --pending_triggers_;
+  }
+}
+
+core::PortResult PrefetchBuffer::victim_fetch(
+    u32 core, u64 row, Picos now, std::function<void(Picos)> wakeup) {
+  const auto key = std::make_pair(row, core);
+  auto it = victim_slabs_.find(key);
+  if (it != victim_slabs_.end()) {
+    if (it->second.filled) {
+      return {core::PortStatus::kDone, now + hit_latency_ps_};
+    }
+    it->second.waiters.push_back(std::move(wakeup));
+    return {core::PortStatus::kPending, 0};
+  }
+  VictimSlab& slab = victim_slabs_[key];
+  slab.waiters.push_back(std::move(wakeup));
+  mem::MemRequest req;
+  req.addr = ctrl_->address_map().row_base(row) +
+             static_cast<Addr>(core) * slab_bytes_;
+  req.bytes = slab_bytes_;
+  const Picos lat = hit_latency_ps_;
+  req.on_complete = [this, key, lat](Picos at) {
+    auto entry = victim_slabs_.find(key);
+    MLP_CHECK(entry != victim_slabs_.end(), "victim slab vanished");
+    entry->second.filled = true;
+    auto batch = std::move(entry->second.waiters);
+    entry->second.waiters.clear();
+    for (auto& waiter : batch) waiter(at + lat);
+  };
+  direct_fetches_.inc();
+  if (!ctrl_->try_push(req, now)) issue_queue_.push_back(std::move(req));
+  return {core::PortStatus::kPending, 0};
+}
+
+core::PortResult PrefetchBuffer::load(u32 core, u32 /*ctx*/, Addr addr,
+                                      Picos now,
+                                      std::function<void(Picos)> wakeup) {
+  const u64 row = addr >> row_shift_;
+  Entry* entry = find(row);
+
+  if (entry == nullptr) {
+    if (count_ > 0 && row < head_row()) {
+      // Only reachable without flow control: the row was prematurely
+      // re-allocated before this lagging corelet consumed its slab. Pay a
+      // direct DRAM fetch — once per (row, corelet) slab; later words of
+      // the refetched slab hit the victim-slab side structure.
+      MLP_CHECK(!cfg_.millipede.flow_control,
+                "flow control must prevent post-retirement demands");
+      return victim_fetch(core, row, now, std::move(wakeup));
+    }
+    // The row is beyond the allocated window: a leading corelet ran into the
+    // flow-control barrier (or, without flow control, raced ahead of the
+    // trigger chain). Register the demand as triggers and wait.
+    MLP_CHECK(count_ == 0 || row >= next_row_,
+              "demand below allocated window with flow control");
+    if (row >= next_row_) {
+      const u64 needed = row - next_row_ + 1;
+      pending_triggers_ += static_cast<u32>(needed);
+    }
+    flow_waits_.inc();
+    future_waiters_[row].push_back(std::move(wakeup));
+    // A demand past the window is the "leading corelet wrapping around":
+    // without flow control it may evict unsaturated heads.
+    trigger(now, /*force_evict=*/!cfg_.millipede.flow_control);
+    // The trigger may have allocated (and even satisfied) the row when space
+    // was available; the waiter list was moved into the entry in that case.
+    return {core::PortStatus::kPending, 0};
+  }
+
+  // Slab discipline: the interleaved layout routes each corelet only to its
+  // own slab slice, keeping the buffer-to-corelet interconnect trivial.
+  const u32 offset = static_cast<u32>(addr & (cfg_.dram.row_bytes - 1));
+  const u32 slab = offset / slab_bytes_;
+  MLP_CHECK(slab == core, "corelet accessed a foreign slab");
+  const u32 word = (offset % slab_bytes_) / 4;
+
+  // Decide the access outcome and update consumption state FIRST; the
+  // trigger/retire calls below may re-allocate the very slot `entry` points
+  // to, so no dereference is allowed after them.
+  const bool was_filled = entry->filled;
+  const u64 bit = u64{1} << word;
+  if ((entry->consumed[core] & bit) == 0) {
+    entry->consumed[core] |= bit;
+    if (entry->consumed[core] == entry->expected[core]) ++entry->df;
+  }
+  const bool head_retires = entry == &entries_[head_] && was_filled &&
+                            entry->df == cfg_.core.cores;
+
+  core::PortResult result;
+  if (was_filled) {
+    hits_.inc();
+    result = {core::PortStatus::kDone, now + hit_latency_ps_};
+  } else {
+    fill_waits_.inc();
+    entry->demanded_before_fill = true;
+    entry->waiters.push_back(std::move(wakeup));
+    result = {core::PortStatus::kPending, 0};
+  }
+
+  if (entry->pft) {
+    entry->pft = false;
+    ++pending_triggers_;
+  }
+  if (head_retires) {
+    retire_saturated_heads(now);  // also runs trigger()
+  } else {
+    trigger(now);
+  }
+  return result;
+}
+
+}  // namespace mlp::millipede

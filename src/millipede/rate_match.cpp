@@ -1,0 +1,57 @@
+#include "millipede/rate_match.hpp"
+
+namespace mlp::millipede {
+
+RateMatcher::RateMatcher(const MillipedeConfig& cfg, const CoreConfig& core,
+                         ClockDomain* compute_clock, StatSet* stats,
+                         const std::string& prefix)
+    : cfg_(cfg),
+      nominal_period_ps_(core.period_ps()),
+      max_period_ps_(period_ps_from_hz(cfg.min_clock_mhz * 1e6)),
+      clock_(compute_clock) {
+  MLP_CHECK(clock_ != nullptr, "rate matcher needs a clock");
+  if (stats != nullptr) {
+    stats->add(prefix + ".steps_down", &steps_down_);
+    stats->add(prefix + ".steps_up", &steps_up_);
+  }
+}
+
+void RateMatcher::vote_memory_bound() {
+  ++memory_votes_;
+  maybe_step();
+}
+
+void RateMatcher::vote_compute_bound() {
+  ++compute_votes_;
+  maybe_step();
+}
+
+void RateMatcher::maybe_step() {
+  if (memory_votes_ + compute_votes_ < cfg_.rate_window) return;
+  // Seek the EDGE of memory-boundedness: the ideal operating point keeps
+  // memory the bottleneck (virtually every row demanded before its data
+  // arrives) at the lowest clock that does not extend the run. Step down
+  // only on a near-unanimous memory-bound window; step back up as soon as a
+  // couple of rows arrive early (compute becoming the constraint).
+  const bool step_down = memory_votes_ >= cfg_.rate_window - 1;
+  const bool step_up = compute_votes_ >= 2;
+  memory_votes_ = 0;
+  compute_votes_ = 0;
+  if (!step_down && !step_up) return;
+
+  const double factor = step_down ? (1.0 - cfg_.rate_step)   // f down
+                                  : (1.0 + cfg_.rate_step);  // f up
+  Picos period = static_cast<Picos>(
+      static_cast<double>(clock_->period_ps()) / factor + 0.5);
+  if (period < nominal_period_ps_) period = nominal_period_ps_;  // cap at 700 MHz
+  if (period > max_period_ps_) period = max_period_ps_;
+  if (period == clock_->period_ps()) return;
+  if (step_down) {
+    steps_down_.inc();
+  } else {
+    steps_up_.inc();
+  }
+  clock_->set_period_ps(period);
+}
+
+}  // namespace mlp::millipede

@@ -1,0 +1,52 @@
+#include "sim/node.hpp"
+
+#include "sim/runner.hpp"
+
+namespace mlp::sim {
+
+NodeScaleResult run_node_scale(const std::string& bench,
+                               const MachineConfig& cfg,
+                               const NodeScaleConfig& node) {
+  SuiteOptions options;
+  options.cfg = cfg;
+  NodeScaleResult result;
+  result.workload = bench;
+  result.processor_run =
+      run_verified(arch::ArchKind::kMillipede, bench, options);
+
+  // Steady-state per-record Map cost from the simulated slice (Section V:
+  // behaviour is stationary, so linear extrapolation is sound).
+  workloads::WorkloadParams probe;
+  probe.num_records = 1;
+  const workloads::Workload wl = workloads::make_bmla(bench, probe);
+  const double records_simulated =
+      static_cast<double>(result.processor_run.input_words) / wl.fields;
+  const double ps_per_record =
+      static_cast<double>(result.processor_run.runtime_ps) /
+      records_simulated;
+  // The node's processors work in parallel on disjoint shards.
+  const double records_per_processor =
+      static_cast<double>(node.node_records) / node.processors_per_node;
+  result.map_seconds = ps_per_record * records_per_processor * 1e-12;
+
+  u32 state_words = 0;
+  for (const auto& field : wl.state_schema) {
+    state_words =
+        std::max(state_words, field.offset_words +
+                                  field.count * field.stride_words);
+  }
+  result.state_words = state_words;
+
+  // Per-node Reduce: the host walks every corelet state of every processor.
+  const double node_words = static_cast<double>(state_words) *
+                            cfg.core.cores * node.processors_per_node;
+  result.node_reduce_seconds = node_words * node.host_ns_per_word * 1e-9;
+
+  // Cluster final Reduce: one reduced state per node crosses the network.
+  result.cluster_reduce_seconds = static_cast<double>(state_words) *
+                                  node.cluster_nodes *
+                                  node.network_ns_per_word * 1e-9;
+  return result;
+}
+
+}  // namespace mlp::sim

@@ -1,0 +1,46 @@
+#pragma once
+// Node- and cluster-level scale model (Section IV-D): a node holds 32
+// Millipede processors whose Maps + partial Reduces run independently (one
+// is simulated; the rest are statistically identical); the host CPU performs
+// the per-node Reduce over every corelet's live state, and the cluster's
+// final Reduce combines the node results over the network. The paper argues
+// communication support for the Reduce phases "may not be worth it" because
+// Map dominates by orders of magnitude — this model reproduces that claim's
+// arithmetic from measured per-record Map cost.
+
+#include "arch/system.hpp"
+
+namespace mlp::sim {
+
+struct NodeScaleConfig {
+  u32 processors_per_node = 32;  ///< Millipede processors on the node
+  u64 node_records = 40'000'000; ///< "tens of millions of records" per node
+  u32 cluster_nodes = 5000;      ///< cluster size in the paper's example
+  /// Host CPU cost to fetch+accumulate one live-state word during the
+  /// per-node Reduce (3.6 GHz host, cache-resident states).
+  double host_ns_per_word = 1.0;
+  /// Per-word cost of the cross-cluster shuffle + final Reduce (network
+  /// serialization dominates).
+  double network_ns_per_word = 100.0;
+};
+
+struct NodeScaleResult {
+  std::string workload;
+  u64 state_words = 0;          ///< partially-reduced output per corelet
+  double map_seconds = 0.0;     ///< per-node Map + partial Reduce
+  double node_reduce_seconds = 0.0;
+  double cluster_reduce_seconds = 0.0;
+  arch::RunResult processor_run;  ///< the simulated processor's detail
+
+  double reduce_fraction() const {
+    return node_reduce_seconds / map_seconds;
+  }
+};
+
+/// Simulate one processor on a steady-state slice, then scale to the node
+/// and cluster per NodeScaleConfig.
+NodeScaleResult run_node_scale(const std::string& bench,
+                               const MachineConfig& cfg,
+                               const NodeScaleConfig& node);
+
+}  // namespace mlp::sim

@@ -1,0 +1,71 @@
+#include "sim/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mlp::sim {
+
+u64 default_rows() {
+  if (const char* env = std::getenv("MLP_BENCH_ROWS")) {
+    const long long value = std::atoll(env);
+    if (value > 0) return static_cast<u64>(value);
+  }
+  return 192;
+}
+
+u64 records_for(const std::string& bench, const MachineConfig& cfg) {
+  if (const char* env = std::getenv("MLP_BENCH_RECORDS")) {
+    const long long value = std::atoll(env);
+    if (value > 0) return static_cast<u64>(value);
+  }
+  // Probe the workload's record width, then size by data volume.
+  workloads::WorkloadParams probe;
+  probe.num_records = 1;
+  const u32 fields = workloads::make_bmla(bench, probe).fields;
+  const u64 group_records = cfg.dram.row_bytes / 4;
+  const u64 groups =
+      std::max<u64>(1, default_rows() / fields);
+  return groups * group_records;
+}
+
+arch::RunResult run_verified(arch::ArchKind kind, const std::string& bench,
+                             const SuiteOptions& options) {
+  workloads::WorkloadParams params;
+  params.num_records = options.records != 0
+                           ? options.records
+                           : records_for(bench, options.cfg);
+  params.seed = options.seed;
+  const workloads::Workload workload = workloads::make_bmla(bench, params);
+  arch::RunResult result = arch::run_arch(kind, options.cfg, workload,
+                                          options.seed);
+  if (!result.verification.empty()) {
+    std::fprintf(stderr, "VERIFICATION FAILED %s/%s: %s\n",
+                 result.arch.c_str(), bench.c_str(),
+                 result.verification.c_str());
+    std::abort();
+  }
+  return result;
+}
+
+std::vector<arch::RunResult> run_suite(arch::ArchKind kind,
+                                       const SuiteOptions& options) {
+  std::vector<arch::RunResult> results;
+  for (const std::string& bench : workloads::bmla_names()) {
+    results.push_back(run_verified(kind, bench, options));
+  }
+  return results;
+}
+
+double geomean(const std::vector<double>& values) {
+  MLP_CHECK(!values.empty(), "geomean of nothing");
+  double log_sum = 0.0;
+  for (double v : values) {
+    MLP_CHECK(v > 0.0, "geomean needs positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace mlp::sim

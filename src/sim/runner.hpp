@@ -1,0 +1,44 @@
+#pragma once
+// Benchmark-harness conveniences: consistent workload sizing (overridable
+// via the MLP_BENCH_RECORDS environment variable), suite execution, and
+// verified runs (a run whose reduced result does not match the golden
+// reference aborts the harness — bad timing models must not produce
+// "results").
+
+#include <vector>
+
+#include "arch/system.hpp"
+
+namespace mlp::sim {
+
+struct SuiteOptions {
+  u64 records = 0;  ///< 0 = default_records()
+  u64 seed = 1;
+  MachineConfig cfg = MachineConfig::paper_defaults();
+};
+
+/// Default sizing is by DATA VOLUME, not record count: each benchmark gets
+/// enough records to fill `default_rows()` DRAM rows, so light 1-word
+/// records (count) see as many rows — and as much rate-matching history —
+/// as heavy 17-word ones (gda). The paper argues (Section V) that BMLAs are
+/// behaviourally stationary, so modest inputs reach the same steady state
+/// as its 128 MB runs; the ablation_input_size bench demonstrates this.
+/// Overrides: MLP_BENCH_ROWS (volume) or MLP_BENCH_RECORDS (absolute).
+u64 default_rows();
+
+/// Records giving `default_rows()` of data for a benchmark (honours
+/// MLP_BENCH_RECORDS when set).
+u64 records_for(const std::string& bench, const MachineConfig& cfg);
+
+/// Run one (architecture, benchmark) pair and abort if verification fails.
+arch::RunResult run_verified(arch::ArchKind kind, const std::string& bench,
+                             const SuiteOptions& options);
+
+/// Run all eight BMLAs on one architecture.
+std::vector<arch::RunResult> run_suite(arch::ArchKind kind,
+                                       const SuiteOptions& options);
+
+/// Geometric mean (the paper's summary statistic for Figs. 3/4).
+double geomean(const std::vector<double>& values);
+
+}  // namespace mlp::sim

@@ -1,0 +1,105 @@
+// mlpasm — kernel inspection tool: assemble a source file (or dump a
+// built-in benchmark kernel), print the listing with labels, the binary
+// encoding, static statistics, and the SIMT reconvergence analysis.
+//
+//   mlpasm --bench nbayes            # disassemble a built-in kernel
+//   mlpasm --file my_kernel.s        # assemble + inspect a file
+//   mlpasm --bench count --encode    # also dump the 32-bit words
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "isa/assembler.hpp"
+#include "isa/cfg.hpp"
+#include "isa/disassembler.hpp"
+#include "isa/encoding.hpp"
+#include "workloads/bmla.hpp"
+
+namespace {
+
+using namespace mlp;
+
+void inspect(const isa::Program& program, bool encode) {
+  std::printf("== %s: %u instructions (%u bytes) ==\n",
+              program.name().c_str(), program.size(), program.size_bytes());
+  std::printf("%s\n", isa::disassemble(program).c_str());
+
+  const isa::StaticCounts counts = program.static_counts();
+  std::printf("static mix: %u branches, %u jumps, %u global loads, "
+              "%u global stores, %u local accesses, %u float ops\n",
+              counts.branches, counts.jumps, counts.global_loads,
+              counts.global_stores, counts.local_accesses, counts.float_ops);
+
+  const isa::ReconvergenceTable reconv =
+      isa::ReconvergenceTable::build(program);
+  std::printf("\nSIMT reconvergence points:\n");
+  for (u32 pc = 0; pc < program.size(); ++pc) {
+    if (!isa::op_info(program.at(pc).op).is_branch) continue;
+    const u32 r = reconv.at(pc);
+    if (r == isa::ReconvergenceTable::kNoReconv) {
+      std::printf("  pc %3u: %-28s -> no join before exit\n", pc,
+                  isa::disassemble(program.at(pc)).c_str());
+    } else {
+      std::printf("  pc %3u: %-28s -> reconverges at pc %u\n", pc,
+                  isa::disassemble(program.at(pc)).c_str(), r);
+    }
+  }
+
+  if (encode) {
+    std::printf("\nbinary encoding:\n");
+    const auto words = isa::encode_program(program.instrs());
+    for (u32 pc = 0; pc < words.size(); ++pc) {
+      std::printf("  %3u: 0x%08x  %s\n", pc, words[pc],
+                  isa::disassemble(program.at(pc)).c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bench, file;
+  bool encode = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bench" && i + 1 < argc) {
+      bench = argv[++i];
+    } else if (arg == "--file" && i + 1 < argc) {
+      file = argv[++i];
+    } else if (arg == "--encode") {
+      encode = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: mlpasm (--bench NAME | --file PATH) [--encode]\n");
+      return 2;
+    }
+  }
+
+  if (!bench.empty()) {
+    workloads::WorkloadParams params;
+    params.num_records = 1;
+    inspect(workloads::make_bmla(bench, params).program, encode);
+    return 0;
+  }
+  if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 1;
+    }
+    std::stringstream source;
+    source << in.rdbuf();
+    const isa::AsmResult result = isa::assemble(file, source.str());
+    if (!result.ok) {
+      std::fprintf(stderr, "assembly failed: %s\n", result.error.c_str());
+      return 1;
+    }
+    inspect(result.program, encode);
+    return 0;
+  }
+  std::fprintf(stderr, "usage: mlpasm (--bench NAME | --file PATH) [--encode]\n");
+  return 2;
+}

@@ -1,0 +1,183 @@
+// mlpsim — command-line driver for the simulator: run any (architecture,
+// benchmark) pair under a tweaked machine configuration and print the full
+// result, optionally as CSV.
+//
+//   mlpsim --arch millipede --bench nbayes --records 65536
+//   mlpsim --arch ssmc --bench count --rows 384 --pf-entries 32 --csv
+//   mlpsim --list
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/runner.hpp"
+
+namespace {
+
+using namespace mlp;
+
+void usage() {
+  std::printf(R"(mlpsim — Millipede PNM simulator driver
+
+  --arch NAME       millipede | millipede-no-flow-control |
+                    millipede-no-rate-match | ssmc | gpgpu | vws | vws-row |
+                    multicore                       (default millipede)
+  --bench NAME      count|sample|variance|nbayes|classify|kmeans|pca|gda
+                    or "all"                        (default all)
+  --records N       absolute record count           (default: by volume)
+  --rows N          data volume in DRAM rows        (default 192)
+  --seed N          data generation seed            (default 1)
+  --cores N         corelets / lanes / cores        (default 32)
+  --pf-entries N    prefetch buffer entries         (default 16)
+  --no-flow-control / --no-rate-match / --record-barrier
+  --bus-efficiency F  effective DRAM bus efficiency (default 0.30)
+  --csv             machine-readable one-line-per-run output
+  --stats           dump every counter after each run
+  --list            list architectures and benchmarks
+)");
+}
+
+bool arch_from_name(const std::string& name, arch::ArchKind* out) {
+  using arch::ArchKind;
+  const std::pair<const char*, ArchKind> table[] = {
+      {"millipede", ArchKind::kMillipede},
+      {"millipede-no-flow-control", ArchKind::kMillipedeNoFlowControl},
+      {"millipede-no-rate-match", ArchKind::kMillipedeNoRateMatch},
+      {"ssmc", ArchKind::kSsmc},
+      {"gpgpu", ArchKind::kGpgpu},
+      {"vws", ArchKind::kVws},
+      {"vws-row", ArchKind::kVwsRow},
+      {"multicore", ArchKind::kMulticore},
+  };
+  for (const auto& [n, kind] : table) {
+    if (name == n) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  arch::ArchKind kind = arch::ArchKind::kMillipede;
+  std::string bench = "all";
+  u64 records = 0;
+  u64 seed = 1;
+  bool csv = false;
+  bool dump_stats = false;
+  bool record_barrier = false;
+  MachineConfig cfg = MachineConfig::paper_defaults();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--list") {
+      std::printf("architectures: millipede millipede-no-flow-control "
+                  "millipede-no-rate-match ssmc gpgpu vws vws-row multicore\n");
+      std::printf("benchmarks:");
+      for (const auto& name : workloads::bmla_names()) {
+        std::printf(" %s", name.c_str());
+      }
+      std::printf("\n");
+      return 0;
+    } else if (arg == "--arch") {
+      if (!arch_from_name(next(), &kind)) {
+        std::fprintf(stderr, "unknown architecture\n");
+        return 2;
+      }
+    } else if (arg == "--bench") {
+      bench = next();
+    } else if (arg == "--records") {
+      records = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--rows") {
+      setenv("MLP_BENCH_ROWS", next(), 1);
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--cores") {
+      cfg.core.cores = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+      cfg.gpgpu.warp_width = cfg.core.cores;
+    } else if (arg == "--pf-entries") {
+      cfg.millipede.pf_entries =
+          static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--bus-efficiency") {
+      cfg.dram.bus_efficiency = std::strtod(next(), nullptr);
+    } else if (arg == "--no-flow-control") {
+      cfg.millipede.flow_control = false;
+      cfg.millipede.rate_match = false;
+      kind = arch::ArchKind::kMillipedeNoFlowControl;
+    } else if (arg == "--no-rate-match") {
+      kind = arch::ArchKind::kMillipedeNoRateMatch;
+    } else if (arg == "--record-barrier") {
+      record_barrier = true;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--stats") {
+      dump_stats = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<std::string> benches;
+  if (bench == "all") {
+    benches = workloads::bmla_names();
+  } else {
+    benches.push_back(bench);
+  }
+
+  if (csv) {
+    std::printf("arch,bench,records,runtime_us,cycles,insts,insts_per_word,"
+                "clock_mhz,core_uj,dram_uj,leak_uj,row_miss_rate\n");
+  }
+  for (const std::string& name : benches) {
+    workloads::WorkloadParams params;
+    params.num_records = records != 0 ? records : sim::records_for(name, cfg);
+    params.seed = seed;
+    params.record_barrier = record_barrier;
+    const workloads::Workload wl = workloads::make_bmla(name, params);
+    const arch::RunResult r = arch::run_arch(kind, cfg, wl, seed);
+    if (!r.verification.empty()) {
+      std::fprintf(stderr, "VERIFICATION FAILED %s/%s: %s\n", r.arch.c_str(),
+                   name.c_str(), r.verification.c_str());
+      return 1;
+    }
+    if (csv) {
+      std::printf("%s,%s,%llu,%.3f,%llu,%llu,%.2f,%.0f,%.3f,%.3f,%.3f,%.4f\n",
+                  r.arch.c_str(), name.c_str(),
+                  static_cast<unsigned long long>(wl.num_records),
+                  static_cast<double>(r.runtime_ps) / 1e6,
+                  static_cast<unsigned long long>(r.compute_cycles),
+                  static_cast<unsigned long long>(r.thread_instructions),
+                  r.insts_per_word, r.final_clock_mhz, r.energy.core_j * 1e6,
+                  r.energy.dram_j * 1e6, r.energy.leak_j * 1e6,
+                  r.row_miss_rate);
+    } else {
+      std::printf(
+          "%-10s %-9s verified  rt=%9.2fus  clk=%4.0fMHz  "
+          "E=%8.2fuJ  ipw=%6.1f  miss=%.3f\n",
+          r.arch.c_str(), name.c_str(),
+          static_cast<double>(r.runtime_ps) / 1e6, r.final_clock_mhz,
+          r.energy.total_j() * 1e6, r.insts_per_word, r.row_miss_rate);
+    }
+    if (dump_stats) {
+      for (const auto& [key, value] : r.stats) {
+        std::printf("    %-32s %llu\n", key.c_str(),
+                    static_cast<unsigned long long>(value));
+      }
+    }
+  }
+  return 0;
+}

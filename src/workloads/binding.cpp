@@ -1,0 +1,91 @@
+#include "workloads/binding.hpp"
+
+#include "core/functional.hpp"
+
+namespace mlp::workloads {
+
+void bind_csrs(core::CsrValues& csr, const Workload& workload,
+               const InterleavedLayout& layout, const ThreadSlice& slice,
+               u32 tid, u32 nthreads, u32 cid, u32 ncores, u32 ctx,
+               u32 nctx) {
+  using isa::Csr;
+  csr.set(Csr::kTid, tid);
+  csr.set(Csr::kNthreads, nthreads);
+  csr.set(Csr::kCid, cid);
+  csr.set(Csr::kNcores, ncores);
+  csr.set(Csr::kCtx, ctx);
+  csr.set(Csr::kNctx, nctx);
+  csr.set(Csr::kIdxBase, slice.idx_base);
+  csr.set(Csr::kIdxStride, slice.idx_stride);
+  csr.set(Csr::kRpt, slice.rpt);
+  // The kernel-facing geometry view: identical to the physical geometry for
+  // the field-major layout; re-expressed for the record-contiguous layout so
+  // the same Map-loop skeleton addresses both (see layout.hpp).
+  csr.set(Csr::kGroupShift, layout.csr_group_shift());
+  csr.set(Csr::kRowShift, layout.csr_row_shift());
+  csr.set(Csr::kNgroups, layout.csr_ngroups());
+  csr.set(Csr::kNrecords, layout.csr_nrecords());
+  csr.set(Csr::kFields, layout.csr_fields());
+  csr.set(Csr::kInputBase, static_cast<u32>(layout.base()));
+  for (u32 i = 0; i < workload.args.size(); ++i) {
+    csr.set(static_cast<Csr>(static_cast<u32>(Csr::kArg0) + i),
+            workload.args[i]);
+  }
+}
+
+FunctionalResult run_functional(const Workload& workload, u32 cores,
+                                u32 contexts, u32 row_bytes,
+                                u32 local_mem_bytes, u64 seed) {
+  InterleavedLayout layout(row_bytes, workload.fields, workload.num_records);
+  mem::DramImage image(layout.total_bytes());
+  Rng rng(seed);
+  workload.generate(layout, image, rng);
+
+  FunctionalResult result;
+  for (u32 c = 0; c < cores; ++c) {
+    result.states.emplace_back(local_mem_bytes);
+    if (workload.init_state) workload.init_state(result.states.back());
+  }
+
+  std::vector<core::Context> threads(static_cast<size_t>(cores) * contexts);
+  for (u32 c = 0; c < cores; ++c) {
+    for (u32 x = 0; x < contexts; ++x) {
+      core::Context& ctx = threads[c * contexts + x];
+      const ThreadSlice slice =
+          layout.slice(ThreadMapping::kSlab, cores, contexts, c, x);
+      bind_csrs(ctx.csr, workload, layout, slice, c * contexts + x,
+                cores * contexts, c, cores, x, contexts);
+    }
+  }
+
+  // Round-robin all threads one instruction at a time so that the contexts
+  // of a corelet interleave on the shared state, as on real hardware.
+  bool any_running = true;
+  while (any_running) {
+    any_running = false;
+    for (u32 c = 0; c < cores; ++c) {
+      for (u32 x = 0; x < contexts; ++x) {
+        core::Context& ctx = threads[c * contexts + x];
+        if (ctx.state == core::Context::State::kHalted) continue;
+        any_running = true;
+        const core::StepResult step_result =
+            core::step(ctx, workload.program, result.states[c], image);
+        ++result.instructions;
+        switch (step_result.kind) {
+          case core::StepKind::kBranch:
+            ++result.branches;
+            if (step_result.branch_taken) ++result.branches_taken;
+            break;
+          case core::StepKind::kGlobalLoad:
+            ++result.global_loads;
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mlp::workloads

@@ -1,0 +1,43 @@
+#pragma once
+// Glue between a Workload and the hardware threads that run it: CSR binding
+// (thread identity + layout geometry + kernel args) and a pure-functional
+// runner used by tests, examples and kernel validation. The functional
+// runner executes the exact same binaries as the timing models, so a
+// mismatch against the golden reference is a kernel bug, not a timing bug.
+
+#include "core/context.hpp"
+#include "workloads/workload.hpp"
+
+namespace mlp::workloads {
+
+/// Fill a thread's CSR file. For kSlab mappings pass (core=corelet id,
+/// ctx=context id); for kWordInterleaved pass (core=warp index, ctx=lane)
+/// to slice(), but real identity values for the CSR ids.
+void bind_csrs(core::CsrValues& csr, const Workload& workload,
+               const InterleavedLayout& layout, const ThreadSlice& slice,
+               u32 tid, u32 nthreads, u32 cid, u32 ncores, u32 ctx, u32 nctx);
+
+/// Result of a functional (timing-free) run.
+struct FunctionalResult {
+  std::vector<mem::LocalStore> states;   ///< one per corelet
+  u64 instructions = 0;
+  u64 branches = 0;
+  u64 branches_taken = 0;
+  u64 global_loads = 0;
+
+  std::vector<const mem::LocalStore*> state_ptrs() const {
+    std::vector<const mem::LocalStore*> out;
+    for (const auto& s : states) out.push_back(&s);
+    return out;
+  }
+};
+
+/// Generate the input, run every hardware thread to completion functionally
+/// (kSlab mapping, contexts of a corelet interleaved round-robin so atomic
+/// accumulation interleaving is exercised), and return the per-corelet
+/// states plus dynamic instruction statistics.
+FunctionalResult run_functional(const Workload& workload, u32 cores,
+                                u32 contexts, u32 row_bytes,
+                                u32 local_mem_bytes, u64 seed);
+
+}  // namespace mlp::workloads

@@ -1,0 +1,25 @@
+#include "workloads/bmla.hpp"
+
+namespace mlp::workloads {
+
+const std::vector<std::string>& bmla_names() {
+  static const std::vector<std::string> names = {
+      "count", "sample", "variance", "nbayes",
+      "classify", "kmeans", "pca", "gda"};
+  return names;
+}
+
+Workload make_bmla(const std::string& name, const WorkloadParams& params) {
+  if (name == "count") return make_count(params);
+  if (name == "sample") return make_sample(params);
+  if (name == "variance") return make_variance(params);
+  if (name == "nbayes") return make_nbayes(params);
+  if (name == "classify") return make_classify(params);
+  if (name == "kmeans") return make_kmeans(params);
+  if (name == "pca") return make_pca(params);
+  if (name == "gda") return make_gda(params);
+  MLP_CHECK(false, ("unknown benchmark: " + name).c_str());
+  return {};
+}
+
+}  // namespace mlp::workloads

@@ -1,0 +1,48 @@
+#pragma once
+// The eight BMLA benchmarks of Table II/IV, each packaged as a Workload:
+// kernel assembly (built around the common Map-loop skeleton), synthetic
+// data generator, live-state schema, host golden reference, and final
+// Reduce. Data-dependent branches are engineered with the paper's ~70/30
+// taken/not-taken split (Section VI-A).
+
+#include "workloads/workload.hpp"
+
+namespace mlp::workloads {
+
+struct WorkloadParams {
+  u64 num_records = 64 * 1024;
+  u64 seed = 12345;
+  /// Section IV-C ablation: insert a processor-wide barrier after every
+  /// record slot (the MapReduce-expressible software alternative to
+  /// hardware flow control).
+  bool record_barrier = false;
+};
+
+Workload make_count(const WorkloadParams& params);     ///< rating histogram
+Workload make_sample(const WorkloadParams& params);    ///< sample selection
+Workload make_variance(const WorkloadParams& params);  ///< per-bin variance
+Workload make_nbayes(const WorkloadParams& params);    ///< Naive Bayes
+Workload make_classify(const WorkloadParams& params);  ///< nearest centroid
+Workload make_kmeans(const WorkloadParams& params);    ///< k-means iteration
+Workload make_pca(const WorkloadParams& params);       ///< mean + covariance
+Workload make_gda(const WorkloadParams& params);       ///< per-class Gaussian
+
+/// Benchmark names in the paper's Table IV order.
+const std::vector<std::string>& bmla_names();
+
+/// Factory by name; aborts on unknown names.
+Workload make_bmla(const std::string& name, const WorkloadParams& params);
+
+// Fixed kernel dimensions (exposed for tests and docs).
+inline constexpr u32 kCountBins = 8;
+inline constexpr u32 kSampleBins = 64;
+inline constexpr u32 kSampleSlots = 3;
+inline constexpr u32 kVarianceBins = 16;
+inline constexpr u32 kNbDims = 8;
+inline constexpr u32 kNbBins = 8;
+inline constexpr u32 kClassifyK = 8;
+inline constexpr u32 kClassifyDims = 8;
+inline constexpr u32 kPcaDims = 16;
+inline constexpr u32 kGdaDims = 16;
+
+}  // namespace mlp::workloads

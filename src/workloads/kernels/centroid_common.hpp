@@ -1,0 +1,157 @@
+#pragma once
+// Shared machinery for the two centroid kernels (`classify`, `kmeans`):
+// unrolled nearest-centroid assembly generation, cluster data synthesis,
+// and the bit-exact float nearest-centroid reference.
+//
+// Live-state layout (words): centroids[k*D] @0 (constants), accumulators
+// [k*D] @64, counts[k] @128, and (kmeans only) variance sums [k*D] @136.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workloads/bmla.hpp"
+
+namespace mlp::workloads::centroid {
+
+inline constexpr u32 kK = kClassifyK;      // 8 centroids
+inline constexpr u32 kD = kClassifyDims;   // 8 dimensions
+inline constexpr u32 kAccBase = 64 * 4;    // byte offsets
+inline constexpr u32 kCountBase = 128 * 4;
+inline constexpr u32 kVarBase = 136 * 4;
+
+/// Deterministic, well-separated cluster centers.
+inline std::vector<float> make_centers(Rng& rng) {
+  std::vector<float> centers(kK * kD);
+  for (u32 c = 0; c < kK; ++c) {
+    for (u32 d = 0; d < kD; ++d) {
+      centers[c * kD + d] =
+          static_cast<float>(10.0 * c + 4.0 * rng.uniform() - 2.0);
+    }
+  }
+  return centers;
+}
+
+/// Nearest centroid with the exact float arithmetic the kernel uses:
+/// distance accumulated in ascending-d order, strict-less argmin.
+inline u32 nearest(const float* x, const std::vector<float>& centers) {
+  float best = 1e30f;
+  u32 best_c = 0;
+  for (u32 c = 0; c < kK; ++c) {
+    float dist = 0.0f;
+    for (u32 d = 0; d < kD; ++d) {
+      const float t = x[d] - centers[c * kD + d];
+      dist += t * t;
+    }
+    if (dist < best) {
+      best = dist;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+/// Kernel-specific preamble: r31 = +huge (argmin seed). NOTE: the body loads
+/// the 8 record coordinates into r16..r23, so no preamble constant may live
+/// in that range.
+inline std::string preamble() { return "    li.f r31, 1e30\n"; }
+
+/// Unrolled per-record body: load the D coords into r16..r23, find the
+/// nearest of the k centroids (data-dependent argmin-update branches), then
+/// accumulate the record into the winner's accumulator and count —
+/// optionally also its per-dimension squared-deviation sums (kmeans).
+inline std::string body(bool with_variance) {
+  std::string s;
+  for (u32 d = 0; d < kD; ++d) {
+    s += "    lw   r" + std::to_string(16 + d) + ", 0(r15)\n";
+    s += "    add  r15, r15, r9\n";
+  }
+  s += "    mv   r24, r31\n    li   r25, 0\n";  // best dist, best c
+  for (u32 c = 0; c < kK; ++c) {
+    s += "    li   r26, 0\n";  // dist = 0.0f
+    for (u32 d = 0; d < kD; ++d) {
+      const u32 cen_off = (c * kD + d) * 4;
+      s += "    lw.l r27, " + std::to_string(cen_off) + "(r0)\n";
+      s += "    fsub r27, r" + std::to_string(16 + d) + ", r27\n";
+      s += "    fmul r27, r27, r27\n";
+      s += "    fadd r26, r26, r27\n";
+    }
+    const std::string skip = "cen_skip" + std::to_string(c);
+    s += "    flt  r27, r26, r24\n";
+    s += "    beq  r27, r0, " + skip + "\n";  // data-dependent argmin update
+    s += "    mv   r24, r26\n";
+    s += "    li   r25, " + std::to_string(c) + "\n";
+    s += skip + ":\n";
+  }
+  // Accumulate into the winner: acc[best][d] += x[d]; counts[best]++.
+  s += "    slli r27, r25, 5\n";  // best * D * 4
+  s += "    addi r27, r27, " + std::to_string(kAccBase) + "\n";
+  for (u32 d = 0; d < kD; ++d) {
+    s += "    famoadd.l r28, r" + std::to_string(16 + d) + ", " +
+         std::to_string(d * 4) + "(r27)\n";
+  }
+  s += "    slli r28, r25, 2\n";
+  s += "    addi r28, r28, " + std::to_string(kCountBase) + "\n";
+  s += "    li   r29, 1\n";
+  s += "    amoadd.l r30, r29, 0(r28)\n";
+  if (with_variance) {
+    s += "    slli r28, r25, 5\n";  // centroid byte base
+    s += "    slli r29, r25, 5\n";
+    s += "    addi r29, r29, " + std::to_string(kVarBase) + "\n";
+    for (u32 d = 0; d < kD; ++d) {
+      s += "    lw.l r30, " + std::to_string(d * 4) + "(r28)\n";
+      s += "    fsub r30, r" + std::to_string(16 + d) + ", r30\n";
+      s += "    fmul r30, r30, r30\n";
+      s += "    famoadd.l r27, r30, " + std::to_string(d * 4) + "(r29)\n";
+    }
+  }
+  return s;
+}
+
+/// Records drawn from Gaussian blobs around the centers.
+inline void generate(const std::vector<float>& centers,
+                     const InterleavedLayout& layout, mem::DramImage& image,
+                     Rng& rng) {
+  for (u64 r = 0; r < layout.num_records(); ++r) {
+    const u32 c = static_cast<u32>(rng.below(kK));
+    for (u32 d = 0; d < kD; ++d) {
+      image.write_f32(layout.address(d, r),
+                      centers[c * kD + d] +
+                          static_cast<float>(rng.gaussian() * 1.5));
+    }
+  }
+}
+
+/// Shared reference: per-cluster accumulator sums, counts, and (optionally)
+/// squared-deviation sums, concatenated in schema order.
+inline std::vector<double> reference(const std::vector<float>& centers,
+                                     const mem::DramImage& image,
+                                     const InterleavedLayout& layout,
+                                     bool with_variance) {
+  std::vector<double> acc(kK * kD, 0.0), counts(kK, 0.0), var(kK * kD, 0.0);
+  float x[kD];
+  for (u64 r = 0; r < layout.num_records(); ++r) {
+    for (u32 d = 0; d < kD; ++d) x[d] = image.read_f32(layout.address(d, r));
+    const u32 best = nearest(x, centers);
+    counts[best] += 1.0;
+    for (u32 d = 0; d < kD; ++d) {
+      acc[best * kD + d] += x[d];
+      if (with_variance) {
+        const float t = x[d] - centers[best * kD + d];
+        var[best * kD + d] += static_cast<double>(t) * t;
+      }
+    }
+  }
+  std::vector<double> out = acc;
+  out.insert(out.end(), counts.begin(), counts.end());
+  if (with_variance) out.insert(out.end(), var.begin(), var.end());
+  return out;
+}
+
+inline void init_state(const std::vector<float>& centers,
+                       mem::LocalStore& state) {
+  for (u32 i = 0; i < kK * kD; ++i) state.store_f32(i * 4, centers[i]);
+}
+
+}  // namespace mlp::workloads::centroid

@@ -1,0 +1,47 @@
+// `classify` — supervised classification via Euclidean distance: find the
+// nearest of k constant centroids (O(k) per record) and fold the record into
+// the winner's running new-centroid accumulator (O(1) per record).
+
+#include "isa/assembler.hpp"
+#include "workloads/kernels/centroid_common.hpp"
+#include "workloads/skeleton.hpp"
+
+namespace mlp::workloads {
+
+Workload make_classify(const WorkloadParams& params) {
+  auto rng = std::make_shared<Rng>(params.seed ^ 0xc1a551f9u);
+  auto centers = std::make_shared<std::vector<float>>(
+      centroid::make_centers(*rng));
+
+  Workload wl;
+  wl.name = "classify";
+  wl.description = "nearest-centroid classification with running centroids";
+  wl.program = isa::must_assemble(
+      "classify",
+      kernel_skeleton(centroid::preamble(),
+                      centroid::body(/*with_variance=*/false),
+                      params.record_barrier));
+  wl.fields = centroid::kD;
+  wl.num_records = params.num_records;
+  wl.state_schema = {
+      {"acc", 64, centroid::kK * centroid::kD, 1, true},
+      {"counts", 128, centroid::kK, 1, false},
+  };
+  wl.tolerance = 1e-3;
+
+  wl.generate = [centers](const InterleavedLayout& layout,
+                          mem::DramImage& image, Rng& rng) {
+    centroid::generate(*centers, layout, image, rng);
+  };
+  wl.reference = [centers](const mem::DramImage& image,
+                           const InterleavedLayout& layout) {
+    return centroid::reference(*centers, image, layout,
+                               /*with_variance=*/false);
+  };
+  wl.init_state = [centers](mem::LocalStore& state) {
+    centroid::init_state(*centers, state);
+  };
+  return wl;
+}
+
+}  // namespace mlp::workloads

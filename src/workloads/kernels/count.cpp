@@ -1,0 +1,76 @@
+// `count` — the lightest BMLA: histogram movie ratings into bins, filtered
+// by a data-dependent threshold (engineered ~70/30 taken split). One word
+// per record; O(1) work per word; live state = 8 bin counters.
+
+#include "isa/assembler.hpp"
+#include "workloads/bmla.hpp"
+#include "workloads/skeleton.hpp"
+
+namespace mlp::workloads {
+namespace {
+
+constexpr u32 kValueRange = 16;
+constexpr u32 kThreshold = 11;  // P(v < 11) with v ~ U[0,16) is ~0.69
+
+const char* kPreamble = R"(
+    csrr r20, ARG0          ; filter threshold
+    li   r21, 1
+)";
+
+// Accepted ratings histogram into bins; rejected ones (the ~30% arm) bump a
+// rejection counter — a genuine if/else whose arms a SIMT machine must
+// serialize. Live state: counts[8] @0, rejected @ word 8.
+const char* kBody = R"(
+    lw   r16, 0(r15)        ; rating
+    bge  r16, r20, count_rej    ; data-dependent 70/30 branch
+    andi r17, r16, 7        ; bin
+    slli r17, r17, 2
+    amoadd.l r18, r21, 0(r17)   ; counts[bin]++
+    j    count_done
+count_rej:
+    li   r17, 32
+    amoadd.l r18, r21, 0(r17)   ; rejected++
+count_done:
+)";
+
+}  // namespace
+
+Workload make_count(const WorkloadParams& params) {
+  Workload wl;
+  wl.name = "count";
+  wl.description = "filtered rating histogram (bin count per rating)";
+  wl.program = isa::must_assemble(
+      "count", kernel_skeleton(kPreamble, kBody, params.record_barrier));
+  wl.fields = 1;
+  wl.num_records = params.num_records;
+  wl.args[0] = kThreshold;
+  wl.state_schema = {{"counts", 0, kCountBins, 1, false},
+                     {"rejected", kCountBins, 1, 1, false}};
+
+  wl.generate = [](const InterleavedLayout& layout, mem::DramImage& image,
+                   Rng& rng) {
+    for (u64 r = 0; r < layout.num_records(); ++r) {
+      image.write_u32(layout.address(0, r),
+                      static_cast<u32>(rng.below(kValueRange)));
+    }
+  };
+
+  wl.reference = [](const mem::DramImage& image,
+                    const InterleavedLayout& layout) {
+    std::vector<double> counts(kCountBins, 0.0);
+    double rejected = 0.0;
+    for (u64 r = 0; r < layout.num_records(); ++r) {
+      const u32 v = image.read_u32(layout.address(0, r));
+      if (v < kThreshold) {
+        counts[v & (kCountBins - 1)] += 1.0;
+      } else {
+        rejected += 1.0;
+      }
+    }
+    counts.push_back(rejected);
+    return counts;
+  };
+  return wl;
+}
+
+}  // namespace mlp::workloads

@@ -1,0 +1,169 @@
+// `gda` — Gaussian Discriminant Analysis training: per-class (2 classes,
+// ~70/30 label split) count, mean vector and full centered covariance
+// matrix over 16-dimensional records. The heaviest BMLA in the suite.
+//
+// Live state (words): per class c at c*273 — count@+0, meansum[16]@+1,
+// cov[256]@+17; then known-means em[16]@546 and record scratch[16]@562.
+
+#include <cstring>
+
+#include "isa/assembler.hpp"
+#include "workloads/bmla.hpp"
+#include "workloads/skeleton.hpp"
+
+namespace mlp::workloads {
+namespace {
+
+constexpr u32 kD = kGdaDims;
+constexpr u32 kClassWords = 1 + kD + kD * kD;  // 273
+
+// Per-context scratch slices: see pca.cpp.
+const char* kPreamble = R"(
+    li   r21, 1
+    li   r22, 16            ; dimensions
+    li   r28, 2248          ; scratch byte base
+    csrr r20, CTX
+    slli r20, r20, 6        ; + ctx * 64 B
+    add  r28, r28, r20
+    li   r29, 2184          ; known-means byte base
+)";
+
+// The class is derived from dimension 0 against a threshold (ARG0, float
+// bits): a data-dependent ~70/30 branch, and — unlike a separate label
+// field — it keeps the record at 16 words so a record's field rows fit the
+// 16-entry prefetch window under the word-interleaved layout (the paper's
+// slab-interleaving variant is the general solution; Section IV-C).
+const char* kBody = R"(
+    ; stage the 16 dims in local scratch (each input word read exactly once)
+    mv   r16, r28
+    li   r17, 0
+gda_copy:
+    bge  r17, r22, gda_copied
+    lw   r18, 0(r15)
+    sw.l r18, 0(r16)
+    add  r15, r15, r9
+    addi r16, r16, 4
+    addi r17, r17, 1
+    j    gda_copy
+gda_copied:
+    lw.l r16, 0(r28)        ; x[0] (decides the class)
+    csrr r17, ARG0          ; class threshold (float bits)
+    li   r30, 0
+    flt  r18, r16, r17
+    bne  r18, r0, gda_cls   ; ~70% below threshold -> class 0
+    li   r30, 1092          ; class-1 state byte base
+gda_cls:
+    amoadd.l r16, r21, 0(r30)   ; count[class]++
+    li   r17, 0                 ; i
+    addi r23, r30, 68           ; cov pointer for this class
+gda_i:
+    bge  r17, r22, gda_done
+    slli r18, r17, 2
+    add  r19, r18, r28
+    lw.l r19, 0(r19)            ; xi
+    add  r20, r18, r30
+    famoadd.l r26, r19, 4(r20)  ; meansum[class][i] += xi
+    add  r20, r18, r29
+    lw.l r20, 0(r20)            ; em_i
+    fsub r19, r19, r20          ; ti
+    li   r24, 0                 ; j
+gda_j:
+    bge  r24, r22, gda_i_next
+    slli r25, r24, 2
+    add  r26, r25, r28
+    lw.l r26, 0(r26)            ; xj
+    add  r27, r25, r29
+    lw.l r27, 0(r27)            ; em_j
+    fsub r26, r26, r27
+    fmul r26, r26, r19
+    famoadd.l r27, r26, 0(r23)  ; cov[class][i][j] += ti*tj
+    addi r23, r23, 4
+    addi r24, r24, 1
+    j    gda_j
+gda_i_next:
+    addi r17, r17, 1
+    j    gda_i
+gda_done:
+)";
+
+float known_mean(u32 d) { return 0.25f * static_cast<float>(d); }
+
+constexpr float kClassThreshold = 0.55f;  // ~70% of x[0] draws fall below
+
+u32 f32_bits(float value) {
+  u32 bits;
+  std::memcpy(&bits, &value, 4);
+  return bits;
+}
+
+}  // namespace
+
+Workload make_gda(const WorkloadParams& params) {
+  Workload wl;
+  wl.name = "gda";
+  wl.description = "per-class mean + covariance (Gaussian discriminants)";
+  wl.program = isa::must_assemble("gda", kernel_skeleton(kPreamble, kBody, params.record_barrier));
+  wl.fields = kD;
+  wl.num_records = params.num_records;
+  wl.args[0] = f32_bits(kClassThreshold);
+  wl.state_schema = {
+      {"count0", 0, 1, 1, false},
+      {"mean0", 1, kD, 1, true},
+      {"cov0", 17, kD * kD, 1, true},
+      {"count1", kClassWords, 1, 1, false},
+      {"mean1", kClassWords + 1, kD, 1, true},
+      {"cov1", kClassWords + 17, kD * kD, 1, true},
+  };
+  wl.tolerance = 1e-2;
+
+  wl.generate = [](const InterleavedLayout& layout, mem::DramImage& image,
+                   Rng& rng) {
+    for (u64 r = 0; r < layout.num_records(); ++r) {
+      const u32 cluster = rng.chance(0.3) ? 1 : 0;
+      for (u32 d = 0; d < kD; ++d) {
+        float v = known_mean(d) + static_cast<float>(rng.gaussian());
+        if (d == 0) v += cluster != 0 ? 1.6f : -0.2f;  // ~70/30 vs threshold
+        image.write_f32(layout.address(d, r), v);
+      }
+    }
+  };
+
+  wl.reference = [](const mem::DramImage& image,
+                    const InterleavedLayout& layout) {
+    std::vector<double> count(2, 0.0);
+    std::vector<double> mean(2 * kD, 0.0), cov(2 * kD * kD, 0.0);
+    std::vector<float> x(kD);
+    for (u64 r = 0; r < layout.num_records(); ++r) {
+      for (u32 d = 0; d < kD; ++d) {
+        x[d] = image.read_f32(layout.address(d, r));
+      }
+      // Same float comparison as the kernel: class 0 iff x[0] < threshold.
+      const u32 label = x[0] < kClassThreshold ? 0 : 1;
+      count[label] += 1.0;
+      for (u32 i = 0; i < kD; ++i) {
+        mean[label * kD + i] += x[i];
+        const float ti = x[i] - known_mean(i);
+        for (u32 j = 0; j < kD; ++j) {
+          const float tj = x[j] - known_mean(j);
+          cov[(label * kD + i) * kD + j] += static_cast<double>(tj * ti);
+        }
+      }
+    }
+    std::vector<double> out;
+    for (u32 c = 0; c < 2; ++c) {
+      out.push_back(count[c]);
+      for (u32 i = 0; i < kD; ++i) out.push_back(mean[c * kD + i]);
+      for (u32 i = 0; i < kD * kD; ++i) out.push_back(cov[c * kD * kD + i]);
+    }
+    return out;
+  };
+
+  wl.init_state = [](mem::LocalStore& state) {
+    for (u32 d = 0; d < kD; ++d) {
+      state.store_f32(2184 + d * 4, known_mean(d));
+    }
+  };
+  return wl;
+}
+
+}  // namespace mlp::workloads

@@ -1,0 +1,48 @@
+// `kmeans` — one k-means iteration: assign each record to its nearest
+// centroid and accumulate per-cluster mean sums, counts, and per-dimension
+// squared-deviation (diagonal covariance) sums.
+
+#include "isa/assembler.hpp"
+#include "workloads/kernels/centroid_common.hpp"
+#include "workloads/skeleton.hpp"
+
+namespace mlp::workloads {
+
+Workload make_kmeans(const WorkloadParams& params) {
+  auto rng = std::make_shared<Rng>(params.seed ^ 0x4b3ea5u);
+  auto centers = std::make_shared<std::vector<float>>(
+      centroid::make_centers(*rng));
+
+  Workload wl;
+  wl.name = "kmeans";
+  wl.description = "one k-means iteration: assignment + mean/variance sums";
+  wl.program = isa::must_assemble(
+      "kmeans",
+      kernel_skeleton(centroid::preamble(),
+                      centroid::body(/*with_variance=*/true),
+                      params.record_barrier));
+  wl.fields = centroid::kD;
+  wl.num_records = params.num_records;
+  wl.state_schema = {
+      {"acc", 64, centroid::kK * centroid::kD, 1, true},
+      {"counts", 128, centroid::kK, 1, false},
+      {"var", 136, centroid::kK * centroid::kD, 1, true},
+  };
+  wl.tolerance = 1e-3;
+
+  wl.generate = [centers](const InterleavedLayout& layout,
+                          mem::DramImage& image, Rng& rng) {
+    centroid::generate(*centers, layout, image, rng);
+  };
+  wl.reference = [centers](const mem::DramImage& image,
+                           const InterleavedLayout& layout) {
+    return centroid::reference(*centers, image, layout,
+                               /*with_variance=*/true);
+  };
+  wl.init_state = [centers](mem::LocalStore& state) {
+    centroid::init_state(*centers, state);
+  };
+  return wl;
+}
+
+}  // namespace mlp::workloads

@@ -1,0 +1,142 @@
+// `pca` — dimensionality reduction prep: accumulate the mean vector and the
+// full (mean-centered) covariance matrix of 16-dimensional records. O(D)
+// operations per input word: the compute-heaviest end of the BMLA spectrum
+// together with `gda`.
+//
+// Live state (words): count@0, meansum[16]@1, cov[16][16]@17,
+// known-means em[16]@273 (constants), record scratch[16]@289.
+
+#include "isa/assembler.hpp"
+#include "workloads/bmla.hpp"
+#include "workloads/skeleton.hpp"
+
+namespace mlp::workloads {
+namespace {
+
+constexpr u32 kD = kPcaDims;
+constexpr u32 kCovBase = 17 * 4;
+constexpr u32 kEmBase = 273 * 4;
+constexpr u32 kScratchBase = 289 * 4;
+
+// Each hardware context stages records in its own 64 B scratch slice —
+// contexts of a corelet share the local store, so a shared scratch would be
+// overwritten mid-record by an interleaved sibling context.
+const char* kPreamble = R"(
+    li   r21, 1
+    li   r22, 16            ; dimensions
+    li   r28, 1156          ; scratch byte base
+    csrr r20, CTX
+    slli r20, r20, 6        ; + ctx * 64 B
+    add  r28, r28, r20
+    li   r29, 1092          ; known-means byte base
+)";
+
+const char* kBody = R"(
+    ; stage the record in local scratch (each input word read exactly once)
+    mv   r16, r28
+    li   r17, 0
+pca_copy:
+    bge  r17, r22, pca_copied
+    lw   r18, 0(r15)
+    sw.l r18, 0(r16)
+    add  r15, r15, r9
+    addi r16, r16, 4
+    addi r17, r17, 1
+    j    pca_copy
+pca_copied:
+    amoadd.l r16, r21, 0(r0)    ; count++
+    li   r17, 0                 ; i
+    li   r23, 68                ; cov byte pointer (row-major walk)
+pca_i:
+    bge  r17, r22, pca_done
+    slli r18, r17, 2
+    add  r19, r18, r28
+    lw.l r19, 0(r19)            ; xi
+    famoadd.l r20, r19, 4(r18)  ; meansum[i] += xi
+    add  r20, r18, r29
+    lw.l r20, 0(r20)            ; em_i
+    fsub r19, r19, r20          ; ti = xi - em_i
+    li   r24, 0                 ; j
+pca_j:
+    bge  r24, r22, pca_i_next
+    slli r25, r24, 2
+    add  r26, r25, r28
+    lw.l r26, 0(r26)            ; xj
+    add  r27, r25, r29
+    lw.l r27, 0(r27)            ; em_j
+    fsub r26, r26, r27          ; tj
+    fmul r26, r26, r19
+    famoadd.l r27, r26, 0(r23)  ; cov[i][j] += ti*tj
+    addi r23, r23, 4
+    addi r24, r24, 1
+    j    pca_j
+pca_i_next:
+    addi r17, r17, 1
+    j    pca_i
+pca_done:
+)";
+
+float known_mean(u32 d) { return 0.5f * static_cast<float>(d); }
+
+}  // namespace
+
+Workload make_pca(const WorkloadParams& params) {
+  Workload wl;
+  wl.name = "pca";
+  wl.description = "mean vector + full centered covariance matrix";
+  wl.program = isa::must_assemble("pca", kernel_skeleton(kPreamble, kBody, params.record_barrier));
+  wl.fields = kD;
+  wl.num_records = params.num_records;
+  wl.state_schema = {
+      {"count", 0, 1, 1, false},
+      {"meansum", 1, kD, 1, true},
+      {"cov", 17, kD * kD, 1, true},
+  };
+  wl.tolerance = 1e-2;
+
+  wl.generate = [](const InterleavedLayout& layout, mem::DramImage& image,
+                   Rng& rng) {
+    for (u64 r = 0; r < layout.num_records(); ++r) {
+      const float shared = static_cast<float>(rng.gaussian());
+      for (u32 d = 0; d < kD; ++d) {
+        const float v = known_mean(d) + 0.5f * shared +
+                        0.8f * static_cast<float>(rng.gaussian());
+        image.write_f32(layout.address(d, r), v);
+      }
+    }
+  };
+
+  wl.reference = [](const mem::DramImage& image,
+                    const InterleavedLayout& layout) {
+    std::vector<double> mean(kD, 0.0), cov(kD * kD, 0.0);
+    double count = 0.0;
+    std::vector<float> x(kD);
+    for (u64 r = 0; r < layout.num_records(); ++r) {
+      for (u32 d = 0; d < kD; ++d) x[d] = image.read_f32(layout.address(d, r));
+      count += 1.0;
+      for (u32 i = 0; i < kD; ++i) {
+        mean[i] += x[i];
+        const float ti = x[i] - known_mean(i);
+        for (u32 j = 0; j < kD; ++j) {
+          const float tj = x[j] - known_mean(j);
+          cov[i * kD + j] += static_cast<double>(tj * ti);
+        }
+      }
+    }
+    std::vector<double> out{count};
+    out.insert(out.end(), mean.begin(), mean.end());
+    out.insert(out.end(), cov.begin(), cov.end());
+    return out;
+  };
+
+  wl.init_state = [](mem::LocalStore& state) {
+    for (u32 d = 0; d < kD; ++d) {
+      state.store_f32(kEmBase + d * 4, known_mean(d));
+    }
+  };
+  (void)kCovBase;
+  (void)kScratchBase;
+  return wl;
+}
+
+}  // namespace mlp::workloads

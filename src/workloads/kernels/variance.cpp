@@ -1,0 +1,104 @@
+// `variance` — per-bin streaming statistics (count, sum, sum of squares)
+// over float samples, with a data-dependent validity filter (~70/30). The
+// bin is derived from the value itself: a data-dependent indirect update.
+
+#include "isa/assembler.hpp"
+#include "workloads/bmla.hpp"
+#include "workloads/skeleton.hpp"
+
+namespace mlp::workloads {
+namespace {
+
+constexpr float kFilter = 7.0f;  // P(v < 7) with v ~ U[0,10) = 0.7
+
+const char* kPreamble = R"(
+    csrr r20, ARG0          ; filter threshold (float bits)
+    li   r21, 1
+)";
+
+// Live state: bin b at byte b*12 — count, sum, sum of squares; outliers
+// (count + sum) at words 48,49. The outlier arm makes the filter a genuine
+// if/else that SIMT execution must serialize.
+const char* kBody = R"(
+    lw    r16, 0(r15)       ; sample (float bits)
+    flt   r17, r16, r20
+    beq   r17, r0, var_outlier  ; data-dependent 70/30 branch
+    fcvt.w.s r17, r16
+    andi  r17, r17, 15      ; bin = floor(v) mod 16
+    slli  r18, r17, 3
+    slli  r19, r17, 2
+    add   r18, r18, r19     ; bin * 12
+    amoadd.l  r19, r21, 0(r18)
+    famoadd.l r19, r16, 4(r18)
+    fmul  r17, r16, r16
+    famoadd.l r19, r17, 8(r18)
+    j     var_done
+var_outlier:
+    li    r18, 192          ; outlier state byte base (word 48)
+    amoadd.l  r19, r21, 0(r18)
+    famoadd.l r19, r16, 4(r18)
+var_done:
+)";
+
+u32 f32_bits(float value) {
+  u32 bits;
+  std::memcpy(&bits, &value, 4);
+  return bits;
+}
+
+}  // namespace
+
+Workload make_variance(const WorkloadParams& params) {
+  Workload wl;
+  wl.name = "variance";
+  wl.description = "per-bin count/sum/sum-of-squares over float samples";
+  wl.program = isa::must_assemble(
+      "variance", kernel_skeleton(kPreamble, kBody, params.record_barrier));
+  wl.fields = 1;
+  wl.num_records = params.num_records;
+  wl.args[0] = f32_bits(kFilter);
+  wl.state_schema = {
+      {"counts", 0, kVarianceBins, 3, false},
+      {"sums", 1, kVarianceBins, 3, true},
+      {"sumsq", 2, kVarianceBins, 3, true},
+      {"outlier_count", 48, 1, 1, false},
+      {"outlier_sum", 49, 1, 1, true},
+  };
+  wl.tolerance = 1e-3;
+
+  wl.generate = [](const InterleavedLayout& layout, mem::DramImage& image,
+                   Rng& rng) {
+    for (u64 r = 0; r < layout.num_records(); ++r) {
+      image.write_f32(layout.address(0, r),
+                      static_cast<float>(rng.uniform() * 10.0));
+    }
+  };
+
+  wl.reference = [](const mem::DramImage& image,
+                    const InterleavedLayout& layout) {
+    std::vector<double> counts(kVarianceBins, 0.0), sums(kVarianceBins, 0.0),
+        sumsq(kVarianceBins, 0.0);
+    double outlier_count = 0.0, outlier_sum = 0.0;
+    for (u64 r = 0; r < layout.num_records(); ++r) {
+      const float v = image.read_f32(layout.address(0, r));
+      if (!(v < kFilter)) {
+        outlier_count += 1.0;
+        outlier_sum += v;
+        continue;
+      }
+      const u32 bin = static_cast<u32>(static_cast<i32>(v)) & 15;
+      counts[bin] += 1.0;
+      sums[bin] += v;
+      sumsq[bin] += static_cast<double>(v) * v;
+    }
+    std::vector<double> out = counts;
+    out.insert(out.end(), sums.begin(), sums.end());
+    out.insert(out.end(), sumsq.begin(), sumsq.end());
+    out.push_back(outlier_count);
+    out.push_back(outlier_sum);
+    return out;
+  };
+  return wl;
+}
+
+}  // namespace mlp::workloads

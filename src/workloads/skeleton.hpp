@@ -1,0 +1,40 @@
+#pragma once
+// The common Map-loop skeleton every BMLA kernel is built around: iterate
+// over the record groups of the interleaved layout, and within each group
+// over the thread's slice of records (tail records are guarded).
+//
+// Register conventions (a kernel body must respect them):
+//   r1  idx_base        r8  group_shift
+//   r2  idx_stride      r9  row_bytes (stride between a record's fields)
+//   r3  idx end         r10 g (group index)
+//   r4  num_groups      r11 group field-0 row base address
+//   r5  num_records     r12 idx (record index within group)
+//   r6  fields          r13 per-group idx limit (tail groups are shorter)
+//   r7  input_base      r14 free for the body
+//                       r15 address of the record's field 0 (body may clobber)
+//   r16..r31            free for the kernel body and its preamble constants
+//
+// A body needing the global record id computes it as (g << group_shift)+idx:
+//   sll r14, r10, r8 ; add r14, r14, r12
+//
+// The body reads every field of its record exactly once, in ascending field
+// order (address stepping by r9) — the row-density contract the prefetch
+// buffer's expected-consumption masks rely on.
+
+#include <string>
+
+namespace mlp::workloads {
+
+/// Assembles the full kernel text: common preamble, kernel-specific
+/// `preamble` (constant setup, may use r16..r31), then the group/record
+/// loops around `body`.
+///
+/// With `record_barrier` (the Section IV-C software-barrier ablation) every
+/// thread executes a processor-wide `bar` after each record slot; the loop
+/// runs a fixed iteration count with a per-record validity guard so all
+/// threads reach every barrier.
+std::string kernel_skeleton(const std::string& preamble,
+                            const std::string& body,
+                            bool record_barrier = false);
+
+}  // namespace mlp::workloads

@@ -1,0 +1,51 @@
+#include "workloads/workload.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace mlp::workloads {
+
+std::vector<double> reduce_state(
+    const Workload& workload,
+    const std::vector<const mem::LocalStore*>& states) {
+  std::vector<double> out;
+  for (const StateField& field : workload.state_schema) {
+    for (u32 i = 0; i < field.count; ++i) {
+      const u32 addr = (field.offset_words + i * field.stride_words) * 4;
+      double sum = 0.0;
+      for (const mem::LocalStore* state : states) {
+        MLP_CHECK(state != nullptr, "null state in reduce");
+        sum += field.is_float
+                   ? static_cast<double>(state->load_f32(addr))
+                   : static_cast<double>(static_cast<i32>(state->load(addr)));
+      }
+      out.push_back(sum);
+    }
+  }
+  return out;
+}
+
+std::string compare_results(const std::vector<double>& reference,
+                            const std::vector<double>& measured,
+                            double tolerance) {
+  if (reference.size() != measured.size()) {
+    std::ostringstream os;
+    os << "size mismatch: reference " << reference.size() << " vs measured "
+       << measured.size();
+    return os.str();
+  }
+  for (size_t i = 0; i < reference.size(); ++i) {
+    const double scale =
+        std::max({1.0, std::fabs(reference[i]), std::fabs(measured[i])});
+    if (std::fabs(reference[i] - measured[i]) > tolerance * scale) {
+      std::ostringstream os;
+      os << "element " << i << ": reference " << reference[i]
+         << " vs measured " << measured[i] << " (tolerance " << tolerance
+         << ")";
+      return os.str();
+    }
+  }
+  return "";
+}
+
+}  // namespace mlp::workloads

@@ -1,0 +1,70 @@
+#pragma once
+// Workload descriptor: a BMLA kernel binary plus its data generator, live
+// state schema, host golden reference, and final-Reduce logic. The same
+// descriptor runs unchanged on every architecture; the host-side reduce
+// combines the per-corelet (per-lane) partially-reduced states exactly as
+// the paper's host CPU does (Section IV-D).
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "isa/program.hpp"
+#include "mem/dram_image.hpp"
+#include "mem/local_store.hpp"
+#include "workloads/layout.hpp"
+
+namespace mlp::workloads {
+
+/// One logical field of the live state, used by the generic final Reduce and
+/// by result comparison. Words at local offset_words + i*stride_words for
+/// i in [0, count).
+struct StateField {
+  std::string name;
+  u32 offset_words = 0;
+  u32 count = 1;
+  u32 stride_words = 1;
+  bool is_float = false;
+};
+
+struct Workload {
+  std::string name;
+  std::string description;
+  isa::Program program;
+  u32 fields = 1;      ///< words per record
+  u64 num_records = 0;
+  std::array<u32, 8> args{};  ///< kernel ARG0..ARG7 CSR values
+
+  std::vector<StateField> state_schema;
+
+  /// Writes the synthetic input into the DRAM image through the layout.
+  std::function<void(const InterleavedLayout&, mem::DramImage&, Rng&)> generate;
+
+  /// Host golden result computed directly from the generated image; must be
+  /// element-wise comparable with reduce_state()'s output.
+  std::function<std::vector<double>(const mem::DramImage&,
+                                    const InterleavedLayout&)>
+      reference;
+
+  /// Optional constant preload of each corelet's live state (e.g. centroids).
+  std::function<void(mem::LocalStore&)> init_state;
+
+  /// Relative tolerance for float comparisons (accumulation order differs
+  /// between the parallel machine and the serial reference).
+  double tolerance = 1e-9;
+};
+
+/// Host-side final Reduce: element-wise sum of every schema field across all
+/// corelets' live states, flattened in schema order.
+std::vector<double> reduce_state(const Workload& workload,
+                                 const std::vector<const mem::LocalStore*>& states);
+
+/// Golden comparison: every element within `tolerance` relatively.
+/// Returns an empty string on success, else a diagnostic.
+std::string compare_results(const std::vector<double>& reference,
+                            const std::vector<double>& measured,
+                            double tolerance);
+
+}  // namespace mlp::workloads

@@ -1,0 +1,230 @@
+// Assembler tests: syntax coverage, label resolution, pseudo-instruction
+// expansion, error diagnostics, and disassembler round trips.
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/disassembler.hpp"
+#include "isa/encoding.hpp"
+
+namespace mlp::isa {
+namespace {
+
+Program ok(const std::string& src) { return must_assemble("test", src); }
+
+std::string err(const std::string& src) {
+  AsmResult result = assemble("test", src);
+  EXPECT_FALSE(result.ok);
+  return result.error;
+}
+
+TEST(Assembler, MinimalProgram) {
+  Program p = ok("halt\n");
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.at(0).op, Opcode::kHalt);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  Program p = ok(R"(
+    ; full-line comment
+    # another comment style
+    addi r1, r0, 5   ; trailing comment
+    halt             # trailing comment
+  )");
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.at(0).imm, 5);
+}
+
+TEST(Assembler, AllRFormatOps) {
+  Program p = ok(R"(
+    add r1, r2, r3
+    sub r4, r5, r6
+    mul r7, r8, r9
+    div r1, r2, r3
+    rem r1, r2, r3
+    and r1, r2, r3
+    or  r1, r2, r3
+    xor r1, r2, r3
+    sll r1, r2, r3
+    srl r1, r2, r3
+    sra r1, r2, r3
+    slt r1, r2, r3
+    sltu r1, r2, r3
+    fadd r1, r2, r3
+    fmul r1, r2, r3
+    fdiv r1, r2, r3
+    flt r1, r2, r3
+    halt
+  )");
+  EXPECT_EQ(p.size(), 18u);
+  EXPECT_EQ(p.at(0).op, Opcode::kAdd);
+  EXPECT_EQ(p.at(13).op, Opcode::kFadd);
+}
+
+TEST(Assembler, MemoryOperands) {
+  Program p = ok(R"(
+    lw   r1, 8(r2)
+    lw   r1, (r2)
+    sw   r3, -4(r4)
+    lw.l r5, 0x10(r6)
+    sw.l r7, 0(r8)
+    amoadd.l  r1, r2, 0(r3)
+    famoadd.l r4, r5, 4(r6)
+    halt
+  )");
+  EXPECT_EQ(p.at(0).imm, 8);
+  EXPECT_EQ(p.at(1).imm, 0);
+  EXPECT_EQ(p.at(2).imm, -4);
+  EXPECT_EQ(p.at(3).imm, 16);
+  EXPECT_EQ(p.at(5).op, Opcode::kAmoaddl);
+  EXPECT_EQ(p.at(5).rd, 1);
+  EXPECT_EQ(p.at(5).rs2, 2);
+  EXPECT_EQ(p.at(5).rs1, 3);
+  EXPECT_EQ(p.at(6).op, Opcode::kFamoaddl);
+  EXPECT_EQ(p.at(6).imm, 4);
+}
+
+TEST(Assembler, LabelsForwardAndBackward) {
+  Program p = ok(R"(
+top:
+    addi r1, r1, 1
+    blt  r1, r2, top
+    beq  r1, r2, end
+    addi r3, r3, 1
+end:
+    halt
+  )");
+  EXPECT_EQ(p.label("top"), 0u);
+  EXPECT_EQ(p.label("end"), 4u);
+  EXPECT_EQ(p.at(1).imm, -1);  // back to pc 0 from pc 1
+  EXPECT_EQ(p.at(2).imm, 2);   // forward to pc 4 from pc 2
+}
+
+TEST(Assembler, LabelOnSameLineAsInstruction) {
+  Program p = ok("start: addi r1, r0, 1\n j start\n halt\n");
+  EXPECT_EQ(p.label("start"), 0u);
+  EXPECT_EQ(p.at(1).op, Opcode::kJal);
+  EXPECT_EQ(p.at(1).imm, -1);
+}
+
+TEST(Assembler, PseudoInstructions) {
+  Program p = ok(R"(
+    nop
+    mv r2, r3
+    j  skip
+    li r4, 100
+skip:
+    li r5, 0x7fffffff
+    ble r1, r2, skip
+    bgt r1, r2, skip
+    halt
+  )");
+  EXPECT_EQ(p.at(0).op, Opcode::kAddi);  // nop
+  EXPECT_EQ(p.at(1).op, Opcode::kAddi);  // mv
+  EXPECT_EQ(p.at(1).rs1, 3);
+  EXPECT_EQ(p.at(3).op, Opcode::kAddi);  // small li
+  EXPECT_EQ(p.at(3).imm, 100);
+  EXPECT_EQ(p.label("skip"), 4u);
+  EXPECT_EQ(p.at(4).op, Opcode::kLui);   // large li
+  EXPECT_EQ(p.at(5).op, Opcode::kOri);
+  // ble r1,r2 -> bge r2,r1 ; bgt r1,r2 -> blt r2,r1
+  EXPECT_EQ(p.at(6).op, Opcode::kBge);
+  EXPECT_EQ(p.at(6).rs1, 2);
+  EXPECT_EQ(p.at(6).rs2, 1);
+  EXPECT_EQ(p.at(7).op, Opcode::kBlt);
+}
+
+TEST(Assembler, LiFloat) {
+  Program p = ok("li.f r1, 1.5\n halt\n");
+  // 1.5f == 0x3fc00000: needs lui+ori.
+  const u32 bits = (static_cast<u32>(p.at(0).imm) << 13) |
+                   static_cast<u32>(p.at(1).op == Opcode::kOri ? p.at(1).imm : 0);
+  EXPECT_EQ(bits, 0x3fc00000u);
+}
+
+TEST(Assembler, CsrNames) {
+  Program p = ok(R"(
+    csrr r1, TID
+    csrr r2, NTHREADS
+    csrr r3, IDX_BASE
+    csrr r4, ARG3
+    csrr r5, INPUT_BASE
+    halt
+  )");
+  EXPECT_EQ(p.at(0).imm, static_cast<i32>(Csr::kTid));
+  EXPECT_EQ(p.at(3).imm, static_cast<i32>(Csr::kArg3));
+  EXPECT_EQ(p.at(4).imm, static_cast<i32>(Csr::kInputBase));
+}
+
+TEST(Assembler, NumericBranchOffsets) {
+  Program p = ok("beq r1, r2, 2\n nop\n halt\n");
+  EXPECT_EQ(p.at(0).imm, 2);
+}
+
+// --- Error diagnostics ---
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+  EXPECT_NE(err("frobnicate r1, r2\n"), "");
+  EXPECT_NE(err("frobnicate r1, r2\n").find("line 1"), std::string::npos);
+}
+
+TEST(AssemblerErrors, UndefinedLabel) {
+  EXPECT_NE(err("beq r1, r2, nowhere\n halt\n").find("undefined label"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  EXPECT_NE(err("a:\n nop\na:\n halt\n").find("duplicate label"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrors, BadRegister) {
+  EXPECT_NE(err("add r1, r2, r32\n"), "");
+  EXPECT_NE(err("add r1, x2, r3\n"), "");
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+  EXPECT_NE(err("add r1, r2\n").find("expects 3"), std::string::npos);
+  EXPECT_NE(err("halt r1\n").find("expects 0"), std::string::npos);
+}
+
+TEST(AssemblerErrors, ImmediateOutOfRange) {
+  EXPECT_NE(err("addi r1, r2, 100000\n").find("immediate out of range"),
+            std::string::npos);
+  EXPECT_NE(err("amoadd.l r1, r2, 4096(r3)\n").find("out of range"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrors, UnknownCsr) {
+  EXPECT_NE(err("csrr r1, BOGUS\n").find("unknown CSR"), std::string::npos);
+}
+
+TEST(AssemblerErrors, EmptyProgram) {
+  EXPECT_NE(err("; nothing\n").find("no instructions"), std::string::npos);
+}
+
+// --- Round trip: assemble -> disassemble -> assemble yields same binary ---
+
+TEST(Assembler, DisassemblyRoundTrip) {
+  Program p1 = ok(R"(
+    csrr r1, TID
+    csrr r2, NTHREADS
+loop:
+    lw   r3, 0(r4)
+    amoadd.l r5, r3, 0(r6)
+    addi r4, r4, 4
+    blt  r4, r7, loop
+    halt
+  )");
+  // Disassemble (labels become raw offsets) and reassemble.
+  std::string listing;
+  for (u32 pc = 0; pc < p1.size(); ++pc)
+    listing += disassemble(p1.at(pc)) + "\n";
+  Program p2 = ok(listing);
+  ASSERT_EQ(p1.size(), p2.size());
+  for (u32 pc = 0; pc < p1.size(); ++pc)
+    EXPECT_EQ(encode(p1.at(pc)), encode(p2.at(pc))) << "pc " << pc;
+}
+
+}  // namespace
+}  // namespace mlp::isa

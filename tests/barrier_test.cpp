@@ -1,0 +1,183 @@
+// Tests for the processor-wide software barrier (`bar`) used by the
+// Section IV-C record-granularity-barrier ablation: the Barrier component,
+// corelet synchronization semantics, deadlock-freedom under uneven halts,
+// and end-to-end correctness of barrier-compiled kernels.
+
+#include <gtest/gtest.h>
+
+#include "arch/system.hpp"
+#include "core/barrier.hpp"
+#include "core/corelet.hpp"
+#include "isa/assembler.hpp"
+#include "isa/encoding.hpp"
+
+namespace mlp::core {
+namespace {
+
+TEST(Barrier, LastArrivalReleasesAll) {
+  Barrier barrier(3);
+  int released = 0;
+  auto wake = [&](Picos) { ++released; };
+  EXPECT_EQ(barrier.arrive(0, 10, wake).status, PortStatus::kPending);
+  EXPECT_EQ(barrier.arrive(0, 10, wake).status, PortStatus::kPending);
+  EXPECT_EQ(released, 0);
+  const PortResult last = barrier.arrive(100, 10, wake);
+  EXPECT_EQ(last.status, PortStatus::kDone);
+  EXPECT_EQ(last.ready_at, 110u);
+  EXPECT_EQ(released, 2);
+  EXPECT_EQ(barrier.episodes(), 1u);
+}
+
+TEST(Barrier, ReusableAcrossEpisodes) {
+  Barrier barrier(2);
+  int released = 0;
+  auto wake = [&](Picos) { ++released; };
+  for (int episode = 0; episode < 5; ++episode) {
+    barrier.arrive(0, 1, wake);
+    barrier.arrive(0, 1, wake);
+  }
+  EXPECT_EQ(barrier.episodes(), 5u);
+  EXPECT_EQ(released, 5);
+}
+
+TEST(Barrier, HaltedThreadDeregistersAndReleases) {
+  Barrier barrier(3);
+  int released = 0;
+  barrier.arrive(0, 1, [&](Picos) { ++released; });
+  barrier.arrive(0, 1, [&](Picos) { ++released; });
+  // The third thread halts instead of arriving: barrier must release.
+  barrier.deregister(0, 1);
+  EXPECT_EQ(released, 2);
+  EXPECT_EQ(barrier.episodes(), 1u);
+}
+
+TEST(BarrierPort, SynchronizesCoreletContexts) {
+  // Context 0 does extra work before the barrier; all contexts must leave
+  // the barrier together.
+  isa::Program program = isa::must_assemble("bar_test", R"(
+    csrr r1, CTX
+    bne  r1, r0, at_bar
+    li   r2, 0
+    li   r3, 200
+spin:
+    addi r2, r2, 1
+    blt  r2, r3, spin
+at_bar:
+    bar
+    halt
+  )");
+  CoreConfig cfg;
+  cfg.contexts = 4;
+  mem::LocalStore local(1024);
+  mem::DramImage dram(1024);
+  struct Nop : GlobalPort {
+    PortResult load(u32, u32, Addr, Picos now,
+                    std::function<void(Picos)>) override {
+      return {PortStatus::kDone, now};
+    }
+  } nop;
+  BarrierPort port(&nop, cfg.contexts);
+  ExecStats stats;
+  Corelet corelet(0, cfg, &program, &local, &dram, &port, &stats);
+  for (u32 x = 0; x < 4; ++x) {
+    corelet.context(x).csr.set(isa::Csr::kCtx, x);
+  }
+  Picos now = 0;
+  u64 guard = 0;
+  bool waiters_seen = false;
+  while (!corelet.halted()) {
+    ASSERT_LT(++guard, 100000u) << "barrier deadlock";
+    corelet.tick(now, 1000);
+    waiters_seen |= port.state().waiting() > 0;
+    now += 1000;
+  }
+  EXPECT_TRUE(waiters_seen) << "fast contexts must have waited";
+  EXPECT_EQ(port.state().episodes(), 1u);
+}
+
+TEST(BarrierPort, UnevenHaltsDoNotDeadlock) {
+  // Context 0 halts immediately; the rest synchronize twice.
+  isa::Program program = isa::must_assemble("bar_halt", R"(
+    csrr r1, CTX
+    beq  r1, r0, out
+    bar
+    bar
+out:
+    halt
+  )");
+  CoreConfig cfg;
+  cfg.contexts = 4;
+  mem::LocalStore local(64);
+  mem::DramImage dram(64);
+  struct Nop : GlobalPort {
+    PortResult load(u32, u32, Addr, Picos now,
+                    std::function<void(Picos)>) override {
+      return {PortStatus::kDone, now};
+    }
+  } nop;
+  BarrierPort port(&nop, cfg.contexts);
+  ExecStats stats;
+  Corelet corelet(0, cfg, &program, &local, &dram, &port, &stats);
+  for (u32 x = 0; x < 4; ++x) corelet.context(x).csr.set(isa::Csr::kCtx, x);
+  Picos now = 0;
+  u64 guard = 0;
+  while (!corelet.halted()) {
+    ASSERT_LT(++guard, 100000u) << "deadlock after context halt";
+    corelet.tick(now, 1000);
+    now += 1000;
+  }
+  EXPECT_EQ(port.state().episodes(), 2u);
+}
+
+TEST(BarrierIsa, AssemblesAndClassifies) {
+  isa::Program p = isa::must_assemble("b", "bar\nhalt\n");
+  EXPECT_EQ(p.at(0).op, isa::Opcode::kBar);
+  EXPECT_EQ(classify(p.at(0)), StepKind::kBarrier);
+  EXPECT_EQ(isa::decode(isa::encode(p.at(0))), p.at(0));
+}
+
+TEST(BarrierWorkload, KernelsWithRecordBarriersStayCorrect) {
+  workloads::WorkloadParams params;
+  params.num_records = 2000;  // tail group exercises guarded barriers
+  params.record_barrier = true;
+  for (const char* name : {"count", "nbayes"}) {
+    const workloads::Workload wl = workloads::make_bmla(name, params);
+    // The binary must actually contain barriers.
+    bool has_bar = false;
+    for (const auto& in : wl.program.instrs()) {
+      has_bar |= in.op == isa::Opcode::kBar;
+    }
+    EXPECT_TRUE(has_bar) << name;
+    const arch::RunResult r = arch::run_arch(
+        arch::ArchKind::kMillipedeNoFlowControl,
+        MachineConfig::paper_defaults(), wl);
+    EXPECT_EQ(r.verification, "") << name;
+  }
+}
+
+TEST(BarrierWorkload, BarriersDoNotPreventPrematureEviction) {
+  // The paper's Section VI-A claim: record-granularity software barriers are
+  // too coarse to protect the prefetch buffer; only hardware flow control
+  // eliminates premature evictions. (With full-row records per barrier the
+  // evictions may or may not occur at small scale, but flow control must
+  // strictly dominate the barrier variant's runtime.)
+  workloads::WorkloadParams params;
+  params.num_records = 16384;
+  params.record_barrier = true;
+  const workloads::Workload barrier_wl =
+      workloads::make_bmla("count", params);
+  params.record_barrier = false;
+  const workloads::Workload plain_wl = workloads::make_bmla("count", params);
+
+  const MachineConfig cfg = MachineConfig::paper_defaults();
+  const arch::RunResult with_barriers = arch::run_arch(
+      arch::ArchKind::kMillipedeNoFlowControl, cfg, barrier_wl);
+  const arch::RunResult flow_control =
+      arch::run_arch(arch::ArchKind::kMillipedeNoRateMatch, cfg, plain_wl);
+  EXPECT_EQ(with_barriers.verification, "");
+  EXPECT_LE(flow_control.runtime_ps, with_barriers.runtime_ps)
+      << "hardware flow control must dominate software barriers";
+}
+
+}  // namespace
+}  // namespace mlp::core

@@ -1,0 +1,130 @@
+// CFG and reconvergence (immediate post-dominator) tests. The SIMT model's
+// correctness hinges on these reconvergence points.
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/cfg.hpp"
+
+namespace mlp::isa {
+namespace {
+
+Program prog(const std::string& src) { return must_assemble("cfg", src); }
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  Program p = prog("addi r1, r0, 1\n addi r2, r0, 2\n halt\n");
+  Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.blocks().size(), 1u);
+  EXPECT_EQ(cfg.blocks()[0].first, 0u);
+  EXPECT_EQ(cfg.blocks()[0].last, 2u);
+  ASSERT_EQ(cfg.blocks()[0].succs.size(), 1u);
+  EXPECT_EQ(cfg.blocks()[0].succs[0], Cfg::kExitBlock);
+}
+
+TEST(Cfg, IfThenElseDiamond) {
+  // 0: beq -> else ; 1: then ; 2: j join ; 3: else ; 4(join): halt
+  Program p = prog(R"(
+    beq r1, r2, else
+    addi r3, r0, 1
+    j join
+else:
+    addi r3, r0, 2
+join:
+    halt
+  )");
+  Cfg cfg = Cfg::build(p);
+  ASSERT_EQ(cfg.blocks().size(), 4u);
+  // Entry block has two successors (then, else).
+  EXPECT_EQ(cfg.blocks()[cfg.block_of(0)].succs.size(), 2u);
+  // Both arms flow to the join block.
+  const u32 join = cfg.block_of(p.label("join"));
+  EXPECT_EQ(cfg.blocks()[cfg.block_of(1)].succs[0], join);
+  EXPECT_EQ(cfg.blocks()[cfg.block_of(3)].succs[0], join);
+}
+
+TEST(Cfg, LoopBackEdge) {
+  Program p = prog(R"(
+loop:
+    addi r1, r1, 1
+    blt  r1, r2, loop
+    halt
+  )");
+  Cfg cfg = Cfg::build(p);
+  const u32 loop_block = cfg.block_of(0);
+  const auto& succs = cfg.blocks()[loop_block].succs;
+  EXPECT_NE(std::find(succs.begin(), succs.end(), loop_block), succs.end());
+}
+
+TEST(Reconvergence, DiamondReconvergesAtJoin) {
+  Program p = prog(R"(
+    beq r1, r2, else
+    addi r3, r0, 1
+    j join
+else:
+    addi r3, r0, 2
+join:
+    addi r4, r0, 3
+    halt
+  )");
+  ReconvergenceTable table = ReconvergenceTable::build(p);
+  EXPECT_EQ(table.at(0), p.label("join"));
+}
+
+TEST(Reconvergence, LoopBranchReconvergesAfterLoop) {
+  Program p = prog(R"(
+loop:
+    addi r1, r1, 1
+    blt  r1, r2, loop
+    addi r3, r0, 9
+    halt
+  )");
+  ReconvergenceTable table = ReconvergenceTable::build(p);
+  // The loop branch's ipdom is the loop exit (pc 2).
+  EXPECT_EQ(table.at(1), 2u);
+}
+
+TEST(Reconvergence, NestedIfInsideLoop) {
+  Program p = prog(R"(
+loop:
+    beq  r1, r2, skip
+    addi r3, r3, 1
+skip:
+    addi r1, r1, 1
+    blt  r1, r4, loop
+    halt
+  )");
+  ReconvergenceTable table = ReconvergenceTable::build(p);
+  EXPECT_EQ(table.at(0), p.label("skip"));  // inner if joins at skip
+  EXPECT_EQ(table.at(3), 4u);               // loop branch joins at loop exit
+}
+
+TEST(Reconvergence, BranchToHaltHasNoJoin) {
+  // One arm halts: there is no post-dominating join before exit.
+  Program p = prog(R"(
+    beq r1, r2, stop
+    addi r3, r0, 1
+    halt
+stop:
+    halt
+  )");
+  ReconvergenceTable table = ReconvergenceTable::build(p);
+  EXPECT_EQ(table.at(0), ReconvergenceTable::kNoReconv);
+}
+
+TEST(Reconvergence, SequentialDiamonds) {
+  Program p = prog(R"(
+    beq r1, r2, a_else
+    addi r3, r0, 1
+a_else:
+    beq r1, r4, b_else
+    addi r5, r0, 2
+b_else:
+    halt
+  )");
+  ReconvergenceTable table = ReconvergenceTable::build(p);
+  EXPECT_EQ(table.at(0), p.label("a_else"));
+  EXPECT_EQ(table.at(2), p.label("b_else"));
+}
+
+}  // namespace
+}  // namespace mlp::isa

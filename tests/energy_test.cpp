@@ -1,0 +1,136 @@
+// Energy model tests: unit conversions, component attribution, and the
+// relational properties Fig. 4's conclusions depend on (off-chip >> stacked
+// per bit; shared-memory crossbar > scratchpad; SIMT fetch amortization;
+// idle dynamic under divergence).
+
+#include <gtest/gtest.h>
+
+#include "energy/energy.hpp"
+
+namespace mlp::energy {
+namespace {
+
+TEST(EnergyModel, DramTransferEnergyScalesWithBytes) {
+  EnergyModel model;
+  const double one_kb = model.dram_j(1024, 0);
+  const double two_kb = model.dram_j(2048, 0);
+  EXPECT_DOUBLE_EQ(two_kb, 2.0 * one_kb);
+  // 6 pJ/bit: 1 KiB = 8192 bits = 49.152 nJ.
+  EXPECT_NEAR(one_kb, 8192 * 6e-12, 1e-12);
+}
+
+TEST(EnergyModel, ActivationEnergyPerRowActivate) {
+  EnergyModel model;
+  EXPECT_NEAR(model.dram_j(0, 10), 10 * 15e-9, 1e-12);
+}
+
+TEST(EnergyModel, OffchipBitCostsTenXStacked) {
+  EnergyModel model;
+  const double stacked = model.dram_j(4096, 0, /*offchip=*/false);
+  const double offchip = model.dram_j(4096, 0, /*offchip=*/true);
+  EXPECT_NEAR(offchip / stacked, 70.0 / 6.0, 1e-9);
+}
+
+core::ExecStats make_exec(u64 instructions, u64 floats, u64 locals,
+                          u64 loads, u64 idle) {
+  core::ExecStats stats;
+  stats.instructions.inc(instructions);
+  stats.float_alu.inc(floats);
+  stats.local_ops.inc(locals);
+  stats.global_loads.inc(loads);
+  stats.idle_cycles.inc(idle);
+  return stats;
+}
+
+TEST(EnergyModel, MimdFloatOpsCostMoreThanInt) {
+  EnergyModel model;
+  const double int_only = model.mimd_core_j(
+      make_exec(1000, 0, 0, 0, 0), false, false);
+  const double float_heavy = model.mimd_core_j(
+      make_exec(1000, 1000, 0, 0, 0), false, false);
+  EXPECT_GT(float_heavy, int_only);
+}
+
+TEST(EnergyModel, SsmcStateViaCacheCostsMoreThanScratchpad) {
+  EnergyModel model;
+  const auto stats = make_exec(1000, 0, 500, 100, 0);
+  const double millipede_like = model.mimd_core_j(stats, false, false);
+  const double ssmc_like = model.mimd_core_j(stats, true, true);
+  EXPECT_GT(ssmc_like, millipede_like)
+      << "5 KB L1D access must cost more than scratchpad + PB slice";
+}
+
+TEST(EnergyModel, IdleCyclesCostFractionOfActive) {
+  EnergyModel model;
+  const double active = model.mimd_core_j(make_exec(1000, 0, 0, 0, 0),
+                                          false, false);
+  const double with_idle = model.mimd_core_j(make_exec(1000, 0, 0, 0, 1000),
+                                             false, false);
+  const double idle_cost = with_idle - active;
+  EXPECT_GT(idle_cost, 0.0);
+  EXPECT_LT(idle_cost, active) << "imperfect gating, not full power";
+}
+
+gpgpu::SmStats make_sm(u64 warps, u64 threads, u64 shared, u64 lines,
+                       u64 inactive) {
+  gpgpu::SmStats stats;
+  stats.warp_instructions.inc(warps);
+  stats.thread_instructions.inc(threads);
+  stats.thread_local_accesses.inc(shared);
+  stats.global_lines.inc(lines);
+  stats.inactive_lane_slots.inc(inactive);
+  return stats;
+}
+
+TEST(EnergyModel, GpgpuAmortizesFetchAcrossWideWarps) {
+  EnergyModel model;
+  // Same thread work, full warps vs degenerate 1-thread warps.
+  const double wide = model.gpgpu_core_j(make_sm(1000, 32000, 0, 0, 0));
+  const double narrow = model.gpgpu_core_j(make_sm(32000, 32000, 0, 0, 0));
+  EXPECT_LT(wide, narrow) << "one fetch per warp instruction";
+}
+
+TEST(EnergyModel, SharedMemoryCrossbarIsExpensive) {
+  EnergyModel model;
+  const double base = model.gpgpu_core_j(make_sm(100, 3200, 0, 0, 0));
+  const double with_shared = model.gpgpu_core_j(make_sm(100, 3200, 3200, 0, 0));
+  // Per-access shared-memory energy must exceed the MIMD scratchpad's.
+  EXPECT_GT((with_shared - base) / 3200, model.params().pj_local_access * 1e-12);
+}
+
+TEST(EnergyModel, DivergenceInactiveLanesBurnIdleEnergy) {
+  EnergyModel model;
+  const double converged = model.gpgpu_core_j(make_sm(1000, 32000, 0, 0, 0));
+  const double divergent =
+      model.gpgpu_core_j(make_sm(2000, 32000, 0, 0, 32000));
+  EXPECT_GT(divergent, converged);
+}
+
+TEST(EnergyModel, LeakageScalesWithTimeAndSram) {
+  EnergyModel model;
+  EXPECT_DOUBLE_EQ(model.leakage_j(32, 288.0, 2.0),
+                   2.0 * model.leakage_j(32, 288.0, 1.0));
+  EXPECT_GT(model.leakage_j(32, 288.0, 1.0), model.leakage_j(32, 164.0, 1.0));
+  EXPECT_GT(model.leakage_j(8, 100.0, 1.0, /*ooo=*/true),
+            model.leakage_j(8, 100.0, 1.0, /*ooo=*/false))
+      << "OoO cores leak far more than simple cores";
+}
+
+TEST(EnergyModel, MulticorePerInstructionCostDominates) {
+  EnergyModel model;
+  const double j = model.multicore_core_j(1000, 0, 0, 0);
+  EXPECT_NEAR(j, 1000 * model.params().pj_ooo_op * 1e-12, 1e-15);
+  EXPECT_GT(model.params().pj_ooo_op, 4 * model.params().pj_int_op)
+      << "wide OoO pipelines cost several times a simple core per inst";
+}
+
+TEST(EnergyBreakdownTest, TotalsSum) {
+  EnergyBreakdown b;
+  b.core_j = 1.0;
+  b.dram_j = 2.0;
+  b.leak_j = 3.0;
+  EXPECT_DOUBLE_EQ(b.total_j(), 6.0);
+}
+
+}  // namespace
+}  // namespace mlp::energy

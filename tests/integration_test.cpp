@@ -1,0 +1,104 @@
+// Cross-cutting integration invariants over whole-system runs: traffic
+// conservation, result-field consistency, scaling monotonicity, and
+// cross-architecture agreement on functional outputs.
+
+#include <gtest/gtest.h>
+
+#include "arch/system.hpp"
+
+namespace mlp::arch {
+namespace {
+
+workloads::Workload wl(const std::string& name, u64 records) {
+  workloads::WorkloadParams params;
+  params.num_records = records;
+  return workloads::make_bmla(name, params);
+}
+
+TEST(Integration, MillipedeFetchesEveryDataRowExactlyOnce) {
+  const workloads::Workload workload = wl("nbayes", 16384);
+  const RunResult r =
+      run_arch(ArchKind::kMillipede, MachineConfig::paper_defaults(),
+               workload);
+  // 16384 records x 9 fields, 512 records/group -> 32 groups x 9 rows.
+  const u64 rows = 32 * 9;
+  EXPECT_EQ(r.stats.at("pb.row_prefetches"), rows);
+  EXPECT_EQ(r.stats.at("dram.bytes"), rows * 2048);
+  EXPECT_EQ(r.stats.at("dram.row_misses") + r.stats.at("dram.row_hits"),
+            rows);
+}
+
+TEST(Integration, CacheArchitecturesFetchAtLeastTheInput) {
+  for (const ArchKind kind : {ArchKind::kSsmc, ArchKind::kGpgpu}) {
+    const workloads::Workload workload = wl("count", 16384);
+    const RunResult r =
+        run_arch(kind, MachineConfig::paper_defaults(), workload);
+    EXPECT_GE(r.stats.at("dram.bytes"), workload.num_records * 4)
+        << arch_name(kind);
+  }
+}
+
+TEST(Integration, ResultFieldsAreInternallyConsistent) {
+  const workloads::Workload workload = wl("variance", 8192);
+  for (const ArchKind kind :
+       {ArchKind::kMillipede, ArchKind::kSsmc, ArchKind::kGpgpu,
+        ArchKind::kMulticore}) {
+    const RunResult r =
+        run_arch(kind, MachineConfig::paper_defaults(), workload);
+    EXPECT_EQ(r.input_words, workload.num_records * workload.fields);
+    EXPECT_NEAR(r.insts_per_word * static_cast<double>(r.input_words),
+                static_cast<double>(r.thread_instructions), 1.0)
+        << arch_name(kind);
+    EXPECT_GT(r.branches_per_inst, 0.0);
+    EXPECT_LT(r.branches_per_inst, 0.5);
+    EXPECT_GE(r.energy.core_j, 0.0);
+    EXPECT_GE(r.energy.dram_j, 0.0);
+    EXPECT_GE(r.energy.leak_j, 0.0);
+  }
+}
+
+TEST(Integration, RuntimeScalesLinearlyWithRecords) {
+  const RunResult small_run = run_arch(
+      ArchKind::kMillipedeNoRateMatch, MachineConfig::paper_defaults(),
+      wl("count", 32768));
+  const RunResult big_run = run_arch(
+      ArchKind::kMillipedeNoRateMatch, MachineConfig::paper_defaults(),
+      wl("count", 131072));
+  const double ratio = static_cast<double>(big_run.runtime_ps) /
+                       static_cast<double>(small_run.runtime_ps);
+  EXPECT_NEAR(ratio, 4.0, 0.5) << "steady state implies linear scaling";
+}
+
+TEST(Integration, MimdArchitecturesAgreeOnIntegerResults) {
+  // SSMC and Millipede execute identical binaries over identical data; the
+  // integer parts of the reduced state must agree EXACTLY (floats may
+  // differ in accumulation order).
+  const workloads::Workload workload = wl("nbayes", 4096);
+  const MachineConfig cfg = MachineConfig::paper_defaults();
+  PreparedInput a = prepare_input(cfg, workload, 1);
+  const auto reference = workload.reference(a.image, a.layout);
+  for (const ArchKind kind : {ArchKind::kMillipede, ArchKind::kSsmc}) {
+    const RunResult r = run_arch(kind, cfg, workload, 1);
+    EXPECT_EQ(r.verification, "") << arch_name(kind);
+  }
+  // nbayes is all-integer: verification above already implies exactness
+  // given its tolerance, but make the property explicit.
+  EXPECT_LT(workload.tolerance, 1e-6);
+}
+
+TEST(Integration, StatsSnapshotContainsCoreCountersForAllArchs) {
+  for (const ArchKind kind :
+       {ArchKind::kMillipede, ArchKind::kSsmc, ArchKind::kMulticore}) {
+    const RunResult r =
+        run_arch(kind, MachineConfig::paper_defaults(), wl("count", 4096));
+    EXPECT_TRUE(r.stats.count("exec.instructions")) << arch_name(kind);
+    EXPECT_TRUE(r.stats.count("dram.row_misses")) << arch_name(kind);
+  }
+  const RunResult g =
+      run_arch(ArchKind::kGpgpu, MachineConfig::paper_defaults(),
+               wl("count", 4096));
+  EXPECT_TRUE(g.stats.count("sm.warp_instructions"));
+}
+
+}  // namespace
+}  // namespace mlp::arch

@@ -1,0 +1,185 @@
+// Tests for ISA metadata, binary encoding round-trips, program static
+// analysis, and the kernel builder.
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "isa/disassembler.hpp"
+#include "isa/encoding.hpp"
+#include "isa/program.hpp"
+
+namespace mlp::isa {
+namespace {
+
+TEST(OpInfo, EveryOpcodeHasConsistentName) {
+  for (u32 i = 0; i < kNumOpcodes; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    const OpInfo& info = op_info(op);
+    ASSERT_NE(info.name, nullptr);
+    Opcode back;
+    ASSERT_TRUE(opcode_from_name(info.name, &back)) << info.name;
+    EXPECT_EQ(back, op) << "name table out of order at " << info.name;
+  }
+}
+
+TEST(OpInfo, ClassificationSpotChecks) {
+  EXPECT_TRUE(op_info(Opcode::kBeq).is_branch);
+  EXPECT_FALSE(op_info(Opcode::kJal).is_branch);
+  EXPECT_TRUE(op_info(Opcode::kJal).is_jump);
+  EXPECT_TRUE(op_info(Opcode::kLw).is_global_mem);
+  EXPECT_TRUE(op_info(Opcode::kLw).is_load);
+  EXPECT_TRUE(op_info(Opcode::kAmoaddl).is_local_mem);
+  EXPECT_TRUE(op_info(Opcode::kAmoaddl).is_load);
+  EXPECT_TRUE(op_info(Opcode::kAmoaddl).is_store);
+  EXPECT_TRUE(op_info(Opcode::kFamoaddl).is_float);
+  EXPECT_TRUE(op_info(Opcode::kFadd).is_float);
+  EXPECT_FALSE(op_info(Opcode::kAdd).is_float);
+}
+
+TEST(Csr, NamesRoundTrip) {
+  for (u32 i = 0; i < kNumCsrs; ++i) {
+    if (i == 15) continue;  // hole in the numbering
+    const Csr csr = static_cast<Csr>(i);
+    Csr back;
+    ASSERT_TRUE(csr_from_name(csr_name(csr), &back));
+    EXPECT_EQ(back, csr);
+  }
+}
+
+// --- Encoding round trips, one test per format family. ---
+
+class EncodingRoundTrip : public ::testing::TestWithParam<Instr> {};
+
+TEST_P(EncodingRoundTrip, DecodeInvertsEncode) {
+  const Instr in = GetParam();
+  EXPECT_EQ(decode(encode(in)), in) << disassemble(in);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, EncodingRoundTrip,
+    ::testing::Values(
+        Instr{Opcode::kAdd, 1, 2, 3, 0},
+        Instr{Opcode::kSub, 31, 30, 29, 0},
+        Instr{Opcode::kFsqrt, 5, 6, 0, 0},
+        Instr{Opcode::kAddi, 7, 8, 0, -8192},
+        Instr{Opcode::kAddi, 7, 8, 0, 8191},
+        Instr{Opcode::kLui, 9, 0, 0, (1 << 19) - 1},
+        Instr{Opcode::kLw, 10, 11, 0, -4},
+        Instr{Opcode::kSw, 0, 12, 13, 2044},
+        Instr{Opcode::kLwl, 14, 15, 0, 1020},
+        Instr{Opcode::kSwl, 0, 16, 17, -256},
+        Instr{Opcode::kAmoaddl, 18, 19, 20, 255},
+        Instr{Opcode::kFamoaddl, 21, 22, 23, -256},
+        Instr{Opcode::kBeq, 0, 24, 25, -100},
+        Instr{Opcode::kBge, 0, 1, 2, 8191},
+        Instr{Opcode::kJal, 26, 0, 0, -262144},
+        Instr{Opcode::kJalr, 27, 28, 0, 16},
+        Instr{Opcode::kCsrr, 1, 0, 0, static_cast<i32>(Csr::kArg7)},
+        Instr{Opcode::kHalt, 0, 0, 0, 0}));
+
+TEST(Encoding, ExhaustiveImmediateSweepBranch) {
+  for (i32 imm = -(1 << 13); imm < (1 << 13); imm += 97) {
+    const Instr in{Opcode::kBne, 0, 3, 4, imm};
+    EXPECT_EQ(decode(encode(in)), in);
+  }
+}
+
+TEST(Encoding, ExhaustiveRegisterSweep) {
+  for (u8 r = 0; r < 32; ++r) {
+    const Instr in{Opcode::kXor, r, static_cast<u8>(31 - r), r, 0};
+    EXPECT_EQ(decode(encode(in)), in);
+  }
+}
+
+TEST(Encoding, ImmFitsBoundaries) {
+  EXPECT_TRUE(imm_fits(Opcode::kAddi, 8191));
+  EXPECT_FALSE(imm_fits(Opcode::kAddi, 8192));
+  EXPECT_TRUE(imm_fits(Opcode::kAddi, -8192));
+  EXPECT_FALSE(imm_fits(Opcode::kAddi, -8193));
+  EXPECT_TRUE(imm_fits(Opcode::kAmoaddl, 255));
+  EXPECT_FALSE(imm_fits(Opcode::kAmoaddl, 256));
+  EXPECT_TRUE(imm_fits(Opcode::kJal, -262144));
+  EXPECT_FALSE(imm_fits(Opcode::kJal, 262144));
+}
+
+TEST(Encoding, ProgramVectorRoundTrip) {
+  std::vector<Instr> prog = {
+      {Opcode::kCsrr, 1, 0, 0, 0},
+      {Opcode::kAddi, 2, 1, 0, 4},
+      {Opcode::kBne, 0, 1, 2, -2},
+      {Opcode::kHalt, 0, 0, 0, 0},
+  };
+  EXPECT_EQ(decode_program(encode_program(prog)), prog);
+}
+
+TEST(Program, StaticCounts) {
+  std::vector<Instr> instrs = {
+      {Opcode::kCsrr, 1, 0, 0, 0},
+      {Opcode::kLw, 2, 1, 0, 0},
+      {Opcode::kAmoaddl, 3, 4, 2, 0},
+      {Opcode::kFadd, 5, 5, 2, 0},
+      {Opcode::kBne, 0, 1, 2, -2},
+      {Opcode::kJal, 0, 0, 0, -5},
+      {Opcode::kHalt, 0, 0, 0, 0},
+  };
+  Program p("t", instrs, {{"top", 0}});
+  const StaticCounts counts = p.static_counts();
+  EXPECT_EQ(counts.total, 7u);
+  EXPECT_EQ(counts.branches, 1u);
+  EXPECT_EQ(counts.jumps, 1u);
+  EXPECT_EQ(counts.global_loads, 1u);
+  EXPECT_EQ(counts.global_stores, 0u);
+  EXPECT_EQ(counts.local_accesses, 1u);
+  EXPECT_EQ(counts.float_ops, 1u);
+  EXPECT_EQ(p.label("top"), 0u);
+  EXPECT_EQ(p.size_bytes(), 28u);
+}
+
+TEST(Builder, EmitsForwardAndBackwardBranches) {
+  KernelBuilder b;
+  Label loop = b.new_label();
+  Label done = b.new_label();
+  b.csrr(1, Csr::kTid);      // 0
+  b.li(2, 10);               // 1
+  b.bind(loop);
+  b.addi(1, 1, 1);           // 2
+  b.blt(1, 2, loop);         // 3 -> 2
+  b.jump(done);              // 4 -> 5
+  b.bind(done);
+  b.halt();                  // 5
+  Program p = b.build("builder_test");
+  EXPECT_EQ(p.at(3).imm, -1);
+  EXPECT_EQ(p.at(4).imm, 1);
+  EXPECT_EQ(p.at(5).op, Opcode::kHalt);
+}
+
+TEST(Builder, LiExpandsLargeConstants) {
+  KernelBuilder b;
+  b.li(1, 5);           // 1 instr
+  b.li(2, 0x12345678);  // 2 instrs
+  b.halt();
+  Program p = b.build("li_test");
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.at(0).op, Opcode::kAddi);
+  EXPECT_EQ(p.at(1).op, Opcode::kLui);
+  EXPECT_EQ(p.at(2).op, Opcode::kOri);
+  // Reassemble the constant.
+  const u32 value = (static_cast<u32>(p.at(1).imm) << 13) |
+                    static_cast<u32>(p.at(2).imm);
+  EXPECT_EQ(value, 0x12345678u);
+}
+
+TEST(Disassembler, FormatsEveryFormat) {
+  EXPECT_EQ(disassemble(Instr{Opcode::kAdd, 1, 2, 3, 0}), "add r1, r2, r3");
+  EXPECT_EQ(disassemble(Instr{Opcode::kLw, 4, 5, 0, 8}), "lw r4, 8(r5)");
+  EXPECT_EQ(disassemble(Instr{Opcode::kSwl, 0, 6, 7, -4}), "sw.l r7, -4(r6)");
+  EXPECT_EQ(disassemble(Instr{Opcode::kAmoaddl, 1, 2, 3, 0}),
+            "amoadd.l r1, r3, 0(r2)");
+  EXPECT_EQ(disassemble(Instr{Opcode::kCsrr, 1, 0, 0,
+                              static_cast<i32>(Csr::kTid)}),
+            "csrr r1, TID");
+  EXPECT_EQ(disassemble(Instr{Opcode::kHalt, 0, 0, 0, 0}), "halt");
+}
+
+}  // namespace
+}  // namespace mlp::isa

@@ -1,0 +1,492 @@
+// Memory subsystem tests: address mapping, FR-FCFS controller timing and
+// scheduling, cache hit/miss/MSHR/writeback behaviour, stream prefetcher,
+// shared-memory banking, and the local store.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+
+#include "common/config.hpp"
+#include "mem/addrmap.hpp"
+#include "mem/cache.hpp"
+#include "mem/controller.hpp"
+#include "mem/dram_image.hpp"
+#include "mem/local_store.hpp"
+#include "mem/prefetcher.hpp"
+#include "mem/sharedmem.hpp"
+
+namespace mlp::mem {
+namespace {
+
+DramConfig dram_cfg() {
+  DramConfig cfg = MachineConfig::paper_defaults().dram;
+  cfg.bus_efficiency = 1.0;  // exact-beat timing assertions below
+  return cfg;
+}
+
+// --- AddressMap ---
+
+TEST(AddressMap, DecodesRowBankColumn) {
+  AddressMap map(dram_cfg());
+  // Row 0 -> bank 0; row 1 -> bank 1 (row-interleaved banks).
+  EXPECT_EQ(map.decode(0).bank, 0u);
+  EXPECT_EQ(map.decode(0).row, 0u);
+  EXPECT_EQ(map.decode(100).column, 100u);
+  EXPECT_EQ(map.decode(2048).bank, 1u);
+  EXPECT_EQ(map.decode(2048 * 4).bank, 0u);
+  EXPECT_EQ(map.decode(2048 * 4).row, 1u);
+  EXPECT_EQ(map.row_id(2048 * 5 + 17), 5u);
+  EXPECT_EQ(map.row_base(5), 2048u * 5);
+}
+
+TEST(AddressMap, SequentialRowsAlternateBanks) {
+  AddressMap map(dram_cfg());
+  for (u64 r = 0; r + 1 < 64; ++r) {
+    EXPECT_NE(map.decode(map.row_base(r)).bank,
+              map.decode(map.row_base(r + 1)).bank);
+  }
+}
+
+// --- MemoryController ---
+
+struct ControllerFixture : ::testing::Test {
+  ControllerFixture() : ctrl(dram_cfg(), "dram", &stats) {}
+
+  // Push a read and run ticks until its callback fires; returns done time.
+  Picos run_read(Addr addr, u32 bytes) {
+    std::optional<Picos> done;
+    MemRequest req;
+    req.addr = addr;
+    req.bytes = bytes;
+    req.on_complete = [&](Picos at) { done = at; };
+    EXPECT_TRUE(ctrl.try_push(std::move(req), now));
+    drain();
+    EXPECT_TRUE(done.has_value());
+    return *done;
+  }
+
+  void drain() {
+    while (!ctrl.idle()) {
+      ctrl.tick(now);
+      now += period;
+    }
+  }
+
+  StatSet stats;
+  MemoryController ctrl;
+  Picos now = 0;
+  Picos period = dram_cfg().period_ps();
+};
+
+TEST_F(ControllerFixture, ColdReadPaysActivatePlusCasPlusTransfer) {
+  const Picos done = run_read(0, 64);
+  // tRCD(9) + tCAS(9) + 4 beats of 16B = 22 cycles.
+  EXPECT_EQ(done, 22 * period);
+  EXPECT_EQ(stats.get("dram.row_misses"), 1u);
+  EXPECT_EQ(stats.get("dram.row_hits"), 0u);
+}
+
+TEST_F(ControllerFixture, RowHitSkipsActivation) {
+  run_read(0, 64);
+  const Picos start = now;
+  const Picos done = run_read(64, 64);
+  // tCAS(9) + 4 beats = 13 cycles from the scheduling tick. The scheduling
+  // tick is the first tick at or after `start`.
+  EXPECT_LE(done - start, 14 * period);
+  EXPECT_EQ(stats.get("dram.row_hits"), 1u);
+}
+
+TEST_F(ControllerFixture, FullRowFetchOccupiesBusFor128Beats) {
+  const Picos done = run_read(0, 2048);
+  // tRCD + tCAS + 128 beats = 146 cycles.
+  EXPECT_EQ(done, 146 * period);
+  EXPECT_EQ(stats.get("dram.bytes"), 2048u);
+}
+
+TEST_F(ControllerFixture, RowMissAfterOpenRowPaysPrechargeToo) {
+  run_read(0, 64);  // opens bank0 row0
+  const Picos start = now;
+  // Same bank (bank 0 holds rows 0, 4, 8...), different row.
+  const Picos done = run_read(4 * 2048, 64);
+  // tRP(9) + tRCD(9) + tCAS(9) + 4 beats = 31 cycles minimum (tRAS already
+  // satisfied by the elapsed drain time).
+  EXPECT_GE(done - start, 31 * period);
+  EXPECT_EQ(stats.get("dram.row_misses"), 2u);
+}
+
+TEST_F(ControllerFixture, FrFcfsPrefersRowHitOverOlderMiss) {
+  run_read(0, 64);  // opens bank0 row0
+  // Queue: first a conflicting miss to bank0 row4, then a hit to row0.
+  Picos miss_done = 0, hit_done = 0;
+  MemRequest miss;
+  miss.addr = 4 * 2048;
+  miss.bytes = 64;
+  miss.on_complete = [&](Picos at) { miss_done = at; };
+  MemRequest hit;
+  hit.addr = 128;
+  hit.bytes = 64;
+  hit.on_complete = [&](Picos at) { hit_done = at; };
+  ASSERT_TRUE(ctrl.try_push(std::move(miss), now));
+  ASSERT_TRUE(ctrl.try_push(std::move(hit), now));
+  drain();
+  EXPECT_LT(hit_done, miss_done);  // younger row-hit served first
+}
+
+TEST_F(ControllerFixture, QueueBackpressure) {
+  // Fill the 16-deep window without ticking.
+  for (u32 i = 0; i < ctrl.queue_capacity(); ++i) {
+    MemRequest req;
+    req.addr = i * 2048;
+    req.bytes = 64;
+    ASSERT_TRUE(ctrl.try_push(std::move(req), now));
+  }
+  MemRequest overflow;
+  overflow.addr = 99 * 2048;
+  overflow.bytes = 64;
+  EXPECT_FALSE(ctrl.try_push(std::move(overflow), now));
+  EXPECT_EQ(stats.get("dram.queue_rejections"), 1u);
+  drain();  // must still drain cleanly
+}
+
+TEST_F(ControllerFixture, BankParallelismOverlapsActivations) {
+  // Two cold reads to different banks finish sooner than two to the same
+  // bank+row-conflict because activations overlap.
+  Picos done_a = 0, done_b = 0;
+  MemRequest a, b;
+  a.addr = 0;        // bank 0
+  a.bytes = 2048;
+  a.on_complete = [&](Picos at) { done_a = at; };
+  b.addr = 2048;     // bank 1
+  b.bytes = 2048;
+  b.on_complete = [&](Picos at) { done_b = at; };
+  ASSERT_TRUE(ctrl.try_push(std::move(a), now));
+  ASSERT_TRUE(ctrl.try_push(std::move(b), now));
+  drain();
+  // B's activation overlaps A's transfer: B completes one transfer-time
+  // after A (plus nothing else), i.e. well before 2x A's latency.
+  EXPECT_EQ(done_a, 146 * period);
+  EXPECT_LE(done_b, done_a + 129 * period);
+  EXPECT_EQ(stats.get("dram.reads"), 2u);
+}
+
+TEST_F(ControllerFixture, RejectsRowStraddlingRequest) {
+  MemRequest req;
+  req.addr = 2048 - 64;
+  req.bytes = 128;  // crosses into the next row
+  EXPECT_DEATH(ctrl.try_push(std::move(req), now), "row boundary");
+}
+
+// --- Cache ---
+
+/// Scripted backend: records requests; test completes them explicitly.
+class FakeBackend : public MemBackend {
+ public:
+  bool request(MemRequest request, Picos) override {
+    if (reject_next > 0) {
+      --reject_next;
+      return false;
+    }
+    requests.push_back(std::move(request));
+    return true;
+  }
+
+  void complete_all(Picos at) {
+    auto batch = std::move(requests);
+    requests.clear();
+    for (MemRequest& r : batch) {
+      if (r.on_complete) r.on_complete(at);
+    }
+  }
+
+  std::vector<MemRequest> requests;
+  int reject_next = 0;
+};
+
+struct CacheFixture : ::testing::Test {
+  CacheFixture()
+      : cache("l1", 5 * 1024, 128, 5, 8, /*hit_latency_ps=*/2858, &backend,
+              &stats) {}
+
+  FakeBackend backend;
+  StatSet stats;
+  Cache cache;
+  Picos now = 0;
+};
+
+TEST_F(CacheFixture, MissThenHit) {
+  Picos filled = 0;
+  EXPECT_EQ(cache.access(0x100, false, now, [&](Picos at) { filled = at; }),
+            AccessStatus::kMiss);
+  ASSERT_EQ(backend.requests.size(), 1u);
+  EXPECT_EQ(backend.requests[0].addr, 0x100u);
+  EXPECT_EQ(backend.requests[0].bytes, 128u);
+  backend.complete_all(1000);
+  EXPECT_EQ(filled, 1000u + cache.hit_latency_ps());
+  EXPECT_EQ(cache.access(0x100, false, now, nullptr), AccessStatus::kHit);
+  EXPECT_EQ(cache.access(0x17c, false, now, nullptr), AccessStatus::kHit)
+      << "same line";
+  EXPECT_EQ(stats.get("l1.hits"), 2u);
+  EXPECT_EQ(stats.get("l1.misses"), 1u);
+}
+
+TEST_F(CacheFixture, MshrMergesSameLine) {
+  int fills = 0;
+  EXPECT_EQ(cache.access(0x200, false, now, [&](Picos) { ++fills; }),
+            AccessStatus::kMiss);
+  EXPECT_EQ(cache.access(0x240, false, now, [&](Picos) { ++fills; }),
+            AccessStatus::kMiss);
+  EXPECT_EQ(backend.requests.size(), 1u) << "one fill for both waiters";
+  backend.complete_all(500);
+  EXPECT_EQ(fills, 2);
+  EXPECT_EQ(stats.get("l1.mshr_merges"), 1u);
+}
+
+TEST_F(CacheFixture, MshrFullStalls) {
+  for (u32 i = 0; i < 8; ++i) {
+    EXPECT_EQ(cache.access(i * 128, false, now, nullptr), AccessStatus::kMiss);
+  }
+  EXPECT_EQ(cache.access(9 * 128, false, now, nullptr),
+            AccessStatus::kMshrFull);
+  EXPECT_EQ(stats.get("l1.mshr_stalls"), 1u);
+  backend.complete_all(100);
+  EXPECT_EQ(cache.access(9 * 128, false, now, nullptr), AccessStatus::kMiss);
+}
+
+/// Line addresses that collide in one set under the XOR-hashed index.
+std::vector<Addr> same_set_lines(u32 how_many) {
+  auto hash = [](u64 n) { return (n ^ (n >> 4) ^ (n >> 8)) & 7; };
+  std::vector<Addr> out;
+  for (u64 n = 0; out.size() < how_many; ++n) {
+    if (hash(n) == hash(0)) out.push_back(n * 128);
+  }
+  return out;
+}
+
+TEST_F(CacheFixture, DirtyEvictionWritesBack) {
+  // Fill all 5 ways of one (hashed) set with writes, then force an eviction.
+  const std::vector<Addr> lines = same_set_lines(6);
+  for (u32 way = 0; way < 5; ++way) {
+    cache.access(lines[way], true, now, nullptr);
+  }
+  backend.complete_all(10);
+  backend.requests.clear();
+  cache.access(lines[5], false, now, nullptr);
+  backend.complete_all(20);  // installs, evicting the LRU dirty line
+  ASSERT_FALSE(backend.requests.empty());
+  EXPECT_TRUE(backend.requests.back().is_write);
+  EXPECT_EQ(backend.requests.back().addr, lines[0]);
+  EXPECT_EQ(stats.get("l1.writebacks"), 1u);
+}
+
+TEST_F(CacheFixture, LruVictimSelection) {
+  const std::vector<Addr> lines = same_set_lines(6);
+  for (u32 way = 0; way < 5; ++way) cache.access(lines[way], false, now, nullptr);
+  backend.complete_all(10);
+  // Touch lines[0] so lines[1] becomes LRU.
+  cache.access(lines[0], false, now, nullptr);
+  cache.access(lines[5], false, now, nullptr);
+  backend.complete_all(20);
+  EXPECT_EQ(cache.access(lines[0], false, now, nullptr), AccessStatus::kHit);
+  EXPECT_EQ(cache.access(lines[1], false, now, nullptr), AccessStatus::kMiss)
+      << "LRU way was evicted";
+}
+
+TEST_F(CacheFixture, HashedIndexSpreadsRowStridedStreams) {
+  // Nine streams strided by one DRAM row (16 lines) — the interleaved
+  // layout's field rows — must not all collide in one set.
+  std::set<u64> sets;
+  for (u32 f = 0; f < 9; ++f) {
+    const u64 n = static_cast<u64>(f) * 16;
+    sets.insert((n ^ (n >> 4) ^ (n >> 8)) & 7);
+  }
+  EXPECT_GE(sets.size(), 4u);
+}
+
+TEST_F(CacheFixture, PrefetchFillsLineAndCountsUsefulness) {
+  cache.prefetch(0x800, now);
+  EXPECT_EQ(stats.get("l1.prefetch_issued"), 1u);
+  backend.complete_all(50);
+  EXPECT_EQ(cache.access(0x800, false, now, nullptr), AccessStatus::kHit);
+  EXPECT_EQ(stats.get("l1.prefetch_useful"), 1u);
+}
+
+TEST_F(CacheFixture, PrefetchDroppedWhenLineBusy) {
+  cache.access(0x800, false, now, nullptr);
+  cache.prefetch(0x800, now);  // already in flight: dropped
+  EXPECT_EQ(stats.get("l1.prefetch_issued"), 0u);
+  EXPECT_EQ(backend.requests.size(), 1u);
+}
+
+TEST_F(CacheFixture, DemandUpgradesPrefetchMshr) {
+  cache.prefetch(0xa00, now);
+  Picos filled = 0;
+  EXPECT_EQ(cache.access(0xa00, false, now, [&](Picos at) { filled = at; }),
+            AccessStatus::kMiss);
+  backend.complete_all(300);
+  EXPECT_GT(filled, 0u) << "waiter attached to in-flight prefetch";
+}
+
+TEST_F(CacheFixture, PumpRetriesAfterBackpressure) {
+  backend.reject_next = 1;
+  cache.access(0xc00, false, now, nullptr);
+  EXPECT_TRUE(backend.requests.empty());
+  cache.pump(now);
+  EXPECT_EQ(backend.requests.size(), 1u);
+  backend.complete_all(99);
+  EXPECT_EQ(cache.access(0xc00, false, now, nullptr), AccessStatus::kHit);
+}
+
+TEST_F(CacheFixture, ActsAsBackendForUpstreamCache) {
+  // Use the cache itself through the MemBackend interface.
+  Picos done = 0;
+  MemRequest req;
+  req.addr = 0x1000;
+  req.bytes = 128;
+  req.on_complete = [&](Picos at) { done = at; };
+  EXPECT_TRUE(cache.request(std::move(req), now));  // miss accepted
+  backend.complete_all(400);
+  EXPECT_GE(done, 400u);
+  // Second time: hit completes immediately with +latency timestamp.
+  Picos done2 = 0;
+  MemRequest req2;
+  req2.addr = 0x1000;
+  req2.bytes = 128;
+  req2.on_complete = [&](Picos at) { done2 = at; };
+  EXPECT_TRUE(cache.request(std::move(req2), now));
+  EXPECT_EQ(done2, now + cache.hit_latency_ps());
+}
+
+// --- StreamPrefetcher ---
+
+TEST(StreamPrefetcher, DetectsUnitStride) {
+  StreamPrefetcher pf(128, /*degree=*/2, /*distance=*/8);
+  EXPECT_TRUE(pf.observe(0).empty());
+  EXPECT_TRUE(pf.observe(128).empty()) << "confidence 1: not yet";
+  const auto lines = pf.observe(256);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0], 384u);
+}
+
+TEST(StreamPrefetcher, DetectsRowStride) {
+  // SSMC core stream: one line per field row, stride 16 lines (2 KB / 128 B).
+  StreamPrefetcher pf(128, 2, 8);
+  pf.observe(0);
+  pf.observe(2048);
+  const auto lines = pf.observe(4096);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0], 6144u);
+}
+
+TEST(StreamPrefetcher, RepeatedSameLineIsIgnored) {
+  StreamPrefetcher pf(128, 2, 8);
+  pf.observe(0);
+  pf.observe(128);
+  pf.observe(128);  // same line: keeps stream state
+  const auto lines = pf.observe(256);
+  EXPECT_FALSE(lines.empty());
+}
+
+TEST(StreamPrefetcher, StrideChangeResetsConfidence) {
+  StreamPrefetcher pf(128, 2, 8);
+  pf.observe(0);
+  pf.observe(128);
+  pf.observe(256);
+  EXPECT_TRUE(pf.observe(10'000 * 128).empty()) << "new stream, no prefetch";
+}
+
+TEST(StreamPrefetcher, DoesNotReissueCoveredLines) {
+  StreamPrefetcher pf(128, 4, 8);
+  pf.observe(0);
+  pf.observe(128);
+  const auto first = pf.observe(256);
+  const auto second = pf.observe(384);
+  for (Addr a : second) {
+    for (Addr b : first) EXPECT_NE(a, b) << "line prefetched twice";
+  }
+}
+
+// --- SharedMemBanking ---
+
+TEST(SharedMem, LanePrivateMappingIsConflictFree) {
+  SharedMemBanking banks(32, BankMapping::kLanePrivate);
+  std::vector<SharedMemBanking::LaneAccess> accesses;
+  for (u32 lane = 0; lane < 32; ++lane) {
+    // Indirect accesses: arbitrary word offsets (data-dependent).
+    accesses.push_back({lane, (lane * 37 % 256) * 4});
+  }
+  EXPECT_EQ(banks.conflict_cycles(accesses), 1u);
+}
+
+TEST(SharedMem, WordInterleavedConflictsSerialize) {
+  SharedMemBanking banks(32, BankMapping::kWordInterleaved);
+  std::vector<SharedMemBanking::LaneAccess> accesses;
+  for (u32 lane = 0; lane < 32; ++lane) {
+    accesses.push_back({lane, 0});  // all lanes hit bank 0
+  }
+  EXPECT_EQ(banks.conflict_cycles(accesses), 32u);
+}
+
+TEST(SharedMem, WordInterleavedSequentialIsConflictFree) {
+  SharedMemBanking banks(32, BankMapping::kWordInterleaved);
+  std::vector<SharedMemBanking::LaneAccess> accesses;
+  for (u32 lane = 0; lane < 32; ++lane) accesses.push_back({lane, lane * 4});
+  EXPECT_EQ(banks.conflict_cycles(accesses), 1u);
+}
+
+TEST(SharedMem, EmptyAccessListCostsNothing) {
+  SharedMemBanking banks(32, BankMapping::kWordInterleaved);
+  EXPECT_EQ(banks.conflict_cycles({}), 0u);
+}
+
+// --- LocalStore / DramImage ---
+
+TEST(LocalStore, LoadStoreRoundTrip) {
+  LocalStore store(4096);
+  store.store(0, 42);
+  store.store(4092, 7);
+  EXPECT_EQ(store.load(0), 42u);
+  EXPECT_EQ(store.load(4092), 7u);
+  EXPECT_EQ(store.size_bytes(), 4096u);
+}
+
+TEST(LocalStore, AmoaddReturnsOldValue) {
+  LocalStore store(64);
+  store.store(8, 10);
+  EXPECT_EQ(store.amoadd(8, 5), 10u);
+  EXPECT_EQ(store.load(8), 15u);
+  EXPECT_EQ(store.amoadd(8, 1), 15u);
+}
+
+TEST(LocalStore, FamoaddAccumulatesFloats) {
+  LocalStore store(64);
+  store.store_f32(4, 1.5f);
+  u32 bits;
+  float addend = 2.25f;
+  std::memcpy(&bits, &addend, 4);
+  store.famoadd(4, bits);
+  EXPECT_FLOAT_EQ(store.load_f32(4), 3.75f);
+}
+
+TEST(LocalStoreDeathTest, OutOfBoundsAborts) {
+  LocalStore store(64);
+  EXPECT_DEATH(store.load(64), "out of bounds");
+  EXPECT_DEATH(store.load(2), "unaligned");
+}
+
+TEST(DramImage, ReadWriteRoundTrip) {
+  DramImage image(1024);
+  image.write_u32(0, 0xdeadbeef);
+  image.write_f32(4, 3.25f);
+  EXPECT_EQ(image.read_u32(0), 0xdeadbeefu);
+  EXPECT_FLOAT_EQ(image.read_f32(4), 3.25f);
+  EXPECT_EQ(image.size(), 1024u);
+}
+
+TEST(DramImageDeathTest, BoundsChecked) {
+  DramImage image(16);
+  EXPECT_DEATH(image.read_u32(16), "bad DRAM read");
+}
+
+}  // namespace
+}  // namespace mlp::mem

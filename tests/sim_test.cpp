@@ -1,0 +1,102 @@
+// Harness tests: volume-based workload sizing, geomean, suite execution,
+// and environment-variable overrides.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/runner.hpp"
+
+namespace mlp::sim {
+namespace {
+
+struct EnvGuard {
+  explicit EnvGuard(const char* name) : name_(name) { unsetenv(name); }
+  ~EnvGuard() { unsetenv(name_); }
+  const char* name_;
+};
+
+TEST(Runner, VolumeSizingEqualizesRows) {
+  EnvGuard guard1("MLP_BENCH_RECORDS");
+  EnvGuard guard2("MLP_BENCH_ROWS");
+  const MachineConfig cfg = MachineConfig::paper_defaults();
+  // count: 1 word/record -> 192 groups; gda: 16 words -> 12 groups.
+  const u64 count_records = records_for("count", cfg);
+  const u64 gda_records = records_for("gda", cfg);
+  EXPECT_EQ(count_records, default_rows() * 512);
+  EXPECT_EQ(gda_records, (default_rows() / 16) * 512);
+  // Data volumes within one group of each other.
+  const u64 count_rows = count_records * 1 / 512;
+  const u64 gda_rows = gda_records * 16 / 512;
+  EXPECT_NEAR(static_cast<double>(count_rows), static_cast<double>(gda_rows),
+              16.0);
+}
+
+TEST(Runner, RecordsEnvOverridesVolume) {
+  EnvGuard guard("MLP_BENCH_RECORDS");
+  setenv("MLP_BENCH_RECORDS", "12345", 1);
+  EXPECT_EQ(records_for("count", MachineConfig::paper_defaults()), 12345u);
+  EXPECT_EQ(records_for("gda", MachineConfig::paper_defaults()), 12345u);
+}
+
+TEST(Runner, RowsEnvScalesVolume) {
+  EnvGuard guard1("MLP_BENCH_RECORDS");
+  EnvGuard guard2("MLP_BENCH_ROWS");
+  setenv("MLP_BENCH_ROWS", "384", 1);
+  EXPECT_EQ(default_rows(), 384u);
+  EXPECT_EQ(records_for("count", MachineConfig::paper_defaults()),
+            384u * 512u);
+}
+
+TEST(Runner, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(RunnerDeathTest, GeomeanRejectsNonPositive) {
+  EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
+  EXPECT_DEATH(geomean({}), "nothing");
+}
+
+TEST(Runner, RunVerifiedProducesConsistentResult) {
+  SuiteOptions options;
+  options.records = 2048;
+  const arch::RunResult r =
+      run_verified(arch::ArchKind::kMillipede, "count", options);
+  EXPECT_EQ(r.workload, "count");
+  EXPECT_EQ(r.arch, "millipede");
+  EXPECT_EQ(r.input_words, 2048u);
+  EXPECT_GT(r.insts_per_word, 5.0);
+  EXPECT_LT(r.insts_per_word, 30.0);
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  SuiteOptions options;
+  options.records = 2048;
+  const arch::RunResult a =
+      run_verified(arch::ArchKind::kSsmc, "variance", options);
+  const arch::RunResult b =
+      run_verified(arch::ArchKind::kSsmc, "variance", options);
+  EXPECT_EQ(a.runtime_ps, b.runtime_ps);
+  EXPECT_EQ(a.thread_instructions, b.thread_instructions);
+  EXPECT_EQ(a.stats.at("dram.bytes"), b.stats.at("dram.bytes"));
+}
+
+TEST(Runner, SeedChangesDataNotShape) {
+  SuiteOptions a_options, b_options;
+  a_options.records = b_options.records = 4096;
+  a_options.seed = 1;
+  b_options.seed = 2;
+  const arch::RunResult a =
+      run_verified(arch::ArchKind::kMillipede, "count", a_options);
+  const arch::RunResult b =
+      run_verified(arch::ArchKind::kMillipede, "count", b_options);
+  // Same instruction volume within branch-mix noise; different exact counts.
+  EXPECT_NEAR(static_cast<double>(a.thread_instructions),
+              static_cast<double>(b.thread_instructions),
+              0.05 * static_cast<double>(a.thread_instructions));
+}
+
+}  // namespace
+}  // namespace mlp::sim

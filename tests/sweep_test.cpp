@@ -1,0 +1,107 @@
+// Configuration-sweep tests mirroring the Fig. 6/7 experiments at small
+// scale, plus the layout-mapping ablation path: every swept configuration
+// must stay functionally correct (golden verification) and show the
+// qualitative trend the paper reports.
+
+#include <gtest/gtest.h>
+
+#include "arch/system.hpp"
+
+namespace mlp::arch {
+namespace {
+
+workloads::Workload wl(const std::string& name, u64 records) {
+  workloads::WorkloadParams params;
+  params.num_records = records;
+  return workloads::make_bmla(name, params);
+}
+
+TEST(Sweep, SixtyFourCoreSystemsVerify) {
+  // Fig. 6 configuration: doubled cores and bandwidth.
+  MachineConfig cfg = MachineConfig::paper_defaults();
+  cfg.core.cores = 64;
+  cfg.gpgpu.warp_width = 64;
+  cfg.dram.channel_bits = 256;
+  for (const ArchKind kind :
+       {ArchKind::kMillipede, ArchKind::kSsmc, ArchKind::kGpgpu}) {
+    const RunResult r = run_arch(kind, cfg, wl("variance", 16384));
+    EXPECT_EQ(r.verification, "") << arch_name(kind);
+  }
+}
+
+TEST(Sweep, DoubledSystemIsFasterOnParallelWork) {
+  MachineConfig big = MachineConfig::paper_defaults();
+  big.core.cores = 64;
+  big.gpgpu.warp_width = 64;
+  big.dram.channel_bits = 256;
+  const RunResult small_run =
+      run_arch(ArchKind::kMillipede, MachineConfig::paper_defaults(),
+               wl("kmeans", 16384));
+  const RunResult big_run = run_arch(ArchKind::kMillipede, big,
+                                     wl("kmeans", 16384));
+  EXPECT_LT(big_run.runtime_ps, small_run.runtime_ps);
+}
+
+TEST(Sweep, PrefetchBufferCountsVerifyAndHelp) {
+  // Fig. 7 at small scale: more entries never hurt, and help multi-field
+  // kernels whose records span many rows.
+  Picos prev = ~Picos{0};
+  for (u32 entries : {12u, 16u, 32u}) {
+    MachineConfig cfg = MachineConfig::paper_defaults();
+    cfg.millipede.pf_entries = entries;
+    const RunResult r =
+        run_arch(ArchKind::kMillipedeNoRateMatch, cfg, wl("nbayes", 16384));
+    EXPECT_EQ(r.verification, "");
+    EXPECT_LE(r.runtime_ps, prev + prev / 50) << entries << " entries";
+    prev = r.runtime_ps;
+  }
+}
+
+TEST(Sweep, WindowSmallerThanRecordFootprintFailsFast) {
+  MachineConfig cfg = MachineConfig::paper_defaults();
+  cfg.millipede.pf_entries = 8;  // < pca's 16 fields
+  EXPECT_DEATH(run_arch(ArchKind::kMillipede, cfg, wl("pca", 2048)),
+               "row footprint");
+}
+
+TEST(Sweep, SlabMappingAblationDestroysCoalescing) {
+  MachineConfig word = MachineConfig::paper_defaults();
+  MachineConfig slab = MachineConfig::paper_defaults();
+  slab.gpgpu.slab_mapping_ablation = true;
+  const RunResult w = run_arch(ArchKind::kGpgpu, word, wl("count", 16384));
+  const RunResult s = run_arch(ArchKind::kGpgpu, slab, wl("count", 16384));
+  EXPECT_EQ(s.verification, "");
+  const double w_lines = static_cast<double>(w.stats.at("sm.global_lines")) /
+                         static_cast<double>(w.stats.at("sm.global_load_warps"));
+  const double s_lines = static_cast<double>(s.stats.at("sm.global_lines")) /
+                         static_cast<double>(s.stats.at("sm.global_load_warps"));
+  EXPECT_GT(s_lines, 4.0 * w_lines)
+      << "slab columns must touch many lines per warp load";
+}
+
+TEST(Sweep, NarrowChannelSlowsMemoryBoundKernels) {
+  MachineConfig narrow = MachineConfig::paper_defaults();
+  narrow.dram.channel_bits = 64;  // half bandwidth
+  const RunResult full = run_arch(ArchKind::kMillipedeNoRateMatch,
+                                  MachineConfig::paper_defaults(),
+                                  wl("count", 65536));
+  const RunResult half =
+      run_arch(ArchKind::kMillipedeNoRateMatch, narrow, wl("count", 65536));
+  EXPECT_GT(half.runtime_ps,
+            full.runtime_ps + full.runtime_ps / 2)
+      << "count is bandwidth-bound: halving bandwidth must hurt hard";
+}
+
+TEST(Sweep, BusEfficiencyOneRestoresPeakBandwidth) {
+  MachineConfig ideal = MachineConfig::paper_defaults();
+  ideal.dram.bus_efficiency = 1.0;
+  const RunResult derated = run_arch(ArchKind::kMillipedeNoRateMatch,
+                                     MachineConfig::paper_defaults(),
+                                     wl("count", 65536));
+  const RunResult full =
+      run_arch(ArchKind::kMillipedeNoRateMatch, ideal, wl("count", 65536));
+  EXPECT_LT(full.runtime_ps, derated.runtime_ps);
+}
+
+}  // namespace
+}  // namespace mlp::arch
