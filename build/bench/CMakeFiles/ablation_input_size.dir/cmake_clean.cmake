@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_input_size.dir/ablation_input_size.cpp.o"
+  "CMakeFiles/ablation_input_size.dir/ablation_input_size.cpp.o.d"
+  "ablation_input_size"
+  "ablation_input_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_input_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

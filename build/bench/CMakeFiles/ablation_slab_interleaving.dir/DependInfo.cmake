@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_slab_interleaving.cpp" "bench/CMakeFiles/ablation_slab_interleaving.dir/ablation_slab_interleaving.cpp.o" "gcc" "bench/CMakeFiles/ablation_slab_interleaving.dir/ablation_slab_interleaving.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mlp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mlp_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/mlp_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpgpu/CMakeFiles/mlp_gpgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/millipede/CMakeFiles/mlp_millipede.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mlp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mlp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mlp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mlp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

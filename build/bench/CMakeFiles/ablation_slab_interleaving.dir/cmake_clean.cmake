@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slab_interleaving.dir/ablation_slab_interleaving.cpp.o"
+  "CMakeFiles/ablation_slab_interleaving.dir/ablation_slab_interleaving.cpp.o.d"
+  "ablation_slab_interleaving"
+  "ablation_slab_interleaving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slab_interleaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_voltage_scaling.dir/ablation_voltage_scaling.cpp.o"
+  "CMakeFiles/ablation_voltage_scaling.dir/ablation_voltage_scaling.cpp.o.d"
+  "ablation_voltage_scaling"
+  "ablation_voltage_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_voltage_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

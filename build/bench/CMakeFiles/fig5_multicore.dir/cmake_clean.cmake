@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_multicore.dir/fig5_multicore.cpp.o"
+  "CMakeFiles/fig5_multicore.dir/fig5_multicore.cpp.o.d"
+  "fig5_multicore"
+  "fig5_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_prefetch_buffers.dir/fig7_prefetch_buffers.cpp.o"
+  "CMakeFiles/fig7_prefetch_buffers.dir/fig7_prefetch_buffers.cpp.o.d"
+  "fig7_prefetch_buffers"
+  "fig7_prefetch_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_prefetch_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

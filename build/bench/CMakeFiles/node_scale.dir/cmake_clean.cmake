@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_scale.dir/node_scale.cpp.o"
+  "CMakeFiles/node_scale.dir/node_scale.cpp.o.d"
+  "node_scale"
+  "node_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_behavior.dir/table2_behavior.cpp.o"
+  "CMakeFiles/table2_behavior.dir/table2_behavior.cpp.o.d"
+  "table2_behavior"
+  "table2_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

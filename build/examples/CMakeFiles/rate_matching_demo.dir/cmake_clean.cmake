@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_matching_demo.dir/rate_matching_demo.cpp.o"
+  "CMakeFiles/rate_matching_demo.dir/rate_matching_demo.cpp.o.d"
+  "rate_matching_demo"
+  "rate_matching_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_matching_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlp_arch.dir/gpgpu_system.cpp.o"
+  "CMakeFiles/mlp_arch.dir/gpgpu_system.cpp.o.d"
+  "CMakeFiles/mlp_arch.dir/millipede_system.cpp.o"
+  "CMakeFiles/mlp_arch.dir/millipede_system.cpp.o.d"
+  "CMakeFiles/mlp_arch.dir/multicore_system.cpp.o"
+  "CMakeFiles/mlp_arch.dir/multicore_system.cpp.o.d"
+  "CMakeFiles/mlp_arch.dir/ssmc_system.cpp.o"
+  "CMakeFiles/mlp_arch.dir/ssmc_system.cpp.o.d"
+  "CMakeFiles/mlp_arch.dir/system.cpp.o"
+  "CMakeFiles/mlp_arch.dir/system.cpp.o.d"
+  "libmlp_arch.a"
+  "libmlp_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlp_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

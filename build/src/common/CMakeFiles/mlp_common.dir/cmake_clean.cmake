@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlp_common.dir/config.cpp.o"
+  "CMakeFiles/mlp_common.dir/config.cpp.o.d"
+  "CMakeFiles/mlp_common.dir/stats.cpp.o"
+  "CMakeFiles/mlp_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mlp_common.dir/table.cpp.o"
+  "CMakeFiles/mlp_common.dir/table.cpp.o.d"
+  "libmlp_common.a"
+  "libmlp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/corelet.cpp" "src/core/CMakeFiles/mlp_core.dir/corelet.cpp.o" "gcc" "src/core/CMakeFiles/mlp_core.dir/corelet.cpp.o.d"
+  "/root/repo/src/core/functional.cpp" "src/core/CMakeFiles/mlp_core.dir/functional.cpp.o" "gcc" "src/core/CMakeFiles/mlp_core.dir/functional.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mlp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mlp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlp_core.dir/corelet.cpp.o"
+  "CMakeFiles/mlp_core.dir/corelet.cpp.o.d"
+  "CMakeFiles/mlp_core.dir/functional.cpp.o"
+  "CMakeFiles/mlp_core.dir/functional.cpp.o.d"
+  "libmlp_core.a"
+  "libmlp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

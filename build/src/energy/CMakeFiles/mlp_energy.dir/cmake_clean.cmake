@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlp_energy.dir/energy.cpp.o"
+  "CMakeFiles/mlp_energy.dir/energy.cpp.o.d"
+  "libmlp_energy.a"
+  "libmlp_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlp_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlp_gpgpu.dir/simt_stack.cpp.o"
+  "CMakeFiles/mlp_gpgpu.dir/simt_stack.cpp.o.d"
+  "CMakeFiles/mlp_gpgpu.dir/sm.cpp.o"
+  "CMakeFiles/mlp_gpgpu.dir/sm.cpp.o.d"
+  "libmlp_gpgpu.a"
+  "libmlp_gpgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlp_gpgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

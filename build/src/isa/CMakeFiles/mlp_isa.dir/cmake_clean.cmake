@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlp_isa.dir/assembler.cpp.o"
+  "CMakeFiles/mlp_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/mlp_isa.dir/builder.cpp.o"
+  "CMakeFiles/mlp_isa.dir/builder.cpp.o.d"
+  "CMakeFiles/mlp_isa.dir/cfg.cpp.o"
+  "CMakeFiles/mlp_isa.dir/cfg.cpp.o.d"
+  "CMakeFiles/mlp_isa.dir/disassembler.cpp.o"
+  "CMakeFiles/mlp_isa.dir/disassembler.cpp.o.d"
+  "CMakeFiles/mlp_isa.dir/encoding.cpp.o"
+  "CMakeFiles/mlp_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/mlp_isa.dir/isa.cpp.o"
+  "CMakeFiles/mlp_isa.dir/isa.cpp.o.d"
+  "CMakeFiles/mlp_isa.dir/program.cpp.o"
+  "CMakeFiles/mlp_isa.dir/program.cpp.o.d"
+  "libmlp_isa.a"
+  "libmlp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

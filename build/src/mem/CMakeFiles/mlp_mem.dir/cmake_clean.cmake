@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlp_mem.dir/cache.cpp.o"
+  "CMakeFiles/mlp_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/mlp_mem.dir/controller.cpp.o"
+  "CMakeFiles/mlp_mem.dir/controller.cpp.o.d"
+  "CMakeFiles/mlp_mem.dir/prefetcher.cpp.o"
+  "CMakeFiles/mlp_mem.dir/prefetcher.cpp.o.d"
+  "libmlp_mem.a"
+  "libmlp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlp_millipede.dir/prefetch_buffer.cpp.o"
+  "CMakeFiles/mlp_millipede.dir/prefetch_buffer.cpp.o.d"
+  "CMakeFiles/mlp_millipede.dir/rate_match.cpp.o"
+  "CMakeFiles/mlp_millipede.dir/rate_match.cpp.o.d"
+  "libmlp_millipede.a"
+  "libmlp_millipede.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlp_millipede.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

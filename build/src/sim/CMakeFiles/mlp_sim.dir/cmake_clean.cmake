@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlp_sim.dir/node.cpp.o"
+  "CMakeFiles/mlp_sim.dir/node.cpp.o.d"
+  "CMakeFiles/mlp_sim.dir/runner.cpp.o"
+  "CMakeFiles/mlp_sim.dir/runner.cpp.o.d"
+  "libmlp_sim.a"
+  "libmlp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpasm.dir/mlpasm.cpp.o"
+  "CMakeFiles/mlpasm.dir/mlpasm.cpp.o.d"
+  "mlpasm"
+  "mlpasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpsim.dir/mlpsim.cpp.o"
+  "CMakeFiles/mlpsim.dir/mlpsim.cpp.o.d"
+  "mlpsim"
+  "mlpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

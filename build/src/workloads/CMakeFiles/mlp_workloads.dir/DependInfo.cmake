@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/binding.cpp" "src/workloads/CMakeFiles/mlp_workloads.dir/binding.cpp.o" "gcc" "src/workloads/CMakeFiles/mlp_workloads.dir/binding.cpp.o.d"
+  "/root/repo/src/workloads/bmla.cpp" "src/workloads/CMakeFiles/mlp_workloads.dir/bmla.cpp.o" "gcc" "src/workloads/CMakeFiles/mlp_workloads.dir/bmla.cpp.o.d"
+  "/root/repo/src/workloads/kernels/classify.cpp" "src/workloads/CMakeFiles/mlp_workloads.dir/kernels/classify.cpp.o" "gcc" "src/workloads/CMakeFiles/mlp_workloads.dir/kernels/classify.cpp.o.d"
+  "/root/repo/src/workloads/kernels/count.cpp" "src/workloads/CMakeFiles/mlp_workloads.dir/kernels/count.cpp.o" "gcc" "src/workloads/CMakeFiles/mlp_workloads.dir/kernels/count.cpp.o.d"
+  "/root/repo/src/workloads/kernels/gda.cpp" "src/workloads/CMakeFiles/mlp_workloads.dir/kernels/gda.cpp.o" "gcc" "src/workloads/CMakeFiles/mlp_workloads.dir/kernels/gda.cpp.o.d"
+  "/root/repo/src/workloads/kernels/kmeans.cpp" "src/workloads/CMakeFiles/mlp_workloads.dir/kernels/kmeans.cpp.o" "gcc" "src/workloads/CMakeFiles/mlp_workloads.dir/kernels/kmeans.cpp.o.d"
+  "/root/repo/src/workloads/kernels/nbayes.cpp" "src/workloads/CMakeFiles/mlp_workloads.dir/kernels/nbayes.cpp.o" "gcc" "src/workloads/CMakeFiles/mlp_workloads.dir/kernels/nbayes.cpp.o.d"
+  "/root/repo/src/workloads/kernels/pca.cpp" "src/workloads/CMakeFiles/mlp_workloads.dir/kernels/pca.cpp.o" "gcc" "src/workloads/CMakeFiles/mlp_workloads.dir/kernels/pca.cpp.o.d"
+  "/root/repo/src/workloads/kernels/sample.cpp" "src/workloads/CMakeFiles/mlp_workloads.dir/kernels/sample.cpp.o" "gcc" "src/workloads/CMakeFiles/mlp_workloads.dir/kernels/sample.cpp.o.d"
+  "/root/repo/src/workloads/kernels/variance.cpp" "src/workloads/CMakeFiles/mlp_workloads.dir/kernels/variance.cpp.o" "gcc" "src/workloads/CMakeFiles/mlp_workloads.dir/kernels/variance.cpp.o.d"
+  "/root/repo/src/workloads/layout.cpp" "src/workloads/CMakeFiles/mlp_workloads.dir/layout.cpp.o" "gcc" "src/workloads/CMakeFiles/mlp_workloads.dir/layout.cpp.o.d"
+  "/root/repo/src/workloads/skeleton.cpp" "src/workloads/CMakeFiles/mlp_workloads.dir/skeleton.cpp.o" "gcc" "src/workloads/CMakeFiles/mlp_workloads.dir/skeleton.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/mlp_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/mlp_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mlp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mlp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mlp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlp_workloads.dir/binding.cpp.o"
+  "CMakeFiles/mlp_workloads.dir/binding.cpp.o.d"
+  "CMakeFiles/mlp_workloads.dir/bmla.cpp.o"
+  "CMakeFiles/mlp_workloads.dir/bmla.cpp.o.d"
+  "CMakeFiles/mlp_workloads.dir/kernels/classify.cpp.o"
+  "CMakeFiles/mlp_workloads.dir/kernels/classify.cpp.o.d"
+  "CMakeFiles/mlp_workloads.dir/kernels/count.cpp.o"
+  "CMakeFiles/mlp_workloads.dir/kernels/count.cpp.o.d"
+  "CMakeFiles/mlp_workloads.dir/kernels/gda.cpp.o"
+  "CMakeFiles/mlp_workloads.dir/kernels/gda.cpp.o.d"
+  "CMakeFiles/mlp_workloads.dir/kernels/kmeans.cpp.o"
+  "CMakeFiles/mlp_workloads.dir/kernels/kmeans.cpp.o.d"
+  "CMakeFiles/mlp_workloads.dir/kernels/nbayes.cpp.o"
+  "CMakeFiles/mlp_workloads.dir/kernels/nbayes.cpp.o.d"
+  "CMakeFiles/mlp_workloads.dir/kernels/pca.cpp.o"
+  "CMakeFiles/mlp_workloads.dir/kernels/pca.cpp.o.d"
+  "CMakeFiles/mlp_workloads.dir/kernels/sample.cpp.o"
+  "CMakeFiles/mlp_workloads.dir/kernels/sample.cpp.o.d"
+  "CMakeFiles/mlp_workloads.dir/kernels/variance.cpp.o"
+  "CMakeFiles/mlp_workloads.dir/kernels/variance.cpp.o.d"
+  "CMakeFiles/mlp_workloads.dir/layout.cpp.o"
+  "CMakeFiles/mlp_workloads.dir/layout.cpp.o.d"
+  "CMakeFiles/mlp_workloads.dir/skeleton.cpp.o"
+  "CMakeFiles/mlp_workloads.dir/skeleton.cpp.o.d"
+  "CMakeFiles/mlp_workloads.dir/workload.cpp.o"
+  "CMakeFiles/mlp_workloads.dir/workload.cpp.o.d"
+  "libmlp_workloads.a"
+  "libmlp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlp_workloads.a"
+)

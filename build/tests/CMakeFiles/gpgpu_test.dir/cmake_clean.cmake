@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpgpu_test.dir/gpgpu_test.cpp.o"
+  "CMakeFiles/gpgpu_test.dir/gpgpu_test.cpp.o.d"
+  "gpgpu_test"
+  "gpgpu_test.pdb"
+  "gpgpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpgpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/millipede_test.dir/millipede_test.cpp.o"
+  "CMakeFiles/millipede_test.dir/millipede_test.cpp.o.d"
+  "millipede_test"
+  "millipede_test.pdb"
+  "millipede_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/millipede_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slab_layout_test.dir/slab_layout_test.cpp.o"
+  "CMakeFiles/slab_layout_test.dir/slab_layout_test.cpp.o.d"
+  "slab_layout_test"
+  "slab_layout_test.pdb"
+  "slab_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slab_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
