@@ -7,10 +7,11 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mlp;
   using namespace mlp::bench;
-  print_header("Ablation: cross-corelet flow control");
+  const HarnessOptions harness = parse_harness(argc, argv);
+  print_header("Ablation: cross-corelet flow control", harness);
 
   Table table("Flow control vs premature eviction vs software barriers");
   table.set_columns({"bench", "pf_entries", "variant", "runtime_us",
@@ -33,28 +34,39 @@ int main() {
   // suite behaves alike; the no-fc variants are slow on the heavy kernels).
   const std::vector<std::string> benches = {"count", "variance", "nbayes",
                                             "kmeans"};
+  struct RowMeta {
+    std::string bench;
+    u32 entries;
+    const char* variant;
+  };
+  std::vector<sim::MatrixJob> jobs;
+  std::vector<RowMeta> meta;
   for (const std::string& bench : benches) {
     for (u32 entries : {8u, 16u}) {
       for (const Variant& variant : variants) {
-        workloads::WorkloadParams params;
-        params.num_records =
-            sim::records_for(bench, MachineConfig::paper_defaults());
-        params.record_barrier = variant.record_barrier;
-        const workloads::Workload wl = workloads::make_bmla(bench, params);
-        MachineConfig cfg = MachineConfig::paper_defaults();
-        cfg.millipede.pf_entries = std::max(entries, wl.fields);
-        const RunResult r = arch::run_arch(variant.kind, cfg, wl);
-        MLP_CHECK(r.verification.empty(), "verification failed");
-        table.add_row();
-        table.cell(bench);
-        table.cell(u64{entries});
-        table.cell(std::string(variant.name));
-        table.cell(static_cast<double>(r.runtime_ps) / 1e6, 1);
-        table.cell(r.stats.at("pb.premature_evictions"));
-        table.cell(r.stats.at("pb.direct_fetches"));
-        table.cell(r.stats.at("dram.bytes"));
+        workloads::WorkloadParams probe;
+        probe.num_records = 1;
+        const u32 fields = workloads::make_bmla(bench, probe).fields;
+        sim::SuiteOptions options;
+        options.rows = harness.rows;
+        options.record_barrier = variant.record_barrier;
+        options.cfg.millipede.pf_entries = std::max(entries, fields);
+        jobs.push_back({variant.kind, bench, options, variant.name});
+        meta.push_back({bench, entries, variant.name});
       }
     }
+  }
+  const std::vector<RunResult> results = run_jobs(jobs, harness);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    table.add_row();
+    table.cell(meta[i].bench);
+    table.cell(u64{meta[i].entries});
+    table.cell(std::string(meta[i].variant));
+    table.cell(static_cast<double>(r.runtime_ps) / 1e6, 1);
+    table.cell(r.stats.at("pb.premature_evictions"));
+    table.cell(r.stats.at("pb.direct_fetches"));
+    table.cell(r.stats.at("dram.bytes"));
   }
   emit(table);
   return 0;

@@ -5,36 +5,48 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mlp;
   using namespace mlp::bench;
-  print_header("Ablation: input-size steady state");
+  const HarnessOptions harness = parse_harness(argc, argv);
+  print_header("Ablation: input-size steady state", harness);
 
   Table table("Cycles per record vs input size");
   table.set_columns({"bench", "arch", "rows", "records", "ps_per_record"});
 
+  struct RowMeta {
+    std::string bench;
+    u32 fields;
+    u64 rows;
+  };
+  std::vector<sim::MatrixJob> jobs;
+  std::vector<RowMeta> meta;
   for (const std::string& bench : {std::string("count"), std::string("nbayes")}) {
     for (const ArchKind kind :
          {ArchKind::kMillipede, ArchKind::kGpgpu, ArchKind::kSsmc}) {
-      double first = 0.0;
       for (u64 rows : {48ull, 96ull, 192ull, 384ull, 768ull}) {
         sim::SuiteOptions options;
         workloads::WorkloadParams probe;
         probe.num_records = 1;
         const u32 fields = workloads::make_bmla(bench, probe).fields;
         options.records = std::max<u64>(1, rows / fields) * 512;
-        const RunResult r = sim::run_verified(kind, bench, options);
-        const double per_record = static_cast<double>(r.runtime_ps) /
-                                  static_cast<double>(r.input_words / fields);
-        if (first == 0.0) first = per_record;
-        table.add_row();
-        table.cell(bench);
-        table.cell(r.arch);
-        table.cell(u64{rows});
-        table.cell(u64{options.records});
-        table.cell(per_record, 1);
+        jobs.push_back({kind, bench, options, /*tag=*/""});
+        meta.push_back({bench, fields, rows});
       }
     }
+  }
+  const std::vector<RunResult> results = run_jobs(jobs, harness);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    const double per_record =
+        static_cast<double>(r.runtime_ps) /
+        static_cast<double>(r.input_words / meta[i].fields);
+    table.add_row();
+    table.cell(meta[i].bench);
+    table.cell(r.arch);
+    table.cell(u64{meta[i].rows});
+    table.cell(jobs[i].options.records);
+    table.cell(per_record, 1);
   }
   emit(table);
   std::printf("Expected: ps/record flat (within a few %%) beyond the smallest "

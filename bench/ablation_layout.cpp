@@ -7,30 +7,39 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mlp;
   using namespace mlp::bench;
-  print_header("Ablation: interleaved-layout column width on the GPGPU");
+  const HarnessOptions harness = parse_harness(argc, argv);
+  print_header("Ablation: interleaved-layout column width on the GPGPU",
+               harness);
 
   Table table("Word-interleaved vs slab mapping (GPGPU)");
   table.set_columns({"bench", "mapping", "runtime_us", "lines_per_load_warp",
                      "dram_row_miss_rate"});
 
+  std::vector<sim::MatrixJob> jobs;
   for (const std::string& bench :
        {std::string("count"), std::string("nbayes"), std::string("kmeans")}) {
     for (const bool slab : {false, true}) {
       sim::SuiteOptions options;
+      options.rows = harness.rows;
       options.cfg.gpgpu.slab_mapping_ablation = slab;
-      const RunResult r = sim::run_verified(ArchKind::kGpgpu, bench, options);
-      table.add_row();
-      table.cell(bench);
-      table.cell(std::string(slab ? "slab-64B" : "word"));
-      table.cell(static_cast<double>(r.runtime_ps) / 1e6, 1);
-      table.cell(static_cast<double>(r.stats.at("sm.global_lines")) /
-                     static_cast<double>(r.stats.at("sm.global_load_warps")),
-                 2);
-      table.cell(r.row_miss_rate, 3);
+      jobs.push_back({ArchKind::kGpgpu, bench, options,
+                      slab ? "slab-64B" : "word"});
     }
+  }
+  const std::vector<RunResult> results = run_jobs(jobs, harness);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    table.add_row();
+    table.cell(jobs[i].bench);
+    table.cell(jobs[i].tag);
+    table.cell(static_cast<double>(r.runtime_ps) / 1e6, 1);
+    table.cell(static_cast<double>(r.stats.at("sm.global_lines")) /
+                   static_cast<double>(r.stats.at("sm.global_load_warps")),
+               2);
+    table.cell(r.row_miss_rate, 3);
   }
   emit(table);
   return 0;

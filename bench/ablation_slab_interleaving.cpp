@@ -7,10 +7,12 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mlp;
   using namespace mlp::bench;
-  print_header("Ablation: slab-interleaving (record-contiguous layout)");
+  const HarnessOptions harness = parse_harness(argc, argv);
+  print_header("Ablation: slab-interleaving (record-contiguous layout)",
+               harness);
 
   Table table("Field-major vs record-contiguous layout (Millipede)");
   table.set_columns({"bench", "layout", "pf_entries", "runtime_us",
@@ -19,6 +21,7 @@ int main() {
   // Power-of-two field counts support the contiguous layout.
   const std::vector<std::string> benches = {"count", "classify", "kmeans",
                                             "pca", "gda"};
+  std::vector<sim::MatrixJob> jobs;
   for (const std::string& bench : benches) {
     workloads::WorkloadParams probe;
     probe.num_records = 1;
@@ -34,18 +37,23 @@ int main() {
     };
     for (const Case& c : cases) {
       sim::SuiteOptions options;
+      options.rows = harness.rows;
       options.cfg.slab_layout = c.slab;
       options.cfg.millipede.pf_entries = c.entries;
-      const RunResult r = sim::run_verified(ArchKind::kMillipedeNoRateMatch,
-                                            bench, options);
-      table.add_row();
-      table.cell(bench);
-      table.cell(std::string(c.slab ? "contiguous" : "field-major"));
-      table.cell(u64{c.entries});
-      table.cell(static_cast<double>(r.runtime_ps) / 1e6, 1);
-      table.cell(r.stats.at("pb.fill_waits"));
-      table.cell(r.stats.at("dram.bytes"));
+      jobs.push_back({ArchKind::kMillipedeNoRateMatch, bench, options,
+                      c.slab ? "contiguous" : "field-major"});
     }
+  }
+  const std::vector<RunResult> results = run_jobs(jobs, harness);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    table.add_row();
+    table.cell(jobs[i].bench);
+    table.cell(jobs[i].tag);
+    table.cell(u64{jobs[i].options.cfg.millipede.pf_entries});
+    table.cell(static_cast<double>(r.runtime_ps) / 1e6, 1);
+    table.cell(r.stats.at("pb.fill_waits"));
+    table.cell(r.stats.at("dram.bytes"));
   }
   emit(table);
   std::printf("Expected: identical verified results and comparable runtimes; "

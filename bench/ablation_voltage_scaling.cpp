@@ -5,24 +5,32 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mlp;
   using namespace mlp::bench;
-  print_header("Ablation: rate matching with and without voltage scaling");
+  const HarnessOptions harness = parse_harness(argc, argv);
+  print_header("Ablation: rate matching with and without voltage scaling",
+               harness);
 
   Table table("Core energy under DFS and DFS+DVS (uJ)");
   table.set_columns({"bench", "clock_MHz", "core_nominal", "core_dfs",
                      "core_dfs_dvs", "dfs_saving", "dvs_saving"});
+  std::vector<sim::MatrixJob> jobs;
+  sim::SuiteOptions options;
+  options.rows = harness.rows;
+  sim::SuiteOptions dvs_options = options;
+  dvs_options.cfg.millipede.voltage_scaling = true;
   for (const std::string& bench : workloads::bmla_names()) {
-    sim::SuiteOptions options;
-    const RunResult nominal =
-        sim::run_verified(ArchKind::kMillipedeNoRateMatch, bench, options);
-    const RunResult dfs =
-        sim::run_verified(ArchKind::kMillipede, bench, options);
-    sim::SuiteOptions dvs_options;
-    dvs_options.cfg.millipede.voltage_scaling = true;
-    const RunResult dvs =
-        sim::run_verified(ArchKind::kMillipede, bench, dvs_options);
+    jobs.push_back({ArchKind::kMillipedeNoRateMatch, bench, options,
+                    "nominal"});
+    jobs.push_back({ArchKind::kMillipede, bench, options, "dfs"});
+    jobs.push_back({ArchKind::kMillipede, bench, dvs_options, "dfs+dvs"});
+  }
+  std::map<std::string, SuiteResults> grid = run_grid(jobs, harness);
+  for (const std::string& bench : workloads::bmla_names()) {
+    const RunResult& nominal = grid.at("nominal").at(bench);
+    const RunResult& dfs = grid.at("dfs").at(bench);
+    const RunResult& dvs = grid.at("dfs+dvs").at(bench);
     table.add_row();
     table.cell(bench);
     table.cell(dfs.final_clock_mhz, 0);

@@ -1,15 +1,19 @@
 #pragma once
-// Shared helpers for the figure/table reproduction binaries: consistent
-// benchmark ordering (the paper sorts its x-axis by instructions per input
-// word), normalization, and table emission.
+// Shared helpers for the figure/table reproduction binaries: the harness
+// flags every binary accepts (--jobs for parallel simulation, --rows for
+// data volume), grid execution over sim::run_matrix, consistent benchmark
+// ordering (the paper sorts its x-axis by instructions per input word),
+// normalization, and table emission.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
+#include "sim/pool.hpp"
 #include "sim/runner.hpp"
 
 namespace mlp::bench {
@@ -20,14 +24,111 @@ using arch::RunResult;
 /// Results of one architecture across the whole suite, keyed by benchmark.
 using SuiteResults = std::map<std::string, RunResult>;
 
-inline SuiteResults run_suite_map(ArchKind kind,
-                                  const sim::SuiteOptions& options) {
-  SuiteResults map;
-  for (RunResult& result : sim::run_suite(kind, options)) {
-    const std::string bench = result.workload;
-    map.emplace(bench, std::move(result));
+/// Harness flags common to every reproduction binary.
+struct HarnessOptions {
+  u32 jobs = 0;                  ///< concurrent simulations; 0 = all threads
+  u64 rows = sim::kDefaultRows;  ///< data volume per benchmark in DRAM rows
+};
+
+inline u64 parse_positive(const char* flag, const char* text) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || value == 0) {
+    std::fprintf(stderr, "%s expects a positive integer, got \"%s\"\n", flag,
+                 text);
+    std::exit(2);
   }
-  return map;
+  return value;
+}
+
+inline HarnessOptions parse_harness(int argc, char** argv) {
+  HarnessOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs" || arg == "-j") {
+      options.jobs = static_cast<u32>(parse_positive("--jobs", next()));
+    } else if (arg == "--rows") {
+      options.rows = parse_positive("--rows", next());
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "  --jobs N   concurrent simulations (default: all hardware "
+          "threads)\n"
+          "  --rows N   data volume per benchmark in DRAM rows (default "
+          "%llu)\n",
+          static_cast<unsigned long long>(sim::kDefaultRows));
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// Append one (tag, architecture) full-suite sweep to a job grid.
+inline void add_suite(std::vector<sim::MatrixJob>* jobs,
+                      const std::string& tag, ArchKind kind,
+                      const sim::SuiteOptions& options) {
+  for (const std::string& name : workloads::bmla_names()) {
+    jobs->push_back({kind, name, options, tag});
+  }
+}
+
+/// Run a job grid in parallel and group the results by tag. Any failure is
+/// fatal: reproduction binaries must never print unverified numbers.
+inline std::map<std::string, SuiteResults> run_grid(
+    const std::vector<sim::MatrixJob>& jobs, const HarnessOptions& harness) {
+  std::map<std::string, SuiteResults> grid;
+  bool failed = false;
+  for (sim::MatrixResult& r : sim::run_matrix(jobs, harness.jobs)) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "RUN FAILED %s/%s: %s\n",
+                   arch::arch_name(r.job.kind), r.job.bench.c_str(),
+                   r.error.c_str());
+      failed = true;
+      continue;
+    }
+    grid[r.job.tag].emplace(r.job.bench, std::move(r.result));
+  }
+  if (failed) std::exit(1);
+  return grid;
+}
+
+/// Run a job list in parallel and return verified results in submission
+/// order (for binaries whose rows are not a tag × benchmark grid).
+inline std::vector<RunResult> run_jobs(const std::vector<sim::MatrixJob>& jobs,
+                                       const HarnessOptions& harness) {
+  std::vector<RunResult> results;
+  results.reserve(jobs.size());
+  bool failed = false;
+  for (sim::MatrixResult& r : sim::run_matrix(jobs, harness.jobs)) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "RUN FAILED %s/%s: %s\n",
+                   arch::arch_name(r.job.kind), r.job.bench.c_str(),
+                   r.error.c_str());
+      failed = true;
+      continue;
+    }
+    results.push_back(std::move(r.result));
+  }
+  if (failed) std::exit(1);
+  return results;
+}
+
+inline SuiteResults run_suite_map(ArchKind kind,
+                                  const sim::SuiteOptions& options,
+                                  const HarnessOptions& harness) {
+  std::vector<sim::MatrixJob> jobs;
+  add_suite(&jobs, "suite", kind, options);
+  std::map<std::string, SuiteResults> grid = run_grid(jobs, harness);
+  return std::move(grid["suite"]);
 }
 
 /// Benchmark names sorted by measured instructions per input word (the
@@ -46,13 +147,20 @@ inline void emit(const Table& table) {
   std::printf("CSV:\n%s\n", table.to_csv().c_str());
 }
 
-inline void print_header(const char* what) {
+inline void print_header(const char* what, const HarnessOptions& harness) {
   std::printf("=================================================================\n");
   std::printf("Millipede reproduction — %s\n", what);
-  std::printf(
-      "data volume per benchmark: %llu DRAM rows "
-      "(override with MLP_BENCH_ROWS or MLP_BENCH_RECORDS)\n",
-      static_cast<unsigned long long>(sim::default_rows()));
+  if (harness.jobs == 1) {
+    std::printf("data volume per benchmark: %llu DRAM rows (--rows), "
+                "serial (--jobs)\n",
+                static_cast<unsigned long long>(harness.rows));
+  } else {
+    std::printf("data volume per benchmark: %llu DRAM rows (--rows), "
+                "%u parallel jobs (--jobs)\n",
+                static_cast<unsigned long long>(harness.rows),
+                harness.jobs == 0 ? sim::ThreadPool::default_threads()
+                                  : harness.jobs);
+  }
   std::printf("=================================================================\n\n");
   std::fflush(stdout);
 }

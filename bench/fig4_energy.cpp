@@ -6,12 +6,15 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mlp;
   using namespace mlp::bench;
-  print_header("Fig. 4: Energy (normalized to GPGPU, lower is better)");
+  const HarnessOptions harness = parse_harness(argc, argv);
+  print_header("Fig. 4: Energy (normalized to GPGPU, lower is better)",
+               harness);
 
   sim::SuiteOptions options;
+  options.rows = harness.rows;
   const std::vector<std::pair<std::string, ArchKind>> archs = {
       {"gpgpu", ArchKind::kGpgpu},
       {"vws", ArchKind::kVws},
@@ -21,12 +24,11 @@ int main() {
       {"millipede", ArchKind::kMillipede},
   };
 
-  std::map<std::string, SuiteResults> all;
-  for (const auto& [name, kind] : archs) {
-    std::printf("running %s suite...\n", name.c_str());
-    std::fflush(stdout);
-    all[name] = run_suite_map(kind, options);
-  }
+  std::vector<sim::MatrixJob> jobs;
+  for (const auto& [name, kind] : archs) add_suite(&jobs, name, kind, options);
+  std::printf("running %zu simulations...\n", jobs.size());
+  std::fflush(stdout);
+  std::map<std::string, SuiteResults> all = run_grid(jobs, harness);
   const std::vector<std::string> benches = sorted_benches(all["millipede"]);
 
   Table totals("Fig. 4 — Total energy normalized to GPGPU");

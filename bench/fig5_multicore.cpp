@@ -6,18 +6,22 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mlp;
   using namespace mlp::bench;
-  print_header("Fig. 5: Millipede vs conventional multicore");
+  const HarnessOptions harness = parse_harness(argc, argv);
+  print_header("Fig. 5: Millipede vs conventional multicore", harness);
 
   sim::SuiteOptions options;
-  std::printf("running millipede suite...\n");
+  options.rows = harness.rows;
+  std::vector<sim::MatrixJob> jobs;
+  add_suite(&jobs, "millipede", ArchKind::kMillipede, options);
+  add_suite(&jobs, "multicore", ArchKind::kMulticore, options);
+  std::printf("running %zu simulations...\n", jobs.size());
   std::fflush(stdout);
-  SuiteResults mlp_results = run_suite_map(ArchKind::kMillipede, options);
-  std::printf("running multicore suite...\n");
-  std::fflush(stdout);
-  SuiteResults mc_results = run_suite_map(ArchKind::kMulticore, options);
+  std::map<std::string, SuiteResults> all = run_grid(jobs, harness);
+  SuiteResults& mlp_results = all.at("millipede");
+  SuiteResults& mc_results = all.at("multicore");
 
   const std::vector<std::string> benches = sorted_benches(mlp_results);
 

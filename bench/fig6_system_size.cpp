@@ -6,10 +6,12 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mlp;
   using namespace mlp::bench;
-  print_header("Fig. 6: Speedup vs system size (normalized to 32-lane GPGPU)");
+  const HarnessOptions harness = parse_harness(argc, argv);
+  print_header("Fig. 6: Speedup vs system size (normalized to 32-lane GPGPU)",
+               harness);
 
   const std::vector<std::pair<std::string, ArchKind>> archs = {
       {"gpgpu", ArchKind::kGpgpu},
@@ -17,17 +19,25 @@ int main() {
       {"millipede", ArchKind::kMillipede},
   };
 
-  std::map<u32, std::map<std::string, SuiteResults>> all;
+  std::vector<sim::MatrixJob> jobs;
   for (u32 size : {32u, 64u}) {
     sim::SuiteOptions options;
+    options.rows = harness.rows;
     options.cfg.core.cores = size;
     // Paper: "correspondingly double the memory bandwidth".
     options.cfg.dram.channel_bits =
         options.cfg.dram.channel_bits * size / 32;
     for (const auto& [name, kind] : archs) {
-      std::printf("running %s at %u lanes...\n", name.c_str(), size);
-      std::fflush(stdout);
-      all[size][name] = run_suite_map(kind, options);
+      add_suite(&jobs, name + std::to_string(size), kind, options);
+    }
+  }
+  std::printf("running %zu simulations...\n", jobs.size());
+  std::fflush(stdout);
+  std::map<std::string, SuiteResults> grid = run_grid(jobs, harness);
+  std::map<u32, std::map<std::string, SuiteResults>> all;
+  for (u32 size : {32u, 64u}) {
+    for (const auto& [name, kind] : archs) {
+      all[size][name] = std::move(grid.at(name + std::to_string(size)));
     }
   }
 

@@ -5,29 +5,36 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mlp;
   using namespace mlp::bench;
-  print_header("Fig. 7: Speedup vs prefetch buffer count (vs 2 entries)");
+  const HarnessOptions harness = parse_harness(argc, argv);
+  print_header("Fig. 7: Speedup vs prefetch buffer count (vs 2 entries)",
+               harness);
 
   // Under the word-interleaved layout a record's fields occupy `fields`
   // concurrent rows, so the window is clamped per benchmark to that floor
   // (the paper's slab-interleaving layout variant would relax this).
   const std::vector<u32> counts = {2, 4, 8, 16, 32};
-  std::map<u32, SuiteResults> all;
+  std::vector<sim::MatrixJob> jobs;
   for (u32 entries : counts) {
-    std::printf("running millipede with %u prefetch buffers...\n", entries);
-    std::fflush(stdout);
     for (const std::string& bench : workloads::bmla_names()) {
       workloads::WorkloadParams probe;
       probe.num_records = 1;
       const u32 fields = workloads::make_bmla(bench, probe).fields;
       sim::SuiteOptions options;
+      options.rows = harness.rows;
       options.cfg.millipede.pf_entries = std::max(entries, fields);
-      all[entries].emplace(bench,
-                           sim::run_verified(ArchKind::kMillipede, bench,
-                                             options));
+      jobs.push_back({ArchKind::kMillipede, bench, options,
+                      "pf" + std::to_string(entries)});
     }
+  }
+  std::printf("running %zu simulations...\n", jobs.size());
+  std::fflush(stdout);
+  std::map<std::string, SuiteResults> grid = run_grid(jobs, harness);
+  std::map<u32, SuiteResults> all;
+  for (u32 entries : counts) {
+    all[entries] = std::move(grid.at("pf" + std::to_string(entries)));
   }
 
   const std::vector<std::string> benches = sorted_benches(all[16]);

@@ -7,6 +7,7 @@
 
 #include "arch/system.hpp"
 #include "isa/assembler.hpp"
+#include "sim/runner.hpp"
 #include "workloads/binding.hpp"
 #include "workloads/bmla.hpp"
 
@@ -93,6 +94,31 @@ void BM_GpgpuEndToEnd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GpgpuEndToEnd);
+
+// Full-suite matrix throughput at 1..N pool threads: how well the harness
+// fills the machine with independent simulations (Arg = thread count).
+void BM_RunMatrix(benchmark::State& state) {
+  std::vector<sim::MatrixJob> jobs;
+  for (const std::string& bench : workloads::bmla_names()) {
+    sim::MatrixJob job;
+    job.bench = bench;
+    job.options.records = 4096;
+    jobs.push_back(std::move(job));
+  }
+  const u32 threads = static_cast<u32>(state.range(0));
+  u64 cycles = 0;
+  for (auto _ : state) {
+    const auto results = sim::run_matrix(jobs, threads);
+    for (const sim::MatrixResult& r : results) {
+      MLP_CHECK(r.ok(), r.error.c_str());
+      cycles += r.result.compute_cycles;
+    }
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RunMatrix)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 

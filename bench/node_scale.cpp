@@ -7,20 +7,28 @@
 #include "bench_common.hpp"
 #include "sim/node.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mlp;
   using namespace mlp::bench;
-  print_header("Section IV-D: node/cluster Reduce scale analysis");
+  const HarnessOptions harness = parse_harness(argc, argv);
+  print_header("Section IV-D: node/cluster Reduce scale analysis", harness);
 
   Table table("Map vs Reduce at node and cluster scale");
   table.set_columns({"bench", "state_words", "map_s", "node_reduce_us",
                      "cluster_reduce_ms", "reduce/map"});
   sim::NodeScaleConfig node;
+  sim::ThreadPool pool(harness.jobs);
+  std::vector<std::future<sim::NodeScaleResult>> pending;
   for (const std::string& bench : workloads::bmla_names()) {
-    const sim::NodeScaleResult r = sim::run_node_scale(
-        bench, MachineConfig::paper_defaults(), node);
+    pending.push_back(pool.submit([bench, node] {
+      return sim::run_node_scale(bench, MachineConfig::paper_defaults(),
+                                 node);
+    }));
+  }
+  for (std::future<sim::NodeScaleResult>& future : pending) {
+    const sim::NodeScaleResult r = future.get();
     table.add_row();
-    table.cell(bench);
+    table.cell(r.workload);
     table.cell(u64{r.state_words});
     table.cell(r.map_seconds, 2);
     table.cell(r.node_reduce_seconds * 1e6, 1);

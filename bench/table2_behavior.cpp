@@ -5,38 +5,51 @@
 #include "bench_common.hpp"
 #include "workloads/binding.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mlp;
   using namespace mlp::bench;
-  print_header("Table II: BMLA behaviour summary");
+  const HarnessOptions harness = parse_harness(argc, argv);
+  print_header("Table II: BMLA behaviour summary", harness);
 
   Table table("Table II — Application behaviour");
   table.set_columns({"bench", "fields/record", "state_words", "static_insts",
                      "insts/word", "ops/byte", "branch_freq", "float_ops"});
 
-  workloads::WorkloadParams params;
-  params.num_records = 4096;
+  // Functional (untimed) characterization: one pool task per benchmark.
+  struct Row {
+    workloads::Workload wl;
+    workloads::FunctionalResult run;
+  };
+  sim::ThreadPool pool(harness.jobs);
+  std::vector<std::future<Row>> pending;
   for (const std::string& name : workloads::bmla_names()) {
-    const workloads::Workload wl = workloads::make_bmla(name, params);
-    const isa::StaticCounts counts = wl.program.static_counts();
+    pending.push_back(pool.submit([name] {
+      workloads::WorkloadParams params;
+      params.num_records = 4096;
+      Row row{workloads::make_bmla(name, params), {}};
+      row.run = workloads::run_functional(row.wl, 4, 2, 2048, 4096, 77);
+      return row;
+    }));
+  }
+  for (std::future<Row>& future : pending) {
+    const Row row = future.get();
+    const isa::StaticCounts counts = row.wl.program.static_counts();
     u32 state_words = 0;
-    for (const auto& field : wl.state_schema) {
+    for (const auto& field : row.wl.state_schema) {
       state_words = std::max(state_words,
                              field.offset_words + field.count * field.stride_words);
     }
-    const workloads::FunctionalResult run =
-        workloads::run_functional(wl, 4, 2, 2048, 4096, 77);
     const double words =
-        static_cast<double>(wl.num_records) * wl.fields;
+        static_cast<double>(row.wl.num_records) * row.wl.fields;
     table.add_row();
-    table.cell(name);
-    table.cell(u64{wl.fields});
+    table.cell(row.wl.name);
+    table.cell(u64{row.wl.fields});
     table.cell(u64{state_words});
     table.cell(u64{counts.total});
-    table.cell(static_cast<double>(run.instructions) / words, 1);
-    table.cell(static_cast<double>(run.instructions) / (words * 4.0), 2);
-    table.cell(static_cast<double>(run.branches) /
-                   static_cast<double>(run.instructions),
+    table.cell(static_cast<double>(row.run.instructions) / words, 1);
+    table.cell(static_cast<double>(row.run.instructions) / (words * 4.0), 2);
+    table.cell(static_cast<double>(row.run.branches) /
+                   static_cast<double>(row.run.instructions),
                3);
     table.cell(u64{counts.float_ops});
   }

@@ -6,18 +6,22 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mlp;
   using namespace mlp::bench;
-  print_header("Table IV: benchmark parameters and characteristics");
+  const HarnessOptions harness = parse_harness(argc, argv);
+  print_header("Table IV: benchmark parameters and characteristics", harness);
 
   sim::SuiteOptions options;
-  std::printf("running millipede suite...\n");
+  options.rows = harness.rows;
+  std::vector<sim::MatrixJob> jobs;
+  add_suite(&jobs, "millipede", ArchKind::kMillipede, options);
+  add_suite(&jobs, "ssmc", ArchKind::kSsmc, options);
+  std::printf("running %zu simulations...\n", jobs.size());
   std::fflush(stdout);
-  SuiteResults mlp_results = run_suite_map(ArchKind::kMillipede, options);
-  std::printf("running ssmc suite...\n");
-  std::fflush(stdout);
-  SuiteResults ssmc_results = run_suite_map(ArchKind::kSsmc, options);
+  std::map<std::string, SuiteResults> all = run_grid(jobs, harness);
+  SuiteResults& mlp_results = all.at("millipede");
+  SuiteResults& ssmc_results = all.at("ssmc");
 
   const std::vector<std::string> benches = sorted_benches(mlp_results);
 

@@ -1,0 +1,64 @@
+#pragma once
+// A deliberately simple fixed-size thread pool (single shared FIFO queue, no
+// work stealing): every simulation job is seconds-long, so queue contention
+// is irrelevant and submission-order fairness is exactly what the matrix
+// harness wants. Tasks are submitted through std::packaged_task, so a task
+// that throws surfaces the exception at future.get() on the caller's thread
+// instead of killing a worker.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mlp::sim {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means one per hardware thread.
+  explicit ThreadPool(u32 threads = 0);
+
+  /// Drains the queue (pending tasks still run) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  u32 size() const { return static_cast<u32>(workers_.size()); }
+
+  /// One worker per hardware thread (at least one).
+  static u32 default_threads();
+
+  /// Enqueue `fn` and return a future for its result; exceptions thrown by
+  /// `fn` are rethrown from future.get().
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // packaged_task is move-only but std::function requires copyable
+    // callables, so the task lives behind a shared_ptr.
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace mlp::sim

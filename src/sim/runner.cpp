@@ -3,57 +3,105 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
+#include <exception>
+#include <future>
+
+#include "sim/pool.hpp"
 
 namespace mlp::sim {
 
-u64 default_rows() {
-  if (const char* env = std::getenv("MLP_BENCH_ROWS")) {
-    const long long value = std::atoll(env);
-    if (value > 0) return static_cast<u64>(value);
-  }
-  return 192;
-}
-
-u64 records_for(const std::string& bench, const MachineConfig& cfg) {
-  if (const char* env = std::getenv("MLP_BENCH_RECORDS")) {
-    const long long value = std::atoll(env);
-    if (value > 0) return static_cast<u64>(value);
-  }
+u64 records_for(const std::string& bench, const MachineConfig& cfg,
+                u64 rows) {
   // Probe the workload's record width, then size by data volume.
   workloads::WorkloadParams probe;
   probe.num_records = 1;
   const u32 fields = workloads::make_bmla(bench, probe).fields;
   const u64 group_records = cfg.dram.row_bytes / 4;
-  const u64 groups =
-      std::max<u64>(1, default_rows() / fields);
+  const u64 groups = std::max<u64>(1, rows / fields);
   return groups * group_records;
+}
+
+MatrixResult run_job(const MatrixJob& job) {
+  MatrixResult out;
+  out.job = job;
+  const std::vector<std::string>& names = workloads::bmla_names();
+  if (std::find(names.begin(), names.end(), job.bench) == names.end()) {
+    out.error = "unknown benchmark: " + job.bench;
+    return out;
+  }
+  workloads::WorkloadParams params;
+  params.num_records = job.options.records != 0
+                           ? job.options.records
+                           : records_for(job.bench, job.options.cfg,
+                                         job.options.rows);
+  params.seed = job.options.seed;
+  params.record_barrier = job.options.record_barrier;
+  try {
+    const workloads::Workload workload = workloads::make_bmla(job.bench,
+                                                              params);
+    out.result = arch::run_arch(job.kind, job.options.cfg, workload,
+                                job.options.seed);
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    return out;
+  }
+  if (!out.result.verification.empty()) {
+    out.error = "verification failed: " + out.result.verification;
+  }
+  return out;
+}
+
+std::vector<MatrixResult> run_matrix(const std::vector<MatrixJob>& jobs,
+                                     u32 threads) {
+  std::vector<MatrixResult> results(jobs.size());
+  if (threads == 0) threads = ThreadPool::default_threads();
+  threads = static_cast<u32>(std::min<std::size_t>(
+      threads, std::max<std::size_t>(1, jobs.size())));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      results[i] = run_job(jobs[i]);
+    }
+    return results;
+  }
+  ThreadPool pool(threads);
+  std::vector<std::future<void>> pending;
+  pending.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pending.push_back(
+        pool.submit([&jobs, &results, i] { results[i] = run_job(jobs[i]); }));
+  }
+  for (std::future<void>& f : pending) f.get();
+  return results;
 }
 
 arch::RunResult run_verified(arch::ArchKind kind, const std::string& bench,
                              const SuiteOptions& options) {
-  workloads::WorkloadParams params;
-  params.num_records = options.records != 0
-                           ? options.records
-                           : records_for(bench, options.cfg);
-  params.seed = options.seed;
-  const workloads::Workload workload = workloads::make_bmla(bench, params);
-  arch::RunResult result = arch::run_arch(kind, options.cfg, workload,
-                                          options.seed);
-  if (!result.verification.empty()) {
-    std::fprintf(stderr, "VERIFICATION FAILED %s/%s: %s\n",
-                 result.arch.c_str(), bench.c_str(),
-                 result.verification.c_str());
+  MatrixResult r = run_job({kind, bench, options, /*tag=*/""});
+  if (!r.ok()) {
+    std::fprintf(stderr, "RUN FAILED %s/%s: %s\n", arch::arch_name(kind),
+                 bench.c_str(), r.error.c_str());
     std::abort();
   }
-  return result;
+  return std::move(r.result);
 }
 
 std::vector<arch::RunResult> run_suite(arch::ArchKind kind,
-                                       const SuiteOptions& options) {
-  std::vector<arch::RunResult> results;
+                                       const SuiteOptions& options,
+                                       u32 threads) {
+  std::vector<MatrixJob> jobs;
   for (const std::string& bench : workloads::bmla_names()) {
-    results.push_back(run_verified(kind, bench, options));
+    jobs.push_back({kind, bench, options, /*tag=*/""});
+  }
+  std::vector<arch::RunResult> results;
+  results.reserve(jobs.size());
+  for (MatrixResult& r : run_matrix(jobs, threads)) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "RUN FAILED %s/%s: %s\n",
+                   arch::arch_name(r.job.kind), r.job.bench.c_str(),
+                   r.error.c_str());
+      std::abort();
+    }
+    results.push_back(std::move(r.result));
   }
   return results;
 }

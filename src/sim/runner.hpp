@@ -1,42 +1,80 @@
 #pragma once
-// Benchmark-harness conveniences: consistent workload sizing (overridable
-// via the MLP_BENCH_RECORDS environment variable), suite execution, and
-// verified runs (a run whose reduced result does not match the golden
-// reference aborts the harness — bad timing models must not produce
-// "results").
+// Benchmark-harness conveniences: consistent workload sizing, verified runs
+// (a run whose reduced result does not match the golden reference aborts the
+// harness — bad timing models must not produce "results"), and the parallel
+// simulation matrix: every (architecture, benchmark, config) job is a fully
+// isolated simulation, so `run_matrix` executes them concurrently and still
+// returns bit-identical results for any thread count.
 
+#include <string>
 #include <vector>
 
 #include "arch/system.hpp"
 
 namespace mlp::sim {
 
+/// Default data volume per benchmark, in DRAM rows. Sizing is by DATA
+/// VOLUME, not record count: each benchmark gets enough records to fill this
+/// many rows, so light 1-word records (count) see as many rows — and as much
+/// rate-matching history — as heavy 17-word ones (gda). The paper argues
+/// (Section V) that BMLAs are behaviourally stationary, so modest inputs
+/// reach the same steady state as its 128 MB runs; the ablation_input_size
+/// bench demonstrates this. Override per run via SuiteOptions::rows (the
+/// benches and tools expose it as --rows).
+inline constexpr u64 kDefaultRows = 192;
+
 struct SuiteOptions {
-  u64 records = 0;  ///< 0 = default_records()
+  u64 records = 0;        ///< absolute record count; 0 = size by `rows`
+  u64 rows = kDefaultRows;  ///< data volume in DRAM rows when records == 0
   u64 seed = 1;
+  /// Section VI-A ablation: MapReduce-expressible software barriers at
+  /// record granularity instead of hardware flow control.
+  bool record_barrier = false;
   MachineConfig cfg = MachineConfig::paper_defaults();
 };
 
-/// Default sizing is by DATA VOLUME, not record count: each benchmark gets
-/// enough records to fill `default_rows()` DRAM rows, so light 1-word
-/// records (count) see as many rows — and as much rate-matching history —
-/// as heavy 17-word ones (gda). The paper argues (Section V) that BMLAs are
-/// behaviourally stationary, so modest inputs reach the same steady state
-/// as its 128 MB runs; the ablation_input_size bench demonstrates this.
-/// Overrides: MLP_BENCH_ROWS (volume) or MLP_BENCH_RECORDS (absolute).
-u64 default_rows();
+/// Records giving `rows` DRAM rows of data for a benchmark.
+u64 records_for(const std::string& bench, const MachineConfig& cfg,
+                u64 rows = kDefaultRows);
 
-/// Records giving `default_rows()` of data for a benchmark (honours
-/// MLP_BENCH_RECORDS when set).
-u64 records_for(const std::string& bench, const MachineConfig& cfg);
+/// One independent simulation in a matrix: an (architecture, benchmark)
+/// pair under some options. `tag` is an arbitrary caller label (e.g. the
+/// sweep point) carried through to the result untouched.
+struct MatrixJob {
+  arch::ArchKind kind = arch::ArchKind::kMillipede;
+  std::string bench;
+  SuiteOptions options;
+  std::string tag;
+};
+
+struct MatrixResult {
+  MatrixJob job;
+  arch::RunResult result;
+  std::string error;  ///< empty iff the run completed and verified
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Execute one job, collecting failures (unknown benchmark, verification
+/// mismatch) into MatrixResult::error instead of aborting.
+MatrixResult run_job(const MatrixJob& job);
+
+/// Execute `jobs` on a pool of `threads` workers (0 = one per hardware
+/// thread) and return results in submission order. Jobs share no mutable
+/// state, so any thread count yields identical results; `threads` only
+/// changes wall-clock time.
+std::vector<MatrixResult> run_matrix(const std::vector<MatrixJob>& jobs,
+                                     u32 threads = 0);
 
 /// Run one (architecture, benchmark) pair and abort if verification fails.
 arch::RunResult run_verified(arch::ArchKind kind, const std::string& bench,
                              const SuiteOptions& options);
 
-/// Run all eight BMLAs on one architecture.
+/// Run all eight BMLAs on one architecture, `threads` at a time (0 = one
+/// per hardware thread); aborts if any run fails verification.
 std::vector<arch::RunResult> run_suite(arch::ArchKind kind,
-                                       const SuiteOptions& options);
+                                       const SuiteOptions& options,
+                                       u32 threads = 0);
 
 /// Geometric mean (the paper's summary statistic for Figs. 3/4).
 double geomean(const std::vector<double>& values);

@@ -1,0 +1,76 @@
+#pragma once
+// Strict numeric flag parsing shared by the command-line drivers: a value
+// that is not fully numeric ("0x", "abc", "12 34") is a usage error that
+// exits 2 with a message, never a silent 0.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mlp::tools {
+
+[[noreturn]] inline void flag_error(const std::string& flag,
+                                    const std::string& text,
+                                    const char* expected) {
+  std::fprintf(stderr, "%s expects %s, got \"%s\"\n", flag.c_str(), expected,
+               text.c_str());
+  std::exit(2);
+}
+
+/// Unsigned integer; the whole string must parse. `min` rejects e.g. 0.
+inline u64 parse_u64(const std::string& flag, const std::string& text,
+                     u64 min = 0) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() || errno != 0 ||
+      text[0] == '-' || value < min) {
+    flag_error(flag, text,
+               min > 0 ? "a positive integer" : "a non-negative integer");
+  }
+  return value;
+}
+
+inline u32 parse_u32(const std::string& flag, const std::string& text,
+                     u32 min = 0) {
+  const u64 value = parse_u64(flag, text, min);
+  if (value > 0xffffffffull) flag_error(flag, text, "a 32-bit integer");
+  return static_cast<u32>(value);
+}
+
+/// Strictly positive floating-point value; the whole string must parse.
+inline double parse_positive_double(const std::string& flag,
+                                    const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() || errno != 0 ||
+      !(value > 0.0)) {
+    flag_error(flag, text, "a positive number");
+  }
+  return value;
+}
+
+/// Split "a,b,c" into non-empty elements; an empty element is a usage error.
+inline std::vector<std::string> split_list(const std::string& flag,
+                                           const std::string& text) {
+  std::vector<std::string> out;
+  std::string::size_type start = 0;
+  while (start <= text.size()) {
+    const std::string::size_type comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (item.empty()) flag_error(flag, text, "a comma-separated list");
+    out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace mlp::tools

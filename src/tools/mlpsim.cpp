@@ -1,16 +1,18 @@
 // mlpsim — command-line driver for the simulator: run any (architecture,
 // benchmark) pair under a tweaked machine configuration and print the full
-// result, optionally as CSV.
+// result, optionally as CSV. Independent runs execute in parallel with
+// --jobs; output order (and bytes) is identical for any job count.
 //
 //   mlpsim --arch millipede --bench nbayes --records 65536
 //   mlpsim --arch ssmc --bench count --rows 384 --pf-entries 32 --csv
+//   mlpsim --bench all --jobs 8 --csv
 //   mlpsim --list
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
+#include <vector>
 
+#include "argparse.hpp"
 #include "sim/runner.hpp"
 
 namespace {
@@ -30,6 +32,7 @@ void usage() {
   --seed N          data generation seed            (default 1)
   --cores N         corelets / lanes / cores        (default 32)
   --pf-entries N    prefetch buffer entries         (default 16)
+  --jobs N          concurrent simulations          (default 1)
   --no-flow-control / --no-rate-match / --record-barrier
   --bus-efficiency F  effective DRAM bus efficiency (default 0.30)
   --csv             machine-readable one-line-per-run output
@@ -64,12 +67,10 @@ bool arch_from_name(const std::string& name, arch::ArchKind* out) {
 int main(int argc, char** argv) {
   arch::ArchKind kind = arch::ArchKind::kMillipede;
   std::string bench = "all";
-  u64 records = 0;
-  u64 seed = 1;
   bool csv = false;
   bool dump_stats = false;
-  bool record_barrier = false;
-  MachineConfig cfg = MachineConfig::paper_defaults();
+  u32 jobs = 1;
+  sim::SuiteOptions options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -100,27 +101,30 @@ int main(int argc, char** argv) {
     } else if (arg == "--bench") {
       bench = next();
     } else if (arg == "--records") {
-      records = std::strtoull(next(), nullptr, 10);
+      options.records = tools::parse_u64(arg, next(), /*min=*/1);
     } else if (arg == "--rows") {
-      setenv("MLP_BENCH_ROWS", next(), 1);
+      options.rows = tools::parse_u64(arg, next(), /*min=*/1);
     } else if (arg == "--seed") {
-      seed = std::strtoull(next(), nullptr, 10);
+      options.seed = tools::parse_u64(arg, next());
     } else if (arg == "--cores") {
-      cfg.core.cores = static_cast<u32>(std::strtoul(next(), nullptr, 10));
-      cfg.gpgpu.warp_width = cfg.core.cores;
+      options.cfg.core.cores = tools::parse_u32(arg, next(), /*min=*/1);
+      options.cfg.gpgpu.warp_width = options.cfg.core.cores;
     } else if (arg == "--pf-entries") {
-      cfg.millipede.pf_entries =
-          static_cast<u32>(std::strtoul(next(), nullptr, 10));
+      options.cfg.millipede.pf_entries =
+          tools::parse_u32(arg, next(), /*min=*/1);
     } else if (arg == "--bus-efficiency") {
-      cfg.dram.bus_efficiency = std::strtod(next(), nullptr);
+      options.cfg.dram.bus_efficiency =
+          tools::parse_positive_double(arg, next());
+    } else if (arg == "--jobs" || arg == "-j") {
+      jobs = tools::parse_u32(arg, next(), /*min=*/1);
     } else if (arg == "--no-flow-control") {
-      cfg.millipede.flow_control = false;
-      cfg.millipede.rate_match = false;
+      options.cfg.millipede.flow_control = false;
+      options.cfg.millipede.rate_match = false;
       kind = arch::ArchKind::kMillipedeNoFlowControl;
     } else if (arg == "--no-rate-match") {
       kind = arch::ArchKind::kMillipedeNoRateMatch;
     } else if (arg == "--record-barrier") {
-      record_barrier = true;
+      options.record_barrier = true;
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--stats") {
@@ -138,26 +142,36 @@ int main(int argc, char** argv) {
     benches.push_back(bench);
   }
 
+  std::vector<sim::MatrixJob> matrix;
+  for (const std::string& name : benches) {
+    matrix.push_back({kind, name, options, /*tag=*/""});
+  }
+  const std::vector<sim::MatrixResult> results = sim::run_matrix(matrix, jobs);
+
   if (csv) {
     std::printf("arch,bench,records,runtime_us,cycles,insts,insts_per_word,"
                 "clock_mhz,core_uj,dram_uj,leak_uj,row_miss_rate\n");
   }
-  for (const std::string& name : benches) {
-    workloads::WorkloadParams params;
-    params.num_records = records != 0 ? records : sim::records_for(name, cfg);
-    params.seed = seed;
-    params.record_barrier = record_barrier;
-    const workloads::Workload wl = workloads::make_bmla(name, params);
-    const arch::RunResult r = arch::run_arch(kind, cfg, wl, seed);
-    if (!r.verification.empty()) {
-      std::fprintf(stderr, "VERIFICATION FAILED %s/%s: %s\n", r.arch.c_str(),
-                   name.c_str(), r.verification.c_str());
-      return 1;
+  int exit_code = 0;
+  for (const sim::MatrixResult& run : results) {
+    if (!run.ok()) {
+      std::fprintf(stderr, "RUN FAILED %s/%s: %s\n",
+                   arch::arch_name(run.job.kind), run.job.bench.c_str(),
+                   run.error.c_str());
+      exit_code = 1;
+      continue;
     }
+    const arch::RunResult& r = run.result;
+    const std::string& name = run.job.bench;
     if (csv) {
+      const u64 records =
+          run.job.options.records != 0
+              ? run.job.options.records
+              : sim::records_for(name, run.job.options.cfg,
+                                 run.job.options.rows);
       std::printf("%s,%s,%llu,%.3f,%llu,%llu,%.2f,%.0f,%.3f,%.3f,%.3f,%.4f\n",
                   r.arch.c_str(), name.c_str(),
-                  static_cast<unsigned long long>(wl.num_records),
+                  static_cast<unsigned long long>(records),
                   static_cast<double>(r.runtime_ps) / 1e6,
                   static_cast<unsigned long long>(r.compute_cycles),
                   static_cast<unsigned long long>(r.thread_instructions),
@@ -179,5 +193,5 @@ int main(int argc, char** argv) {
       }
     }
   }
-  return 0;
+  return exit_code;
 }

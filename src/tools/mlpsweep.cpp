@@ -1,0 +1,217 @@
+// mlpsweep — config-grid sweep driver: expands the cross product of
+// {architectures} × {benchmarks} × {cores} × {pf-entries} ×
+// {bus-efficiencies} × {rows} into independent simulation jobs, runs them
+// in parallel through sim::run_matrix, and emits one CSV row per point in
+// deterministic grid order. Replaces the old shell-loop-over-mlpsim
+// workflow (one process and one thread per sweep point).
+//
+//   mlpsweep --arch millipede,ssmc --bench count,kmeans --cores 16,32,64
+//   mlpsweep --pf-entries 4,8,16,32 --rows 96,192 --jobs 8 > sweep.csv
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "argparse.hpp"
+#include "sim/pool.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+using namespace mlp;
+
+void usage() {
+  std::printf(R"(mlpsweep — parallel configuration-grid sweep
+
+Grid axes (comma-separated lists; each defaults to one paper-default point):
+  --arch LIST|all       architectures            (default millipede)
+  --bench LIST|all      benchmarks               (default all)
+  --cores LIST          corelets / lanes / cores (default 32)
+  --pf-entries LIST     prefetch buffer entries  (default 16)
+  --bus-efficiency LIST effective bus efficiency (default 0.30)
+  --rows LIST           data volume in DRAM rows (default 192)
+
+Scalars:
+  --records N           absolute record count (overrides --rows sizing)
+  --seed N              data generation seed     (default 1)
+  --jobs N              concurrent simulations   (default: all hw threads)
+
+Output: one CSV row per grid point on stdout, config columns first. Rows
+appear in grid order regardless of --jobs. Failures go to stderr and make
+the exit status 1; the remaining points still run.
+)");
+}
+
+const std::pair<const char*, arch::ArchKind> kArchTable[] = {
+    {"millipede", arch::ArchKind::kMillipede},
+    {"millipede-no-flow-control", arch::ArchKind::kMillipedeNoFlowControl},
+    {"millipede-no-rate-match", arch::ArchKind::kMillipedeNoRateMatch},
+    {"ssmc", arch::ArchKind::kSsmc},
+    {"gpgpu", arch::ArchKind::kGpgpu},
+    {"vws", arch::ArchKind::kVws},
+    {"vws-row", arch::ArchKind::kVwsRow},
+    {"multicore", arch::ArchKind::kMulticore},
+};
+
+std::vector<arch::ArchKind> parse_archs(const std::string& flag,
+                                        const std::string& text) {
+  std::vector<arch::ArchKind> kinds;
+  if (text == "all") {
+    for (const auto& [name, kind] : kArchTable) kinds.push_back(kind);
+    return kinds;
+  }
+  for (const std::string& name : tools::split_list(flag, text)) {
+    bool found = false;
+    for (const auto& [table_name, kind] : kArchTable) {
+      if (name == table_name) {
+        kinds.push_back(kind);
+        found = true;
+        break;
+      }
+    }
+    if (!found) tools::flag_error(flag, name, "a known architecture");
+  }
+  return kinds;
+}
+
+std::vector<std::string> parse_benches(const std::string& flag,
+                                       const std::string& text) {
+  if (text == "all") return workloads::bmla_names();
+  std::vector<std::string> benches = tools::split_list(flag, text);
+  const std::vector<std::string>& known = workloads::bmla_names();
+  for (const std::string& bench : benches) {
+    if (std::find(known.begin(), known.end(), bench) == known.end()) {
+      tools::flag_error(flag, bench, "a known benchmark");
+    }
+  }
+  return benches;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<arch::ArchKind> archs = {arch::ArchKind::kMillipede};
+  std::vector<std::string> benches = workloads::bmla_names();
+  std::vector<u32> cores = {32};
+  std::vector<u32> pf_entries = {16};
+  std::vector<double> bus_efficiencies = {0.30};
+  std::vector<u64> rows = {sim::kDefaultRows};
+  u64 records = 0;
+  u64 seed = 1;
+  u32 jobs = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--arch") {
+      archs = parse_archs(arg, next());
+    } else if (arg == "--bench") {
+      benches = parse_benches(arg, next());
+    } else if (arg == "--cores") {
+      cores.clear();
+      for (const std::string& item : tools::split_list(arg, next())) {
+        cores.push_back(tools::parse_u32(arg, item, /*min=*/1));
+      }
+    } else if (arg == "--pf-entries") {
+      pf_entries.clear();
+      for (const std::string& item : tools::split_list(arg, next())) {
+        pf_entries.push_back(tools::parse_u32(arg, item, /*min=*/1));
+      }
+    } else if (arg == "--bus-efficiency") {
+      bus_efficiencies.clear();
+      for (const std::string& item : tools::split_list(arg, next())) {
+        bus_efficiencies.push_back(tools::parse_positive_double(arg, item));
+      }
+    } else if (arg == "--rows") {
+      rows.clear();
+      for (const std::string& item : tools::split_list(arg, next())) {
+        rows.push_back(tools::parse_u64(arg, item, /*min=*/1));
+      }
+    } else if (arg == "--records") {
+      records = tools::parse_u64(arg, next(), /*min=*/1);
+    } else if (arg == "--seed") {
+      seed = tools::parse_u64(arg, next());
+    } else if (arg == "--jobs" || arg == "-j") {
+      jobs = tools::parse_u32(arg, next(), /*min=*/1);
+    } else {
+      std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  // Expand the grid in a fixed axis order so the CSV is stable.
+  std::vector<sim::MatrixJob> matrix;
+  for (const arch::ArchKind kind : archs) {
+    for (const std::string& bench : benches) {
+      for (const u32 core_count : cores) {
+        for (const u32 entries : pf_entries) {
+          for (const double bus_eff : bus_efficiencies) {
+            for (const u64 row_count : rows) {
+              sim::SuiteOptions options;
+              options.records = records;
+              options.rows = row_count;
+              options.seed = seed;
+              options.cfg.core.cores = core_count;
+              options.cfg.gpgpu.warp_width = core_count;
+              options.cfg.millipede.pf_entries = entries;
+              options.cfg.dram.bus_efficiency = bus_eff;
+              matrix.push_back({kind, bench, options, /*tag=*/""});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::fprintf(stderr, "mlpsweep: %zu grid points on %u threads\n",
+               matrix.size(),
+               jobs == 0 ? sim::ThreadPool::default_threads() : jobs);
+  const std::vector<sim::MatrixResult> results = sim::run_matrix(matrix, jobs);
+
+  std::printf("arch,bench,cores,pf_entries,bus_efficiency,rows,records,seed,"
+              "runtime_us,cycles,insts,insts_per_word,clock_mhz,core_uj,"
+              "dram_uj,leak_uj,row_miss_rate\n");
+  int exit_code = 0;
+  for (const sim::MatrixResult& run : results) {
+    const sim::SuiteOptions& o = run.job.options;
+    if (!run.ok()) {
+      std::fprintf(stderr, "RUN FAILED %s/%s cores=%u pf=%u bus=%.2f "
+                   "rows=%llu: %s\n",
+                   arch::arch_name(run.job.kind), run.job.bench.c_str(),
+                   o.cfg.core.cores, o.cfg.millipede.pf_entries,
+                   o.cfg.dram.bus_efficiency,
+                   static_cast<unsigned long long>(o.rows),
+                   run.error.c_str());
+      exit_code = 1;
+      continue;
+    }
+    const arch::RunResult& r = run.result;
+    const u64 run_records =
+        o.records != 0 ? o.records
+                       : sim::records_for(run.job.bench, o.cfg, o.rows);
+    std::printf(
+        "%s,%s,%u,%u,%.3f,%llu,%llu,%llu,%.3f,%llu,%llu,%.2f,%.0f,%.3f,"
+        "%.3f,%.3f,%.4f\n",
+        r.arch.c_str(), run.job.bench.c_str(), o.cfg.core.cores,
+        o.cfg.millipede.pf_entries, o.cfg.dram.bus_efficiency,
+        static_cast<unsigned long long>(o.rows),
+        static_cast<unsigned long long>(run_records),
+        static_cast<unsigned long long>(o.seed),
+        static_cast<double>(r.runtime_ps) / 1e6,
+        static_cast<unsigned long long>(r.compute_cycles),
+        static_cast<unsigned long long>(r.thread_instructions),
+        r.insts_per_word, r.final_clock_mhz, r.energy.core_j * 1e6,
+        r.energy.dram_j * 1e6, r.energy.leak_j * 1e6, r.row_miss_rate);
+  }
+  return exit_code;
+}

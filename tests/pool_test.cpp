@@ -1,0 +1,143 @@
+// Thread pool and parallel matrix harness tests: submission-order results,
+// exception propagation through futures, failure collection, and the key
+// harness guarantee — identical simulation results for any thread count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/pool.hpp"
+#include "sim/runner.hpp"
+
+namespace mlp::sim {
+namespace {
+
+TEST(Pool, RunsEveryTaskAndReturnsValues) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(Pool, ManyMoreTasksThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 1000; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(Pool, ExceptionPropagatesToTheCaller) {
+  ThreadPool pool(2);
+  std::future<int> ok = pool.submit([] { return 7; });
+  std::future<int> bad = pool.submit(
+      []() -> int { throw std::runtime_error("kernel exploded"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task must still be alive.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(Pool, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+  }  // ~ThreadPool joins after the queue drains
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(Matrix, ResultsComeBackInSubmissionOrder) {
+  SuiteOptions options;
+  options.records = 1024;
+  std::vector<MatrixJob> jobs;
+  const std::vector<std::string> order = {"variance", "count", "sample"};
+  for (const std::string& bench : order) {
+    jobs.push_back({arch::ArchKind::kMillipede, bench, options, bench});
+  }
+  const std::vector<MatrixResult> results = run_matrix(jobs, 3);
+  ASSERT_EQ(results.size(), order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_TRUE(results[i].ok()) << results[i].error;
+    EXPECT_EQ(results[i].job.tag, order[i]);
+    EXPECT_EQ(results[i].result.workload, order[i]);
+  }
+}
+
+TEST(Matrix, CollectsFailuresInsteadOfAborting) {
+  SuiteOptions options;
+  options.records = 1024;
+  const std::vector<MatrixJob> jobs = {
+      {arch::ArchKind::kMillipede, "count", options, ""},
+      {arch::ArchKind::kMillipede, "no-such-bench", options, ""},
+      {arch::ArchKind::kSsmc, "sample", options, ""},
+  };
+  const std::vector<MatrixResult> results = run_matrix(jobs, 2);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_NE(results[1].error.find("unknown benchmark"), std::string::npos);
+  EXPECT_TRUE(results[2].ok());
+}
+
+// The harness's core guarantee: jobs share no mutable state, so thread
+// count must not change a single bit of any result.
+TEST(Matrix, DeterministicAcrossThreadCounts) {
+  SuiteOptions options;
+  options.records = 2048;
+  std::vector<MatrixJob> jobs;
+  for (const arch::ArchKind kind :
+       {arch::ArchKind::kMillipede, arch::ArchKind::kSsmc,
+        arch::ArchKind::kGpgpu}) {
+    for (const std::string& bench : {std::string("count"),
+                                     std::string("variance")}) {
+      jobs.push_back({kind, bench, options, ""});
+    }
+  }
+  const std::vector<MatrixResult> serial = run_matrix(jobs, 1);
+  const std::vector<MatrixResult> parallel = run_matrix(jobs, 8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok()) << serial[i].error;
+    ASSERT_TRUE(parallel[i].ok()) << parallel[i].error;
+    const arch::RunResult& a = serial[i].result;
+    const arch::RunResult& b = parallel[i].result;
+    EXPECT_EQ(a.arch, b.arch);
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.runtime_ps, b.runtime_ps);
+    EXPECT_EQ(a.compute_cycles, b.compute_cycles);
+    EXPECT_EQ(a.thread_instructions, b.thread_instructions);
+    EXPECT_DOUBLE_EQ(a.final_clock_mhz, b.final_clock_mhz);
+    EXPECT_DOUBLE_EQ(a.energy.total_j(), b.energy.total_j());
+    EXPECT_EQ(a.stats, b.stats);  // every counter, bit for bit
+  }
+}
+
+TEST(Matrix, RunSuiteMatchesPerJobRuns) {
+  SuiteOptions options;
+  options.records = 1024;
+  const std::vector<arch::RunResult> suite =
+      run_suite(arch::ArchKind::kMillipede, options, 4);
+  ASSERT_EQ(suite.size(), workloads::bmla_names().size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(suite[i].workload, workloads::bmla_names()[i]);
+    const arch::RunResult single = run_verified(
+        arch::ArchKind::kMillipede, workloads::bmla_names()[i], options);
+    EXPECT_EQ(suite[i].runtime_ps, single.runtime_ps);
+  }
+}
+
+}  // namespace
+}  // namespace mlp::sim

@@ -1,30 +1,21 @@
-// Harness tests: volume-based workload sizing, geomean, suite execution,
-// and environment-variable overrides.
+// Harness tests: volume-based workload sizing (now an explicit SuiteOptions
+// field instead of the removed MLP_BENCH_* environment variables), geomean,
+// and verified runs.
 
 #include <gtest/gtest.h>
-
-#include <cstdlib>
 
 #include "sim/runner.hpp"
 
 namespace mlp::sim {
 namespace {
 
-struct EnvGuard {
-  explicit EnvGuard(const char* name) : name_(name) { unsetenv(name); }
-  ~EnvGuard() { unsetenv(name_); }
-  const char* name_;
-};
-
 TEST(Runner, VolumeSizingEqualizesRows) {
-  EnvGuard guard1("MLP_BENCH_RECORDS");
-  EnvGuard guard2("MLP_BENCH_ROWS");
   const MachineConfig cfg = MachineConfig::paper_defaults();
   // count: 1 word/record -> 192 groups; gda: 16 words -> 12 groups.
   const u64 count_records = records_for("count", cfg);
   const u64 gda_records = records_for("gda", cfg);
-  EXPECT_EQ(count_records, default_rows() * 512);
-  EXPECT_EQ(gda_records, (default_rows() / 16) * 512);
+  EXPECT_EQ(count_records, kDefaultRows * 512);
+  EXPECT_EQ(gda_records, (kDefaultRows / 16) * 512);
   // Data volumes within one group of each other.
   const u64 count_rows = count_records * 1 / 512;
   const u64 gda_rows = gda_records * 16 / 512;
@@ -32,20 +23,28 @@ TEST(Runner, VolumeSizingEqualizesRows) {
               16.0);
 }
 
-TEST(Runner, RecordsEnvOverridesVolume) {
-  EnvGuard guard("MLP_BENCH_RECORDS");
-  setenv("MLP_BENCH_RECORDS", "12345", 1);
-  EXPECT_EQ(records_for("count", MachineConfig::paper_defaults()), 12345u);
-  EXPECT_EQ(records_for("gda", MachineConfig::paper_defaults()), 12345u);
+TEST(Runner, RowsParameterScalesVolume) {
+  const MachineConfig cfg = MachineConfig::paper_defaults();
+  EXPECT_EQ(records_for("count", cfg, 384), 384u * 512u);
+  EXPECT_EQ(records_for("count", cfg, 48), 48u * 512u);
+  EXPECT_EQ(records_for("gda", cfg, 384), (384u / 16u) * 512u);
 }
 
-TEST(Runner, RowsEnvScalesVolume) {
-  EnvGuard guard1("MLP_BENCH_RECORDS");
-  EnvGuard guard2("MLP_BENCH_ROWS");
-  setenv("MLP_BENCH_ROWS", "384", 1);
-  EXPECT_EQ(default_rows(), 384u);
-  EXPECT_EQ(records_for("count", MachineConfig::paper_defaults()),
-            384u * 512u);
+TEST(Runner, SuiteOptionsRowsControlsSizing) {
+  SuiteOptions small;
+  small.rows = 24;
+  const arch::RunResult r =
+      run_verified(arch::ArchKind::kMillipede, "count", small);
+  EXPECT_EQ(r.input_words, 24u * 512u);
+}
+
+TEST(Runner, RecordsOverrideRows) {
+  SuiteOptions options;
+  options.records = 2048;
+  options.rows = 768;  // must be ignored: records wins
+  const arch::RunResult r =
+      run_verified(arch::ArchKind::kMillipede, "count", options);
+  EXPECT_EQ(r.input_words, 2048u);
 }
 
 TEST(Runner, Geomean) {
