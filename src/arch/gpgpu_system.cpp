@@ -12,6 +12,8 @@
 
 #include <memory>
 #include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/watchdog.hpp"
 #include "gpgpu/sm.hpp"
 #include "mem/controller.hpp"
 
@@ -37,6 +39,7 @@ GpgpuParts build(const MachineConfig& cfg, const workloads::Workload& wl,
   GpgpuParts parts;
   parts.ctrl = std::make_unique<mem::MemoryController>(cfg.dram, "dram",
                                                        &parts.stats);
+  parts.ctrl->attach_image(&input.image);
   parts.backend = std::make_unique<mem::ControllerBackend>(parts.ctrl.get());
   const bool row = cfg.gpgpu.row_oriented;
   if (!row) {
@@ -117,10 +120,16 @@ Picos run_loop(const MachineConfig& cfg, GpgpuParts& parts,
   ClockDomain compute(cfg.core.period_ps());
   ClockDomain channel(cfg.dram.period_ps());
   Picos now = 0;
-  u64 guard = 0;
+  Watchdog watchdog(cfg.watchdog, "gpgpu", [&parts] {
+    std::string out = "gpgpu state:\n" + parts.sm->debug_dump();
+    if (parts.pb) out += parts.pb->debug_dump();
+    out += parts.ctrl->debug_dump();
+    return out;
+  });
   while (!parts.sm->halted() &&
          parts.sm_stats.warp_instructions.value < max_warp_instructions) {
-    MLP_CHECK(++guard < 20'000'000'000ull, "gpgpu run did not converge");
+    watchdog.step(parts.sm_stats.thread_instructions.value +
+                  parts.ctrl->bytes_transferred());
     if (compute.next_edge_ps() <= channel.next_edge_ps()) {
       now = compute.next_edge_ps();
       parts.sm->tick(now, compute.period_ps());
@@ -142,11 +151,14 @@ Picos run_loop(const MachineConfig& cfg, GpgpuParts& parts,
 RunResult run_gpgpu(const MachineConfig& cfg,
                     const workloads::Workload& workload, u64 seed) {
   cfg.validate();
-  MLP_CHECK(!cfg.slab_layout,
-            "the GPGPU needs word-size columns for coalescing (paper III-B)");
-  MLP_CHECK(!cfg.gpgpu.row_oriented ||
-                cfg.millipede.pf_entries >= workload.fields,
-            "prefetch window smaller than a record's row footprint");
+  MLP_SIM_CHECK(!cfg.slab_layout, "config",
+                "the GPGPU needs word-size columns for coalescing "
+                "(paper III-B)");
+  MLP_SIM_CHECK(!cfg.gpgpu.row_oriented ||
+                    cfg.millipede.unsafe_skip_window_check ||
+                    cfg.millipede.pf_entries >= workload.fields,
+                "config",
+                "prefetch window smaller than a record's row footprint");
   PreparedInput input = prepare_input(cfg, workload, seed);
 
   u32 width = cfg.gpgpu.vws ? 0 : cfg.gpgpu.warp_width;
@@ -192,8 +204,9 @@ RunResult run_gpgpu(const MachineConfig& cfg,
 
   energy::EnergyModel model;
   result.energy.core_j = model.gpgpu_core_j(parts.sm_stats);
-  result.energy.dram_j = model.dram_j(parts.ctrl->bytes_transferred(),
-                                      parts.ctrl->activations());
+  result.energy.dram_j =
+      model.dram_j(parts.ctrl->bytes_transferred(), parts.ctrl->activations(),
+                   /*offchip=*/false, cfg.dram.fault.ecc);
   const double sram_kb =
       (cfg.gpgpu.l1d_bytes + cfg.gpgpu.shared_mem_bytes +
        cfg.core.icache_bytes) /

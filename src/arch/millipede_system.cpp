@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <memory>
 #include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/watchdog.hpp"
 #include "core/barrier.hpp"
 #include "core/corelet.hpp"
 #include "mem/controller.hpp"
@@ -21,12 +23,17 @@ RunResult run_millipede(const MachineConfig& cfg,
   PreparedInput input = prepare_input(cfg, workload, seed);
   // A record's field loads touch `record_row_footprint()` concurrent rows
   // (= fields under the field-major layout, 1 under slab-interleaving);
-  // flow control deadlocks if the window cannot hold them all. Fail fast.
-  MLP_CHECK(cfg.millipede.pf_entries >= input.layout.record_row_footprint(),
-            "prefetch window smaller than a record's row footprint");
+  // flow control deadlocks if the window cannot hold them all. Fail fast —
+  // recoverably, so one undersized sweep point cannot kill a whole matrix.
+  MLP_SIM_CHECK(cfg.millipede.unsafe_skip_window_check ||
+                    cfg.millipede.pf_entries >=
+                        input.layout.record_row_footprint(),
+                "config",
+                "prefetch window smaller than a record's row footprint");
 
   StatSet stats;
   mem::MemoryController ctrl(cfg.dram, "dram", &stats);
+  ctrl.attach_image(&input.image);
 
   ClockDomain compute(cfg.core.period_ps());
   ClockDomain channel(cfg.dram.period_ps());
@@ -84,15 +91,18 @@ RunResult run_millipede(const MachineConfig& cfg,
 
   pb.prime(0);
   Picos now = 0;
-  u64 guard = 0;
   auto all_halted = [&] {
     for (const auto& corelet : corelets) {
       if (!corelet.halted()) return false;
     }
     return true;
   };
+  Watchdog watchdog(cfg.watchdog, "millipede", [&] {
+    return "millipede state:\n" + dump_corelets(corelets) + pb.debug_dump() +
+           ctrl.debug_dump();
+  });
   while (!all_halted()) {
-    MLP_CHECK(++guard < 20'000'000'000ull, "millipede run did not converge");
+    watchdog.step(exec.instructions.value + ctrl.bytes_transferred());
     if (compute.next_edge_ps() <= channel.next_edge_ps()) {
       now = compute.next_edge_ps();
       for (auto& corelet : corelets) {
@@ -135,11 +145,16 @@ RunResult run_millipede(const MachineConfig& cfg,
         std::max(cfg.millipede.min_voltage_ratio, std::min(1.0, f_ratio));
     result.energy.core_j *= v_ratio * v_ratio;
   }
-  result.energy.dram_j =
-      model.dram_j(ctrl.bytes_transferred(), ctrl.activations());
+  result.energy.dram_j = model.dram_j(ctrl.bytes_transferred(),
+                                      ctrl.activations(), /*offchip=*/false,
+                                      cfg.dram.fault.ecc);
+  // With ECC the prefetch-buffer SRAM also stores the check bits.
+  const double pb_scale =
+      cfg.dram.fault.ecc ? 1.0 + model.params().ecc_bit_overhead : 1.0;
   const double sram_kb =
       cores * (cfg.core.local_mem_bytes + cfg.core.icache_bytes +
-               cfg.millipede.pf_entries * cfg.dram.row_bytes / cores) /
+               cfg.millipede.pf_entries * cfg.dram.row_bytes * pb_scale /
+                   cores) /
       1024.0;
   result.energy.leak_j = model.leakage_j(cores, sram_kb, result.seconds());
 

@@ -6,6 +6,7 @@
 
 #include "arch/system.hpp"
 #include "common/clock.hpp"
+#include "common/watchdog.hpp"
 #include "core/corelet.hpp"
 #include "mem/cache.hpp"
 #include "mem/controller.hpp"
@@ -81,6 +82,7 @@ RunResult run_multicore(const MachineConfig& cfg,
 
   StatSet stats;
   mem::MemoryController ctrl(mc.dram, "dram", &stats);
+  ctrl.attach_image(&input.image);
   mem::ControllerBackend backend(&ctrl);
 
   const u32 cores = mc.core.cores;
@@ -134,15 +136,17 @@ RunResult run_multicore(const MachineConfig& cfg,
   ClockDomain compute(period);
   ClockDomain channel(mc.dram.period_ps());
   Picos now = 0;
-  u64 guard = 0;
   auto all_halted = [&] {
     for (const auto& corelet : corelets) {
       if (!corelet.halted()) return false;
     }
     return true;
   };
+  Watchdog watchdog(mc.watchdog, "multicore", [&] {
+    return "multicore state:\n" + dump_corelets(corelets) + ctrl.debug_dump();
+  });
   while (!all_halted()) {
-    MLP_CHECK(++guard < 40'000'000'000ull, "multicore run did not converge");
+    watchdog.step(exec.instructions.value + ctrl.bytes_transferred());
     if (compute.next_edge_ps() <= channel.next_edge_ps()) {
       now = compute.next_edge_ps();
       for (auto& corelet : corelets) {
@@ -183,8 +187,9 @@ RunResult run_multicore(const MachineConfig& cfg,
   result.energy.core_j = model.multicore_core_j(
       exec.instructions.value, l1_accesses, l2_accesses,
       exec.idle_cycles.value);
-  result.energy.dram_j = model.dram_j(ctrl.bytes_transferred(),
-                                      ctrl.activations(), /*offchip=*/true);
+  result.energy.dram_j =
+      model.dram_j(ctrl.bytes_transferred(), ctrl.activations(),
+                   /*offchip=*/true, mc.dram.fault.ecc);
   const double sram_kb =
       cores * (cfg.multicore.l1_bytes + cfg.multicore.l2_bytes) / 1024.0;
   result.energy.leak_j =

@@ -6,6 +6,7 @@
 
 #include "arch/system.hpp"
 #include "common/clock.hpp"
+#include "common/watchdog.hpp"
 #include "core/corelet.hpp"
 #include "mem/cache.hpp"
 #include "mem/controller.hpp"
@@ -75,6 +76,7 @@ RunResult run_ssmc(const MachineConfig& cfg,
 
   StatSet stats;
   mem::MemoryController ctrl(cfg.dram, "dram", &stats);
+  ctrl.attach_image(&input.image);
   mem::ControllerBackend backend(&ctrl);
 
   const u32 cores = cfg.core.cores;
@@ -129,15 +131,17 @@ RunResult run_ssmc(const MachineConfig& cfg,
   ClockDomain compute(cfg.core.period_ps());
   ClockDomain channel(cfg.dram.period_ps());
   Picos now = 0;
-  u64 guard = 0;
   auto all_halted = [&] {
     for (const auto& corelet : corelets) {
       if (!corelet.halted()) return false;
     }
     return true;
   };
+  Watchdog watchdog(cfg.watchdog, "ssmc", [&] {
+    return "ssmc state:\n" + dump_corelets(corelets) + ctrl.debug_dump();
+  });
   while (!all_halted()) {
-    MLP_CHECK(++guard < 20'000'000'000ull, "ssmc run did not converge");
+    watchdog.step(exec.instructions.value + ctrl.bytes_transferred());
     if (compute.next_edge_ps() <= channel.next_edge_ps()) {
       now = compute.next_edge_ps();
       for (auto& corelet : corelets) {
@@ -169,8 +173,9 @@ RunResult run_ssmc(const MachineConfig& cfg,
   energy::EnergyModel model;
   result.energy.core_j = model.mimd_core_j(exec, /*state_via_cache=*/true,
                                            /*input_via_cache=*/true);
-  result.energy.dram_j =
-      model.dram_j(ctrl.bytes_transferred(), ctrl.activations());
+  result.energy.dram_j = model.dram_j(ctrl.bytes_transferred(),
+                                      ctrl.activations(), /*offchip=*/false,
+                                      cfg.dram.fault.ecc);
   const double sram_kb =
       cores * (cfg.ssmc.l1d_bytes + cfg.core.icache_bytes) / 1024.0;
   result.energy.leak_j = model.leakage_j(cores, sram_kb, result.seconds());

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/config.hpp"
+#include "core/corelet.hpp"
 #include "energy/energy.hpp"
 #include "mem/dram_image.hpp"
 #include "workloads/binding.hpp"
@@ -66,6 +67,10 @@ std::string verify_run(const workloads::Workload& workload,
 
 /// Fill common RunResult fields from the DRAM controller counters.
 void fill_dram_stats(RunResult* result, const StatSet& stats);
+
+/// Multi-line per-corelet context snapshot (PC, state, ready time) for the
+/// forward-progress watchdog's diagnostic dump.
+std::string dump_corelets(const std::vector<core::Corelet>& corelets);
 
 /// Run `workload` on the architecture selected by `kind` (dispatches to the
 /// concrete systems below).

@@ -1,30 +1,45 @@
 #include "common/config.hpp"
 
+#include "common/error.hpp"
+
 namespace mlp {
 
+// Configuration consistency is data-dependent (sweeps construct arbitrary
+// grid points), so violations throw a recoverable SimError("config") rather
+// than aborting the process: one bad point must not kill a 1000-job matrix.
+#define MLP_CFG_CHECK(cond, msg) MLP_SIM_CHECK(cond, "config", msg)
+
 void MachineConfig::validate() const {
-  MLP_CHECK(is_pow2(dram.row_bytes), "row size must be a power of two");
-  MLP_CHECK(dram.banks > 0 && is_pow2(dram.banks), "bank count must be a power of two");
-  MLP_CHECK(dram.channel_bits % 8 == 0 && dram.channel_bits > 0, "channel width in whole bytes");
-  MLP_CHECK(dram.queue_depth > 0, "controller queue must be nonempty");
-  MLP_CHECK(dram.bus_efficiency > 0.0 && dram.bus_efficiency <= 1.0,
-            "bus efficiency must be in (0, 1]");
-  MLP_CHECK(core.cores > 0 && core.contexts > 0, "need at least one thread");
-  MLP_CHECK(core.regs >= 8 && core.regs <= 32, "register count out of range");
-  MLP_CHECK(is_pow2(core.cores), "core count must be a power of two for slab mapping");
-  MLP_CHECK(is_pow2(core.contexts), "context count must be a power of two");
-  MLP_CHECK(millipede.pf_entries >= 2, "prefetch buffer needs >= 2 entries");
-  MLP_CHECK(millipede.prime_rows <= millipede.pf_entries,
-            "prime depth must fit in the prefetch buffer");
-  MLP_CHECK(millipede.rate_step > 0 && millipede.rate_step < 0.5, "rate step out of range");
-  MLP_CHECK(gpgpu.warp_width > 0 && core.cores % gpgpu.warp_width == 0,
-            "warp width must divide lane count");
-  MLP_CHECK(gpgpu.shared_banks > 0, "shared memory needs banks");
-  MLP_CHECK(ssmc.assoc > 0 && ssmc.l1d_bytes % (ssmc.line_bytes * ssmc.assoc) == 0,
-            "SSMC L1 size must be sets*ways*line");
+  MLP_CFG_CHECK(is_pow2(dram.row_bytes), "row size must be a power of two");
+  MLP_CFG_CHECK(dram.banks > 0 && is_pow2(dram.banks), "bank count must be a power of two");
+  MLP_CFG_CHECK(dram.channel_bits % 8 == 0 && dram.channel_bits > 0, "channel width in whole bytes");
+  MLP_CFG_CHECK(dram.queue_depth > 0, "controller queue must be nonempty");
+  MLP_CFG_CHECK(dram.bus_efficiency > 0.0 && dram.bus_efficiency <= 1.0,
+                "bus efficiency must be in (0, 1]");
+  MLP_CFG_CHECK(dram.fault.bit_flip_rate >= 0.0 && dram.fault.bit_flip_rate < 1.0,
+                "bit-flip rate must be in [0, 1)");
+  MLP_CFG_CHECK(dram.fault.delay_rate >= 0.0 && dram.fault.delay_rate <= 1.0,
+                "delay rate must be in [0, 1]");
+  MLP_CFG_CHECK(dram.fault.drop_rate >= 0.0 && dram.fault.drop_rate < 1.0,
+                "drop rate must be in [0, 1)");
+  MLP_CFG_CHECK(!dram.fault.enabled() || dram.fault.max_retries > 0,
+                "fault injection needs a nonzero retry budget");
+  MLP_CFG_CHECK(core.cores > 0 && core.contexts > 0, "need at least one thread");
+  MLP_CFG_CHECK(core.regs >= 8 && core.regs <= 32, "register count out of range");
+  MLP_CFG_CHECK(is_pow2(core.cores), "core count must be a power of two for slab mapping");
+  MLP_CFG_CHECK(is_pow2(core.contexts), "context count must be a power of two");
+  MLP_CFG_CHECK(millipede.pf_entries >= 2, "prefetch buffer needs >= 2 entries");
+  MLP_CFG_CHECK(millipede.prime_rows <= millipede.pf_entries,
+                "prime depth must fit in the prefetch buffer");
+  MLP_CFG_CHECK(millipede.rate_step > 0 && millipede.rate_step < 0.5, "rate step out of range");
+  MLP_CFG_CHECK(gpgpu.warp_width > 0 && core.cores % gpgpu.warp_width == 0,
+                "warp width must divide lane count");
+  MLP_CFG_CHECK(gpgpu.shared_banks > 0, "shared memory needs banks");
+  MLP_CFG_CHECK(ssmc.assoc > 0 && ssmc.l1d_bytes % (ssmc.line_bytes * ssmc.assoc) == 0,
+                "SSMC L1 size must be sets*ways*line");
   // A row must split evenly into per-corelet slabs of whole words.
-  MLP_CHECK(dram.row_bytes % core.cores == 0, "row must split into corelet slabs");
-  MLP_CHECK((dram.row_bytes / core.cores) % 4 == 0, "slab must hold whole words");
+  MLP_CFG_CHECK(dram.row_bytes % core.cores == 0, "row must split into corelet slabs");
+  MLP_CFG_CHECK((dram.row_bytes / core.cores) % 4 == 0, "slab must hold whole words");
 }
 
 }  // namespace mlp

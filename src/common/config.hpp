@@ -9,8 +9,35 @@
 
 #include "common/types.hpp"
 #include "common/units.hpp"
+#include "common/watchdog.hpp"
 
 namespace mlp {
+
+/// Seeded fault-injection and ECC parameters for the DRAM channel (modelled
+/// after the transfer/retention error handling that die-stacked and PIM
+/// characterizations treat as first-class). All draws are deterministic:
+/// derived from `seed` and the per-controller transfer sequence number, so a
+/// faulty run is bit-reproducible for any thread count.
+struct FaultConfig {
+  /// Probability that any single transferred data bit arrives flipped.
+  double bit_flip_rate = 0.0;
+  /// Probability that a transfer's response is delayed by `delay_cycles`.
+  double delay_rate = 0.0;
+  /// Probability that a transfer's response is dropped; the controller
+  /// re-issues it (link-level retry), bounded by `max_retries`.
+  double drop_rate = 0.0;
+  u32 delay_cycles = 64;    ///< channel cycles added to a delayed response
+  u64 seed = 1;             ///< fault stream seed (independent of data seed)
+  /// SECDED ECC over 64-bit words: single-bit flips are corrected, double-bit
+  /// flips are detected and the transfer retried. Without ECC a flip silently
+  /// corrupts the transferred data (caught later by golden verification).
+  bool ecc = false;
+  u32 max_retries = 3;      ///< bounded retry-on-detect / retry-on-drop
+
+  bool enabled() const {
+    return bit_flip_rate > 0.0 || delay_rate > 0.0 || drop_rate > 0.0;
+  }
+};
 
 /// Die-stacked DRAM channel parameters (Table III). Timing values are in
 /// channel-clock cycles; the controller converts to picoseconds.
@@ -30,6 +57,8 @@ struct DramConfig {
   /// GPGPU-Sim DRAM makes the light BMLAs memory-bandwidth-bound (Table IV
   /// rate-matched clocks); see EXPERIMENTS.md.
   double bus_efficiency = 0.30;
+  /// Seeded fault injection + SECDED ECC on this channel (off by default).
+  FaultConfig fault;
 
   Picos period_ps() const { return period_ps_from_hz(channel_mhz * 1e6); }
   u32 bytes_per_cycle() const { return channel_bits / 8; }
@@ -68,6 +97,11 @@ struct MillipedeConfig {
   double min_clock_mhz = 100.0;
   u32 pb_hit_latency = 2;   ///< compute cycles for a prefetch-buffer hit
   u32 rate_window = 16;     ///< per-row votes accumulated per DFS step
+  /// Test-only escape hatch: skip the fail-fast "prefetch window smaller
+  /// than a record's row footprint" rejection so the resulting flow-control
+  /// deadlock can exercise the forward-progress watchdog. Never set this in
+  /// real experiments — the run cannot complete.
+  bool unsafe_skip_window_check = false;
   /// Section IV-F extension: the paper conservatively assumes frequency-only
   /// scaling ("otherwise, our energy savings would be higher"). When set,
   /// rate matching also scales voltage with frequency (dynamic energy then
@@ -141,6 +175,8 @@ struct MachineConfig {
   GpgpuConfig gpgpu;
   SsmcConfig ssmc;
   MulticoreConfig multicore;
+  /// Forward-progress watchdog enforced in every architecture's step loop.
+  WatchdogConfig watchdog;
 
   /// Section IV-C's slab-interleaving ("wider columns"): store each record's
   /// fields contiguously within a row so a record touches exactly one DRAM
@@ -149,7 +185,8 @@ struct MachineConfig {
   /// paper requires for coalescing.
   bool slab_layout = false;
 
-  /// Aborts on inconsistent parameter combinations.
+  /// Throws SimError("config", ...) on inconsistent parameter combinations;
+  /// caught at the sim::run_job boundary so a bad sweep point fails alone.
   void validate() const;
 
   /// Paper Table III defaults.

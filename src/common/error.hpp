@@ -1,0 +1,50 @@
+#pragma once
+// Recoverable simulation errors. The simulator distinguishes two failure
+// classes:
+//
+//  * Internal invariant violations (MLP_CHECK) — the simulator's own state is
+//    corrupt; continuing would produce subtly wrong "results". These abort.
+//  * Data/config-dependent failures (SimError) — one (arch, bench, config)
+//    point of a sweep is invalid or ran into a modelled hazard (inconsistent
+//    MachineConfig, flow-control deadlock caught by the watchdog,
+//    uncorrectable injected memory fault). These throw and are caught at the
+//    sim::run_job boundary, so the failing point lands in
+//    MatrixResult::error while the rest of the matrix completes.
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mlp {
+
+/// A recoverable per-job simulation failure. `kind` is a short machine-
+/// readable category ("config", "watchdog", "memory-fault"); `diagnostic`
+/// optionally carries a multi-line state dump (per-corelet PCs, queue
+/// occupancies, ...) for post-mortem reporting.
+class SimError : public std::runtime_error {
+ public:
+  SimError(std::string kind, const std::string& message,
+           std::string diagnostic = "")
+      : std::runtime_error(kind + ": " + message),
+        kind_(std::move(kind)),
+        diagnostic_(std::move(diagnostic)) {}
+
+  const std::string& kind() const noexcept { return kind_; }
+  const std::string& diagnostic() const noexcept { return diagnostic_; }
+
+ private:
+  std::string kind_;
+  std::string diagnostic_;
+};
+
+}  // namespace mlp
+
+/// Data/config-dependent check in a run path: throws SimError (recoverable at
+/// the job boundary) instead of aborting the process. Use MLP_CHECK for true
+/// internal invariants.
+#define MLP_SIM_CHECK(cond, kind, msg)      \
+  do {                                      \
+    if (!(cond)) {                          \
+      throw ::mlp::SimError((kind), (msg)); \
+    }                                       \
+  } while (0)

@@ -29,12 +29,16 @@ using Picos = u64;
 
 /// Internal invariant check, active in all build types: a simulator that
 /// silently corrupts its own state produces subtly wrong "results", which is
-/// worse than an abort.
+/// worse than an abort. Data/config-dependent conditions in run paths use
+/// MLP_SIM_CHECK (common/error.hpp) instead, which throws a recoverable
+/// SimError. The message is flushed before aborting so it survives ctest and
+/// thread-pool output capture.
 #define MLP_CHECK(cond, msg)                                                 \
   do {                                                                       \
     if (!(cond)) {                                                           \
-      std::fprintf(stderr, "MLP_CHECK failed at %s:%d: %s\n  %s\n",          \
-                   __FILE__, __LINE__, #cond, msg);                          \
+      std::fprintf(stderr, "MLP_CHECK failed in %s at %s:%d: %s\n  %s\n",    \
+                   __func__, __FILE__, __LINE__, #cond, msg);                \
+      std::fflush(stderr);                                                   \
       std::abort();                                                          \
     }                                                                        \
   } while (0)

@@ -1,0 +1,80 @@
+#pragma once
+// Forward-progress watchdog for the architecture step loops. Every
+// architecture's main loop advances one clock edge (compute or channel) per
+// iteration; a protocol bug or an invalid configuration that slips past the
+// fail-fast checks turns that loop into a livelock (e.g. a flow-control
+// deadlock: every context blocked on rows beyond the prefetch window, the
+// head entry never saturating). The watchdog bounds both failure modes:
+//
+//  * cycle ceiling — a hard cap on loop iterations (`max_cycles`);
+//  * livelock detector — no instruction retired AND no DRAM data movement
+//    for `stall_cycles` consecutive iterations.
+//
+// On trip it throws SimError("watchdog", ...) carrying the architecture's
+// diagnostic dump (per-corelet PC/state, outstanding requests, prefetch
+// buffer occupancy, PFT/DF counters), so a hung point in a sweep matrix
+// becomes a per-job error instead of a hung pool thread.
+
+#include <functional>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace mlp {
+
+struct WatchdogConfig {
+  /// Hard ceiling on main-loop iterations (clock edges across both domains);
+  /// 0 disables the ceiling. The default is far beyond any legitimate run of
+  /// this simulator's workload sizes.
+  u64 max_cycles = 20'000'000'000ull;
+  /// Loop iterations without any progress (instructions retired or DRAM
+  /// bytes moved) before declaring a livelock; 0 disables the detector. A
+  /// live system makes progress every few thousand edges even when rate
+  /// matching has slowed compute to its floor.
+  u64 stall_cycles = 2'000'000;
+};
+
+class Watchdog {
+ public:
+  /// `dump` is invoked only on trip, to snapshot the machine state into the
+  /// SimError diagnostic; it may be empty.
+  Watchdog(const WatchdogConfig& cfg, std::string arch,
+           std::function<std::string()> dump)
+      : cfg_(cfg), arch_(std::move(arch)), dump_(std::move(dump)) {}
+
+  /// Call once per main-loop iteration with a monotonic progress signature
+  /// (e.g. instructions retired + DRAM bytes transferred). Throws SimError
+  /// on ceiling overrun or livelock.
+  void step(u64 progress_signature) {
+    ++iterations_;
+    if (progress_signature != last_progress_) {
+      last_progress_ = progress_signature;
+      stalled_ = 0;
+    } else if (cfg_.stall_cycles != 0 && ++stalled_ >= cfg_.stall_cycles) {
+      trip("no instruction retired and no DRAM response for " +
+           std::to_string(stalled_) + " step-loop iterations (livelock)");
+    }
+    if (cfg_.max_cycles != 0 && iterations_ >= cfg_.max_cycles) {
+      trip("cycle ceiling of " + std::to_string(cfg_.max_cycles) +
+           " step-loop iterations exceeded");
+    }
+  }
+
+  u64 iterations() const { return iterations_; }
+
+ private:
+  [[noreturn]] void trip(const std::string& why) const {
+    throw SimError("watchdog", arch_ + ": " + why,
+                   dump_ ? dump_() : std::string());
+  }
+
+  WatchdogConfig cfg_;
+  std::string arch_;
+  std::function<std::string()> dump_;
+  u64 iterations_ = 0;
+  u64 stalled_ = 0;
+  u64 last_progress_ = ~u64{0};
+};
+
+}  // namespace mlp

@@ -2,11 +2,15 @@
 
 namespace mlp::energy {
 
-double EnergyModel::dram_j(u64 bytes, u64 activations, bool offchip) const {
+double EnergyModel::dram_j(u64 bytes, u64 activations, bool offchip,
+                           bool ecc) const {
   const double per_bit =
       offchip ? params_.pj_per_bit_offchip : params_.pj_per_bit_stacked;
-  return (static_cast<double>(bytes) * 8.0 * per_bit) * 1e-12 +
-         static_cast<double>(activations) * params_.nj_per_activation * 1e-9;
+  const double ecc_scale = ecc ? 1.0 + params_.ecc_bit_overhead : 1.0;
+  return ((static_cast<double>(bytes) * 8.0 * per_bit) * 1e-12 +
+          static_cast<double>(activations) * params_.nj_per_activation *
+              1e-9) *
+         ecc_scale;
 }
 
 double EnergyModel::mimd_core_j(const core::ExecStats& stats,

@@ -41,6 +41,10 @@ struct EnergyParams {
   double pj_per_bit_stacked = 6.0;   ///< die-stacked DRAM access [31]
   double nj_per_activation = 15.0;   ///< per 2 KB row activation
   double pj_per_bit_offchip = 70.0;  ///< off-chip DRAM access [44]
+  /// SECDED ECC storage overhead: 8 check bits per 64-bit data word. With
+  /// ECC enabled every transfer moves (and every activation opens) 12.5%
+  /// more bits, scaling both DRAM energy terms.
+  double ecc_bit_overhead = 8.0 / 64.0;
 
   // --- Leakage (logic die, W) ---
   double leak_core_w = 0.004;          ///< per simple core / lane
@@ -61,8 +65,10 @@ class EnergyModel {
 
   const EnergyParams& params() const { return params_; }
 
-  /// DRAM side, shared by all PNM architectures.
-  double dram_j(u64 bytes, u64 activations, bool offchip = false) const;
+  /// DRAM side, shared by all PNM architectures. `ecc` adds the SECDED
+  /// check-bit transfer/activation overhead.
+  double dram_j(u64 bytes, u64 activations, bool offchip = false,
+                bool ecc = false) const;
 
   /// MIMD core dynamic energy (Millipede corelets or SSMC cores).
   /// `state_via_cache`: SSMC keeps live state in its L1D (pricier access);

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 
 namespace mlp::gpgpu {
@@ -42,6 +43,25 @@ bool StreamingMultiprocessor::halted() const {
     if (!warp.stack.all_halted()) return false;
   }
   return true;
+}
+
+std::string StreamingMultiprocessor::debug_dump() const {
+  std::string out;
+  char line[160];
+  for (u32 g = 0; g < groups_; ++g) {
+    for (u32 s = 0; s < cfg_.core.contexts; ++s) {
+      const Warp& warp = warps_[g * cfg_.core.contexts + s];
+      std::snprintf(line, sizeof(line),
+                    "  warp[%u.%u] halted=%d waiting=%d outstanding=%u "
+                    "ready_at=%llu pc0=%u\n",
+                    g, s, warp.stack.all_halted() ? 1 : 0,
+                    warp.waiting ? 1 : 0, warp.outstanding,
+                    static_cast<unsigned long long>(warp.ready_at),
+                    warp.lanes.empty() ? 0 : warp.lanes.front().pc);
+      out += line;
+    }
+  }
+  return out;
 }
 
 void StreamingMultiprocessor::tick(Picos now, Picos period_ps) {

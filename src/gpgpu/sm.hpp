@@ -84,6 +84,10 @@ class StreamingMultiprocessor {
   u32 warp_width() const { return warp_width_; }
   u32 groups() const { return groups_; }
 
+  /// Per-warp scheduling state (waiting, outstanding fills, lane PCs) for
+  /// watchdog diagnostics.
+  std::string debug_dump() const;
+
  private:
   struct Warp {
     SimtStack stack;

@@ -1,6 +1,9 @@
 #include "mem/controller.hpp"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
 
 namespace mlp::mem {
 
@@ -11,6 +14,10 @@ MemoryController::MemoryController(const DramConfig& cfg,
       period_ps_(cfg.period_ps()),
       bytes_per_cycle_(cfg.bytes_per_cycle()),
       banks_(cfg.banks) {
+  if (cfg.fault.enabled()) {
+    injector_ = std::make_unique<FaultInjector>(cfg.fault, stats,
+                                                stat_prefix + ".fault");
+  }
   if (stats != nullptr) {
     stats->add(stat_prefix + ".reads", &reads_);
     stats->add(stat_prefix + ".writes", &writes_);
@@ -18,6 +25,10 @@ MemoryController::MemoryController(const DramConfig& cfg,
     stats->add(stat_prefix + ".row_misses", &row_misses_);
     stats->add(stat_prefix + ".bytes", &bytes_);
     stats->add(stat_prefix + ".queue_rejections", &rejected_);
+    stats->add(stat_prefix + ".ecc_corrected", &ecc_corrected_);
+    stats->add(stat_prefix + ".ecc_detected", &ecc_detected_);
+    stats->add(stat_prefix + ".fault_retries", &retries_);
+    stats->add(stat_prefix + ".silent_corruptions", &silent_corruptions_);
   }
 }
 
@@ -26,17 +37,57 @@ bool MemoryController::try_push(MemRequest request, Picos now) {
     rejected_.inc();
     return false;
   }
-  MLP_CHECK(request.bytes > 0, "empty request");
+  MLP_SIM_CHECK(request.bytes > 0, "config", "empty request");
   Pending pending;
   pending.coord = map_.decode(request.addr);
   // A request must not straddle a row boundary: callers split at rows.
-  MLP_CHECK(pending.coord.column + request.bytes <= cfg_.row_bytes,
-            "request crosses a row boundary");
+  MLP_SIM_CHECK(pending.coord.column + request.bytes <= cfg_.row_bytes,
+                "config", "request crosses a row boundary");
   pending.request = std::move(request);
   pending.arrived_at = now;
   pending.order = next_order_++;
   queue_.push_back(std::move(pending));
   return true;
+}
+
+Picos MemoryController::apply_faults(const MemRequest& request,
+                                     bool* needs_retry) {
+  TransferFaults faults = injector_->draw(request.bytes);
+  Picos extra = 0;
+  if (faults.delayed) extra += cycles(cfg_.fault.delay_cycles);
+  if (faults.dropped) *needs_retry = true;
+
+  if (!faults.flipped_bits.empty()) {
+    if (cfg_.fault.ecc) {
+      // SECDED over 64-bit data words: one flip per word corrects, two or
+      // more detect as uncorrectable — the whole transfer is re-read.
+      u64 word = ~u64{0};
+      u32 flips_in_word = 0;
+      for (const u32 bit : faults.flipped_bits) {  // bits arrive sorted
+        if (bit / 64 != word) {
+          if (flips_in_word == 1) ecc_corrected_.inc();
+          word = bit / 64;
+          flips_in_word = 0;
+        }
+        ++flips_in_word;
+        if (flips_in_word == 2) {
+          ecc_detected_.inc();
+          *needs_retry = true;
+        }
+      }
+      if (flips_in_word == 1) ecc_corrected_.inc();
+    } else {
+      // No ECC: the flips land in the functional bytes. Golden verification
+      // turns this into a per-job failure instead of a silent wrong result.
+      for (const u32 bit : faults.flipped_bits) {
+        if (image_ != nullptr) {
+          image_->flip_bit(request.addr + bit / 8, bit % 8);
+        }
+        silent_corruptions_.inc();
+      }
+    }
+  }
+  return extra;
 }
 
 bool MemoryController::try_issue(Pending& pending, Picos now,
@@ -68,7 +119,7 @@ bool MemoryController::try_issue(Pending& pending, Picos now,
 
   const Picos data_start =
       std::max(cas_start + cycles(cfg_.t_cas), bus_free_at_);
-  const Picos data_end = data_start + transfer_ps(pending.request.bytes);
+  Picos data_end = data_start + transfer_ps(pending.request.bytes);
   bus_free_at_ = data_end;
   bank.ready_at = data_end;
   busy_ps_ += data_end - data_start;
@@ -79,19 +130,58 @@ bool MemoryController::try_issue(Pending& pending, Picos now,
   } else {
     reads_.inc();
   }
-  in_flight_.push_back(InFlight{std::move(pending.request), data_end});
+
+  InFlight transfer;
+  transfer.attempts = pending.attempts;
+  if (injector_ != nullptr) {
+    // Fault draw at issue: the injected delay lands on the response time
+    // only (the bus/bank occupancy above is the physical transfer).
+    data_end += apply_faults(pending.request, &transfer.needs_retry);
+  }
+  transfer.request = std::move(pending.request);
+  transfer.done_at = data_end;
+  in_flight_.push_back(std::move(transfer));
   return true;
+}
+
+void MemoryController::requeue(InFlight&& transfer, Picos now) {
+  if (transfer.attempts + 1 > cfg_.fault.max_retries) {
+    char detail[160];
+    std::snprintf(detail, sizeof(detail),
+                  "transfer addr=0x%llx bytes=%u failed %u attempts",
+                  static_cast<unsigned long long>(transfer.request.addr),
+                  transfer.request.bytes, transfer.attempts + 1);
+    throw SimError("memory-fault",
+                   cfg_.fault.ecc
+                       ? "uncorrectable ECC error: retry budget exhausted"
+                       : "dropped response: retry budget exhausted",
+                   detail);
+  }
+  retries_.inc();
+  Pending pending;
+  pending.coord = map_.decode(transfer.request.addr);
+  pending.request = std::move(transfer.request);
+  pending.arrived_at = now;
+  pending.order = next_order_++;
+  pending.attempts = transfer.attempts + 1;
+  // Retries bypass the scheduler-window cap: the slot the original transfer
+  // occupied has already drained, and rejecting a retry could deadlock
+  // callers that have no retry loop for completions.
+  queue_.push_back(std::move(pending));
 }
 
 void MemoryController::tick(Picos now) {
   // Retire completed transfers.
   for (size_t i = 0; i < in_flight_.size();) {
     if (in_flight_[i].done_at <= now) {
-      if (in_flight_[i].request.on_complete) {
-        in_flight_[i].request.on_complete(in_flight_[i].done_at);
-      }
+      InFlight transfer = std::move(in_flight_[i]);
       in_flight_[i] = std::move(in_flight_.back());
       in_flight_.pop_back();
+      if (transfer.needs_retry) {
+        requeue(std::move(transfer), now);
+      } else if (transfer.request.on_complete) {
+        transfer.request.on_complete(transfer.done_at);
+      }
     } else {
       ++i;
     }
@@ -113,6 +203,41 @@ void MemoryController::tick(Picos now) {
       return;
     }
   }
+}
+
+std::string MemoryController::debug_dump() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "  dram: queue=%u/%u in_flight=%u bus_free_at=%llu\n",
+                queue_size(), queue_capacity(), in_flight_size(),
+                static_cast<unsigned long long>(bus_free_at_));
+  out += line;
+  for (const Pending& p : queue_) {
+    std::snprintf(line, sizeof(line),
+                  "    queued addr=0x%llx bytes=%u bank=%u attempts=%u\n",
+                  static_cast<unsigned long long>(p.request.addr),
+                  p.request.bytes, p.coord.bank, p.attempts);
+    out += line;
+  }
+  for (const InFlight& f : in_flight_) {
+    std::snprintf(line, sizeof(line),
+                  "    in-flight addr=0x%llx bytes=%u done_at=%llu%s\n",
+                  static_cast<unsigned long long>(f.request.addr),
+                  f.request.bytes,
+                  static_cast<unsigned long long>(f.done_at),
+                  f.needs_retry ? " (retry pending)" : "");
+    out += line;
+  }
+  for (u32 b = 0; b < banks_.size(); ++b) {
+    std::snprintf(line, sizeof(line),
+                  "    bank[%u] open=%d row=%llu ready_at=%llu\n", b,
+                  banks_[b].has_open_row ? 1 : 0,
+                  static_cast<unsigned long long>(banks_[b].open_row),
+                  static_cast<unsigned long long>(banks_[b].ready_at));
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace mlp::mem

@@ -10,14 +10,26 @@
 // corresponding number of beats; bank-level parallelism lets the next bank's
 // activation proceed under the current transfer.
 //
-// The controller is timing-only; functional bytes live in DramImage.
+// The controller is timing-only; functional bytes live in DramImage. The
+// exception is the resilience layer: when seeded fault injection is enabled
+// (DramConfig::fault), transfers may arrive with flipped bits, delayed, or
+// dropped. A SECDED ECC model (64-bit data words, 8 check bits each)
+// corrects single-bit flips, detects double-bit flips and re-issues the
+// transfer (bounded retry, also used for dropped responses); exhausting the
+// retry budget throws a recoverable SimError("memory-fault"). Without ECC,
+// flipped bits are applied to the attached DramImage — silent corruption
+// that the golden verification surfaces at the end of the run.
 
 #include <deque>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/stats.hpp"
 #include "mem/addrmap.hpp"
+#include "mem/dram_image.hpp"
+#include "mem/fault.hpp"
 #include "mem/req.hpp"
 
 namespace mlp::mem {
@@ -27,17 +39,23 @@ class MemoryController {
   MemoryController(const DramConfig& cfg, std::string stat_prefix,
                    StatSet* stats);
 
+  /// Functional image backing this channel; only consulted by the fault
+  /// model (no-ECC bit flips corrupt the transferred bytes in place).
+  void attach_image(DramImage* image) { image_ = image; }
+
   /// Enqueue a request; returns false when the scheduler window is full
   /// (the caller must retry on a later tick, modelling backpressure).
   bool try_push(MemRequest request, Picos now);
 
   /// Advance one channel clock edge: schedule at most one queued request and
-  /// retire any transfers whose data has fully arrived.
+  /// retire any transfers whose data has fully arrived. Throws
+  /// SimError("memory-fault") when a transfer exhausts its retry budget.
   void tick(Picos now);
 
   bool idle() const { return queue_.empty() && in_flight_.empty(); }
   u32 queue_size() const { return static_cast<u32>(queue_.size()); }
   u32 queue_capacity() const { return cfg_.queue_depth; }
+  u32 in_flight_size() const { return static_cast<u32>(in_flight_.size()); }
 
   const AddressMap& address_map() const { return map_; }
 
@@ -47,6 +65,16 @@ class MemoryController {
   u64 row_hits() const { return row_hits_.value; }
   u64 row_misses() const { return row_misses_.value; }
   Picos busy_ps() const { return busy_ps_; }
+
+  // Resilience counters.
+  u64 ecc_corrected() const { return ecc_corrected_.value; }
+  u64 ecc_detected() const { return ecc_detected_.value; }
+  u64 fault_retries() const { return retries_.value; }
+  bool fault_injection_enabled() const { return injector_ != nullptr; }
+
+  /// One-line-per-item state snapshot (queue, in-flight transfers, banks)
+  /// for watchdog diagnostics.
+  std::string debug_dump() const;
 
  private:
   struct Bank {
@@ -61,11 +89,14 @@ class MemoryController {
     DramCoord coord;
     Picos arrived_at = 0;
     u64 order = 0;
+    u32 attempts = 0;  ///< prior issues of this transfer (retries)
   };
 
   struct InFlight {
     MemRequest request;
     Picos done_at = 0;
+    u32 attempts = 0;
+    bool needs_retry = false;  ///< dropped response or uncorrectable ECC
   };
 
   Picos cycles(u32 n) const { return static_cast<Picos>(n) * period_ps_; }
@@ -82,10 +113,20 @@ class MemoryController {
   /// bank and bus constraints allow starting this tick.
   bool try_issue(Pending& pending, Picos now, bool row_hit_only);
 
+  /// Draw and apply this transfer's injected faults; returns the extra
+  /// response latency and sets `needs_retry` for drops / ECC detections.
+  Picos apply_faults(const MemRequest& request, bool* needs_retry);
+
+  /// Re-enqueue a transfer whose response was dropped or failed ECC; throws
+  /// SimError("memory-fault") once the retry budget is exhausted.
+  void requeue(InFlight&& transfer, Picos now);
+
   DramConfig cfg_;
   AddressMap map_;
   Picos period_ps_;
   u32 bytes_per_cycle_;
+  std::unique_ptr<FaultInjector> injector_;
+  DramImage* image_ = nullptr;
 
   std::vector<Bank> banks_;
   std::deque<Pending> queue_;
@@ -95,6 +136,7 @@ class MemoryController {
   Picos busy_ps_ = 0;
 
   Counter reads_, writes_, row_hits_, row_misses_, bytes_, rejected_;
+  Counter ecc_corrected_, ecc_detected_, retries_, silent_corruptions_;
 };
 
 }  // namespace mlp::mem

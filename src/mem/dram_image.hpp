@@ -44,6 +44,14 @@ class DramImage {
     write_u32(addr, bits);
   }
 
+  /// Fault-injection hook: flip one bit of the stored byte at `addr`.
+  /// Out-of-image addresses are ignored — transfers to regions modelled only
+  /// in timing (e.g. cached live-state spill space beyond the input image)
+  /// have no functional bytes to corrupt.
+  void flip_bit(Addr addr, u32 bit) {
+    if (addr < bytes_.size()) bytes_[addr] ^= static_cast<u8>(1u << (bit & 7));
+  }
+
  private:
   std::vector<u8> bytes_;
 };

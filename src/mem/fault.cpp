@@ -1,0 +1,51 @@
+#include "mem/fault.hpp"
+
+#include <cmath>
+
+namespace mlp::mem {
+
+FaultInjector::FaultInjector(const FaultConfig& cfg, StatSet* stats,
+                             const std::string& prefix)
+    : cfg_(cfg) {
+  if (stats != nullptr) {
+    stats->add(prefix + ".bit_flips", &bit_flips_);
+    stats->add(prefix + ".delayed", &delayed_);
+    stats->add(prefix + ".dropped", &dropped_);
+  }
+}
+
+TransferFaults FaultInjector::draw(u32 bytes) {
+  TransferFaults faults;
+  // One independent, reproducible stream per transfer: the Rng's splitmix64
+  // seed expansion decorrelates consecutive sequence numbers.
+  Rng rng(cfg_.seed ^ (0xa076'1d64'78bd'642full * ++sequence_));
+
+  if (cfg_.bit_flip_rate > 0.0) {
+    // Geometric skip sampling: draw the gap to the next flipped bit instead
+    // of a Bernoulli per bit, so the cost is O(flips), not O(bits) — a 2 KB
+    // row is 16384 Bernoulli draws but typically zero flips.
+    const double log1mp = std::log1p(-cfg_.bit_flip_rate);
+    const u64 total_bits = static_cast<u64>(bytes) * 8;
+    u64 bit = 0;
+    while (true) {
+      double u = rng.uniform();
+      if (u >= 1.0) u = 0.9999999999999999;
+      bit += static_cast<u64>(std::log1p(-u) / log1mp);
+      if (bit >= total_bits) break;
+      faults.flipped_bits.push_back(static_cast<u32>(bit));
+      bit_flips_.inc();
+      ++bit;
+    }
+  }
+  if (cfg_.delay_rate > 0.0 && rng.chance(cfg_.delay_rate)) {
+    faults.delayed = true;
+    delayed_.inc();
+  }
+  if (cfg_.drop_rate > 0.0 && rng.chance(cfg_.drop_rate)) {
+    faults.dropped = true;
+    dropped_.inc();
+  }
+  return faults;
+}
+
+}  // namespace mlp::mem

@@ -1,0 +1,52 @@
+#pragma once
+// Deterministic, seed-derived DRAM fault injection (bit flips on transferred
+// data, delayed responses, dropped responses). Die-stacked and PIM hardware
+// characterizations treat transfer/retention errors as first-class; this
+// model lets the simulator demonstrate that the resilience layer (SECDED ECC
+// with bounded retry in the controller, forward-progress watchdog in the
+// step loops, per-job error recovery in the sweep harness) degrades
+// gracefully instead of producing silently wrong results.
+//
+// Every draw is a pure function of (FaultConfig::seed, per-controller
+// transfer sequence number), so an injected-fault run is bit-reproducible
+// for any --jobs thread count, and a retried transfer sees a fresh,
+// deterministic draw.
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace mlp::mem {
+
+/// Faults drawn for one transfer.
+struct TransferFaults {
+  /// Bit offsets (0 = LSB of the transfer's first byte) that arrive flipped.
+  std::vector<u32> flipped_bits;
+  bool delayed = false;
+  bool dropped = false;
+
+  bool any() const { return !flipped_bits.empty() || delayed || dropped; }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultConfig& cfg, StatSet* stats,
+                const std::string& prefix);
+
+  /// Draw the faults for the next transfer of `bytes` bytes; advances the
+  /// deterministic per-transfer sequence.
+  TransferFaults draw(u32 bytes);
+
+  u64 transfers_drawn() const { return sequence_; }
+
+ private:
+  FaultConfig cfg_;
+  u64 sequence_ = 0;
+
+  Counter bit_flips_, delayed_, dropped_;
+};
+
+}  // namespace mlp::mem

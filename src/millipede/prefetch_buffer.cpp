@@ -1,5 +1,8 @@
 #include "millipede/prefetch_buffer.hpp"
 
+#include <cstdio>
+
+#include "common/error.hpp"
 #include "common/units.hpp"
 
 namespace mlp::millipede {
@@ -21,7 +24,8 @@ PrefetchBuffer::PrefetchBuffer(const MachineConfig& cfg, RowPlan plan,
       entries_(num_entries_),
       next_row_(plan_.first_row) {
   MLP_CHECK(ctrl_ != nullptr, "prefetch buffer needs a controller");
-  MLP_CHECK(slab_words_ <= 64, "slab word mask limited to 64 words");
+  MLP_SIM_CHECK(slab_words_ <= 64, "config",
+                "slab word mask limited to 64 words");
   MLP_CHECK(plan_.expected_mask != nullptr, "row plan needs an expected mask");
   if (stats != nullptr) {
     stats->add(prefix + ".row_prefetches", &row_prefetches_);
@@ -189,6 +193,35 @@ void PrefetchBuffer::trigger(Picos now, bool force_evict) {
     allocate_next(now);
     --pending_triggers_;
   }
+}
+
+std::string PrefetchBuffer::debug_dump() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "  pb: occupancy=%u/%u next_row=%llu pending_triggers=%u "
+                "future_waiter_rows=%zu\n",
+                count_, num_entries_,
+                static_cast<unsigned long long>(next_row_), pending_triggers_,
+                future_waiters_.size());
+  out += line;
+  for (u32 i = 0; i < count_; ++i) {
+    const Entry& e = entries_[(head_ + i) % num_entries_];
+    std::snprintf(line, sizeof(line),
+                  "    entry[%u] row=%llu filled=%d pft=%d df=%u/%u "
+                  "waiters=%zu\n",
+                  (head_ + i) % num_entries_,
+                  static_cast<unsigned long long>(e.row), e.filled ? 1 : 0,
+                  e.pft ? 1 : 0, e.df, cfg_.core.cores, e.waiters.size());
+    out += line;
+  }
+  for (const auto& [row, waiters] : future_waiters_) {
+    std::snprintf(line, sizeof(line),
+                  "    flow-wait row=%llu waiters=%zu (beyond window)\n",
+                  static_cast<unsigned long long>(row), waiters.size());
+    out += line;
+  }
+  return out;
 }
 
 core::PortResult PrefetchBuffer::victim_fetch(

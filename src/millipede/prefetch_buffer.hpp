@@ -66,6 +66,11 @@ class PrefetchBuffer : public core::GlobalPort {
   u64 premature_evictions() const { return premature_evictions_.value; }
   u64 direct_fetches() const { return direct_fetches_.value; }
 
+  /// Per-entry PFT/DF/fill state plus pending triggers and flow-control
+  /// waiters, for watchdog diagnostics: a flow-control deadlock shows up
+  /// here as an unsaturated head entry and a pile of future waiters.
+  std::string debug_dump() const;
+
  private:
   struct Entry {
     u64 row = 0;

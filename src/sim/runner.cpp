@@ -6,6 +6,7 @@
 #include <exception>
 #include <future>
 
+#include "common/error.hpp"
 #include "sim/pool.hpp"
 
 namespace mlp::sim {
@@ -41,6 +42,10 @@ MatrixResult run_job(const MatrixJob& job) {
                                                               params);
     out.result = arch::run_arch(job.kind, job.options.cfg, workload,
                                 job.options.seed);
+  } catch (const SimError& e) {
+    out.error = e.what();
+    out.diagnostic = e.diagnostic();
+    return out;
   } catch (const std::exception& e) {
     out.error = e.what();
     return out;

@@ -51,11 +51,15 @@ struct MatrixResult {
   MatrixJob job;
   arch::RunResult result;
   std::string error;  ///< empty iff the run completed and verified
+  /// Multi-line machine-state dump for SimError failures (watchdog trips,
+  /// uncorrectable memory faults); empty otherwise.
+  std::string diagnostic;
 
   bool ok() const { return error.empty(); }
 };
 
-/// Execute one job, collecting failures (unknown benchmark, verification
+/// Execute one job, collecting failures (unknown benchmark, bad
+/// configuration, watchdog trip, uncorrectable memory fault, verification
 /// mismatch) into MatrixResult::error instead of aborting.
 MatrixResult run_job(const MatrixJob& job);
 

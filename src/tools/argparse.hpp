@@ -55,6 +55,19 @@ inline double parse_positive_double(const std::string& flag,
   return value;
 }
 
+/// Probability in [0, 1]; the whole string must parse. 0 is allowed so a
+/// sweep axis can include the fault-free baseline.
+inline double parse_rate(const std::string& flag, const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() || errno != 0 ||
+      !(value >= 0.0) || value > 1.0) {
+    flag_error(flag, text, "a probability in [0, 1]");
+  }
+  return value;
+}
+
 /// Split "a,b,c" into non-empty elements; an empty element is a usage error.
 inline std::vector<std::string> split_list(const std::string& flag,
                                            const std::string& text) {

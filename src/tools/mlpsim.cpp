@@ -35,9 +35,25 @@ void usage() {
   --jobs N          concurrent simulations          (default 1)
   --no-flow-control / --no-rate-match / --record-barrier
   --bus-efficiency F  effective DRAM bus efficiency (default 0.30)
+  --fault-rate P    DRAM bit-flip probability per transferred bit
+                    (deterministic per seed; default 0 = off)
+  --fault-delay-rate P / --fault-drop-rate P
+                    per-transfer response delay / drop probability
+  --fault-seed N    fault-injection seed               (default 1)
+  --ecc             SECDED(72,64): correct single-bit flips, retry on
+                    detected multi-bit flips; charges 8/64 energy overhead
+  --watchdog-cycles N  abort a run (as a per-run error) after N step-loop
+                    iterations; 0 disables             (default 2e10)
+  --watchdog-stall N   livelock trip: error out after N iterations with no
+                    instruction retired and no DRAM byte transferred;
+                    0 disables                         (default 2e6)
   --csv             machine-readable one-line-per-run output
   --stats           dump every counter after each run
   --list            list architectures and benchmarks
+
+A failed run (bad config, watchdog trip, uncorrectable fault, verification
+mismatch) is reported on stderr with its diagnostic dump; remaining runs
+still execute and the exit status is nonzero.
 )");
 }
 
@@ -115,6 +131,21 @@ int main(int argc, char** argv) {
     } else if (arg == "--bus-efficiency") {
       options.cfg.dram.bus_efficiency =
           tools::parse_positive_double(arg, next());
+    } else if (arg == "--fault-rate") {
+      options.cfg.dram.fault.bit_flip_rate =
+          tools::parse_rate(arg, next());
+    } else if (arg == "--fault-delay-rate") {
+      options.cfg.dram.fault.delay_rate = tools::parse_rate(arg, next());
+    } else if (arg == "--fault-drop-rate") {
+      options.cfg.dram.fault.drop_rate = tools::parse_rate(arg, next());
+    } else if (arg == "--fault-seed") {
+      options.cfg.dram.fault.seed = tools::parse_u64(arg, next());
+    } else if (arg == "--ecc") {
+      options.cfg.dram.fault.ecc = true;
+    } else if (arg == "--watchdog-cycles") {
+      options.cfg.watchdog.max_cycles = tools::parse_u64(arg, next());
+    } else if (arg == "--watchdog-stall") {
+      options.cfg.watchdog.stall_cycles = tools::parse_u64(arg, next());
     } else if (arg == "--jobs" || arg == "-j") {
       jobs = tools::parse_u32(arg, next(), /*min=*/1);
     } else if (arg == "--no-flow-control") {
@@ -150,14 +181,22 @@ int main(int argc, char** argv) {
 
   if (csv) {
     std::printf("arch,bench,records,runtime_us,cycles,insts,insts_per_word,"
-                "clock_mhz,core_uj,dram_uj,leak_uj,row_miss_rate\n");
+                "clock_mhz,core_uj,dram_uj,leak_uj,row_miss_rate,"
+                "ecc_corrected,ecc_detected,fault_retries\n");
   }
+  auto stat_or_zero = [](const arch::RunResult& r, const char* key) {
+    const auto it = r.stats.find(key);
+    return it == r.stats.end() ? u64{0} : it->second;
+  };
   int exit_code = 0;
   for (const sim::MatrixResult& run : results) {
     if (!run.ok()) {
       std::fprintf(stderr, "RUN FAILED %s/%s: %s\n",
                    arch::arch_name(run.job.kind), run.job.bench.c_str(),
                    run.error.c_str());
+      if (!run.diagnostic.empty()) {
+        std::fprintf(stderr, "%s", run.diagnostic.c_str());
+      }
       exit_code = 1;
       continue;
     }
@@ -169,7 +208,8 @@ int main(int argc, char** argv) {
               ? run.job.options.records
               : sim::records_for(name, run.job.options.cfg,
                                  run.job.options.rows);
-      std::printf("%s,%s,%llu,%.3f,%llu,%llu,%.2f,%.0f,%.3f,%.3f,%.3f,%.4f\n",
+      std::printf("%s,%s,%llu,%.3f,%llu,%llu,%.2f,%.0f,%.3f,%.3f,%.3f,%.4f,"
+                  "%llu,%llu,%llu\n",
                   r.arch.c_str(), name.c_str(),
                   static_cast<unsigned long long>(records),
                   static_cast<double>(r.runtime_ps) / 1e6,
@@ -177,7 +217,13 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(r.thread_instructions),
                   r.insts_per_word, r.final_clock_mhz, r.energy.core_j * 1e6,
                   r.energy.dram_j * 1e6, r.energy.leak_j * 1e6,
-                  r.row_miss_rate);
+                  r.row_miss_rate,
+                  static_cast<unsigned long long>(
+                      stat_or_zero(r, "dram.ecc_corrected")),
+                  static_cast<unsigned long long>(
+                      stat_or_zero(r, "dram.ecc_detected")),
+                  static_cast<unsigned long long>(
+                      stat_or_zero(r, "dram.fault_retries")));
     } else {
       std::printf(
           "%-10s %-9s verified  rt=%9.2fus  clk=%4.0fMHz  "

@@ -31,15 +31,23 @@ Grid axes (comma-separated lists; each defaults to one paper-default point):
   --pf-entries LIST     prefetch buffer entries  (default 16)
   --bus-efficiency LIST effective bus efficiency (default 0.30)
   --rows LIST           data volume in DRAM rows (default 192)
+  --fault-rate LIST     DRAM bit-flip probability per transferred bit
+                        (default 0 = off)
 
 Scalars:
   --records N           absolute record count (overrides --rows sizing)
   --seed N              data generation seed     (default 1)
   --jobs N              concurrent simulations   (default: all hw threads)
+  --ecc                 SECDED(72,64) correction + retry on detection
+  --fault-seed N        fault-injection seed     (default 1)
+  --watchdog-cycles N / --watchdog-stall N
+                        forward-progress watchdog limits (0 disables)
 
 Output: one CSV row per grid point on stdout, config columns first. Rows
-appear in grid order regardless of --jobs. Failures go to stderr and make
-the exit status 1; the remaining points still run.
+appear in grid order regardless of --jobs. A failed point (bad config,
+watchdog trip, uncorrectable memory fault, verification mismatch) is
+reported on stderr with its diagnostic and makes the exit status 1; the
+remaining points still run, bit-identically for any --jobs.
 )");
 }
 
@@ -97,9 +105,13 @@ int main(int argc, char** argv) {
   std::vector<u32> pf_entries = {16};
   std::vector<double> bus_efficiencies = {0.30};
   std::vector<u64> rows = {sim::kDefaultRows};
+  std::vector<double> fault_rates = {0.0};
   u64 records = 0;
   u64 seed = 1;
   u32 jobs = 0;
+  bool ecc = false;
+  u64 fault_seed = 1;
+  WatchdogConfig watchdog;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -137,6 +149,19 @@ int main(int argc, char** argv) {
       for (const std::string& item : tools::split_list(arg, next())) {
         rows.push_back(tools::parse_u64(arg, item, /*min=*/1));
       }
+    } else if (arg == "--fault-rate") {
+      fault_rates.clear();
+      for (const std::string& item : tools::split_list(arg, next())) {
+        fault_rates.push_back(tools::parse_rate(arg, item));
+      }
+    } else if (arg == "--ecc") {
+      ecc = true;
+    } else if (arg == "--fault-seed") {
+      fault_seed = tools::parse_u64(arg, next());
+    } else if (arg == "--watchdog-cycles") {
+      watchdog.max_cycles = tools::parse_u64(arg, next());
+    } else if (arg == "--watchdog-stall") {
+      watchdog.stall_cycles = tools::parse_u64(arg, next());
     } else if (arg == "--records") {
       records = tools::parse_u64(arg, next(), /*min=*/1);
     } else if (arg == "--seed") {
@@ -157,15 +182,21 @@ int main(int argc, char** argv) {
         for (const u32 entries : pf_entries) {
           for (const double bus_eff : bus_efficiencies) {
             for (const u64 row_count : rows) {
-              sim::SuiteOptions options;
-              options.records = records;
-              options.rows = row_count;
-              options.seed = seed;
-              options.cfg.core.cores = core_count;
-              options.cfg.gpgpu.warp_width = core_count;
-              options.cfg.millipede.pf_entries = entries;
-              options.cfg.dram.bus_efficiency = bus_eff;
-              matrix.push_back({kind, bench, options, /*tag=*/""});
+              for (const double fault_rate : fault_rates) {
+                sim::SuiteOptions options;
+                options.records = records;
+                options.rows = row_count;
+                options.seed = seed;
+                options.cfg.core.cores = core_count;
+                options.cfg.gpgpu.warp_width = core_count;
+                options.cfg.millipede.pf_entries = entries;
+                options.cfg.dram.bus_efficiency = bus_eff;
+                options.cfg.dram.fault.bit_flip_rate = fault_rate;
+                options.cfg.dram.fault.ecc = ecc;
+                options.cfg.dram.fault.seed = fault_seed;
+                options.cfg.watchdog = watchdog;
+                matrix.push_back({kind, bench, options, /*tag=*/""});
+              }
             }
           }
         }
@@ -179,19 +210,27 @@ int main(int argc, char** argv) {
   const std::vector<sim::MatrixResult> results = sim::run_matrix(matrix, jobs);
 
   std::printf("arch,bench,cores,pf_entries,bus_efficiency,rows,records,seed,"
-              "runtime_us,cycles,insts,insts_per_word,clock_mhz,core_uj,"
-              "dram_uj,leak_uj,row_miss_rate\n");
+              "fault_rate,ecc,runtime_us,cycles,insts,insts_per_word,"
+              "clock_mhz,core_uj,dram_uj,leak_uj,row_miss_rate,"
+              "ecc_corrected,ecc_detected,fault_retries\n");
+  auto stat_or_zero = [](const arch::RunResult& r, const char* key) {
+    const auto it = r.stats.find(key);
+    return it == r.stats.end() ? u64{0} : it->second;
+  };
   int exit_code = 0;
   for (const sim::MatrixResult& run : results) {
     const sim::SuiteOptions& o = run.job.options;
     if (!run.ok()) {
       std::fprintf(stderr, "RUN FAILED %s/%s cores=%u pf=%u bus=%.2f "
-                   "rows=%llu: %s\n",
+                   "rows=%llu fault=%g: %s\n",
                    arch::arch_name(run.job.kind), run.job.bench.c_str(),
                    o.cfg.core.cores, o.cfg.millipede.pf_entries,
                    o.cfg.dram.bus_efficiency,
                    static_cast<unsigned long long>(o.rows),
-                   run.error.c_str());
+                   o.cfg.dram.fault.bit_flip_rate, run.error.c_str());
+      if (!run.diagnostic.empty()) {
+        std::fprintf(stderr, "%s", run.diagnostic.c_str());
+      }
       exit_code = 1;
       continue;
     }
@@ -200,18 +239,22 @@ int main(int argc, char** argv) {
         o.records != 0 ? o.records
                        : sim::records_for(run.job.bench, o.cfg, o.rows);
     std::printf(
-        "%s,%s,%u,%u,%.3f,%llu,%llu,%llu,%.3f,%llu,%llu,%.2f,%.0f,%.3f,"
-        "%.3f,%.3f,%.4f\n",
+        "%s,%s,%u,%u,%.3f,%llu,%llu,%llu,%g,%d,%.3f,%llu,%llu,%.2f,%.0f,"
+        "%.3f,%.3f,%.3f,%.4f,%llu,%llu,%llu\n",
         r.arch.c_str(), run.job.bench.c_str(), o.cfg.core.cores,
         o.cfg.millipede.pf_entries, o.cfg.dram.bus_efficiency,
         static_cast<unsigned long long>(o.rows),
         static_cast<unsigned long long>(run_records),
         static_cast<unsigned long long>(o.seed),
+        o.cfg.dram.fault.bit_flip_rate, o.cfg.dram.fault.ecc ? 1 : 0,
         static_cast<double>(r.runtime_ps) / 1e6,
         static_cast<unsigned long long>(r.compute_cycles),
         static_cast<unsigned long long>(r.thread_instructions),
         r.insts_per_word, r.final_clock_mhz, r.energy.core_j * 1e6,
-        r.energy.dram_j * 1e6, r.energy.leak_j * 1e6, r.row_miss_rate);
+        r.energy.dram_j * 1e6, r.energy.leak_j * 1e6, r.row_miss_rate,
+        static_cast<unsigned long long>(stat_or_zero(r, "dram.ecc_corrected")),
+        static_cast<unsigned long long>(stat_or_zero(r, "dram.ecc_detected")),
+        static_cast<unsigned long long>(stat_or_zero(r, "dram.fault_retries")));
   }
   return exit_code;
 }

@@ -7,6 +7,7 @@
 
 #include "common/clock.hpp"
 #include "common/config.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -186,13 +187,34 @@ TEST(Config, SystemSizeSweepValidates) {
 TEST(ConfigDeathTest, RejectsNonPow2Row) {
   MachineConfig cfg = MachineConfig::paper_defaults();
   cfg.dram.row_bytes = 1500;
-  EXPECT_DEATH(cfg.validate(), "row size");
+  EXPECT_THROW(cfg.validate(), SimError);
 }
 
 TEST(ConfigDeathTest, RejectsBadWarpWidth) {
   MachineConfig cfg = MachineConfig::paper_defaults();
   cfg.gpgpu.warp_width = 5;
-  EXPECT_DEATH(cfg.validate(), "warp width");
+  EXPECT_THROW(cfg.validate(), SimError);
+}
+
+TEST(Config, RejectsBadFaultRates) {
+  MachineConfig cfg = MachineConfig::paper_defaults();
+  cfg.dram.fault.bit_flip_rate = 1.5;
+  EXPECT_THROW(cfg.validate(), SimError);
+  cfg.dram.fault.bit_flip_rate = 1e-6;
+  cfg.dram.fault.max_retries = 0;
+  EXPECT_THROW(cfg.validate(), SimError);
+  cfg.dram.fault.max_retries = 3;
+  cfg.validate();  // sane fault config passes
+}
+
+TEST(Config, SimErrorCarriesKindAndDiagnostic) {
+  try {
+    throw SimError("watchdog", "stuck", "dump line\n");
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), "watchdog");
+    EXPECT_STREQ(e.what(), "watchdog: stuck");
+    EXPECT_EQ(e.diagnostic(), "dump line\n");
+  }
 }
 
 }  // namespace

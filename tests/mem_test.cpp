@@ -8,6 +8,7 @@
 #include <set>
 
 #include "common/config.hpp"
+#include "common/error.hpp"
 #include "mem/addrmap.hpp"
 #include "mem/cache.hpp"
 #include "mem/controller.hpp"
@@ -174,7 +175,7 @@ TEST_F(ControllerFixture, RejectsRowStraddlingRequest) {
   MemRequest req;
   req.addr = 2048 - 64;
   req.bytes = 128;  // crosses into the next row
-  EXPECT_DEATH(ctrl.try_push(std::move(req), now), "row boundary");
+  EXPECT_THROW(ctrl.try_push(std::move(req), now), SimError);
 }
 
 // --- Cache ---

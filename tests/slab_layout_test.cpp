@@ -8,6 +8,7 @@
 #include <set>
 
 #include "arch/system.hpp"
+#include "common/error.hpp"
 #include "workloads/binding.hpp"
 
 namespace mlp::workloads {
@@ -135,8 +136,7 @@ TEST(SlabLayout, TinyPrefetchWindowWorksContiguousOnly) {
   MachineConfig cfg = MachineConfig::paper_defaults();
   cfg.millipede.pf_entries = 4;
   // Field-major: a pca record needs 16 concurrent rows -> rejected.
-  EXPECT_DEATH(arch::run_arch(arch::ArchKind::kMillipede, cfg, wl),
-               "row footprint");
+  EXPECT_THROW(arch::run_arch(arch::ArchKind::kMillipede, cfg, wl), SimError);
   // Record-contiguous: one row per record -> 4 entries suffice.
   cfg.slab_layout = true;
   const arch::RunResult r =
@@ -150,8 +150,7 @@ TEST(SlabLayout, GpgpuRejectsContiguousLayout) {
   const Workload wl = make_bmla("count", params);
   MachineConfig cfg = MachineConfig::paper_defaults();
   cfg.slab_layout = true;
-  EXPECT_DEATH(arch::run_arch(arch::ArchKind::kGpgpu, cfg, wl),
-               "word-size columns");
+  EXPECT_THROW(arch::run_arch(arch::ArchKind::kGpgpu, cfg, wl), SimError);
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "arch/system.hpp"
+#include "common/error.hpp"
+#include "sim/runner.hpp"
 
 namespace mlp::arch {
 namespace {
@@ -60,8 +62,34 @@ TEST(Sweep, PrefetchBufferCountsVerifyAndHelp) {
 TEST(Sweep, WindowSmallerThanRecordFootprintFailsFast) {
   MachineConfig cfg = MachineConfig::paper_defaults();
   cfg.millipede.pf_entries = 8;  // < pca's 16 fields
-  EXPECT_DEATH(run_arch(ArchKind::kMillipede, cfg, wl("pca", 2048)),
-               "row footprint");
+  try {
+    run_arch(ArchKind::kMillipede, cfg, wl("pca", 2048));
+    FAIL() << "undersized window must be rejected";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), "config");
+    EXPECT_NE(std::string(e.what()).find("row footprint"), std::string::npos);
+  }
+}
+
+TEST(Sweep, MatrixIsolatesFailingPoint) {
+  // One undersized-window point in a matrix must land in its own
+  // MatrixResult::error; the surrounding jobs still run and verify.
+  sim::SuiteOptions good;
+  good.records = 2048;
+  sim::SuiteOptions bad = good;
+  bad.cfg.millipede.pf_entries = 8;  // < pca's 16 fields
+  const std::vector<sim::MatrixJob> jobs = {
+      {ArchKind::kMillipede, "count", good, ""},
+      {ArchKind::kMillipede, "pca", bad, ""},
+      {ArchKind::kMillipede, "variance", good, ""},
+  };
+  const std::vector<sim::MatrixResult> results = sim::run_matrix(jobs, 3);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok()) << results[0].error;
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_NE(results[1].error.find("row footprint"), std::string::npos)
+      << results[1].error;
+  EXPECT_TRUE(results[2].ok()) << results[2].error;
 }
 
 TEST(Sweep, SlabMappingAblationDestroysCoalescing) {
