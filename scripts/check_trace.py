@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Validate simulator observability artifacts (CI smoke checker).
+
+Usage:
+  check_trace.py --chrome-trace FILE [--require-kinds k1,k2,...]
+  check_trace.py --stats-json FILE
+  check_trace.py --interval-csv FILE
+
+Checks (stdlib only, no dependencies):
+  Chrome trace: document parses, has displayTimeUnit + traceEvents, event
+  timestamps are sorted, every event's tid has a thread_name metadata
+  record, B/E stall slices balance per track, and (optionally) all
+  --require-kinds event names appear at least once.
+  Stats JSON:  schema_version matches, every run entry has arch/bench/ok/
+  error/config, successful runs carry metrics and a non-empty counters
+  object of non-negative integers.
+  Interval CSV: header starts cycle,ps and ends row_hit_rate,ipc; rows are
+  rectangular; the cycle column strictly increases.
+
+Exit status 0 on success; prints the first violation and exits 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_chrome_trace(path, require_kinds):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("displayTimeUnit") not in ("ns", "ms"):
+        fail(f"{path}: missing/invalid displayTimeUnit")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+
+    thread_names = {}
+    process_named = False
+    last_ts = None
+    open_slices = {}
+    seen_kinds = {}
+    for i, event in enumerate(events):
+        ph = event.get("ph")
+        if ph == "M":
+            if event.get("name") == "process_name":
+                process_named = True
+            elif event.get("name") == "thread_name":
+                thread_names[event["tid"]] = event["args"]["name"]
+            continue
+        if ph not in ("B", "E", "i", "C"):
+            fail(f"{path}: event {i} has unknown phase {ph!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(f"{path}: event {i} has no numeric ts")
+        if last_ts is not None and ts < last_ts:
+            fail(f"{path}: event {i} unsorted (ts {ts} < {last_ts})")
+        last_ts = ts
+        tid = event.get("tid")
+        if tid not in thread_names:
+            fail(f"{path}: event {i} uses unnamed tid {tid}")
+        seen_kinds[event.get("name")] = seen_kinds.get(event.get("name"), 0) + 1
+        if ph == "B":
+            open_slices[tid] = open_slices.get(tid, 0) + 1
+        elif ph == "E":
+            if open_slices.get(tid, 0) <= 0:
+                fail(f"{path}: event {i} ends a slice that never began")
+            open_slices[tid] -= 1
+    if not process_named:
+        fail(f"{path}: no process_name metadata")
+    for tid, depth in open_slices.items():
+        if depth != 0:
+            fail(f"{path}: {depth} unclosed slice(s) on tid {tid}")
+    for kind in require_kinds:
+        if seen_kinds.get(kind, 0) == 0:
+            fail(f"{path}: required event kind {kind!r} never emitted "
+                 f"(saw: {sorted(seen_kinds)})")
+    print(f"check_trace: OK {path}: {sum(seen_kinds.values())} events, "
+          f"{len(thread_names)} named tracks, kinds={sorted(seen_kinds)}")
+
+
+def check_stats_json(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema_version") != 1:
+        fail(f"{path}: schema_version != 1")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail(f"{path}: runs missing or empty")
+    for i, run in enumerate(runs):
+        for field in ("arch", "bench", "tag", "ok", "error", "config"):
+            if field not in run:
+                fail(f"{path}: run {i} missing {field!r}")
+        if run["ok"]:
+            if run["error"]:
+                fail(f"{path}: run {i} ok but error set")
+            counters = run.get("counters")
+            if not isinstance(counters, dict) or not counters:
+                fail(f"{path}: run {i} ok but counters missing/empty")
+            for name, value in counters.items():
+                if not isinstance(value, int) or value < 0:
+                    fail(f"{path}: run {i} counter {name!r} not a "
+                         f"non-negative integer: {value!r}")
+            if "metrics" not in run:
+                fail(f"{path}: run {i} ok but metrics missing")
+        elif not run["error"]:
+            fail(f"{path}: run {i} failed but error empty")
+    print(f"check_trace: OK {path}: {len(runs)} run(s)")
+
+
+def check_interval_csv(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = [line.rstrip("\n") for line in fh if line.strip()]
+    if not lines:
+        fail(f"{path}: empty timeline")
+    header = lines[0].split(",")
+    if header[:2] != ["cycle", "ps"]:
+        fail(f"{path}: header must start cycle,ps")
+    if header[-2:] != ["row_hit_rate", "ipc"]:
+        fail(f"{path}: header must end row_hit_rate,ipc")
+    last_cycle = -1
+    for i, line in enumerate(lines[1:], start=2):
+        cells = line.split(",")
+        if len(cells) != len(header):
+            fail(f"{path}: line {i} has {len(cells)} cells, "
+                 f"header has {len(header)}")
+        cycle = int(cells[0])
+        if cycle <= last_cycle:
+            fail(f"{path}: line {i} cycle {cycle} not increasing")
+        last_cycle = cycle
+    print(f"check_trace: OK {path}: {len(lines) - 1} interval(s), "
+          f"{len(header)} columns")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--chrome-trace", action="append", default=[])
+    parser.add_argument("--stats-json", action="append", default=[])
+    parser.add_argument("--interval-csv", action="append", default=[])
+    parser.add_argument("--require-kinds", default="",
+                        help="comma-separated event names that must appear "
+                             "in every --chrome-trace file")
+    args = parser.parse_args()
+    if not (args.chrome_trace or args.stats_json or args.interval_csv):
+        parser.error("nothing to check")
+    kinds = [k for k in args.require_kinds.split(",") if k]
+    for path in args.chrome_trace:
+        check_chrome_trace(path, kinds)
+    for path in args.stats_json:
+        check_stats_json(path)
+    for path in args.interval_csv:
+        check_interval_csv(path)
+
+
+if __name__ == "__main__":
+    main()

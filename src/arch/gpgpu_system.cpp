@@ -35,10 +35,11 @@ struct GpgpuParts {
 
 /// Builds a fresh SM system of `width`-wide warps over the prepared input.
 GpgpuParts build(const MachineConfig& cfg, const workloads::Workload& wl,
-                 PreparedInput& input, u32 width) {
+                 PreparedInput& input, u32 width,
+                 trace::TraceSession* trace) {
   GpgpuParts parts;
-  parts.ctrl = std::make_unique<mem::MemoryController>(cfg.dram, "dram",
-                                                       &parts.stats);
+  parts.ctrl = std::make_unique<mem::MemoryController>(
+      cfg.dram, "dram", &parts.stats, trace);
   parts.ctrl->attach_image(&input.image);
   parts.backend = std::make_unique<mem::ControllerBackend>(parts.ctrl.get());
   const bool row = cfg.gpgpu.row_oriented;
@@ -61,7 +62,7 @@ GpgpuParts build(const MachineConfig& cfg, const workloads::Workload& wl,
       return layout.expected_slab_mask(r, c, cores);
     };
     parts.pb = std::make_unique<millipede::PrefetchBuffer>(
-        cfg, plan, parts.ctrl.get(), nullptr, &parts.stats, "pb");
+        cfg, plan, parts.ctrl.get(), nullptr, &parts.stats, "pb", trace);
   }
   parts.banking = std::make_unique<mem::SharedMemBanking>(
       cfg.gpgpu.shared_banks, mem::BankMapping::kLanePrivate);
@@ -80,6 +81,7 @@ GpgpuParts build(const MachineConfig& cfg, const workloads::Workload& wl,
   deps.pb = parts.pb.get();
   deps.banking = parts.banking.get();
   deps.stats = &parts.sm_stats;
+  deps.trace = trace;
   parts.sm =
       std::make_unique<gpgpu::StreamingMultiprocessor>(cfg, width, deps);
 
@@ -116,7 +118,8 @@ GpgpuParts build(const MachineConfig& cfg, const workloads::Workload& wl,
 
 /// Runs to completion (or until `max_warp_instructions` for VWS pilots).
 Picos run_loop(const MachineConfig& cfg, GpgpuParts& parts,
-               u64 max_warp_instructions, u64* cycles_out) {
+               u64 max_warp_instructions, u64* cycles_out,
+               trace::TraceSession* trace = nullptr) {
   ClockDomain compute(cfg.core.period_ps());
   ClockDomain channel(cfg.dram.period_ps());
   Picos now = 0;
@@ -125,14 +128,15 @@ Picos run_loop(const MachineConfig& cfg, GpgpuParts& parts,
     if (parts.pb) out += parts.pb->debug_dump();
     out += parts.ctrl->debug_dump();
     return out;
-  });
+  }, trace);
   while (!parts.sm->halted() &&
          parts.sm_stats.warp_instructions.value < max_warp_instructions) {
     watchdog.step(parts.sm_stats.thread_instructions.value +
-                  parts.ctrl->bytes_transferred());
+                  parts.ctrl->bytes_transferred(), now);
     if (compute.next_edge_ps() <= channel.next_edge_ps()) {
       now = compute.next_edge_ps();
       parts.sm->tick(now, compute.period_ps());
+      if (trace != nullptr) trace->tick_compute(compute.ticks(), now);
       compute.advance();
     } else {
       now = channel.next_edge_ps();
@@ -143,13 +147,15 @@ Picos run_loop(const MachineConfig& cfg, GpgpuParts& parts,
     }
   }
   *cycles_out = compute.ticks();
+  if (trace != nullptr) trace->finish_run(compute.ticks(), now);
   return now;
 }
 
 }  // namespace
 
 RunResult run_gpgpu(const MachineConfig& cfg,
-                    const workloads::Workload& workload, u64 seed) {
+                    const workloads::Workload& workload, u64 seed,
+                    trace::TraceSession* trace) {
   cfg.validate();
   MLP_SIM_CHECK(!cfg.slab_layout, "config",
                 "the GPGPU needs word-size columns for coalescing "
@@ -167,7 +173,10 @@ RunResult run_gpgpu(const MachineConfig& cfg,
     // 32-wide warps for the real run (Rogers et al. [41], coarse-grained).
     MachineConfig pilot_cfg = cfg;
     pilot_cfg.gpgpu.row_oriented = false;  // pilot on the plain input path
-    GpgpuParts pilot = build(pilot_cfg, workload, input, cfg.core.cores);
+    // The VWS pilot is untraced: its events and counters would pollute the
+    // real run's timeline.
+    GpgpuParts pilot = build(pilot_cfg, workload, input, cfg.core.cores,
+                             /*trace=*/nullptr);
     u64 cycles = 0;
     run_loop(pilot_cfg, pilot, /*max_warp_instructions=*/20000, &cycles);
     const double divergence =
@@ -180,14 +189,42 @@ RunResult run_gpgpu(const MachineConfig& cfg,
     input = prepare_input(cfg, workload, seed);
   }
 
-  GpgpuParts parts = build(cfg, workload, input, width);
+  GpgpuParts parts = build(cfg, workload, input, width, trace);
+  const char* arch_label = cfg.gpgpu.row_oriented
+                               ? "vws-row"
+                               : (cfg.gpgpu.vws ? "vws" : "gpgpu");
+  if (trace != nullptr) {
+    trace->begin_run(std::string(arch_label) + "/" + workload.name,
+                     &parts.stats);
+    const u32 groups = cfg.core.cores / width;
+    for (u32 g = 0; g < groups; ++g) {
+      for (u32 s2 = 0; s2 < cfg.core.contexts; ++s2) {
+        trace->set_track_name(g * cfg.core.contexts + s2,
+                              "w" + std::to_string(g) + "." +
+                                  std::to_string(s2));
+      }
+    }
+    for (u32 b = 0; b < cfg.dram.banks; ++b) {
+      trace->set_track_name(trace::kDramTrackBase + b,
+                            "dram.bank" + std::to_string(b));
+    }
+    if (parts.pb) {
+      trace->set_track_name(trace::kPrefetchTrack, "pb");
+      trace->add_gauge("pb.occupancy", [&parts] {
+        return static_cast<u64>(parts.pb->occupancy());
+      });
+    }
+    trace->set_track_name(trace::kWatchdogTrack, "watchdog");
+    trace->add_gauge("dram.queue", [&parts] {
+      return static_cast<u64>(parts.ctrl->queue_size());
+    });
+  }
   u64 cycles = 0;
   const Picos runtime =
-      run_loop(cfg, parts, /*max_warp_instructions=*/~0ull, &cycles);
+      run_loop(cfg, parts, /*max_warp_instructions=*/~0ull, &cycles, trace);
 
   RunResult result;
-  result.arch = cfg.gpgpu.row_oriented ? "vws-row"
-                                       : (cfg.gpgpu.vws ? "vws" : "gpgpu");
+  result.arch = arch_label;
   result.workload = workload.name;
   result.compute_cycles = cycles;
   result.runtime_ps = runtime;

@@ -18,7 +18,8 @@
 namespace mlp::arch {
 
 RunResult run_millipede(const MachineConfig& cfg,
-                        const workloads::Workload& workload, u64 seed) {
+                        const workloads::Workload& workload, u64 seed,
+                        trace::TraceSession* trace) {
   cfg.validate();
   PreparedInput input = prepare_input(cfg, workload, seed);
   // A record's field loads touch `record_row_footprint()` concurrent rows
@@ -32,7 +33,7 @@ RunResult run_millipede(const MachineConfig& cfg,
                 "prefetch window smaller than a record's row footprint");
 
   StatSet stats;
-  mem::MemoryController ctrl(cfg.dram, "dram", &stats);
+  mem::MemoryController ctrl(cfg.dram, "dram", &stats, trace);
   ctrl.attach_image(&input.image);
 
   ClockDomain compute(cfg.core.period_ps());
@@ -41,7 +42,7 @@ RunResult run_millipede(const MachineConfig& cfg,
   std::unique_ptr<millipede::RateMatcher> rate_matcher;
   if (cfg.millipede.rate_match) {
     rate_matcher = std::make_unique<millipede::RateMatcher>(
-        cfg.millipede, cfg.core, &compute, &stats, "rate");
+        cfg.millipede, cfg.core, &compute, &stats, "rate", trace);
   }
 
   millipede::RowPlan plan;
@@ -53,7 +54,7 @@ RunResult run_millipede(const MachineConfig& cfg,
     return layout.expected_slab_mask(row, corelet, cores);
   };
   millipede::PrefetchBuffer pb(cfg, plan, &ctrl, rate_matcher.get(), &stats,
-                               "pb");
+                               "pb", trace);
   // The software-barrier ablation compiles `bar` into the kernels; wire a
   // processor-wide barrier over the prefetch-buffer port when present.
   bool uses_bar = false;
@@ -78,7 +79,7 @@ RunResult run_millipede(const MachineConfig& cfg,
   corelets.reserve(cores);
   for (u32 c = 0; c < cores; ++c) {
     corelets.emplace_back(c, cfg.core, &workload.program, &locals[c],
-                          &input.image, port, &exec);
+                          &input.image, port, &exec, trace);
     for (u32 x = 0; x < cfg.core.contexts; ++x) {
       const workloads::ThreadSlice slice = input.layout.slice(
           workloads::ThreadMapping::kSlab, cores, cfg.core.contexts, c, x);
@@ -100,14 +101,39 @@ RunResult run_millipede(const MachineConfig& cfg,
   Watchdog watchdog(cfg.watchdog, "millipede", [&] {
     return "millipede state:\n" + dump_corelets(corelets) + pb.debug_dump() +
            ctrl.debug_dump();
-  });
+  }, trace);
+  const char* arch_label =
+      cfg.millipede.flow_control
+          ? (cfg.millipede.rate_match ? "millipede" : "millipede-no-rate-match")
+          : "millipede-no-flow-control";
+  if (trace != nullptr) {
+    trace->begin_run(std::string(arch_label) + "/" + workload.name, &stats);
+    trace::name_context_tracks(trace, cores, cfg.core.contexts);
+    for (u32 b = 0; b < cfg.dram.banks; ++b) {
+      trace->set_track_name(trace::kDramTrackBase + b,
+                            "dram.bank" + std::to_string(b));
+    }
+    trace->set_track_name(trace::kPrefetchTrack, "pb");
+    trace->set_track_name(trace::kRateMatchTrack, "rate");
+    trace->set_track_name(trace::kWatchdogTrack, "watchdog");
+    trace->add_gauge("pb.occupancy",
+                     [&pb] { return static_cast<u64>(pb.occupancy()); });
+    trace->add_gauge("pb.saturated", [&pb] {
+      return static_cast<u64>(pb.saturated_entries());
+    });
+    trace->add_gauge("dram.queue",
+                     [&ctrl] { return static_cast<u64>(ctrl.queue_size()); });
+    trace->add_gauge("clock.period_ps",
+                     [&compute] { return compute.period_ps(); });
+  }
   while (!all_halted()) {
-    watchdog.step(exec.instructions.value + ctrl.bytes_transferred());
+    watchdog.step(exec.instructions.value + ctrl.bytes_transferred(), now);
     if (compute.next_edge_ps() <= channel.next_edge_ps()) {
       now = compute.next_edge_ps();
       for (auto& corelet : corelets) {
         corelet.tick(now, compute.period_ps());
       }
+      if (trace != nullptr) trace->tick_compute(compute.ticks(), now);
       compute.advance();
     } else {
       now = channel.next_edge_ps();
@@ -117,11 +143,10 @@ RunResult run_millipede(const MachineConfig& cfg,
     }
   }
 
+  if (trace != nullptr) trace->finish_run(compute.ticks(), now);
+
   RunResult result;
-  result.arch = cfg.millipede.flow_control
-                    ? (cfg.millipede.rate_match ? "millipede"
-                                                : "millipede-no-rate-match")
-                    : "millipede-no-flow-control";
+  result.arch = arch_label;
   result.workload = workload.name;
   result.compute_cycles = compute.ticks();
   result.runtime_ps = now;

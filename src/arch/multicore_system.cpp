@@ -66,7 +66,8 @@ class MulticorePort : public core::GlobalPort {
 }  // namespace
 
 RunResult run_multicore(const MachineConfig& cfg,
-                        const workloads::Workload& workload, u64 seed) {
+                        const workloads::Workload& workload, u64 seed,
+                        trace::TraceSession* trace) {
   // Off-chip memory: one quarter of the die-stacked memory bandwidth. A
   // die-stacked cube exposes 4 channels, so the multicore's off-chip DRAM
   // gets one channel's worth of bandwidth (~DDR4-class).
@@ -81,7 +82,7 @@ RunResult run_multicore(const MachineConfig& cfg,
   PreparedInput input = prepare_input(mc, workload, seed);
 
   StatSet stats;
-  mem::MemoryController ctrl(mc.dram, "dram", &stats);
+  mem::MemoryController ctrl(mc.dram, "dram", &stats, trace);
   ctrl.attach_image(&input.image);
   mem::ControllerBackend backend(&ctrl);
 
@@ -123,7 +124,7 @@ RunResult run_multicore(const MachineConfig& cfg,
   corelets.reserve(cores);
   for (u32 c = 0; c < cores; ++c) {
     corelets.emplace_back(c, mc.core, &workload.program, &locals[c],
-                          &input.image, &port, &exec);
+                          &input.image, &port, &exec, trace);
     for (u32 x = 0; x < mc.core.contexts; ++x) {
       const workloads::ThreadSlice slice = input.layout.slice(
           workloads::ThreadMapping::kSlab, cores, mc.core.contexts, c, x);
@@ -144,9 +145,20 @@ RunResult run_multicore(const MachineConfig& cfg,
   };
   Watchdog watchdog(mc.watchdog, "multicore", [&] {
     return "multicore state:\n" + dump_corelets(corelets) + ctrl.debug_dump();
-  });
+  }, trace);
+  if (trace != nullptr) {
+    trace->begin_run(std::string("multicore/") + workload.name, &stats);
+    trace::name_context_tracks(trace, cores, mc.core.contexts);
+    for (u32 b = 0; b < mc.dram.banks; ++b) {
+      trace->set_track_name(trace::kDramTrackBase + b,
+                            "dram.bank" + std::to_string(b));
+    }
+    trace->set_track_name(trace::kWatchdogTrack, "watchdog");
+    trace->add_gauge("dram.queue",
+                     [&ctrl] { return static_cast<u64>(ctrl.queue_size()); });
+  }
   while (!all_halted()) {
-    watchdog.step(exec.instructions.value + ctrl.bytes_transferred());
+    watchdog.step(exec.instructions.value + ctrl.bytes_transferred(), now);
     if (compute.next_edge_ps() <= channel.next_edge_ps()) {
       now = compute.next_edge_ps();
       for (auto& corelet : corelets) {
@@ -156,6 +168,7 @@ RunResult run_multicore(const MachineConfig& cfg,
           corelet.tick(now, period);
         }
       }
+      if (trace != nullptr) trace->tick_compute(compute.ticks(), now);
       compute.advance();
     } else {
       now = channel.next_edge_ps();
@@ -165,6 +178,8 @@ RunResult run_multicore(const MachineConfig& cfg,
       channel.advance();
     }
   }
+
+  if (trace != nullptr) trace->finish_run(compute.ticks(), now);
 
   RunResult result;
   result.arch = "multicore";

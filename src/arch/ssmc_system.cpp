@@ -70,12 +70,13 @@ class SsmcPort : public core::GlobalPort {
 }  // namespace
 
 RunResult run_ssmc(const MachineConfig& cfg,
-                   const workloads::Workload& workload, u64 seed) {
+                   const workloads::Workload& workload, u64 seed,
+                   trace::TraceSession* trace) {
   cfg.validate();
   PreparedInput input = prepare_input(cfg, workload, seed);
 
   StatSet stats;
-  mem::MemoryController ctrl(cfg.dram, "dram", &stats);
+  mem::MemoryController ctrl(cfg.dram, "dram", &stats, trace);
   ctrl.attach_image(&input.image);
   mem::ControllerBackend backend(&ctrl);
 
@@ -117,7 +118,7 @@ RunResult run_ssmc(const MachineConfig& cfg,
   corelets.reserve(cores);
   for (u32 c = 0; c < cores; ++c) {
     corelets.emplace_back(c, cfg.core, &workload.program, &locals[c],
-                          &input.image, &port, &exec);
+                          &input.image, &port, &exec, trace);
     for (u32 x = 0; x < cfg.core.contexts; ++x) {
       const workloads::ThreadSlice slice = input.layout.slice(
           workloads::ThreadMapping::kSlab, cores, cfg.core.contexts, c, x);
@@ -139,14 +140,26 @@ RunResult run_ssmc(const MachineConfig& cfg,
   };
   Watchdog watchdog(cfg.watchdog, "ssmc", [&] {
     return "ssmc state:\n" + dump_corelets(corelets) + ctrl.debug_dump();
-  });
+  }, trace);
+  if (trace != nullptr) {
+    trace->begin_run(std::string("ssmc/") + workload.name, &stats);
+    trace::name_context_tracks(trace, cores, cfg.core.contexts);
+    for (u32 b = 0; b < cfg.dram.banks; ++b) {
+      trace->set_track_name(trace::kDramTrackBase + b,
+                            "dram.bank" + std::to_string(b));
+    }
+    trace->set_track_name(trace::kWatchdogTrack, "watchdog");
+    trace->add_gauge("dram.queue",
+                     [&ctrl] { return static_cast<u64>(ctrl.queue_size()); });
+  }
   while (!all_halted()) {
-    watchdog.step(exec.instructions.value + ctrl.bytes_transferred());
+    watchdog.step(exec.instructions.value + ctrl.bytes_transferred(), now);
     if (compute.next_edge_ps() <= channel.next_edge_ps()) {
       now = compute.next_edge_ps();
       for (auto& corelet : corelets) {
         corelet.tick(now, compute.period_ps());
       }
+      if (trace != nullptr) trace->tick_compute(compute.ticks(), now);
       compute.advance();
     } else {
       now = channel.next_edge_ps();
@@ -155,6 +168,8 @@ RunResult run_ssmc(const MachineConfig& cfg,
       channel.advance();
     }
   }
+
+  if (trace != nullptr) trace->finish_run(compute.ticks(), now);
 
   RunResult result;
   result.arch = "ssmc";

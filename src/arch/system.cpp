@@ -82,38 +82,39 @@ void fill_dram_stats(RunResult* result, const StatSet& stats) {
 }
 
 RunResult run_arch(ArchKind kind, const MachineConfig& cfg,
-                   const workloads::Workload& workload, u64 seed) {
+                   const workloads::Workload& workload, u64 seed,
+                   trace::TraceSession* trace) {
   MachineConfig tuned = cfg;
   switch (kind) {
     case ArchKind::kMillipede:
       tuned.millipede.flow_control = true;
       tuned.millipede.rate_match = true;
-      return run_millipede(tuned, workload, seed);
+      return run_millipede(tuned, workload, seed, trace);
     case ArchKind::kMillipedeNoFlowControl:
       tuned.millipede.flow_control = false;
       tuned.millipede.rate_match = false;
-      return run_millipede(tuned, workload, seed);
+      return run_millipede(tuned, workload, seed, trace);
     case ArchKind::kMillipedeNoRateMatch:
       tuned.millipede.flow_control = true;
       tuned.millipede.rate_match = false;
-      return run_millipede(tuned, workload, seed);
+      return run_millipede(tuned, workload, seed, trace);
     case ArchKind::kSsmc:
-      return run_ssmc(tuned, workload, seed);
+      return run_ssmc(tuned, workload, seed, trace);
     case ArchKind::kGpgpu:
       tuned.gpgpu.vws = false;
       tuned.gpgpu.row_oriented = false;
       tuned.gpgpu.warp_width = tuned.core.cores;
-      return run_gpgpu(tuned, workload, seed);
+      return run_gpgpu(tuned, workload, seed, trace);
     case ArchKind::kVws:
       tuned.gpgpu.vws = true;
       tuned.gpgpu.row_oriented = false;
-      return run_gpgpu(tuned, workload, seed);
+      return run_gpgpu(tuned, workload, seed, trace);
     case ArchKind::kVwsRow:
       tuned.gpgpu.vws = true;
       tuned.gpgpu.row_oriented = true;
-      return run_gpgpu(tuned, workload, seed);
+      return run_gpgpu(tuned, workload, seed, trace);
     case ArchKind::kMulticore:
-      return run_multicore(tuned, workload, seed);
+      return run_multicore(tuned, workload, seed, trace);
   }
   MLP_CHECK(false, "unknown architecture");
   return {};

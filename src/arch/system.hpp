@@ -12,6 +12,7 @@
 #include "core/corelet.hpp"
 #include "energy/energy.hpp"
 #include "mem/dram_image.hpp"
+#include "trace/trace.hpp"
 #include "workloads/binding.hpp"
 #include "workloads/bmla.hpp"
 
@@ -73,18 +74,25 @@ void fill_dram_stats(RunResult* result, const StatSet& stats);
 std::string dump_corelets(const std::vector<core::Corelet>& corelets);
 
 /// Run `workload` on the architecture selected by `kind` (dispatches to the
-/// concrete systems below).
+/// concrete systems below). An optional TraceSession captures typed events
+/// and interval timelines; it must outlive the call and is also written to
+/// (partially) when the run throws SimError.
 RunResult run_arch(ArchKind kind, const MachineConfig& cfg,
-                   const workloads::Workload& workload, u64 seed = 1);
+                   const workloads::Workload& workload, u64 seed = 1,
+                   trace::TraceSession* trace = nullptr);
 
 // Concrete system entry points.
 RunResult run_millipede(const MachineConfig& cfg,
-                        const workloads::Workload& workload, u64 seed);
+                        const workloads::Workload& workload, u64 seed,
+                        trace::TraceSession* trace = nullptr);
 RunResult run_ssmc(const MachineConfig& cfg,
-                   const workloads::Workload& workload, u64 seed);
+                   const workloads::Workload& workload, u64 seed,
+                   trace::TraceSession* trace = nullptr);
 RunResult run_gpgpu(const MachineConfig& cfg,
-                    const workloads::Workload& workload, u64 seed);
+                    const workloads::Workload& workload, u64 seed,
+                    trace::TraceSession* trace = nullptr);
 RunResult run_multicore(const MachineConfig& cfg,
-                        const workloads::Workload& workload, u64 seed);
+                        const workloads::Workload& workload, u64 seed,
+                        trace::TraceSession* trace = nullptr);
 
 }  // namespace mlp::arch

@@ -2,29 +2,35 @@
 
 #include <sstream>
 
+#include "common/error.hpp"
+
 namespace mlp {
 
 void StatSet::add(std::string name, const Counter* counter) {
   MLP_CHECK(counter != nullptr, "null counter");
-  MLP_CHECK(counters_.emplace(std::move(name), counter).second,
-            "duplicate counter name");
+  MLP_SIM_CHECK(counters_.count(name) == 0, "stat-duplicate",
+                "counter already registered: " + name);
+  counters_.emplace(std::move(name), counter);
 }
 
 void StatSet::add_scalar(std::string name, const double* scalar) {
   MLP_CHECK(scalar != nullptr, "null scalar");
-  MLP_CHECK(scalars_.emplace(std::move(name), scalar).second,
-            "duplicate scalar name");
+  MLP_SIM_CHECK(scalars_.count(name) == 0, "stat-duplicate",
+                "scalar already registered: " + name);
+  scalars_.emplace(std::move(name), scalar);
 }
 
 u64 StatSet::get(const std::string& name) const {
   auto it = counters_.find(name);
-  MLP_CHECK(it != counters_.end(), name.c_str());
+  MLP_SIM_CHECK(it != counters_.end(), "stat-missing",
+                "no counter named: " + name);
   return it->second->value;
 }
 
 double StatSet::get_scalar(const std::string& name) const {
   auto it = scalars_.find(name);
-  MLP_CHECK(it != scalars_.end(), name.c_str());
+  MLP_SIM_CHECK(it != scalars_.end(), "stat-missing",
+                "no scalar named: " + name);
   return *it->second;
 }
 

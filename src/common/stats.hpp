@@ -23,13 +23,17 @@ struct Counter {
 /// counters; it does not own them and must not outlive them.
 class StatSet {
  public:
+  /// Register a counter/scalar; throws SimError("stat-duplicate") when the
+  /// name is already taken (two components claiming one prefix is a wiring
+  /// bug, but a recoverable per-job one).
   void add(std::string name, const Counter* counter);
   void add_scalar(std::string name, const double* scalar);
 
-  /// Value of a registered counter; aborts if absent (test convenience).
+  /// Value of a registered counter; throws SimError("stat-missing") if
+  /// absent (recoverable, consistent with the run-path error policy).
   u64 get(const std::string& name) const;
 
-  /// Value of a registered scalar; aborts if absent.
+  /// Value of a registered scalar; throws SimError("stat-missing") if absent.
   double get_scalar(const std::string& name) const;
 
   bool has(const std::string& name) const { return counters_.count(name) != 0; }

@@ -20,6 +20,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "trace/trace.hpp"
 
 namespace mlp {
 
@@ -40,31 +41,39 @@ class Watchdog {
   /// `dump` is invoked only on trip, to snapshot the machine state into the
   /// SimError diagnostic; it may be empty.
   Watchdog(const WatchdogConfig& cfg, std::string arch,
-           std::function<std::string()> dump)
-      : cfg_(cfg), arch_(std::move(arch)), dump_(std::move(dump)) {}
+           std::function<std::string()> dump,
+           trace::TraceSession* trace = nullptr)
+      : cfg_(cfg), arch_(std::move(arch)), dump_(std::move(dump)),
+        trace_(trace) {}
 
   /// Call once per main-loop iteration with a monotonic progress signature
   /// (e.g. instructions retired + DRAM bytes transferred). Throws SimError
-  /// on ceiling overrun or livelock.
-  void step(u64 progress_signature) {
+  /// on ceiling overrun or livelock. `now` is only used to timestamp the
+  /// trip event in an attached trace.
+  void step(u64 progress_signature, Picos now = 0) {
     ++iterations_;
     if (progress_signature != last_progress_) {
       last_progress_ = progress_signature;
       stalled_ = 0;
     } else if (cfg_.stall_cycles != 0 && ++stalled_ >= cfg_.stall_cycles) {
-      trip("no instruction retired and no DRAM response for " +
-           std::to_string(stalled_) + " step-loop iterations (livelock)");
+      trip(now,
+           "no instruction retired and no DRAM response for " +
+               std::to_string(stalled_) + " step-loop iterations (livelock)");
     }
     if (cfg_.max_cycles != 0 && iterations_ >= cfg_.max_cycles) {
-      trip("cycle ceiling of " + std::to_string(cfg_.max_cycles) +
-           " step-loop iterations exceeded");
+      trip(now, "cycle ceiling of " + std::to_string(cfg_.max_cycles) +
+                    " step-loop iterations exceeded");
     }
   }
 
   u64 iterations() const { return iterations_; }
 
  private:
-  [[noreturn]] void trip(const std::string& why) const {
+  [[noreturn]] void trip(Picos now, const std::string& why) const {
+    if (trace_ != nullptr) {
+      trace_->emit(trace::Domain::kCompute, trace::EventKind::kWatchdogTrip,
+                   now, trace::kWatchdogTrack, iterations_);
+    }
     throw SimError("watchdog", arch_ + ": " + why,
                    dump_ ? dump_() : std::string());
   }
@@ -72,6 +81,7 @@ class Watchdog {
   WatchdogConfig cfg_;
   std::string arch_;
   std::function<std::string()> dump_;
+  trace::TraceSession* trace_ = nullptr;
   u64 iterations_ = 0;
   u64 stalled_ = 0;
   u64 last_progress_ = ~u64{0};

@@ -4,7 +4,8 @@ namespace mlp::core {
 
 Corelet::Corelet(u32 core_id, const CoreConfig& cfg,
                  const isa::Program* program, mem::LocalStore* local,
-                 mem::DramImage* dram, GlobalPort* port, ExecStats* stats)
+                 mem::DramImage* dram, GlobalPort* port, ExecStats* stats,
+                 trace::TraceSession* trace)
     : core_id_(core_id),
       cfg_(cfg),
       program_(program),
@@ -12,6 +13,7 @@ Corelet::Corelet(u32 core_id, const CoreConfig& cfg,
       dram_(dram),
       port_(port),
       stats_(stats),
+      trace_(trace),
       contexts_(cfg.contexts) {
   MLP_CHECK(program_ != nullptr && local_ != nullptr && dram_ != nullptr &&
                 port_ != nullptr && stats_ != nullptr,
@@ -51,11 +53,32 @@ void Corelet::tick(Picos now, Picos period_ps) {
   if (kind == StepKind::kGlobalLoad) {
     const Addr addr = global_addr(ctx, instr);
     ctx.state = Context::State::kWaitMem;  // callback may fire synchronously
-    const PortResult port_result = port_->load(
-        core_id_, chosen_index, addr, now, [&ctx](Picos at) {
-          ctx.state = Context::State::kReady;
-          ctx.ready_at = at;
-        });
+    PortResult port_result;
+    if (trace_ == nullptr) {
+      port_result = port_->load(core_id_, chosen_index, addr, now,
+                                [&ctx](Picos at) {
+                                  ctx.state = Context::State::kReady;
+                                  ctx.ready_at = at;
+                                });
+    } else {
+      // A stall slice is only real once the load actually pends; both edges
+      // are emitted at wake time (begin carries the issue timestamp — the
+      // exporter orders by ts), so synchronous hits add no events. The fat
+      // capture is trace-only: the hot path above keeps its two-pointer
+      // closure inside std::function's small-buffer optimisation.
+      trace::TraceSession* trace = trace_;
+      const u32 track = core_id_ * cfg_.contexts + chosen_index;
+      port_result = port_->load(
+          core_id_, chosen_index, addr, now,
+          [&ctx, trace, track, addr, now](Picos at) {
+            trace->emit(trace::Domain::kCompute,
+                        trace::EventKind::kStallBegin, now, track, addr);
+            trace->emit(trace::Domain::kCompute, trace::EventKind::kStallEnd,
+                        at, track, addr);
+            ctx.state = Context::State::kReady;
+            ctx.ready_at = at;
+          });
+    }
     if (port_result.status == PortStatus::kRetry) {
       ctx.state = Context::State::kReady;
       stats_->retry_stalls.inc();

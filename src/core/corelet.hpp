@@ -12,6 +12,7 @@
 #include "common/stats.hpp"
 #include "core/functional.hpp"
 #include "core/port.hpp"
+#include "trace/trace.hpp"
 
 namespace mlp::core {
 
@@ -44,7 +45,7 @@ class Corelet {
  public:
   Corelet(u32 core_id, const CoreConfig& cfg, const isa::Program* program,
           mem::LocalStore* local, mem::DramImage* dram, GlobalPort* port,
-          ExecStats* stats);
+          ExecStats* stats, trace::TraceSession* trace = nullptr);
 
   /// One compute-clock edge: issue at most one instruction.
   /// `period_ps` is the current compute period (DFS may change it).
@@ -65,6 +66,7 @@ class Corelet {
   mem::DramImage* dram_;
   GlobalPort* port_;
   ExecStats* stats_;
+  trace::TraceSession* trace_;
 
   std::vector<Context> contexts_;
   u32 rr_next_ = 0;

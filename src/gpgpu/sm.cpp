@@ -29,6 +29,23 @@ StreamingMultiprocessor::StreamingMultiprocessor(const MachineConfig& cfg,
   for (u32 g = 0; g < groups_; ++g) {
     for (u32 s = 0; s < cfg.core.contexts; ++s) warps_.emplace_back(warp_width_);
   }
+  for (u32 i = 0; i < warps_.size(); ++i) warps_[i].track = i;
+}
+
+void StreamingMultiprocessor::fill_done(Warp& warp, Picos at) {
+  warp.latest_fill = std::max(warp.latest_fill, at);
+  MLP_CHECK(warp.outstanding > 0, "spurious fill");
+  if (--warp.outstanding == 0) {
+    if (deps_.trace != nullptr && warp.waiting) {
+      deps_.trace->emit(trace::Domain::kCompute,
+                        trace::EventKind::kStallBegin, warp.wait_began,
+                        warp.track);
+      deps_.trace->emit(trace::Domain::kCompute, trace::EventKind::kStallEnd,
+                        warp.latest_fill, warp.track);
+    }
+    warp.waiting = false;
+    warp.ready_at = warp.latest_fill;
+  }
 }
 
 core::Context& StreamingMultiprocessor::context(u32 group, u32 slot,
@@ -73,24 +90,12 @@ void StreamingMultiprocessor::tick(Picos now, Picos period_ps) {
       while (!warp.retry_lines.empty()) {
         const Addr line = warp.retry_lines.back();
         const auto status = deps_.l1d->access(
-            line, /*is_write=*/false, now, [&warp](Picos at) {
-              warp.latest_fill = std::max(warp.latest_fill, at);
-              MLP_CHECK(warp.outstanding > 0, "spurious fill");
-              if (--warp.outstanding == 0) {
-                warp.waiting = false;
-                warp.ready_at = warp.latest_fill;
-              }
-            });
+            line, /*is_write=*/false, now,
+            [this, &warp](Picos at) { fill_done(warp, at); });
         if (status == mem::AccessStatus::kMshrFull) break;
         warp.retry_lines.pop_back();
         if (status == mem::AccessStatus::kHit) {
-          warp.latest_fill =
-              std::max(warp.latest_fill, now + deps_.l1d->hit_latency_ps());
-          MLP_CHECK(warp.outstanding > 0, "retry bookkeeping");
-          if (--warp.outstanding == 0) {
-            warp.waiting = false;
-            warp.ready_at = warp.latest_fill;
-          }
+          fill_done(warp, now + deps_.l1d->hit_latency_ps());
         }
       }
     }
@@ -251,14 +256,8 @@ void StreamingMultiprocessor::issue(Warp& warp, u32 group, Picos now,
           ctx.pc = pc;
           const Addr addr = core::global_addr(ctx, instr);
           const auto result = deps_.pb->load(
-              lane_id(group, l), 0, addr, now, [&warp](Picos at) {
-                warp.latest_fill = std::max(warp.latest_fill, at);
-                MLP_CHECK(warp.outstanding > 0, "spurious wakeup");
-                if (--warp.outstanding == 0) {
-                  warp.waiting = false;
-                  warp.ready_at = warp.latest_fill;
-                }
-              });
+              lane_id(group, l), 0, addr, now,
+              [this, &warp](Picos at) { fill_done(warp, at); });
           step_lane(l);
           if (result.status == core::PortStatus::kDone) {
             warp.latest_fill = std::max(warp.latest_fill, result.ready_at);
@@ -295,7 +294,7 @@ void StreamingMultiprocessor::issue(Warp& warp, u32 group, Picos now,
                                            cfg_.gpgpu.l1_hit_latency) *
                                            period_ps);
       } else {
-        warp.waiting = true;
+        begin_wait(warp, now);
       }
       break;
     }
@@ -305,14 +304,8 @@ void StreamingMultiprocessor::issue(Warp& warp, u32 group, Picos now,
 void StreamingMultiprocessor::start_line_fill(Warp& warp, Addr line,
                                               Picos now) {
   const auto status = deps_.l1d->access(
-      line, /*is_write=*/false, now, [&warp](Picos at) {
-        warp.latest_fill = std::max(warp.latest_fill, at);
-        MLP_CHECK(warp.outstanding > 0, "spurious fill");
-        if (--warp.outstanding == 0) {
-          warp.waiting = false;
-          warp.ready_at = warp.latest_fill;
-        }
-      });
+      line, /*is_write=*/false, now,
+      [this, &warp](Picos at) { fill_done(warp, at); });
   switch (status) {
     case mem::AccessStatus::kHit:
       warp.latest_fill =
@@ -320,12 +313,12 @@ void StreamingMultiprocessor::start_line_fill(Warp& warp, Addr line,
       break;
     case mem::AccessStatus::kMiss:
       ++warp.outstanding;
-      warp.waiting = true;
+      begin_wait(warp, now);
       break;
     case mem::AccessStatus::kMshrFull:
       warp.retry_lines.push_back(line);
       ++warp.outstanding;  // accounted so the warp stays blocked
-      warp.waiting = true;
+      begin_wait(warp, now);
       break;
   }
 }

@@ -25,6 +25,7 @@
 #include "mem/prefetcher.hpp"
 #include "mem/sharedmem.hpp"
 #include "millipede/prefetch_buffer.hpp"
+#include "trace/trace.hpp"
 
 namespace mlp::gpgpu {
 
@@ -68,6 +69,7 @@ class StreamingMultiprocessor {
     millipede::PrefetchBuffer* pb = nullptr;          ///< input path (row)
     const mem::SharedMemBanking* banking = nullptr;
     SmStats* stats = nullptr;
+    trace::TraceSession* trace = nullptr;
   };
 
   StreamingMultiprocessor(const MachineConfig& cfg, u32 warp_width, Deps deps);
@@ -96,6 +98,8 @@ class StreamingMultiprocessor {
     Picos ready_at = 0;
     u32 outstanding = 0;
     Picos latest_fill = 0;
+    Picos wait_began = 0;  ///< issue time of the blocking load (trace)
+    u32 track = 0;         ///< trace track id (warp index)
     std::vector<Addr> retry_lines;  ///< lines bounced by a full MSHR
 
     explicit Warp(u32 width) : stack(width), lanes(width) {}
@@ -106,6 +110,14 @@ class StreamingMultiprocessor {
 
   void issue(Warp& warp, u32 group, Picos now, Picos period_ps);
   void start_line_fill(Warp& warp, Addr line, Picos now);
+  /// One outstanding line/word fill arrived at `at`; releases the warp (and
+  /// closes its trace stall slice) when it was the last one.
+  void fill_done(Warp& warp, Picos at);
+  /// Marks the warp blocked on global fills, latching the stall begin time.
+  void begin_wait(Warp& warp, Picos now) {
+    if (!warp.waiting) warp.wait_began = now;
+    warp.waiting = true;
+  }
   u32 lane_id(u32 group, u32 lane_in_warp) const {
     return group * warp_width_ + lane_in_warp;
   }

@@ -8,8 +8,10 @@
 namespace mlp::mem {
 
 MemoryController::MemoryController(const DramConfig& cfg,
-                                   std::string stat_prefix, StatSet* stats)
+                                   std::string stat_prefix, StatSet* stats,
+                                   trace::TraceSession* trace)
     : cfg_(cfg),
+      trace_(trace),
       map_(cfg),
       period_ps_(cfg.period_ps()),
       bytes_per_cycle_(cfg.bytes_per_cycle()),
@@ -50,12 +52,19 @@ bool MemoryController::try_push(MemRequest request, Picos now) {
   return true;
 }
 
-Picos MemoryController::apply_faults(const MemRequest& request,
+Picos MemoryController::apply_faults(const MemRequest& request, Picos now,
                                      bool* needs_retry) {
   TransferFaults faults = injector_->draw(request.bytes);
   Picos extra = 0;
   if (faults.delayed) extra += cycles(cfg_.fault.delay_cycles);
   if (faults.dropped) *needs_retry = true;
+  if (trace_ != nullptr &&
+      (faults.delayed || faults.dropped || !faults.flipped_bits.empty())) {
+    const u64 kind = !faults.flipped_bits.empty() ? 1 : faults.delayed ? 2 : 3;
+    trace_->emit(trace::Domain::kChannel, trace::EventKind::kFault, now,
+                 trace::kDramTrackBase + map_.decode(request.addr).bank,
+                 request.addr, kind);
+  }
 
   if (!faults.flipped_bits.empty()) {
     if (cfg_.fault.ecc) {
@@ -98,6 +107,7 @@ bool MemoryController::try_issue(Pending& pending, Picos now,
   const bool row_hit = bank.has_open_row && bank.open_row == pending.coord.row;
   if (row_hit_only && !row_hit) return false;
 
+  const u32 bank_track = trace::kDramTrackBase + pending.coord.bank;
   Picos cas_start;
   if (row_hit) {
     cas_start = now;
@@ -107,7 +117,12 @@ bool MemoryController::try_issue(Pending& pending, Picos now,
     if (bank.has_open_row) {
       // Respect tRAS before precharging the currently open row.
       const Picos ras_done = bank.activated_at + cycles(cfg_.t_ras);
-      start = std::max(start, ras_done) + cycles(cfg_.t_rp);
+      const Picos pre_start = std::max(start, ras_done);
+      start = pre_start + cycles(cfg_.t_rp);
+      if (trace_ != nullptr) {
+        trace_->emit(trace::Domain::kChannel, trace::EventKind::kDramPrecharge,
+                     pre_start, bank_track, bank.open_row);
+      }
     }
     const Picos act_start = start;
     cas_start = act_start + cycles(cfg_.t_rcd);
@@ -115,6 +130,10 @@ bool MemoryController::try_issue(Pending& pending, Picos now,
     bank.open_row = pending.coord.row;
     bank.activated_at = act_start;
     row_misses_.inc();
+    if (trace_ != nullptr) {
+      trace_->emit(trace::Domain::kChannel, trace::EventKind::kDramActivate,
+                   act_start, bank_track, pending.coord.row);
+    }
   }
 
   const Picos data_start =
@@ -130,13 +149,19 @@ bool MemoryController::try_issue(Pending& pending, Picos now,
   } else {
     reads_.inc();
   }
+  if (trace_ != nullptr) {
+    trace_->emit(trace::Domain::kChannel,
+                 pending.request.is_write ? trace::EventKind::kDramWrite
+                                          : trace::EventKind::kDramRead,
+                 data_start, bank_track, pending.coord.row, row_hit ? 1 : 0);
+  }
 
   InFlight transfer;
   transfer.attempts = pending.attempts;
   if (injector_ != nullptr) {
     // Fault draw at issue: the injected delay lands on the response time
     // only (the bus/bank occupancy above is the physical transfer).
-    data_end += apply_faults(pending.request, &transfer.needs_retry);
+    data_end += apply_faults(pending.request, now, &transfer.needs_retry);
   }
   transfer.request = std::move(pending.request);
   transfer.done_at = data_end;

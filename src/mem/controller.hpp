@@ -31,13 +31,14 @@
 #include "mem/dram_image.hpp"
 #include "mem/fault.hpp"
 #include "mem/req.hpp"
+#include "trace/trace.hpp"
 
 namespace mlp::mem {
 
 class MemoryController {
  public:
   MemoryController(const DramConfig& cfg, std::string stat_prefix,
-                   StatSet* stats);
+                   StatSet* stats, trace::TraceSession* trace = nullptr);
 
   /// Functional image backing this channel; only consulted by the fault
   /// model (no-ECC bit flips corrupt the transferred bytes in place).
@@ -115,13 +116,14 @@ class MemoryController {
 
   /// Draw and apply this transfer's injected faults; returns the extra
   /// response latency and sets `needs_retry` for drops / ECC detections.
-  Picos apply_faults(const MemRequest& request, bool* needs_retry);
+  Picos apply_faults(const MemRequest& request, Picos now, bool* needs_retry);
 
   /// Re-enqueue a transfer whose response was dropped or failed ECC; throws
   /// SimError("memory-fault") once the retry budget is exhausted.
   void requeue(InFlight&& transfer, Picos now);
 
   DramConfig cfg_;
+  trace::TraceSession* trace_ = nullptr;
   AddressMap map_;
   Picos period_ps_;
   u32 bytes_per_cycle_;

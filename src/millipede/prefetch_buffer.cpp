@@ -10,11 +10,13 @@ namespace mlp::millipede {
 PrefetchBuffer::PrefetchBuffer(const MachineConfig& cfg, RowPlan plan,
                                mem::MemoryController* ctrl,
                                RateMatcher* rate_matcher, StatSet* stats,
-                               const std::string& prefix)
+                               const std::string& prefix,
+                               trace::TraceSession* trace)
     : cfg_(cfg),
       plan_(std::move(plan)),
       ctrl_(ctrl),
       rate_matcher_(rate_matcher),
+      trace_(trace),
       num_entries_(cfg.millipede.pf_entries),
       slab_bytes_(cfg.dram.row_bytes / cfg.core.cores),
       slab_words_(slab_bytes_ / 4),
@@ -106,6 +108,10 @@ void PrefetchBuffer::issue_prefetch(u64 row, Picos now) {
   req.is_prefetch = true;
   req.on_complete = [this, row](Picos at) { on_fill(row, at); };
   row_prefetches_.inc();
+  if (trace_ != nullptr) {
+    trace_->emit(trace::Domain::kChannel, trace::EventKind::kPrefetchIssue,
+                 now, trace::kPrefetchTrack, row);
+  }
   if (!ctrl_->try_push(req, now)) issue_queue_.push_back(std::move(req));
 }
 
@@ -120,6 +126,10 @@ void PrefetchBuffer::on_fill(u64 row, Picos at) {
   Entry* entry = find(row);
   if (entry == nullptr) return;  // evicted before arrival (no flow control)
   entry->filled = true;
+  if (trace_ != nullptr) {
+    trace_->emit(trace::Domain::kChannel, trace::EventKind::kPrefetchFill, at,
+                 trace::kPrefetchTrack, row);
+  }
   auto waiters = std::move(entry->waiters);
   entry->waiters.clear();
   for (auto& waiter : waiters) waiter(at + hit_latency_ps_);
@@ -140,11 +150,16 @@ void PrefetchBuffer::retire_saturated_heads(Picos now) {
         retired_rows_ > 2ull * num_entries_) {
       if (head.demanded_before_fill) {
         votes_memory_.inc();
-        rate_matcher_->vote_memory_bound();
+        rate_matcher_->vote_memory_bound(now);
       } else {
         votes_compute_.inc();
-        rate_matcher_->vote_compute_bound();
+        rate_matcher_->vote_compute_bound(now);
       }
+    }
+    if (trace_ != nullptr) {
+      trace_->emit(trace::Domain::kChannel, trace::EventKind::kPrefetchRetire,
+                   now, trace::kPrefetchTrack, head.row,
+                   (u64{head.df} << 1) | (head.pft ? 1 : 0));
     }
     ++retired_rows_;
     head.valid = false;
@@ -176,6 +191,11 @@ void PrefetchBuffer::trigger(Picos now, bool force_evict) {
     Entry& head = entries_[head_];
     if (head.df < cfg_.core.cores || !head.filled) {
       premature_evictions_.inc();
+      if (trace_ != nullptr) {
+        trace_->emit(trace::Domain::kChannel, trace::EventKind::kPrefetchEvict,
+                     now, trace::kPrefetchTrack, head.row,
+                     (u64{head.df} << 1) | (head.pft ? 1 : 0));
+      }
       // Orphaned waiters must still get data: direct slab fetches.
       for (auto& waiter : head.waiters) {
         mem::MemRequest req;
@@ -323,6 +343,11 @@ core::PortResult PrefetchBuffer::load(u32 core, u32 /*ctx*/, Addr addr,
   if (entry->pft) {
     entry->pft = false;
     ++pending_triggers_;
+    if (trace_ != nullptr) {
+      trace_->emit(trace::Domain::kCompute, trace::EventKind::kPrefetchFirstUse,
+                   now, trace::kPrefetchTrack, row,
+                   (u64{entry->df} << 1) | (was_filled ? 1 : 0));
+    }
   }
   if (head_retires) {
     retire_saturated_heads(now);  // also runs trigger()

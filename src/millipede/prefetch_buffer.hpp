@@ -28,6 +28,7 @@
 #include "core/port.hpp"
 #include "mem/controller.hpp"
 #include "millipede/rate_match.hpp"
+#include "trace/trace.hpp"
 
 namespace mlp::millipede {
 
@@ -46,7 +47,8 @@ class PrefetchBuffer : public core::GlobalPort {
  public:
   PrefetchBuffer(const MachineConfig& cfg, RowPlan plan,
                  mem::MemoryController* ctrl, RateMatcher* rate_matcher,
-                 StatSet* stats, const std::string& prefix);
+                 StatSet* stats, const std::string& prefix,
+                 trace::TraceSession* trace = nullptr);
 
   /// Issue the initial row prefetches (fills the queue) before kernel start.
   void prime(Picos now);
@@ -63,6 +65,14 @@ class PrefetchBuffer : public core::GlobalPort {
 
   // Observability for tests and the rate matcher.
   u32 occupancy() const { return count_; }
+  /// Entries whose DF counter saturated (every corelet consumed its slab).
+  u32 saturated_entries() const {
+    u32 n = 0;
+    for (u32 i = 0; i < count_; ++i) {
+      if (entries_[(head_ + i) % num_entries_].df >= cfg_.core.cores) ++n;
+    }
+    return n;
+  }
   u64 premature_evictions() const { return premature_evictions_.value; }
   u64 direct_fetches() const { return direct_fetches_.value; }
 
@@ -105,6 +115,7 @@ class PrefetchBuffer : public core::GlobalPort {
   RowPlan plan_;
   mem::MemoryController* ctrl_;
   RateMatcher* rate_matcher_;
+  trace::TraceSession* trace_ = nullptr;
 
   u32 num_entries_;
   u32 slab_bytes_;

@@ -4,11 +4,13 @@ namespace mlp::millipede {
 
 RateMatcher::RateMatcher(const MillipedeConfig& cfg, const CoreConfig& core,
                          ClockDomain* compute_clock, StatSet* stats,
-                         const std::string& prefix)
+                         const std::string& prefix,
+                         trace::TraceSession* trace)
     : cfg_(cfg),
       nominal_period_ps_(core.period_ps()),
       max_period_ps_(period_ps_from_hz(cfg.min_clock_mhz * 1e6)),
-      clock_(compute_clock) {
+      clock_(compute_clock),
+      trace_(trace) {
   MLP_CHECK(clock_ != nullptr, "rate matcher needs a clock");
   if (stats != nullptr) {
     stats->add(prefix + ".steps_down", &steps_down_);
@@ -16,17 +18,17 @@ RateMatcher::RateMatcher(const MillipedeConfig& cfg, const CoreConfig& core,
   }
 }
 
-void RateMatcher::vote_memory_bound() {
+void RateMatcher::vote_memory_bound(Picos now) {
   ++memory_votes_;
-  maybe_step();
+  maybe_step(now);
 }
 
-void RateMatcher::vote_compute_bound() {
+void RateMatcher::vote_compute_bound(Picos now) {
   ++compute_votes_;
-  maybe_step();
+  maybe_step(now);
 }
 
-void RateMatcher::maybe_step() {
+void RateMatcher::maybe_step(Picos now) {
   if (memory_votes_ + compute_votes_ < cfg_.rate_window) return;
   // Seek the EDGE of memory-boundedness: the ideal operating point keeps
   // memory the bottleneck (virtually every row demanded before its data
@@ -52,6 +54,12 @@ void RateMatcher::maybe_step() {
     steps_up_.inc();
   }
   clock_->set_period_ps(period);
+  if (trace_ != nullptr) {
+    // Frequency in kHz keeps the value integral (1e9 / period_ps * 1e6).
+    const u64 khz = 1000000000ull / period;
+    trace_->emit(trace::Domain::kCompute, trace::EventKind::kFreqStep, now,
+                 trace::kRateMatchTrack, period, khz);
+  }
 }
 
 }  // namespace mlp::millipede

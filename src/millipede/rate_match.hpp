@@ -15,6 +15,7 @@
 #include "common/clock.hpp"
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace mlp::millipede {
 
@@ -22,21 +23,23 @@ class RateMatcher {
  public:
   RateMatcher(const MillipedeConfig& cfg, const CoreConfig& core,
               ClockDomain* compute_clock, StatSet* stats,
-              const std::string& prefix);
+              const std::string& prefix,
+              trace::TraceSession* trace = nullptr);
 
-  void vote_memory_bound();
-  void vote_compute_bound();
+  void vote_memory_bound(Picos now = 0);
+  void vote_compute_bound(Picos now = 0);
 
   double current_mhz() const { return clock_->frequency_mhz(); }
   u64 adjustments() const { return steps_down_.value + steps_up_.value; }
 
  private:
-  void maybe_step();
+  void maybe_step(Picos now);
 
   MillipedeConfig cfg_;
   Picos nominal_period_ps_;
   Picos max_period_ps_;
   ClockDomain* clock_;
+  trace::TraceSession* trace_ = nullptr;
 
   u32 memory_votes_ = 0;
   u32 compute_votes_ = 0;

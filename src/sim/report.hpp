@@ -1,0 +1,39 @@
+#pragma once
+// Machine-readable reporting shared by the command-line tools (mlpsim,
+// mlpsweep) and the schema tests: the sweep CSV (one row per grid point,
+// config columns first, trailing `error` column so failed points stay in the
+// table without corrupting it) and the `--stats-json` document exposing
+// every registered counter of every run under a stable schema.
+
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace mlp::sim {
+
+/// Version stamp embedded in the stats-JSON document; bump when the schema
+/// shape changes so downstream parsers can fail loudly.
+inline constexpr u32 kStatsJsonSchemaVersion = 1;
+
+/// Header line (with trailing '\n') for the sweep CSV. The final column is
+/// `error`: empty for successful points, the sanitized error message for
+/// failed ones.
+std::string sweep_csv_header();
+
+/// One CSV row (with trailing '\n') for a matrix result. Failed points emit
+/// their full configuration columns, empty metric cells, and the error text
+/// with CSV-hostile characters (commas, quotes, newlines) replaced, so a
+/// partially failed sweep still parses as a rectangular table.
+std::string sweep_csv_row(const MatrixResult& run);
+
+/// Effective record count of a job (explicit records or sized by rows).
+u64 job_records(const MatrixJob& job);
+
+/// The `--stats-json` document: schema_version + one entry per run carrying
+/// the job configuration, the derived metrics, and EVERY registered counter
+/// (sorted by name — the StatSet snapshot order). Deterministic: identical
+/// runs produce byte-identical documents.
+std::string stats_json(const std::vector<MatrixResult>& runs);
+
+}  // namespace mlp::sim

@@ -1,15 +1,88 @@
 #include "sim/runner.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <future>
+#include <optional>
 
 #include "common/error.hpp"
 #include "sim/pool.hpp"
 
 namespace mlp::sim {
+
+namespace {
+
+/// Tags come from arbitrary caller labels (sweep points); keep only
+/// filesystem-safe characters so the trace path is valid on any platform.
+std::string sanitize_component(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    const bool safe = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                      c == '.' || c == '-' || c == '_';
+    out.push_back(safe ? c : '_');
+  }
+  return out;
+}
+
+/// Write one trace artifact; a filesystem failure becomes the job's error
+/// (unless the run already failed — the simulation error is the headline).
+void write_trace_file(const std::filesystem::path& path,
+                      const std::string& data, MatrixResult* out) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file.write(data.data(), static_cast<std::streamsize>(data.size()));
+  file.close();
+  if (!file) {
+    if (out->error.empty()) {
+      out->error = "failed to write trace file: " + path.string();
+    }
+    return;
+  }
+  out->trace_files.push_back(path.string());
+}
+
+/// Export every enabled artifact of a finished (or aborted) session. Runs in
+/// pool threads: paths are derived purely from the job, so concurrent jobs
+/// never write the same file as long as (kind, bench, tag) tuples are unique.
+void export_trace(const trace::TraceSession& session, MatrixResult* out) {
+  namespace fs = std::filesystem;
+  const trace::TraceConfig& cfg = session.config();
+  std::error_code ec;
+  fs::create_directories(cfg.dir, ec);
+  if (ec) {
+    if (out->error.empty()) {
+      out->error = "failed to create trace dir " + cfg.dir + ": " +
+                   ec.message();
+    }
+    return;
+  }
+  const fs::path dir(cfg.dir);
+  const std::string base = trace_basename(out->job);
+  if (cfg.chrome_json) {
+    write_trace_file(dir / (base + ".trace.json"),
+                     session.chrome_trace_json(), out);
+  }
+  if (cfg.interval_cycles > 0) {
+    write_trace_file(dir / (base + ".timeline.csv"), session.interval_csv(),
+                     out);
+  }
+  if (cfg.ring_entries > 0) {
+    write_trace_file(dir / (base + ".ring.bin"), session.binary_blob(), out);
+  }
+}
+
+}  // namespace
+
+std::string trace_basename(const MatrixJob& job) {
+  std::string base = std::string(arch::arch_name(job.kind)) + "-" + job.bench;
+  if (!job.tag.empty()) base += "-" + sanitize_component(job.tag);
+  return base;
+}
 
 u64 records_for(const std::string& bench, const MachineConfig& cfg,
                 u64 rows) {
@@ -37,22 +110,26 @@ MatrixResult run_job(const MatrixJob& job) {
                                          job.options.rows);
   params.seed = job.options.seed;
   params.record_barrier = job.options.record_barrier;
+  std::optional<trace::TraceSession> session;
+  if (job.options.trace.enabled()) session.emplace(job.options.trace);
   try {
     const workloads::Workload workload = workloads::make_bmla(job.bench,
                                                               params);
     out.result = arch::run_arch(job.kind, job.options.cfg, workload,
-                                job.options.seed);
+                                job.options.seed,
+                                session ? &*session : nullptr);
   } catch (const SimError& e) {
     out.error = e.what();
     out.diagnostic = e.diagnostic();
-    return out;
   } catch (const std::exception& e) {
     out.error = e.what();
-    return out;
   }
-  if (!out.result.verification.empty()) {
+  if (out.error.empty() && !out.result.verification.empty()) {
     out.error = "verification failed: " + out.result.verification;
   }
+  // Export even after a SimError: the partial trace of a watchdog trip or
+  // uncorrectable fault is exactly what post-mortem needs.
+  if (session) export_trace(*session, &out);
   return out;
 }
 

@@ -30,6 +30,11 @@ struct SuiteOptions {
   /// Section VI-A ablation: MapReduce-expressible software barriers at
   /// record granularity instead of hardware flow control.
   bool record_barrier = false;
+  /// Observability: when enabled() the job runs with an attached
+  /// TraceSession and run_job writes the per-job trace files (Chrome JSON /
+  /// interval CSV / binary ring) under trace.dir. Files are written for
+  /// failed runs too (partial traces are precisely the post-mortem case).
+  trace::TraceConfig trace;
   MachineConfig cfg = MachineConfig::paper_defaults();
 };
 
@@ -54,9 +59,19 @@ struct MatrixResult {
   /// Multi-line machine-state dump for SimError failures (watchdog trips,
   /// uncorrectable memory faults); empty otherwise.
   std::string diagnostic;
+  /// Paths of the trace files run_job wrote for this job (empty when the
+  /// job's SuiteOptions::trace is disabled). Deterministically named from
+  /// (architecture, benchmark, tag), so a matrix of unique jobs never
+  /// collides regardless of the pool's thread count.
+  std::vector<std::string> trace_files;
 
   bool ok() const { return error.empty(); }
 };
+
+/// Deterministic per-job trace file stem: "<arch>-<bench>" plus the
+/// sanitized tag when present (e.g. "millipede-nbayes-c32-pf16"). Exposed so
+/// tools and tests can predict run_job's output paths.
+std::string trace_basename(const MatrixJob& job);
 
 /// Execute one job, collecting failures (unknown benchmark, bad
 /// configuration, watchdog trip, uncorrectable memory fault, verification

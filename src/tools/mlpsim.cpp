@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "argparse.hpp"
+#include "sim/report.hpp"
 #include "sim/runner.hpp"
 
 namespace {
@@ -49,6 +50,17 @@ void usage() {
                     0 disables                         (default 2e6)
   --csv             machine-readable one-line-per-run output
   --stats           dump every counter after each run
+  --stats-json      emit one JSON document (schema_version, per-run config,
+                    metrics, and every registered counter) on stdout instead
+                    of the human/CSV report
+  --trace           capture typed events (corelet stalls, DRAM ACT/PRE/RD/WR,
+                    prefetch lifecycle, freq steps, watchdog/faults) and
+                    write per-run Chrome-trace JSON under the trace dir
+  --trace-dir DIR   output directory for trace files  (default traces)
+  --trace-ring N    bounded capture: keep only the most recent N events and
+                    write them as a compact binary ring instead of JSON
+  --trace-interval N  sample every registered counter (as per-interval
+                    deltas) every N compute cycles into a CSV timeline
   --list            list architectures and benchmarks
 
 A failed run (bad config, watchdog trip, uncorrectable fault, verification
@@ -85,6 +97,7 @@ int main(int argc, char** argv) {
   std::string bench = "all";
   bool csv = false;
   bool dump_stats = false;
+  bool stats_json = false;
   u32 jobs = 1;
   sim::SuiteOptions options;
 
@@ -160,6 +173,17 @@ int main(int argc, char** argv) {
       csv = true;
     } else if (arg == "--stats") {
       dump_stats = true;
+    } else if (arg == "--stats-json") {
+      stats_json = true;
+    } else if (arg == "--trace") {
+      options.trace.chrome_json = true;
+    } else if (arg == "--trace-dir") {
+      options.trace.dir = next();
+    } else if (arg == "--trace-ring") {
+      options.trace.ring_entries = tools::parse_u64(arg, next(), /*min=*/1);
+    } else if (arg == "--trace-interval") {
+      options.trace.interval_cycles =
+          tools::parse_u64(arg, next(), /*min=*/1);
     } else {
       std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
       return 2;
@@ -179,7 +203,7 @@ int main(int argc, char** argv) {
   }
   const std::vector<sim::MatrixResult> results = sim::run_matrix(matrix, jobs);
 
-  if (csv) {
+  if (csv && !stats_json) {
     std::printf("arch,bench,records,runtime_us,cycles,insts,insts_per_word,"
                 "clock_mhz,core_uj,dram_uj,leak_uj,row_miss_rate,"
                 "ecc_corrected,ecc_detected,fault_retries\n");
@@ -200,6 +224,7 @@ int main(int argc, char** argv) {
       exit_code = 1;
       continue;
     }
+    if (stats_json) continue;  // the JSON document is the whole report
     const arch::RunResult& r = run.result;
     const std::string& name = run.job.bench;
     if (csv) {
@@ -238,6 +263,9 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(value));
       }
     }
+  }
+  if (stats_json) {
+    std::fputs(sim::stats_json(results).c_str(), stdout);
   }
   return exit_code;
 }

@@ -15,6 +15,7 @@
 
 #include "argparse.hpp"
 #include "sim/pool.hpp"
+#include "sim/report.hpp"
 #include "sim/runner.hpp"
 
 namespace {
@@ -42,12 +43,20 @@ Scalars:
   --fault-seed N        fault-injection seed     (default 1)
   --watchdog-cycles N / --watchdog-stall N
                         forward-progress watchdog limits (0 disables)
+  --stats-json          emit one JSON document (per-point config, metrics,
+                        every registered counter) instead of the CSV
+  --trace               per-point Chrome-trace JSON under the trace dir
+  --trace-dir DIR       output directory for trace files (default traces)
+  --trace-ring N        bounded binary-ring capture (most recent N events)
+  --trace-interval N    interval-sampled counter timeline CSV per point
 
-Output: one CSV row per grid point on stdout, config columns first. Rows
-appear in grid order regardless of --jobs. A failed point (bad config,
-watchdog trip, uncorrectable memory fault, verification mismatch) is
-reported on stderr with its diagnostic and makes the exit status 1; the
-remaining points still run, bit-identically for any --jobs.
+Output: one CSV row per grid point on stdout, config columns first, a
+trailing `error` column last. Rows appear in grid order regardless of
+--jobs. A failed point (bad config, watchdog trip, uncorrectable memory
+fault, verification mismatch) is reported on stderr with its diagnostic,
+keeps its row (config columns + error message, metrics empty) so the CSV
+stays rectangular, and makes the exit status 1; the remaining points still
+run, bit-identically for any --jobs.
 )");
 }
 
@@ -110,8 +119,10 @@ int main(int argc, char** argv) {
   u64 seed = 1;
   u32 jobs = 0;
   bool ecc = false;
+  bool stats_json = false;
   u64 fault_seed = 1;
   WatchdogConfig watchdog;
+  trace::TraceConfig trace_cfg;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -168,6 +179,16 @@ int main(int argc, char** argv) {
       seed = tools::parse_u64(arg, next());
     } else if (arg == "--jobs" || arg == "-j") {
       jobs = tools::parse_u32(arg, next(), /*min=*/1);
+    } else if (arg == "--stats-json") {
+      stats_json = true;
+    } else if (arg == "--trace") {
+      trace_cfg.chrome_json = true;
+    } else if (arg == "--trace-dir") {
+      trace_cfg.dir = next();
+    } else if (arg == "--trace-ring") {
+      trace_cfg.ring_entries = tools::parse_u64(arg, next(), /*min=*/1);
+    } else if (arg == "--trace-interval") {
+      trace_cfg.interval_cycles = tools::parse_u64(arg, next(), /*min=*/1);
     } else {
       std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
       return 2;
@@ -195,7 +216,19 @@ int main(int argc, char** argv) {
                 options.cfg.dram.fault.ecc = ecc;
                 options.cfg.dram.fault.seed = fault_seed;
                 options.cfg.watchdog = watchdog;
-                matrix.push_back({kind, bench, options, /*tag=*/""});
+                options.trace = trace_cfg;
+                // Tracing needs a unique per-point file stem: encode the
+                // grid coordinates into the job tag.
+                std::string tag;
+                if (trace_cfg.enabled()) {
+                  char buf[96];
+                  std::snprintf(buf, sizeof(buf), "c%u-pf%u-bus%.3f-r%llu-f%g",
+                                core_count, entries, bus_eff,
+                                static_cast<unsigned long long>(row_count),
+                                fault_rate);
+                  tag = buf;
+                }
+                matrix.push_back({kind, bench, options, tag});
               }
             }
           }
@@ -209,15 +242,8 @@ int main(int argc, char** argv) {
                jobs == 0 ? sim::ThreadPool::default_threads() : jobs);
   const std::vector<sim::MatrixResult> results = sim::run_matrix(matrix, jobs);
 
-  std::printf("arch,bench,cores,pf_entries,bus_efficiency,rows,records,seed,"
-              "fault_rate,ecc,runtime_us,cycles,insts,insts_per_word,"
-              "clock_mhz,core_uj,dram_uj,leak_uj,row_miss_rate,"
-              "ecc_corrected,ecc_detected,fault_retries\n");
-  auto stat_or_zero = [](const arch::RunResult& r, const char* key) {
-    const auto it = r.stats.find(key);
-    return it == r.stats.end() ? u64{0} : it->second;
-  };
   int exit_code = 0;
+  if (!stats_json) std::fputs(sim::sweep_csv_header().c_str(), stdout);
   for (const sim::MatrixResult& run : results) {
     const sim::SuiteOptions& o = run.job.options;
     if (!run.ok()) {
@@ -232,29 +258,11 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s", run.diagnostic.c_str());
       }
       exit_code = 1;
-      continue;
+      // Fall through: a failed point still gets its CSV row (config columns
+      // + error message) so the table stays rectangular and in grid order.
     }
-    const arch::RunResult& r = run.result;
-    const u64 run_records =
-        o.records != 0 ? o.records
-                       : sim::records_for(run.job.bench, o.cfg, o.rows);
-    std::printf(
-        "%s,%s,%u,%u,%.3f,%llu,%llu,%llu,%g,%d,%.3f,%llu,%llu,%.2f,%.0f,"
-        "%.3f,%.3f,%.3f,%.4f,%llu,%llu,%llu\n",
-        r.arch.c_str(), run.job.bench.c_str(), o.cfg.core.cores,
-        o.cfg.millipede.pf_entries, o.cfg.dram.bus_efficiency,
-        static_cast<unsigned long long>(o.rows),
-        static_cast<unsigned long long>(run_records),
-        static_cast<unsigned long long>(o.seed),
-        o.cfg.dram.fault.bit_flip_rate, o.cfg.dram.fault.ecc ? 1 : 0,
-        static_cast<double>(r.runtime_ps) / 1e6,
-        static_cast<unsigned long long>(r.compute_cycles),
-        static_cast<unsigned long long>(r.thread_instructions),
-        r.insts_per_word, r.final_clock_mhz, r.energy.core_j * 1e6,
-        r.energy.dram_j * 1e6, r.energy.leak_j * 1e6, r.row_miss_rate,
-        static_cast<unsigned long long>(stat_or_zero(r, "dram.ecc_corrected")),
-        static_cast<unsigned long long>(stat_or_zero(r, "dram.ecc_detected")),
-        static_cast<unsigned long long>(stat_or_zero(r, "dram.fault_retries")));
+    if (!stats_json) std::fputs(sim::sweep_csv_row(run).c_str(), stdout);
   }
+  if (stats_json) std::fputs(sim::stats_json(results).c_str(), stdout);
   return exit_code;
 }

@@ -112,6 +112,54 @@ TEST(Stats, ScalarRegistration) {
   EXPECT_DOUBLE_EQ(set.get_scalar("clock.mhz"), 625.0);
 }
 
+TEST(Stats, MissingCounterThrowsRecoverableError) {
+  // A typo'd counter name must surface as a per-job SimError (kind
+  // "stat-missing"), not an abort: sweep pools recover from it.
+  StatSet set;
+  EXPECT_THROW(set.get("no.such.counter"), SimError);
+  EXPECT_THROW(set.get_scalar("no.such.scalar"), SimError);
+  try {
+    set.get("dram.row_hits");
+    FAIL() << "missing counter must throw";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), "stat-missing");
+    EXPECT_NE(std::string(e.what()).find("dram.row_hits"),
+              std::string::npos);
+  }
+}
+
+TEST(Stats, DuplicateRegistrationThrows) {
+  Counter a, b;
+  double s = 0.0, t = 0.0;
+  StatSet set;
+  set.add("cache.hits", &a);
+  set.add_scalar("clock.mhz", &s);
+  try {
+    set.add("cache.hits", &b);
+    FAIL() << "duplicate counter must throw";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), "stat-duplicate");
+    EXPECT_NE(std::string(e.what()).find("cache.hits"), std::string::npos);
+  }
+  EXPECT_THROW(set.add_scalar("clock.mhz", &t), SimError);
+  // The original registrations survive the rejected duplicates.
+  a.inc(2);
+  EXPECT_EQ(set.get("cache.hits"), 2u);
+  EXPECT_DOUBLE_EQ(set.get_scalar("clock.mhz"), 0.0);
+}
+
+TEST(Stats, ToStringListsCountersAndScalars) {
+  Counter a;
+  double s = 700.0;
+  StatSet set;
+  set.add("cache.hits", &a);
+  set.add_scalar("clock.mhz", &s);
+  a.inc(5);
+  const std::string text = set.to_string();
+  EXPECT_NE(text.find("cache.hits = 5"), std::string::npos);
+  EXPECT_NE(text.find("clock.mhz = 700"), std::string::npos);
+}
+
 TEST(Clock, AdvancesByPeriod) {
   ClockDomain clock(1429);
   EXPECT_EQ(clock.next_edge_ps(), 0u);

@@ -1,0 +1,203 @@
+// Golden-counter regression suite: every (architecture, benchmark) pair of
+// the paper's 4x8 evaluation matrix is run at a fixed small input (rows=24,
+// seed=1) and its FULL StatSet is compared counter-by-counter against a
+// checked-in JSON snapshot. Any change to the timing model, the workloads,
+// or the memory system that moves even one counter fails here with a
+// readable per-counter diff — intentional changes regenerate the snapshots
+// with:
+//
+//   UPDATE_GOLDEN=1 ctest -R GoldenStats
+//
+// The goldens live in tests/golden/ (path baked in via MLP_GOLDEN_DIR).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "trace/json.hpp"
+
+namespace mlp {
+namespace {
+
+constexpr u64 kGoldenRows = 24;
+constexpr u64 kGoldenSeed = 1;
+
+struct ArchCase {
+  arch::ArchKind kind;
+  const char* name;
+};
+
+const ArchCase kArchCases[] = {
+    {arch::ArchKind::kMillipede, "millipede"},
+    {arch::ArchKind::kSsmc, "ssmc"},
+    {arch::ArchKind::kGpgpu, "gpgpu"},
+    {arch::ArchKind::kMulticore, "multicore"},
+};
+
+bool update_mode() {
+  const char* env = std::getenv("UPDATE_GOLDEN");
+  return env != nullptr && std::string(env) == "1";
+}
+
+std::string golden_path(const std::string& arch, const std::string& bench) {
+  return std::string(MLP_GOLDEN_DIR) + "/" + arch + "-" + bench + ".json";
+}
+
+std::string render_golden(const std::string& arch, const std::string& bench,
+                          const std::map<std::string, u64>& counters) {
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("arch");
+  w.value(arch);
+  w.key("bench");
+  w.value(bench);
+  w.key("rows");
+  w.value(kGoldenRows);
+  w.key("seed");
+  w.value(kGoldenSeed);
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : counters) {
+    w.newline();
+    w.key(name);
+    w.value(value);
+  }
+  w.end_object();
+  w.end_object();
+  std::string out = w.take();
+  out += '\n';
+  return out;
+}
+
+std::map<std::string, u64> load_golden(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    ADD_FAILURE() << "missing golden file " << path
+                  << " (regenerate with UPDATE_GOLDEN=1)";
+    return {};
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  const trace::JsonValue doc = trace::json_parse(os.str());
+  std::map<std::string, u64> counters;
+  const trace::JsonValue* obj = doc.find("counters");
+  if (obj == nullptr || !obj->is_object()) {
+    ADD_FAILURE() << "golden file " << path << " has no counters object";
+    return counters;
+  }
+  for (const auto& [name, value] : obj->object) {
+    counters[name] = value.unsigned_integer;
+  }
+  return counters;
+}
+
+/// Per-counter diff; empty string iff the sets match exactly.
+std::string diff_counters(const std::map<std::string, u64>& golden,
+                          const std::map<std::string, u64>& measured) {
+  std::ostringstream os;
+  for (const auto& [name, value] : golden) {
+    const auto it = measured.find(name);
+    if (it == measured.end()) {
+      os << "  counter disappeared: " << name << " (golden " << value
+         << ")\n";
+    } else if (it->second != value) {
+      const i64 delta = static_cast<i64>(it->second) -
+                        static_cast<i64>(value);
+      os << "  " << name << ": golden " << value << ", measured "
+         << it->second << " (" << (delta > 0 ? "+" : "") << delta << ")\n";
+    }
+  }
+  for (const auto& [name, value] : measured) {
+    if (golden.count(name) == 0) {
+      os << "  new counter not in golden: " << name << " = " << value
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+/// The whole 4x8 matrix in one parallel batch (each point is an isolated
+/// deterministic simulation, so the pool only changes wall-clock time).
+std::vector<sim::MatrixResult> run_golden_matrix() {
+  std::vector<sim::MatrixJob> jobs;
+  for (const ArchCase& arch_case : kArchCases) {
+    for (const std::string& bench : workloads::bmla_names()) {
+      sim::MatrixJob job;
+      job.kind = arch_case.kind;
+      job.bench = bench;
+      job.tag = arch_case.name;  // carries the golden file stem's arch part
+      job.options.rows = kGoldenRows;
+      job.options.seed = kGoldenSeed;
+      jobs.push_back(job);
+    }
+  }
+  return sim::run_matrix(jobs, 0);
+}
+
+TEST(GoldenStats, FullMatrixMatchesSnapshots) {
+  const std::vector<sim::MatrixResult> results = run_golden_matrix();
+  ASSERT_EQ(results.size(), 32u);  // 4 architectures x 8 benchmarks
+  bool updated = false;
+  for (const sim::MatrixResult& run : results) {
+    const std::string& arch = run.job.tag;
+    const std::string& bench = run.job.bench;
+    ASSERT_TRUE(run.ok()) << arch << "/" << bench << ": " << run.error;
+    const std::map<std::string, u64> measured(run.result.stats.begin(),
+                                              run.result.stats.end());
+    const std::string path = golden_path(arch, bench);
+    if (update_mode()) {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << render_golden(arch, bench, measured);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      updated = true;
+      continue;
+    }
+    const std::map<std::string, u64> golden = load_golden(path);
+    if (golden.empty()) continue;  // load already reported the failure
+    const std::string diff = diff_counters(golden, measured);
+    EXPECT_TRUE(diff.empty())
+        << arch << "/" << bench << " drifted from " << path << ":\n"
+        << diff << "  (intentional? regenerate with UPDATE_GOLDEN=1)";
+  }
+  if (updated) {
+    GTEST_SKIP() << "golden snapshots regenerated; rerun without "
+                    "UPDATE_GOLDEN to verify";
+  }
+}
+
+TEST(GoldenStats, DiffCatchesSingleCounterPerturbation) {
+  // Negative control: the suite must flag a one-counter, off-by-one
+  // perturbation of a real snapshot — otherwise it guards nothing.
+  const std::map<std::string, u64> golden =
+      load_golden(golden_path("millipede", "count"));
+  ASSERT_FALSE(golden.empty());
+  std::map<std::string, u64> perturbed = golden;
+  const std::string victim = "dram.row_misses";
+  ASSERT_TRUE(perturbed.count(victim));
+  perturbed[victim] += 1;
+  const std::string diff = diff_counters(golden, perturbed);
+  EXPECT_FALSE(diff.empty());
+  EXPECT_NE(diff.find(victim), std::string::npos) << diff;
+  EXPECT_NE(diff.find("(+1)"), std::string::npos) << diff;
+  // And only the perturbed counter is reported.
+  EXPECT_EQ(std::count(diff.begin(), diff.end(), '\n'), 1) << diff;
+}
+
+TEST(GoldenStats, DiffCatchesMissingAndNewCounters) {
+  std::map<std::string, u64> golden = {{"a.x", 1}, {"b.y", 2}};
+  std::map<std::string, u64> measured = {{"a.x", 1}, {"c.z", 3}};
+  const std::string diff = diff_counters(golden, measured);
+  EXPECT_NE(diff.find("counter disappeared: b.y"), std::string::npos);
+  EXPECT_NE(diff.find("new counter not in golden: c.z"), std::string::npos);
+  EXPECT_TRUE(diff_counters(golden, golden).empty());
+}
+
+}  // namespace
+}  // namespace mlp
