@@ -5,6 +5,7 @@ Usage:
   check_trace.py --chrome-trace FILE [--require-kinds k1,k2,...]
   check_trace.py --stats-json FILE
   check_trace.py --interval-csv FILE
+  check_trace.py --service-response FILE [--expect-cache-hits N]
 
 Checks (stdlib only, no dependencies):
   Chrome trace: document parses, has displayTimeUnit + traceEvents, event
@@ -16,6 +17,12 @@ Checks (stdlib only, no dependencies):
   object of non-negative integers.
   Interval CSV: header starts cycle,ps and ends row_hit_rate,ipc; rows are
   rectangular; the cycle column strictly increases.
+  Service response: a file of raw mlpserved response frames (mlpclient
+  --raw output, one JSON object per line): every frame carries the ok/type
+  envelope, errors carry a typed kind, result responses embed a parseable
+  stats run object consistent with the stats-JSON run schema, and status
+  responses carry the cache counter block (--expect-cache-hits asserts a
+  minimum observed hits value across them).
 
 Exit status 0 on success; prints the first violation and exits 1 otherwise.
 """
@@ -92,24 +99,106 @@ def check_stats_json(path):
     if not isinstance(runs, list) or not runs:
         fail(f"{path}: runs missing or empty")
     for i, run in enumerate(runs):
-        for field in ("arch", "bench", "tag", "ok", "error", "config"):
-            if field not in run:
-                fail(f"{path}: run {i} missing {field!r}")
-        if run["ok"]:
-            if run["error"]:
-                fail(f"{path}: run {i} ok but error set")
-            counters = run.get("counters")
-            if not isinstance(counters, dict) or not counters:
-                fail(f"{path}: run {i} ok but counters missing/empty")
-            for name, value in counters.items():
-                if not isinstance(value, int) or value < 0:
-                    fail(f"{path}: run {i} counter {name!r} not a "
-                         f"non-negative integer: {value!r}")
-            if "metrics" not in run:
-                fail(f"{path}: run {i} ok but metrics missing")
-        elif not run["error"]:
-            fail(f"{path}: run {i} failed but error empty")
+        check_run_object(path, f"run {i}", run)
     print(f"check_trace: OK {path}: {len(runs)} run(s)")
+
+
+SERVICE_ERROR_KINDS = {
+    "queue-full", "bad-request", "no-such-job", "job-running",
+    "job-pending", "job-done", "shutting-down",
+}
+
+
+def check_run_object(path, where, run):
+    """One stats run object (shared by stats-JSON docs and result frames)."""
+    for field in ("arch", "bench", "tag", "ok", "error", "config"):
+        if field not in run:
+            fail(f"{path}: {where} missing {field!r}")
+    if run["ok"]:
+        if run["error"]:
+            fail(f"{path}: {where} ok but error set")
+        counters = run.get("counters")
+        if not isinstance(counters, dict) or not counters:
+            fail(f"{path}: {where} ok but counters missing/empty")
+        for name, value in counters.items():
+            if not isinstance(value, int) or value < 0:
+                fail(f"{path}: {where} counter {name!r} not a "
+                     f"non-negative integer: {value!r}")
+        if "metrics" not in run:
+            fail(f"{path}: {where} ok but metrics missing")
+    elif not run["error"]:
+        fail(f"{path}: {where} failed but error empty")
+
+
+def check_service_response(path, expect_cache_hits):
+    with open(path, "r", encoding="utf-8") as fh:
+        frames = [line for line in fh if line.strip()]
+    if not frames:
+        fail(f"{path}: no response frames")
+    results = 0
+    max_cache_hits = None
+    for i, line in enumerate(frames, start=1):
+        try:
+            frame = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: frame {i} is not JSON: {e}")
+        if not isinstance(frame, dict):
+            fail(f"{path}: frame {i} is not an object")
+        if not isinstance(frame.get("ok"), bool):
+            fail(f"{path}: frame {i} lacks a boolean 'ok'")
+        kind = frame.get("type")
+        if not isinstance(kind, str) or not kind:
+            fail(f"{path}: frame {i} lacks a 'type'")
+        if not frame["ok"]:
+            if frame.get("error") not in SERVICE_ERROR_KINDS:
+                fail(f"{path}: frame {i} error kind {frame.get('error')!r} "
+                     f"is not a known typed kind")
+            if not frame.get("message"):
+                fail(f"{path}: frame {i} error without a message")
+            continue
+        if kind == "result":
+            results += 1
+            state = frame.get("state")
+            if state not in ("done", "cancelled"):
+                fail(f"{path}: frame {i} result in non-terminal "
+                     f"state {state!r}")
+            if state == "done":
+                if not isinstance(frame.get("run_ok"), bool):
+                    fail(f"{path}: frame {i} result lacks run_ok")
+                if not isinstance(frame.get("cache_hit"), bool):
+                    fail(f"{path}: frame {i} result lacks cache_hit")
+                if not frame.get("csv", "").endswith("\n"):
+                    fail(f"{path}: frame {i} csv is not a newline-terminated "
+                         f"row")
+                try:
+                    run = json.loads(frame.get("stats", ""))
+                except json.JSONDecodeError as e:
+                    fail(f"{path}: frame {i} stats not parseable: {e}")
+                check_run_object(path, f"frame {i} stats", run)
+        elif kind == "status":
+            cache = frame.get("cache")
+            if not isinstance(cache, dict):
+                fail(f"{path}: frame {i} status lacks the cache block")
+            for counter in ("hits", "misses", "evictions", "entries",
+                            "image_bytes"):
+                if not isinstance(cache.get(counter), int):
+                    fail(f"{path}: frame {i} cache counter {counter!r} "
+                         f"missing or not an integer")
+            hits = cache["hits"]
+            if max_cache_hits is None or hits > max_cache_hits:
+                max_cache_hits = hits
+        elif kind == "submitted":
+            if not isinstance(frame.get("id"), int) or frame["id"] < 1:
+                fail(f"{path}: frame {i} submitted without a positive id")
+    if expect_cache_hits is not None:
+        if max_cache_hits is None:
+            fail(f"{path}: --expect-cache-hits given but no status frame "
+                 f"with cache counters found")
+        if max_cache_hits < expect_cache_hits:
+            fail(f"{path}: expected >= {expect_cache_hits} warm cache hits, "
+                 f"status reports {max_cache_hits}")
+    print(f"check_trace: OK {path}: {len(frames)} frame(s), "
+          f"{results} result(s), cache_hits={max_cache_hits}")
 
 
 def check_interval_csv(path):
@@ -141,11 +230,17 @@ def main():
     parser.add_argument("--chrome-trace", action="append", default=[])
     parser.add_argument("--stats-json", action="append", default=[])
     parser.add_argument("--interval-csv", action="append", default=[])
+    parser.add_argument("--service-response", action="append", default=[])
     parser.add_argument("--require-kinds", default="",
                         help="comma-separated event names that must appear "
                              "in every --chrome-trace file")
+    parser.add_argument("--expect-cache-hits", type=int, default=None,
+                        help="minimum warm-cache hit count that some status "
+                             "frame in every --service-response file must "
+                             "report")
     args = parser.parse_args()
-    if not (args.chrome_trace or args.stats_json or args.interval_csv):
+    if not (args.chrome_trace or args.stats_json or args.interval_csv
+            or args.service_response):
         parser.error("nothing to check")
     kinds = [k for k in args.require_kinds.split(",") if k]
     for path in args.chrome_trace:
@@ -154,6 +249,8 @@ def main():
         check_stats_json(path)
     for path in args.interval_csv:
         check_interval_csv(path)
+    for path in args.service_response:
+        check_service_response(path, args.expect_cache_hits)
 
 
 if __name__ == "__main__":

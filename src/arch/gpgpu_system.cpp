@@ -155,7 +155,7 @@ Picos run_loop(const MachineConfig& cfg, GpgpuParts& parts,
 
 RunResult run_gpgpu(const MachineConfig& cfg,
                     const workloads::Workload& workload, u64 seed,
-                    trace::TraceSession* trace) {
+                    trace::TraceSession* trace, const PreparedInput* prepared) {
   cfg.validate();
   MLP_SIM_CHECK(!cfg.slab_layout, "config",
                 "the GPGPU needs word-size columns for coalescing "
@@ -165,7 +165,9 @@ RunResult run_gpgpu(const MachineConfig& cfg,
                     cfg.millipede.pf_entries >= workload.fields,
                 "config",
                 "prefetch window smaller than a record's row footprint");
-  PreparedInput input = prepare_input(cfg, workload, seed);
+  // Private copy: the controller attaches to (and faults may corrupt) it.
+  PreparedInput input =
+      prepared != nullptr ? *prepared : prepare_input(cfg, workload, seed);
 
   u32 width = cfg.gpgpu.vws ? 0 : cfg.gpgpu.warp_width;
   if (cfg.gpgpu.vws) {
@@ -186,7 +188,8 @@ RunResult run_gpgpu(const MachineConfig& cfg,
                   static_cast<double>(pilot.sm_stats.branches.value);
     width = divergence > 0.10 ? 4 : cfg.core.cores;
     // Pilot mutated nothing persistent: lane state and image are rebuilt.
-    input = prepare_input(cfg, workload, seed);
+    input = prepared != nullptr ? *prepared
+                                : prepare_input(cfg, workload, seed);
   }
 
   GpgpuParts parts = build(cfg, workload, input, width, trace);
@@ -253,7 +256,8 @@ RunResult run_gpgpu(const MachineConfig& cfg,
 
   std::vector<const mem::LocalStore*> states;
   for (const auto& local : parts.lane_state) states.push_back(&local);
-  result.verification = verify_run(workload, input, states);
+  result.verification =
+      verify_run(workload, input, states, image_may_be_dirty(cfg));
   return result;
 }
 

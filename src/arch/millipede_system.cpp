@@ -19,9 +19,13 @@ namespace mlp::arch {
 
 RunResult run_millipede(const MachineConfig& cfg,
                         const workloads::Workload& workload, u64 seed,
-                        trace::TraceSession* trace) {
+                        trace::TraceSession* trace,
+                        const PreparedInput* prepared) {
   cfg.validate();
-  PreparedInput input = prepare_input(cfg, workload, seed);
+  // The run owns a private copy of the prepared input: the controller
+  // attaches to (and no-ECC fault injection may corrupt) the image.
+  PreparedInput input =
+      prepared != nullptr ? *prepared : prepare_input(cfg, workload, seed);
   // A record's field loads touch `record_row_footprint()` concurrent rows
   // (= fields under the field-major layout, 1 under slab-interleaving);
   // flow control deadlocks if the window cannot hold them all. Fail fast —
@@ -185,7 +189,8 @@ RunResult run_millipede(const MachineConfig& cfg,
 
   std::vector<const mem::LocalStore*> states;
   for (const auto& local : locals) states.push_back(&local);
-  result.verification = verify_run(workload, input, states);
+  result.verification =
+      verify_run(workload, input, states, image_may_be_dirty(cfg));
   return result;
 }
 

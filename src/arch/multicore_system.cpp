@@ -67,7 +67,8 @@ class MulticorePort : public core::GlobalPort {
 
 RunResult run_multicore(const MachineConfig& cfg,
                         const workloads::Workload& workload, u64 seed,
-                        trace::TraceSession* trace) {
+                        trace::TraceSession* trace,
+                        const PreparedInput* prepared) {
   // Off-chip memory: one quarter of the die-stacked memory bandwidth. A
   // die-stacked cube exposes 4 channels, so the multicore's off-chip DRAM
   // gets one channel's worth of bandwidth (~DDR4-class).
@@ -79,7 +80,10 @@ RunResult run_multicore(const MachineConfig& cfg,
   mc.core.clock_mhz = cfg.multicore.clock_mhz;
   mc.gpgpu.warp_width = 1;  // unused; keep validation happy
   mc.validate();
-  PreparedInput input = prepare_input(mc, workload, seed);
+  // `mc` only retunes core counts and channel width; layout and image depend
+  // solely on row geometry, so the shared prepared input is still valid.
+  PreparedInput input =
+      prepared != nullptr ? *prepared : prepare_input(mc, workload, seed);
 
   StatSet stats;
   mem::MemoryController ctrl(mc.dram, "dram", &stats, trace);
@@ -212,7 +216,8 @@ RunResult run_multicore(const MachineConfig& cfg,
 
   std::vector<const mem::LocalStore*> states;
   for (const auto& local : locals) states.push_back(&local);
-  result.verification = verify_run(workload, input, states);
+  result.verification =
+      verify_run(workload, input, states, image_may_be_dirty(mc));
   return result;
 }
 

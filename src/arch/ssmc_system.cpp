@@ -71,9 +71,11 @@ class SsmcPort : public core::GlobalPort {
 
 RunResult run_ssmc(const MachineConfig& cfg,
                    const workloads::Workload& workload, u64 seed,
-                   trace::TraceSession* trace) {
+                   trace::TraceSession* trace, const PreparedInput* prepared) {
   cfg.validate();
-  PreparedInput input = prepare_input(cfg, workload, seed);
+  // Private copy: the controller attaches to (and faults may corrupt) it.
+  PreparedInput input =
+      prepared != nullptr ? *prepared : prepare_input(cfg, workload, seed);
 
   StatSet stats;
   mem::MemoryController ctrl(cfg.dram, "dram", &stats, trace);
@@ -197,7 +199,8 @@ RunResult run_ssmc(const MachineConfig& cfg,
 
   std::vector<const mem::LocalStore*> states;
   for (const auto& local : locals) states.push_back(&local);
-  result.verification = verify_run(workload, input, states);
+  result.verification =
+      verify_run(workload, input, states, image_may_be_dirty(cfg));
   return result;
 }
 

@@ -48,6 +48,26 @@ const char* arch_name(ArchKind kind) {
   return "?";
 }
 
+const std::vector<ArchKind>& all_arch_kinds() {
+  static const std::vector<ArchKind> kinds = {
+      ArchKind::kMillipede,      ArchKind::kMillipedeNoFlowControl,
+      ArchKind::kMillipedeNoRateMatch, ArchKind::kSsmc,
+      ArchKind::kGpgpu,          ArchKind::kVws,
+      ArchKind::kVwsRow,         ArchKind::kMulticore,
+  };
+  return kinds;
+}
+
+bool arch_from_name(const std::string& name, ArchKind* out) {
+  for (const ArchKind kind : all_arch_kinds()) {
+    if (name == arch_name(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 PreparedInput prepare_input(const MachineConfig& cfg,
                             const workloads::Workload& workload, u64 seed) {
   const workloads::LayoutMode mode =
@@ -55,16 +75,26 @@ PreparedInput prepare_input(const MachineConfig& cfg,
                       : workloads::LayoutMode::kFieldMajor;
   workloads::InterleavedLayout layout(cfg.dram.row_bytes, workload.fields,
                                       workload.num_records, /*base=*/0, mode);
-  PreparedInput input{layout, mem::DramImage(layout.total_bytes())};
+  PreparedInput input{layout, mem::DramImage(layout.total_bytes()), {}};
   Rng rng(seed);
   workload.generate(input.layout, input.image, rng);
+  input.reference = workload.reference(input.image, input.layout);
   return input;
 }
 
 std::string verify_run(const workloads::Workload& workload,
                        const PreparedInput& input,
-                       const std::vector<const mem::LocalStore*>& states) {
-  const auto reference = workload.reference(input.image, input.layout);
+                       const std::vector<const mem::LocalStore*>& states,
+                       bool image_dirty) {
+  // A run that may have corrupted the image in place (no-ECC fault
+  // injection) recomputes the reference from the current image so the
+  // corruption is caught exactly as before caching existed.
+  std::vector<double> recomputed;
+  if (image_dirty || input.reference.empty()) {
+    recomputed = workload.reference(input.image, input.layout);
+  }
+  const std::vector<double>& reference =
+      image_dirty || input.reference.empty() ? recomputed : input.reference;
   const auto measured = workloads::reduce_state(workload, states);
   return workloads::compare_results(reference, measured, workload.tolerance);
 }
@@ -83,38 +113,38 @@ void fill_dram_stats(RunResult* result, const StatSet& stats) {
 
 RunResult run_arch(ArchKind kind, const MachineConfig& cfg,
                    const workloads::Workload& workload, u64 seed,
-                   trace::TraceSession* trace) {
+                   trace::TraceSession* trace, const PreparedInput* prepared) {
   MachineConfig tuned = cfg;
   switch (kind) {
     case ArchKind::kMillipede:
       tuned.millipede.flow_control = true;
       tuned.millipede.rate_match = true;
-      return run_millipede(tuned, workload, seed, trace);
+      return run_millipede(tuned, workload, seed, trace, prepared);
     case ArchKind::kMillipedeNoFlowControl:
       tuned.millipede.flow_control = false;
       tuned.millipede.rate_match = false;
-      return run_millipede(tuned, workload, seed, trace);
+      return run_millipede(tuned, workload, seed, trace, prepared);
     case ArchKind::kMillipedeNoRateMatch:
       tuned.millipede.flow_control = true;
       tuned.millipede.rate_match = false;
-      return run_millipede(tuned, workload, seed, trace);
+      return run_millipede(tuned, workload, seed, trace, prepared);
     case ArchKind::kSsmc:
-      return run_ssmc(tuned, workload, seed, trace);
+      return run_ssmc(tuned, workload, seed, trace, prepared);
     case ArchKind::kGpgpu:
       tuned.gpgpu.vws = false;
       tuned.gpgpu.row_oriented = false;
       tuned.gpgpu.warp_width = tuned.core.cores;
-      return run_gpgpu(tuned, workload, seed, trace);
+      return run_gpgpu(tuned, workload, seed, trace, prepared);
     case ArchKind::kVws:
       tuned.gpgpu.vws = true;
       tuned.gpgpu.row_oriented = false;
-      return run_gpgpu(tuned, workload, seed, trace);
+      return run_gpgpu(tuned, workload, seed, trace, prepared);
     case ArchKind::kVwsRow:
       tuned.gpgpu.vws = true;
       tuned.gpgpu.row_oriented = true;
-      return run_gpgpu(tuned, workload, seed, trace);
+      return run_gpgpu(tuned, workload, seed, trace, prepared);
     case ArchKind::kMulticore:
-      return run_multicore(tuned, workload, seed, trace);
+      return run_multicore(tuned, workload, seed, trace, prepared);
   }
   MLP_CHECK(false, "unknown architecture");
   return {};

@@ -31,6 +31,13 @@ enum class ArchKind : u8 {
 
 const char* arch_name(ArchKind kind);
 
+/// Inverse of arch_name (the tools' and the service protocol's spelling).
+/// Returns false on unknown names.
+bool arch_from_name(const std::string& name, ArchKind* out);
+
+/// All architectures in declaration order (sweep "all" expansion).
+const std::vector<ArchKind>& all_arch_kinds();
+
 struct RunResult {
   std::string arch;
   std::string workload;
@@ -51,20 +58,39 @@ struct RunResult {
   double energy_delay() const { return energy.total_j() * seconds(); }
 };
 
-/// Generated input image + layout for a workload under a machine config.
+/// Generated input image + layout for a workload under a machine config,
+/// plus the host golden reference computed from the pristine image. The
+/// struct is position-independent of the architecture that will consume it
+/// (only row geometry and the slab-layout switch matter), so one prepared
+/// input can be shared — and memoized — across every ArchKind.
 struct PreparedInput {
   workloads::InterleavedLayout layout;
   mem::DramImage image;
+  /// Golden reference reduced from the pristine image; computed once at
+  /// preparation so repeated (warm-cache) runs skip the host recompute.
+  std::vector<double> reference;
 };
 
 PreparedInput prepare_input(const MachineConfig& cfg,
                             const workloads::Workload& workload, u64 seed);
 
 /// Verify reduced live state against the golden reference; returns the
-/// diagnostic ("" on success).
+/// diagnostic ("" on success). Uses input.reference unless `image_dirty`
+/// says the run may have mutated the image (no-ECC fault injection corrupts
+/// it in place) — then the reference is recomputed from the current image,
+/// preserving the pre-cache verification semantics.
 std::string verify_run(const workloads::Workload& workload,
                        const PreparedInput& input,
-                       const std::vector<const mem::LocalStore*>& states);
+                       const std::vector<const mem::LocalStore*>& states,
+                       bool image_dirty = false);
+
+/// True when a run under `cfg` may mutate the DRAM image in place: without
+/// ECC, injected bit flips land in the functional bytes (the controller
+/// calls DramImage::flip_bit), so the cached pristine reference no longer
+/// describes what the corelets read.
+inline bool image_may_be_dirty(const MachineConfig& cfg) {
+  return cfg.dram.fault.bit_flip_rate > 0.0 && !cfg.dram.fault.ecc;
+}
 
 /// Fill common RunResult fields from the DRAM controller counters.
 void fill_dram_stats(RunResult* result, const StatSet& stats);
@@ -76,23 +102,31 @@ std::string dump_corelets(const std::vector<core::Corelet>& corelets);
 /// Run `workload` on the architecture selected by `kind` (dispatches to the
 /// concrete systems below). An optional TraceSession captures typed events
 /// and interval timelines; it must outlive the call and is also written to
-/// (partially) when the run throws SimError.
+/// (partially) when the run throws SimError. When `prepared` is non-null the
+/// run works on a private copy of it instead of regenerating layout, image
+/// and golden reference — the warm-cache fast path; the caller keeps
+/// ownership and the prepared input is never mutated.
 RunResult run_arch(ArchKind kind, const MachineConfig& cfg,
                    const workloads::Workload& workload, u64 seed = 1,
-                   trace::TraceSession* trace = nullptr);
+                   trace::TraceSession* trace = nullptr,
+                   const PreparedInput* prepared = nullptr);
 
 // Concrete system entry points.
 RunResult run_millipede(const MachineConfig& cfg,
                         const workloads::Workload& workload, u64 seed,
-                        trace::TraceSession* trace = nullptr);
+                        trace::TraceSession* trace = nullptr,
+                        const PreparedInput* prepared = nullptr);
 RunResult run_ssmc(const MachineConfig& cfg,
                    const workloads::Workload& workload, u64 seed,
-                   trace::TraceSession* trace = nullptr);
+                   trace::TraceSession* trace = nullptr,
+                   const PreparedInput* prepared = nullptr);
 RunResult run_gpgpu(const MachineConfig& cfg,
                     const workloads::Workload& workload, u64 seed,
-                    trace::TraceSession* trace = nullptr);
+                    trace::TraceSession* trace = nullptr,
+                    const PreparedInput* prepared = nullptr);
 RunResult run_multicore(const MachineConfig& cfg,
                         const workloads::Workload& workload, u64 seed,
-                        trace::TraceSession* trace = nullptr);
+                        trace::TraceSession* trace = nullptr,
+                        const PreparedInput* prepared = nullptr);
 
 }  // namespace mlp::arch

@@ -1,0 +1,131 @@
+#include "serve/client.hpp"
+
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace mlp::serve {
+
+Client::~Client() { close(); }
+
+void Client::connect(const std::string& socket_path) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  MLP_SIM_CHECK(socket_path.size() < sizeof(addr.sun_path), "serve",
+                "socket path too long for AF_UNIX: " + socket_path);
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  MLP_SIM_CHECK(fd_ >= 0, "serve",
+                std::string("socket(): ") + std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    close();
+    throw SimError("serve", "connect(" + socket_path + "): " + reason +
+                                " (is mlpserved running?)");
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Response Client::roundtrip(const std::string& request) {
+  MLP_SIM_CHECK(fd_ >= 0, "serve", "not connected");
+  MLP_SIM_CHECK(write_frame(fd_, request), "serve",
+                "connection lost while sending request");
+  std::optional<std::string> frame = read_frame(fd_);
+  MLP_SIM_CHECK(frame.has_value(), "serve",
+                "server closed the connection before responding");
+  return parse_response(*frame);
+}
+
+Response Client::ping() { return roundtrip(ping_request()); }
+Response Client::submit(const JobSpec& spec) {
+  return roundtrip(submit_request(spec));
+}
+Response Client::server_status() { return roundtrip(status_request()); }
+Response Client::job_status(u64 id) {
+  return roundtrip(job_status_request(id));
+}
+Response Client::result(u64 id, bool wait) {
+  return roundtrip(result_request(id, wait));
+}
+Response Client::cancel(u64 id) { return roundtrip(cancel_request(id)); }
+Response Client::shutdown() { return roundtrip(shutdown_request()); }
+
+namespace {
+
+/// Decode a result response into the RemoteResult slot.
+void fill_result(const Response& r, RemoteResult* out) {
+  const trace::JsonValue* csv = r.doc.find("csv");
+  const trace::JsonValue* stats = r.doc.find("stats");
+  const trace::JsonValue* hit = r.doc.find("cache_hit");
+  const trace::JsonValue* run_ok = r.doc.find("run_ok");
+  out->ok = true;
+  out->run_ok = run_ok != nullptr && run_ok->boolean;
+  out->csv = csv != nullptr ? csv->string : "";
+  out->stats_run_json = stats != nullptr ? stats->string : "";
+  out->cache_hit = hit != nullptr && hit->boolean;
+}
+
+}  // namespace
+
+std::vector<RemoteResult> run_matrix_remote(Client& client,
+                                            const std::vector<sim::MatrixJob>& jobs,
+                                            u64 window) {
+  std::vector<RemoteResult> results(jobs.size());
+  if (window == 0) {
+    const Response status = client.server_status();
+    const trace::JsonValue* limit = status.doc.find("queue_limit");
+    window = limit != nullptr && limit->unsigned_integer > 0
+                 ? limit->unsigned_integer
+                 : 8;
+  }
+
+  // (job index, server id) of submitted-but-unfetched jobs, FIFO. The
+  // result-wait fetch of the oldest entry is what frees an admission slot,
+  // so a queue-full rejection always resolves by draining the head.
+  std::deque<std::pair<std::size_t, u64>> inflight;
+  const auto drain_one = [&] {
+    const auto [index, id] = inflight.front();
+    inflight.pop_front();
+    const Response r = client.result(id, /*wait=*/true);
+    if (r.ok) {
+      fill_result(r, &results[index]);
+    } else {
+      results[index].error = r.error;
+      results[index].message = r.message;
+    }
+  };
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (inflight.size() >= window) drain_one();
+    for (;;) {
+      const Response r = client.submit(JobSpec{jobs[i], 0});
+      if (r.ok) {
+        inflight.emplace_back(i, r.doc.u64_at("id"));
+        break;
+      }
+      if (r.error == kErrQueueFull && !inflight.empty()) {
+        drain_one();  // free one admission slot, then retry the submit
+        continue;
+      }
+      results[i].error = r.error;
+      results[i].message = r.message;
+      break;
+    }
+  }
+  while (!inflight.empty()) drain_one();
+  return results;
+}
+
+}  // namespace mlp::serve

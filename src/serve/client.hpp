@@ -1,0 +1,67 @@
+#pragma once
+// Client side of the mlpserved protocol: a blocking connection wrapper plus
+// typed helpers for each request, and run_matrix_remote — the drop-in
+// counterpart of sim::run_matrix that ships a job list to a daemon with
+// sliding-window submission (respecting the server's queue-full
+// backpressure) and returns per-job results in submission order.
+
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace mlp::serve {
+
+/// One connection to a daemon. Requests are strictly sequential
+/// (request/response lock-step); open several Clients for concurrency.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to the daemon's socket; throws SimError("serve", ...) when the
+  /// daemon is absent or the path is invalid.
+  void connect(const std::string& socket_path);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// One request/response round trip; throws SimError("serve", ...) if the
+  /// connection drops mid-exchange.
+  Response roundtrip(const std::string& request);
+
+  // Typed helpers (thin wrappers over roundtrip).
+  Response ping();
+  Response submit(const JobSpec& spec);
+  Response server_status();
+  Response job_status(u64 id);
+  Response result(u64 id, bool wait);
+  Response cancel(u64 id);
+  Response shutdown();
+
+ private:
+  int fd_ = -1;
+};
+
+/// One remote job's outcome, in submission order.
+struct RemoteResult {
+  bool ok = false;        ///< the protocol exchange succeeded
+  bool run_ok = false;    ///< the simulation itself completed and verified
+  bool cache_hit = false;
+  std::string csv;             ///< sim::sweep_csv_row line (server-rendered)
+  std::string stats_run_json;  ///< sim::stats_json_run object
+  std::string error;           ///< typed kind when the SUBMISSION failed
+  std::string message;
+};
+
+/// Submit `jobs` through one connection with at most `window` outstanding at
+/// a time; a queue-full rejection retries after draining one in-flight
+/// result, so the caller never has to tune the window to the daemon's
+/// admission bound. `window` 0 sizes to the daemon's queue_limit.
+std::vector<RemoteResult> run_matrix_remote(Client& client,
+                                            const std::vector<sim::MatrixJob>& jobs,
+                                            u64 window = 0);
+
+}  // namespace mlp::serve

@@ -1,0 +1,481 @@
+#include "serve/protocol.hpp"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "sim/report.hpp"
+
+namespace mlp::serve {
+
+namespace {
+
+/// Read exactly `len` bytes; false on clean EOF at offset 0, throws on EOF
+/// mid-buffer (a truncated frame is a protocol violation, not a shutdown).
+bool read_exact(int fd, char* buf, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::read(fd, buf + done, len - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    if (n == 0 && done == 0) return false;  // clean EOF between frames
+    MLP_SIM_CHECK(false, "protocol",
+                  "connection closed mid-frame (" + std::to_string(done) +
+                      "/" + std::to_string(len) + " bytes)");
+  }
+  return true;
+}
+
+bool write_exact(int fd, const char* buf, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    // MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE,
+    // not kill the process with SIGPIPE.
+    const ssize_t n = ::send(fd, buf + done, len - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    return false;  // EPIPE / closed peer: caller drops the connection
+  }
+  return true;
+}
+
+[[noreturn]] void bad_request(const std::string& message) {
+  throw SimError(kErrBadRequest, message);
+}
+
+// ---- strict typed member extraction ----------------------------------------
+// Every accessor checks presence AND type so a malformed submit is rejected
+// with a message naming the offending member instead of silently defaulting.
+
+u64 member_u64(const trace::JsonValue& obj, const std::string& name, u64 def) {
+  const trace::JsonValue* v = obj.find(name);
+  if (v == nullptr) return def;
+  if (v->type != trace::JsonValue::Type::kNumber || !v->is_integer ||
+      v->number < 0) {
+    bad_request("\"" + name + "\" must be a non-negative integer");
+  }
+  return v->unsigned_integer;
+}
+
+double member_double(const trace::JsonValue& obj, const std::string& name,
+                     double def) {
+  const trace::JsonValue* v = obj.find(name);
+  if (v == nullptr) return def;
+  if (v->type != trace::JsonValue::Type::kNumber) {
+    bad_request("\"" + name + "\" must be a number");
+  }
+  return v->number;
+}
+
+bool member_bool(const trace::JsonValue& obj, const std::string& name,
+                 bool def) {
+  const trace::JsonValue* v = obj.find(name);
+  if (v == nullptr) return def;
+  if (v->type != trace::JsonValue::Type::kBool) {
+    bad_request("\"" + name + "\" must be a boolean");
+  }
+  return v->boolean;
+}
+
+std::string member_string(const trace::JsonValue& obj, const std::string& name,
+                          const std::string& def) {
+  const trace::JsonValue* v = obj.find(name);
+  if (v == nullptr) return def;
+  if (v->type != trace::JsonValue::Type::kString) {
+    bad_request("\"" + name + "\" must be a string");
+  }
+  return v->string;
+}
+
+/// Wrap an envelope: every response is {"ok":..,"type":..,...}.
+trace::JsonWriter response_head(bool ok, const char* type) {
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("ok");
+  w.value(ok);
+  w.key("type");
+  w.value(type);
+  return w;
+}
+
+std::string id_request(const char* type, u64 id) {
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("type");
+  w.value(type);
+  w.key("id");
+  w.value(id);
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+// ---- framing ---------------------------------------------------------------
+
+bool write_frame(int fd, const std::string& payload) {
+  MLP_SIM_CHECK(payload.size() <= kMaxFrameBytes, "protocol",
+                "outgoing frame exceeds " + std::to_string(kMaxFrameBytes) +
+                    " bytes");
+  const u32 len = static_cast<u32>(payload.size());
+  char header[4] = {static_cast<char>(len & 0xff),
+                    static_cast<char>((len >> 8) & 0xff),
+                    static_cast<char>((len >> 16) & 0xff),
+                    static_cast<char>((len >> 24) & 0xff)};
+  if (!write_exact(fd, header, sizeof(header))) return false;
+  return write_exact(fd, payload.data(), payload.size());
+}
+
+std::optional<std::string> read_frame(int fd) {
+  char header[4];
+  if (!read_exact(fd, header, sizeof(header))) return std::nullopt;
+  const u32 len = static_cast<u32>(static_cast<unsigned char>(header[0])) |
+                  static_cast<u32>(static_cast<unsigned char>(header[1])) << 8 |
+                  static_cast<u32>(static_cast<unsigned char>(header[2]))
+                      << 16 |
+                  static_cast<u32>(static_cast<unsigned char>(header[3]))
+                      << 24;
+  MLP_SIM_CHECK(len <= kMaxFrameBytes, "protocol",
+                "frame length " + std::to_string(len) + " exceeds limit (" +
+                    std::to_string(kMaxFrameBytes) + ")");
+  std::string payload(len, '\0');
+  if (len > 0 && !read_exact(fd, payload.data(), len)) {
+    MLP_SIM_CHECK(false, "protocol", "connection closed before frame payload");
+  }
+  return payload;
+}
+
+// ---- job spec (de)serialization --------------------------------------------
+
+std::string job_json(const JobSpec& spec) {
+  const sim::SuiteOptions& o = spec.job.options;
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("arch");
+  w.value(arch::arch_name(spec.job.kind));
+  w.key("bench");
+  w.value(spec.job.bench);
+  w.key("tag");
+  w.value(spec.job.tag);
+  w.key("records");
+  w.value(o.records);
+  w.key("rows");
+  w.value(o.rows);
+  w.key("seed");
+  w.value(o.seed);
+  w.key("record_barrier");
+  w.value(o.record_barrier);
+  w.key("cores");
+  w.value(o.cfg.core.cores);
+  w.key("pf_entries");
+  w.value(o.cfg.millipede.pf_entries);
+  w.key("bus_efficiency");
+  w.value(o.cfg.dram.bus_efficiency);
+  w.key("slab_layout");
+  w.value(o.cfg.slab_layout);
+  w.key("fault_rate");
+  w.value(o.cfg.dram.fault.bit_flip_rate);
+  w.key("fault_delay");
+  w.value(o.cfg.dram.fault.delay_rate);
+  w.key("fault_drop");
+  w.value(o.cfg.dram.fault.drop_rate);
+  w.key("fault_seed");
+  w.value(o.cfg.dram.fault.seed);
+  w.key("ecc");
+  w.value(o.cfg.dram.fault.ecc);
+  w.key("watchdog_cycles");
+  w.value(o.cfg.watchdog.max_cycles);
+  w.key("watchdog_stall");
+  w.value(o.cfg.watchdog.stall_cycles);
+  w.key("trace");
+  w.value(o.trace.chrome_json);
+  w.key("trace_dir");
+  w.value(o.trace.dir);
+  w.key("trace_ring");
+  w.value(o.trace.ring_entries);
+  w.key("trace_interval");
+  w.value(o.trace.interval_cycles);
+  w.key("hold_ms");
+  w.value(spec.hold_ms);
+  w.end_object();
+  return w.take();
+}
+
+JobSpec job_from_json(const trace::JsonValue& doc) {
+  if (!doc.is_object()) bad_request("job must be a JSON object");
+  static const char* const kKnown[] = {
+      "arch",        "bench",          "tag",            "records",
+      "rows",        "seed",           "record_barrier", "cores",
+      "pf_entries",  "bus_efficiency", "slab_layout",    "fault_rate",
+      "fault_delay", "fault_drop",     "fault_seed",     "ecc",
+      "watchdog_cycles", "watchdog_stall", "trace",      "trace_dir",
+      "trace_ring",  "trace_interval", "hold_ms",
+  };
+  for (const auto& [name, value] : doc.object) {
+    bool known = false;
+    for (const char* k : kKnown) {
+      if (name == k) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) bad_request("unknown job member \"" + name + "\"");
+  }
+
+  JobSpec spec;
+  sim::MatrixJob& job = spec.job;
+  sim::SuiteOptions& o = job.options;
+
+  const std::string arch_name = member_string(doc, "arch", "millipede");
+  if (!arch::arch_from_name(arch_name, &job.kind)) {
+    bad_request("unknown architecture \"" + arch_name + "\"");
+  }
+  job.bench = member_string(doc, "bench", "");
+  if (job.bench.empty()) bad_request("\"bench\" is required");
+  job.tag = member_string(doc, "tag", "");
+
+  o.records = member_u64(doc, "records", 0);
+  o.rows = member_u64(doc, "rows", sim::kDefaultRows);
+  if (o.rows == 0) bad_request("\"rows\" must be positive");
+  o.seed = member_u64(doc, "seed", 1);
+  o.record_barrier = member_bool(doc, "record_barrier", false);
+
+  const u64 cores = member_u64(doc, "cores", o.cfg.core.cores);
+  if (cores == 0 || cores > 0xffffffffull) {
+    bad_request("\"cores\" must be a positive 32-bit integer");
+  }
+  o.cfg.core.cores = static_cast<u32>(cores);
+  // Match mlpsweep's convention: one --cores axis sizes the GPGPU warp too,
+  // keeping cross-architecture resources identical by construction.
+  o.cfg.gpgpu.warp_width = static_cast<u32>(cores);
+  const u64 pf = member_u64(doc, "pf_entries", o.cfg.millipede.pf_entries);
+  if (pf == 0 || pf > 0xffffffffull) {
+    bad_request("\"pf_entries\" must be a positive 32-bit integer");
+  }
+  o.cfg.millipede.pf_entries = static_cast<u32>(pf);
+  o.cfg.dram.bus_efficiency =
+      member_double(doc, "bus_efficiency", o.cfg.dram.bus_efficiency);
+  if (!(o.cfg.dram.bus_efficiency > 0.0)) {
+    bad_request("\"bus_efficiency\" must be positive");
+  }
+  o.cfg.slab_layout = member_bool(doc, "slab_layout", false);
+
+  o.cfg.dram.fault.bit_flip_rate = member_double(doc, "fault_rate", 0.0);
+  o.cfg.dram.fault.delay_rate = member_double(doc, "fault_delay", 0.0);
+  o.cfg.dram.fault.drop_rate = member_double(doc, "fault_drop", 0.0);
+  for (const double rate :
+       {o.cfg.dram.fault.bit_flip_rate, o.cfg.dram.fault.delay_rate,
+        o.cfg.dram.fault.drop_rate}) {
+    if (!(rate >= 0.0) || rate > 1.0) {
+      bad_request("fault rates must be probabilities in [0, 1]");
+    }
+  }
+  o.cfg.dram.fault.seed = member_u64(doc, "fault_seed", 1);
+  o.cfg.dram.fault.ecc = member_bool(doc, "ecc", false);
+
+  o.cfg.watchdog.max_cycles =
+      member_u64(doc, "watchdog_cycles", o.cfg.watchdog.max_cycles);
+  o.cfg.watchdog.stall_cycles =
+      member_u64(doc, "watchdog_stall", o.cfg.watchdog.stall_cycles);
+
+  o.trace.chrome_json = member_bool(doc, "trace", false);
+  o.trace.dir = member_string(doc, "trace_dir", o.trace.dir);
+  o.trace.ring_entries = member_u64(doc, "trace_ring", 0);
+  o.trace.interval_cycles = member_u64(doc, "trace_interval", 0);
+
+  spec.hold_ms = member_u64(doc, "hold_ms", 0);
+  return spec;
+}
+
+// ---- request builders ------------------------------------------------------
+
+std::string ping_request() { return R"({"type":"ping"})"; }
+
+std::string submit_request(const JobSpec& spec) {
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("type");
+  w.value("submit");
+  w.key("job");
+  w.raw(job_json(spec));
+  w.end_object();
+  return w.take();
+}
+
+std::string status_request() { return R"({"type":"status"})"; }
+
+std::string job_status_request(u64 id) { return id_request("status", id); }
+
+std::string result_request(u64 id, bool wait) {
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("type");
+  w.value("result");
+  w.key("id");
+  w.value(id);
+  w.key("wait");
+  w.value(wait);
+  w.end_object();
+  return w.take();
+}
+
+std::string cancel_request(u64 id) { return id_request("cancel", id); }
+
+std::string shutdown_request() { return R"({"type":"shutdown"})"; }
+
+// ---- response builders -----------------------------------------------------
+
+std::string pong_response() {
+  trace::JsonWriter w = response_head(true, "pong");
+  w.key("protocol_version");
+  w.value(kProtocolVersion);
+  w.key("schema_version");
+  w.value(sim::kStatsJsonSchemaVersion);
+  w.end_object();
+  return w.take();
+}
+
+std::string submitted_response(u64 id) {
+  trace::JsonWriter w = response_head(true, "submitted");
+  w.key("id");
+  w.value(id);
+  w.end_object();
+  return w.take();
+}
+
+std::string status_response(const ServerStatus& status) {
+  trace::JsonWriter w = response_head(true, "status");
+  w.key("accepting");
+  w.value(status.accepting);
+  w.key("threads");
+  w.value(status.threads);
+  w.key("queue_limit");
+  w.value(status.queue_limit);
+  w.key("jobs");
+  w.begin_object();
+  w.key("queued");
+  w.value(status.queued);
+  w.key("running");
+  w.value(status.running);
+  w.key("done");
+  w.value(status.done);
+  w.key("cancelled");
+  w.value(status.cancelled);
+  w.end_object();
+  w.key("cache");
+  w.begin_object();
+  w.key("hits");
+  w.value(status.cache.hits);
+  w.key("misses");
+  w.value(status.cache.misses);
+  w.key("evictions");
+  w.value(status.cache.evictions);
+  w.key("entries");
+  w.value(status.cache.entries);
+  w.key("image_bytes");
+  w.value(status.cache.image_bytes);
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+std::string job_status_response(u64 id, JobState state) {
+  trace::JsonWriter w = response_head(true, "job-status");
+  w.key("id");
+  w.value(id);
+  w.key("state");
+  w.value(job_state_name(state));
+  w.end_object();
+  return w.take();
+}
+
+std::string result_response(u64 id, JobState state, bool cache_hit,
+                            bool run_ok, const std::string& csv,
+                            const std::string& stats_run_json) {
+  trace::JsonWriter w = response_head(true, "result");
+  w.key("id");
+  w.value(id);
+  w.key("state");
+  w.value(job_state_name(state));
+  w.key("cache_hit");
+  w.value(cache_hit);
+  w.key("run_ok");
+  w.value(run_ok);
+  w.key("csv");
+  w.value(csv);
+  // Shipped as an escaped string (not a nested object) so the client can
+  // reassemble sim::stats_json_document byte-for-byte from the fragments.
+  w.key("stats");
+  w.value(stats_run_json);
+  w.end_object();
+  return w.take();
+}
+
+std::string shutting_down_response() {
+  trace::JsonWriter w = response_head(true, "shutting-down");
+  w.end_object();
+  return w.take();
+}
+
+std::string error_response(const std::string& kind,
+                           const std::string& message) {
+  trace::JsonWriter w = response_head(false, "error");
+  w.key("error");
+  w.value(kind);
+  w.key("message");
+  w.value(message);
+  w.end_object();
+  return w.take();
+}
+
+// ---- response decoding -----------------------------------------------------
+
+Response parse_response(const std::string& payload) {
+  Response out;
+  out.raw = payload;
+  out.doc = trace::json_parse(payload);
+  MLP_SIM_CHECK(out.doc.is_object(), "protocol",
+                "response is not a JSON object");
+  const trace::JsonValue* ok = out.doc.find("ok");
+  const trace::JsonValue* type = out.doc.find("type");
+  MLP_SIM_CHECK(ok != nullptr && ok->type == trace::JsonValue::Type::kBool,
+                "protocol", "response lacks a boolean \"ok\"");
+  MLP_SIM_CHECK(
+      type != nullptr && type->type == trace::JsonValue::Type::kString,
+      "protocol", "response lacks a string \"type\"");
+  out.ok = ok->boolean;
+  out.type = type->string;
+  if (!out.ok) {
+    const trace::JsonValue* kind = out.doc.find("error");
+    const trace::JsonValue* message = out.doc.find("message");
+    out.error = kind != nullptr ? kind->string : "unknown";
+    out.message = message != nullptr ? message->string : "";
+  }
+  return out;
+}
+
+}  // namespace mlp::serve

@@ -1,0 +1,142 @@
+#pragma once
+// Wire protocol of the mlpserved simulation service: length-prefixed JSON
+// over a Unix-domain stream socket. One frame = one u32 little-endian
+// payload length followed by exactly that many bytes of UTF-8 JSON (always
+// a single object). Requests carry a "type" discriminator; every response
+// carries "ok" plus "type", and failures are TYPED — "error" is a stable
+// machine-readable kind (queue-full, bad-request, no-such-job, ...) with a
+// human "message" beside it, so clients can implement backpressure without
+// string-matching prose. The JSON itself reuses the exact-u64 writer/parser
+// from src/trace.
+//
+// Request vocabulary:
+//   {"type":"ping"}                      -> pong (version + schema handshake)
+//   {"type":"submit","job":{...}}        -> submitted {id} | error queue-full
+//   {"type":"status"}                    -> server status incl. cache counters
+//   {"type":"status","id":N}             -> job-status {state}
+//   {"type":"result","id":N,"wait":b}    -> result {state,cache_hit,csv,stats}
+//   {"type":"cancel","id":N}             -> cancelled | error job-running/...
+//   {"type":"shutdown"}                  -> shutting-down (drain + exit)
+//
+// The result's "stats" member is the run's stats-JSON object shipped as an
+// escaped string, byte-for-byte what a local sim::stats_json_run() emits, so
+// client-side document reassembly is bit-identical to a local run.
+
+#include <optional>
+#include <string>
+
+#include "sim/prepare.hpp"
+#include "sim/runner.hpp"
+#include "trace/json.hpp"
+
+namespace mlp::serve {
+
+/// Protocol revision; bumped on breaking wire changes. Reported by pong.
+inline constexpr u32 kProtocolVersion = 1;
+
+/// A frame larger than this is a protocol violation (a desynced or hostile
+/// peer), not a legitimate request.
+inline constexpr u32 kMaxFrameBytes = 64u << 20;
+
+// Stable error kinds (the "error" member of a failed response).
+inline constexpr char kErrQueueFull[] = "queue-full";
+inline constexpr char kErrBadRequest[] = "bad-request";
+inline constexpr char kErrNoSuchJob[] = "no-such-job";
+inline constexpr char kErrJobRunning[] = "job-running";
+inline constexpr char kErrJobPending[] = "job-pending";
+inline constexpr char kErrJobDone[] = "job-done";
+inline constexpr char kErrShuttingDown[] = "shutting-down";
+
+/// Lifecycle of a submitted job. Held (hold_ms) jobs count as queued — the
+/// hold models queue dwell and stays cancellable.
+enum class JobState : u8 { kQueued, kRunning, kDone, kCancelled };
+
+const char* job_state_name(JobState state);
+
+/// One submitted job plus its service-level options.
+struct JobSpec {
+  sim::MatrixJob job;
+  /// Artificial queue dwell in milliseconds before execution starts; the
+  /// job stays in kQueued (and cancellable) while held. Used by tests and
+  /// load experiments to make admission behaviour deterministic; cut short
+  /// by shutdown drain.
+  u64 hold_ms = 0;
+};
+
+// ---- framing ----
+
+/// Write one frame; false on a broken/closed peer (EPIPE, short write).
+bool write_frame(int fd, const std::string& payload);
+
+/// Read one frame; std::nullopt on clean EOF before a length byte. Throws
+/// SimError("protocol", ...) on oversized/truncated frames.
+std::optional<std::string> read_frame(int fd);
+
+// ---- job spec (de)serialization ----
+
+/// The job object of a submit request. Omitted fields take the same
+/// defaults as the command-line tools.
+std::string job_json(const JobSpec& spec);
+
+/// Strict parse: unknown members, wrong types, or unknown arch/bench
+/// spellings throw SimError(kErrBadRequest, ...).
+JobSpec job_from_json(const trace::JsonValue& doc);
+
+// ---- request builders (client side) ----
+
+std::string ping_request();
+std::string submit_request(const JobSpec& spec);
+std::string status_request();
+std::string job_status_request(u64 id);
+std::string result_request(u64 id, bool wait);
+std::string cancel_request(u64 id);
+std::string shutdown_request();
+
+// ---- response builders (server side) ----
+
+/// Server-level status snapshot shipped by the status response.
+struct ServerStatus {
+  u64 queued = 0;
+  u64 running = 0;
+  u64 done = 0;
+  u64 cancelled = 0;
+  u32 threads = 0;
+  u64 queue_limit = 0;
+  bool accepting = true;
+  sim::PrepareCacheStats cache;
+};
+
+std::string pong_response();
+std::string submitted_response(u64 id);
+std::string status_response(const ServerStatus& status);
+std::string job_status_response(u64 id, JobState state);
+/// `run_ok` distinguishes a job that executed but FAILED (bad config,
+/// watchdog trip, verification mismatch — a per-job error, not a protocol
+/// error) from a verified run. `stats_run_json` is the sim::stats_json_run
+/// object (may be empty for cancelled jobs); `csv` is the
+/// sim::sweep_csv_row line.
+std::string result_response(u64 id, JobState state, bool cache_hit,
+                            bool run_ok, const std::string& csv,
+                            const std::string& stats_run_json);
+std::string shutting_down_response();
+std::string error_response(const std::string& kind,
+                           const std::string& message);
+
+// ---- response decoding (client side) ----
+
+/// A parsed response envelope. For ok responses `doc` carries the full
+/// object; for failures `error` is the typed kind.
+struct Response {
+  bool ok = false;
+  std::string type;
+  std::string error;    ///< typed kind; empty iff ok
+  std::string message;  ///< human diagnostic; empty iff ok
+  std::string raw;      ///< the response frame verbatim (for --raw output)
+  trace::JsonValue doc;
+};
+
+/// Parse a response frame; throws SimError("protocol", ...) if the payload
+/// is not a response-shaped object.
+Response parse_response(const std::string& payload);
+
+}  // namespace mlp::serve

@@ -1,0 +1,329 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+namespace mlp::serve {
+
+namespace {
+
+/// A job still occupying an admission slot (the queue_limit population).
+bool non_terminal(JobState state) {
+  return state == JobState::kQueued || state == JobState::kRunning;
+}
+
+}  // namespace
+
+Server::Server(const ServeConfig& cfg)
+    : cfg_(cfg), cache_(cfg.cache_entries) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(cfg_.socket_path.c_str());
+  }
+}
+
+void Server::listen() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  MLP_SIM_CHECK(cfg_.socket_path.size() < sizeof(addr.sun_path), "serve",
+                "socket path too long for AF_UNIX: " + cfg_.socket_path);
+  std::strncpy(addr.sun_path, cfg_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  MLP_SIM_CHECK(listen_fd_ >= 0, "serve",
+                std::string("socket(): ") + std::strerror(errno));
+  // A stale socket file from a crashed daemon would make bind fail; remove
+  // it (a LIVE daemon on the path would still conflict at connect time).
+  ::unlink(cfg_.socket_path.c_str());
+  MLP_SIM_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) == 0,
+                "serve",
+                "bind(" + cfg_.socket_path + "): " + std::strerror(errno));
+  MLP_SIM_CHECK(::listen(listen_fd_, 16) == 0, "serve",
+                std::string("listen(): ") + std::strerror(errno));
+  pool_ = std::make_unique<sim::ThreadPool>(cfg_.threads);
+}
+
+void Server::run() {
+  MLP_SIM_CHECK(listen_fd_ >= 0, "serve", "run() before listen()");
+  while (!stop_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    // 100 ms poll timeout: the upper bound on SIGTERM-to-drain latency
+    // without needing a self-pipe in the signal handler.
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    open_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+
+  // ---- drain ----
+  // 1. Cut artificial holds short so queued jobs reach the workers, and
+  //    take the pool out of jobs_' sight so late submits see shutting-down
+  //    instead of racing the teardown.
+  std::unique_ptr<sim::ThreadPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, entry] : jobs_) entry.wake = true;
+    pool.swap(pool_);
+  }
+  cv_.notify_all();
+  // 2. Let every admitted job finish (ThreadPool's destructor runs the
+  //    remaining queue; in-flight simulations stay under their per-job
+  //    watchdog, so this cannot wedge). Clients blocked in result-wait are
+  //    released by the jobs' completion notifications.
+  pool.reset();
+  // 3. Unblock idle connections parked in read_frame and join the handlers.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(cfg_.socket_path.c_str());
+}
+
+void Server::request_stop() { stop_.store(true); }
+
+ServerStatus Server::status() const {
+  ServerStatus out;
+  out.queue_limit = cfg_.queue_limit;
+  out.accepting = !stop_.load();
+  out.cache = cache_.stats();
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.threads = pool_ != nullptr ? pool_->size() : 0;
+  for (const auto& [id, entry] : jobs_) {
+    switch (entry.state) {
+      case JobState::kQueued:
+        ++out.queued;
+        break;
+      case JobState::kRunning:
+        ++out.running;
+        break;
+      case JobState::kDone:
+        ++out.done;
+        break;
+      case JobState::kCancelled:
+        ++out.cancelled;
+        break;
+    }
+  }
+  return out;
+}
+
+void Server::serve_connection(int fd) {
+  for (;;) {
+    std::string request;
+    try {
+      std::optional<std::string> frame = read_frame(fd);
+      if (!frame.has_value()) break;  // clean EOF
+      request = std::move(*frame);
+    } catch (const SimError&) {
+      // Desynced framing: the byte stream is unrecoverable, drop the peer.
+      break;
+    }
+    const std::string response = handle_request(request);
+    if (!write_frame(fd, response)) break;
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  open_fds_.erase(std::remove(open_fds_.begin(), open_fds_.end(), fd),
+                  open_fds_.end());
+}
+
+std::string Server::handle_request(const std::string& payload) {
+  try {
+    const trace::JsonValue doc = trace::json_parse(payload);
+    MLP_SIM_CHECK(doc.is_object(), kErrBadRequest,
+                  "request is not a JSON object");
+    const trace::JsonValue* type = doc.find("type");
+    MLP_SIM_CHECK(
+        type != nullptr && type->type == trace::JsonValue::Type::kString,
+        kErrBadRequest, "request lacks a string \"type\"");
+    if (type->string == "ping") return pong_response();
+    if (type->string == "submit") return handle_submit(doc);
+    if (type->string == "status") return handle_status(doc);
+    if (type->string == "result") return handle_result(doc);
+    if (type->string == "cancel") return handle_cancel(doc);
+    if (type->string == "shutdown") {
+      request_stop();
+      return shutting_down_response();
+    }
+    return error_response(kErrBadRequest,
+                          "unknown request type \"" + type->string + "\"");
+  } catch (const SimError& e) {
+    // Typed kinds (queue-full, no-such-job, ...) pass through; anything
+    // else (json parse, config validation) is the client's bad request.
+    static const char* const kTyped[] = {
+        kErrQueueFull,  kErrBadRequest, kErrNoSuchJob,    kErrJobRunning,
+        kErrJobPending, kErrJobDone,    kErrShuttingDown,
+    };
+    for (const char* kind : kTyped) {
+      if (e.kind() == kind) return error_response(e.kind(), e.what());
+    }
+    return error_response(kErrBadRequest, e.what());
+  }
+}
+
+std::string Server::handle_submit(const trace::JsonValue& doc) {
+  const trace::JsonValue* job = doc.find("job");
+  MLP_SIM_CHECK(job != nullptr, kErrBadRequest,
+                "submit lacks a \"job\" object");
+  JobSpec spec = job_from_json(*job);
+
+  u64 id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_.load() || pool_ == nullptr) {
+      return error_response(kErrShuttingDown, "server is draining");
+    }
+    if (active_ >= cfg_.queue_limit) {
+      return error_response(
+          kErrQueueFull, "admission queue full (" +
+                             std::to_string(cfg_.queue_limit) +
+                             " jobs queued or running); retry after a fetch");
+    }
+    id = next_id_++;
+    JobEntry& entry = jobs_[id];
+    entry.spec = std::move(spec);
+    ++active_;
+    // Submit under the lock: drain swaps pool_ out under the same lock, so
+    // an admitted job can never race the pool teardown.
+    pool_->submit([this, id] { execute(id); });
+  }
+  return submitted_response(id);
+}
+
+std::string Server::handle_status(const trace::JsonValue& doc) {
+  if (doc.find("id") == nullptr) return status_response(status());
+  const u64 id = doc.u64_at("id");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  MLP_SIM_CHECK(it != jobs_.end(), kErrNoSuchJob,
+                "no job " + std::to_string(id));
+  return job_status_response(id, it->second.state);
+}
+
+std::string Server::handle_result(const trace::JsonValue& doc) {
+  MLP_SIM_CHECK(doc.find("id") != nullptr, kErrBadRequest,
+                "result lacks \"id\"");
+  const u64 id = doc.u64_at("id");
+  const trace::JsonValue* wait = doc.find("wait");
+  const bool block = wait != nullptr && wait->boolean;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  MLP_SIM_CHECK(it != jobs_.end(), kErrNoSuchJob,
+                "no job " + std::to_string(id));
+  JobEntry& entry = it->second;
+  if (block) {
+    cv_.wait(lock, [&entry] { return !non_terminal(entry.state); });
+  } else if (entry.state == JobState::kQueued) {
+    throw SimError(kErrJobPending, "job " + std::to_string(id) +
+                                       " is still queued; poll or wait");
+  } else if (entry.state == JobState::kRunning) {
+    throw SimError(kErrJobRunning, "job " + std::to_string(id) +
+                                       " is still running; poll or wait");
+  }
+  if (entry.state == JobState::kCancelled) {
+    return result_response(id, entry.state, false, false, "", "");
+  }
+  return result_response(id, entry.state, entry.cache_hit,
+                         entry.result.ok(), sim::sweep_csv_row(entry.result),
+                         sim::stats_json_run(entry.result));
+}
+
+std::string Server::handle_cancel(const trace::JsonValue& doc) {
+  MLP_SIM_CHECK(doc.find("id") != nullptr, kErrBadRequest,
+                "cancel lacks \"id\"");
+  const u64 id = doc.u64_at("id");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    MLP_SIM_CHECK(it != jobs_.end(), kErrNoSuchJob,
+                  "no job " + std::to_string(id));
+    JobEntry& entry = it->second;
+    switch (entry.state) {
+      case JobState::kRunning:
+        throw SimError(kErrJobRunning,
+                       "job " + std::to_string(id) +
+                           " already started; simulations are not preempted");
+      case JobState::kDone:
+        throw SimError(kErrJobDone,
+                       "job " + std::to_string(id) + " already finished");
+      case JobState::kCancelled:
+        break;  // idempotent
+      case JobState::kQueued:
+        entry.state = JobState::kCancelled;
+        entry.wake = true;
+        --active_;
+        break;
+    }
+  }
+  cv_.notify_all();
+  return job_status_response(id, JobState::kCancelled);
+}
+
+void Server::execute(u64 id) {
+  sim::MatrixJob job;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return;
+    JobEntry& entry = it->second;
+    if (entry.spec.hold_ms > 0) {
+      // Artificial queue dwell: the job HOLDS ITS WORKER but stays in
+      // kQueued (cancellable) until the hold elapses or drain/cancel wakes
+      // it. Deliberate — tests pin a worker with a held job to exercise
+      // queue-full backpressure and cancel deterministically.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(entry.spec.hold_ms);
+      cv_.wait_until(lock, deadline,
+                     [&entry] { return entry.wake; });
+    }
+    if (entry.state != JobState::kQueued) return;  // cancelled while held
+    entry.state = JobState::kRunning;
+    job = entry.spec.job;
+  }
+  cv_.notify_all();
+
+  bool cache_hit = false;
+  sim::MatrixResult result = sim::run_job(job, &cache_, &cache_hit);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it != jobs_.end()) {
+      JobEntry& entry = it->second;
+      entry.result = std::move(result);
+      entry.cache_hit = cache_hit;
+      entry.state = JobState::kDone;
+      --active_;
+    }
+  }
+  cv_.notify_all();
+}
+
+}  // namespace mlp::serve

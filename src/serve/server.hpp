@@ -1,0 +1,107 @@
+#pragma once
+// mlpserved core: a persistent simulation service. One Server owns
+//
+//  * a Unix-domain listening socket speaking the serve/protocol framing,
+//  * a sim::ThreadPool executing admitted jobs,
+//  * a bounded admission queue — when the number of not-yet-finished jobs
+//    reaches `queue_limit`, submits are REJECTED with a typed queue-full
+//    error (backpressure the client can see), never silently dropped,
+//  * a sim::PrepareCache keeping assembled programs, record sets, initial
+//    DRAM images and golden references warm across jobs, so a 4-arch ×
+//    8-bench matrix assembles each kernel once instead of 32 times.
+//
+// Lifecycle: run() blocks in the accept loop until request_stop() (SIGTERM/
+// SIGINT handler or a shutdown request) and then DRAINS — queued and running
+// jobs complete (their results stay fetchable until exit), new submits are
+// refused with shutting-down, and in-flight jobs remain under the per-job
+// forward-progress watchdog, so drain cannot hang on a wedged simulation.
+// Connections are handled one thread each; results are plain protocol
+// responses carrying the run's CSV row and its stats-JSON object.
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "sim/pool.hpp"
+#include "sim/prepare.hpp"
+
+namespace mlp::serve {
+
+struct ServeConfig {
+  std::string socket_path;  ///< AF_UNIX path (sun_path limit ~107 chars)
+  u32 threads = 0;          ///< simulation workers; 0 = hardware threads
+  /// Admission bound: maximum jobs queued-or-running at once. A submit
+  /// beyond it gets a typed queue-full rejection.
+  u64 queue_limit = 64;
+  std::size_t cache_entries = sim::PrepareCache::kDefaultEntries;
+};
+
+class Server {
+ public:
+  explicit Server(const ServeConfig& cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen; throws SimError("serve", ...) on socket errors (path too
+  /// long, address in use, ...). Separate from run() so callers can report
+  /// readiness before blocking.
+  void listen();
+
+  /// Accept/serve until request_stop(), then drain in-flight jobs and
+  /// return. The accept loop polls with a 100 ms timeout so a signal
+  /// handler's request_stop() is honoured promptly without self-pipes.
+  void run();
+
+  /// Async-signal-safe stop request (only touches lock-free state).
+  void request_stop();
+
+  /// Aggregate counters for the status response (also used by tests).
+  ServerStatus status() const;
+
+  const std::string& socket_path() const { return cfg_.socket_path; }
+
+ private:
+  struct JobEntry {
+    JobSpec spec;
+    JobState state = JobState::kQueued;
+    sim::MatrixResult result;
+    bool cache_hit = false;
+    /// Set when the hold/queue wait should end early (cancel or drain).
+    bool wake = false;
+  };
+
+  std::string handle_request(const std::string& payload);
+  std::string handle_submit(const trace::JsonValue& doc);
+  std::string handle_status(const trace::JsonValue& doc);
+  std::string handle_result(const trace::JsonValue& doc);
+  std::string handle_cancel(const trace::JsonValue& doc);
+  void execute(u64 id);
+  void serve_connection(int fd);
+
+  ServeConfig cfg_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+
+  std::unique_ptr<sim::ThreadPool> pool_;
+  sim::PrepareCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;  ///< job state changes: result-wait, holds
+  std::map<u64, JobEntry> jobs_;
+  u64 next_id_ = 1;
+  u64 active_ = 0;  ///< queued + running (the admission-bounded population)
+
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> open_fds_;  ///< live connection sockets, for drain
+};
+
+}  // namespace mlp::serve

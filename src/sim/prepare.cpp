@@ -1,0 +1,105 @@
+#include "sim/prepare.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace mlp::sim {
+
+std::string prepare_key(const MatrixJob& job) {
+  const SuiteOptions& o = job.options;
+  // The effective record count folds `records`, `rows` and the row geometry
+  // into one number, so "--records 49152" and the "--rows 192" sizing that
+  // produces 49152 records share an entry.
+  u64 records = o.records;
+  if (records == 0) {
+    const std::vector<std::string>& names = workloads::bmla_names();
+    MLP_SIM_CHECK(
+        std::find(names.begin(), names.end(), job.bench) != names.end(),
+        "prepare", "unknown benchmark: " + job.bench);
+    records = records_for(job.bench, o.cfg, o.rows);
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%s|n%llu|s%llu|b%d|rb%u|slab%d",
+                job.bench.c_str(), static_cast<unsigned long long>(records),
+                static_cast<unsigned long long>(o.seed),
+                o.record_barrier ? 1 : 0, o.cfg.dram.row_bytes,
+                o.cfg.slab_layout ? 1 : 0);
+  return buf;
+}
+
+PreparedJobPtr prepare_job(const MatrixJob& job) {
+  const std::vector<std::string>& names = workloads::bmla_names();
+  MLP_SIM_CHECK(
+      std::find(names.begin(), names.end(), job.bench) != names.end(),
+      "prepare", "unknown benchmark: " + job.bench);
+  workloads::WorkloadParams params;
+  params.num_records =
+      job.options.records != 0
+          ? job.options.records
+          : records_for(job.bench, job.options.cfg, job.options.rows);
+  params.seed = job.options.seed;
+  params.record_barrier = job.options.record_barrier;
+  workloads::Workload workload = workloads::make_bmla(job.bench, params);
+  arch::PreparedInput input =
+      arch::prepare_input(job.options.cfg, workload, job.options.seed);
+  return std::make_shared<const PreparedJob>(
+      PreparedJob{std::move(workload), std::move(input)});
+}
+
+PrepareCache::PrepareCache(std::size_t max_entries)
+    : max_entries_(std::max<std::size_t>(1, max_entries)) {}
+
+PreparedJobPtr PrepareCache::get(const MatrixJob& job, bool* hit) {
+  const std::string key = prepare_key(job);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      ++stats_.hits;
+      if (hit != nullptr) *hit = true;
+      return it->second->value;
+    }
+  }
+  // Prepare outside the lock: assembly + generation + reference are the
+  // expensive part, and a concurrent miss on another key must not serialize
+  // behind it. Two concurrent misses on the SAME key both prepare; the
+  // results are identical, the first insert wins.
+  PreparedJobPtr value = prepare_job(job);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  if (hit != nullptr) *hit = false;
+  const auto it = index_.find(key);
+  if (it != index_.end()) return it->second->value;  // lost the race
+  lru_.push_front(Entry{key, value});
+  index_[key] = lru_.begin();
+  stats_.image_bytes += value->input.image.size();
+  while (lru_.size() > max_entries_) {
+    const Entry& victim = lru_.back();
+    stats_.image_bytes -= victim.value->input.image.size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = lru_.size();
+  return value;
+}
+
+PrepareCacheStats PrepareCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PrepareCacheStats out = stats_;
+  out.entries = lru_.size();
+  return out;
+}
+
+void PrepareCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+  stats_.image_bytes = 0;
+}
+
+}  // namespace mlp::sim

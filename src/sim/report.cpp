@@ -96,100 +96,113 @@ std::string sweep_csv_row(const MatrixResult& run) {
   return row;
 }
 
-std::string stats_json(const std::vector<MatrixResult>& runs) {
+std::string stats_json_run(const MatrixResult& run) {
+  const SuiteOptions& o = run.job.options;
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("arch");
+  w.value(std::string(arch_column(run)));
+  w.key("bench");
+  w.value(run.job.bench);
+  w.key("tag");
+  w.value(run.job.tag);
+  w.key("ok");
+  w.value(run.ok());
+  w.key("error");
+  w.value(run.error);
+  w.key("config");
+  w.begin_object();
+  w.key("cores");
+  w.value(o.cfg.core.cores);
+  w.key("pf_entries");
+  w.value(o.cfg.millipede.pf_entries);
+  w.key("bus_efficiency");
+  w.value(o.cfg.dram.bus_efficiency);
+  w.key("rows");
+  w.value(o.rows);
+  w.key("records");
+  w.value(job_records(run.job));
+  w.key("seed");
+  w.value(o.seed);
+  w.key("record_barrier");
+  w.value(o.record_barrier);
+  w.key("fault_rate");
+  w.value(o.cfg.dram.fault.bit_flip_rate);
+  w.key("ecc");
+  w.value(o.cfg.dram.fault.ecc);
+  w.end_object();
+  if (run.ok()) {
+    const arch::RunResult& r = run.result;
+    w.key("metrics");
+    w.begin_object();
+    w.key("runtime_ps");
+    w.value(static_cast<u64>(r.runtime_ps));
+    w.key("compute_cycles");
+    w.value(r.compute_cycles);
+    w.key("thread_instructions");
+    w.value(r.thread_instructions);
+    w.key("input_words");
+    w.value(r.input_words);
+    w.key("insts_per_word");
+    w.value(r.insts_per_word);
+    w.key("branches_per_inst");
+    w.value(r.branches_per_inst);
+    w.key("row_miss_rate");
+    w.value(r.row_miss_rate);
+    w.key("final_clock_mhz");
+    w.value(r.final_clock_mhz);
+    w.key("warp_width");
+    w.value(r.warp_width);
+    w.key("core_j");
+    w.value(r.energy.core_j);
+    w.key("dram_j");
+    w.value(r.energy.dram_j);
+    w.key("leak_j");
+    w.value(r.energy.leak_j);
+    w.key("total_j");
+    w.value(r.energy.total_j());
+    w.end_object();
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, value] : r.stats) {  // std::map: sorted names
+      w.key(name);
+      w.value(value);
+    }
+    w.end_object();
+  }
+  if (!run.trace_files.empty()) {
+    w.key("trace_files");
+    w.begin_array();
+    for (const std::string& path : run.trace_files) w.value(path);
+    w.end_array();
+  }
+  w.end_object();
+  return w.take();
+}
+
+std::string stats_json_document(const std::vector<std::string>& run_objects) {
   trace::JsonWriter w;
   w.begin_object();
   w.key("schema_version");
   w.value(kStatsJsonSchemaVersion);
   w.key("runs");
   w.begin_array();
-  for (const MatrixResult& run : runs) {
-    const SuiteOptions& o = run.job.options;
+  for (const std::string& object : run_objects) {
     w.newline();
-    w.begin_object();
-    w.key("arch");
-    w.value(std::string(arch_column(run)));
-    w.key("bench");
-    w.value(run.job.bench);
-    w.key("tag");
-    w.value(run.job.tag);
-    w.key("ok");
-    w.value(run.ok());
-    w.key("error");
-    w.value(run.error);
-    w.key("config");
-    w.begin_object();
-    w.key("cores");
-    w.value(o.cfg.core.cores);
-    w.key("pf_entries");
-    w.value(o.cfg.millipede.pf_entries);
-    w.key("bus_efficiency");
-    w.value(o.cfg.dram.bus_efficiency);
-    w.key("rows");
-    w.value(o.rows);
-    w.key("records");
-    w.value(job_records(run.job));
-    w.key("seed");
-    w.value(o.seed);
-    w.key("record_barrier");
-    w.value(o.record_barrier);
-    w.key("fault_rate");
-    w.value(o.cfg.dram.fault.bit_flip_rate);
-    w.key("ecc");
-    w.value(o.cfg.dram.fault.ecc);
-    w.end_object();
-    if (run.ok()) {
-      const arch::RunResult& r = run.result;
-      w.key("metrics");
-      w.begin_object();
-      w.key("runtime_ps");
-      w.value(static_cast<u64>(r.runtime_ps));
-      w.key("compute_cycles");
-      w.value(r.compute_cycles);
-      w.key("thread_instructions");
-      w.value(r.thread_instructions);
-      w.key("input_words");
-      w.value(r.input_words);
-      w.key("insts_per_word");
-      w.value(r.insts_per_word);
-      w.key("branches_per_inst");
-      w.value(r.branches_per_inst);
-      w.key("row_miss_rate");
-      w.value(r.row_miss_rate);
-      w.key("final_clock_mhz");
-      w.value(r.final_clock_mhz);
-      w.key("warp_width");
-      w.value(r.warp_width);
-      w.key("core_j");
-      w.value(r.energy.core_j);
-      w.key("dram_j");
-      w.value(r.energy.dram_j);
-      w.key("leak_j");
-      w.value(r.energy.leak_j);
-      w.key("total_j");
-      w.value(r.energy.total_j());
-      w.end_object();
-      w.key("counters");
-      w.begin_object();
-      for (const auto& [name, value] : r.stats) {  // std::map: sorted names
-        w.key(name);
-        w.value(value);
-      }
-      w.end_object();
-    }
-    if (!run.trace_files.empty()) {
-      w.key("trace_files");
-      w.begin_array();
-      for (const std::string& path : run.trace_files) w.value(path);
-      w.end_array();
-    }
-    w.end_object();
+    w.raw(object);
   }
   w.end_array();
   w.end_object();
   std::string out = w.take();
   out += '\n';
   return out;
+}
+
+std::string stats_json(const std::vector<MatrixResult>& runs) {
+  std::vector<std::string> objects;
+  objects.reserve(runs.size());
+  for (const MatrixResult& run : runs) objects.push_back(stats_json_run(run));
+  return stats_json_document(objects);
 }
 
 }  // namespace mlp::sim

@@ -36,4 +36,14 @@ u64 job_records(const MatrixJob& job);
 /// runs produce byte-identical documents.
 std::string stats_json(const std::vector<MatrixResult>& runs);
 
+/// One run's entry of the stats-JSON document, as a standalone JSON object.
+/// The mlpserved daemon ships these to clients verbatim so a document
+/// reassembled client-side is byte-identical to a local stats_json() call.
+std::string stats_json_run(const MatrixResult& run);
+
+/// Wrap pre-rendered run objects (stats_json_run output) into the full
+/// schema_version-stamped document. stats_json(runs) ==
+/// stats_json_document({stats_json_run(r)...}) byte for byte.
+std::string stats_json_document(const std::vector<std::string>& run_objects);
+
 }  // namespace mlp::sim

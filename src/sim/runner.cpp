@@ -12,6 +12,7 @@
 
 #include "common/error.hpp"
 #include "sim/pool.hpp"
+#include "sim/prepare.hpp"
 
 namespace mlp::sim {
 
@@ -95,29 +96,25 @@ u64 records_for(const std::string& bench, const MachineConfig& cfg,
   return groups * group_records;
 }
 
-MatrixResult run_job(const MatrixJob& job) {
+MatrixResult run_job(const MatrixJob& job, PrepareCache* cache,
+                     bool* cache_hit) {
   MatrixResult out;
   out.job = job;
+  if (cache_hit != nullptr) *cache_hit = false;
   const std::vector<std::string>& names = workloads::bmla_names();
   if (std::find(names.begin(), names.end(), job.bench) == names.end()) {
     out.error = "unknown benchmark: " + job.bench;
     return out;
   }
-  workloads::WorkloadParams params;
-  params.num_records = job.options.records != 0
-                           ? job.options.records
-                           : records_for(job.bench, job.options.cfg,
-                                         job.options.rows);
-  params.seed = job.options.seed;
-  params.record_barrier = job.options.record_barrier;
   std::optional<trace::TraceSession> session;
   if (job.options.trace.enabled()) session.emplace(job.options.trace);
   try {
-    const workloads::Workload workload = workloads::make_bmla(job.bench,
-                                                              params);
-    out.result = arch::run_arch(job.kind, job.options.cfg, workload,
-                                job.options.seed,
-                                session ? &*session : nullptr);
+    const PreparedJobPtr prepared =
+        cache != nullptr ? cache->get(job, cache_hit) : prepare_job(job);
+    out.result = arch::run_arch(job.kind, job.options.cfg,
+                                prepared->workload, job.options.seed,
+                                session ? &*session : nullptr,
+                                &prepared->input);
   } catch (const SimError& e) {
     out.error = e.what();
     out.diagnostic = e.diagnostic();
@@ -134,14 +131,14 @@ MatrixResult run_job(const MatrixJob& job) {
 }
 
 std::vector<MatrixResult> run_matrix(const std::vector<MatrixJob>& jobs,
-                                     u32 threads) {
+                                     u32 threads, PrepareCache* cache) {
   std::vector<MatrixResult> results(jobs.size());
   if (threads == 0) threads = ThreadPool::default_threads();
   threads = static_cast<u32>(std::min<std::size_t>(
       threads, std::max<std::size_t>(1, jobs.size())));
   if (threads <= 1) {
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      results[i] = run_job(jobs[i]);
+      results[i] = run_job(jobs[i], cache);
     }
     return results;
   }
@@ -149,8 +146,8 @@ std::vector<MatrixResult> run_matrix(const std::vector<MatrixJob>& jobs,
   std::vector<std::future<void>> pending;
   pending.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    pending.push_back(
-        pool.submit([&jobs, &results, i] { results[i] = run_job(jobs[i]); }));
+    pending.push_back(pool.submit(
+        [&jobs, &results, cache, i] { results[i] = run_job(jobs[i], cache); }));
   }
   for (std::future<void>& f : pending) f.get();
   return results;
@@ -174,9 +171,10 @@ std::vector<arch::RunResult> run_suite(arch::ArchKind kind,
   for (const std::string& bench : workloads::bmla_names()) {
     jobs.push_back({kind, bench, options, /*tag=*/""});
   }
+  PrepareCache cache;  // suite-local: repeated benches share preparation
   std::vector<arch::RunResult> results;
   results.reserve(jobs.size());
-  for (MatrixResult& r : run_matrix(jobs, threads)) {
+  for (MatrixResult& r : run_matrix(jobs, threads, &cache)) {
     if (!r.ok()) {
       std::fprintf(stderr, "RUN FAILED %s/%s: %s\n",
                    arch::arch_name(r.job.kind), r.job.bench.c_str(),

@@ -73,24 +73,33 @@ struct MatrixResult {
 /// tools and tests can predict run_job's output paths.
 std::string trace_basename(const MatrixJob& job);
 
+class PrepareCache;  // sim/prepare.hpp — memoized job preparation
+
 /// Execute one job, collecting failures (unknown benchmark, bad
 /// configuration, watchdog trip, uncorrectable memory fault, verification
-/// mismatch) into MatrixResult::error instead of aborting.
-MatrixResult run_job(const MatrixJob& job);
+/// mismatch) into MatrixResult::error instead of aborting. Preparation
+/// (kernel assembly, record generation, initial DramImage, golden reference)
+/// goes through `cache` when given, so jobs with equivalent preparation keys
+/// share the artifacts; results are bit-identical either way. `cache_hit`
+/// (optional) reports whether this job's artifacts were already warm.
+MatrixResult run_job(const MatrixJob& job, PrepareCache* cache = nullptr,
+                     bool* cache_hit = nullptr);
 
 /// Execute `jobs` on a pool of `threads` workers (0 = one per hardware
 /// thread) and return results in submission order. Jobs share no mutable
-/// state, so any thread count yields identical results; `threads` only
-/// changes wall-clock time.
+/// state (the prepare cache hands out immutable artifacts), so any thread
+/// count yields identical results; `threads` only changes wall-clock time.
 std::vector<MatrixResult> run_matrix(const std::vector<MatrixJob>& jobs,
-                                     u32 threads = 0);
+                                     u32 threads = 0,
+                                     PrepareCache* cache = nullptr);
 
 /// Run one (architecture, benchmark) pair and abort if verification fails.
 arch::RunResult run_verified(arch::ArchKind kind, const std::string& bench,
                              const SuiteOptions& options);
 
 /// Run all eight BMLAs on one architecture, `threads` at a time (0 = one
-/// per hardware thread); aborts if any run fails verification.
+/// per hardware thread); aborts if any run fails verification. A suite-local
+/// prepare cache deduplicates preparation across the grid.
 std::vector<arch::RunResult> run_suite(arch::ArchKind kind,
                                        const SuiteOptions& options,
                                        u32 threads = 0);

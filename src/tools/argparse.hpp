@@ -1,7 +1,15 @@
 #pragma once
-// Strict numeric flag parsing shared by the command-line drivers: a value
-// that is not fully numeric ("0x", "abc", "12 34") is a usage error that
-// exits 2 with a message, never a silent 0.
+// Strict flag handling shared by the command-line drivers. Two layers:
+//
+//  * numeric parsing helpers — a value that is not fully numeric ("0x",
+//    "abc", "12 34") is a usage error that exits 2 with a message, never a
+//    silent 0;
+//  * ArgCursor — a uniform argv walker giving every tool the same UX
+//    contract: "--flag value" and "--flag=value" are equivalent, a value
+//    glued onto a boolean switch ("--ecc=1") is a usage error, a missing
+//    value exits 2, and unknown flags are reported via unknown_flag()
+//    (stderr, exit 2). --help goes to stdout with exit 0 and --version
+//    reports the common version stamp; both are handled per tool.
 
 #include <cerrno>
 #include <cstdio>
@@ -12,6 +20,87 @@
 #include "common/types.hpp"
 
 namespace mlp::tools {
+
+/// One version stamp for the whole toolchain; every binary's --version
+/// reports it so a sweep script can assert client/daemon compatibility.
+inline constexpr char kVersionString[] = "0.4.0";
+
+inline void print_version(const char* tool) {
+  std::printf("%s (millipede-sim) %s\n", tool, kVersionString);
+}
+
+/// Uniform unknown-flag report: stderr + exit status 2 (returned so mains
+/// can `return tools::unknown_flag(...)`).
+inline int unknown_flag(const std::string& flag) {
+  std::fprintf(stderr, "unknown option %s (try --help)\n", flag.c_str());
+  return 2;
+}
+
+/// argv walker with uniform "--flag value" / "--flag=value" handling.
+///
+///   tools::ArgCursor args(argc, argv);
+///   while (args.next()) {
+///     if (args.is("--rows")) rows = parse_u64(args.flag(), args.value());
+///     else if (args.is("--ecc")) ecc = true;
+///     else return tools::unknown_flag(args.flag());
+///   }
+class ArgCursor {
+ public:
+  ArgCursor(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  /// Advance to the next flag; false when argv is exhausted. Exits 2 if the
+  /// previous flag carried an inline "=value" that no one consumed (a value
+  /// glued onto a boolean switch, e.g. "--ecc=1").
+  bool next() {
+    if (inline_value_ && !inline_consumed_) {
+      std::fprintf(stderr, "%s does not take a value\n", flag_.c_str());
+      std::exit(2);
+    }
+    if (++index_ >= argc_) return false;
+    const std::string arg = argv_[index_];
+    inline_value_ = false;
+    inline_consumed_ = false;
+    std::string::size_type eq = std::string::npos;
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      eq = arg.find('=');
+    }
+    if (eq != std::string::npos) {
+      flag_ = arg.substr(0, eq);
+      value_ = arg.substr(eq + 1);
+      inline_value_ = true;
+    } else {
+      flag_ = arg;
+      value_.clear();
+    }
+    return true;
+  }
+
+  const std::string& flag() const { return flag_; }
+  bool is(const char* name) const { return flag_ == name; }
+
+  /// The flag's value: the inline "=value" or the next argv element. Exits 2
+  /// when neither exists.
+  std::string value() {
+    if (inline_value_) {
+      inline_consumed_ = true;
+      return value_;
+    }
+    if (index_ + 1 >= argc_) {
+      std::fprintf(stderr, "missing value for %s\n", flag_.c_str());
+      std::exit(2);
+    }
+    return argv_[++index_];
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+  int index_ = 0;
+  std::string flag_;
+  std::string value_;
+  bool inline_value_ = false;
+  bool inline_consumed_ = false;
+};
 
 [[noreturn]] inline void flag_error(const std::string& flag,
                                     const std::string& text,

@@ -12,6 +12,7 @@
 #include <sstream>
 #include <string>
 
+#include "argparse.hpp"
 #include "isa/assembler.hpp"
 #include "isa/cfg.hpp"
 #include "isa/disassembler.hpp"
@@ -63,18 +64,28 @@ void inspect(const isa::Program& program, bool encode) {
 int main(int argc, char** argv) {
   std::string bench, file;
   bool encode = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--bench" && i + 1 < argc) {
-      bench = argv[++i];
-    } else if (arg == "--file" && i + 1 < argc) {
-      file = argv[++i];
-    } else if (arg == "--encode") {
+  tools::ArgCursor args(argc, argv);
+  while (args.next()) {
+    if (args.is("--help") || args.is("-h")) {
+      std::printf(
+          "mlpasm — kernel inspection tool\n"
+          "\n"
+          "  --bench NAME   disassemble a built-in benchmark kernel\n"
+          "  --file PATH    assemble + inspect a source file\n"
+          "  --encode       also dump the 32-bit binary encoding\n"
+          "  --version      print the toolchain version\n");
+      return 0;
+    } else if (args.is("--version")) {
+      tools::print_version("mlpasm");
+      return 0;
+    } else if (args.is("--bench")) {
+      bench = args.value();
+    } else if (args.is("--file")) {
+      file = args.value();
+    } else if (args.is("--encode")) {
       encode = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: mlpasm (--bench NAME | --file PATH) [--encode]\n");
-      return 2;
+      return tools::unknown_flag(args.flag());
     }
   }
 

@@ -62,32 +62,12 @@ void usage() {
   --trace-interval N  sample every registered counter (as per-interval
                     deltas) every N compute cycles into a CSV timeline
   --list            list architectures and benchmarks
+  --version         print the toolchain version
 
 A failed run (bad config, watchdog trip, uncorrectable fault, verification
 mismatch) is reported on stderr with its diagnostic dump; remaining runs
 still execute and the exit status is nonzero.
 )");
-}
-
-bool arch_from_name(const std::string& name, arch::ArchKind* out) {
-  using arch::ArchKind;
-  const std::pair<const char*, ArchKind> table[] = {
-      {"millipede", ArchKind::kMillipede},
-      {"millipede-no-flow-control", ArchKind::kMillipedeNoFlowControl},
-      {"millipede-no-rate-match", ArchKind::kMillipedeNoRateMatch},
-      {"ssmc", ArchKind::kSsmc},
-      {"gpgpu", ArchKind::kGpgpu},
-      {"vws", ArchKind::kVws},
-      {"vws-row", ArchKind::kVwsRow},
-      {"multicore", ArchKind::kMulticore},
-  };
-  for (const auto& [n, kind] : table) {
-    if (name == n) {
-      *out = kind;
-      return true;
-    }
-  }
-  return false;
 }
 
 }  // namespace
@@ -101,17 +81,15 @@ int main(int argc, char** argv) {
   u32 jobs = 1;
   sim::SuiteOptions options;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-        std::exit(2);
-      }
-      return argv[++i];
-    };
+  tools::ArgCursor args(argc, argv);
+  while (args.next()) {
+    const std::string& arg = args.flag();
+    auto next = [&]() { return args.value(); };
     if (arg == "--help" || arg == "-h") {
       usage();
+      return 0;
+    } else if (arg == "--version") {
+      tools::print_version("mlpsim");
       return 0;
     } else if (arg == "--list") {
       std::printf("architectures: millipede millipede-no-flow-control "
@@ -123,9 +101,9 @@ int main(int argc, char** argv) {
       std::printf("\n");
       return 0;
     } else if (arg == "--arch") {
-      if (!arch_from_name(next(), &kind)) {
-        std::fprintf(stderr, "unknown architecture\n");
-        return 2;
+      const std::string name = next();
+      if (!arch::arch_from_name(name, &kind)) {
+        tools::flag_error(arg, name, "a known architecture");
       }
     } else if (arg == "--bench") {
       bench = next();
@@ -185,8 +163,7 @@ int main(int argc, char** argv) {
       options.trace.interval_cycles =
           tools::parse_u64(arg, next(), /*min=*/1);
     } else {
-      std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
-      return 2;
+      return tools::unknown_flag(arg);
     }
   }
 

@@ -1,22 +1,31 @@
 // mlpsweep — config-grid sweep driver: expands the cross product of
 // {architectures} × {benchmarks} × {cores} × {pf-entries} ×
-// {bus-efficiencies} × {rows} into independent simulation jobs, runs them
-// in parallel through sim::run_matrix, and emits one CSV row per point in
-// deterministic grid order. Replaces the old shell-loop-over-mlpsim
-// workflow (one process and one thread per sweep point).
+// {bus-efficiencies} × {rows} × {fault-rates} into independent simulation
+// jobs and emits one CSV row per point in deterministic grid order. Two
+// execution paths with byte-identical output:
+//
+//  * local (default): sim::run_matrix on an in-process thread pool, with a
+//    warm prepare cache deduplicating kernel assembly / record generation /
+//    DRAM image construction across the grid;
+//  * remote (--server SOCK): ship the jobs to a running mlpserved daemon —
+//    its cache stays warm ACROSS sweeps, so repeated grids skip preparation
+//    entirely.
 //
 //   mlpsweep --arch millipede,ssmc --bench count,kmeans --cores 16,32,64
 //   mlpsweep --pf-entries 4,8,16,32 --rows 96,192 --jobs 8 > sweep.csv
+//   mlpsweep --server /tmp/mlp.sock --arch all --bench all --stats-json
 
-#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "argparse.hpp"
+#include "serve/client.hpp"
 #include "sim/pool.hpp"
+#include "sim/prepare.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
+#include "sweep_grid.hpp"
 
 namespace {
 
@@ -25,30 +34,15 @@ using namespace mlp;
 void usage() {
   std::printf(R"(mlpsweep — parallel configuration-grid sweep
 
-Grid axes (comma-separated lists; each defaults to one paper-default point):
-  --arch LIST|all       architectures            (default millipede)
-  --bench LIST|all      benchmarks               (default all)
-  --cores LIST          corelets / lanes / cores (default 32)
-  --pf-entries LIST     prefetch buffer entries  (default 16)
-  --bus-efficiency LIST effective bus efficiency (default 0.30)
-  --rows LIST           data volume in DRAM rows (default 192)
-  --fault-rate LIST     DRAM bit-flip probability per transferred bit
-                        (default 0 = off)
-
-Scalars:
-  --records N           absolute record count (overrides --rows sizing)
-  --seed N              data generation seed     (default 1)
+%s
+Execution:
   --jobs N              concurrent simulations   (default: all hw threads)
-  --ecc                 SECDED(72,64) correction + retry on detection
-  --fault-seed N        fault-injection seed     (default 1)
-  --watchdog-cycles N / --watchdog-stall N
-                        forward-progress watchdog limits (0 disables)
+  --server SOCK         run the grid on a mlpserved daemon at SOCK instead
+                        of in-process (same output bytes, warm caches
+                        persist across sweeps)
   --stats-json          emit one JSON document (per-point config, metrics,
                         every registered counter) instead of the CSV
-  --trace               per-point Chrome-trace JSON under the trace dir
-  --trace-dir DIR       output directory for trace files (default traces)
-  --trace-ring N        bounded binary-ring capture (most recent N events)
-  --trace-interval N    interval-sampled counter timeline CSV per point
+  --version             print the toolchain version
 
 Output: one CSV row per grid point on stdout, config columns first, a
 trailing `error` column last. Rows appear in grid order regardless of
@@ -57,190 +51,92 @@ fault, verification mismatch) is reported on stderr with its diagnostic,
 keeps its row (config columns + error message, metrics empty) so the CSV
 stays rectangular, and makes the exit status 1; the remaining points still
 run, bit-identically for any --jobs.
-)");
+)",
+              tools::SweepGrid::help());
 }
 
-const std::pair<const char*, arch::ArchKind> kArchTable[] = {
-    {"millipede", arch::ArchKind::kMillipede},
-    {"millipede-no-flow-control", arch::ArchKind::kMillipedeNoFlowControl},
-    {"millipede-no-rate-match", arch::ArchKind::kMillipedeNoRateMatch},
-    {"ssmc", arch::ArchKind::kSsmc},
-    {"gpgpu", arch::ArchKind::kGpgpu},
-    {"vws", arch::ArchKind::kVws},
-    {"vws-row", arch::ArchKind::kVwsRow},
-    {"multicore", arch::ArchKind::kMulticore},
-};
+int run_remote(const std::string& socket_path,
+               const std::vector<sim::MatrixJob>& matrix, bool stats_json) {
+  serve::Client client;
+  client.connect(socket_path);
+  const std::vector<serve::RemoteResult> results =
+      serve::run_matrix_remote(client, matrix);
 
-std::vector<arch::ArchKind> parse_archs(const std::string& flag,
-                                        const std::string& text) {
-  std::vector<arch::ArchKind> kinds;
-  if (text == "all") {
-    for (const auto& [name, kind] : kArchTable) kinds.push_back(kind);
-    return kinds;
-  }
-  for (const std::string& name : tools::split_list(flag, text)) {
-    bool found = false;
-    for (const auto& [table_name, kind] : kArchTable) {
-      if (name == table_name) {
-        kinds.push_back(kind);
-        found = true;
-        break;
-      }
+  int exit_code = 0;
+  std::vector<std::string> stats_runs;
+  if (!stats_json) std::fputs(sim::sweep_csv_header().c_str(), stdout);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const serve::RemoteResult& r = results[i];
+    if (!r.ok) {
+      std::fprintf(stderr, "SUBMIT FAILED %s/%s: %s: %s\n",
+                   arch::arch_name(matrix[i].kind), matrix[i].bench.c_str(),
+                   r.error.c_str(), r.message.c_str());
+      exit_code = 1;
+      continue;
     }
-    if (!found) tools::flag_error(flag, name, "a known architecture");
-  }
-  return kinds;
-}
-
-std::vector<std::string> parse_benches(const std::string& flag,
-                                       const std::string& text) {
-  if (text == "all") return workloads::bmla_names();
-  std::vector<std::string> benches = tools::split_list(flag, text);
-  const std::vector<std::string>& known = workloads::bmla_names();
-  for (const std::string& bench : benches) {
-    if (std::find(known.begin(), known.end(), bench) == known.end()) {
-      tools::flag_error(flag, bench, "a known benchmark");
+    // A point that FAILED ON THE SERVER still yields an ok result response;
+    // its CSV row carries the error column, exactly like the local path.
+    if (!r.run_ok) exit_code = 1;
+    if (stats_json) {
+      stats_runs.push_back(r.stats_run_json);
+    } else {
+      std::fputs(r.csv.c_str(), stdout);
     }
   }
-  return benches;
+  if (stats_json) {
+    std::fputs(sim::stats_json_document(stats_runs).c_str(), stdout);
+  }
+  return exit_code;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<arch::ArchKind> archs = {arch::ArchKind::kMillipede};
-  std::vector<std::string> benches = workloads::bmla_names();
-  std::vector<u32> cores = {32};
-  std::vector<u32> pf_entries = {16};
-  std::vector<double> bus_efficiencies = {0.30};
-  std::vector<u64> rows = {sim::kDefaultRows};
-  std::vector<double> fault_rates = {0.0};
-  u64 records = 0;
-  u64 seed = 1;
+  tools::SweepGrid grid;
   u32 jobs = 0;
-  bool ecc = false;
   bool stats_json = false;
-  u64 fault_seed = 1;
-  WatchdogConfig watchdog;
-  trace::TraceConfig trace_cfg;
+  std::string server;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--help" || arg == "-h") {
+  tools::ArgCursor args(argc, argv);
+  while (args.next()) {
+    if (args.is("--help") || args.is("-h")) {
       usage();
       return 0;
-    } else if (arg == "--arch") {
-      archs = parse_archs(arg, next());
-    } else if (arg == "--bench") {
-      benches = parse_benches(arg, next());
-    } else if (arg == "--cores") {
-      cores.clear();
-      for (const std::string& item : tools::split_list(arg, next())) {
-        cores.push_back(tools::parse_u32(arg, item, /*min=*/1));
-      }
-    } else if (arg == "--pf-entries") {
-      pf_entries.clear();
-      for (const std::string& item : tools::split_list(arg, next())) {
-        pf_entries.push_back(tools::parse_u32(arg, item, /*min=*/1));
-      }
-    } else if (arg == "--bus-efficiency") {
-      bus_efficiencies.clear();
-      for (const std::string& item : tools::split_list(arg, next())) {
-        bus_efficiencies.push_back(tools::parse_positive_double(arg, item));
-      }
-    } else if (arg == "--rows") {
-      rows.clear();
-      for (const std::string& item : tools::split_list(arg, next())) {
-        rows.push_back(tools::parse_u64(arg, item, /*min=*/1));
-      }
-    } else if (arg == "--fault-rate") {
-      fault_rates.clear();
-      for (const std::string& item : tools::split_list(arg, next())) {
-        fault_rates.push_back(tools::parse_rate(arg, item));
-      }
-    } else if (arg == "--ecc") {
-      ecc = true;
-    } else if (arg == "--fault-seed") {
-      fault_seed = tools::parse_u64(arg, next());
-    } else if (arg == "--watchdog-cycles") {
-      watchdog.max_cycles = tools::parse_u64(arg, next());
-    } else if (arg == "--watchdog-stall") {
-      watchdog.stall_cycles = tools::parse_u64(arg, next());
-    } else if (arg == "--records") {
-      records = tools::parse_u64(arg, next(), /*min=*/1);
-    } else if (arg == "--seed") {
-      seed = tools::parse_u64(arg, next());
-    } else if (arg == "--jobs" || arg == "-j") {
-      jobs = tools::parse_u32(arg, next(), /*min=*/1);
-    } else if (arg == "--stats-json") {
+    } else if (args.is("--version")) {
+      tools::print_version("mlpsweep");
+      return 0;
+    } else if (args.is("--jobs") || args.is("-j")) {
+      jobs = tools::parse_u32(args.flag(), args.value(), /*min=*/1);
+    } else if (args.is("--stats-json")) {
       stats_json = true;
-    } else if (arg == "--trace") {
-      trace_cfg.chrome_json = true;
-    } else if (arg == "--trace-dir") {
-      trace_cfg.dir = next();
-    } else if (arg == "--trace-ring") {
-      trace_cfg.ring_entries = tools::parse_u64(arg, next(), /*min=*/1);
-    } else if (arg == "--trace-interval") {
-      trace_cfg.interval_cycles = tools::parse_u64(arg, next(), /*min=*/1);
-    } else {
-      std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
-      return 2;
+    } else if (args.is("--server")) {
+      server = args.value();
+    } else if (!grid.consume(args)) {
+      return tools::unknown_flag(args.flag());
     }
   }
 
-  // Expand the grid in a fixed axis order so the CSV is stable.
-  std::vector<sim::MatrixJob> matrix;
-  for (const arch::ArchKind kind : archs) {
-    for (const std::string& bench : benches) {
-      for (const u32 core_count : cores) {
-        for (const u32 entries : pf_entries) {
-          for (const double bus_eff : bus_efficiencies) {
-            for (const u64 row_count : rows) {
-              for (const double fault_rate : fault_rates) {
-                sim::SuiteOptions options;
-                options.records = records;
-                options.rows = row_count;
-                options.seed = seed;
-                options.cfg.core.cores = core_count;
-                options.cfg.gpgpu.warp_width = core_count;
-                options.cfg.millipede.pf_entries = entries;
-                options.cfg.dram.bus_efficiency = bus_eff;
-                options.cfg.dram.fault.bit_flip_rate = fault_rate;
-                options.cfg.dram.fault.ecc = ecc;
-                options.cfg.dram.fault.seed = fault_seed;
-                options.cfg.watchdog = watchdog;
-                options.trace = trace_cfg;
-                // Tracing needs a unique per-point file stem: encode the
-                // grid coordinates into the job tag.
-                std::string tag;
-                if (trace_cfg.enabled()) {
-                  char buf[96];
-                  std::snprintf(buf, sizeof(buf), "c%u-pf%u-bus%.3f-r%llu-f%g",
-                                core_count, entries, bus_eff,
-                                static_cast<unsigned long long>(row_count),
-                                fault_rate);
-                  tag = buf;
-                }
-                matrix.push_back({kind, bench, options, tag});
-              }
-            }
-          }
-        }
-      }
+  const std::vector<sim::MatrixJob> matrix = grid.expand();
+
+  if (!server.empty()) {
+    std::fprintf(stderr, "mlpsweep: %zu grid points via %s\n", matrix.size(),
+                 server.c_str());
+    try {
+      return run_remote(server, matrix, stats_json);
+    } catch (const SimError& e) {
+      std::fprintf(stderr, "mlpsweep: %s\n", e.what());
+      return 1;
     }
   }
 
   std::fprintf(stderr, "mlpsweep: %zu grid points on %u threads\n",
                matrix.size(),
                jobs == 0 ? sim::ThreadPool::default_threads() : jobs);
-  const std::vector<sim::MatrixResult> results = sim::run_matrix(matrix, jobs);
+  // Warm prepare cache: grid points sharing (bench, records, seed, layout)
+  // reuse one assembled program / record set / DRAM image / reference.
+  sim::PrepareCache cache;
+  const std::vector<sim::MatrixResult> results =
+      sim::run_matrix(matrix, jobs, &cache);
 
   int exit_code = 0;
   if (!stats_json) std::fputs(sim::sweep_csv_header().c_str(), stdout);
@@ -264,5 +160,12 @@ int main(int argc, char** argv) {
     if (!stats_json) std::fputs(sim::sweep_csv_row(run).c_str(), stdout);
   }
   if (stats_json) std::fputs(sim::stats_json(results).c_str(), stdout);
+  const sim::PrepareCacheStats cs = cache.stats();
+  std::fprintf(stderr,
+               "mlpsweep: prepare cache %llu hits / %llu misses "
+               "(%llu evictions)\n",
+               static_cast<unsigned long long>(cs.hits),
+               static_cast<unsigned long long>(cs.misses),
+               static_cast<unsigned long long>(cs.evictions));
   return exit_code;
 }

@@ -1,0 +1,196 @@
+#pragma once
+// Shared configuration-grid definition for the sweep drivers (mlpsweep's
+// local path, its --server remote path, and `mlpclient sweep`). One struct
+// owns the axis lists, consumes the axis flags from an ArgCursor, and
+// expands the cross product in ONE fixed axis order
+// (arch → bench → cores → pf → bus → rows → fault) so every driver emits
+// rows in the same deterministic grid order.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "argparse.hpp"
+#include "sim/runner.hpp"
+
+namespace mlp::tools {
+
+inline std::vector<arch::ArchKind> parse_archs(const std::string& flag,
+                                               const std::string& text) {
+  if (text == "all") return arch::all_arch_kinds();
+  std::vector<arch::ArchKind> kinds;
+  for (const std::string& name : split_list(flag, text)) {
+    arch::ArchKind kind;
+    if (!arch::arch_from_name(name, &kind)) {
+      flag_error(flag, name, "a known architecture");
+    }
+    kinds.push_back(kind);
+  }
+  return kinds;
+}
+
+inline std::vector<std::string> parse_benches(const std::string& flag,
+                                              const std::string& text) {
+  if (text == "all") return workloads::bmla_names();
+  std::vector<std::string> benches = split_list(flag, text);
+  const std::vector<std::string>& known = workloads::bmla_names();
+  for (const std::string& bench : benches) {
+    if (std::find(known.begin(), known.end(), bench) == known.end()) {
+      flag_error(flag, bench, "a known benchmark");
+    }
+  }
+  return benches;
+}
+
+struct SweepGrid {
+  // Axes (each defaults to one paper-default point).
+  std::vector<arch::ArchKind> archs = {arch::ArchKind::kMillipede};
+  std::vector<std::string> benches = workloads::bmla_names();
+  std::vector<u32> cores = {32};
+  std::vector<u32> pf_entries = {16};
+  std::vector<double> bus_efficiencies = {0.30};
+  std::vector<u64> rows = {sim::kDefaultRows};
+  std::vector<double> fault_rates = {0.0};
+
+  // Scalars applied to every point.
+  u64 records = 0;
+  u64 seed = 1;
+  bool ecc = false;
+  u64 fault_seed = 1;
+  WatchdogConfig watchdog;
+  trace::TraceConfig trace_cfg;
+
+  /// Usage text for the flags consume() understands (grid axes + scalars).
+  static const char* help() {
+    return
+        "Grid axes (comma-separated lists; each defaults to one point):\n"
+        "  --arch LIST|all       architectures            (default millipede)\n"
+        "  --bench LIST|all      benchmarks               (default all)\n"
+        "  --cores LIST          corelets / lanes / cores (default 32)\n"
+        "  --pf-entries LIST     prefetch buffer entries  (default 16)\n"
+        "  --bus-efficiency LIST effective bus efficiency (default 0.30)\n"
+        "  --rows LIST           data volume in DRAM rows (default 192)\n"
+        "  --fault-rate LIST     DRAM bit-flip probability per transferred\n"
+        "                        bit (default 0 = off)\n"
+        "\n"
+        "Point scalars:\n"
+        "  --records N           absolute record count (overrides --rows)\n"
+        "  --seed N              data generation seed     (default 1)\n"
+        "  --ecc                 SECDED(72,64) correction + retry on detect\n"
+        "  --fault-seed N        fault-injection seed     (default 1)\n"
+        "  --watchdog-cycles N / --watchdog-stall N\n"
+        "                        forward-progress watchdog limits (0 = off)\n"
+        "  --trace               per-point Chrome-trace JSON\n"
+        "  --trace-dir DIR       trace output directory   (default traces)\n"
+        "  --trace-ring N        bounded binary-ring capture (N events)\n"
+        "  --trace-interval N    interval-sampled counter timeline CSV\n";
+  }
+
+  /// Try to consume the current ArgCursor flag as a grid/scalar flag;
+  /// returns false (cursor untouched) when the flag is not one of ours.
+  bool consume(ArgCursor& args) {
+    const std::string& arg = args.flag();
+    if (args.is("--arch")) {
+      archs = parse_archs(arg, args.value());
+    } else if (args.is("--bench")) {
+      benches = parse_benches(arg, args.value());
+    } else if (args.is("--cores")) {
+      cores.clear();
+      for (const std::string& item : split_list(arg, args.value())) {
+        cores.push_back(parse_u32(arg, item, /*min=*/1));
+      }
+    } else if (args.is("--pf-entries")) {
+      pf_entries.clear();
+      for (const std::string& item : split_list(arg, args.value())) {
+        pf_entries.push_back(parse_u32(arg, item, /*min=*/1));
+      }
+    } else if (args.is("--bus-efficiency")) {
+      bus_efficiencies.clear();
+      for (const std::string& item : split_list(arg, args.value())) {
+        bus_efficiencies.push_back(parse_positive_double(arg, item));
+      }
+    } else if (args.is("--rows")) {
+      rows.clear();
+      for (const std::string& item : split_list(arg, args.value())) {
+        rows.push_back(parse_u64(arg, item, /*min=*/1));
+      }
+    } else if (args.is("--fault-rate")) {
+      fault_rates.clear();
+      for (const std::string& item : split_list(arg, args.value())) {
+        fault_rates.push_back(parse_rate(arg, item));
+      }
+    } else if (args.is("--records")) {
+      records = parse_u64(arg, args.value(), /*min=*/1);
+    } else if (args.is("--seed")) {
+      seed = parse_u64(arg, args.value());
+    } else if (args.is("--ecc")) {
+      ecc = true;
+    } else if (args.is("--fault-seed")) {
+      fault_seed = parse_u64(arg, args.value());
+    } else if (args.is("--watchdog-cycles")) {
+      watchdog.max_cycles = parse_u64(arg, args.value());
+    } else if (args.is("--watchdog-stall")) {
+      watchdog.stall_cycles = parse_u64(arg, args.value());
+    } else if (args.is("--trace")) {
+      trace_cfg.chrome_json = true;
+    } else if (args.is("--trace-dir")) {
+      trace_cfg.dir = args.value();
+    } else if (args.is("--trace-ring")) {
+      trace_cfg.ring_entries = parse_u64(arg, args.value(), /*min=*/1);
+    } else if (args.is("--trace-interval")) {
+      trace_cfg.interval_cycles = parse_u64(arg, args.value(), /*min=*/1);
+    } else {
+      return false;
+    }
+    return true;
+  }
+
+  /// Expand the cross product in the fixed axis order.
+  std::vector<sim::MatrixJob> expand() const {
+    std::vector<sim::MatrixJob> matrix;
+    for (const arch::ArchKind kind : archs) {
+      for (const std::string& bench : benches) {
+        for (const u32 core_count : cores) {
+          for (const u32 entries : pf_entries) {
+            for (const double bus_eff : bus_efficiencies) {
+              for (const u64 row_count : rows) {
+                for (const double fault_rate : fault_rates) {
+                  sim::SuiteOptions options;
+                  options.records = records;
+                  options.rows = row_count;
+                  options.seed = seed;
+                  options.cfg.core.cores = core_count;
+                  options.cfg.gpgpu.warp_width = core_count;
+                  options.cfg.millipede.pf_entries = entries;
+                  options.cfg.dram.bus_efficiency = bus_eff;
+                  options.cfg.dram.fault.bit_flip_rate = fault_rate;
+                  options.cfg.dram.fault.ecc = ecc;
+                  options.cfg.dram.fault.seed = fault_seed;
+                  options.cfg.watchdog = watchdog;
+                  options.trace = trace_cfg;
+                  // Tracing needs a unique per-point file stem: encode the
+                  // grid coordinates into the job tag.
+                  std::string tag;
+                  if (trace_cfg.enabled()) {
+                    char buf[96];
+                    std::snprintf(buf, sizeof(buf),
+                                  "c%u-pf%u-bus%.3f-r%llu-f%g", core_count,
+                                  entries, bus_eff,
+                                  static_cast<unsigned long long>(row_count),
+                                  fault_rate);
+                    tag = buf;
+                  }
+                  matrix.push_back({kind, bench, options, tag});
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    return matrix;
+  }
+};
+
+}  // namespace mlp::tools

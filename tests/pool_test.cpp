@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "sim/pool.hpp"
+#include "sim/prepare.hpp"
+#include "sim/report.hpp"
 #include "sim/runner.hpp"
 
 namespace mlp::sim {
@@ -123,6 +125,156 @@ TEST(Matrix, DeterministicAcrossThreadCounts) {
     EXPECT_DOUBLE_EQ(a.energy.total_j(), b.energy.total_j());
     EXPECT_EQ(a.stats, b.stats);  // every counter, bit for bit
   }
+}
+
+// ---- job preparation cache -------------------------------------------------
+
+TEST(Prepare, KeyIsArchitectureIndependent) {
+  SuiteOptions options;
+  options.records = 1024;
+  // Preparation (layout, records, image, reference) depends only on the
+  // data-side knobs, so all eight architectures share one cache entry.
+  const std::string millipede_key =
+      prepare_key({arch::ArchKind::kMillipede, "count", options, ""});
+  for (const arch::ArchKind kind : arch::all_arch_kinds()) {
+    EXPECT_EQ(prepare_key({kind, "count", options, ""}), millipede_key);
+  }
+  // Compute-side knobs don't split the key either.
+  SuiteOptions tweaked = options;
+  tweaked.cfg.core.cores = 64;
+  tweaked.cfg.millipede.pf_entries = 4;
+  tweaked.cfg.dram.bus_efficiency = 0.9;
+  EXPECT_EQ(prepare_key({arch::ArchKind::kSsmc, "count", tweaked, ""}),
+            millipede_key);
+}
+
+TEST(Prepare, KeySplitsOnDataRelevantFields) {
+  SuiteOptions options;
+  options.records = 1024;
+  const MatrixJob base{arch::ArchKind::kMillipede, "count", options, ""};
+  const std::string key = prepare_key(base);
+
+  MatrixJob other = base;
+  other.bench = "sample";
+  EXPECT_NE(prepare_key(other), key);
+  other = base;
+  other.options.records = 2048;
+  EXPECT_NE(prepare_key(other), key);
+  other = base;
+  other.options.seed = 2;
+  EXPECT_NE(prepare_key(other), key);
+  other = base;
+  other.options.record_barrier = true;
+  EXPECT_NE(prepare_key(other), key);
+  other = base;
+  other.options.cfg.slab_layout = true;
+  EXPECT_NE(prepare_key(other), key);
+}
+
+TEST(Prepare, RowSizingAndExplicitRecordsShareAnEntry) {
+  SuiteOptions by_rows;
+  by_rows.rows = 48;
+  const MatrixJob rows_job{arch::ArchKind::kMillipede, "count", by_rows, ""};
+
+  SuiteOptions by_records;
+  by_records.records = records_for("count", by_rows.cfg, 48);
+  const MatrixJob records_job{arch::ArchKind::kMillipede, "count", by_records,
+                              ""};
+  EXPECT_EQ(prepare_key(rows_job), prepare_key(records_job));
+}
+
+TEST(Prepare, CacheCountsHitsMissesAndEvicts) {
+  PrepareCache cache(/*max_entries=*/2);
+  SuiteOptions options;
+  options.records = 1024;
+  const MatrixJob count{arch::ArchKind::kMillipede, "count", options, ""};
+  const MatrixJob sample{arch::ArchKind::kMillipede, "sample", options, ""};
+  const MatrixJob variance{arch::ArchKind::kSsmc, "variance", options, ""};
+
+  bool hit = true;
+  cache.get(count, &hit);
+  EXPECT_FALSE(hit);
+  cache.get(count, &hit);
+  EXPECT_TRUE(hit);
+  cache.get(sample, &hit);
+  EXPECT_FALSE(hit);
+  cache.get(variance, &hit);  // capacity 2: evicts LRU entry (count)
+  EXPECT_FALSE(hit);
+
+  PrepareCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_GT(stats.image_bytes, 0u);
+
+  cache.get(count, &hit);  // evicted above: a miss again
+  EXPECT_FALSE(hit);
+  cache.get(variance, &hit);  // still resident
+  EXPECT_TRUE(hit);
+}
+
+TEST(Prepare, CachedRunsAreBitIdenticalToUncached) {
+  SuiteOptions options;
+  options.records = 1024;
+  std::vector<MatrixJob> jobs;
+  for (const arch::ArchKind kind :
+       {arch::ArchKind::kMillipede, arch::ArchKind::kSsmc}) {
+    for (const std::string& bench :
+         {std::string("count"), std::string("variance")}) {
+      jobs.push_back({kind, bench, options, ""});
+    }
+  }
+  for (const MatrixJob& job : jobs) {
+    PrepareCache cache;
+    bool hit = true;
+    const MatrixResult cold = run_job(job);  // prepares from scratch
+    const MatrixResult warm1 = run_job(job, &cache, &hit);
+    EXPECT_FALSE(hit);  // first touch of a fresh cache
+    const MatrixResult warm2 = run_job(job, &cache, &hit);
+    EXPECT_TRUE(hit);
+    // Byte-level equality of the full stats document: metrics, every
+    // counter, and the config echo.
+    EXPECT_EQ(stats_json_run(cold), stats_json_run(warm1));
+    EXPECT_EQ(stats_json_run(cold), stats_json_run(warm2));
+  }
+}
+
+TEST(Matrix, SharedCacheKeepsThreadCountDeterminism) {
+  SuiteOptions options;
+  options.records = 2048;
+  std::vector<MatrixJob> jobs;
+  for (const arch::ArchKind kind :
+       {arch::ArchKind::kMillipede, arch::ArchKind::kSsmc,
+        arch::ArchKind::kGpgpu, arch::ArchKind::kMulticore}) {
+    for (const std::string& bench :
+         {std::string("count"), std::string("variance")}) {
+      jobs.push_back({kind, bench, options, ""});
+    }
+  }
+  PrepareCache serial_cache;
+  PrepareCache parallel_cache;
+  const std::vector<MatrixResult> bare = run_matrix(jobs, 1);
+  const std::vector<MatrixResult> serial = run_matrix(jobs, 1, &serial_cache);
+  const std::vector<MatrixResult> parallel =
+      run_matrix(jobs, 8, &parallel_cache);
+  ASSERT_EQ(serial.size(), jobs.size());
+  ASSERT_EQ(parallel.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(bare[i].ok()) << bare[i].error;
+    // Cache on/off and 1-vs-8 threads: identical bytes either way.
+    EXPECT_EQ(stats_json_run(bare[i]), stats_json_run(serial[i]));
+    EXPECT_EQ(stats_json_run(bare[i]), stats_json_run(parallel[i]));
+  }
+  // Serially, the 4-arch × 2-bench matrix prepares each bench exactly once.
+  const PrepareCacheStats stats = serial_cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 6u);
+  // Concurrent same-key misses may both prepare (first insert wins), so the
+  // parallel run only guarantees every lookup was answered.
+  const PrepareCacheStats pstats = parallel_cache.stats();
+  EXPECT_EQ(pstats.hits + pstats.misses, 8u);
+  EXPECT_GE(pstats.misses, 2u);
 }
 
 TEST(Matrix, RunSuiteMatchesPerJobRuns) {

@@ -1,0 +1,422 @@
+// Service-layer tests: protocol framing and (de)serialization, then a real
+// daemon on a real Unix-domain socket — submit/fetch round trips, concurrent
+// clients, queue-full backpressure, cancel semantics, graceful drain, warm
+// cache-hit accounting, and the determinism guarantee that a warm-cache
+// remote result is byte-identical to a cold local run.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "sim/report.hpp"
+
+namespace mlp::serve {
+namespace {
+
+// ---- framing ---------------------------------------------------------------
+
+TEST(Framing, RoundTripsPayloads) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::vector<std::string> payloads = {"", "{}",
+                                             std::string(4096, 'x')};
+  for (const std::string& payload : payloads) {
+    ASSERT_TRUE(write_frame(fds[0], payload));
+    const std::optional<std::string> got = read_frame(fds[1]);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload);
+  }
+  ::close(fds[0]);
+  const std::optional<std::string> eof = read_frame(fds[1]);
+  EXPECT_FALSE(eof.has_value());  // clean EOF between frames
+  ::close(fds[1]);
+}
+
+TEST(Framing, RejectsOversizedAndTruncatedFrames) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Length header claiming 1 GB: protocol violation before any payload.
+  const unsigned char huge[4] = {0, 0, 0, 0x40};
+  ASSERT_EQ(::write(fds[0], huge, 4), 4);
+  EXPECT_THROW(read_frame(fds[1]), SimError);
+  // Header promising 100 bytes, then EOF: truncated frame.
+  const unsigned char short_frame[4] = {100, 0, 0, 0};
+  ASSERT_EQ(::write(fds[0], short_frame, 4), 4);
+  ::close(fds[0]);
+  EXPECT_THROW(read_frame(fds[1]), SimError);
+  ::close(fds[1]);
+}
+
+// ---- job (de)serialization -------------------------------------------------
+
+TEST(JobJson, RoundTripsEveryField) {
+  JobSpec spec;
+  spec.job.kind = arch::ArchKind::kVwsRow;
+  spec.job.bench = "kmeans";
+  spec.job.tag = "point-7";
+  spec.job.options.records = 4096;
+  spec.job.options.rows = 96;
+  spec.job.options.seed = 11;
+  spec.job.options.record_barrier = true;
+  spec.job.options.cfg.core.cores = 64;
+  spec.job.options.cfg.gpgpu.warp_width = 64;
+  spec.job.options.cfg.millipede.pf_entries = 8;
+  spec.job.options.cfg.dram.bus_efficiency = 0.5;
+  spec.job.options.cfg.slab_layout = true;
+  spec.job.options.cfg.dram.fault.bit_flip_rate = 1e-7;
+  spec.job.options.cfg.dram.fault.ecc = true;
+  spec.job.options.cfg.dram.fault.seed = 3;
+  spec.job.options.cfg.watchdog.max_cycles = 123456;
+  spec.job.options.trace.chrome_json = true;
+  spec.job.options.trace.dir = "/tmp/traces";
+  spec.hold_ms = 250;
+
+  const JobSpec back = job_from_json(trace::json_parse(job_json(spec)));
+  EXPECT_EQ(back.job.kind, spec.job.kind);
+  EXPECT_EQ(back.job.bench, spec.job.bench);
+  EXPECT_EQ(back.job.tag, spec.job.tag);
+  EXPECT_EQ(back.job.options.records, 4096u);
+  EXPECT_EQ(back.job.options.rows, 96u);
+  EXPECT_EQ(back.job.options.seed, 11u);
+  EXPECT_TRUE(back.job.options.record_barrier);
+  EXPECT_EQ(back.job.options.cfg.core.cores, 64u);
+  EXPECT_EQ(back.job.options.cfg.gpgpu.warp_width, 64u);
+  EXPECT_EQ(back.job.options.cfg.millipede.pf_entries, 8u);
+  EXPECT_DOUBLE_EQ(back.job.options.cfg.dram.bus_efficiency, 0.5);
+  EXPECT_TRUE(back.job.options.cfg.slab_layout);
+  EXPECT_DOUBLE_EQ(back.job.options.cfg.dram.fault.bit_flip_rate, 1e-7);
+  EXPECT_TRUE(back.job.options.cfg.dram.fault.ecc);
+  EXPECT_EQ(back.job.options.cfg.dram.fault.seed, 3u);
+  EXPECT_EQ(back.job.options.cfg.watchdog.max_cycles, 123456u);
+  EXPECT_TRUE(back.job.options.trace.chrome_json);
+  EXPECT_EQ(back.job.options.trace.dir, "/tmp/traces");
+  EXPECT_EQ(back.hold_ms, 250u);
+}
+
+TEST(JobJson, RejectsMalformedSpecs) {
+  const auto parse = [](const std::string& text) {
+    return job_from_json(trace::json_parse(text));
+  };
+  EXPECT_THROW(parse(R"({"bench":"count","no_such_knob":1})"), SimError);
+  EXPECT_THROW(parse(R"({"bench":"count","arch":"cray"})"), SimError);
+  EXPECT_THROW(parse(R"({})"), SimError);  // bench is required
+  EXPECT_THROW(parse(R"({"bench":"count","rows":"many"})"), SimError);
+  EXPECT_THROW(parse(R"({"bench":"count","cores":0})"), SimError);
+  EXPECT_THROW(parse(R"({"bench":"count","fault_rate":1.5})"), SimError);
+  EXPECT_THROW(parse(R"({"bench":"count","ecc":"yes"})"), SimError);
+  EXPECT_THROW(parse(R"([1,2,3])"), SimError);
+}
+
+TEST(Responses, EnvelopeDecodes) {
+  const Response pong = parse_response(pong_response());
+  EXPECT_TRUE(pong.ok);
+  EXPECT_EQ(pong.type, "pong");
+  EXPECT_EQ(pong.doc.u64_at("protocol_version"), kProtocolVersion);
+
+  const Response err =
+      parse_response(error_response(kErrQueueFull, "queue full"));
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(err.error, kErrQueueFull);
+  EXPECT_EQ(err.message, "queue full");
+
+  const Response sub = parse_response(submitted_response(42));
+  EXPECT_TRUE(sub.ok);
+  EXPECT_EQ(sub.doc.u64_at("id"), 42u);
+
+  EXPECT_THROW(parse_response("[]"), SimError);
+  EXPECT_THROW(parse_response(R"({"type":"x"})"), SimError);  // no "ok"
+}
+
+// ---- live daemon -----------------------------------------------------------
+
+/// Starts a Server on a short /tmp socket path and runs its accept loop on
+/// a background thread; tears it down (drain + join) on destruction.
+class LiveServer {
+ public:
+  explicit LiveServer(ServeConfig cfg) : server_([&cfg] {
+    static int counter = 0;
+    cfg.socket_path = "/tmp/mlpserve-test-" + std::to_string(::getpid()) +
+                      "-" + std::to_string(counter++) + ".sock";
+    return cfg;
+  }()) {
+    server_.listen();
+    thread_ = std::thread([this] { server_.run(); });
+  }
+
+  ~LiveServer() { stop(); }
+
+  void stop() {
+    server_.request_stop();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  Server& server() { return server_; }
+  const std::string& path() const { return server_.socket_path(); }
+
+ private:
+  Server server_;
+  std::thread thread_;
+};
+
+JobSpec small_job(const std::string& bench, arch::ArchKind kind =
+                                                arch::ArchKind::kMillipede) {
+  JobSpec spec;
+  spec.job.kind = kind;
+  spec.job.bench = bench;
+  spec.job.options.records = 1024;
+  return spec;
+}
+
+TEST(Service, SubmitFetchRoundTrip) {
+  LiveServer live(ServeConfig{"", /*threads=*/2, /*queue_limit=*/8});
+  Client client;
+  client.connect(live.path());
+
+  const Response pong = client.ping();
+  ASSERT_TRUE(pong.ok);
+
+  const Response sub = client.submit(small_job("count"));
+  ASSERT_TRUE(sub.ok) << sub.message;
+  const u64 id = sub.doc.u64_at("id");
+
+  const Response result = client.result(id, /*wait=*/true);
+  ASSERT_TRUE(result.ok) << result.message;
+  EXPECT_EQ(result.doc.str_at("state"), "done");
+  EXPECT_TRUE(result.doc.find("run_ok")->boolean);
+  // The CSV row and stats object are server-rendered with the shared
+  // formatting code, so they match a local run byte for byte.
+  const sim::MatrixResult local = sim::run_job(small_job("count").job);
+  EXPECT_EQ(result.doc.str_at("csv"), sim::sweep_csv_row(local));
+  EXPECT_EQ(result.doc.str_at("stats"), sim::stats_json_run(local));
+
+  // Unknown jobs and unknown request types are typed errors.
+  const Response missing = client.result(9999, false);
+  EXPECT_FALSE(missing.ok);
+  EXPECT_EQ(missing.error, kErrNoSuchJob);
+  const Response bogus = client.roundtrip(R"({"type":"frobnicate"})");
+  EXPECT_FALSE(bogus.ok);
+  EXPECT_EQ(bogus.error, kErrBadRequest);
+}
+
+TEST(Service, WarmCacheHitsAreReportedAndBitIdentical) {
+  LiveServer live(ServeConfig{"", /*threads=*/2, /*queue_limit=*/8});
+  Client client;
+  client.connect(live.path());
+
+  // Same preparation key across architectures: millipede cold, then ssmc
+  // and a resubmit both warm.
+  const u64 id1 = client.submit(small_job("count")).doc.u64_at("id");
+  const Response r1 = client.result(id1, true);
+  ASSERT_TRUE(r1.ok);
+  EXPECT_FALSE(r1.doc.find("cache_hit")->boolean);
+
+  const u64 id2 =
+      client.submit(small_job("count", arch::ArchKind::kSsmc)).doc.u64_at("id");
+  const Response r2 = client.result(id2, true);
+  ASSERT_TRUE(r2.ok);
+  EXPECT_TRUE(r2.doc.find("cache_hit")->boolean);
+
+  const u64 id3 = client.submit(small_job("count")).doc.u64_at("id");
+  const Response r3 = client.result(id3, true);
+  ASSERT_TRUE(r3.ok);
+  EXPECT_TRUE(r3.doc.find("cache_hit")->boolean);
+  // Warm rerun: byte-identical to the cold run's document.
+  EXPECT_EQ(r3.doc.str_at("csv"), r1.doc.str_at("csv"));
+  EXPECT_EQ(r3.doc.str_at("stats"), r1.doc.str_at("stats"));
+
+  const Response status = client.server_status();
+  ASSERT_TRUE(status.ok);
+  const trace::JsonValue* cache = status.doc.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->u64_at("misses"), 1u);
+  EXPECT_EQ(cache->u64_at("hits"), 2u);
+}
+
+TEST(Service, ConcurrentClientsGetTheirOwnResults) {
+  LiveServer live(ServeConfig{"", /*threads=*/4, /*queue_limit=*/32});
+  const std::vector<std::string> benches = {"count", "sample", "variance",
+                                            "kmeans"};
+  std::vector<std::string> stats(benches.size());
+  std::vector<std::thread> clients;
+  for (std::size_t i = 0; i < benches.size(); ++i) {
+    clients.emplace_back([&, i] {
+      Client client;
+      client.connect(live.path());
+      const Response sub = client.submit(small_job(benches[i]));
+      ASSERT_TRUE(sub.ok) << sub.message;
+      const Response result = client.result(sub.doc.u64_at("id"), true);
+      ASSERT_TRUE(result.ok) << result.message;
+      stats[i] = result.doc.str_at("stats");
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (std::size_t i = 0; i < benches.size(); ++i) {
+    const sim::MatrixResult local = sim::run_job(small_job(benches[i]).job);
+    EXPECT_EQ(stats[i], sim::stats_json_run(local)) << benches[i];
+  }
+}
+
+TEST(Service, QueueFullIsATypedRejectionNotADrop) {
+  // One worker, admission bound 2: a held job pins the worker while staying
+  // queued, a second waits in the pool queue, and the third submit must be
+  // rejected — deterministically, with the typed queue-full error.
+  LiveServer live(ServeConfig{"", /*threads=*/1, /*queue_limit=*/2});
+  Client client;
+  client.connect(live.path());
+
+  JobSpec held = small_job("count");
+  held.hold_ms = 60'000;  // released early by drain; never waited out
+  const Response first = client.submit(held);
+  ASSERT_TRUE(first.ok);
+  const Response second = client.submit(small_job("sample"));
+  ASSERT_TRUE(second.ok);
+
+  const Response rejected = client.submit(small_job("variance"));
+  ASSERT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.error, kErrQueueFull);
+
+  // Backpressure is recoverable: cancel the held job, slot frees, resubmit
+  // succeeds.
+  const Response cancelled = client.cancel(first.doc.u64_at("id"));
+  ASSERT_TRUE(cancelled.ok) << cancelled.message;
+  const Response retried = client.submit(small_job("variance"));
+  EXPECT_TRUE(retried.ok) << retried.message;
+}
+
+TEST(Service, CancelSemantics) {
+  LiveServer live(ServeConfig{"", /*threads=*/1, /*queue_limit=*/8});
+  Client client;
+  client.connect(live.path());
+
+  JobSpec held = small_job("count");
+  held.hold_ms = 60'000;
+  const u64 held_id = client.submit(held).doc.u64_at("id");
+  EXPECT_EQ(client.job_status(held_id).doc.str_at("state"), "queued");
+
+  // Cancelling a queued job works and is idempotent.
+  ASSERT_TRUE(client.cancel(held_id).ok);
+  EXPECT_EQ(client.job_status(held_id).doc.str_at("state"), "cancelled");
+  EXPECT_TRUE(client.cancel(held_id).ok);
+
+  // A cancelled job's result reports the cancellation, not stale data.
+  const Response result = client.result(held_id, true);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.doc.str_at("state"), "cancelled");
+
+  // A finished job can no longer be cancelled.
+  const u64 done_id = client.submit(small_job("sample")).doc.u64_at("id");
+  ASSERT_TRUE(client.result(done_id, true).ok);
+  const Response late = client.cancel(done_id);
+  EXPECT_FALSE(late.ok);
+  EXPECT_EQ(late.error, kErrJobDone);
+
+  const Response missing = client.cancel(777);
+  EXPECT_FALSE(missing.ok);
+  EXPECT_EQ(missing.error, kErrNoSuchJob);
+}
+
+TEST(Service, GracefulDrainFinishesAdmittedJobs) {
+  LiveServer live(ServeConfig{"", /*threads=*/2, /*queue_limit=*/16});
+  Client client;
+  client.connect(live.path());
+
+  // Three held jobs: drain must cut the holds short and still run them all.
+  std::vector<u64> ids;
+  for (const char* bench : {"count", "sample", "variance"}) {
+    JobSpec spec = small_job(bench);
+    spec.hold_ms = 60'000;
+    const Response sub = client.submit(spec);
+    ASSERT_TRUE(sub.ok) << sub.message;
+    ids.push_back(sub.doc.u64_at("id"));
+  }
+
+  const Response bye = client.shutdown();
+  ASSERT_TRUE(bye.ok);
+  EXPECT_EQ(bye.type, "shutting-down");
+  live.stop();  // joins run(): returns only after the drain completes
+
+  const ServerStatus status = live.server().status();
+  EXPECT_EQ(status.done, 3u);  // every admitted job ran to completion
+  EXPECT_EQ(status.queued, 0u);
+  EXPECT_EQ(status.running, 0u);
+  EXPECT_FALSE(status.accepting);
+}
+
+TEST(Service, SubmitAfterShutdownIsRefused) {
+  LiveServer live(ServeConfig{"", /*threads=*/1, /*queue_limit=*/8});
+  Client client;
+  client.connect(live.path());
+  // Drain only closes connections after running jobs finish, so a slow job
+  // holds the window open: the refusal below must be the typed error, not
+  // a racy connection drop.
+  JobSpec slow = small_job("count");
+  slow.job.options.records = u64{1} << 18;
+  ASSERT_TRUE(client.submit(slow).ok);
+  ASSERT_TRUE(client.shutdown().ok);
+  const Response refused = client.submit(small_job("count"));
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.error, kErrShuttingDown);
+}
+
+TEST(Service, RunMatrixRemoteMatchesLocalBytes) {
+  LiveServer live(ServeConfig{"", /*threads=*/4, /*queue_limit=*/3});
+  Client client;
+  client.connect(live.path());
+
+  // 4 architectures × 2 benchmarks through a 3-slot admission window: the
+  // sliding-window client must absorb queue-full backpressure and still
+  // return every result in submission order.
+  std::vector<sim::MatrixJob> jobs;
+  for (const arch::ArchKind kind :
+       {arch::ArchKind::kMillipede, arch::ArchKind::kSsmc,
+        arch::ArchKind::kGpgpu, arch::ArchKind::kMulticore}) {
+    for (const std::string& bench :
+         {std::string("count"), std::string("variance")}) {
+      jobs.push_back(small_job(bench, kind).job);
+    }
+  }
+  const std::vector<RemoteResult> remote = run_matrix_remote(client, jobs);
+  const std::vector<sim::MatrixResult> local = sim::run_matrix(jobs, 2);
+
+  ASSERT_EQ(remote.size(), local.size());
+  std::vector<std::string> remote_stats, local_stats;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(remote[i].ok) << remote[i].message;
+    EXPECT_TRUE(remote[i].run_ok);
+    EXPECT_EQ(remote[i].csv, sim::sweep_csv_row(local[i]));
+    remote_stats.push_back(remote[i].stats_run_json);
+    local_stats.push_back(sim::stats_json_run(local[i]));
+  }
+  // The reassembled remote document equals the local document bit for bit.
+  EXPECT_EQ(sim::stats_json_document(remote_stats),
+            sim::stats_json(local));
+  EXPECT_EQ(sim::stats_json_document(local_stats), sim::stats_json(local));
+}
+
+TEST(Service, PerJobErrorsTravelInTheResult) {
+  LiveServer live(ServeConfig{"", /*threads=*/1, /*queue_limit=*/4});
+  Client client;
+  client.connect(live.path());
+
+  // A watchdog-doomed config: valid to ADMIT, fails to RUN. The failure
+  // must come back as run_ok=false with the error in the CSV row, exactly
+  // like the local harness, not as a protocol error.
+  JobSpec doomed = small_job("count");
+  doomed.job.options.cfg.watchdog.max_cycles = 10;  // trips immediately
+  const Response sub = client.submit(doomed);
+  ASSERT_TRUE(sub.ok) << sub.message;
+  const Response result = client.result(sub.doc.u64_at("id"), true);
+  ASSERT_TRUE(result.ok) << result.message;
+  EXPECT_FALSE(result.doc.find("run_ok")->boolean);
+  EXPECT_NE(result.doc.str_at("csv").find("watchdog"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlp::serve
