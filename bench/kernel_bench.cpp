@@ -1,0 +1,187 @@
+// kernel_bench — A/B harness for the simulation kernel's idle-cycle
+// fast-forward: runs a curated set of (architecture, benchmark, config)
+// points twice, with fast-forward enabled and disabled, asserts that every
+// counter and metric is bit-identical between the two modes, and reports
+// the wall-clock win. Points marked "membound" stall globally on DRAM and
+// are where the event-driven skip is expected to pay off; compute-bound
+// points bound the scan overhead instead.
+//
+//   kernel_bench                  # full point list, 3 reps each
+//   kernel_bench --rows 24 --reps 1   # CI smoke: equivalence only
+//   kernel_bench --arch multicore --bench count
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/prepare.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+using namespace mlp;
+
+struct Point {
+  const char* arch;
+  const char* bench;
+  const char* tag;             // CSV label; "membound" marks DRAM-bound points
+  double bus_efficiency = 0;   // 0 = keep the paper default
+};
+
+// The four architectures under their paper configs, plus memory-bound
+// variants (off-chip-class bus efficiency) where both domains spend most
+// edges globally idle waiting on in-flight transfers.
+const Point kPoints[] = {
+    {"millipede", "count", "default"},
+    {"ssmc", "count", "default"},
+    {"gpgpu", "count", "default"},
+    {"multicore", "count", "default"},
+    {"millipede", "kmeans", "default"},
+    {"multicore", "count", "membound", 0.05},
+    {"ssmc", "count", "membound", 0.05},
+};
+
+double run_timed_ms(const sim::MatrixJob& job, sim::PrepareCache* cache,
+                    u32 reps, arch::RunResult* out) {
+  double best = 0;
+  for (u32 r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    sim::MatrixResult res = sim::run_job(job, cache);
+    const auto stop = std::chrono::steady_clock::now();
+    if (!res.ok()) {
+      std::fprintf(stderr, "RUN FAILED %s/%s: %s\n",
+                   arch::arch_name(job.kind), job.bench.c_str(),
+                   res.error.c_str());
+      std::exit(1);
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (r == 0 || ms < best) best = ms;
+    *out = std::move(res.result);
+  }
+  return best;
+}
+
+/// Hard equivalence gate: fast-forward must not change a single number.
+void check_identical(const Point& p, const arch::RunResult& poll,
+                     const arch::RunResult& ff) {
+  bool same = poll.compute_cycles == ff.compute_cycles &&
+              poll.runtime_ps == ff.runtime_ps &&
+              poll.thread_instructions == ff.thread_instructions &&
+              poll.final_clock_mhz == ff.final_clock_mhz &&
+              poll.stats == ff.stats;
+  if (same) return;
+  std::fprintf(stderr, "EQUIVALENCE FAILURE %s/%s (%s):\n", p.arch, p.bench,
+               p.tag);
+  if (poll.compute_cycles != ff.compute_cycles) {
+    std::fprintf(stderr, "  compute_cycles: poll=%llu ff=%llu\n",
+                 static_cast<unsigned long long>(poll.compute_cycles),
+                 static_cast<unsigned long long>(ff.compute_cycles));
+  }
+  if (poll.runtime_ps != ff.runtime_ps) {
+    std::fprintf(stderr, "  runtime_ps: poll=%llu ff=%llu\n",
+                 static_cast<unsigned long long>(poll.runtime_ps),
+                 static_cast<unsigned long long>(ff.runtime_ps));
+  }
+  for (const auto& [key, value] : poll.stats) {
+    const auto it = ff.stats.find(key);
+    if (it == ff.stats.end()) {
+      std::fprintf(stderr, "  %s: missing under fast-forward\n", key.c_str());
+    } else if (it->second != value) {
+      std::fprintf(stderr, "  %s: poll=%llu ff=%llu\n", key.c_str(),
+                   static_cast<unsigned long long>(value),
+                   static_cast<unsigned long long>(it->second));
+    }
+  }
+  for (const auto& [key, value] : ff.stats) {
+    if (poll.stats.find(key) == poll.stats.end()) {
+      std::fprintf(stderr, "  %s: new under fast-forward\n", key.c_str());
+    }
+  }
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  u64 rows = 96;
+  u32 reps = 3;
+  std::string arch_filter, bench_filter;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--rows") {
+      rows = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--reps") {
+      reps = static_cast<u32>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--arch") {
+      arch_filter = next();
+    } else if (arg == "--bench") {
+      bench_filter = next();
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "kernel_bench — fast-forward vs edge-polling A/B harness\n"
+          "  --rows N    data volume in DRAM rows   (default 96)\n"
+          "  --reps N    timed repetitions per mode (default 3; min is "
+          "reported)\n"
+          "  --arch NAME / --bench NAME   restrict the point list\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (rows == 0 || reps == 0) {
+    std::fprintf(stderr, "--rows and --reps must be positive\n");
+    return 2;
+  }
+
+  // One warm cache for everything: fast_forward is deliberately not part of
+  // the preparation key, so both modes (and all reps) share one prepared
+  // input and the timings measure the simulation loop alone.
+  sim::PrepareCache cache;
+
+  std::printf("arch,bench,tag,rows,poll_ms,ff_ms,speedup\n");
+  for (const Point& p : kPoints) {
+    if (!arch_filter.empty() && arch_filter != p.arch) continue;
+    if (!bench_filter.empty() && bench_filter != p.bench) continue;
+
+    sim::MatrixJob job;
+    if (!arch::arch_from_name(p.arch, &job.kind)) {
+      std::fprintf(stderr, "unknown architecture %s\n", p.arch);
+      return 2;
+    }
+    job.bench = p.bench;
+    job.tag = p.tag;
+    job.options.rows = rows;
+    if (p.bus_efficiency > 0) {
+      job.options.cfg.dram.bus_efficiency = p.bus_efficiency;
+    }
+
+    sim::MatrixJob poll_job = job;
+    poll_job.options.cfg.fast_forward = false;
+
+    // Warm the prepare cache outside the timed region.
+    arch::RunResult poll, ff;
+    run_timed_ms(poll_job, &cache, 1, &poll);
+
+    const double poll_ms = run_timed_ms(poll_job, &cache, reps, &poll);
+    const double ff_ms = run_timed_ms(job, &cache, reps, &ff);
+    check_identical(p, poll, ff);
+
+    std::printf("%s,%s,%s,%llu,%.1f,%.1f,%.2f\n", p.arch, p.bench, p.tag,
+                static_cast<unsigned long long>(rows), poll_ms, ff_ms,
+                poll_ms / ff_ms);
+    std::fflush(stdout);
+  }
+  return 0;
+}

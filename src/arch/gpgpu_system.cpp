@@ -11,11 +11,10 @@
 #include "arch/system.hpp"
 
 #include <memory>
-#include "common/clock.hpp"
 #include "common/error.hpp"
-#include "common/watchdog.hpp"
 #include "gpgpu/sm.hpp"
 #include "mem/controller.hpp"
+#include "sim/kernel.hpp"
 
 namespace mlp::arch {
 namespace {
@@ -116,39 +115,23 @@ GpgpuParts build(const MachineConfig& cfg, const workloads::Workload& wl,
   return parts;
 }
 
-/// Runs to completion (or until `max_warp_instructions` for VWS pilots).
-Picos run_loop(const MachineConfig& cfg, GpgpuParts& parts,
-               u64 max_warp_instructions, u64* cycles_out,
-               trace::TraceSession* trace = nullptr) {
-  ClockDomain compute(cfg.core.period_ps());
-  ClockDomain channel(cfg.dram.period_ps());
-  Picos now = 0;
-  Watchdog watchdog(cfg.watchdog, "gpgpu", [&parts] {
+/// Registers the SM system's components and watchdog hooks on a kernel. The
+/// caller wires the trace (final run only) and calls run().
+void attach(sim::SimulationKernel* kernel, GpgpuParts& parts) {
+  kernel->add_compute(parts.sm.get());
+  if (parts.pb) kernel->add_channel(parts.pb.get());
+  if (parts.l1d) kernel->add_channel(parts.l1d.get());
+  kernel->add_channel(parts.ctrl.get());
+  kernel->set_progress([&parts] {
+    return parts.sm_stats.thread_instructions.value +
+           parts.ctrl->bytes_transferred();
+  });
+  kernel->set_dump([&parts] {
     std::string out = "gpgpu state:\n" + parts.sm->debug_dump();
     if (parts.pb) out += parts.pb->debug_dump();
     out += parts.ctrl->debug_dump();
     return out;
-  }, trace);
-  while (!parts.sm->halted() &&
-         parts.sm_stats.warp_instructions.value < max_warp_instructions) {
-    watchdog.step(parts.sm_stats.thread_instructions.value +
-                  parts.ctrl->bytes_transferred(), now);
-    if (compute.next_edge_ps() <= channel.next_edge_ps()) {
-      now = compute.next_edge_ps();
-      parts.sm->tick(now, compute.period_ps());
-      if (trace != nullptr) trace->tick_compute(compute.ticks(), now);
-      compute.advance();
-    } else {
-      now = channel.next_edge_ps();
-      if (parts.pb) parts.pb->pump(now);
-      if (parts.l1d) parts.l1d->pump(now);
-      parts.ctrl->tick(now);
-      channel.advance();
-    }
-  }
-  *cycles_out = compute.ticks();
-  if (trace != nullptr) trace->finish_run(compute.ticks(), now);
-  return now;
+  });
 }
 
 }  // namespace
@@ -179,8 +162,12 @@ RunResult run_gpgpu(const MachineConfig& cfg,
     // real run's timeline.
     GpgpuParts pilot = build(pilot_cfg, workload, input, cfg.core.cores,
                              /*trace=*/nullptr);
-    u64 cycles = 0;
-    run_loop(pilot_cfg, pilot, /*max_warp_instructions=*/20000, &cycles);
+    sim::SimulationKernel pilot_kernel(pilot_cfg, "gpgpu", /*trace=*/nullptr);
+    attach(&pilot_kernel, pilot);
+    pilot_kernel.run([&pilot] {
+      return pilot.sm->halted() ||
+             pilot.sm_stats.warp_instructions.value >= 20000;
+    });
     const double divergence =
         pilot.sm_stats.branches.value == 0
             ? 0.0
@@ -196,51 +183,45 @@ RunResult run_gpgpu(const MachineConfig& cfg,
   const char* arch_label = cfg.gpgpu.row_oriented
                                ? "vws-row"
                                : (cfg.gpgpu.vws ? "vws" : "gpgpu");
-  if (trace != nullptr) {
-    trace->begin_run(std::string(arch_label) + "/" + workload.name,
-                     &parts.stats);
-    const u32 groups = cfg.core.cores / width;
-    for (u32 g = 0; g < groups; ++g) {
-      for (u32 s2 = 0; s2 < cfg.core.contexts; ++s2) {
-        trace->set_track_name(g * cfg.core.contexts + s2,
-                              "w" + std::to_string(g) + "." +
-                                  std::to_string(s2));
-      }
-    }
-    for (u32 b = 0; b < cfg.dram.banks; ++b) {
-      trace->set_track_name(trace::kDramTrackBase + b,
-                            "dram.bank" + std::to_string(b));
-    }
-    if (parts.pb) {
-      trace->set_track_name(trace::kPrefetchTrack, "pb");
-      trace->add_gauge("pb.occupancy", [&parts] {
-        return static_cast<u64>(parts.pb->occupancy());
-      });
-    }
-    trace->set_track_name(trace::kWatchdogTrack, "watchdog");
-    trace->add_gauge("dram.queue", [&parts] {
-      return static_cast<u64>(parts.ctrl->queue_size());
-    });
-  }
-  u64 cycles = 0;
-  const Picos runtime =
-      run_loop(cfg, parts, /*max_warp_instructions=*/~0ull, &cycles, trace);
+  sim::SimulationKernel kernel(cfg, "gpgpu", trace);
+  attach(&kernel, parts);
+  kernel.wire_trace(
+      std::string(arch_label) + "/" + workload.name, &parts.stats,
+      [&](trace::TraceSession* session) {
+        const u32 groups = cfg.core.cores / width;
+        for (u32 g = 0; g < groups; ++g) {
+          for (u32 s2 = 0; s2 < cfg.core.contexts; ++s2) {
+            session->set_track_name(g * cfg.core.contexts + s2,
+                                    "w" + std::to_string(g) + "." +
+                                        std::to_string(s2));
+          }
+        }
+      },
+      [&](trace::TraceSession* session) {
+        if (parts.pb) {
+          session->set_track_name(trace::kPrefetchTrack, "pb");
+          session->add_gauge("pb.occupancy", [&parts] {
+            return static_cast<u64>(parts.pb->occupancy());
+          });
+        }
+      },
+      [&parts] { return static_cast<u64>(parts.ctrl->queue_size()); });
+
+  const Picos runtime = kernel.run([&parts] { return parts.sm->halted(); });
 
   RunResult result;
   result.arch = arch_label;
   result.workload = workload.name;
-  result.compute_cycles = cycles;
+  result.compute_cycles = kernel.compute_cycles();
   result.runtime_ps = runtime;
   result.thread_instructions = parts.sm_stats.thread_instructions.value;
   result.input_words = workload.num_records * workload.fields;
-  result.insts_per_word = static_cast<double>(result.thread_instructions) /
-                          static_cast<double>(result.input_words);
-  result.branches_per_inst =
-      static_cast<double>(parts.sm_stats.branches.value * width) /
-      static_cast<double>(result.thread_instructions);
+  // The nominal frequency, not the kernel's period-derived value: the GPGPU
+  // never retunes, and the ps-quantized period round-trips to ~3610 MHz.
   result.final_clock_mhz = cfg.core.clock_mhz;
   result.warp_width = width;
-  fill_dram_stats(&result, parts.stats);
+  finalize_result(&result, parts.sm_stats.branches.value * width,
+                  parts.stats);
 
   energy::EnergyModel model;
   result.energy.core_j = model.gpgpu_core_j(parts.sm_stats);
@@ -254,10 +235,8 @@ RunResult run_gpgpu(const MachineConfig& cfg,
   result.energy.leak_j =
       model.leakage_j(cfg.core.cores, sram_kb, result.seconds());
 
-  std::vector<const mem::LocalStore*> states;
-  for (const auto& local : parts.lane_state) states.push_back(&local);
-  result.verification =
-      verify_run(workload, input, states, image_may_be_dirty(cfg));
+  verify_result(&result, workload, input, parts.lane_state,
+                image_may_be_dirty(cfg));
   return result;
 }
 

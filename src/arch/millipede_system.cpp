@@ -7,13 +7,12 @@
 
 #include <algorithm>
 #include <memory>
-#include "common/clock.hpp"
 #include "common/error.hpp"
-#include "common/watchdog.hpp"
 #include "core/barrier.hpp"
 #include "core/corelet.hpp"
 #include "mem/controller.hpp"
 #include "millipede/prefetch_buffer.hpp"
+#include "sim/kernel.hpp"
 
 namespace mlp::arch {
 
@@ -40,13 +39,13 @@ RunResult run_millipede(const MachineConfig& cfg,
   mem::MemoryController ctrl(cfg.dram, "dram", &stats, trace);
   ctrl.attach_image(&input.image);
 
-  ClockDomain compute(cfg.core.period_ps());
-  ClockDomain channel(cfg.dram.period_ps());
+  sim::SimulationKernel kernel(cfg, "millipede", trace);
 
   std::unique_ptr<millipede::RateMatcher> rate_matcher;
   if (cfg.millipede.rate_match) {
     rate_matcher = std::make_unique<millipede::RateMatcher>(
-        cfg.millipede, cfg.core, &compute, &stats, "rate", trace);
+        cfg.millipede, cfg.core, kernel.compute_clock(), &stats, "rate",
+        trace);
   }
 
   millipede::RowPlan plan;
@@ -95,73 +94,52 @@ RunResult run_millipede(const MachineConfig& cfg,
   }
 
   pb.prime(0);
-  Picos now = 0;
-  auto all_halted = [&] {
-    for (const auto& corelet : corelets) {
-      if (!corelet.halted()) return false;
-    }
-    return true;
-  };
-  Watchdog watchdog(cfg.watchdog, "millipede", [&] {
+  for (core::Corelet& corelet : corelets) kernel.add_compute(&corelet);
+  kernel.add_channel(&pb);
+  kernel.add_channel(&ctrl);
+  kernel.set_progress([&exec, &ctrl] {
+    return exec.instructions.value + ctrl.bytes_transferred();
+  });
+  kernel.set_dump([&] {
     return "millipede state:\n" + dump_corelets(corelets) + pb.debug_dump() +
            ctrl.debug_dump();
-  }, trace);
+  });
   const char* arch_label =
       cfg.millipede.flow_control
           ? (cfg.millipede.rate_match ? "millipede" : "millipede-no-rate-match")
           : "millipede-no-flow-control";
-  if (trace != nullptr) {
-    trace->begin_run(std::string(arch_label) + "/" + workload.name, &stats);
-    trace::name_context_tracks(trace, cores, cfg.core.contexts);
-    for (u32 b = 0; b < cfg.dram.banks; ++b) {
-      trace->set_track_name(trace::kDramTrackBase + b,
-                            "dram.bank" + std::to_string(b));
-    }
-    trace->set_track_name(trace::kPrefetchTrack, "pb");
-    trace->set_track_name(trace::kRateMatchTrack, "rate");
-    trace->set_track_name(trace::kWatchdogTrack, "watchdog");
-    trace->add_gauge("pb.occupancy",
-                     [&pb] { return static_cast<u64>(pb.occupancy()); });
-    trace->add_gauge("pb.saturated", [&pb] {
-      return static_cast<u64>(pb.saturated_entries());
-    });
-    trace->add_gauge("dram.queue",
-                     [&ctrl] { return static_cast<u64>(ctrl.queue_size()); });
-    trace->add_gauge("clock.period_ps",
-                     [&compute] { return compute.period_ps(); });
-  }
-  while (!all_halted()) {
-    watchdog.step(exec.instructions.value + ctrl.bytes_transferred(), now);
-    if (compute.next_edge_ps() <= channel.next_edge_ps()) {
-      now = compute.next_edge_ps();
-      for (auto& corelet : corelets) {
-        corelet.tick(now, compute.period_ps());
-      }
-      if (trace != nullptr) trace->tick_compute(compute.ticks(), now);
-      compute.advance();
-    } else {
-      now = channel.next_edge_ps();
-      pb.pump(now);
-      ctrl.tick(now);
-      channel.advance();
-    }
-  }
+  kernel.wire_trace(
+      std::string(arch_label) + "/" + workload.name, &stats,
+      [&](trace::TraceSession* session) {
+        trace::name_context_tracks(session, cores, cfg.core.contexts);
+      },
+      [&](trace::TraceSession* session) {
+        session->set_track_name(trace::kPrefetchTrack, "pb");
+        session->set_track_name(trace::kRateMatchTrack, "rate");
+        session->add_gauge("pb.occupancy",
+                           [&pb] { return static_cast<u64>(pb.occupancy()); });
+        session->add_gauge("pb.saturated", [&pb] {
+          return static_cast<u64>(pb.saturated_entries());
+        });
+      },
+      [&ctrl] { return static_cast<u64>(ctrl.queue_size()); });
 
-  if (trace != nullptr) trace->finish_run(compute.ticks(), now);
+  const Picos runtime = kernel.run([&] {
+    for (const auto& corelet : corelets) {
+      if (!corelet.halted()) return false;
+    }
+    return true;
+  });
 
   RunResult result;
   result.arch = arch_label;
   result.workload = workload.name;
-  result.compute_cycles = compute.ticks();
-  result.runtime_ps = now;
+  result.compute_cycles = kernel.compute_cycles();
+  result.runtime_ps = runtime;
   result.thread_instructions = exec.instructions.value;
   result.input_words = workload.num_records * workload.fields;
-  result.insts_per_word = static_cast<double>(result.thread_instructions) /
-                          static_cast<double>(result.input_words);
-  result.branches_per_inst = static_cast<double>(exec.branches.value) /
-                             static_cast<double>(exec.instructions.value);
-  result.final_clock_mhz = compute.frequency_mhz();
-  fill_dram_stats(&result, stats);
+  result.final_clock_mhz = kernel.final_clock_mhz();
+  finalize_result(&result, exec.branches.value, stats);
 
   energy::EnergyModel model;
   result.energy.core_j = model.mimd_core_j(exec, /*state_via_cache=*/false,
@@ -187,10 +165,7 @@ RunResult run_millipede(const MachineConfig& cfg,
       1024.0;
   result.energy.leak_j = model.leakage_j(cores, sram_kb, result.seconds());
 
-  std::vector<const mem::LocalStore*> states;
-  for (const auto& local : locals) states.push_back(&local);
-  result.verification =
-      verify_run(workload, input, states, image_may_be_dirty(cfg));
+  verify_result(&result, workload, input, locals, image_may_be_dirty(cfg));
   return result;
 }
 

@@ -5,12 +5,11 @@
 // die-stacked channel bandwidth with 70 pJ/bit access energy.
 
 #include "arch/system.hpp"
-#include "common/clock.hpp"
-#include "common/watchdog.hpp"
 #include "core/corelet.hpp"
 #include "mem/cache.hpp"
 #include "mem/controller.hpp"
 #include "mem/prefetcher.hpp"
+#include "sim/kernel.hpp"
 
 namespace mlp::arch {
 namespace {
@@ -61,6 +60,32 @@ class MulticorePort : public core::GlobalPort {
   std::vector<mem::StreamTable>* prefetchers_;
   Addr state_base_;
   u32 state_stride_;
+};
+
+/// Wide issue: up to issue_width instructions per core per cycle, drawn from
+/// its SMT contexts (OoO approximation; DESIGN.md) — the corelet ticks
+/// issue_width times per compute edge. An idle edge therefore charges
+/// issue_width idle cycles, which skip_idle reproduces in bulk.
+class WideCorelet final : public sim::Tickable {
+ public:
+  WideCorelet(core::Corelet* corelet, u32 issue_width)
+      : corelet_(corelet), issue_width_(issue_width) {}
+
+  void tick(Picos now, Picos period_ps) override {
+    for (u32 slot = 0; slot < issue_width_; ++slot) {
+      corelet_->tick(now, period_ps);
+    }
+  }
+  Picos next_event(Picos now) const override {
+    return corelet_->next_event(now);
+  }
+  void skip_idle(u64 edges) override {
+    corelet_->skip_idle(edges * issue_width_);
+  }
+
+ private:
+  core::Corelet* corelet_;
+  u32 issue_width_;
 };
 
 }  // namespace
@@ -138,66 +163,48 @@ RunResult run_multicore(const MachineConfig& cfg,
     }
   }
 
-  ClockDomain compute(period);
-  ClockDomain channel(mc.dram.period_ps());
-  Picos now = 0;
-  auto all_halted = [&] {
+  std::vector<WideCorelet> wide;
+  wide.reserve(cores);
+  for (core::Corelet& corelet : corelets) {
+    wide.emplace_back(&corelet, cfg.multicore.issue_width);
+  }
+
+  sim::SimulationKernel kernel(mc, "multicore", trace);
+  for (WideCorelet& corelet : wide) kernel.add_compute(&corelet);
+  for (mem::Cache& l1 : l1s) kernel.add_channel(&l1);
+  for (mem::Cache& l2 : l2s) kernel.add_channel(&l2);
+  kernel.add_channel(&ctrl);
+  kernel.set_progress([&exec, &ctrl] {
+    return exec.instructions.value + ctrl.bytes_transferred();
+  });
+  kernel.set_dump([&] {
+    return "multicore state:\n" + dump_corelets(corelets) + ctrl.debug_dump();
+  });
+  kernel.wire_trace(
+      std::string("multicore/") + workload.name, &stats,
+      [&](trace::TraceSession* session) {
+        trace::name_context_tracks(session, cores, mc.core.contexts);
+      },
+      /*arch_hook=*/nullptr,
+      [&ctrl] { return static_cast<u64>(ctrl.queue_size()); });
+
+  const Picos runtime = kernel.run([&] {
     for (const auto& corelet : corelets) {
       if (!corelet.halted()) return false;
     }
     return true;
-  };
-  Watchdog watchdog(mc.watchdog, "multicore", [&] {
-    return "multicore state:\n" + dump_corelets(corelets) + ctrl.debug_dump();
-  }, trace);
-  if (trace != nullptr) {
-    trace->begin_run(std::string("multicore/") + workload.name, &stats);
-    trace::name_context_tracks(trace, cores, mc.core.contexts);
-    for (u32 b = 0; b < mc.dram.banks; ++b) {
-      trace->set_track_name(trace::kDramTrackBase + b,
-                            "dram.bank" + std::to_string(b));
-    }
-    trace->set_track_name(trace::kWatchdogTrack, "watchdog");
-    trace->add_gauge("dram.queue",
-                     [&ctrl] { return static_cast<u64>(ctrl.queue_size()); });
-  }
-  while (!all_halted()) {
-    watchdog.step(exec.instructions.value + ctrl.bytes_transferred(), now);
-    if (compute.next_edge_ps() <= channel.next_edge_ps()) {
-      now = compute.next_edge_ps();
-      for (auto& corelet : corelets) {
-        // Wide issue: up to issue_width instructions per core per cycle,
-        // drawn from its SMT contexts (OoO approximation; DESIGN.md).
-        for (u32 slot = 0; slot < cfg.multicore.issue_width; ++slot) {
-          corelet.tick(now, period);
-        }
-      }
-      if (trace != nullptr) trace->tick_compute(compute.ticks(), now);
-      compute.advance();
-    } else {
-      now = channel.next_edge_ps();
-      for (auto& l1 : l1s) l1.pump(now);
-      for (auto& l2 : l2s) l2.pump(now);
-      ctrl.tick(now);
-      channel.advance();
-    }
-  }
-
-  if (trace != nullptr) trace->finish_run(compute.ticks(), now);
+  });
 
   RunResult result;
   result.arch = "multicore";
   result.workload = workload.name;
-  result.compute_cycles = compute.ticks();
-  result.runtime_ps = now;
+  result.compute_cycles = kernel.compute_cycles();
+  result.runtime_ps = runtime;
   result.thread_instructions = exec.instructions.value;
   result.input_words = workload.num_records * workload.fields;
-  result.insts_per_word = static_cast<double>(result.thread_instructions) /
-                          static_cast<double>(result.input_words);
-  result.branches_per_inst = static_cast<double>(exec.branches.value) /
-                             static_cast<double>(exec.instructions.value);
+  // Nominal: no retune, and the ps-quantized period would round-trip off.
   result.final_clock_mhz = mc.core.clock_mhz;
-  fill_dram_stats(&result, stats);
+  finalize_result(&result, exec.branches.value, stats);
 
   energy::EnergyModel model;
   const u64 l1_accesses = exec.local_ops.value + exec.global_loads.value;
@@ -214,10 +221,7 @@ RunResult run_multicore(const MachineConfig& cfg,
   result.energy.leak_j =
       model.leakage_j(cores, sram_kb, result.seconds(), /*ooo=*/true);
 
-  std::vector<const mem::LocalStore*> states;
-  for (const auto& local : locals) states.push_back(&local);
-  result.verification =
-      verify_run(workload, input, states, image_may_be_dirty(mc));
+  verify_result(&result, workload, input, locals, image_may_be_dirty(mc));
   return result;
 }
 

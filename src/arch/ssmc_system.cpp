@@ -5,12 +5,11 @@
 // the baseline Millipede's row-orientedness is measured against.
 
 #include "arch/system.hpp"
-#include "common/clock.hpp"
-#include "common/watchdog.hpp"
 #include "core/corelet.hpp"
 #include "mem/cache.hpp"
 #include "mem/controller.hpp"
 #include "mem/prefetcher.hpp"
+#include "sim/kernel.hpp"
 
 namespace mlp::arch {
 namespace {
@@ -131,61 +130,40 @@ RunResult run_ssmc(const MachineConfig& cfg,
     }
   }
 
-  ClockDomain compute(cfg.core.period_ps());
-  ClockDomain channel(cfg.dram.period_ps());
-  Picos now = 0;
-  auto all_halted = [&] {
+  sim::SimulationKernel kernel(cfg, "ssmc", trace);
+  for (core::Corelet& corelet : corelets) kernel.add_compute(&corelet);
+  for (mem::Cache& cache : caches) kernel.add_channel(&cache);
+  kernel.add_channel(&ctrl);
+  kernel.set_progress([&exec, &ctrl] {
+    return exec.instructions.value + ctrl.bytes_transferred();
+  });
+  kernel.set_dump([&] {
+    return "ssmc state:\n" + dump_corelets(corelets) + ctrl.debug_dump();
+  });
+  kernel.wire_trace(
+      std::string("ssmc/") + workload.name, &stats,
+      [&](trace::TraceSession* session) {
+        trace::name_context_tracks(session, cores, cfg.core.contexts);
+      },
+      /*arch_hook=*/nullptr,
+      [&ctrl] { return static_cast<u64>(ctrl.queue_size()); });
+
+  const Picos runtime = kernel.run([&] {
     for (const auto& corelet : corelets) {
       if (!corelet.halted()) return false;
     }
     return true;
-  };
-  Watchdog watchdog(cfg.watchdog, "ssmc", [&] {
-    return "ssmc state:\n" + dump_corelets(corelets) + ctrl.debug_dump();
-  }, trace);
-  if (trace != nullptr) {
-    trace->begin_run(std::string("ssmc/") + workload.name, &stats);
-    trace::name_context_tracks(trace, cores, cfg.core.contexts);
-    for (u32 b = 0; b < cfg.dram.banks; ++b) {
-      trace->set_track_name(trace::kDramTrackBase + b,
-                            "dram.bank" + std::to_string(b));
-    }
-    trace->set_track_name(trace::kWatchdogTrack, "watchdog");
-    trace->add_gauge("dram.queue",
-                     [&ctrl] { return static_cast<u64>(ctrl.queue_size()); });
-  }
-  while (!all_halted()) {
-    watchdog.step(exec.instructions.value + ctrl.bytes_transferred(), now);
-    if (compute.next_edge_ps() <= channel.next_edge_ps()) {
-      now = compute.next_edge_ps();
-      for (auto& corelet : corelets) {
-        corelet.tick(now, compute.period_ps());
-      }
-      if (trace != nullptr) trace->tick_compute(compute.ticks(), now);
-      compute.advance();
-    } else {
-      now = channel.next_edge_ps();
-      for (auto& cache : caches) cache.pump(now);
-      ctrl.tick(now);
-      channel.advance();
-    }
-  }
-
-  if (trace != nullptr) trace->finish_run(compute.ticks(), now);
+  });
 
   RunResult result;
   result.arch = "ssmc";
   result.workload = workload.name;
-  result.compute_cycles = compute.ticks();
-  result.runtime_ps = now;
+  result.compute_cycles = kernel.compute_cycles();
+  result.runtime_ps = runtime;
   result.thread_instructions = exec.instructions.value;
   result.input_words = workload.num_records * workload.fields;
-  result.insts_per_word = static_cast<double>(result.thread_instructions) /
-                          static_cast<double>(result.input_words);
-  result.branches_per_inst = static_cast<double>(exec.branches.value) /
-                             static_cast<double>(exec.instructions.value);
-  result.final_clock_mhz = compute.frequency_mhz();
-  fill_dram_stats(&result, stats);
+  result.final_clock_mhz = kernel.final_clock_mhz();
+  finalize_result(&result, exec.branches.value, stats);
 
   energy::EnergyModel model;
   result.energy.core_j = model.mimd_core_j(exec, /*state_via_cache=*/true,
@@ -197,10 +175,7 @@ RunResult run_ssmc(const MachineConfig& cfg,
       cores * (cfg.ssmc.l1d_bytes + cfg.core.icache_bytes) / 1024.0;
   result.energy.leak_j = model.leakage_j(cores, sram_kb, result.seconds());
 
-  std::vector<const mem::LocalStore*> states;
-  for (const auto& local : locals) states.push_back(&local);
-  result.verification =
-      verify_run(workload, input, states, image_may_be_dirty(cfg));
+  verify_result(&result, workload, input, locals, image_may_be_dirty(cfg));
   return result;
 }
 

@@ -99,9 +99,22 @@ std::string verify_run(const workloads::Workload& workload,
   return workloads::compare_results(reference, measured, workload.tolerance);
 }
 
-void fill_dram_stats(RunResult* result, const StatSet& stats) {
-  const u64 hits = stats.get("dram.row_hits");
-  const u64 misses = stats.get("dram.row_misses");
+void finalize_result(RunResult* result, u64 branch_count,
+                     const StatSet& stats) {
+  result->insts_per_word =
+      result->input_words == 0
+          ? 0.0
+          : static_cast<double>(result->thread_instructions) /
+                static_cast<double>(result->input_words);
+  result->branches_per_inst =
+      result->thread_instructions == 0
+          ? 0.0
+          : static_cast<double>(branch_count) /
+                static_cast<double>(result->thread_instructions);
+  const u64 hits =
+      stats.has("dram.row_hits") ? stats.get("dram.row_hits") : 0;
+  const u64 misses =
+      stats.has("dram.row_misses") ? stats.get("dram.row_misses") : 0;
   result->row_miss_rate =
       hits + misses == 0
           ? 0.0
@@ -109,6 +122,16 @@ void fill_dram_stats(RunResult* result, const StatSet& stats) {
   for (const auto& [name, value] : stats.snapshot()) {
     result->stats.emplace(name, value);
   }
+}
+
+void verify_result(RunResult* result, const workloads::Workload& workload,
+                   const PreparedInput& input,
+                   const std::vector<mem::LocalStore>& states,
+                   bool image_dirty) {
+  std::vector<const mem::LocalStore*> pointers;
+  pointers.reserve(states.size());
+  for (const mem::LocalStore& state : states) pointers.push_back(&state);
+  result->verification = verify_run(workload, input, pointers, image_dirty);
 }
 
 RunResult run_arch(ArchKind kind, const MachineConfig& cfg,

@@ -92,8 +92,23 @@ inline bool image_may_be_dirty(const MachineConfig& cfg) {
   return cfg.dram.fault.bit_flip_rate > 0.0 && !cfg.dram.fault.ecc;
 }
 
-/// Fill common RunResult fields from the DRAM controller counters.
-void fill_dram_stats(RunResult* result, const StatSet& stats);
+/// Fill the derived metrics every architecture reports the same way —
+/// insts_per_word and branches_per_inst (a zero denominator pins the metric
+/// to 0.0 rather than NaN/inf), row_miss_rate from the controller counters,
+/// and the full counter snapshot. The caller sets thread_instructions and
+/// input_words first and passes the branch numerator (the GPGPU scales
+/// per-warp branches by the warp width); arch-specific fields
+/// (final_clock_mhz, warp_width, energy) stay with the caller.
+void finalize_result(RunResult* result, u64 branch_count,
+                     const StatSet& stats);
+
+/// Shared tail of every run: reduce the per-core live states and verify
+/// against the workload's golden reference (RunResult::verification is ""
+/// on success). `image_dirty` as in verify_run.
+void verify_result(RunResult* result, const workloads::Workload& workload,
+                   const PreparedInput& input,
+                   const std::vector<mem::LocalStore>& states,
+                   bool image_dirty);
 
 /// Multi-line per-corelet context snapshot (PC, state, ready time) for the
 /// forward-progress watchdog's diagnostic dump.

@@ -29,6 +29,14 @@ class ClockDomain {
     next_edge_ps_ += period_ps_;
   }
 
+  /// Consume `n` consecutive edges at the current period in one step. Used
+  /// by the simulation kernel's idle-gap fast-forward; equivalent to calling
+  /// advance() `n` times with no work in between.
+  void advance_by(u64 n) {
+    ticks_ += n;
+    next_edge_ps_ += static_cast<Picos>(n) * period_ps_;
+  }
+
   /// Rescale the period (dynamic frequency scaling). Applies from the next
   /// edge onward; the pending edge keeps its already-scheduled time, matching
   /// how a PLL retunes between cycles.

@@ -185,6 +185,14 @@ struct MachineConfig {
   /// paper requires for coalescing.
   bool slab_layout = false;
 
+  /// Let the simulation kernel fast-forward both clock domains across
+  /// globally idle gaps (sim/kernel.hpp). Purely a simulator-speed knob:
+  /// counters, trace events and timelines are bit-identical either way
+  /// (enforced by kernel_test and the CI equivalence step), so it is not
+  /// part of the stats-JSON config section or the prepare-cache key.
+  /// `--no-fast-forward` on the tools clears it for A/B runs.
+  bool fast_forward = true;
+
   /// Throws SimError("config", ...) on inconsistent parameter combinations;
   /// caught at the sim::run_job boundary so a bad sweep point fails alone.
   void validate() const;

@@ -15,6 +15,7 @@
 // buffer occupancy, PFT/DF counters), so a hung point in a sweep matrix
 // becomes a per-job error instead of a hung pool thread.
 
+#include <algorithm>
 #include <functional>
 #include <string>
 
@@ -63,6 +64,39 @@ class Watchdog {
     if (cfg_.max_cycles != 0 && iterations_ >= cfg_.max_cycles) {
       trip(now, "cycle ceiling of " + std::to_string(cfg_.max_cycles) +
                     " step-loop iterations exceeded");
+    }
+  }
+
+  /// How many further step() calls with this (unchanging) progress signature
+  /// until the watchdog would trip; ~u64{0} if both limits are disabled. The
+  /// kernel's fast-forward refuses to skip across this boundary so a trip
+  /// always fires from a real step() at its exact iteration count.
+  u64 steps_until_trip(u64 progress_signature) const {
+    u64 until = ~u64{0};
+    if (cfg_.stall_cycles != 0) {
+      until = progress_signature != last_progress_
+                  ? cfg_.stall_cycles + 1
+                  : cfg_.stall_cycles - stalled_;
+    }
+    if (cfg_.max_cycles != 0) {
+      until = std::min(until, cfg_.max_cycles - iterations_);
+    }
+    return until;
+  }
+
+  /// Bulk-account `edges` skipped loop iterations over which the progress
+  /// signature is known constant. Mirrors `edges` consecutive step() calls
+  /// exactly — including step()'s quirk that `stalled_` only advances while
+  /// the stall detector is enabled. The caller guarantees
+  /// `edges < steps_until_trip(progress_signature)`, so no trip can occur.
+  void skip(u64 edges, u64 progress_signature) {
+    if (edges == 0) return;
+    iterations_ += edges;
+    if (progress_signature != last_progress_) {
+      last_progress_ = progress_signature;
+      stalled_ = cfg_.stall_cycles != 0 ? edges - 1 : 0;
+    } else if (cfg_.stall_cycles != 0) {
+      stalled_ += edges;
     }
   }
 

@@ -1,5 +1,7 @@
 #include "core/corelet.hpp"
 
+#include <algorithm>
+
 namespace mlp::core {
 
 Corelet::Corelet(u32 core_id, const CoreConfig& cfg,
@@ -25,6 +27,23 @@ bool Corelet::halted() const {
     if (ctx.state != Context::State::kHalted) return false;
   }
   return true;
+}
+
+Picos Corelet::next_event(Picos now) const {
+  // A kReady context issues at its wake-up edge; kWaitMem and kHalted
+  // contexts only become schedulable through a port callback. Note a kReady
+  // context whose last issue hit port backpressure (kRetry) keeps
+  // ready_at <= now, so retry polling is never skipped over.
+  Picos at = sim::kNoEvent;
+  for (const Context& ctx : contexts_) {
+    if (ctx.state != Context::State::kReady) continue;
+    at = std::min(at, std::max(ctx.ready_at, now));
+  }
+  return at;
+}
+
+void Corelet::skip_idle(u64 edges) {
+  if (!halted()) stats_->idle_cycles.inc(edges);
 }
 
 void Corelet::tick(Picos now, Picos period_ps) {

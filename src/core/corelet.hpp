@@ -12,6 +12,7 @@
 #include "common/stats.hpp"
 #include "core/functional.hpp"
 #include "core/port.hpp"
+#include "sim/tickable.hpp"
 #include "trace/trace.hpp"
 
 namespace mlp::core {
@@ -41,7 +42,7 @@ struct ExecStats {
   }
 };
 
-class Corelet {
+class Corelet : public sim::Tickable {
  public:
   Corelet(u32 core_id, const CoreConfig& cfg, const isa::Program* program,
           mem::LocalStore* local, mem::DramImage* dram, GlobalPort* port,
@@ -49,7 +50,16 @@ class Corelet {
 
   /// One compute-clock edge: issue at most one instruction.
   /// `period_ps` is the current compute period (DFS may change it).
-  void tick(Picos now, Picos period_ps);
+  void tick(Picos now, Picos period_ps) override;
+
+  /// Earliest edge at which some context could issue: the soonest kReady
+  /// wake-up. Mem-stalled and halted contexts only change via port
+  /// callbacks, which arrive from channel-domain ticks.
+  Picos next_event(Picos now) const override;
+
+  /// Bulk idle accounting for fast-forwarded edges (matches tick()'s
+  /// nothing-runnable path).
+  void skip_idle(u64 edges) override;
 
   bool halted() const;
 

@@ -127,6 +127,30 @@ void StreamingMultiprocessor::tick(Picos now, Picos period_ps) {
   }
 }
 
+Picos StreamingMultiprocessor::next_event(Picos now) const {
+  Picos at = sim::kNoEvent;
+  for (const Warp& warp : warps_) {
+    // MSHR-bounced line replays are retried (and counted) every edge.
+    if (!warp.retry_lines.empty()) return now;
+    if (warp.waiting || warp.stack.all_halted()) continue;
+    at = std::min(at, std::max(warp.ready_at, now));
+  }
+  return at;
+}
+
+void StreamingMultiprocessor::skip_idle(u64 edges) {
+  for (u32 g = 0; g < groups_; ++g) {
+    bool group_live = false;
+    for (u32 s = 0; s < cfg_.core.contexts; ++s) {
+      group_live |= !warps_[g * cfg_.core.contexts + s].stack.all_halted();
+    }
+    if (group_live) {
+      deps_.stats->issue_slots_idle.inc(edges);
+      deps_.stats->inactive_lane_slots.inc(edges * warp_width_);
+    }
+  }
+}
+
 void StreamingMultiprocessor::issue(Warp& warp, u32 group, Picos now,
                                     Picos period_ps) {
   const u32 pc = warp.stack.pc();

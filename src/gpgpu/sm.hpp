@@ -25,6 +25,7 @@
 #include "mem/prefetcher.hpp"
 #include "mem/sharedmem.hpp"
 #include "millipede/prefetch_buffer.hpp"
+#include "sim/tickable.hpp"
 #include "trace/trace.hpp"
 
 namespace mlp::gpgpu {
@@ -58,7 +59,7 @@ struct SmStats {
   }
 };
 
-class StreamingMultiprocessor {
+class StreamingMultiprocessor : public sim::Tickable {
  public:
   struct Deps {
     const isa::Program* program = nullptr;
@@ -79,7 +80,17 @@ class StreamingMultiprocessor {
   core::Context& context(u32 group, u32 slot, u32 lane);
 
   /// One compute-clock edge: each lane group may issue one warp instruction.
-  void tick(Picos now, Picos period_ps);
+  void tick(Picos now, Picos period_ps) override;
+
+  /// Earliest edge with SM-side work: `now` while any warp has MSHR-bounced
+  /// lines to replay (the replay touches L1 counters every edge), otherwise
+  /// the soonest wake-up among non-waiting, non-halted warps.
+  Picos next_event(Picos now) const override;
+
+  /// Bulk idle accounting for fast-forwarded edges: every live lane group
+  /// charges an idle issue slot and `warp_width` inactive lane slots per
+  /// edge, matching tick()'s nothing-runnable path.
+  void skip_idle(u64 edges) override;
 
   bool halted() const;
 

@@ -11,6 +11,7 @@
 
 #include "common/stats.hpp"
 #include "mem/req.hpp"
+#include "sim/tickable.hpp"
 
 namespace mlp::mem {
 
@@ -34,7 +35,7 @@ enum class AccessStatus : u8 {
   kMshrFull,  ///< structural stall: retry next cycle
 };
 
-class Cache : public MemBackend {
+class Cache : public MemBackend, public sim::Tickable {
  public:
   using FillCallback = std::function<void(Picos)>;
 
@@ -52,6 +53,13 @@ class Cache : public MemBackend {
   /// Retry queued downstream requests (fills, writebacks) that previously
   /// hit backpressure. Call once per channel tick.
   void pump(Picos now);
+
+  /// sim::Tickable: a channel edge retries backpressured downstream
+  /// requests; fills arrive via backend callbacks, not self-scheduled work.
+  void tick(Picos now, Picos /*period_ps*/) override { pump(now); }
+  Picos next_event(Picos now) const override {
+    return issue_queue_.empty() ? sim::kNoEvent : now;
+  }
 
   /// MemBackend: lets this cache be another cache's next level.
   bool request(MemRequest request, Picos now) override;

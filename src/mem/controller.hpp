@@ -20,6 +20,7 @@
 // flipped bits are applied to the attached DramImage — silent corruption
 // that the golden verification surfaces at the end of the run.
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <string>
@@ -31,11 +32,12 @@
 #include "mem/dram_image.hpp"
 #include "mem/fault.hpp"
 #include "mem/req.hpp"
+#include "sim/tickable.hpp"
 #include "trace/trace.hpp"
 
 namespace mlp::mem {
 
-class MemoryController {
+class MemoryController : public sim::Tickable {
  public:
   MemoryController(const DramConfig& cfg, std::string stat_prefix,
                    StatSet* stats, trace::TraceSession* trace = nullptr);
@@ -52,6 +54,23 @@ class MemoryController {
   /// retire any transfers whose data has fully arrived. Throws
   /// SimError("memory-fault") when a transfer exhausts its retry budget.
   void tick(Picos now);
+
+  /// sim::Tickable adapter for the channel domain.
+  void tick(Picos now, Picos /*period_ps*/) override { tick(now); }
+
+  /// Earliest channel edge with controller work: an in-flight transfer
+  /// retiring (done_at), or a queued request whose bank turns ready
+  /// (try_issue only gates on bank.ready_at — the bus merely delays data).
+  Picos next_event(Picos now) const override {
+    Picos at = sim::kNoEvent;
+    for (const InFlight& transfer : in_flight_) {
+      at = std::min(at, std::max(transfer.done_at, now));
+    }
+    for (const Pending& pending : queue_) {
+      at = std::min(at, std::max(banks_[pending.coord.bank].ready_at, now));
+    }
+    return at;
+  }
 
   bool idle() const { return queue_.empty() && in_flight_.empty(); }
   u32 queue_size() const { return static_cast<u32>(queue_.size()); }

@@ -28,6 +28,7 @@
 #include "core/port.hpp"
 #include "mem/controller.hpp"
 #include "millipede/rate_match.hpp"
+#include "sim/tickable.hpp"
 #include "trace/trace.hpp"
 
 namespace mlp::millipede {
@@ -43,7 +44,7 @@ struct RowPlan {
   std::function<u64(u64 row, u32 corelet)> expected_mask;
 };
 
-class PrefetchBuffer : public core::GlobalPort {
+class PrefetchBuffer : public core::GlobalPort, public sim::Tickable {
  public:
   PrefetchBuffer(const MachineConfig& cfg, RowPlan plan,
                  mem::MemoryController* ctrl, RateMatcher* rate_matcher,
@@ -60,6 +61,14 @@ class PrefetchBuffer : public core::GlobalPort {
   /// Retry prefetch issues that hit controller backpressure; call once per
   /// channel tick.
   void pump(Picos now);
+
+  /// sim::Tickable: a channel edge retries backpressured issues; with an
+  /// empty issue queue the buffer only reacts to fills and demand accesses
+  /// driven from other components.
+  void tick(Picos now, Picos /*period_ps*/) override { pump(now); }
+  Picos next_event(Picos now) const override {
+    return issue_queue_.empty() ? sim::kNoEvent : now;
+  }
 
   bool quiescent() const { return issue_queue_.empty(); }
 

@@ -211,6 +211,8 @@ std::string job_json(const JobSpec& spec) {
   w.value(o.cfg.watchdog.max_cycles);
   w.key("watchdog_stall");
   w.value(o.cfg.watchdog.stall_cycles);
+  w.key("fast_forward");
+  w.value(o.cfg.fast_forward);
   w.key("trace");
   w.value(o.trace.chrome_json);
   w.key("trace_dir");
@@ -232,8 +234,8 @@ JobSpec job_from_json(const trace::JsonValue& doc) {
       "rows",        "seed",           "record_barrier", "cores",
       "pf_entries",  "bus_efficiency", "slab_layout",    "fault_rate",
       "fault_delay", "fault_drop",     "fault_seed",     "ecc",
-      "watchdog_cycles", "watchdog_stall", "trace",      "trace_dir",
-      "trace_ring",  "trace_interval", "hold_ms",
+      "watchdog_cycles", "watchdog_stall", "fast_forward", "trace",
+      "trace_dir",   "trace_ring",     "trace_interval", "hold_ms",
   };
   for (const auto& [name, value] : doc.object) {
     bool known = false;
@@ -301,6 +303,7 @@ JobSpec job_from_json(const trace::JsonValue& doc) {
       member_u64(doc, "watchdog_cycles", o.cfg.watchdog.max_cycles);
   o.cfg.watchdog.stall_cycles =
       member_u64(doc, "watchdog_stall", o.cfg.watchdog.stall_cycles);
+  o.cfg.fast_forward = member_bool(doc, "fast_forward", true);
 
   o.trace.chrome_json = member_bool(doc, "trace", false);
   o.trace.dir = member_string(doc, "trace_dir", o.trace.dir);

@@ -1,0 +1,163 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mlp::sim {
+namespace {
+
+/// First edge of `clock`'s grid at or after `at` (the grid is anchored at
+/// next_edge_ps and spaced by the current period; the period only changes
+/// inside processed edges, never across a skipped gap).
+Picos first_edge_at_or_after(const ClockDomain& clock, Picos at) {
+  if (at == kNoEvent) return kNoEvent;
+  const Picos edge = clock.next_edge_ps();
+  if (at <= edge) return edge;
+  const Picos period = clock.period_ps();
+  return edge + (at - edge + period - 1) / period * period;
+}
+
+/// Number of `clock` edges strictly before `target`.
+u64 edges_before(const ClockDomain& clock, Picos target) {
+  const Picos edge = clock.next_edge_ps();
+  if (target == kNoEvent || target <= edge) return 0;
+  const Picos period = clock.period_ps();
+  return static_cast<u64>((target - edge + period - 1) / period);
+}
+
+}  // namespace
+
+SimulationKernel::SimulationKernel(const MachineConfig& cfg,
+                                   std::string watchdog_arch,
+                                   trace::TraceSession* trace)
+    : compute_(cfg.core.period_ps()),
+      channel_(cfg.dram.period_ps()),
+      watchdog_cfg_(cfg.watchdog),
+      watchdog_arch_(std::move(watchdog_arch)),
+      banks_(cfg.dram.banks),
+      fast_forward_(cfg.fast_forward),
+      trace_(trace) {}
+
+void SimulationKernel::wire_trace(
+    const std::string& process_name, const StatSet* stats,
+    const std::function<void(trace::TraceSession*)>& name_tracks,
+    const std::function<void(trace::TraceSession*)>& arch_hook,
+    std::function<u64()> dram_queue) {
+  if (trace_ == nullptr) return;
+  trace_->begin_run(process_name, stats);
+  if (name_tracks) name_tracks(trace_);
+  for (u32 b = 0; b < banks_; ++b) {
+    trace_->set_track_name(trace::kDramTrackBase + b,
+                           "dram.bank" + std::to_string(b));
+  }
+  if (arch_hook) arch_hook(trace_);
+  trace_->set_track_name(trace::kWatchdogTrack, "watchdog");
+  if (dram_queue) trace_->add_gauge("dram.queue", std::move(dram_queue));
+  trace_->add_gauge("clock.period_ps",
+                    [this] { return compute_.period_ps(); });
+}
+
+Picos SimulationKernel::run(const std::function<bool()>& done) {
+  MLP_CHECK(progress_ != nullptr, "kernel needs a progress signature");
+  Watchdog watchdog(watchdog_cfg_, watchdog_arch_, dump_, trace_);
+  while (!done()) {
+    const u64 signature = progress_();
+    watchdog.step(signature, now_);
+    if (compute_.next_edge_ps() <= channel_.next_edge_ps()) {
+      now_ = compute_.next_edge_ps();
+      const Picos period = compute_.period_ps();
+      for (Tickable* unit : compute_units_) unit->tick(now_, period);
+      if (trace_ != nullptr) trace_->tick_compute(compute_.ticks(), now_);
+      compute_.advance();
+    } else {
+      now_ = channel_.next_edge_ps();
+      const Picos period = channel_.period_ps();
+      for (Tickable* unit : channel_units_) unit->tick(now_, period);
+      channel_.advance();
+    }
+    if (!fast_forward_) continue;
+    if (progress_() != signature) {
+      scan_enabled_ = true;  // progress may have broken a deadlock
+      flat_edges_ = 0;
+      continue;
+    }
+    // Hysteresis: a gap worth skipping is many edges long, so only pay for
+    // an event scan once the signature has been flat for a few edges. Busy
+    // phases (progress nearly every edge) then never scan at all.
+    if (++flat_edges_ < kScanHysteresis) continue;
+    if (scan_enabled_ && !try_fast_forward(&watchdog, signature)) {
+      scan_enabled_ = false;
+    }
+  }
+  if (trace_ != nullptr) trace_->finish_run(compute_.ticks(), now_);
+  return now_;
+}
+
+bool SimulationKernel::try_fast_forward(Watchdog* watchdog, u64 signature) {
+  // Earliest time any compute component could act...
+  Picos compute_at = kNoEvent;
+  const Picos compute_edge = compute_.next_edge_ps();
+  for (const Tickable* unit : compute_units_) {
+    compute_at = std::min(compute_at, unit->next_event(compute_edge));
+  }
+  // ... capped at the interval sampler's next sample edge, which must be
+  // processed for real so the timeline keeps every row.
+  if (trace_ != nullptr) {
+    const u64 sample_cycle = trace_->next_sample_cycle();
+    if (sample_cycle != ~u64{0}) {
+      const u64 ticks = compute_.ticks();
+      const Picos sample_at =
+          sample_cycle <= ticks
+              ? compute_edge
+              : compute_edge + static_cast<Picos>(sample_cycle - ticks) *
+                                   compute_.period_ps();
+      compute_at = std::min(compute_at, sample_at);
+    }
+  }
+  Picos channel_at = kNoEvent;
+  const Picos channel_edge = channel_.next_edge_ps();
+  for (const Tickable* unit : channel_units_) {
+    channel_at = std::min(channel_at, unit->next_event(channel_edge));
+  }
+
+  // The first edge that must be processed for real. Every edge strictly
+  // before it lies strictly before its own domain's earliest event, so its
+  // tick would have been a no-op (the Tickable contract) — skip them all.
+  const Picos target = std::min(first_edge_at_or_after(compute_, compute_at),
+                                first_edge_at_or_after(channel_, channel_at));
+  if (target == kNoEvent) return false;  // deadlock: poll to the trip
+
+  const u64 skip_compute = edges_before(compute_, target);
+  const u64 skip_channel = edges_before(channel_, target);
+  const u64 total = skip_compute + skip_channel;
+  // A zero-yield scan (an event sits on the very next edge — e.g. a corelet
+  // retry-polling a full MSHR) would repeat every edge of the stall; stand
+  // down until progress re-arms the scan. Which edges get skipped is pure
+  // policy: results are identical either way, only wall-clock changes.
+  if (total == 0) return false;
+  // Never skip across a watchdog limit: the trip must fire from a real
+  // step() at its exact iteration count (and trace timestamp).
+  if (total >= watchdog->steps_until_trip(signature)) return true;
+
+  // `now` at the resumed edge's step() is the last skipped edge's time,
+  // exactly as if it had been polled.
+  Picos last = now_;
+  if (skip_compute > 0) {
+    last = std::max(last, compute_edge + (skip_compute - 1) *
+                                             compute_.period_ps());
+  }
+  if (skip_channel > 0) {
+    last = std::max(last, channel_edge + (skip_channel - 1) *
+                                             channel_.period_ps());
+  }
+  now_ = last;
+
+  for (Tickable* unit : compute_units_) unit->skip_idle(skip_compute);
+  compute_.advance_by(skip_compute);
+  channel_.advance_by(skip_channel);
+  watchdog->skip(total, signature);
+  return true;
+}
+
+}  // namespace mlp::sim

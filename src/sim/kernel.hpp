@@ -1,0 +1,118 @@
+#pragma once
+// The shared two-domain simulation kernel. Every architecture model wires
+// its components (corelets or an SM on the compute domain; prefetch buffer,
+// caches and the memory controller on the DRAM-channel domain) onto one
+// SimulationKernel and calls run(); the kernel owns the step loop that the
+// four *_system.cpp files used to hand-roll:
+//
+//  * two ClockDomains advanced in global time order (compute edge first on
+//    ties), honoring mid-run compute retunes by Millipede's DFS rate
+//    matcher (which holds a pointer to compute_clock());
+//  * the forward-progress watchdog, stepped once per processed edge;
+//  * trace wiring (process/track/gauge registration in the layout the
+//    pre-kernel systems used), the interval sampler's tick_compute hook and
+//    the closing finish_run;
+//  * idle-cycle fast-forward: after an edge that made no progress, the
+//    kernel asks every component for its next_event() and skips both
+//    domains' edges up to the earliest one — bulk-accounting idle counters
+//    (Tickable::skip_idle) and watchdog iterations (Watchdog::skip) so all
+//    counters, trace events and timelines stay bit-identical to polling
+//    every edge (MachineConfig::fast_forward / --no-fast-forward is the
+//    A/B escape hatch; kernel_test and the CI equivalence step enforce it).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/watchdog.hpp"
+#include "sim/tickable.hpp"
+#include "trace/trace.hpp"
+
+namespace mlp::sim {
+
+class SimulationKernel {
+ public:
+  /// `watchdog_arch` labels watchdog trips; `trace` may be null. The clock
+  /// periods, watchdog limits, DRAM bank count (for trace track names) and
+  /// the fast-forward switch all come from `cfg`.
+  SimulationKernel(const MachineConfig& cfg, std::string watchdog_arch,
+                   trace::TraceSession* trace);
+
+  /// Registration order is tick order within a domain (the channel tick
+  /// order is architecture-defined: e.g. prefetch buffer before the
+  /// controller, L1s before L2s before the controller).
+  void add_compute(Tickable* component) { compute_units_.push_back(component); }
+  void add_channel(Tickable* component) { channel_units_.push_back(component); }
+
+  /// The compute domain, for Millipede's rate matcher (DFS retunes the
+  /// period mid-run) and for tests.
+  ClockDomain* compute_clock() { return &compute_; }
+
+  /// Lazy machine-state snapshot attached to a watchdog trip's SimError.
+  void set_dump(std::function<std::string()> dump) { dump_ = std::move(dump); }
+
+  /// Monotonic progress signature (instructions retired + DRAM bytes moved)
+  /// feeding the watchdog; an edge that leaves it unchanged is what arms the
+  /// fast-forward scan. Required before run().
+  void set_progress(std::function<u64()> progress) {
+    progress_ = std::move(progress);
+  }
+
+  /// One-stop trace registration reproducing the pre-kernel per-arch layout:
+  /// begin_run(process_name, stats), then `name_tracks` (per-context or
+  /// per-warp tracks), the DRAM bank tracks, `arch_hook` (arch-specific
+  /// tracks and gauges, e.g. pb/rate), the watchdog track, and finally the
+  /// "dram.queue" and "clock.period_ps" gauges. No-op without a trace
+  /// session; either hook may be empty.
+  void wire_trace(const std::string& process_name, const StatSet* stats,
+                  const std::function<void(trace::TraceSession*)>& name_tracks,
+                  const std::function<void(trace::TraceSession*)>& arch_hook,
+                  std::function<u64()> dram_queue);
+
+  /// Runs until `done()` — typically "all corelets halted". Throws
+  /// SimError (watchdog trip, memory-fault retry exhaustion, ...) with the
+  /// trace left partially written, exactly like the old per-arch loops.
+  /// Returns the final simulated time in picoseconds.
+  Picos run(const std::function<bool()>& done);
+
+  u64 compute_cycles() const { return compute_.ticks(); }
+  double final_clock_mhz() const { return compute_.frequency_mhz(); }
+  Picos now() const { return now_; }
+
+ private:
+  /// Attempt one idle-gap skip; returns false when every component in both
+  /// domains reports kNoEvent (a deadlock — fall back to polling so the
+  /// watchdog trips exactly as it would have).
+  bool try_fast_forward(Watchdog* watchdog, u64 signature);
+
+  ClockDomain compute_;
+  ClockDomain channel_;
+  WatchdogConfig watchdog_cfg_;
+  std::string watchdog_arch_;
+  u32 banks_;
+  bool fast_forward_;
+  trace::TraceSession* trace_;
+
+  std::vector<Tickable*> compute_units_;
+  std::vector<Tickable*> channel_units_;
+  std::function<std::string()> dump_;
+  std::function<u64()> progress_;
+
+  Picos now_ = 0;
+  /// Consecutive edges with an unchanged progress signature; a scan only
+  /// fires once this reaches kScanHysteresis, so busy phases never scan.
+  u64 flat_edges_ = 0;
+  /// Cleared when a scan yields nothing — both domains event-less (deadlock,
+  /// poll to the watchdog trip) or an event on the very next edge (retry
+  /// polling). Re-armed by progress.
+  bool scan_enabled_ = true;
+
+  /// Edges the signature must stay flat before an event scan pays for
+  /// itself; a skippable gap is typically far longer than this.
+  static constexpr u64 kScanHysteresis = 8;
+};
+
+}  // namespace mlp::sim

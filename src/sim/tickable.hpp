@@ -1,0 +1,43 @@
+#pragma once
+// The component interface of the shared simulation kernel. A Tickable is
+// anything wired onto one of the kernel's two clock domains (corelets and
+// the SM on the compute domain; prefetch buffer, caches and the memory
+// controller on the DRAM-channel domain). Besides the per-edge tick, each
+// component reports the earliest future time it could change state, which
+// is what lets the kernel fast-forward both domains across globally idle
+// gaps instead of polling every edge (sim/kernel.hpp).
+
+#include "common/types.hpp"
+
+namespace mlp::sim {
+
+/// next_event() return value: this component cannot change state without
+/// external stimulus (a callback fired by another component's tick).
+inline constexpr Picos kNoEvent = ~Picos{0};
+
+class Tickable {
+ public:
+  virtual ~Tickable() = default;
+
+  /// One clock edge in this component's domain. `period_ps` is the domain's
+  /// current period (the compute domain's may be retuned mid-run by DFS
+  /// rate matching).
+  virtual void tick(Picos now, Picos period_ps) = 0;
+
+  /// Earliest picosecond (>= now) at which this component could change any
+  /// observable state — counters, queues, trace events — on its own, or
+  /// kNoEvent when it is entirely at the mercy of callbacks. The contract
+  /// backing idle-gap fast-forward: a tick() at any time strictly before
+  /// next_event(now), with no intervening external stimulus, must be a
+  /// no-op except for the idle accounting that skip_idle() replicates.
+  virtual Picos next_event(Picos now) const = 0;
+
+  /// Bulk-account `edges` skipped idle edges of this component's domain.
+  /// Must reproduce exactly what `edges` consecutive no-op tick() calls
+  /// would have done to the component's counters (idle cycles, idle issue
+  /// slots); components with no per-idle-edge accounting keep the no-op
+  /// default.
+  virtual void skip_idle(u64 edges) { (void)edges; }
+};
+
+}  // namespace mlp::sim

@@ -61,7 +61,10 @@ void usage() {
                     write them as a compact binary ring instead of JSON
   --trace-interval N  sample every registered counter (as per-interval
                     deltas) every N compute cycles into a CSV timeline
+  --no-fast-forward disable the kernel's idle-cycle fast-forward and step
+                    every clock edge (bit-identical results; debugging aid)
   --list            list architectures and benchmarks
+  --list-arches     list architectures only, one per line
   --version         print the toolchain version
 
 A failed run (bad config, watchdog trip, uncorrectable fault, verification
@@ -92,13 +95,21 @@ int main(int argc, char** argv) {
       tools::print_version("mlpsim");
       return 0;
     } else if (arg == "--list") {
-      std::printf("architectures: millipede millipede-no-flow-control "
-                  "millipede-no-rate-match ssmc gpgpu vws vws-row multicore\n");
+      std::printf("architectures:");
+      for (arch::ArchKind k : arch::all_arch_kinds()) {
+        std::printf(" %s", arch::arch_name(k));
+      }
+      std::printf("\n");
       std::printf("benchmarks:");
       for (const auto& name : workloads::bmla_names()) {
         std::printf(" %s", name.c_str());
       }
       std::printf("\n");
+      return 0;
+    } else if (arg == "--list-arches") {
+      for (arch::ArchKind k : arch::all_arch_kinds()) {
+        std::printf("%s\n", arch::arch_name(k));
+      }
       return 0;
     } else if (arg == "--arch") {
       const std::string name = next();
@@ -147,6 +158,8 @@ int main(int argc, char** argv) {
       kind = arch::ArchKind::kMillipedeNoRateMatch;
     } else if (arg == "--record-barrier") {
       options.record_barrier = true;
+    } else if (arg == "--no-fast-forward") {
+      options.cfg.fast_forward = false;
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--stats") {

@@ -37,6 +37,8 @@ void usage() {
 %s
 Execution:
   --jobs N              concurrent simulations   (default: all hw threads)
+  --no-fast-forward     step every clock edge instead of fast-forwarding
+                        idle gaps (bit-identical output; equivalence checks)
   --server SOCK         run the grid on a mlpserved daemon at SOCK instead
                         of in-process (same output bytes, warm caches
                         persist across sweeps)
@@ -95,6 +97,7 @@ int main(int argc, char** argv) {
   tools::SweepGrid grid;
   u32 jobs = 0;
   bool stats_json = false;
+  bool fast_forward = true;
   std::string server;
 
   tools::ArgCursor args(argc, argv);
@@ -109,6 +112,8 @@ int main(int argc, char** argv) {
       jobs = tools::parse_u32(args.flag(), args.value(), /*min=*/1);
     } else if (args.is("--stats-json")) {
       stats_json = true;
+    } else if (args.is("--no-fast-forward")) {
+      fast_forward = false;
     } else if (args.is("--server")) {
       server = args.value();
     } else if (!grid.consume(args)) {
@@ -116,7 +121,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::vector<sim::MatrixJob> matrix = grid.expand();
+  std::vector<sim::MatrixJob> matrix = grid.expand();
+  if (!fast_forward) {
+    for (sim::MatrixJob& job : matrix) job.options.cfg.fast_forward = false;
+  }
 
   if (!server.empty()) {
     std::fprintf(stderr, "mlpsweep: %zu grid points via %s\n", matrix.size(),

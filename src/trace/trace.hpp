@@ -116,6 +116,13 @@ class TraceSession {
     sample(cycle, now);
   }
 
+  /// First compute-domain cycle at which tick_compute() would take a sample;
+  /// ~u64{0} when interval sampling is off. The simulation kernel caps its
+  /// compute-domain fast-forward at this cycle so timelines keep every row.
+  u64 next_sample_cycle() const {
+    return cfg_.interval_cycles == 0 ? ~u64{0} : next_sample_cycle_;
+  }
+
   // ---- per-run wiring (called once by the architecture model) ----
 
   /// Names the trace "process" (arch/workload) and attaches the counter set

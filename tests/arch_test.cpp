@@ -183,5 +183,51 @@ TEST(ArchShape, InstsPerWordConsistentAcrossArchitectures) {
   EXPECT_NEAR(mlp.insts_per_word, ssmc.insts_per_word, 1e-9);
 }
 
+// --- Naming and shared result finalization ---
+
+TEST(ArchNames, EveryKindRoundTripsThroughItsName) {
+  for (const ArchKind kind : all_arch_kinds()) {
+    const char* name = arch_name(kind);
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "");
+    ArchKind back = ArchKind::kMillipede;
+    EXPECT_TRUE(arch_from_name(name, &back)) << name;
+    EXPECT_EQ(back, kind) << name;
+  }
+  ArchKind kind = ArchKind::kMillipede;
+  EXPECT_FALSE(arch_from_name("no-such-arch", &kind));
+}
+
+TEST(FinalizeResult, ZeroDenominatorsYieldZeroNotNan) {
+  // A degenerate run — nothing executed, nothing loaded, no row accesses —
+  // must finalize to clean zeros, not NaN/inf: the CSV and JSON reports
+  // print these fields unconditionally.
+  StatSet stats;
+  RunResult r;
+  r.thread_instructions = 0;
+  r.input_words = 0;
+  finalize_result(&r, /*branch_count=*/0, stats);
+  EXPECT_EQ(r.insts_per_word, 0.0);
+  EXPECT_EQ(r.branches_per_inst, 0.0);
+  EXPECT_EQ(r.row_miss_rate, 0.0);
+  EXPECT_TRUE(r.stats.empty());
+
+  // Zero input words with nonzero instructions (and vice versa) still only
+  // zero the affected ratio.
+  Counter hits, misses;
+  stats.add("dram.row_hits", &hits);
+  stats.add("dram.row_misses", &misses);
+  hits.inc(3);
+  misses.inc(1);
+  RunResult partial;
+  partial.thread_instructions = 100;
+  partial.input_words = 0;
+  finalize_result(&partial, /*branch_count=*/25, stats);
+  EXPECT_EQ(partial.insts_per_word, 0.0);
+  EXPECT_DOUBLE_EQ(partial.branches_per_inst, 0.25);
+  EXPECT_DOUBLE_EQ(partial.row_miss_rate, 0.25);
+  EXPECT_EQ(partial.stats.at("dram.row_hits"), 3u);
+}
+
 }  // namespace
 }  // namespace mlp::arch
