@@ -11,6 +11,7 @@
 //   kernel_bench --arch multicore --bench count
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +20,7 @@
 
 #include "sim/prepare.hpp"
 #include "sim/runner.hpp"
+#include "trace/json.hpp"
 
 namespace {
 
@@ -104,11 +106,96 @@ void check_identical(const Point& p, const arch::RunResult& poll,
   std::exit(1);
 }
 
+/// One measured point, kept for the --json trajectory document.
+struct Measured {
+  std::string name;  // arch/bench/tag
+  double poll_ms = 0;
+  double ff_ms = 0;
+  arch::RunResult result;  // bit-identical between modes by the gate above
+};
+
+/// bench-trajectory document for scripts/bench_gate.py: the wall-clock
+/// ratio (machine-portable) is the gated metric, per-point simulation
+/// counters are gated exactly, raw milliseconds ride along as info.
+void print_json(u64 rows, u32 reps, const std::vector<Measured>& points) {
+  double log_sum = 0, total_poll = 0, total_ff = 0;
+  for (const Measured& m : points) {
+    log_sum += std::log(m.poll_ms / m.ff_ms);
+    total_poll += m.poll_ms;
+    total_ff += m.ff_ms;
+  }
+  const double geomean =
+      points.empty() ? 1.0
+                     : std::exp(log_sum / static_cast<double>(points.size()));
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value("bench-trajectory");
+  w.key("schema_version");
+  w.value(u64{1});
+  w.key("benchmark");
+  w.value("kernel_bench");
+  w.key("config");
+  w.begin_object();
+  w.key("rows");
+  w.value(rows);
+  w.key("reps");
+  w.value(u64{reps});
+  w.end_object();
+  w.key("counters");
+  w.begin_object();
+  w.key("points");
+  w.value(static_cast<u64>(points.size()));
+  w.end_object();
+  w.key("metrics");
+  w.begin_object();
+  w.key("geomean_speedup");
+  w.value(geomean);
+  w.end_object();
+  w.key("info");
+  w.begin_object();
+  w.key("total_poll_ms");
+  w.value(total_poll);
+  w.key("total_ff_ms");
+  w.value(total_ff);
+  w.end_object();
+  w.key("points");
+  w.begin_array();
+  for (const Measured& m : points) {
+    w.begin_object();
+    w.key("name");
+    w.value(m.name);
+    w.key("counters");
+    w.begin_object();
+    w.key("compute_cycles");
+    w.value(m.result.compute_cycles);
+    w.key("runtime_ps");
+    w.value(m.result.runtime_ps);
+    w.key("thread_instructions");
+    w.value(m.result.thread_instructions);
+    w.end_object();
+    w.key("info");
+    w.begin_object();
+    w.key("speedup");
+    w.value(m.poll_ms / m.ff_ms);
+    w.key("poll_ms");
+    w.value(m.poll_ms);
+    w.key("ff_ms");
+    w.value(m.ff_ms);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   u64 rows = 96;
   u32 reps = 3;
+  bool json = false;
   std::string arch_filter, bench_filter;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -127,13 +214,16 @@ int main(int argc, char** argv) {
       arch_filter = next();
     } else if (arg == "--bench") {
       bench_filter = next();
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "kernel_bench — fast-forward vs edge-polling A/B harness\n"
           "  --rows N    data volume in DRAM rows   (default 96)\n"
           "  --reps N    timed repetitions per mode (default 3; min is "
           "reported)\n"
-          "  --arch NAME / --bench NAME   restrict the point list\n");
+          "  --arch NAME / --bench NAME   restrict the point list\n"
+          "  --json      bench-trajectory JSON for scripts/bench_gate.py\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
@@ -150,7 +240,8 @@ int main(int argc, char** argv) {
   // input and the timings measure the simulation loop alone.
   sim::PrepareCache cache;
 
-  std::printf("arch,bench,tag,rows,poll_ms,ff_ms,speedup\n");
+  std::vector<Measured> measured;
+  if (!json) std::printf("arch,bench,tag,rows,poll_ms,ff_ms,speedup\n");
   for (const Point& p : kPoints) {
     if (!arch_filter.empty() && arch_filter != p.arch) continue;
     if (!bench_filter.empty() && bench_filter != p.bench) continue;
@@ -178,10 +269,20 @@ int main(int argc, char** argv) {
     const double ff_ms = run_timed_ms(job, &cache, reps, &ff);
     check_identical(p, poll, ff);
 
+    if (json) {
+      Measured m;
+      m.name = std::string(p.arch) + "/" + p.bench + "/" + p.tag;
+      m.poll_ms = poll_ms;
+      m.ff_ms = ff_ms;
+      m.result = std::move(ff);
+      measured.push_back(std::move(m));
+      continue;
+    }
     std::printf("%s,%s,%s,%llu,%.1f,%.1f,%.2f\n", p.arch, p.bench, p.tag,
                 static_cast<unsigned long long>(rows), poll_ms, ff_ms,
                 poll_ms / ff_ms);
     std::fflush(stdout);
   }
+  if (json) print_json(rows, reps, measured);
   return 0;
 }

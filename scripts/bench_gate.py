@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""bench_gate.py — perf-trajectory gate for BENCH_*.json baselines.
+
+Compares a current bench-trajectory document (what `kernel_bench --json` or
+`service_bench --json` print) against a committed baseline and exits nonzero
+when the trajectory regressed. Stdlib only, so CI can run it anywhere.
+
+Gate policy (applied recursively, to the top-level run and to each entry of
+a "points" array, matched by "name"):
+
+  * "counters" — deterministic tallies; any mismatch fails, no tolerance.
+  * "metrics"  — wall-clock-derived; direction-aware relative tolerance
+    (default 10%). A name ending in "_ms" is lower-is-better, anything else
+    (throughput, speedup) is higher-is-better. Only REGRESSIONS fail —
+    getting faster never does.
+  * "info"     — reported, never gated (machine-dependent observations).
+  * "config"   — must match exactly apart from NON_GATING keys; a config
+    mismatch means the two runs measure different things, which is a usage
+    error, not a regression.
+
+A baseline file may hold several runs under {"runs": [...]} (e.g. the smoke
+and full profiles of one benchmark); single-run documents are treated as a
+one-element list. Runs are matched by (benchmark, gating-config) identity;
+the current file may cover a subset of the baseline's runs, but a current
+run with no baseline counterpart fails (the baseline must be regenerated
+with --update when a new configuration is introduced).
+
+Usage:
+  bench_gate.py BASELINE CURRENT [--tolerance 0.10]
+  bench_gate.py BASELINE CURRENT --update   # refresh matching runs in place
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "bench-trajectory"
+SCHEMA_VERSION = 1
+# Config keys that change measurement effort, not the measured system;
+# differing values do not make two runs incomparable.
+NON_GATING_CONFIG = {"reps"}
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise SystemExit(f"{path}: not a {SCHEMA} document")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise SystemExit(
+            f"{path}: schema_version {doc.get('schema_version')} "
+            f"(this gate speaks {SCHEMA_VERSION})")
+    runs = doc["runs"] if "runs" in doc else [doc]
+    for run in runs:
+        if "benchmark" not in run:
+            raise SystemExit(f"{path}: run without a \"benchmark\" name")
+    return runs
+
+
+def run_key(run):
+    """Identity of a run: benchmark plus its gating config members."""
+    config = {k: v for k, v in sorted(run.get("config", {}).items())
+              if k not in NON_GATING_CONFIG}
+    return run["benchmark"] + " " + json.dumps(config, sort_keys=True)
+
+
+def check_counters(where, base, cur, failures):
+    for name in sorted(set(base) | set(cur)):
+        if name not in cur:
+            failures.append(f"{where}: counter {name} disappeared")
+        elif name not in base:
+            failures.append(
+                f"{where}: counter {name} is new (regenerate the baseline "
+                f"with --update)")
+        elif base[name] != cur[name]:
+            failures.append(
+                f"{where}: counter {name}: baseline {base[name]} != "
+                f"current {cur[name]}")
+
+
+def check_metrics(where, base, cur, tolerance, failures):
+    for name in sorted(set(base) | set(cur)):
+        if name not in cur or name not in base:
+            missing = "disappeared" if name not in cur else "is new"
+            failures.append(f"{where}: metric {name} {missing} "
+                            f"(regenerate the baseline with --update)")
+            continue
+        b, c = float(base[name]), float(cur[name])
+        if b == 0:
+            continue  # degenerate baseline; nothing to measure against
+        lower_is_better = name.endswith("_ms")
+        change = (c - b) / b
+        regression = change > tolerance if lower_is_better \
+            else change < -tolerance
+        if regression:
+            failures.append(
+                f"{where}: metric {name} regressed "
+                f"{abs(change) * 100.0:.1f}% (baseline {b:g}, current {c:g}, "
+                f"tolerance {tolerance * 100.0:.0f}%)")
+
+
+def check_run(where, base, cur, tolerance, failures):
+    check_counters(where, base.get("counters", {}), cur.get("counters", {}),
+                   failures)
+    check_metrics(where, base.get("metrics", {}), cur.get("metrics", {}),
+                  tolerance, failures)
+    base_points = {p["name"]: p for p in base.get("points", [])}
+    cur_points = {p["name"]: p for p in cur.get("points", [])}
+    for name in sorted(set(base_points) | set(cur_points)):
+        if name not in cur_points:
+            failures.append(f"{where}: point {name} disappeared")
+        elif name not in base_points:
+            failures.append(f"{where}: point {name} is new (regenerate the "
+                            f"baseline with --update)")
+        else:
+            check_run(f"{where} [{name}]", base_points[name],
+                      cur_points[name], tolerance, failures)
+
+
+def update_baseline(baseline_path, base_runs, cur_runs):
+    merged = {run_key(r): r for r in base_runs}
+    for run in cur_runs:
+        merged[run_key(run)] = run
+    doc = {"schema": SCHEMA, "schema_version": SCHEMA_VERSION,
+           "runs": [merged[k] for k in sorted(merged)]}
+    with open(baseline_path, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="perf-trajectory gate for bench-trajectory JSON")
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("current", help="freshly produced --json output")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="relative metric regression bound "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="write the current runs into the baseline "
+                             "instead of gating")
+    args = parser.parse_args()
+
+    base_runs = load_runs(args.baseline)
+    cur_runs = load_runs(args.current)
+    if args.update:
+        update_baseline(args.baseline, base_runs, cur_runs)
+        print(f"bench_gate: baseline {args.baseline} updated "
+              f"({len(cur_runs)} run(s) merged)")
+        return 0
+
+    by_key = {run_key(r): r for r in base_runs}
+    failures = []
+    for run in cur_runs:
+        key = run_key(run)
+        where = run["benchmark"]
+        profile = run.get("config", {}).get("profile")
+        if profile:
+            where += f"/{profile}"
+        if key not in by_key:
+            failures.append(
+                f"{where}: no baseline run for this configuration "
+                f"({key}); regenerate with --update")
+            continue
+        check_run(where, by_key[key], run, args.tolerance, failures)
+
+    if failures:
+        print(f"bench_gate: FAIL ({len(failures)} finding(s)) "
+              f"comparing {args.current} against {args.baseline}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"bench_gate: OK — {len(cur_runs)} run(s) within "
+          f"{args.tolerance * 100.0:.0f}% of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

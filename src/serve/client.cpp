@@ -1,34 +1,19 @@
 #include "serve/client.hpp"
 
-#include <string.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <deque>
 
 #include "common/error.hpp"
+#include "serve/transport.hpp"
 
 namespace mlp::serve {
 
 Client::~Client() { close(); }
 
-void Client::connect(const std::string& socket_path) {
+void Client::connect(const std::string& address) {
   close();
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  MLP_SIM_CHECK(socket_path.size() < sizeof(addr.sun_path), "serve",
-                "socket path too long for AF_UNIX: " + socket_path);
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  MLP_SIM_CHECK(fd_ >= 0, "serve",
-                std::string("socket(): ") + std::strerror(errno));
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string reason = std::strerror(errno);
-    close();
-    throw SimError("serve", "connect(" + socket_path + "): " + reason +
-                                " (is mlpserved running?)");
-  }
+  fd_ = connect_endpoint(parse_endpoint(address));
 }
 
 void Client::close() {
@@ -62,10 +47,8 @@ Response Client::result(u64 id, bool wait) {
 Response Client::cancel(u64 id) { return roundtrip(cancel_request(id)); }
 Response Client::shutdown() { return roundtrip(shutdown_request()); }
 
-namespace {
-
 /// Decode a result response into the RemoteResult slot.
-void fill_result(const Response& r, RemoteResult* out) {
+void decode_result_response(const Response& r, RemoteResult* out) {
   const trace::JsonValue* csv = r.doc.find("csv");
   const trace::JsonValue* stats = r.doc.find("stats");
   const trace::JsonValue* hit = r.doc.find("cache_hit");
@@ -76,8 +59,6 @@ void fill_result(const Response& r, RemoteResult* out) {
   out->stats_run_json = stats != nullptr ? stats->string : "";
   out->cache_hit = hit != nullptr && hit->boolean;
 }
-
-}  // namespace
 
 std::vector<RemoteResult> run_matrix_remote(Client& client,
                                             const std::vector<sim::MatrixJob>& jobs,
@@ -100,7 +81,7 @@ std::vector<RemoteResult> run_matrix_remote(Client& client,
     inflight.pop_front();
     const Response r = client.result(id, /*wait=*/true);
     if (r.ok) {
-      fill_result(r, &results[index]);
+      decode_result_response(r, &results[index]);
     } else {
       results[index].error = r.error;
       results[index].message = r.message;

@@ -22,9 +22,10 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connect to the daemon's socket; throws SimError("serve", ...) when the
-  /// daemon is absent or the path is invalid.
-  void connect(const std::string& socket_path);
+  /// Connect to a daemon address — an AF_UNIX path or "HOST:PORT" for TCP
+  /// (see serve/transport.hpp for the grammar). Throws SimError("serve",
+  /// ...) when the daemon is absent, refuses, or the address is invalid.
+  void connect(const std::string& address);
   bool connected() const { return fd_ >= 0; }
   void close();
 
@@ -55,6 +56,10 @@ struct RemoteResult {
   std::string error;           ///< typed kind when the SUBMISSION failed
   std::string message;
 };
+
+/// Decode an ok result response into a RemoteResult (shared by the
+/// single-connection and sharded sweep paths).
+void decode_result_response(const Response& r, RemoteResult* out);
 
 /// Submit `jobs` through one connection with at most `window` outstanding at
 /// a time; a queue-full rejection retries after draining one in-flight

@@ -3,13 +3,13 @@
 #include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 
 #include "common/error.hpp"
+#include "serve/transport.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
 
@@ -27,53 +27,70 @@ bool non_terminal(JobState state) {
 Server::Server(const ServeConfig& cfg)
     : cfg_(cfg), cache_(cfg.cache_entries) {}
 
-Server::~Server() {
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
+Server::~Server() { close_listeners(); }
+
+void Server::close_listeners() {
+  if (unix_fd_ >= 0) {
+    ::close(unix_fd_);
+    unix_fd_ = -1;
     ::unlink(cfg_.socket_path.c_str());
+  }
+  if (tcp_fd_ >= 0) {
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
   }
 }
 
-void Server::listen() {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  MLP_SIM_CHECK(cfg_.socket_path.size() < sizeof(addr.sun_path), "serve",
-                "socket path too long for AF_UNIX: " + cfg_.socket_path);
-  std::strncpy(addr.sun_path, cfg_.socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
+std::string Server::tcp_address() const {
+  if (tcp_fd_ < 0) return "";
+  Endpoint ep = parse_endpoint(cfg_.listen_address);
+  ep.port = tcp_port_;
+  return endpoint_name(ep);
+}
 
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  MLP_SIM_CHECK(listen_fd_ >= 0, "serve",
-                std::string("socket(): ") + std::strerror(errno));
-  // A stale socket file from a crashed daemon would make bind fail; remove
-  // it (a LIVE daemon on the path would still conflict at connect time).
-  ::unlink(cfg_.socket_path.c_str());
-  MLP_SIM_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                       sizeof(addr)) == 0,
-                "serve",
-                "bind(" + cfg_.socket_path + "): " + std::strerror(errno));
-  MLP_SIM_CHECK(::listen(listen_fd_, 16) == 0, "serve",
-                std::string("listen(): ") + std::strerror(errno));
+void Server::listen() {
+  MLP_SIM_CHECK(!cfg_.socket_path.empty() || !cfg_.listen_address.empty(),
+                "serve", "no endpoint: need a socket path or a TCP address");
+  if (!cfg_.socket_path.empty()) {
+    Endpoint ep;
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = cfg_.socket_path;
+    unix_fd_ = listen_endpoint(ep);
+  }
+  if (!cfg_.listen_address.empty()) {
+    const Endpoint ep = parse_endpoint(cfg_.listen_address);
+    MLP_SIM_CHECK(ep.kind == Endpoint::Kind::kTcp, "serve",
+                  "--listen expects HOST:PORT, got: " + cfg_.listen_address);
+    tcp_fd_ = listen_endpoint(ep, &tcp_port_);
+  }
   pool_ = std::make_unique<sim::ThreadPool>(cfg_.threads);
 }
 
 void Server::run() {
-  MLP_SIM_CHECK(listen_fd_ >= 0, "serve", "run() before listen()");
+  MLP_SIM_CHECK(unix_fd_ >= 0 || tcp_fd_ >= 0, "serve",
+                "run() before listen()");
   while (!stop_.load()) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
+    pollfd pfds[2];
+    nfds_t nfds = 0;
+    if (unix_fd_ >= 0) pfds[nfds++] = pollfd{unix_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) pfds[nfds++] = pollfd{tcp_fd_, POLLIN, 0};
     // 100 ms poll timeout: the upper bound on SIGTERM-to-drain latency
     // without needing a self-pipe in the signal handler.
-    const int ready = ::poll(&pfd, 1, 100);
+    const int ready = ::poll(pfds, nfds, 100);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
     }
     if (ready == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    std::lock_guard<std::mutex> lock(threads_mutex_);
-    open_fds_.push_back(fd);
-    connection_threads_.emplace_back([this, fd] { serve_connection(fd); });
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if ((pfds[i].revents & POLLIN) == 0) continue;
+      const int fd = ::accept(pfds[i].fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      if (pfds[i].fd == tcp_fd_) set_tcp_nodelay(fd);
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      open_fds_.push_back(fd);
+      connection_threads_.emplace_back([this, fd] { serve_connection(fd); });
+    }
   }
 
   // ---- drain ----
@@ -83,10 +100,12 @@ void Server::run() {
   std::unique_ptr<sim::ThreadPool> pool;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (auto& [id, entry] : jobs_) entry.wake = true;
+    for (auto& [id, entry] : jobs_) {
+      entry.wake = true;
+      entry.cv.notify_all();
+    }
     pool.swap(pool_);
   }
-  cv_.notify_all();
   // 2. Let every admitted job finish (ThreadPool's destructor runs the
   //    remaining queue; in-flight simulations stay under their per-job
   //    watchdog, so this cannot wedge). Clients blocked in result-wait are
@@ -100,9 +119,7 @@ void Server::run() {
     threads.swap(connection_threads_);
   }
   for (std::thread& t : threads) t.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  ::unlink(cfg_.socket_path.c_str());
+  close_listeners();
 }
 
 void Server::request_stop() { stop_.store(true); }
@@ -239,7 +256,7 @@ std::string Server::handle_result(const trace::JsonValue& doc) {
                 "no job " + std::to_string(id));
   JobEntry& entry = it->second;
   if (block) {
-    cv_.wait(lock, [&entry] { return !non_terminal(entry.state); });
+    entry.cv.wait(lock, [&entry] { return !non_terminal(entry.state); });
   } else if (entry.state == JobState::kQueued) {
     throw SimError(kErrJobPending, "job " + std::to_string(id) +
                                        " is still queued; poll or wait");
@@ -281,8 +298,8 @@ std::string Server::handle_cancel(const trace::JsonValue& doc) {
         --active_;
         break;
     }
+    entry.cv.notify_all();
   }
-  cv_.notify_all();
   return job_status_response(id, JobState::kCancelled);
 }
 
@@ -300,14 +317,13 @@ void Server::execute(u64 id) {
       // queue-full backpressure and cancel deterministically.
       const auto deadline = std::chrono::steady_clock::now() +
                             std::chrono::milliseconds(entry.spec.hold_ms);
-      cv_.wait_until(lock, deadline,
-                     [&entry] { return entry.wake; });
+      entry.cv.wait_until(lock, deadline,
+                          [&entry] { return entry.wake; });
     }
     if (entry.state != JobState::kQueued) return;  // cancelled while held
     entry.state = JobState::kRunning;
     job = entry.spec.job;
   }
-  cv_.notify_all();
 
   bool cache_hit = false;
   sim::MatrixResult result = sim::run_job(job, &cache_, &cache_hit);
@@ -321,9 +337,9 @@ void Server::execute(u64 id) {
       entry.cache_hit = cache_hit;
       entry.state = JobState::kDone;
       --active_;
+      entry.cv.notify_all();
     }
   }
-  cv_.notify_all();
 }
 
 }  // namespace mlp::serve

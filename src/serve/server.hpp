@@ -1,7 +1,8 @@
 #pragma once
 // mlpserved core: a persistent simulation service. One Server owns
 //
-//  * a Unix-domain listening socket speaking the serve/protocol framing,
+//  * up to two listening sockets — Unix-domain and/or TCP — speaking the
+//    same serve/protocol framing (the transport is invisible above accept),
 //  * a sim::ThreadPool executing admitted jobs,
 //  * a bounded admission queue — when the number of not-yet-finished jobs
 //    reaches `queue_limit`, submits are REJECTED with a typed queue-full
@@ -35,6 +36,9 @@ namespace mlp::serve {
 
 struct ServeConfig {
   std::string socket_path;  ///< AF_UNIX path (sun_path limit ~107 chars)
+  /// TCP listen address "HOST:PORT" (port 0 = ephemeral, discover through
+  /// tcp_port()). Either endpoint may be empty; at least one is required.
+  std::string listen_address;
   u32 threads = 0;          ///< simulation workers; 0 = hardware threads
   /// Admission bound: maximum jobs queued-or-running at once. A submit
   /// beyond it gets a typed queue-full rejection.
@@ -50,9 +54,9 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind + listen; throws SimError("serve", ...) on socket errors (path too
-  /// long, address in use, ...). Separate from run() so callers can report
-  /// readiness before blocking.
+  /// Bind + listen on every configured endpoint; throws SimError("serve",
+  /// ...) on socket errors (path too long, address in use, ...). Separate
+  /// from run() so callers can report readiness before blocking.
   void listen();
 
   /// Accept/serve until request_stop(), then drain in-flight jobs and
@@ -68,6 +72,13 @@ class Server {
 
   const std::string& socket_path() const { return cfg_.socket_path; }
 
+  /// Bound TCP port after listen(); 0 when no TCP endpoint is configured.
+  /// With a ":0" listen address this is how the ephemeral port is found.
+  u16 tcp_port() const { return tcp_port_; }
+
+  /// "host:port" client address of the TCP listener ("" without one).
+  std::string tcp_address() const;
+
  private:
   struct JobEntry {
     JobSpec spec;
@@ -76,6 +87,12 @@ class Server {
     bool cache_hit = false;
     /// Set when the hold/queue wait should end early (cancel or drain).
     bool wake = false;
+    /// Per-job wakeups (result-waiters, held workers). A single server-wide
+    /// condition variable broadcasts every completion to EVERY parked
+    /// connection — O(clients) wakeups per job, which melts down at
+    /// thousand-client fan-in; map entries are address-stable, so each job
+    /// carries its own.
+    std::condition_variable cv;
   };
 
   std::string handle_request(const std::string& payload);
@@ -86,15 +103,18 @@ class Server {
   void execute(u64 id);
   void serve_connection(int fd);
 
+  void close_listeners();
+
   ServeConfig cfg_;
-  int listen_fd_ = -1;
+  int unix_fd_ = -1;  ///< AF_UNIX listener (-1 when not configured)
+  int tcp_fd_ = -1;   ///< AF_INET listener (-1 when not configured)
+  u16 tcp_port_ = 0;  ///< actual bound TCP port (resolves ":0" bindings)
   std::atomic<bool> stop_{false};
 
   std::unique_ptr<sim::ThreadPool> pool_;
   sim::PrepareCache cache_;
 
   mutable std::mutex mutex_;
-  std::condition_variable cv_;  ///< job state changes: result-wait, holds
   std::map<u64, JobEntry> jobs_;
   u64 next_id_ = 1;
   u64 active_ = 0;  ///< queued + running (the admission-bounded population)

@@ -1,0 +1,161 @@
+#include "serve/shard.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+#include "sim/prepare.hpp"
+
+namespace mlp::serve {
+
+ShardRing::ShardRing(std::size_t nodes) {
+  MLP_SIM_CHECK(nodes > 0, "serve", "shard ring needs at least one node");
+  ring_.reserve(nodes * kVirtualNodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    for (u32 v = 0; v < kVirtualNodes; ++v) {
+      const std::string point =
+          "node" + std::to_string(n) + "#" + std::to_string(v);
+      ring_.emplace_back(sim::stable_hash64(point), static_cast<u32>(n));
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t ShardRing::node_for(const std::string& key) const {
+  const u64 hash = sim::stable_hash64(key);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(hash, u32{0}));
+  if (it == ring_.end()) it = ring_.begin();  // wrap past the last point
+  return it->second;
+}
+
+namespace {
+
+/// The sharding key: the job's prepare-cache key when it is computable. A
+/// job the server would reject anyway (unknown benchmark) still needs a
+/// deterministic home for its error row; its bench name stands in.
+std::string shard_key(const sim::MatrixJob& job) {
+  try {
+    return sim::prepare_key(job);
+  } catch (const SimError&) {
+    return job.bench;
+  }
+}
+
+/// One daemon's connection + sliding submit window.
+struct Node {
+  std::string address;
+  Client client;
+  u64 window = 8;  ///< in-flight bound, sized to the node's queue_limit
+  std::deque<std::pair<std::size_t, u64>> inflight;  ///< (job idx, server id)
+  bool dead = false;
+  std::string reason;
+};
+
+/// Fail the node: every submitted-but-unfetched job becomes a typed
+/// node-lost error (rendered as a regular CSV error row upstream), and
+/// later jobs assigned here fail fast instead of re-trying a dead peer.
+void kill_node(Node* node, const std::string& reason,
+               std::vector<RemoteResult>* results) {
+  node->dead = true;
+  node->reason = reason;
+  node->client.close();
+  for (const auto& [index, id] : node->inflight) {
+    (*results)[index].error = kErrNodeLost;
+    (*results)[index].message = node->address + ": " + reason;
+  }
+  node->inflight.clear();
+}
+
+/// Fetch (blocking) the node's oldest in-flight result — the step that
+/// frees one admission slot. A connection failure kills the node.
+void drain_one(Node* node, std::vector<RemoteResult>* results) {
+  const auto [index, id] = node->inflight.front();
+  try {
+    const Response r = node->client.result(id, /*wait=*/true);
+    node->inflight.pop_front();
+    if (r.ok) {
+      decode_result_response(r, &(*results)[index]);
+    } else {
+      (*results)[index].error = r.error;
+      (*results)[index].message = r.message;
+    }
+  } catch (const SimError& e) {
+    kill_node(node, e.what(), results);
+  }
+}
+
+}  // namespace
+
+std::size_t shard_for_job(const sim::MatrixJob& job, std::size_t nodes) {
+  return ShardRing(nodes).node_for(shard_key(job));
+}
+
+std::vector<RemoteResult> run_matrix_sharded(
+    const std::vector<std::string>& addresses,
+    const std::vector<sim::MatrixJob>& jobs) {
+  MLP_SIM_CHECK(!addresses.empty(), "serve", "no server addresses");
+  std::vector<RemoteResult> results(jobs.size());
+
+  std::vector<Node> nodes(addresses.size());
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    Node& node = nodes[n];
+    node.address = addresses[n];
+    try {
+      node.client.connect(node.address);
+      // Per-node window sizing: each node's admission bound, not the first
+      // node's — a narrow node must not stall (or overflow) a wide one.
+      const Response status = node.client.server_status();
+      const trace::JsonValue* limit = status.doc.find("queue_limit");
+      if (limit != nullptr && limit->unsigned_integer > 0) {
+        node.window = limit->unsigned_integer;
+      }
+    } catch (const SimError& e) {
+      kill_node(&node, e.what(), &results);
+    }
+  }
+
+  const ShardRing ring(nodes.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    Node& node = nodes[ring.node_for(shard_key(jobs[i]))];
+    if (node.dead) {
+      results[i].error = kErrNodeLost;
+      results[i].message = node.address + ": " + node.reason;
+      continue;
+    }
+    if (node.inflight.size() >= node.window) drain_one(&node, &results);
+    if (!node.dead) {
+      try {
+        for (;;) {
+          const Response r = node.client.submit(JobSpec{jobs[i], 0});
+          if (r.ok) {
+            node.inflight.emplace_back(i, r.doc.u64_at("id"));
+            break;
+          }
+          if (r.error == kErrQueueFull && !node.inflight.empty()) {
+            // This node's backpressure: free one of ITS slots and retry.
+            drain_one(&node, &results);
+            if (node.dead) break;
+            continue;
+          }
+          results[i].error = r.error;
+          results[i].message = r.message;
+          break;
+        }
+      } catch (const SimError& e) {
+        kill_node(&node, e.what(), &results);
+      }
+    }
+    if (node.dead && results[i].error.empty()) {
+      results[i].error = kErrNodeLost;
+      results[i].message = node.address + ": " + node.reason;
+    }
+  }
+
+  for (Node& node : nodes) {
+    while (!node.dead && !node.inflight.empty()) drain_one(&node, &results);
+  }
+  return results;
+}
+
+}  // namespace mlp::serve

@@ -1,0 +1,62 @@
+#pragma once
+// Multi-node sweep sharding: fan one (arch × bench × config) grid across
+// several mlpserved daemons and merge the results back into submission
+// order, byte-identical to a single local run.
+//
+// Placement is a consistent-hash ring over the jobs' PREPARE-CACHE keys
+// (bench / records / rows / seed / record_barrier / slab_layout — see
+// sim::prepare_key): every job sharing preparation artifacts lands on the
+// same node, so each node's PrepareCache sees the same 8×-deduplicated
+// working set it would serve alone, and repeated grids stay warm per node.
+// The ring hashes node INDEX (not address), so the assignment depends only
+// on the node count and list order — deterministic across runs, and adding
+// a node moves only the keys that fall to its virtual points.
+//
+// Each node gets its own connection, its own sliding in-flight window sized
+// to that node's admission bound, and its own queue-full retry (drain the
+// node's oldest in-flight result, resubmit). A node that dies mid-sweep
+// (connection refused, reset, mid-frame close) fails only ITS jobs — each
+// gets a typed `node-lost` error that renders as a regular CSV error row —
+// and the sweep completes on the surviving nodes instead of hanging.
+
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+
+namespace mlp::serve {
+
+/// Typed kind reported for jobs lost to a dead node (submitted to it and
+/// unfetchable, or assigned to it after it died).
+inline constexpr char kErrNodeLost[] = "node-lost";
+
+/// Consistent-hash ring: `nodes` members, `kVirtualNodes` points each.
+class ShardRing {
+ public:
+  explicit ShardRing(std::size_t nodes);
+
+  /// Node index owning `key` (the first ring point at or after the key's
+  /// hash, wrapping). Pure function of (key, node count): same grid, same
+  /// assignment, every run.
+  std::size_t node_for(const std::string& key) const;
+
+  static constexpr u32 kVirtualNodes = 64;
+
+ private:
+  std::vector<std::pair<u64, u32>> ring_;  ///< (point, node), sorted
+};
+
+/// Shard index of one job: its prepare key hashed onto an `nodes`-member
+/// ring. Exposed for tests and for predicting CI grid placement.
+std::size_t shard_for_job(const sim::MatrixJob& job, std::size_t nodes);
+
+/// Fan `jobs` across the daemons at `addresses` (AF_UNIX paths or
+/// HOST:PORT) and return per-job results in submission order. With one
+/// address this degenerates to run_matrix_remote's behaviour. Jobs on a
+/// node that cannot be reached or dies mid-sweep carry error=node-lost;
+/// the call itself only throws on misuse (no addresses).
+std::vector<RemoteResult> run_matrix_sharded(
+    const std::vector<std::string>& addresses,
+    const std::vector<sim::MatrixJob>& jobs);
+
+}  // namespace mlp::serve

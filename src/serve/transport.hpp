@@ -1,0 +1,54 @@
+#pragma once
+// Transport abstraction for the mlpserved protocol: one address grammar and
+// one socket-setup path shared by the daemon, the clients and the sweep
+// drivers, over two stream transports with identical framing semantics:
+//
+//  * AF_UNIX  — "/tmp/mlp.sock" (anything that does not parse as HOST:PORT);
+//    single-host, lowest latency, filesystem permissions.
+//  * AF_INET  — "HOST:PORT" ("127.0.0.1:7411", "0.0.0.0:0", "node3:7411");
+//    multi-host sweeps. Port 0 binds an ephemeral port (the bound port is
+//    reported back so tests and tools can discover it). Accepted and
+//    connected sockets get TCP_NODELAY — the protocol is small
+//    request/response frames and Nagle would serialize them behind ACKs.
+//
+// The u32-length-prefixed JSON framing, the typed-error vocabulary and
+// protocol_version are transport-independent: read_frame/write_frame only
+// ever see a connected stream fd.
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace mlp::serve {
+
+struct Endpoint {
+  enum class Kind : u8 { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< AF_UNIX socket path
+  std::string host;  ///< AF_INET host (numeric or resolvable name)
+  u16 port = 0;      ///< AF_INET port; 0 = ephemeral (listen only)
+};
+
+/// Parse an address string: "HOST:PORT" (nonempty host without '/', all-digit
+/// port in [0, 65535]) is TCP; everything else is an AF_UNIX path.
+Endpoint parse_endpoint(const std::string& address);
+
+/// Canonical display form ("host:port" or the path), for diagnostics.
+std::string endpoint_name(const Endpoint& endpoint);
+
+/// Bind + listen on the endpoint; returns the listening fd. For TCP the
+/// socket gets SO_REUSEADDR, and `bound_port` (optional) reports the actual
+/// port — the way to discover an ephemeral ":0" binding. Throws
+/// SimError("serve", ...) on resolution/bind/listen failures.
+int listen_endpoint(const Endpoint& endpoint, u16* bound_port = nullptr);
+
+/// Connect a blocking stream socket to the endpoint; returns the connected
+/// fd. A dead peer is a typed SimError("serve", ...) naming the address —
+/// connect-refused must be a clean per-node failure, never a crash or hang.
+int connect_endpoint(const Endpoint& endpoint);
+
+/// Disable Nagle on an accepted TCP connection (the daemon side of the
+/// latency story; connect_endpoint already handles the client side).
+void set_tcp_nodelay(int fd);
+
+}  // namespace mlp::serve

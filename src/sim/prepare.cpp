@@ -29,6 +29,23 @@ std::string prepare_key(const MatrixJob& job) {
   return buf;
 }
 
+u64 stable_hash64(const std::string& text) {
+  u64 hash = 14695981039346656037ull;  // FNV offset basis
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  // FNV-1a's high bits avalanche poorly for short, similar strings; the
+  // consistent-hash ring orders points by the FULL word, so finalize with
+  // the murmur3 mixer to spread ring arcs evenly.
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdull;
+  hash ^= hash >> 33;
+  hash *= 0xc4ceb9fe1a85ec53ull;
+  hash ^= hash >> 33;
+  return hash;
+}
+
 PreparedJobPtr prepare_job(const MatrixJob& job) {
   const std::vector<std::string>& names = workloads::bmla_names();
   MLP_SIM_CHECK(

@@ -39,6 +39,13 @@ using PreparedJobPtr = std::shared_ptr<const PreparedJob>;
 /// keyed on the architecture or any timing parameter.
 std::string prepare_key(const MatrixJob& job);
 
+/// Process- and platform-independent 64-bit FNV-1a hash. Multi-node sweep
+/// sharding hashes prepare keys with this (NOT std::hash, whose value is
+/// implementation-defined), so job→node assignment is stable across runs,
+/// builds and machines — the property that keeps each node's PrepareCache
+/// hot over repeated grids.
+u64 stable_hash64(const std::string& text);
+
 /// Build the job's artifacts (uncached). Throws SimError for preparation
 /// failures (unknown benchmark, slab layout on a non-power-of-two record
 /// width, ...); callers at the run_job boundary convert those into per-job

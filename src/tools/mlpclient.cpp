@@ -27,7 +27,10 @@ using namespace mlp;
 void usage() {
   std::printf(R"(mlpclient — client for the mlpserved simulation service
 
-  mlpclient --socket PATH COMMAND [flags]
+  mlpclient --socket ADDR COMMAND [flags]
+
+ADDR is a Unix socket path ("/tmp/mlp.sock") or a TCP "HOST:PORT"
+("127.0.0.1:7411") — same protocol, same bytes, either transport.
 
 Commands:
   ping               handshake; prints protocol and schema versions
@@ -209,7 +212,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (socket_path.empty()) {
-    std::fprintf(stderr, "mlpclient: --socket PATH is required\n");
+    std::fprintf(stderr, "mlpclient: --socket ADDR is required\n");
     return 2;
   }
 

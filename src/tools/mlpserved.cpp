@@ -25,7 +25,10 @@ using namespace mlp;
 void usage() {
   std::printf(R"(mlpserved — persistent simulation service
 
-  --socket PATH      Unix-domain socket to listen on (required)
+  --socket PATH      Unix-domain socket to listen on
+  --listen HOST:PORT TCP address to listen on (port 0 = ephemeral; the
+                     bound port is printed on stderr). May be combined
+                     with --socket; at least one endpoint is required
   --threads N        simulation worker threads (default: all hw threads)
   --queue-limit N    max jobs queued or running at once; further submits
                      are rejected with a typed queue-full error
@@ -61,6 +64,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (args.is("--socket")) {
       cfg.socket_path = args.value();
+    } else if (args.is("--listen")) {
+      cfg.listen_address = args.value();
     } else if (args.is("--threads")) {
       cfg.threads = tools::parse_u32(args.flag(), args.value(), /*min=*/1);
     } else if (args.is("--queue-limit")) {
@@ -72,8 +77,10 @@ int main(int argc, char** argv) {
       return tools::unknown_flag(args.flag());
     }
   }
-  if (cfg.socket_path.empty()) {
-    std::fprintf(stderr, "mlpserved: --socket PATH is required\n");
+  if (cfg.socket_path.empty() && cfg.listen_address.empty()) {
+    std::fprintf(stderr,
+                 "mlpserved: --socket PATH or --listen HOST:PORT is "
+                 "required\n");
     return 2;
   }
 
@@ -92,8 +99,14 @@ int main(int argc, char** argv) {
   ::sigaction(SIGINT, &sa, nullptr);
   ::signal(SIGPIPE, SIG_IGN);  // dropped clients must not kill the daemon
 
-  std::fprintf(stderr, "mlpserved: listening on %s\n",
-               cfg.socket_path.c_str());
+  if (!cfg.socket_path.empty()) {
+    std::fprintf(stderr, "mlpserved: listening on %s\n",
+                 cfg.socket_path.c_str());
+  }
+  if (!cfg.listen_address.empty()) {
+    std::fprintf(stderr, "mlpserved: listening on %s\n",
+                 server.tcp_address().c_str());
+  }
   server.run();
   const serve::ServerStatus final = server.status();
   std::fprintf(stderr,

@@ -7,20 +7,23 @@
 //  * local (default): sim::run_matrix on an in-process thread pool, with a
 //    warm prepare cache deduplicating kernel assembly / record generation /
 //    DRAM image construction across the grid;
-//  * remote (--server SOCK): ship the jobs to a running mlpserved daemon —
-//    its cache stays warm ACROSS sweeps, so repeated grids skip preparation
-//    entirely.
+//  * remote (--server ADDR[,ADDR...]): ship the jobs to one or more running
+//    mlpserved daemons (Unix sockets or HOST:PORT) — jobs are consistent-
+//    hashed by prepare-cache key so each node's cache stays warm ACROSS
+//    sweeps, results merge back in grid order, and a node lost mid-sweep
+//    costs typed error rows, not the sweep.
 //
 //   mlpsweep --arch millipede,ssmc --bench count,kmeans --cores 16,32,64
 //   mlpsweep --pf-entries 4,8,16,32 --rows 96,192 --jobs 8 > sweep.csv
 //   mlpsweep --server /tmp/mlp.sock --arch all --bench all --stats-json
+//   mlpsweep --server node1:7411,node2:7411 --bench all --cores 16,32,64
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "argparse.hpp"
-#include "serve/client.hpp"
+#include "serve/shard.hpp"
 #include "sim/pool.hpp"
 #include "sim/prepare.hpp"
 #include "sim/report.hpp"
@@ -39,9 +42,12 @@ Execution:
   --jobs N              concurrent simulations   (default: all hw threads)
   --no-fast-forward     step every clock edge instead of fast-forwarding
                         idle gaps (bit-identical output; equivalence checks)
-  --server SOCK         run the grid on a mlpserved daemon at SOCK instead
-                        of in-process (same output bytes, warm caches
-                        persist across sweeps)
+  --server ADDR[,...]   run the grid on mlpserved daemon(s) instead of
+                        in-process (same output bytes, warm caches persist
+                        across sweeps). ADDR is a Unix socket path or
+                        HOST:PORT; several (comma-separated or repeated)
+                        shard the grid by prepare-cache key, one sliding
+                        window per node, results merged in grid order
   --stats-json          emit one JSON document (per-point config, metrics,
                         every registered counter) instead of the CSV
   --version             print the toolchain version
@@ -57,23 +63,32 @@ run, bit-identically for any --jobs.
               tools::SweepGrid::help());
 }
 
-int run_remote(const std::string& socket_path,
+int run_remote(const std::vector<std::string>& servers,
                const std::vector<sim::MatrixJob>& matrix, bool stats_json) {
-  serve::Client client;
-  client.connect(socket_path);
   const std::vector<serve::RemoteResult> results =
-      serve::run_matrix_remote(client, matrix);
+      serve::run_matrix_sharded(servers, matrix);
 
   int exit_code = 0;
   std::vector<std::string> stats_runs;
   if (!stats_json) std::fputs(sim::sweep_csv_header().c_str(), stdout);
   for (std::size_t i = 0; i < results.size(); ++i) {
     const serve::RemoteResult& r = results[i];
-    if (!r.ok) {
+    if (!r.error.empty()) {
       std::fprintf(stderr, "SUBMIT FAILED %s/%s: %s: %s\n",
                    arch::arch_name(matrix[i].kind), matrix[i].bench.c_str(),
                    r.error.c_str(), r.message.c_str());
       exit_code = 1;
+      // The point still gets its row — config columns + the typed error
+      // (node-lost, queue-full, ...) — so a sweep that loses a node emits
+      // a rectangular CSV, exactly like a local per-job failure.
+      sim::MatrixResult failed;
+      failed.job = matrix[i];
+      failed.error = r.error + ": " + r.message;
+      if (stats_json) {
+        stats_runs.push_back(sim::stats_json_run(failed));
+      } else {
+        std::fputs(sim::sweep_csv_row(failed).c_str(), stdout);
+      }
       continue;
     }
     // A point that FAILED ON THE SERVER still yields an ok result response;
@@ -98,7 +113,7 @@ int main(int argc, char** argv) {
   u32 jobs = 0;
   bool stats_json = false;
   bool fast_forward = true;
-  std::string server;
+  std::vector<std::string> servers;
 
   tools::ArgCursor args(argc, argv);
   while (args.next()) {
@@ -115,7 +130,10 @@ int main(int argc, char** argv) {
     } else if (args.is("--no-fast-forward")) {
       fast_forward = false;
     } else if (args.is("--server")) {
-      server = args.value();
+      for (const std::string& addr :
+           tools::split_list(args.flag(), args.value())) {
+        servers.push_back(addr);
+      }
     } else if (!grid.consume(args)) {
       return tools::unknown_flag(args.flag());
     }
@@ -126,11 +144,13 @@ int main(int argc, char** argv) {
     for (sim::MatrixJob& job : matrix) job.options.cfg.fast_forward = false;
   }
 
-  if (!server.empty()) {
-    std::fprintf(stderr, "mlpsweep: %zu grid points via %s\n", matrix.size(),
-                 server.c_str());
+  if (!servers.empty()) {
+    std::string names = servers[0];
+    for (std::size_t i = 1; i < servers.size(); ++i) names += "," + servers[i];
+    std::fprintf(stderr, "mlpsweep: %zu grid points via %zu server(s): %s\n",
+                 matrix.size(), servers.size(), names.c_str());
     try {
-      return run_remote(server, matrix, stats_json);
+      return run_remote(servers, matrix, stats_json);
     } catch (const SimError& e) {
       std::fprintf(stderr, "mlpsweep: %s\n", e.what());
       return 1;

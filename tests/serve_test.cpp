@@ -15,6 +15,9 @@
 #include "common/error.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
+#include "serve/shard.hpp"
+#include "serve/transport.hpp"
+#include "sim/prepare.hpp"
 #include "sim/report.hpp"
 
 namespace mlp::serve {
@@ -114,6 +117,44 @@ TEST(JobJson, RejectsMalformedSpecs) {
   EXPECT_THROW(parse(R"([1,2,3])"), SimError);
 }
 
+// ---- transport -------------------------------------------------------------
+
+TEST(Transport, EndpointGrammar) {
+  const Endpoint tcp = parse_endpoint("127.0.0.1:7411");
+  EXPECT_EQ(tcp.kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(tcp.host, "127.0.0.1");
+  EXPECT_EQ(tcp.port, 7411);
+  EXPECT_EQ(endpoint_name(tcp), "127.0.0.1:7411");
+
+  EXPECT_EQ(parse_endpoint("node-3:80").kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(parse_endpoint("host:0").port, 0);  // ephemeral-port request
+
+  // Anything with a '/' or a non-numeric suffix is an AF_UNIX path — paths
+  // containing colons (systemd-style names) must not be misread as TCP.
+  EXPECT_EQ(parse_endpoint("/tmp/mlp.sock").kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(parse_endpoint("/tmp/web:80/x.sock").kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(parse_endpoint("mlp.sock").kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(parse_endpoint("host:http").kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(parse_endpoint(":123").kind, Endpoint::Kind::kUnix);
+
+  EXPECT_THROW(parse_endpoint("host:99999"), SimError);  // port > 65535
+}
+
+TEST(Transport, ConnectRefusedIsATypedServeError) {
+  // A dead peer must surface as SimError("serve", ...) from connect — the
+  // sharded sweep turns exactly this into node-lost rows.
+  try {
+    connect_endpoint(parse_endpoint("/tmp/mlpserve-no-such-socket.sock"));
+    FAIL() << "connect to a nonexistent socket succeeded";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), "serve");
+    EXPECT_NE(std::string(e.what()).find("connect"), std::string::npos);
+  }
+  Client client;
+  EXPECT_THROW(client.connect("/tmp/mlpserve-no-such-socket.sock"), SimError);
+  EXPECT_FALSE(client.connected());
+}
+
 TEST(Responses, EnvelopeDecodes) {
   const Response pong = parse_response(pong_response());
   EXPECT_TRUE(pong.ok);
@@ -136,14 +177,17 @@ TEST(Responses, EnvelopeDecodes) {
 
 // ---- live daemon -----------------------------------------------------------
 
-/// Starts a Server on a short /tmp socket path and runs its accept loop on
-/// a background thread; tears it down (drain + join) on destruction.
+/// Starts a Server on a short /tmp socket path (or, when the config names a
+/// TCP listen address and no socket path, TCP only) and runs its accept loop
+/// on a background thread; tears it down (drain + join) on destruction.
 class LiveServer {
  public:
   explicit LiveServer(ServeConfig cfg) : server_([&cfg] {
-    static int counter = 0;
-    cfg.socket_path = "/tmp/mlpserve-test-" + std::to_string(::getpid()) +
-                      "-" + std::to_string(counter++) + ".sock";
+    if (cfg.socket_path.empty() && cfg.listen_address.empty()) {
+      static int counter = 0;
+      cfg.socket_path = "/tmp/mlpserve-test-" + std::to_string(::getpid()) +
+                        "-" + std::to_string(counter++) + ".sock";
+    }
     return cfg;
   }()) {
     server_.listen();
@@ -175,7 +219,7 @@ JobSpec small_job(const std::string& bench, arch::ArchKind kind =
 }
 
 TEST(Service, SubmitFetchRoundTrip) {
-  LiveServer live(ServeConfig{"", /*threads=*/2, /*queue_limit=*/8});
+  LiveServer live(ServeConfig{"", "", /*threads=*/2, /*queue_limit=*/8});
   Client client;
   client.connect(live.path());
 
@@ -206,7 +250,7 @@ TEST(Service, SubmitFetchRoundTrip) {
 }
 
 TEST(Service, WarmCacheHitsAreReportedAndBitIdentical) {
-  LiveServer live(ServeConfig{"", /*threads=*/2, /*queue_limit=*/8});
+  LiveServer live(ServeConfig{"", "", /*threads=*/2, /*queue_limit=*/8});
   Client client;
   client.connect(live.path());
 
@@ -240,7 +284,7 @@ TEST(Service, WarmCacheHitsAreReportedAndBitIdentical) {
 }
 
 TEST(Service, ConcurrentClientsGetTheirOwnResults) {
-  LiveServer live(ServeConfig{"", /*threads=*/4, /*queue_limit=*/32});
+  LiveServer live(ServeConfig{"", "", /*threads=*/4, /*queue_limit=*/32});
   const std::vector<std::string> benches = {"count", "sample", "variance",
                                             "kmeans"};
   std::vector<std::string> stats(benches.size());
@@ -267,7 +311,7 @@ TEST(Service, QueueFullIsATypedRejectionNotADrop) {
   // One worker, admission bound 2: a held job pins the worker while staying
   // queued, a second waits in the pool queue, and the third submit must be
   // rejected — deterministically, with the typed queue-full error.
-  LiveServer live(ServeConfig{"", /*threads=*/1, /*queue_limit=*/2});
+  LiveServer live(ServeConfig{"", "", /*threads=*/1, /*queue_limit=*/2});
   Client client;
   client.connect(live.path());
 
@@ -291,7 +335,7 @@ TEST(Service, QueueFullIsATypedRejectionNotADrop) {
 }
 
 TEST(Service, CancelSemantics) {
-  LiveServer live(ServeConfig{"", /*threads=*/1, /*queue_limit=*/8});
+  LiveServer live(ServeConfig{"", "", /*threads=*/1, /*queue_limit=*/8});
   Client client;
   client.connect(live.path());
 
@@ -323,7 +367,7 @@ TEST(Service, CancelSemantics) {
 }
 
 TEST(Service, GracefulDrainFinishesAdmittedJobs) {
-  LiveServer live(ServeConfig{"", /*threads=*/2, /*queue_limit=*/16});
+  LiveServer live(ServeConfig{"", "", /*threads=*/2, /*queue_limit=*/16});
   Client client;
   client.connect(live.path());
 
@@ -350,7 +394,7 @@ TEST(Service, GracefulDrainFinishesAdmittedJobs) {
 }
 
 TEST(Service, SubmitAfterShutdownIsRefused) {
-  LiveServer live(ServeConfig{"", /*threads=*/1, /*queue_limit=*/8});
+  LiveServer live(ServeConfig{"", "", /*threads=*/1, /*queue_limit=*/8});
   Client client;
   client.connect(live.path());
   // Drain only closes connections after running jobs finish, so a slow job
@@ -366,7 +410,7 @@ TEST(Service, SubmitAfterShutdownIsRefused) {
 }
 
 TEST(Service, RunMatrixRemoteMatchesLocalBytes) {
-  LiveServer live(ServeConfig{"", /*threads=*/4, /*queue_limit=*/3});
+  LiveServer live(ServeConfig{"", "", /*threads=*/4, /*queue_limit=*/3});
   Client client;
   client.connect(live.path());
 
@@ -400,8 +444,206 @@ TEST(Service, RunMatrixRemoteMatchesLocalBytes) {
   EXPECT_EQ(sim::stats_json_document(local_stats), sim::stats_json(local));
 }
 
+// ---- TCP transport against a live daemon -----------------------------------
+
+TEST(ServiceTcp, SubmitFetchOverTcpMatchesLocalBytes) {
+  // TCP-only server on an ephemeral port; the protocol layer must be
+  // transport-blind, so the result document is byte-identical to both a
+  // Unix-socket fetch and a local run.
+  LiveServer live(
+      ServeConfig{"", "127.0.0.1:0", /*threads=*/2, /*queue_limit=*/8});
+  ASSERT_NE(live.server().tcp_port(), 0);
+  const std::string address =
+      "127.0.0.1:" + std::to_string(live.server().tcp_port());
+  EXPECT_EQ(live.server().tcp_address(), address);
+
+  Client client;
+  client.connect(address);
+  ASSERT_TRUE(client.ping().ok);
+  const Response sub = client.submit(small_job("count"));
+  ASSERT_TRUE(sub.ok) << sub.message;
+  const Response result = client.result(sub.doc.u64_at("id"), /*wait=*/true);
+  ASSERT_TRUE(result.ok) << result.message;
+  const sim::MatrixResult local = sim::run_job(small_job("count").job);
+  EXPECT_EQ(result.doc.str_at("csv"), sim::sweep_csv_row(local));
+  EXPECT_EQ(result.doc.str_at("stats"), sim::stats_json_run(local));
+}
+
+TEST(ServiceTcp, FramingViolationsDropThePeerNotTheServer) {
+  LiveServer live(
+      ServeConfig{"", "127.0.0.1:0", /*threads=*/1, /*queue_limit=*/4});
+  const Endpoint ep =
+      parse_endpoint("127.0.0.1:" + std::to_string(live.server().tcp_port()));
+
+  // Oversize frame header (1 GB claim): the server must close the
+  // connection without reading further.
+  {
+    const int fd = connect_endpoint(ep);
+    const unsigned char huge[4] = {0, 0, 0, 0x40};
+    ASSERT_EQ(::write(fd, huge, 4), 4);
+    char byte;
+    EXPECT_EQ(::read(fd, &byte, 1), 0);  // EOF: peer dropped
+    ::close(fd);
+  }
+  // Truncated frame: a half-written header followed by disconnect must not
+  // wedge the accept loop.
+  {
+    const int fd = connect_endpoint(ep);
+    const unsigned char half[2] = {8, 0};
+    ASSERT_EQ(::write(fd, half, 2), 2);
+    ::close(fd);
+  }
+  // The daemon survives both: a well-behaved client still gets served.
+  Client client;
+  client.connect(endpoint_name(ep));
+  EXPECT_TRUE(client.ping().ok);
+}
+
+// ---- consistent-hash sharding ----------------------------------------------
+
+TEST(Shard, RingAssignmentsAreStableForever) {
+  // Sharding keys by prepare-cache identity only keeps per-node caches warm
+  // ACROSS sweep invocations if the key→node map never changes for a given
+  // node count. These pins are the contract: a hash or ring change that
+  // moves them silently discards every node's accumulated cache.
+  EXPECT_EQ(sim::stable_hash64("count"), 0x17dacd223e4d716dull);
+  EXPECT_EQ(sim::stable_hash64(""), 0xefd01f60ba992926ull);
+
+  const ShardRing two(2), three(3), four(4);
+  const struct {
+    const char* key;
+    std::size_t on_two, on_three, on_four;
+  } kPins[] = {
+      {"count|n32768|s1|b0|rb64|slab0", 1, 2, 2},
+      {"kmeans|n32768|s1|b0|rb64|slab0", 1, 1, 1},
+      {"sample|n32768|s1|b0|rb64|slab0", 0, 0, 0},
+      {"variance|n32768|s1|b0|rb64|slab0", 1, 1, 1},
+      {"pca|n32768|s1|b0|rb64|slab0", 1, 2, 3},
+      {"gda|n32768|s1|b0|rb64|slab0", 1, 1, 1},
+  };
+  for (const auto& pin : kPins) {
+    EXPECT_EQ(two.node_for(pin.key), pin.on_two) << pin.key;
+    EXPECT_EQ(three.node_for(pin.key), pin.on_three) << pin.key;
+    EXPECT_EQ(four.node_for(pin.key), pin.on_four) << pin.key;
+  }
+}
+
+TEST(Shard, GrowingTheRingOnlyMovesKeysToTheNewNode) {
+  // The consistent-hashing property: adding node N+1 splits existing arcs
+  // with the new node's points only, so a key either keeps its owner or
+  // moves to the NEW node — never between surviving nodes (their caches
+  // stay valid).
+  for (std::size_t nodes = 1; nodes < 6; ++nodes) {
+    const ShardRing before(nodes), after(nodes + 1);
+    for (int i = 0; i < 500; ++i) {
+      const std::string key = "key" + std::to_string(i);
+      const std::size_t old_node = before.node_for(key);
+      const std::size_t new_node = after.node_for(key);
+      EXPECT_TRUE(new_node == old_node || new_node == nodes)
+          << key << " moved " << old_node << " -> " << new_node
+          << " when adding node " << nodes;
+    }
+  }
+}
+
+TEST(Shard, VirtualNodesSpreadKeysEvenly) {
+  const ShardRing ring(4);
+  std::size_t counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 1000; ++i) {
+    counts[ring.node_for("key" + std::to_string(i))]++;
+  }
+  for (const std::size_t count : counts) {
+    EXPECT_GE(count, 150u);  // ≥15% each under fair spread of 25%
+    EXPECT_LE(count, 400u);
+  }
+}
+
+TEST(Shard, JobsShardByPrepareKeyNotArchitecture) {
+  // Same preparation identity across architectures → same node, so one
+  // node's cache serves every arch variant of a grid point.
+  const sim::MatrixJob a = small_job("count", arch::ArchKind::kMillipede).job;
+  const sim::MatrixJob b = small_job("count", arch::ArchKind::kGpgpu).job;
+  for (std::size_t nodes = 1; nodes <= 4; ++nodes) {
+    EXPECT_EQ(shard_for_job(a, nodes), shard_for_job(b, nodes));
+  }
+}
+
+// ---- multi-node sharded sweep ----------------------------------------------
+
+TEST(Sharded, TwoNodesMergeInSubmissionOrderByteIdentically) {
+  // Two daemons with DIFFERENT admission bounds: the per-node sliding
+  // windows must size independently (a 2-slot node throttles without
+  // stalling the 8-slot node), and the merged results must equal a local
+  // run byte for byte, in submission order, at any parallelism.
+  LiveServer narrow(ServeConfig{"", "", /*threads=*/2, /*queue_limit=*/2});
+  LiveServer wide(ServeConfig{"", "", /*threads=*/2, /*queue_limit=*/8});
+
+  std::vector<sim::MatrixJob> jobs;
+  for (const std::string& bench :
+       {std::string("count"), std::string("sample"), std::string("variance"),
+        std::string("kmeans")}) {
+    for (const arch::ArchKind kind :
+         {arch::ArchKind::kMillipede, arch::ArchKind::kSsmc,
+          arch::ArchKind::kGpgpu, arch::ArchKind::kMulticore}) {
+      jobs.push_back(small_job(bench, kind).job);
+    }
+  }
+
+  const std::vector<RemoteResult> remote = run_matrix_sharded(
+      {narrow.path(), wide.path()}, jobs);
+  const std::vector<sim::MatrixResult> local = sim::run_matrix(jobs, 8);
+
+  ASSERT_EQ(remote.size(), local.size());
+  std::vector<std::string> remote_stats;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(remote[i].ok) << remote[i].message;
+    EXPECT_EQ(remote[i].csv, sim::sweep_csv_row(local[i])) << i;
+    remote_stats.push_back(remote[i].stats_run_json);
+  }
+  EXPECT_EQ(sim::stats_json_document(remote_stats), sim::stats_json(local));
+
+  // Both nodes actually participated — the grid wasn't funneled through one.
+  const u64 narrow_done = narrow.server().status().done;
+  const u64 wide_done = wide.server().status().done;
+  EXPECT_GT(narrow_done, 0u);
+  EXPECT_GT(wide_done, 0u);
+  EXPECT_EQ(narrow_done + wide_done, jobs.size());
+}
+
+TEST(Sharded, DeadNodeYieldsTypedRowsNotAHang) {
+  LiveServer live(ServeConfig{"", "", /*threads=*/2, /*queue_limit=*/8});
+  const std::string dead = "/tmp/mlpserve-no-such-node.sock";
+
+  std::vector<sim::MatrixJob> jobs;
+  for (const std::string& bench :
+       {std::string("count"), std::string("sample"), std::string("variance"),
+        std::string("kmeans"), std::string("pca"), std::string("gda")}) {
+    jobs.push_back(small_job(bench).job);
+  }
+
+  const std::vector<RemoteResult> results =
+      run_matrix_sharded({live.path(), dead}, jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  std::size_t lost = 0, served = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].ok) {
+      ++served;
+      const sim::MatrixResult local = sim::run_job(jobs[i]);
+      EXPECT_EQ(results[i].csv, sim::sweep_csv_row(local));
+    } else {
+      ++lost;
+      EXPECT_EQ(results[i].error, kErrNodeLost);
+      EXPECT_NE(results[i].message.find(dead), std::string::npos);
+    }
+  }
+  // Keys hash to both nodes (pinned by RingAssignmentsAreStableForever), so
+  // the sweep must lose SOME points and serve the rest from the live node.
+  EXPECT_GT(lost, 0u);
+  EXPECT_GT(served, 0u);
+}
+
 TEST(Service, PerJobErrorsTravelInTheResult) {
-  LiveServer live(ServeConfig{"", /*threads=*/1, /*queue_limit=*/4});
+  LiveServer live(ServeConfig{"", "", /*threads=*/1, /*queue_limit=*/4});
   Client client;
   client.connect(live.path());
 
