@@ -8,14 +8,21 @@
 //
 //  * cycle ceiling — a hard cap on loop iterations (`max_cycles`);
 //  * livelock detector — no instruction retired AND no DRAM data movement
-//    for `stall_cycles` consecutive iterations.
+//    for `stall_cycles` consecutive iterations;
+//  * wall-clock budget — a real-time ceiling (`wall_ms`) for service
+//    deployments, where a job that is making nominal progress but will not
+//    finish inside the operator's deadline must still be cancelled. Trips
+//    with the distinct kind "job-timeout" so clients can tell a genuinely
+//    wedged simulation from one that was merely too slow.
 //
-// On trip it throws SimError("watchdog", ...) carrying the architecture's
-// diagnostic dump (per-corelet PC/state, outstanding requests, prefetch
-// buffer occupancy, PFT/DF counters), so a hung point in a sweep matrix
-// becomes a per-job error instead of a hung pool thread.
+// On trip it throws SimError("watchdog", ...) (or SimError("job-timeout",
+// ...) for the wall-clock budget) carrying the architecture's diagnostic
+// dump (per-corelet PC/state, outstanding requests, prefetch buffer
+// occupancy, PFT/DF counters), so a hung point in a sweep matrix becomes a
+// per-job error instead of a hung pool thread.
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <string>
 
@@ -35,6 +42,11 @@ struct WatchdogConfig {
   /// live system makes progress every few thousand edges even when rate
   /// matching has slowed compute to its floor.
   u64 stall_cycles = 2'000'000;
+  /// Wall-clock budget in milliseconds; 0 disables it. Unlike the cycle
+  /// limits this is nondeterministic by nature, so it is OFF by default and
+  /// only set by service deployments (mlpserved --job-timeout-ms) where a
+  /// client-visible deadline matters more than reproducing the trip point.
+  u64 wall_ms = 0;
 };
 
 class Watchdog {
@@ -45,7 +57,12 @@ class Watchdog {
            std::function<std::string()> dump,
            trace::TraceSession* trace = nullptr)
       : cfg_(cfg), arch_(std::move(arch)), dump_(std::move(dump)),
-        trace_(trace) {}
+        trace_(trace) {
+    if (cfg_.wall_ms != 0) {
+      wall_deadline_ = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(cfg_.wall_ms);
+    }
+  }
 
   /// Call once per main-loop iteration with a monotonic progress signature
   /// (e.g. instructions retired + DRAM bytes transferred). Throws SimError
@@ -64,6 +81,20 @@ class Watchdog {
     if (cfg_.max_cycles != 0 && iterations_ >= cfg_.max_cycles) {
       trip(now, "cycle ceiling of " + std::to_string(cfg_.max_cycles) +
                     " step-loop iterations exceeded");
+    }
+    // Amortized wall-clock check: steady_clock::now() per step would double
+    // the loop cost, so sample every kWallCheckStride iterations. skip()
+    // advances iterations_ too, so a fast-forwarded run still re-checks on
+    // its next real step.
+    if (cfg_.wall_ms != 0 && iterations_ >= next_wall_check_) {
+      next_wall_check_ = iterations_ + kWallCheckStride;
+      if (std::chrono::steady_clock::now() >= wall_deadline_) {
+        trip(now,
+             "wall-clock budget of " + std::to_string(cfg_.wall_ms) +
+                 " ms exceeded after " + std::to_string(iterations_) +
+                 " step-loop iterations",
+             "job-timeout");
+      }
     }
   }
 
@@ -103,12 +134,16 @@ class Watchdog {
   u64 iterations() const { return iterations_; }
 
  private:
-  [[noreturn]] void trip(Picos now, const std::string& why) const {
+  /// How many step() iterations between steady_clock samples for wall_ms.
+  static constexpr u64 kWallCheckStride = 8192;
+
+  [[noreturn]] void trip(Picos now, const std::string& why,
+                         const char* kind = "watchdog") const {
     if (trace_ != nullptr) {
       trace_->emit(trace::Domain::kCompute, trace::EventKind::kWatchdogTrip,
                    now, trace::kWatchdogTrack, iterations_);
     }
-    throw SimError("watchdog", arch_ + ": " + why,
+    throw SimError(kind, arch_ + ": " + why,
                    dump_ ? dump_() : std::string());
   }
 
@@ -119,6 +154,8 @@ class Watchdog {
   u64 iterations_ = 0;
   u64 stalled_ = 0;
   u64 last_progress_ = ~u64{0};
+  u64 next_wall_check_ = kWallCheckStride;
+  std::chrono::steady_clock::time_point wall_deadline_{};
 };
 
 }  // namespace mlp

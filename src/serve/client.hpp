@@ -5,18 +5,38 @@
 // sliding-window submission (respecting the server's queue-full
 // backpressure) and returns per-job results in submission order.
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "serve/protocol.hpp"
+#include "serve/transport.hpp"
 
 namespace mlp::serve {
+
+/// Per-connection policy knobs. The defaults preserve the original
+/// behaviour (block until connect/response) except that TCP connects get a
+/// sane handshake bound instead of the kernel's minutes-long SYN retry.
+struct ClientOptions {
+  /// TCP handshake deadline in ms; <= 0 blocks (AF_UNIX connects resolve
+  /// synchronously either way).
+  i64 connect_timeout_ms = 5000;
+  /// Whole-roundtrip deadline in ms (request write + response read); <= 0
+  /// disables it. A trip throws SimError("timeout", ...) and POISONS the
+  /// connection (the half-exchange on the wire is undecodable), so the
+  /// client closes it — callers treat this exactly like a dead peer.
+  i64 request_timeout_ms = 0;
+  /// Outgoing-frame chaos; defaults to the MLP_CHAOS environment variable
+  /// so any tool can be chaos-tested without new plumbing.
+  ChaosConfig chaos = chaos_from_env();
+};
 
 /// One connection to a daemon. Requests are strictly sequential
 /// (request/response lock-step); open several Clients for concurrency.
 class Client {
  public:
   Client() = default;
+  explicit Client(const ClientOptions& options) : options_(options) {}
   ~Client();
 
   Client(const Client&) = delete;
@@ -24,13 +44,18 @@ class Client {
 
   /// Connect to a daemon address — an AF_UNIX path or "HOST:PORT" for TCP
   /// (see serve/transport.hpp for the grammar). Throws SimError("serve",
-  /// ...) when the daemon is absent, refuses, or the address is invalid.
+  /// ...) when the daemon is absent, refuses, or the address is invalid,
+  /// SimError("timeout", ...) when the handshake deadline expires.
   void connect(const std::string& address);
   bool connected() const { return fd_ >= 0; }
   void close();
 
+  const ClientOptions& options() const { return options_; }
+  void set_options(const ClientOptions& options) { options_ = options; }
+
   /// One request/response round trip; throws SimError("serve", ...) if the
-  /// connection drops mid-exchange.
+  /// connection drops mid-exchange, SimError("timeout", ...) if the
+  /// request deadline expires first (the connection is closed either way).
   Response roundtrip(const std::string& request);
 
   // Typed helpers (thin wrappers over roundtrip).
@@ -39,11 +64,18 @@ class Client {
   Response server_status();
   Response job_status(u64 id);
   Response result(u64 id, bool wait);
+  /// Bounded result wait: the server answers within ~wait_ms with either
+  /// the result or a typed job-running/job-pending heartbeat.
+  Response result(u64 id, bool wait, u64 wait_ms);
   Response cancel(u64 id);
   Response shutdown();
 
  private:
   int fd_ = -1;
+  ClientOptions options_;
+  /// Armed at connect when options_.chaos is enabled; one decision stream
+  /// per connection, decorrelated by a global connection ordinal.
+  std::optional<ChaosInjector> chaos_;
 };
 
 /// One remote job's outcome, in submission order.

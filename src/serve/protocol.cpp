@@ -1,10 +1,13 @@
 #include "serve/protocol.hpp"
 
 #include <errno.h>
+#include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "common/error.hpp"
@@ -51,6 +54,70 @@ bool write_exact(int fd, const char* buf, std::size_t len) {
 
 [[noreturn]] void bad_request(const std::string& message) {
   throw SimError(kErrBadRequest, message);
+}
+
+// ---- deadline-bounded I/O --------------------------------------------------
+// The fds stay BLOCKING; each read/write is gated by a poll() with the time
+// remaining until the frame's deadline, so the EINTR/EAGAIN semantics of
+// the untimed helpers carry over unchanged and a timeout is always a typed
+// SimError("timeout", ...), never a silent partial frame.
+
+i64 steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void poll_until(int fd, short events, i64 deadline_ms) {
+  for (;;) {
+    const i64 remaining = deadline_ms - steady_now_ms();
+    MLP_SIM_CHECK(remaining > 0, kErrTimeout,
+                  "no peer activity before the request deadline");
+    pollfd pfd{fd, events, 0};
+    const int ready = ::poll(
+        &pfd, 1, static_cast<int>(std::min<i64>(remaining, 60'000)));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      MLP_SIM_CHECK(false, "protocol",
+                    std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready > 0) return;  // readable/writable (or error/hup: let I/O see it)
+  }
+}
+
+bool read_exact_deadline(int fd, char* buf, std::size_t len,
+                         i64 deadline_ms) {
+  std::size_t done = 0;
+  while (done < len) {
+    poll_until(fd, POLLIN, deadline_ms);
+    const ssize_t n = ::read(fd, buf + done, len - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    if (n == 0 && done == 0) return false;  // clean EOF between frames
+    MLP_SIM_CHECK(false, "protocol",
+                  "connection closed mid-frame (" + std::to_string(done) +
+                      "/" + std::to_string(len) + " bytes)");
+  }
+  return true;
+}
+
+bool write_exact_deadline(int fd, const char* buf, std::size_t len,
+                          i64 deadline_ms) {
+  std::size_t done = 0;
+  while (done < len) {
+    poll_until(fd, POLLOUT, deadline_ms);
+    const ssize_t n = ::send(fd, buf + done, len - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    return false;  // EPIPE / closed peer: caller drops the connection
+  }
+  return true;
 }
 
 // ---- strict typed member extraction ----------------------------------------
@@ -169,6 +236,46 @@ std::optional<std::string> read_frame(int fd) {
   return payload;
 }
 
+bool write_frame(int fd, const std::string& payload, i64 timeout_ms) {
+  if (timeout_ms <= 0) return write_frame(fd, payload);
+  MLP_SIM_CHECK(payload.size() <= kMaxFrameBytes, "protocol",
+                "outgoing frame exceeds " + std::to_string(kMaxFrameBytes) +
+                    " bytes");
+  const i64 deadline = steady_now_ms() + timeout_ms;
+  const u32 len = static_cast<u32>(payload.size());
+  char header[4] = {static_cast<char>(len & 0xff),
+                    static_cast<char>((len >> 8) & 0xff),
+                    static_cast<char>((len >> 16) & 0xff),
+                    static_cast<char>((len >> 24) & 0xff)};
+  if (!write_exact_deadline(fd, header, sizeof(header), deadline)) {
+    return false;
+  }
+  return write_exact_deadline(fd, payload.data(), payload.size(), deadline);
+}
+
+std::optional<std::string> read_frame(int fd, i64 timeout_ms) {
+  if (timeout_ms <= 0) return read_frame(fd);
+  const i64 deadline = steady_now_ms() + timeout_ms;
+  char header[4];
+  if (!read_exact_deadline(fd, header, sizeof(header), deadline)) {
+    return std::nullopt;
+  }
+  const u32 len = static_cast<u32>(static_cast<unsigned char>(header[0])) |
+                  static_cast<u32>(static_cast<unsigned char>(header[1])) << 8 |
+                  static_cast<u32>(static_cast<unsigned char>(header[2]))
+                      << 16 |
+                  static_cast<u32>(static_cast<unsigned char>(header[3]))
+                      << 24;
+  MLP_SIM_CHECK(len <= kMaxFrameBytes, "protocol",
+                "frame length " + std::to_string(len) + " exceeds limit (" +
+                    std::to_string(kMaxFrameBytes) + ")");
+  std::string payload(len, '\0');
+  if (len > 0 && !read_exact_deadline(fd, payload.data(), len, deadline)) {
+    MLP_SIM_CHECK(false, "protocol", "connection closed before frame payload");
+  }
+  return payload;
+}
+
 // ---- job spec (de)serialization --------------------------------------------
 
 std::string job_json(const JobSpec& spec) {
@@ -211,6 +318,8 @@ std::string job_json(const JobSpec& spec) {
   w.value(o.cfg.watchdog.max_cycles);
   w.key("watchdog_stall");
   w.value(o.cfg.watchdog.stall_cycles);
+  w.key("watchdog_wall");
+  w.value(o.cfg.watchdog.wall_ms);
   w.key("fast_forward");
   w.value(o.cfg.fast_forward);
   w.key("trace");
@@ -234,8 +343,9 @@ JobSpec job_from_json(const trace::JsonValue& doc) {
       "rows",        "seed",           "record_barrier", "cores",
       "pf_entries",  "bus_efficiency", "slab_layout",    "fault_rate",
       "fault_delay", "fault_drop",     "fault_seed",     "ecc",
-      "watchdog_cycles", "watchdog_stall", "fast_forward", "trace",
-      "trace_dir",   "trace_ring",     "trace_interval", "hold_ms",
+      "watchdog_cycles", "watchdog_stall", "watchdog_wall", "fast_forward",
+      "trace",       "trace_dir",      "trace_ring",     "trace_interval",
+      "hold_ms",
   };
   for (const auto& [name, value] : doc.object) {
     bool known = false;
@@ -303,6 +413,8 @@ JobSpec job_from_json(const trace::JsonValue& doc) {
       member_u64(doc, "watchdog_cycles", o.cfg.watchdog.max_cycles);
   o.cfg.watchdog.stall_cycles =
       member_u64(doc, "watchdog_stall", o.cfg.watchdog.stall_cycles);
+  o.cfg.watchdog.wall_ms =
+      member_u64(doc, "watchdog_wall", o.cfg.watchdog.wall_ms);
   o.cfg.fast_forward = member_bool(doc, "fast_forward", true);
 
   o.trace.chrome_json = member_bool(doc, "trace", false);
@@ -334,6 +446,10 @@ std::string status_request() { return R"({"type":"status"})"; }
 std::string job_status_request(u64 id) { return id_request("status", id); }
 
 std::string result_request(u64 id, bool wait) {
+  return result_request(id, wait, 0);
+}
+
+std::string result_request(u64 id, bool wait, u64 wait_ms) {
   trace::JsonWriter w;
   w.begin_object();
   w.key("type");
@@ -342,6 +458,12 @@ std::string result_request(u64 id, bool wait) {
   w.value(id);
   w.key("wait");
   w.value(wait);
+  if (wait_ms > 0) {
+    // Additive member: servers that predate the bounded wait ignore it and
+    // park unbounded, exactly the old behaviour.
+    w.key("wait_ms");
+    w.value(wait_ms);
+  }
   w.end_object();
   return w.take();
 }

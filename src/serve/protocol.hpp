@@ -46,6 +46,11 @@ inline constexpr char kErrJobRunning[] = "job-running";
 inline constexpr char kErrJobPending[] = "job-pending";
 inline constexpr char kErrJobDone[] = "job-done";
 inline constexpr char kErrShuttingDown[] = "shutting-down";
+/// CLIENT-side kind for a deadline expiring mid-exchange (connect handshake,
+/// request write, response read). Never sent by the server: a peer that hit
+/// this has an undecodable half-exchange on the wire and must drop the
+/// connection.
+inline constexpr char kErrTimeout[] = "timeout";
 
 /// Lifecycle of a submitted job. Held (hold_ms) jobs count as queued — the
 /// hold models queue dwell and stays cancellable.
@@ -72,6 +77,15 @@ bool write_frame(int fd, const std::string& payload);
 /// SimError("protocol", ...) on oversized/truncated frames.
 std::optional<std::string> read_frame(int fd);
 
+/// Deadline variants: poll the (blocking) fd before every read/write with
+/// the time remaining, so the existing EINTR/EAGAIN retry loops stay
+/// correct, and throw SimError("timeout", ...) when `timeout_ms` elapses
+/// before the frame completes. The deadline covers the WHOLE frame, not
+/// each syscall — a peer trickling one byte per poll cannot stretch it.
+/// `timeout_ms` <= 0 delegates to the untimed variants.
+bool write_frame(int fd, const std::string& payload, i64 timeout_ms);
+std::optional<std::string> read_frame(int fd, i64 timeout_ms);
+
 // ---- job spec (de)serialization ----
 
 /// The job object of a submit request. Omitted fields take the same
@@ -89,6 +103,12 @@ std::string submit_request(const JobSpec& spec);
 std::string status_request();
 std::string job_status_request(u64 id);
 std::string result_request(u64 id, bool wait);
+/// Bounded wait: "wait_ms" asks the server to park at most that long and
+/// answer with a typed job-running/job-pending HEARTBEAT if the job is
+/// still in flight — the client's liveness probe for long jobs (a silent
+/// node within the request deadline = dead; a heartbeat = alive, keep
+/// waiting). wait_ms 0 emits the classic unbounded-wait request.
+std::string result_request(u64 id, bool wait, u64 wait_ms);
 std::string cancel_request(u64 id);
 std::string shutdown_request();
 

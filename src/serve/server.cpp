@@ -249,15 +249,29 @@ std::string Server::handle_result(const trace::JsonValue& doc) {
   const u64 id = doc.u64_at("id");
   const trace::JsonValue* wait = doc.find("wait");
   const bool block = wait != nullptr && wait->boolean;
+  const trace::JsonValue* wait_ms = doc.find("wait_ms");
+  const u64 bound_ms =
+      wait_ms != nullptr ? wait_ms->unsigned_integer : 0;
 
   std::unique_lock<std::mutex> lock(mutex_);
   const auto it = jobs_.find(id);
   MLP_SIM_CHECK(it != jobs_.end(), kErrNoSuchJob,
                 "no job " + std::to_string(id));
   JobEntry& entry = it->second;
-  if (block) {
+  if (block && bound_ms > 0) {
+    // Bounded wait: park at most wait_ms, then answer with a typed
+    // heartbeat if the job is still in flight. This is the client's
+    // liveness probe — a heartbeat proves the node is responsive even when
+    // the job itself is slow, so silence within the request deadline can
+    // safely be read as node death.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(bound_ms);
+    entry.cv.wait_until(lock, deadline,
+                        [&entry] { return !non_terminal(entry.state); });
+  } else if (block) {
     entry.cv.wait(lock, [&entry] { return !non_terminal(entry.state); });
-  } else if (entry.state == JobState::kQueued) {
+  }
+  if (entry.state == JobState::kQueued) {
     throw SimError(kErrJobPending, "job " + std::to_string(id) +
                                        " is still queued; poll or wait");
   } else if (entry.state == JobState::kRunning) {
@@ -323,6 +337,12 @@ void Server::execute(u64 id) {
     if (entry.state != JobState::kQueued) return;  // cancelled while held
     entry.state = JobState::kRunning;
     job = entry.spec.job;
+  }
+  if (cfg_.job_timeout_ms != 0) {
+    // The server's wall-clock budget caps whatever the job asked for; a
+    // client cannot opt out of the operator's hang backstop.
+    u64& wall = job.options.cfg.watchdog.wall_ms;
+    if (wall == 0 || wall > cfg_.job_timeout_ms) wall = cfg_.job_timeout_ms;
   }
 
   bool cache_hit = false;

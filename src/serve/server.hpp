@@ -44,6 +44,11 @@ struct ServeConfig {
   /// beyond it gets a typed queue-full rejection.
   u64 queue_limit = 64;
   std::size_t cache_entries = sim::PrepareCache::kDefaultEntries;
+  /// Wall-clock budget per job in ms (0 = unlimited). Caps every job's
+  /// watchdog.wall_ms — the backstop for the hang class the cycle watchdog
+  /// cannot see (a simulation making nominal forward progress forever). A
+  /// trip surfaces as a typed "job-timeout" error in the job's result.
+  u64 job_timeout_ms = 0;
 };
 
 class Server {

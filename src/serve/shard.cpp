@@ -1,9 +1,13 @@
 #include "serve/shard.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
+#include <iostream>
+#include <thread>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "sim/prepare.hpp"
 
 namespace mlp::serve {
@@ -42,46 +46,61 @@ std::string shard_key(const sim::MatrixJob& job) {
   }
 }
 
-/// One daemon's connection + sliding submit window.
+u64 steady_now_ms() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One daemon's connection + sliding submit window + liveness state.
 struct Node {
   std::string address;
   Client client;
   u64 window = 8;  ///< in-flight bound, sized to the node's queue_limit
   std::deque<std::pair<std::size_t, u64>> inflight;  ///< (job idx, server id)
-  bool dead = false;
-  std::string reason;
+  bool alive = false;
+  std::string reason;       ///< last failure, for error rows and probes
+  NodeHealth health;
+  u64 backoff_ms = 0;       ///< current probe backoff
+  u64 next_probe_ms = 0;    ///< steady-clock ms gating the next probe
+  Rng jitter{1};            ///< desynchronizes this node's probe schedule
 };
 
-/// Fail the node: every submitted-but-unfetched job becomes a typed
-/// node-lost error (rendered as a regular CSV error row upstream), and
-/// later jobs assigned here fail fast instead of re-trying a dead peer.
-void kill_node(Node* node, const std::string& reason,
-               std::vector<RemoteResult>* results) {
-  node->dead = true;
-  node->reason = reason;
-  node->client.close();
-  for (const auto& [index, id] : node->inflight) {
-    (*results)[index].error = kErrNodeLost;
-    (*results)[index].message = node->address + ": " + reason;
-  }
-  node->inflight.clear();
-}
-
-/// Fetch (blocking) the node's oldest in-flight result — the step that
-/// frees one admission slot. A connection failure kills the node.
-void drain_one(Node* node, std::vector<RemoteResult>* results) {
-  const auto [index, id] = node->inflight.front();
-  try {
-    const Response r = node->client.result(id, /*wait=*/true);
-    node->inflight.pop_front();
-    if (r.ok) {
-      decode_result_response(r, &(*results)[index]);
-    } else {
-      (*results)[index].error = r.error;
-      (*results)[index].message = r.message;
+/// Connect (or reconnect) a node and size its window from the daemon's
+/// admission bound. Retries ANY failure with a short sleep until
+/// `window_ms` elapses — a just-launched daemon refuses its first connects
+/// for a few ms, and that race must not read as node death.
+bool connect_node(Node* node, i64 window_ms) {
+  const u64 deadline =
+      window_ms > 0 ? steady_now_ms() + static_cast<u64>(window_ms) : 0;
+  for (;;) {
+    try {
+      node->client.connect(node->address);
+      const Response status = node->client.server_status();
+      const trace::JsonValue* limit = status.doc.find("queue_limit");
+      if (limit != nullptr && limit->unsigned_integer > 0) {
+        // Per-node window sizing: each node's admission bound, not the
+        // first node's — a narrow node must not stall (or overflow) a wide
+        // one.
+        node->window = limit->unsigned_integer;
+        node->health.window_from_status = true;
+      } else {
+        node->health.window_from_status = false;
+        std::cerr << "[sweep] warning: node " << node->address
+                  << " reported no queue_limit; keeping in-flight window "
+                  << node->window << "\n";
+      }
+      node->health.window = node->window;
+      node->alive = true;
+      node->reason.clear();
+      return true;
+    } catch (const SimError& e) {
+      node->reason = e.what();
+      node->client.close();
+      if (deadline == 0 || steady_now_ms() + 20 >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
-  } catch (const SimError& e) {
-    kill_node(node, e.what(), results);
   }
 }
 
@@ -93,69 +112,291 @@ std::size_t shard_for_job(const sim::MatrixJob& job, std::size_t nodes) {
 
 std::vector<RemoteResult> run_matrix_sharded(
     const std::vector<std::string>& addresses,
-    const std::vector<sim::MatrixJob>& jobs) {
+    const std::vector<sim::MatrixJob>& jobs, const ShardOptions& options,
+    FleetHealth* health) {
   MLP_SIM_CHECK(!addresses.empty(), "serve", "no server addresses");
   std::vector<RemoteResult> results(jobs.size());
+  std::vector<u32> attempts(jobs.size(), 0);
+  FleetHealth fleet;
+  const u64 timeouts_before = health_counters().request_timeouts.load();
+  const u64 chaos_before = health_counters().chaos_injected.load();
 
-  std::vector<Node> nodes(addresses.size());
-  for (std::size_t n = 0; n < nodes.size(); ++n) {
-    Node& node = nodes[n];
-    node.address = addresses[n];
+  ClientOptions copts;
+  copts.connect_timeout_ms = options.connect_timeout_ms;
+  copts.request_timeout_ms = options.request_timeout_ms;
+  copts.chaos = options.chaos;
+  // Probes heal the fleet; they get a tight deadline of their own (a
+  // SIGSTOPped daemon still accepts into its listen backlog, so the ping —
+  // not the connect — is what detects the hang) and no chaos.
+  ClientOptions probe_opts;
+  probe_opts.connect_timeout_ms = static_cast<i64>(options.probe_max_ms);
+  probe_opts.request_timeout_ms = static_cast<i64>(options.probe_max_ms);
+  probe_opts.chaos = ChaosConfig{};
+
+  const std::size_t count = addresses.size();
+  std::vector<Node> nodes(count);
+
+  auto kill_node = [&](Node* node, const std::string& reason) {
+    node->alive = false;
+    node->reason = reason;
+    node->client.close();
+    ++node->health.deaths;
+    ++fleet.node_deaths;
+    health_counters().node_deaths.fetch_add(1, std::memory_order_relaxed);
+    node->backoff_ms = std::max<u64>(options.probe_min_ms, 1);
+    node->next_probe_ms = steady_now_ms() + node->backoff_ms;
+    return;
+  };
+
+  std::deque<std::size_t> pending;
+  auto requeue = [&](std::size_t index, const std::string& why) {
+    ++attempts[index];
+    ++fleet.retries;
+    health_counters().retries.fetch_add(1, std::memory_order_relaxed);
+    if (attempts[index] > options.retry_budget) {
+      results[index].error = kErrNodeLost;
+      results[index].message = "retry budget (" +
+                               std::to_string(options.retry_budget) +
+                               ") exhausted; last loss: " + why;
+      ++fleet.points_lost;
+      return;
+    }
+    pending.push_back(index);
+  };
+
+  /// Declare a node dead and put its in-flight points back on the queue.
+  auto lose_node = [&](Node* node, const std::string& reason) {
+    kill_node(node, reason);
+    std::deque<std::pair<std::size_t, u64>> orphaned;
+    orphaned.swap(node->inflight);
+    for (const auto& [index, id] : orphaned) {
+      requeue(index, node->address + ": " + reason);
+    }
+  };
+
+  /// Fetch the node's oldest in-flight result, heartbeating through long
+  /// jobs: the server parks at most ~half the request deadline and answers
+  /// with a typed job-running/job-pending when the job is still in flight,
+  /// so a responsive-but-busy node never trips the deadline while a hung
+  /// one trips it in one period.
+  auto drain_one = [&](Node* node) {
+    const auto [index, id] = node->inflight.front();
+    const u64 heartbeat_ms =
+        options.request_timeout_ms > 0
+            ? std::max<u64>(100,
+                            static_cast<u64>(options.request_timeout_ms) / 2)
+            : 0;
     try {
-      node.client.connect(node.address);
-      // Per-node window sizing: each node's admission bound, not the first
-      // node's — a narrow node must not stall (or overflow) a wide one.
-      const Response status = node.client.server_status();
-      const trace::JsonValue* limit = status.doc.find("queue_limit");
-      if (limit != nullptr && limit->unsigned_integer > 0) {
-        node.window = limit->unsigned_integer;
+      for (;;) {
+        const Response r = node->client.result(id, /*wait=*/true,
+                                               heartbeat_ms);
+        if (r.ok) {
+          node->inflight.pop_front();
+          decode_result_response(r, &results[index]);
+          ++node->health.jobs_completed;
+          return;
+        }
+        if (r.error == kErrJobRunning || r.error == kErrJobPending) {
+          continue;  // heartbeat: the job is slow but the node is alive
+        }
+        // The job is unfetchable HERE (e.g. the daemon restarted and lost
+        // it) but the node answers — re-dispatch the point, keep the node.
+        node->inflight.pop_front();
+        requeue(index, node->address + ": " + r.error + ": " + r.message);
+        return;
       }
     } catch (const SimError& e) {
-      kill_node(&node, e.what(), &results);
+      lose_node(node, e.what());
+    }
+  };
+
+  /// Probe dead nodes and re-admit the ones that resurrected. `force`
+  /// ignores the backoff gate (used when the whole fleet looks dead).
+  auto probe_dead = [&](bool force) {
+    for (Node& node : nodes) {
+      if (node.alive) continue;
+      const u64 now = steady_now_ms();
+      if (!force && now < node.next_probe_ms) continue;
+      bool daemon_up = false;
+      {
+        Client probe(probe_opts);
+        try {
+          probe.connect(node.address);
+          daemon_up = probe.ping().ok;
+        } catch (const SimError&) {
+          daemon_up = false;
+        }
+      }
+      if (daemon_up &&
+          connect_node(&node, static_cast<i64>(options.probe_max_ms))) {
+        ++node.health.reconnects;
+        ++fleet.reconnects;
+        health_counters().reconnects.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // Still down: back off exponentially with ±50% jitter so a fleet of
+      // probers does not re-synchronize against a flapping daemon.
+      node.backoff_ms = std::min(
+          options.probe_max_ms,
+          std::max<u64>(1, node.backoff_ms) * 2);
+      node.next_probe_ms =
+          steady_now_ms() + static_cast<u64>(static_cast<double>(
+                                node.backoff_ms) *
+                            (0.5 + node.jitter.uniform()));
+    }
+  };
+
+  /// Place one point on `node`: make a window slot, submit with queue-full
+  /// retry, and convert any transport loss into a re-dispatch.
+  auto place_point = [&](Node* node, std::size_t index) {
+    while (node->alive && node->inflight.size() >= node->window) {
+      drain_one(node);
+    }
+    if (!node->alive) {
+      requeue(index, node->address + ": " + node->reason);
+      return;
+    }
+    try {
+      for (;;) {
+        const Response r = node->client.submit(JobSpec{jobs[index], 0});
+        if (r.ok) {
+          node->inflight.emplace_back(index, r.doc.u64_at("id"));
+          return;
+        }
+        if (r.error == kErrQueueFull && !node->inflight.empty()) {
+          // This node's backpressure: free one of ITS slots and retry.
+          drain_one(node);
+          if (!node->alive) {
+            requeue(index, node->address + ": " + node->reason);
+            return;
+          }
+          continue;
+        }
+        if (r.error == kErrShuttingDown) {
+          // A graceful drain is a typed response, not a transport error,
+          // but the node is leaving the fleet all the same.
+          lose_node(node, "server is draining (shutting-down)");
+          requeue(index, node->address + ": shutting-down");
+          return;
+        }
+        // Deterministic per-job rejection (bad-request, ...): no node will
+        // accept this job, so it becomes an error row, not a retry.
+        results[index].error = r.error;
+        results[index].message = r.message;
+        return;
+      }
+    } catch (const SimError& e) {
+      lose_node(node, e.what());
+      requeue(index, node->address + ": " + e.what());
+    }
+  };
+
+  // ---- initial fleet bring-up ----
+  for (std::size_t n = 0; n < count; ++n) {
+    Node& node = nodes[n];
+    node.address = addresses[n];
+    node.health.address = addresses[n];
+    node.health.window = node.window;
+    node.jitter.reseed(0x5eed'f1ee'7000'0000ull + n);
+    node.client.set_options(copts);
+    if (!connect_node(&node, options.connect_timeout_ms)) {
+      kill_node(&node, node.reason);
     }
   }
 
-  const ShardRing ring(nodes.size());
+  const ShardRing ring(count);
+  std::vector<std::size_t> home(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    Node& node = nodes[ring.node_for(shard_key(jobs[i]))];
-    if (node.dead) {
-      results[i].error = kErrNodeLost;
-      results[i].message = node.address + ": " + node.reason;
-      continue;
+    home[i] = ring.node_for(shard_key(jobs[i]));
+    pending.push_back(i);
+  }
+
+  auto any_inflight = [&] {
+    for (const Node& node : nodes) {
+      if (!node.inflight.empty()) return true;
     }
-    if (node.inflight.size() >= node.window) drain_one(&node, &results);
-    if (!node.dead) {
-      try {
-        for (;;) {
-          const Response r = node.client.submit(JobSpec{jobs[i], 0});
-          if (r.ok) {
-            node.inflight.emplace_back(i, r.doc.u64_at("id"));
-            break;
-          }
-          if (r.error == kErrQueueFull && !node.inflight.empty()) {
-            // This node's backpressure: free one of ITS slots and retry.
-            drain_one(&node, &results);
-            if (node.dead) break;
-            continue;
-          }
-          results[i].error = r.error;
-          results[i].message = r.message;
+    return false;
+  };
+  auto choose_node = [&](std::size_t index) -> Node* {
+    const std::size_t h = home[index];
+    if (!options.failover) return nodes[h].alive ? &nodes[h] : nullptr;
+    for (std::size_t k = 0; k < count; ++k) {
+      Node& node = nodes[(h + k) % count];
+      if (!node.alive) continue;
+      if (k != 0) {
+        ++fleet.failovers;
+        health_counters().failovers.fetch_add(1, std::memory_order_relaxed);
+      }
+      return &node;
+    }
+    return nullptr;
+  };
+
+  // ---- main loop: place pending points, drain in-flight results ----
+  while (!pending.empty() || any_inflight()) {
+    probe_dead(/*force=*/false);
+    if (pending.empty()) {
+      // Nothing left to place: drain whichever node still owes results.
+      // Node loss during the drain refills `pending`, so the loop re-enters
+      // placement naturally.
+      for (Node& node : nodes) {
+        if (node.alive && !node.inflight.empty()) {
+          drain_one(&node);
           break;
         }
-      } catch (const SimError& e) {
-        kill_node(&node, e.what(), &results);
       }
+      continue;
     }
-    if (node.dead && results[i].error.empty()) {
-      results[i].error = kErrNodeLost;
-      results[i].message = node.address + ": " + node.reason;
+    const std::size_t index = pending.front();
+    pending.pop_front();
+    Node* node = choose_node(index);
+    if (node == nullptr && options.failover) {
+      // The whole fleet looks dead — give every node one immediate probe
+      // before giving up on the remaining points.
+      probe_dead(/*force=*/true);
+      node = choose_node(index);
     }
+    if (node == nullptr) {
+      const Node& h = nodes[home[index]];
+      results[index].error = kErrNodeLost;
+      results[index].message =
+          options.failover
+              ? "every node is dead; last loss on " + h.address + ": " +
+                    h.reason
+              : h.address + ": " + h.reason;
+      ++fleet.points_lost;
+      if (options.failover) {
+        // With failover on, "no node" means NO node — every remaining
+        // point meets the same fate; fail them in one sweep instead of
+        // re-probing per point.
+        for (const std::size_t j : pending) {
+          results[j].error = kErrNodeLost;
+          results[j].message = results[index].message;
+          ++fleet.points_lost;
+        }
+        pending.clear();
+      }
+      continue;
+    }
+    place_point(node, index);
   }
 
+  // ---- health report ----
+  fleet.request_timeouts =
+      health_counters().request_timeouts.load() - timeouts_before;
+  fleet.chaos_injected =
+      health_counters().chaos_injected.load() - chaos_before;
   for (Node& node : nodes) {
-    while (!node.dead && !node.inflight.empty()) drain_one(&node, &results);
+    fleet.nodes.push_back(node.health);
   }
+  if (health != nullptr) *health = fleet;
   return results;
+}
+
+std::vector<RemoteResult> run_matrix_sharded(
+    const std::vector<std::string>& addresses,
+    const std::vector<sim::MatrixJob>& jobs) {
+  return run_matrix_sharded(addresses, jobs, ShardOptions{});
 }
 
 }  // namespace mlp::serve

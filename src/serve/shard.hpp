@@ -12,22 +12,30 @@
 // on the node count and list order — deterministic across runs, and adding
 // a node moves only the keys that fall to its virtual points.
 //
-// Each node gets its own connection, its own sliding in-flight window sized
-// to that node's admission bound, and its own queue-full retry (drain the
-// node's oldest in-flight result, resubmit). A node that dies mid-sweep
-// (connection refused, reset, mid-frame close) fails only ITS jobs — each
-// gets a typed `node-lost` error that renders as a regular CSV error row —
-// and the sweep completes on the surviving nodes instead of hanging.
+// The sweep is SELF-HEALING. Each node gets its own connection, its own
+// sliding in-flight window sized to that node's admission bound, and its
+// own queue-full retry. A node that dies mid-sweep — connection refused,
+// reset, mid-frame close, or a request-deadline trip on a hung peer — loses
+// nothing but time: its submitted-but-unfetched points are RE-DISPATCHED to
+// the next surviving node on the ring (bounded by a per-point retry
+// budget), dead nodes are probed with exponentially backed-off pings and
+// re-admitted when they resurrect, and only when every node is dead or a
+// point's budget is exhausted does a typed `node-lost` error row appear.
+// Because jobs are pure functions of their spec and results merge by
+// submission index, a sweep that failed over is byte-identical to one that
+// never saw a fault.
 
 #include <string>
 #include <vector>
 
 #include "serve/client.hpp"
+#include "serve/health.hpp"
 
 namespace mlp::serve {
 
-/// Typed kind reported for jobs lost to a dead node (submitted to it and
-/// unfetchable, or assigned to it after it died).
+/// Typed kind reported for jobs lost to node failure: every node dead, the
+/// point's retry budget exhausted, or (with failover disabled) its home
+/// node down.
 inline constexpr char kErrNodeLost[] = "node-lost";
 
 /// Consistent-hash ring: `nodes` members, `kVirtualNodes` points each.
@@ -50,11 +58,49 @@ class ShardRing {
 /// ring. Exposed for tests and for predicting CI grid placement.
 std::size_t shard_for_job(const sim::MatrixJob& job, std::size_t nodes);
 
+/// Resilience policy for one sharded sweep.
+struct ShardOptions {
+  /// Initial-connect window per node in ms: a just-launched daemon that
+  /// refuses the first connect is retried with a short backoff until this
+  /// elapses (also the per-attempt TCP handshake bound). <= 0 disables the
+  /// retry window AND the handshake bound (single blocking attempt).
+  i64 connect_timeout_ms = 5000;
+  /// Whole-roundtrip deadline per request in ms; a trip marks the node dead
+  /// (a hung node is indistinguishable from — and treated as — a crashed
+  /// one). Long jobs stay safe: result waits are bounded server-side and
+  /// answered with typed heartbeats well inside this deadline. <= 0
+  /// disables deadlines (a hung node then hangs the sweep; only for
+  /// debugging).
+  i64 request_timeout_ms = 30000;
+  /// How many times one point may be re-dispatched after a node loss before
+  /// it becomes a typed error row.
+  u32 retry_budget = 3;
+  /// Dead-node probe backoff: first probe after ~probe_min_ms, doubling
+  /// (with ±50% jitter) to at most probe_max_ms. probe_max_ms also bounds
+  /// the probe ping itself, so a SIGSTOPped daemon whose listener still
+  /// accepts cannot wedge the prober.
+  u64 probe_min_ms = 50;
+  u64 probe_max_ms = 2000;
+  /// Re-dispatch points from dead nodes to ring survivors. Off = the
+  /// legacy behaviour (a dead node's points become typed node-lost rows).
+  bool failover = true;
+  /// Outgoing-frame chaos injection (see serve/transport.hpp); defaults to
+  /// the MLP_CHAOS environment variable. Probe pings are exempt — chaos
+  /// exercises the RPC path, not the healing path.
+  ChaosConfig chaos = chaos_from_env();
+};
+
 /// Fan `jobs` across the daemons at `addresses` (AF_UNIX paths or
-/// HOST:PORT) and return per-job results in submission order. With one
-/// address this degenerates to run_matrix_remote's behaviour. Jobs on a
-/// node that cannot be reached or dies mid-sweep carry error=node-lost;
-/// the call itself only throws on misuse (no addresses).
+/// HOST:PORT) and return per-job results in submission order, healing
+/// around node failure per `options`. `health` (optional) receives the
+/// sweep's degradation report. The call itself only throws on misuse (no
+/// addresses).
+std::vector<RemoteResult> run_matrix_sharded(
+    const std::vector<std::string>& addresses,
+    const std::vector<sim::MatrixJob>& jobs, const ShardOptions& options,
+    FleetHealth* health = nullptr);
+
+/// Default-policy convenience overload.
 std::vector<RemoteResult> run_matrix_sharded(
     const std::vector<std::string>& addresses,
     const std::vector<sim::MatrixJob>& jobs);

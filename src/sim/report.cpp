@@ -181,6 +181,12 @@ std::string stats_json_run(const MatrixResult& run) {
 }
 
 std::string stats_json_document(const std::vector<std::string>& run_objects) {
+  return stats_json_document(run_objects, "", "");
+}
+
+std::string stats_json_document(const std::vector<std::string>& run_objects,
+                                const std::string& footer_key,
+                                const std::string& footer_object) {
   trace::JsonWriter w;
   w.begin_object();
   w.key("schema_version");
@@ -192,6 +198,10 @@ std::string stats_json_document(const std::vector<std::string>& run_objects) {
     w.raw(object);
   }
   w.end_array();
+  if (!footer_key.empty()) {
+    w.key(footer_key);
+    w.raw(footer_object);
+  }
   w.end_object();
   std::string out = w.take();
   out += '\n';

@@ -46,4 +46,11 @@ std::string stats_json_run(const MatrixResult& run);
 /// stats_json_document({stats_json_run(r)...}) byte for byte.
 std::string stats_json_document(const std::vector<std::string>& run_objects);
 
+/// Same, with one extra raw member appended after "runs" (e.g. mlpsweep's
+/// opt-in "fleet" health footer). An empty `footer_key` omits the member,
+/// reproducing the plain document byte for byte.
+std::string stats_json_document(const std::vector<std::string>& run_objects,
+                                const std::string& footer_key,
+                                const std::string& footer_object);
+
 }  // namespace mlp::sim

@@ -51,12 +51,16 @@ Commands:
 Job flags (submit/run): --arch NAME --bench NAME --records N --rows N
   --seed N --cores N --pf-entries N --bus-efficiency F --fault-rate P
   --ecc --fault-seed N --record-barrier --slab-layout --tag TEXT
-  --watchdog-cycles N --watchdog-stall N --trace --trace-dir DIR
-  --trace-ring N --trace-interval N --hold-ms N
+  --watchdog-cycles N --watchdog-stall N --watchdog-wall MS
+  --trace --trace-dir DIR --trace-ring N --trace-interval N --hold-ms N
 
 Common:
-  --raw              print raw JSON response frames instead of decoding
-  --version          print the toolchain version
+  --raw                   print raw JSON response frames instead of decoding
+  --connect-timeout-ms N  TCP handshake deadline (default 5000; 0 = block)
+  --request-timeout-ms N  whole-roundtrip deadline; a silent server fails
+                          the command with a typed timeout error instead of
+                          hanging it (default 0 = no deadline)
+  --version               print the toolchain version
 
 %s)",
               tools::SweepGrid::help());
@@ -117,6 +121,8 @@ serve::JobSpec parse_job(tools::ArgCursor& args, bool* stats_json) {
       o.cfg.watchdog.max_cycles = tools::parse_u64(arg, args.value());
     } else if (args.is("--watchdog-stall")) {
       o.cfg.watchdog.stall_cycles = tools::parse_u64(arg, args.value());
+    } else if (args.is("--watchdog-wall")) {
+      o.cfg.watchdog.wall_ms = tools::parse_u64(arg, args.value());
     } else if (args.is("--trace")) {
       o.trace.chrome_json = true;
     } else if (args.is("--trace-dir")) {
@@ -181,6 +187,7 @@ int print_response(const serve::Response& r, bool raw) {
 int main(int argc, char** argv) {
   std::string socket_path;
   std::string command;
+  serve::ClientOptions client_options;
   bool raw = false;
   bool stats_json = false;
   bool wait = false;
@@ -200,6 +207,12 @@ int main(int argc, char** argv) {
       socket_path = args.value();
     } else if (args.is("--raw")) {
       raw = true;
+    } else if (args.is("--connect-timeout-ms")) {
+      client_options.connect_timeout_ms =
+          static_cast<i64>(tools::parse_u64(args.flag(), args.value()));
+    } else if (args.is("--request-timeout-ms")) {
+      client_options.request_timeout_ms =
+          static_cast<i64>(tools::parse_u64(args.flag(), args.value()));
     } else if (args.flag().rfind("--", 0) == 0) {
       return tools::unknown_flag(args.flag());
     } else {
@@ -217,7 +230,7 @@ int main(int argc, char** argv) {
   }
 
   try {
-    serve::Client client;
+    serve::Client client(client_options);
 
     if (command == "run" || command == "sweep") {
       // These own the remaining argv; parse before connecting so usage

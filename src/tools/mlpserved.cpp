@@ -34,6 +34,10 @@ void usage() {
                      are rejected with a typed queue-full error
                      (default 64)
   --cache-entries N  warm prepare-cache capacity, LRU-evicted (default 64)
+  --job-timeout-ms N wall-clock budget per job; a job still running after
+                     N ms is cancelled by its watchdog and reports a typed
+                     job-timeout error (default 0 = unlimited). Catches
+                     hangs the cycle watchdog cannot see
   --version          print the toolchain version
 
 Protocol: length-prefixed JSON frames; requests ping / submit / status /
@@ -73,6 +77,9 @@ int main(int argc, char** argv) {
     } else if (args.is("--cache-entries")) {
       cfg.cache_entries = tools::parse_u64(args.flag(), args.value(),
                                            /*min=*/1);
+    } else if (args.is("--job-timeout-ms")) {
+      cfg.job_timeout_ms = tools::parse_u64(args.flag(), args.value(),
+                                            /*min=*/0);
     } else {
       return tools::unknown_flag(args.flag());
     }

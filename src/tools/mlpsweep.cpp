@@ -10,8 +10,10 @@
 //  * remote (--server ADDR[,ADDR...]): ship the jobs to one or more running
 //    mlpserved daemons (Unix sockets or HOST:PORT) — jobs are consistent-
 //    hashed by prepare-cache key so each node's cache stays warm ACROSS
-//    sweeps, results merge back in grid order, and a node lost mid-sweep
-//    costs typed error rows, not the sweep.
+//    sweeps, results merge back in grid order, and the fleet SELF-HEALS: a
+//    node lost mid-sweep (crash, hang, graceful drain) has its points
+//    re-dispatched to ring survivors, resurrected nodes are probed back in,
+//    and the output stays byte-identical to a local run.
 //
 //   mlpsweep --arch millipede,ssmc --bench count,kmeans --cores 16,32,64
 //   mlpsweep --pf-entries 4,8,16,32 --rows 96,192 --jobs 8 > sweep.csv
@@ -52,6 +54,23 @@ Execution:
                         every registered counter) instead of the CSV
   --version             print the toolchain version
 
+Fleet resilience (with --server; see docs/ARCHITECTURE.md):
+  --connect-timeout-ms N  initial-connect window + TCP handshake bound per
+                          node; a just-launched daemon is retried until it
+                          elapses (default 5000; 0 = single blocking try)
+  --request-timeout-ms N  per-request deadline; a node silent that long is
+                          dead and its points fail over (default 30000;
+                          0 = no deadline, a hung node hangs the sweep)
+  --retry-budget N        re-dispatches per point after node losses before
+                          it becomes a typed error row (default 3)
+  --no-failover           legacy behaviour: a dead node's points become
+                          typed node-lost rows instead of failing over
+  --chaos SPEC            seeded fault injection on outgoing frames, e.g.
+                          drop=0.05,delay=0.1,delay-ms=20,truncate=0.01,
+                          close=0.02,seed=7 (also: MLP_CHAOS env var)
+  --fleet-stats           append the fleet-health report as a "fleet"
+                          member of the --stats-json document
+
 Output: one CSV row per grid point on stdout, config columns first, a
 trailing `error` column last. Rows appear in grid order regardless of
 --jobs. A failed point (bad config, watchdog trip, uncorrectable memory
@@ -63,10 +82,37 @@ run, bit-identically for any --jobs.
               tools::SweepGrid::help());
 }
 
+void print_fleet_report(const serve::FleetHealth& fleet) {
+  std::fprintf(stderr,
+               "mlpsweep: fleet health: %llu retries, %llu failovers, "
+               "%llu reconnects, %llu node deaths, %llu request timeouts, "
+               "%llu chaos injections, %llu points lost\n",
+               static_cast<unsigned long long>(fleet.retries),
+               static_cast<unsigned long long>(fleet.failovers),
+               static_cast<unsigned long long>(fleet.reconnects),
+               static_cast<unsigned long long>(fleet.node_deaths),
+               static_cast<unsigned long long>(fleet.request_timeouts),
+               static_cast<unsigned long long>(fleet.chaos_injected),
+               static_cast<unsigned long long>(fleet.points_lost));
+  for (const serve::NodeHealth& node : fleet.nodes) {
+    std::fprintf(stderr,
+                 "mlpsweep:   node %s: %llu jobs, %llu deaths, "
+                 "%llu reconnects, window %llu%s\n",
+                 node.address.c_str(),
+                 static_cast<unsigned long long>(node.jobs_completed),
+                 static_cast<unsigned long long>(node.deaths),
+                 static_cast<unsigned long long>(node.reconnects),
+                 static_cast<unsigned long long>(node.window),
+                 node.window_from_status ? "" : " (fallback)");
+  }
+}
+
 int run_remote(const std::vector<std::string>& servers,
-               const std::vector<sim::MatrixJob>& matrix, bool stats_json) {
+               const std::vector<sim::MatrixJob>& matrix, bool stats_json,
+               const serve::ShardOptions& options, bool fleet_stats) {
+  serve::FleetHealth fleet;
   const std::vector<serve::RemoteResult> results =
-      serve::run_matrix_sharded(servers, matrix);
+      serve::run_matrix_sharded(servers, matrix, options, &fleet);
 
   int exit_code = 0;
   std::vector<std::string> stats_runs;
@@ -101,8 +147,16 @@ int run_remote(const std::vector<std::string>& servers,
     }
   }
   if (stats_json) {
-    std::fputs(sim::stats_json_document(stats_runs).c_str(), stdout);
+    // The fleet footer is OPT-IN: without --fleet-stats the document stays
+    // byte-identical to a local run's, failures or not.
+    const std::string doc =
+        fleet_stats
+            ? sim::stats_json_document(stats_runs, "fleet",
+                                       serve::fleet_health_json(fleet))
+            : sim::stats_json_document(stats_runs);
+    std::fputs(doc.c_str(), stdout);
   }
+  if (fleet.degraded() || fleet.chaos_injected != 0) print_fleet_report(fleet);
   return exit_code;
 }
 
@@ -113,7 +167,9 @@ int main(int argc, char** argv) {
   u32 jobs = 0;
   bool stats_json = false;
   bool fast_forward = true;
+  bool fleet_stats = false;
   std::vector<std::string> servers;
+  serve::ShardOptions shard_options;
 
   tools::ArgCursor args(argc, argv);
   while (args.next()) {
@@ -134,6 +190,26 @@ int main(int argc, char** argv) {
            tools::split_list(args.flag(), args.value())) {
         servers.push_back(addr);
       }
+    } else if (args.is("--connect-timeout-ms")) {
+      shard_options.connect_timeout_ms =
+          static_cast<i64>(tools::parse_u64(args.flag(), args.value()));
+    } else if (args.is("--request-timeout-ms")) {
+      shard_options.request_timeout_ms =
+          static_cast<i64>(tools::parse_u64(args.flag(), args.value()));
+    } else if (args.is("--retry-budget")) {
+      shard_options.retry_budget =
+          tools::parse_u32(args.flag(), args.value());
+    } else if (args.is("--no-failover")) {
+      shard_options.failover = false;
+    } else if (args.is("--chaos")) {
+      try {
+        shard_options.chaos = serve::parse_chaos(args.value());
+      } catch (const SimError& e) {
+        std::fprintf(stderr, "mlpsweep: %s\n", e.what());
+        return 2;
+      }
+    } else if (args.is("--fleet-stats")) {
+      fleet_stats = true;
     } else if (!grid.consume(args)) {
       return tools::unknown_flag(args.flag());
     }
@@ -150,7 +226,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "mlpsweep: %zu grid points via %zu server(s): %s\n",
                  matrix.size(), servers.size(), names.c_str());
     try {
-      return run_remote(servers, matrix, stats_json);
+      return run_remote(servers, matrix, stats_json, shard_options,
+                        fleet_stats);
     } catch (const SimError& e) {
       std::fprintf(stderr, "mlpsweep: %s\n", e.what());
       return 1;

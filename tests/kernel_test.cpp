@@ -7,10 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -107,6 +109,49 @@ TEST(WatchdogSkip, DisabledLimitsNeverTrip) {
   dog.skip(1u << 20, 1);
   dog.step(1);
   EXPECT_EQ(dog.iterations(), (1u << 20) + 1);
+}
+
+TEST(WatchdogWall, BudgetTripsWithTheJobTimeoutKind) {
+  WatchdogConfig cfg;
+  cfg.stall_cycles = 0;
+  cfg.max_cycles = 0;
+  cfg.wall_ms = 1;
+  Watchdog dog(cfg, "test", {});
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // The amortized check samples the clock only every ~8192 iterations, so
+  // the trip needs more than one stride of real steps past the deadline —
+  // the progress signature keeps advancing (no stall, no ceiling).
+  try {
+    for (u64 i = 0; i < 100'000; ++i) dog.step(i);
+    FAIL() << "wall-clock budget never tripped";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), "job-timeout");
+    EXPECT_NE(std::string(e.what()).find("wall-clock budget"),
+              std::string::npos);
+  }
+}
+
+TEST(WatchdogWall, SkippedIterationsStillReachTheCheck) {
+  WatchdogConfig cfg;
+  cfg.stall_cycles = 0;
+  cfg.max_cycles = 0;
+  cfg.wall_ms = 1;
+  Watchdog dog(cfg, "test", {});
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // A fast-forwarded run bulk-advances past the check stride; the very next
+  // real step must still sample the clock and trip.
+  dog.skip(1u << 20, 1);
+  EXPECT_THROW(dog.step(2), SimError);
+}
+
+TEST(WatchdogWall, DisabledBudgetNeverSamplesTheClock) {
+  WatchdogConfig cfg;
+  cfg.stall_cycles = 0;
+  cfg.max_cycles = 0;
+  cfg.wall_ms = 0;
+  Watchdog dog(cfg, "test", {});
+  for (u64 i = 0; i < 20'000; ++i) dog.step(i);
+  EXPECT_EQ(dog.iterations(), 20'000u);
 }
 
 // ----------------------------------------------------- kernel fake unit ----

@@ -8,6 +8,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,6 +59,31 @@ TEST(Framing, RejectsOversizedAndTruncatedFrames) {
   ::close(fds[1]);
 }
 
+TEST(Framing, DeadlineTripsOnASilentPeerAndPassesOnALiveOne) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Nothing in flight: a bounded read must trip the typed timeout instead
+  // of blocking forever.
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    read_frame(fds[1], /*timeout_ms=*/150);
+    FAIL() << "bounded read of a silent peer returned";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), kErrTimeout);
+  }
+  const double waited_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+  EXPECT_GE(waited_ms, 100.0);
+  // With data available the bounded variants behave like the untimed ones.
+  ASSERT_TRUE(write_frame(fds[0], "{\"ok\":true}", /*timeout_ms=*/1000));
+  const std::optional<std::string> got = read_frame(fds[1], 1000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "{\"ok\":true}");
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
 // ---- job (de)serialization -------------------------------------------------
 
 TEST(JobJson, RoundTripsEveryField) {
@@ -77,6 +104,7 @@ TEST(JobJson, RoundTripsEveryField) {
   spec.job.options.cfg.dram.fault.ecc = true;
   spec.job.options.cfg.dram.fault.seed = 3;
   spec.job.options.cfg.watchdog.max_cycles = 123456;
+  spec.job.options.cfg.watchdog.wall_ms = 90000;
   spec.job.options.trace.chrome_json = true;
   spec.job.options.trace.dir = "/tmp/traces";
   spec.hold_ms = 250;
@@ -98,6 +126,7 @@ TEST(JobJson, RoundTripsEveryField) {
   EXPECT_TRUE(back.job.options.cfg.dram.fault.ecc);
   EXPECT_EQ(back.job.options.cfg.dram.fault.seed, 3u);
   EXPECT_EQ(back.job.options.cfg.watchdog.max_cycles, 123456u);
+  EXPECT_EQ(back.job.options.cfg.watchdog.wall_ms, 90000u);
   EXPECT_TRUE(back.job.options.trace.chrome_json);
   EXPECT_EQ(back.job.options.trace.dir, "/tmp/traces");
   EXPECT_EQ(back.hold_ms, 250u);
@@ -153,6 +182,90 @@ TEST(Transport, ConnectRefusedIsATypedServeError) {
   Client client;
   EXPECT_THROW(client.connect("/tmp/mlpserve-no-such-socket.sock"), SimError);
   EXPECT_FALSE(client.connected());
+}
+
+// ---- chaos -----------------------------------------------------------------
+
+TEST(Chaos, SpecGrammar) {
+  const ChaosConfig cfg =
+      parse_chaos("drop=0.05,delay=0.1,delay-ms=35,truncate=0.01,close=0.02,"
+                  "seed=7");
+  EXPECT_DOUBLE_EQ(cfg.drop_rate, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.delay_rate, 0.1);
+  EXPECT_EQ(cfg.delay_ms, 35u);
+  EXPECT_DOUBLE_EQ(cfg.truncate_rate, 0.01);
+  EXPECT_DOUBLE_EQ(cfg.close_rate, 0.02);
+  EXPECT_EQ(cfg.seed, 7u);
+  EXPECT_TRUE(cfg.enabled());
+  EXPECT_FALSE(ChaosConfig{}.enabled());
+
+  EXPECT_THROW(parse_chaos("explode=0.5"), SimError);   // unknown knob
+  EXPECT_THROW(parse_chaos("drop=1.5"), SimError);      // rate > 1
+  EXPECT_THROW(parse_chaos("drop=-0.1"), SimError);     // negative rate
+  EXPECT_THROW(parse_chaos("drop"), SimError);          // missing '='
+  EXPECT_THROW(parse_chaos("drop=lots"), SimError);     // non-numeric
+}
+
+TEST(Chaos, InjectorIsDeterministicPerSeedAndConnection) {
+  ChaosConfig cfg;
+  cfg.drop_rate = 0.1;
+  cfg.delay_rate = 0.2;
+  cfg.truncate_rate = 0.1;
+  cfg.close_rate = 0.1;
+  cfg.seed = 42;
+
+  const auto sequence = [&cfg](u64 connection_id) {
+    ChaosInjector injector(cfg, connection_id);
+    std::vector<ChaosInjector::Action> actions;
+    for (int i = 0; i < 256; ++i) actions.push_back(injector.next());
+    return actions;
+  };
+
+  // Same seed + same connection: the exact same fault schedule, replayable
+  // from a bug report. Different connections: decorrelated schedules.
+  EXPECT_EQ(sequence(0), sequence(0));
+  EXPECT_EQ(sequence(7), sequence(7));
+  EXPECT_NE(sequence(0), sequence(1));
+
+  // With ~50% total fault rate, 256 draws must inject at least once and
+  // leave at least one frame untouched.
+  const std::vector<ChaosInjector::Action> actions = sequence(0);
+  EXPECT_NE(std::count(actions.begin(), actions.end(),
+                       ChaosInjector::Action::kNone),
+            0);
+  EXPECT_NE(std::count(actions.begin(), actions.end(),
+                       ChaosInjector::Action::kNone),
+            256);
+}
+
+TEST(Transport, HungPeerTripsTheRequestDeadline) {
+  // A listener whose backlog accepts the connect but whose owner never
+  // reads: exactly what a SIGSTOPped daemon looks like. The request
+  // deadline must convert the hang into a typed timeout and poison the
+  // connection.
+  Endpoint ep;
+  ep.kind = Endpoint::Kind::kUnix;
+  ep.path = "/tmp/mlpserve-hung-peer-" + std::to_string(::getpid()) + ".sock";
+  const int listener = listen_endpoint(ep);
+
+  ClientOptions options;
+  options.connect_timeout_ms = 1000;
+  options.request_timeout_ms = 200;
+  options.chaos = ChaosConfig{};
+  Client client(options);
+  client.connect(ep.path);
+  ASSERT_TRUE(client.connected());
+  try {
+    client.ping();
+    FAIL() << "ping of a hung peer returned";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), kErrTimeout);
+  }
+  // The deadline poisons the connection — no half-read frame can desync a
+  // later request.
+  EXPECT_FALSE(client.connected());
+  ::close(listener);
+  ::unlink(ep.path.c_str());
 }
 
 TEST(Responses, EnvelopeDecodes) {
@@ -610,19 +723,67 @@ TEST(Sharded, TwoNodesMergeInSubmissionOrderByteIdentically) {
   EXPECT_EQ(narrow_done + wide_done, jobs.size());
 }
 
-TEST(Sharded, DeadNodeYieldsTypedRowsNotAHang) {
-  LiveServer live(ServeConfig{"", "", /*threads=*/2, /*queue_limit=*/8});
-  const std::string dead = "/tmp/mlpserve-no-such-node.sock";
-
+/// The six-bench job list whose keys hash to BOTH nodes of a two-member
+/// ring (pinned by RingAssignmentsAreStableForever).
+std::vector<sim::MatrixJob> two_node_grid() {
   std::vector<sim::MatrixJob> jobs;
   for (const std::string& bench :
        {std::string("count"), std::string("sample"), std::string("variance"),
         std::string("kmeans"), std::string("pca"), std::string("gda")}) {
     jobs.push_back(small_job(bench).job);
   }
+  return jobs;
+}
 
+/// Fast-failure policy for tests: a dead address is declared dead after
+/// ~200 ms instead of the production 5 s startup-retry window.
+ShardOptions fast_options() {
+  ShardOptions options;
+  options.connect_timeout_ms = 200;
+  options.request_timeout_ms = 5000;
+  options.probe_min_ms = 20;
+  options.probe_max_ms = 200;
+  return options;
+}
+
+TEST(Sharded, DeadNodeFailsOverByteIdentically) {
+  // One node of the fleet never existed: with failover (the default) every
+  // point it owned re-dispatches to the survivor and the merged output is
+  // byte-identical to a healthy run — the sweep result does not betray
+  // that a node was lost.
+  LiveServer live(ServeConfig{"", "", /*threads=*/2, /*queue_limit=*/8});
+  const std::string dead = "/tmp/mlpserve-no-such-node.sock";
+  const std::vector<sim::MatrixJob> jobs = two_node_grid();
+
+  FleetHealth fleet;
   const std::vector<RemoteResult> results =
-      run_matrix_sharded({live.path(), dead}, jobs);
+      run_matrix_sharded({live.path(), dead}, jobs, fast_options(), &fleet);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok) << i << ": " << results[i].message;
+    const sim::MatrixResult local = sim::run_job(jobs[i]);
+    EXPECT_EQ(results[i].csv, sim::sweep_csv_row(local)) << i;
+  }
+  EXPECT_GE(fleet.node_deaths, 1u);
+  EXPECT_GT(fleet.failovers, 0u);
+  EXPECT_EQ(fleet.points_lost, 0u);
+  ASSERT_EQ(fleet.nodes.size(), 2u);
+  EXPECT_EQ(fleet.nodes[0].jobs_completed, jobs.size());
+  EXPECT_EQ(fleet.nodes[1].jobs_completed, 0u);
+}
+
+TEST(Sharded, NoFailoverYieldsTypedRowsNotAHang) {
+  // The legacy policy (--no-failover): a dead node's points become typed
+  // node-lost rows while the live node's points still serve.
+  LiveServer live(ServeConfig{"", "", /*threads=*/2, /*queue_limit=*/8});
+  const std::string dead = "/tmp/mlpserve-no-such-node.sock";
+  const std::vector<sim::MatrixJob> jobs = two_node_grid();
+
+  ShardOptions options = fast_options();
+  options.failover = false;
+  FleetHealth fleet;
+  const std::vector<RemoteResult> results =
+      run_matrix_sharded({live.path(), dead}, jobs, options, &fleet);
   ASSERT_EQ(results.size(), jobs.size());
   std::size_t lost = 0, served = 0;
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -640,6 +801,111 @@ TEST(Sharded, DeadNodeYieldsTypedRowsNotAHang) {
   // the sweep must lose SOME points and serve the rest from the live node.
   EXPECT_GT(lost, 0u);
   EXPECT_GT(served, 0u);
+  EXPECT_EQ(fleet.points_lost, lost);
+}
+
+TEST(Sharded, EveryNodeDeadFailsAllPointsNotTheSweep) {
+  const std::vector<sim::MatrixJob> jobs = two_node_grid();
+  FleetHealth fleet;
+  const std::vector<RemoteResult> results = run_matrix_sharded(
+      {"/tmp/mlpserve-no-such-a.sock", "/tmp/mlpserve-no-such-b.sock"}, jobs,
+      fast_options(), &fleet);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (const RemoteResult& r : results) {
+    EXPECT_EQ(r.error, kErrNodeLost);
+    EXPECT_NE(r.message.find("every node is dead"), std::string::npos);
+  }
+  EXPECT_EQ(fleet.points_lost, jobs.size());
+}
+
+TEST(Sharded, HungNodeTripsTheDeadlineAndFailsOver) {
+  // A listener that ACCEPTS (kernel backlog) but never answers — the
+  // SIGSTOPped-daemon signature. The request deadline must declare it dead
+  // and the sweep must finish on the survivor, byte-identically.
+  LiveServer live(ServeConfig{"", "", /*threads=*/2, /*queue_limit=*/8});
+  Endpoint hung_ep;
+  hung_ep.kind = Endpoint::Kind::kUnix;
+  hung_ep.path = "/tmp/mlpserve-hung-" + std::to_string(::getpid()) + ".sock";
+  const int hung_fd = listen_endpoint(hung_ep);
+  const std::vector<sim::MatrixJob> jobs = two_node_grid();
+
+  ShardOptions options = fast_options();
+  options.request_timeout_ms = 300;  // the hang detector under test
+  FleetHealth fleet;
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<RemoteResult> results = run_matrix_sharded(
+      {live.path(), hung_ep.path}, jobs, options, &fleet);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ::close(hung_fd);
+  ::unlink(hung_ep.path.c_str());
+
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok) << i << ": " << results[i].message;
+    const sim::MatrixResult local = sim::run_job(jobs[i]);
+    EXPECT_EQ(results[i].csv, sim::sweep_csv_row(local)) << i;
+  }
+  EXPECT_GE(fleet.node_deaths, 1u);
+  EXPECT_GE(fleet.request_timeouts, 1u);
+  EXPECT_EQ(fleet.points_lost, 0u);
+  // The hang was detected by deadline, not waited out: well under the 60 s
+  // a single unbounded result-wait would burn.
+  EXPECT_LT(elapsed_ms, 30'000.0);
+}
+
+TEST(Sharded, ChaosClosedConnectionsHealByReconnect) {
+  // Aggressive connection-killing chaos against ONE healthy daemon: every
+  // close is a node death, every probe an instant resurrection (the daemon
+  // itself never dies). The sweep must converge with zero lost points —
+  // the reconnect/re-dispatch loop healing each injected failure.
+  LiveServer live(ServeConfig{"", "", /*threads=*/2, /*queue_limit=*/8});
+  const std::vector<sim::MatrixJob> jobs = two_node_grid();
+
+  ShardOptions options = fast_options();
+  options.retry_budget = 100;  // chaos this hot needs headroom
+  options.chaos = parse_chaos("close=0.4,seed=11");
+  FleetHealth fleet;
+  const std::vector<RemoteResult> results =
+      run_matrix_sharded({live.path()}, jobs, options, &fleet);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok) << i << ": " << results[i].message;
+    const sim::MatrixResult local = sim::run_job(jobs[i]);
+    EXPECT_EQ(results[i].csv, sim::sweep_csv_row(local)) << i;
+  }
+  EXPECT_EQ(fleet.points_lost, 0u);
+  EXPECT_GT(fleet.chaos_injected, 0u);
+  EXPECT_GE(fleet.node_deaths, 1u);
+  EXPECT_GE(fleet.reconnects, 1u);
+}
+
+TEST(Sharded, RetryBudgetExhaustionIsATypedRow) {
+  // Budget 0: the first node loss a point suffers is its last. With
+  // connection-killing chaos, some points must exhaust the budget and the
+  // error row must say so.
+  LiveServer live(ServeConfig{"", "", /*threads=*/2, /*queue_limit=*/8});
+  const std::vector<sim::MatrixJob> jobs = two_node_grid();
+
+  ShardOptions options = fast_options();
+  options.retry_budget = 0;
+  options.chaos = parse_chaos("close=0.5,seed=3");
+  FleetHealth fleet;
+  const std::vector<RemoteResult> results =
+      run_matrix_sharded({live.path()}, jobs, options, &fleet);
+  ASSERT_EQ(results.size(), jobs.size());
+  std::size_t exhausted = 0;
+  for (const RemoteResult& r : results) {
+    if (r.error.empty()) continue;
+    EXPECT_EQ(r.error, kErrNodeLost);
+    EXPECT_NE(r.message.find("retry budget (0) exhausted"),
+              std::string::npos);
+    ++exhausted;
+  }
+  EXPECT_GT(exhausted, 0u);
+  EXPECT_EQ(fleet.points_lost, exhausted);
 }
 
 TEST(Service, PerJobErrorsTravelInTheResult) {
@@ -658,6 +924,61 @@ TEST(Service, PerJobErrorsTravelInTheResult) {
   ASSERT_TRUE(result.ok) << result.message;
   EXPECT_FALSE(result.doc.find("run_ok")->boolean);
   EXPECT_NE(result.doc.str_at("csv").find("watchdog"), std::string::npos);
+}
+
+TEST(Service, BoundedResultWaitHeartbeatsInsteadOfHanging) {
+  // result(id, wait, wait_ms): a long job must NOT hold the reply hostage —
+  // the bounded wait expires into a typed job-running/job-pending heartbeat
+  // the client can keep re-issuing, which is how the sweep distinguishes a
+  // slow node from a dead one.
+  LiveServer live(ServeConfig{"", "", /*threads=*/1, /*queue_limit=*/4});
+  Client client;
+  client.connect(live.path());
+
+  JobSpec held = small_job("count");
+  held.hold_ms = 2000;
+  const Response sub = client.submit(held);
+  ASSERT_TRUE(sub.ok) << sub.message;
+  const u64 id = sub.doc.u64_at("id");
+
+  const auto start = std::chrono::steady_clock::now();
+  const Response beat = client.result(id, /*wait=*/true, /*wait_ms=*/100);
+  const double waited_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+  EXPECT_FALSE(beat.ok);
+  EXPECT_TRUE(beat.error == kErrJobRunning || beat.error == kErrJobPending)
+      << beat.error;
+  EXPECT_LT(waited_ms, 1500.0);  // expired at ~100 ms, not the 2 s hold
+
+  // Re-issuing the bounded wait converges on the real result.
+  ASSERT_TRUE(client.cancel(id).ok);
+  const Response done = client.result(id, /*wait=*/true, /*wait_ms=*/5000);
+  ASSERT_TRUE(done.ok) << done.message;
+  EXPECT_EQ(done.doc.str_at("state"), "cancelled");
+}
+
+TEST(Service, JobTimeoutCapsWallClockAndTypesTheError) {
+  // --job-timeout-ms clamps EVERY job's wall-clock watchdog server-side: a
+  // runaway point dies with the typed job-timeout error in its result row
+  // instead of pinning a worker forever. The client cannot opt out.
+  ServeConfig cfg{"", "", /*threads=*/1, /*queue_limit=*/4};
+  cfg.job_timeout_ms = 1;
+  LiveServer live(cfg);
+  Client client;
+  client.connect(live.path());
+
+  JobSpec runaway = small_job("count");
+  runaway.job.options.records = u64{1} << 20;  // far more than 1 ms of work
+  runaway.job.options.cfg.watchdog.wall_ms = 60'000;  // ignored: clamped down
+  const Response sub = client.submit(runaway);
+  ASSERT_TRUE(sub.ok) << sub.message;
+  const Response result = client.result(sub.doc.u64_at("id"), true);
+  ASSERT_TRUE(result.ok) << result.message;
+  EXPECT_FALSE(result.doc.find("run_ok")->boolean);
+  EXPECT_NE(result.doc.str_at("csv").find("job-timeout"), std::string::npos);
+  EXPECT_NE(result.doc.str_at("csv").find("wall-clock budget"),
+            std::string::npos);
 }
 
 }  // namespace
