@@ -1,10 +1,11 @@
-// kernel_bench — A/B harness for the simulation kernel's idle-cycle
-// fast-forward: runs a curated set of (architecture, benchmark, config)
-// points twice, with fast-forward enabled and disabled, asserts that every
-// counter and metric is bit-identical between the two modes, and reports
-// the wall-clock win. Points marked "membound" stall globally on DRAM and
-// are where the event-driven skip is expected to pay off; compute-bound
-// points bound the scan overhead instead.
+// kernel_bench — A/B harness for the simulation kernel's wall-clock
+// optimisations: runs a curated set of (architecture, benchmark, config)
+// points in three modes — edge polling (no fast-forward), fast-forward, and
+// fast-forward with the decoded-block cache disabled — asserts that every
+// counter and metric is bit-identical across all modes, and reports both
+// wall-clock wins. Points marked "membound" stall globally on DRAM and are
+// where the event-driven skip pays off; compute-bound points are where the
+// decoded-block dispatch pays off (and bound the scan overhead).
 //
 //   kernel_bench                  # full point list, 3 reps each
 //   kernel_bench --rows 24 --reps 1   # CI smoke: equivalence only
@@ -35,7 +36,9 @@ struct Point {
 
 // The four architectures under their paper configs, plus memory-bound
 // variants (off-chip-class bus efficiency) where both domains spend most
-// edges globally idle waiting on in-flight transfers.
+// edges globally idle waiting on in-flight transfers, and a compute-bound
+// variant (near-ideal bus on the float-heaviest kernel) where interpreter
+// dispatch dominates wall-clock — the block-cache showcase point.
 const Point kPoints[] = {
     {"millipede", "count", "default"},
     {"ssmc", "count", "default"},
@@ -44,6 +47,7 @@ const Point kPoints[] = {
     {"millipede", "kmeans", "default"},
     {"multicore", "count", "membound", 0.05},
     {"ssmc", "count", "membound", 0.05},
+    {"millipede", "pca", "compute", 0.9},
 };
 
 double run_timed_ms(const sim::MatrixJob& job, sim::PrepareCache* cache,
@@ -67,40 +71,41 @@ double run_timed_ms(const sim::MatrixJob& job, sim::PrepareCache* cache,
   return best;
 }
 
-/// Hard equivalence gate: fast-forward must not change a single number.
-void check_identical(const Point& p, const arch::RunResult& poll,
-                     const arch::RunResult& ff) {
-  bool same = poll.compute_cycles == ff.compute_cycles &&
-              poll.runtime_ps == ff.runtime_ps &&
-              poll.thread_instructions == ff.thread_instructions &&
-              poll.final_clock_mhz == ff.final_clock_mhz &&
-              poll.stats == ff.stats;
+/// Hard equivalence gate: a simulator-speed mode must not change a single
+/// number. `a_name`/`b_name` label the two modes in the failure report.
+void check_identical(const Point& p, const char* a_name,
+                     const arch::RunResult& a, const char* b_name,
+                     const arch::RunResult& b) {
+  bool same = a.compute_cycles == b.compute_cycles &&
+              a.runtime_ps == b.runtime_ps &&
+              a.thread_instructions == b.thread_instructions &&
+              a.final_clock_mhz == b.final_clock_mhz && a.stats == b.stats;
   if (same) return;
-  std::fprintf(stderr, "EQUIVALENCE FAILURE %s/%s (%s):\n", p.arch, p.bench,
-               p.tag);
-  if (poll.compute_cycles != ff.compute_cycles) {
-    std::fprintf(stderr, "  compute_cycles: poll=%llu ff=%llu\n",
-                 static_cast<unsigned long long>(poll.compute_cycles),
-                 static_cast<unsigned long long>(ff.compute_cycles));
+  std::fprintf(stderr, "EQUIVALENCE FAILURE %s/%s (%s) %s vs %s:\n", p.arch,
+               p.bench, p.tag, a_name, b_name);
+  if (a.compute_cycles != b.compute_cycles) {
+    std::fprintf(stderr, "  compute_cycles: %s=%llu %s=%llu\n", a_name,
+                 static_cast<unsigned long long>(a.compute_cycles), b_name,
+                 static_cast<unsigned long long>(b.compute_cycles));
   }
-  if (poll.runtime_ps != ff.runtime_ps) {
-    std::fprintf(stderr, "  runtime_ps: poll=%llu ff=%llu\n",
-                 static_cast<unsigned long long>(poll.runtime_ps),
-                 static_cast<unsigned long long>(ff.runtime_ps));
+  if (a.runtime_ps != b.runtime_ps) {
+    std::fprintf(stderr, "  runtime_ps: %s=%llu %s=%llu\n", a_name,
+                 static_cast<unsigned long long>(a.runtime_ps), b_name,
+                 static_cast<unsigned long long>(b.runtime_ps));
   }
-  for (const auto& [key, value] : poll.stats) {
-    const auto it = ff.stats.find(key);
-    if (it == ff.stats.end()) {
-      std::fprintf(stderr, "  %s: missing under fast-forward\n", key.c_str());
+  for (const auto& [key, value] : a.stats) {
+    const auto it = b.stats.find(key);
+    if (it == b.stats.end()) {
+      std::fprintf(stderr, "  %s: missing under %s\n", key.c_str(), b_name);
     } else if (it->second != value) {
-      std::fprintf(stderr, "  %s: poll=%llu ff=%llu\n", key.c_str(),
-                   static_cast<unsigned long long>(value),
+      std::fprintf(stderr, "  %s: %s=%llu %s=%llu\n", key.c_str(), a_name,
+                   static_cast<unsigned long long>(value), b_name,
                    static_cast<unsigned long long>(it->second));
     }
   }
-  for (const auto& [key, value] : ff.stats) {
-    if (poll.stats.find(key) == poll.stats.end()) {
-      std::fprintf(stderr, "  %s: new under fast-forward\n", key.c_str());
+  for (const auto& [key, value] : b.stats) {
+    if (a.stats.find(key) == a.stats.end()) {
+      std::fprintf(stderr, "  %s: new under %s\n", key.c_str(), b_name);
     }
   }
   std::exit(1);
@@ -111,6 +116,7 @@ struct Measured {
   std::string name;  // arch/bench/tag
   double poll_ms = 0;
   double ff_ms = 0;
+  double nc_ms = 0;  // fast-forward on, decoded-block cache off
   arch::RunResult result;  // bit-identical between modes by the gate above
 };
 
@@ -118,15 +124,22 @@ struct Measured {
 /// ratio (machine-portable) is the gated metric, per-point simulation
 /// counters are gated exactly, raw milliseconds ride along as info.
 void print_json(u64 rows, u32 reps, const std::vector<Measured>& points) {
-  double log_sum = 0, total_poll = 0, total_ff = 0;
+  double log_sum = 0, cache_log_sum = 0;
+  double total_poll = 0, total_ff = 0, total_nc = 0;
   for (const Measured& m : points) {
     log_sum += std::log(m.poll_ms / m.ff_ms);
+    cache_log_sum += std::log(m.nc_ms / m.ff_ms);
     total_poll += m.poll_ms;
     total_ff += m.ff_ms;
+    total_nc += m.nc_ms;
   }
   const double geomean =
       points.empty() ? 1.0
                      : std::exp(log_sum / static_cast<double>(points.size()));
+  const double cache_geomean =
+      points.empty()
+          ? 1.0
+          : std::exp(cache_log_sum / static_cast<double>(points.size()));
   trace::JsonWriter w;
   w.begin_object();
   w.key("schema");
@@ -149,15 +162,19 @@ void print_json(u64 rows, u32 reps, const std::vector<Measured>& points) {
   w.end_object();
   w.key("metrics");
   w.begin_object();
+  w.key("geomean_block_cache_speedup");
+  w.value(cache_geomean);
   w.key("geomean_speedup");
   w.value(geomean);
   w.end_object();
   w.key("info");
   w.begin_object();
-  w.key("total_poll_ms");
-  w.value(total_poll);
   w.key("total_ff_ms");
   w.value(total_ff);
+  w.key("total_nc_ms");
+  w.value(total_nc);
+  w.key("total_poll_ms");
+  w.value(total_poll);
   w.end_object();
   w.key("points");
   w.begin_array();
@@ -165,10 +182,20 @@ void print_json(u64 rows, u32 reps, const std::vector<Measured>& points) {
     w.begin_object();
     w.key("name");
     w.value(m.name);
+    auto stat = [&m](const char* name) -> u64 {
+      const auto it = m.result.stats.find(name);
+      return it == m.result.stats.end() ? 0 : it->second;
+    };
     w.key("counters");
     w.begin_object();
     w.key("compute_cycles");
     w.value(m.result.compute_cycles);
+    w.key("decode.batched_lanes");
+    w.value(stat("decode.batched_lanes"));
+    w.key("decode.block_hits");
+    w.value(stat("decode.block_hits"));
+    w.key("decode.block_misses");
+    w.value(stat("decode.block_misses"));
     w.key("runtime_ps");
     w.value(m.result.runtime_ps);
     w.key("thread_instructions");
@@ -176,12 +203,16 @@ void print_json(u64 rows, u32 reps, const std::vector<Measured>& points) {
     w.end_object();
     w.key("info");
     w.begin_object();
-    w.key("speedup");
-    w.value(m.poll_ms / m.ff_ms);
-    w.key("poll_ms");
-    w.value(m.poll_ms);
+    w.key("block_cache_speedup");
+    w.value(m.nc_ms / m.ff_ms);
     w.key("ff_ms");
     w.value(m.ff_ms);
+    w.key("nc_ms");
+    w.value(m.nc_ms);
+    w.key("poll_ms");
+    w.value(m.poll_ms);
+    w.key("speedup");
+    w.value(m.poll_ms / m.ff_ms);
     w.end_object();
     w.end_object();
   }
@@ -218,7 +249,7 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "kernel_bench — fast-forward vs edge-polling A/B harness\n"
+          "kernel_bench — fast-forward / decoded-block-cache A/B harness\n"
           "  --rows N    data volume in DRAM rows   (default 96)\n"
           "  --reps N    timed repetitions per mode (default 3; min is "
           "reported)\n"
@@ -235,13 +266,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // One warm cache for everything: fast_forward is deliberately not part of
-  // the preparation key, so both modes (and all reps) share one prepared
-  // input and the timings measure the simulation loop alone.
+  // One warm cache for everything: fast_forward and block_cache are
+  // deliberately not part of the preparation key, so all modes (and all
+  // reps) share one prepared input and the timings measure the simulation
+  // loop alone.
   sim::PrepareCache cache;
 
   std::vector<Measured> measured;
-  if (!json) std::printf("arch,bench,tag,rows,poll_ms,ff_ms,speedup\n");
+  if (!json) {
+    std::printf(
+        "arch,bench,tag,rows,poll_ms,ff_ms,nc_ms,speedup,cache_speedup\n");
+  }
   for (const Point& p : kPoints) {
     if (!arch_filter.empty() && arch_filter != p.arch) continue;
     if (!bench_filter.empty() && bench_filter != p.bench) continue;
@@ -260,27 +295,32 @@ int main(int argc, char** argv) {
 
     sim::MatrixJob poll_job = job;
     poll_job.options.cfg.fast_forward = false;
+    sim::MatrixJob nc_job = job;
+    nc_job.options.cfg.block_cache = false;
 
     // Warm the prepare cache outside the timed region.
-    arch::RunResult poll, ff;
+    arch::RunResult poll, ff, nc;
     run_timed_ms(poll_job, &cache, 1, &poll);
 
     const double poll_ms = run_timed_ms(poll_job, &cache, reps, &poll);
     const double ff_ms = run_timed_ms(job, &cache, reps, &ff);
-    check_identical(p, poll, ff);
+    const double nc_ms = run_timed_ms(nc_job, &cache, reps, &nc);
+    check_identical(p, "poll", poll, "ff", ff);
+    check_identical(p, "ff", ff, "no-block-cache", nc);
 
     if (json) {
       Measured m;
       m.name = std::string(p.arch) + "/" + p.bench + "/" + p.tag;
       m.poll_ms = poll_ms;
       m.ff_ms = ff_ms;
+      m.nc_ms = nc_ms;
       m.result = std::move(ff);
       measured.push_back(std::move(m));
       continue;
     }
-    std::printf("%s,%s,%s,%llu,%.1f,%.1f,%.2f\n", p.arch, p.bench, p.tag,
-                static_cast<unsigned long long>(rows), poll_ms, ff_ms,
-                poll_ms / ff_ms);
+    std::printf("%s,%s,%s,%llu,%.1f,%.1f,%.1f,%.2f,%.2f\n", p.arch, p.bench,
+                p.tag, static_cast<unsigned long long>(rows), poll_ms, ff_ms,
+                nc_ms, poll_ms / ff_ms, nc_ms / ff_ms);
     std::fflush(stdout);
   }
   if (json) print_json(rows, reps, measured);

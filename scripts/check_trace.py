@@ -93,8 +93,8 @@ def check_chrome_trace(path, require_kinds):
 def check_stats_json(path):
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    if doc.get("schema_version") != 1:
-        fail(f"{path}: schema_version != 1")
+    if doc.get("schema_version") != 2:
+        fail(f"{path}: schema_version != 2")
     runs = doc.get("runs")
     if not isinstance(runs, list) or not runs:
         fail(f"{path}: runs missing or empty")

@@ -12,6 +12,7 @@
 
 #include <memory>
 #include "common/error.hpp"
+#include "core/decode_cache.hpp"
 #include "gpgpu/sm.hpp"
 #include "mem/controller.hpp"
 #include "sim/kernel.hpp"
@@ -29,6 +30,7 @@ struct GpgpuParts {
   std::unique_ptr<mem::SharedMemBanking> banking;
   std::vector<mem::LocalStore> lane_state;
   gpgpu::SmStats sm_stats;
+  std::unique_ptr<core::DecodedBlockCache> dcache;
   std::unique_ptr<gpgpu::StreamingMultiprocessor> sm;
 };
 
@@ -70,6 +72,11 @@ GpgpuParts build(const MachineConfig& cfg, const workloads::Workload& wl,
     if (wl.init_state) wl.init_state(parts.lane_state.back());
   }
   parts.sm_stats.register_with(&parts.stats, "sm");
+  // Shared decoded stream for every warp of the SM (the VWS pilot gets its
+  // own cache whose counters are discarded with the pilot's stats).
+  parts.dcache =
+      std::make_unique<core::DecodedBlockCache>(wl.program, cfg.block_cache);
+  parts.dcache->register_with(&parts.stats, "decode");
 
   gpgpu::StreamingMultiprocessor::Deps deps;
   deps.program = &wl.program;
@@ -81,6 +88,7 @@ GpgpuParts build(const MachineConfig& cfg, const workloads::Workload& wl,
   deps.banking = parts.banking.get();
   deps.stats = &parts.sm_stats;
   deps.trace = trace;
+  deps.dcache = parts.dcache.get();
   parts.sm =
       std::make_unique<gpgpu::StreamingMultiprocessor>(cfg, width, deps);
 
@@ -118,6 +126,8 @@ GpgpuParts build(const MachineConfig& cfg, const workloads::Workload& wl,
 /// Registers the SM system's components and watchdog hooks on a kernel. The
 /// caller wires the trace (final run only) and calls run().
 void attach(sim::SimulationKernel* kernel, GpgpuParts& parts) {
+  core::DecodedBlockCache* dcache = parts.dcache.get();
+  kernel->set_compute_edge_hook([dcache] { dcache->begin_compute_edge(); });
   kernel->add_compute(parts.sm.get());
   if (parts.pb) kernel->add_channel(parts.pb.get());
   if (parts.l1d) kernel->add_channel(parts.l1d.get());

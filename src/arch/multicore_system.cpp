@@ -6,6 +6,7 @@
 
 #include "arch/system.hpp"
 #include "core/corelet.hpp"
+#include "core/decode_cache.hpp"
 #include "mem/cache.hpp"
 #include "mem/controller.hpp"
 #include "mem/prefetcher.hpp"
@@ -149,11 +150,14 @@ RunResult run_multicore(const MachineConfig& cfg,
 
   core::ExecStats exec;
   exec.register_with(&stats, "exec");
+  // One decoded-block cache per job, shared read-only by all corelets.
+  core::DecodedBlockCache dcache(workload.program, mc.block_cache);
+  dcache.register_with(&stats, "decode");
   std::vector<core::Corelet> corelets;
   corelets.reserve(cores);
   for (u32 c = 0; c < cores; ++c) {
     corelets.emplace_back(c, mc.core, &workload.program, &locals[c],
-                          &input.image, &port, &exec, trace);
+                          &input.image, &port, &exec, trace, &dcache);
     for (u32 x = 0; x < mc.core.contexts; ++x) {
       const workloads::ThreadSlice slice = input.layout.slice(
           workloads::ThreadMapping::kSlab, cores, mc.core.contexts, c, x);
@@ -170,6 +174,7 @@ RunResult run_multicore(const MachineConfig& cfg,
   }
 
   sim::SimulationKernel kernel(mc, "multicore", trace);
+  kernel.set_compute_edge_hook([&dcache] { dcache.begin_compute_edge(); });
   for (WideCorelet& corelet : wide) kernel.add_compute(&corelet);
   for (mem::Cache& l1 : l1s) kernel.add_channel(&l1);
   for (mem::Cache& l2 : l2s) kernel.add_channel(&l2);

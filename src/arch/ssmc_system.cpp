@@ -6,6 +6,7 @@
 
 #include "arch/system.hpp"
 #include "core/corelet.hpp"
+#include "core/decode_cache.hpp"
 #include "mem/cache.hpp"
 #include "mem/controller.hpp"
 #include "mem/prefetcher.hpp"
@@ -115,11 +116,14 @@ RunResult run_ssmc(const MachineConfig& cfg,
 
   core::ExecStats exec;
   exec.register_with(&stats, "exec");
+  // One decoded-block cache per job, shared read-only by all corelets.
+  core::DecodedBlockCache dcache(workload.program, cfg.block_cache);
+  dcache.register_with(&stats, "decode");
   std::vector<core::Corelet> corelets;
   corelets.reserve(cores);
   for (u32 c = 0; c < cores; ++c) {
     corelets.emplace_back(c, cfg.core, &workload.program, &locals[c],
-                          &input.image, &port, &exec, trace);
+                          &input.image, &port, &exec, trace, &dcache);
     for (u32 x = 0; x < cfg.core.contexts; ++x) {
       const workloads::ThreadSlice slice = input.layout.slice(
           workloads::ThreadMapping::kSlab, cores, cfg.core.contexts, c, x);
@@ -131,6 +135,7 @@ RunResult run_ssmc(const MachineConfig& cfg,
   }
 
   sim::SimulationKernel kernel(cfg, "ssmc", trace);
+  kernel.set_compute_edge_hook([&dcache] { dcache.begin_compute_edge(); });
   for (core::Corelet& corelet : corelets) kernel.add_compute(&corelet);
   for (mem::Cache& cache : caches) kernel.add_channel(&cache);
   kernel.add_channel(&ctrl);

@@ -193,6 +193,16 @@ struct MachineConfig {
   /// `--no-fast-forward` on the tools clears it for A/B runs.
   bool fast_forward = true;
 
+  /// Dispatch the interpreter over the decoded-basic-block cache
+  /// (core/decode_cache.hpp) instead of re-decoding every issued
+  /// instruction. Purely a simulator-speed knob like fast_forward: decode
+  /// accounting runs either way, so every counter, trace event and timeline
+  /// is bit-identical (enforced by differential_test, the golden matrix and
+  /// the CI equivalence step) and the flag stays out of the stats-JSON
+  /// config section and the prepare-cache key. `--no-block-cache` on the
+  /// tools clears it for A/B runs.
+  bool block_cache = true;
+
   /// Throws SimError("config", ...) on inconsistent parameter combinations;
   /// caught at the sim::run_job boundary so a bad sweep point fails alone.
   void validate() const;

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 
+#include "core/decode_cache.hpp"
+
 namespace mlp::core {
 
 Corelet::Corelet(u32 core_id, const CoreConfig& cfg,
                  const isa::Program* program, mem::LocalStore* local,
                  mem::DramImage* dram, GlobalPort* port, ExecStats* stats,
-                 trace::TraceSession* trace)
+                 trace::TraceSession* trace, DecodedBlockCache* dcache)
     : core_id_(core_id),
       cfg_(cfg),
       program_(program),
@@ -16,6 +18,7 @@ Corelet::Corelet(u32 core_id, const CoreConfig& cfg,
       port_(port),
       stats_(stats),
       trace_(trace),
+      dcache_(dcache),
       contexts_(cfg.contexts) {
   MLP_CHECK(program_ != nullptr && local_ != nullptr && dram_ != nullptr &&
                 port_ != nullptr && stats_ != nullptr,
@@ -65,8 +68,18 @@ void Corelet::tick(Picos now, Picos period_ps) {
   rr_next_ = (chosen_index + 1) % contexts_.size();
   Context& ctx = *chosen;
 
-  const isa::Instr& instr = program_->at(ctx.pc);
-  const StepKind kind = classify(instr);
+  // Decode accounting runs whenever a cache is wired, even with its
+  // dispatch fast path disabled (--no-block-cache), so decode.* counters —
+  // pure functions of the issue stream — stay bit-identical across modes.
+  const DecodedInstr* de =
+      dcache_ != nullptr ? &dcache_->entry(ctx.pc) : nullptr;
+  const bool fast = de != nullptr && dcache_->dispatch_enabled();
+  const isa::Instr& instr = fast ? de->instr : program_->at(ctx.pc);
+  const StepKind kind = fast ? de->kind : classify(instr);
+  const auto exec = [&]() {
+    return fast ? step_decoded(*de, ctx, *local_, *dram_)
+                : step(ctx, *program_, *local_, *dram_);
+  };
 
   // Global accesses negotiate the port before committing execution.
   if (kind == StepKind::kGlobalLoad) {
@@ -103,7 +116,7 @@ void Corelet::tick(Picos now, Picos period_ps) {
       stats_->retry_stalls.inc();
       return;
     }
-    step(ctx, *program_, *local_, *dram_);
+    exec();
     stats_->instructions.inc();
     stats_->global_loads.inc();
     stats_->busy_cycles.inc();
@@ -120,7 +133,7 @@ void Corelet::tick(Picos now, Picos period_ps) {
       stats_->retry_stalls.inc();
       return;
     }
-    step(ctx, *program_, *local_, *dram_);
+    exec();
     stats_->instructions.inc();
     stats_->global_stores.inc();
     stats_->busy_cycles.inc();
@@ -136,7 +149,7 @@ void Corelet::tick(Picos now, Picos period_ps) {
                          ctx.state = Context::State::kReady;
                          ctx.ready_at = at;
                        });
-    step(ctx, *program_, *local_, *dram_);
+    exec();
     stats_->instructions.inc();
     stats_->busy_cycles.inc();
     if (port_result.status == PortStatus::kDone) {
@@ -152,8 +165,10 @@ void Corelet::tick(Picos now, Picos period_ps) {
     const Picos fixed =
         now + static_cast<Picos>(cfg_.local_latency) * period_ps;
     ctx.state = Context::State::kWaitMem;  // callback may fire synchronously
+    const bool is_store =
+        fast ? de->is_store : isa::op_info(instr.op).is_store;
     const PortResult port_result = port_->local_access(
-        core_id_, chosen_index, addr, isa::op_info(instr.op).is_store, fixed,
+        core_id_, chosen_index, addr, is_store, fixed,
         now, [&ctx](Picos at) {
           ctx.state = Context::State::kReady;
           ctx.ready_at = at;
@@ -163,7 +178,7 @@ void Corelet::tick(Picos now, Picos period_ps) {
       stats_->retry_stalls.inc();
       return;
     }
-    step(ctx, *program_, *local_, *dram_);
+    exec();
     stats_->instructions.inc();
     stats_->local_ops.inc();
     stats_->busy_cycles.inc();
@@ -174,7 +189,7 @@ void Corelet::tick(Picos now, Picos period_ps) {
     return;
   }
 
-  const StepResult result = step(ctx, *program_, *local_, *dram_);
+  const StepResult result = exec();
   stats_->instructions.inc();
   stats_->busy_cycles.inc();
   switch (result.kind) {

@@ -17,6 +17,8 @@
 
 namespace mlp::core {
 
+class DecodedBlockCache;
+
 /// Execution counters aggregated across all corelets of a processor; the
 /// energy model and Table IV derive from these.
 struct ExecStats {
@@ -44,9 +46,13 @@ struct ExecStats {
 
 class Corelet : public sim::Tickable {
  public:
+  /// `dcache` is optional (tests drive bare corelets without one); when
+  /// present it provides decode accounting and, if its dispatch flag is on,
+  /// the predecoded fast path. Shared read-only across a job's corelets.
   Corelet(u32 core_id, const CoreConfig& cfg, const isa::Program* program,
           mem::LocalStore* local, mem::DramImage* dram, GlobalPort* port,
-          ExecStats* stats, trace::TraceSession* trace = nullptr);
+          ExecStats* stats, trace::TraceSession* trace = nullptr,
+          DecodedBlockCache* dcache = nullptr);
 
   /// One compute-clock edge: issue at most one instruction.
   /// `period_ps` is the current compute period (DFS may change it).
@@ -77,6 +83,7 @@ class Corelet : public sim::Tickable {
   GlobalPort* port_;
   ExecStats* stats_;
   trace::TraceSession* trace_;
+  DecodedBlockCache* dcache_;
 
   std::vector<Context> contexts_;
   u32 rr_next_ = 0;

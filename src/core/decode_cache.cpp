@@ -1,0 +1,35 @@
+#include "core/decode_cache.hpp"
+
+namespace mlp::core {
+
+DecodedBlockCache::DecodedBlockCache(const isa::Program& program,
+                                     bool dispatch_enabled)
+    : program_(&program),
+      cfg_(isa::Cfg::build(program)),
+      dispatch_(dispatch_enabled),
+      entries_(program.size()) {}
+
+void DecodedBlockCache::decode_block(u32 block) {
+  const isa::BasicBlock& bb = cfg_.blocks()[block];
+  for (u32 pc = bb.first; pc <= bb.last; ++pc) {
+    const isa::Instr& in = program_->at(pc);
+    DecodedInstr& de = entries_[pc];
+    de.instr = in;
+    de.kind = classify(in);
+    de.is_store = isa::op_info(in.op).is_store;
+    de.fn = step_fn_for(in.op);
+    de.block = block;
+    de.taken_pc = static_cast<u32>(static_cast<i32>(pc) + in.imm);
+  }
+  block_misses_.inc();
+}
+
+void DecodedBlockCache::register_with(StatSet* stats,
+                                      const std::string& prefix) {
+  if (stats == nullptr) return;
+  stats->add(prefix + ".block_hits", &block_hits_);
+  stats->add(prefix + ".block_misses", &block_misses_);
+  stats->add(prefix + ".batched_lanes", &batched_lanes_);
+}
+
+}  // namespace mlp::core

@@ -18,6 +18,152 @@ u32 as_u(float value) {
   return bits;
 }
 
+// ---- Predecoded dispatch handlers ----------------------------------------
+// One function per opcode, mirroring step()'s switch arms exactly. The
+// operand prologue (a/b/sa/sb) matches step()'s so the expressions below can
+// be byte-for-byte copies of the switch cases; handlers return the
+// fall-through/jump next pc and leave branch-target arithmetic to
+// step_decoded()'s shared epilogue.
+
+#define MLP_STEP_ARGS                                                     \
+  [[maybe_unused]] const DecodedInstr& de, [[maybe_unused]] Context& ctx, \
+      [[maybe_unused]] mem::LocalStore& local,                            \
+      [[maybe_unused]] mem::DramImage& dram,                              \
+      [[maybe_unused]] StepResult& result
+
+#define MLP_REG_OP(name, expr)                           \
+  u32 name(MLP_STEP_ARGS) {                              \
+    const isa::Instr& in = de.instr;                     \
+    [[maybe_unused]] const u32 a = ctx.reg(in.rs1);      \
+    [[maybe_unused]] const u32 b = ctx.reg(in.rs2);      \
+    [[maybe_unused]] const i32 sa = static_cast<i32>(a); \
+    [[maybe_unused]] const i32 sb = static_cast<i32>(b); \
+    ctx.set_reg(in.rd, (expr));                          \
+    return ctx.pc + 1;                                   \
+  }
+
+#define MLP_BRANCH_OP(name, expr)                        \
+  u32 name(MLP_STEP_ARGS) {                              \
+    const isa::Instr& in = de.instr;                     \
+    [[maybe_unused]] const u32 a = ctx.reg(in.rs1);      \
+    [[maybe_unused]] const u32 b = ctx.reg(in.rs2);      \
+    [[maybe_unused]] const i32 sa = static_cast<i32>(a); \
+    [[maybe_unused]] const i32 sb = static_cast<i32>(b); \
+    result.branch_taken = (expr);                        \
+    return ctx.pc + 1;                                   \
+  }
+
+MLP_REG_OP(fn_add, a + b)
+MLP_REG_OP(fn_sub, a - b)
+MLP_REG_OP(fn_mul, a * b)
+MLP_REG_OP(fn_mulh,
+           static_cast<u32>((static_cast<i64>(sa) * sb) >> 32))
+MLP_REG_OP(fn_div, sb == 0 ? 0xffffffffu : static_cast<u32>(sa / sb))
+MLP_REG_OP(fn_rem, sb == 0 ? a : static_cast<u32>(sa % sb))
+MLP_REG_OP(fn_and, a & b)
+MLP_REG_OP(fn_or, a | b)
+MLP_REG_OP(fn_xor, a ^ b)
+MLP_REG_OP(fn_sll, a << (b & 31))
+MLP_REG_OP(fn_srl, a >> (b & 31))
+MLP_REG_OP(fn_sra, static_cast<u32>(sa >> (b & 31)))
+MLP_REG_OP(fn_slt, sa < sb ? 1 : 0)
+MLP_REG_OP(fn_sltu, a < b ? 1 : 0)
+
+MLP_REG_OP(fn_fadd, as_u(as_f(a) + as_f(b)))
+MLP_REG_OP(fn_fsub, as_u(as_f(a) - as_f(b)))
+MLP_REG_OP(fn_fmul, as_u(as_f(a) * as_f(b)))
+MLP_REG_OP(fn_fdiv, as_u(as_f(a) / as_f(b)))
+MLP_REG_OP(fn_fmin, as_u(std::fmin(as_f(a), as_f(b))))
+MLP_REG_OP(fn_fmax, as_u(std::fmax(as_f(a), as_f(b))))
+MLP_REG_OP(fn_flt, as_f(a) < as_f(b) ? 1 : 0)
+MLP_REG_OP(fn_fle, as_f(a) <= as_f(b) ? 1 : 0)
+MLP_REG_OP(fn_feq, as_f(a) == as_f(b) ? 1 : 0)
+MLP_REG_OP(fn_fsqrt, as_u(std::sqrt(as_f(a))))
+MLP_REG_OP(fn_fabs, as_u(std::fabs(as_f(a))))
+MLP_REG_OP(fn_fneg, as_u(-as_f(a)))
+MLP_REG_OP(fn_fcvtws, static_cast<u32>(static_cast<i32>(as_f(a))))
+MLP_REG_OP(fn_fcvtsw, as_u(static_cast<float>(sa)))
+
+MLP_REG_OP(fn_addi, a + static_cast<u32>(in.imm))
+MLP_REG_OP(fn_andi, a & static_cast<u32>(in.imm))
+MLP_REG_OP(fn_ori, a | static_cast<u32>(in.imm))
+MLP_REG_OP(fn_xori, a ^ static_cast<u32>(in.imm))
+MLP_REG_OP(fn_slli, a << (in.imm & 31))
+MLP_REG_OP(fn_srli, a >> (in.imm & 31))
+MLP_REG_OP(fn_srai, static_cast<u32>(sa >> (in.imm & 31)))
+MLP_REG_OP(fn_slti, sa < in.imm ? 1 : 0)
+MLP_REG_OP(fn_lui, static_cast<u32>(in.imm) << 13)
+
+u32 fn_lw(MLP_STEP_ARGS) {
+  const isa::Instr& in = de.instr;
+  result.mem_addr = global_addr(ctx, in);
+  ctx.set_reg(in.rd, dram.read_u32(result.mem_addr));
+  return ctx.pc + 1;
+}
+u32 fn_sw(MLP_STEP_ARGS) {
+  const isa::Instr& in = de.instr;
+  result.mem_addr = global_addr(ctx, in);
+  dram.write_u32(result.mem_addr, ctx.reg(in.rs2));
+  return ctx.pc + 1;
+}
+u32 fn_lwl(MLP_STEP_ARGS) {
+  const isa::Instr& in = de.instr;
+  ctx.set_reg(in.rd, local.load(ctx.reg(in.rs1) + static_cast<u32>(in.imm)));
+  return ctx.pc + 1;
+}
+u32 fn_swl(MLP_STEP_ARGS) {
+  const isa::Instr& in = de.instr;
+  local.store(ctx.reg(in.rs1) + static_cast<u32>(in.imm), ctx.reg(in.rs2));
+  return ctx.pc + 1;
+}
+u32 fn_amoaddl(MLP_STEP_ARGS) {
+  const isa::Instr& in = de.instr;
+  ctx.set_reg(in.rd, local.amoadd(ctx.reg(in.rs1) + static_cast<u32>(in.imm),
+                                  ctx.reg(in.rs2)));
+  return ctx.pc + 1;
+}
+u32 fn_famoaddl(MLP_STEP_ARGS) {
+  const isa::Instr& in = de.instr;
+  ctx.set_reg(in.rd, local.famoadd(ctx.reg(in.rs1) + static_cast<u32>(in.imm),
+                                   ctx.reg(in.rs2)));
+  return ctx.pc + 1;
+}
+
+MLP_BRANCH_OP(fn_beq, a == b)
+MLP_BRANCH_OP(fn_bne, a != b)
+MLP_BRANCH_OP(fn_blt, sa < sb)
+MLP_BRANCH_OP(fn_bge, sa >= sb)
+MLP_BRANCH_OP(fn_bltu, a < b)
+MLP_BRANCH_OP(fn_bgeu, a >= b)
+
+u32 fn_jal(MLP_STEP_ARGS) {
+  const isa::Instr& in = de.instr;
+  ctx.set_reg(in.rd, ctx.pc + 1);
+  return static_cast<u32>(static_cast<i32>(ctx.pc) + in.imm);
+}
+u32 fn_jalr(MLP_STEP_ARGS) {
+  const isa::Instr& in = de.instr;
+  const u32 target = ctx.reg(in.rs1) + static_cast<u32>(in.imm);
+  ctx.set_reg(in.rd, ctx.pc + 1);
+  return target;
+}
+u32 fn_csrr(MLP_STEP_ARGS) {
+  const isa::Instr& in = de.instr;
+  ctx.set_reg(in.rd, ctx.csr.values[static_cast<u32>(in.imm)]);
+  return ctx.pc + 1;
+}
+u32 fn_halt(MLP_STEP_ARGS) {
+  ctx.state = Context::State::kHalted;
+  return ctx.pc;
+}
+u32 fn_bar(MLP_STEP_ARGS) {
+  return ctx.pc + 1;  // synchronization is the timing model's job
+}
+
+#undef MLP_BRANCH_OP
+#undef MLP_REG_OP
+#undef MLP_STEP_ARGS
+
 }  // namespace
 
 StepKind classify(const isa::Instr& in) {
@@ -171,6 +317,69 @@ StepResult step(Context& ctx, const isa::Program& program,
   }
   if (ctx.state != Context::State::kHalted) ctx.pc = next_pc;
   return result;
+}
+
+StepFn step_fn_for(isa::Opcode op) {
+  using isa::Opcode;
+  switch (op) {
+    case Opcode::kAdd: return fn_add;
+    case Opcode::kSub: return fn_sub;
+    case Opcode::kMul: return fn_mul;
+    case Opcode::kMulh: return fn_mulh;
+    case Opcode::kDiv: return fn_div;
+    case Opcode::kRem: return fn_rem;
+    case Opcode::kAnd: return fn_and;
+    case Opcode::kOr: return fn_or;
+    case Opcode::kXor: return fn_xor;
+    case Opcode::kSll: return fn_sll;
+    case Opcode::kSrl: return fn_srl;
+    case Opcode::kSra: return fn_sra;
+    case Opcode::kSlt: return fn_slt;
+    case Opcode::kSltu: return fn_sltu;
+    case Opcode::kFadd: return fn_fadd;
+    case Opcode::kFsub: return fn_fsub;
+    case Opcode::kFmul: return fn_fmul;
+    case Opcode::kFdiv: return fn_fdiv;
+    case Opcode::kFmin: return fn_fmin;
+    case Opcode::kFmax: return fn_fmax;
+    case Opcode::kFlt: return fn_flt;
+    case Opcode::kFle: return fn_fle;
+    case Opcode::kFeq: return fn_feq;
+    case Opcode::kFsqrt: return fn_fsqrt;
+    case Opcode::kFabs: return fn_fabs;
+    case Opcode::kFneg: return fn_fneg;
+    case Opcode::kFcvtWs: return fn_fcvtws;
+    case Opcode::kFcvtSw: return fn_fcvtsw;
+    case Opcode::kAddi: return fn_addi;
+    case Opcode::kAndi: return fn_andi;
+    case Opcode::kOri: return fn_ori;
+    case Opcode::kXori: return fn_xori;
+    case Opcode::kSlli: return fn_slli;
+    case Opcode::kSrli: return fn_srli;
+    case Opcode::kSrai: return fn_srai;
+    case Opcode::kSlti: return fn_slti;
+    case Opcode::kLui: return fn_lui;
+    case Opcode::kLw: return fn_lw;
+    case Opcode::kSw: return fn_sw;
+    case Opcode::kLwl: return fn_lwl;
+    case Opcode::kSwl: return fn_swl;
+    case Opcode::kAmoaddl: return fn_amoaddl;
+    case Opcode::kFamoaddl: return fn_famoaddl;
+    case Opcode::kBeq: return fn_beq;
+    case Opcode::kBne: return fn_bne;
+    case Opcode::kBlt: return fn_blt;
+    case Opcode::kBge: return fn_bge;
+    case Opcode::kBltu: return fn_bltu;
+    case Opcode::kBgeu: return fn_bgeu;
+    case Opcode::kJal: return fn_jal;
+    case Opcode::kJalr: return fn_jalr;
+    case Opcode::kCsrr: return fn_csrr;
+    case Opcode::kHalt: return fn_halt;
+    case Opcode::kBar: return fn_bar;
+    case Opcode::kCount_: break;
+  }
+  MLP_CHECK(false, "invalid opcode");
+  return nullptr;
 }
 
 }  // namespace mlp::core

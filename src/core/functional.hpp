@@ -43,4 +43,45 @@ Addr global_addr(const Context& ctx, const isa::Instr& instr);
 StepResult step(Context& ctx, const isa::Program& program,
                 mem::LocalStore& local, mem::DramImage& dram);
 
+struct DecodedInstr;
+
+/// Per-opcode execute handler of the predecoded fast path (indirect threaded
+/// dispatch). Commits the instruction's architectural effects and returns the
+/// fall-through/jump next pc; branch targets are applied by step_decoded()
+/// from `result.branch_taken`, exactly like step()'s epilogue.
+using StepFn = u32 (*)(const DecodedInstr& de, Context& ctx,
+                       mem::LocalStore& local, mem::DramImage& dram,
+                       StepResult& result);
+
+/// One predecoded instruction: the raw Instr plus everything the per-edge
+/// hot path would otherwise recompute (classification, local-store
+/// direction, execute handler, branch-taken target, owning basic block).
+/// Produced by DecodedBlockCache; `fn == nullptr` marks a slot whose block
+/// has not been decoded yet.
+struct DecodedInstr {
+  isa::Instr instr;
+  StepKind kind = StepKind::kAlu;
+  bool is_store = false;  ///< op_info(instr.op).is_store, for local accesses
+  StepFn fn = nullptr;
+  u32 block = 0;     ///< CFG basic-block id of this pc
+  u32 taken_pc = 0;  ///< pc + imm: branch target if result.branch_taken
+};
+
+/// Execute handler for `op`; aborts on kCount_ (never a real instruction).
+StepFn step_fn_for(isa::Opcode op);
+
+/// step() over a predecoded instruction: bit-identical architectural effects
+/// and StepResult, minus the per-edge fetch/classify. `de` must be the
+/// decoding of program.at(ctx.pc).
+inline StepResult step_decoded(const DecodedInstr& de, Context& ctx,
+                               mem::LocalStore& local, mem::DramImage& dram) {
+  StepResult result;
+  result.kind = de.kind;
+  ++ctx.instret;
+  u32 next_pc = de.fn(de, ctx, local, dram, result);
+  if (result.branch_taken) next_pc = de.taken_pc;
+  if (ctx.state != Context::State::kHalted) ctx.pc = next_pc;
+  return result;
+}
+
 }  // namespace mlp::core

@@ -155,10 +155,20 @@ void StreamingMultiprocessor::issue(Warp& warp, u32 group, Picos now,
                                     Picos period_ps) {
   const u32 pc = warp.stack.pc();
   const LaneMask mask = warp.stack.active_mask();
-  const isa::Instr& instr = deps_.program->at(pc);
-  const core::StepKind kind = core::classify(instr);
+  // Decode accounting is unconditional (counters stay bit-identical with
+  // --no-block-cache); the predecoded dispatch below is what the flag gates.
+  const core::DecodedInstr* de =
+      deps_.dcache != nullptr ? &deps_.dcache->entry(pc) : nullptr;
+  const bool fast = de != nullptr && deps_.dcache->dispatch_enabled();
+  const isa::Instr& instr = fast ? de->instr : deps_.program->at(pc);
+  const core::StepKind kind = fast ? de->kind : core::classify(instr);
 
   const u64 active_lanes = static_cast<u64>(std::popcount(mask));
+  if (deps_.dcache != nullptr && active_lanes > 0) {
+    // SIMT convergence batching: the extra active lanes of this warp all
+    // execute the one decoded instruction fetched above.
+    deps_.dcache->note_batched(active_lanes - 1);
+  }
   deps_.stats->warp_instructions.inc();
   deps_.stats->thread_instructions.inc(active_lanes);
   deps_.stats->inactive_lane_slots.inc(warp_width_ - active_lanes);
@@ -179,8 +189,9 @@ void StreamingMultiprocessor::issue(Warp& warp, u32 group, Picos now,
   auto step_lane = [&](u32 l) -> core::StepResult {
     core::Context& ctx = warp.lanes[l];
     ctx.pc = pc;
-    return core::step(ctx, *deps_.program,
-                      (*deps_.lane_state)[lane_id(group, l)], *deps_.dram);
+    mem::LocalStore& state = (*deps_.lane_state)[lane_id(group, l)];
+    return fast ? core::step_decoded(*de, ctx, state, *deps_.dram)
+                : core::step(ctx, *deps_.program, state, *deps_.dram);
   };
 
   switch (kind) {

@@ -18,6 +18,7 @@
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "core/decode_cache.hpp"
 #include "core/functional.hpp"
 #include "gpgpu/simt_stack.hpp"
 #include "isa/cfg.hpp"
@@ -71,6 +72,7 @@ class StreamingMultiprocessor : public sim::Tickable {
     const mem::SharedMemBanking* banking = nullptr;
     SmStats* stats = nullptr;
     trace::TraceSession* trace = nullptr;
+    core::DecodedBlockCache* dcache = nullptr;  ///< optional fast path
   };
 
   StreamingMultiprocessor(const MachineConfig& cfg, u32 warp_width, Deps deps);

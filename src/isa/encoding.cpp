@@ -1,5 +1,7 @@
 #include "isa/encoding.hpp"
 
+#include "common/error.hpp"
+
 namespace mlp::isa {
 namespace {
 
@@ -84,7 +86,7 @@ u32 encode(const Instr& in) {
 
 Instr decode(u32 word) {
   const u32 opbyte = extract(word, 24, 8);
-  MLP_CHECK(opbyte < kNumOpcodes, "invalid opcode byte");
+  MLP_SIM_CHECK(opbyte < kNumOpcodes, "decode", "invalid opcode byte");
   Instr in;
   in.op = static_cast<Opcode>(opbyte);
   switch (op_info(in.op).format) {
@@ -106,6 +108,8 @@ Instr decode(u32 word) {
     case Format::kC:
       in.rd = static_cast<u8>(extract(word, 19, 5));
       in.imm = static_cast<i32>(extract(word, 0, 14));
+      MLP_SIM_CHECK(in.imm < static_cast<i32>(kNumCsrs), "decode",
+                    "csr index out of range");
       break;
     case Format::kU:
       in.rd = static_cast<u8>(extract(word, 19, 5));

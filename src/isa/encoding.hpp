@@ -26,7 +26,9 @@ namespace mlp::isa {
 /// (the assembler validates ranges first and reports source locations).
 u32 encode(const Instr& instr);
 
-/// Decodes one word. Aborts on an invalid opcode byte.
+/// Decodes one word. Malformed encodings (unknown opcode byte, csr index
+/// past kNumCsrs) throw SimError("decode", ...) — recoverable, never an
+/// abort, so corrupt binaries fail one job instead of the whole process.
 Instr decode(u32 word);
 
 /// True if `imm` fits the immediate field of `op`'s format.

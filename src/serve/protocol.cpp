@@ -322,6 +322,8 @@ std::string job_json(const JobSpec& spec) {
   w.value(o.cfg.watchdog.wall_ms);
   w.key("fast_forward");
   w.value(o.cfg.fast_forward);
+  w.key("block_cache");
+  w.value(o.cfg.block_cache);
   w.key("trace");
   w.value(o.trace.chrome_json);
   w.key("trace_dir");
@@ -344,6 +346,7 @@ JobSpec job_from_json(const trace::JsonValue& doc) {
       "pf_entries",  "bus_efficiency", "slab_layout",    "fault_rate",
       "fault_delay", "fault_drop",     "fault_seed",     "ecc",
       "watchdog_cycles", "watchdog_stall", "watchdog_wall", "fast_forward",
+      "block_cache",
       "trace",       "trace_dir",      "trace_ring",     "trace_interval",
       "hold_ms",
   };
@@ -416,6 +419,7 @@ JobSpec job_from_json(const trace::JsonValue& doc) {
   o.cfg.watchdog.wall_ms =
       member_u64(doc, "watchdog_wall", o.cfg.watchdog.wall_ms);
   o.cfg.fast_forward = member_bool(doc, "fast_forward", true);
+  o.cfg.block_cache = member_bool(doc, "block_cache", true);
 
   o.trace.chrome_json = member_bool(doc, "trace", false);
   o.trace.dir = member_string(doc, "trace_dir", o.trace.dir);

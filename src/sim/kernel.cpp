@@ -67,6 +67,7 @@ Picos SimulationKernel::run(const std::function<bool()>& done) {
     if (compute_.next_edge_ps() <= channel_.next_edge_ps()) {
       now_ = compute_.next_edge_ps();
       const Picos period = compute_.period_ps();
+      if (compute_edge_hook_) compute_edge_hook_();
       for (Tickable* unit : compute_units_) unit->tick(now_, period);
       if (trace_ != nullptr) trace_->tick_compute(compute_.ticks(), now_);
       compute_.advance();

@@ -61,6 +61,15 @@ class SimulationKernel {
     progress_ = std::move(progress);
   }
 
+  /// Optional hook invoked once per PROCESSED compute edge, before the
+  /// compute units tick (the decoded-block cache resets its convergence
+  /// memo here). Fast-forwarded edges skip it by construction: a skipped
+  /// edge issues nothing, so a memo reset there would be a no-op — which is
+  /// why decode counters stay bit-identical across fast-forward modes.
+  void set_compute_edge_hook(std::function<void()> hook) {
+    compute_edge_hook_ = std::move(hook);
+  }
+
   /// One-stop trace registration reproducing the pre-kernel per-arch layout:
   /// begin_run(process_name, stats), then `name_tracks` (per-context or
   /// per-warp tracks), the DRAM bank tracks, `arch_hook` (arch-specific
@@ -100,6 +109,7 @@ class SimulationKernel {
   std::vector<Tickable*> channel_units_;
   std::function<std::string()> dump_;
   std::function<u64()> progress_;
+  std::function<void()> compute_edge_hook_;
 
   Picos now_ = 0;
   /// Consecutive edges with an unchanged progress signature; a scan only

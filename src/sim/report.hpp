@@ -13,8 +13,12 @@
 namespace mlp::sim {
 
 /// Version stamp embedded in the stats-JSON document; bump when the schema
-/// shape changes so downstream parsers can fail loudly.
-inline constexpr u32 kStatsJsonSchemaVersion = 1;
+/// shape changes so downstream parsers can fail loudly. History:
+///  1  initial schema;
+///  2  decode.block_hits / decode.block_misses / decode.batched_lanes
+///     counters joined every run's counter map (docs/ARCHITECTURE.md,
+///     "Interpreter fast path").
+inline constexpr u32 kStatsJsonSchemaVersion = 2;
 
 /// Header line (with trailing '\n') for the sweep CSV. The final column is
 /// `error`: empty for successful points, the sanitized error message for

@@ -63,6 +63,9 @@ void usage() {
                     deltas) every N compute cycles into a CSV timeline
   --no-fast-forward disable the kernel's idle-cycle fast-forward and step
                     every clock edge (bit-identical results; debugging aid)
+  --no-block-cache  disable the decoded-basic-block interpreter fast path
+                    and re-decode every issued instruction (bit-identical
+                    results; A/B equivalence checks)
   --list            list architectures and benchmarks
   --list-arches     list architectures only, one per line
   --version         print the toolchain version
@@ -160,6 +163,8 @@ int main(int argc, char** argv) {
       options.record_barrier = true;
     } else if (arg == "--no-fast-forward") {
       options.cfg.fast_forward = false;
+    } else if (arg == "--no-block-cache") {
+      options.cfg.block_cache = false;
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--stats") {

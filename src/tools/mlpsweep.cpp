@@ -44,6 +44,9 @@ Execution:
   --jobs N              concurrent simulations   (default: all hw threads)
   --no-fast-forward     step every clock edge instead of fast-forwarding
                         idle gaps (bit-identical output; equivalence checks)
+  --no-block-cache      re-decode every issued instruction instead of
+                        dispatching over the decoded-basic-block cache
+                        (bit-identical output; equivalence checks)
   --server ADDR[,...]   run the grid on mlpserved daemon(s) instead of
                         in-process (same output bytes, warm caches persist
                         across sweeps). ADDR is a Unix socket path or
@@ -167,6 +170,7 @@ int main(int argc, char** argv) {
   u32 jobs = 0;
   bool stats_json = false;
   bool fast_forward = true;
+  bool block_cache = true;
   bool fleet_stats = false;
   std::vector<std::string> servers;
   serve::ShardOptions shard_options;
@@ -185,6 +189,8 @@ int main(int argc, char** argv) {
       stats_json = true;
     } else if (args.is("--no-fast-forward")) {
       fast_forward = false;
+    } else if (args.is("--no-block-cache")) {
+      block_cache = false;
     } else if (args.is("--server")) {
       for (const std::string& addr :
            tools::split_list(args.flag(), args.value())) {
@@ -218,6 +224,9 @@ int main(int argc, char** argv) {
   std::vector<sim::MatrixJob> matrix = grid.expand();
   if (!fast_forward) {
     for (sim::MatrixJob& job : matrix) job.options.cfg.fast_forward = false;
+  }
+  if (!block_cache) {
+    for (sim::MatrixJob& job : matrix) job.options.cfg.block_cache = false;
   }
 
   if (!servers.empty()) {

@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "isa/assembler.hpp"
 #include "isa/cfg.hpp"
+#include "workloads/bmla.hpp"
 
 namespace mlp::isa {
 namespace {
@@ -124,6 +128,93 @@ b_else:
   ReconvergenceTable table = ReconvergenceTable::build(p);
   EXPECT_EQ(table.at(0), p.label("a_else"));
   EXPECT_EQ(table.at(2), p.label("b_else"));
+}
+
+// --- Block-boundary property test over every real kernel binary. The
+// --- decoded-block cache decodes whole blocks on first touch, so these
+// --- invariants are exactly what makes that sound: control only ever
+// --- enters a block at .first and only ever leaves from .last.
+
+TEST(CfgProperty, BmlaBinariesHaveWellFormedBlocks) {
+  for (const std::string& name : workloads::bmla_names()) {
+    const workloads::Workload wl =
+        workloads::make_bmla(name, workloads::WorkloadParams{});
+    const Program& p = wl.program;
+    const Cfg cfg = Cfg::build(p);
+    const auto& blocks = cfg.blocks();
+    ASSERT_FALSE(blocks.empty()) << name;
+
+    // Blocks partition [0, size): every pc belongs to exactly the block
+    // that spans it, and spans are well-ordered.
+    std::vector<bool> covered(p.size(), false);
+    for (u32 b = 0; b < blocks.size(); ++b) {
+      const BasicBlock& bb = blocks[b];
+      ASSERT_LE(bb.first, bb.last) << name << " block " << b;
+      ASSERT_LT(bb.last, p.size()) << name << " block " << b;
+      for (u32 pc = bb.first; pc <= bb.last; ++pc) {
+        EXPECT_FALSE(covered[pc])
+            << name << ": pc " << pc << " in two blocks";
+        covered[pc] = true;
+        EXPECT_EQ(cfg.block_of(pc), b) << name << ": pc " << pc;
+      }
+    }
+    EXPECT_TRUE(std::all_of(covered.begin(), covered.end(),
+                            [](bool c) { return c; }))
+        << name << ": pcs not covered by any block";
+
+    for (u32 b = 0; b < blocks.size(); ++b) {
+      const BasicBlock& bb = blocks[b];
+      // Terminator-only exits: no branch/jump/halt strictly inside.
+      for (u32 pc = bb.first; pc < bb.last; ++pc) {
+        const OpInfo& info = op_info(p.at(pc).op);
+        EXPECT_FALSE(info.is_branch || info.is_jump ||
+                     p.at(pc).op == Opcode::kHalt)
+            << name << ": control transfer at pc " << pc
+            << " strictly inside block " << b;
+      }
+      // Successor ids are real blocks or the virtual exit.
+      for (u32 succ : bb.succs) {
+        EXPECT_TRUE(succ == Cfg::kExitBlock || succ < blocks.size())
+            << name << " block " << b;
+      }
+      // The terminator's targets appear among the successors.
+      const Instr& term = p.at(bb.last);
+      const OpInfo& info = op_info(term.op);
+      const auto has_succ = [&](u32 id) {
+        return std::find(bb.succs.begin(), bb.succs.end(), id) !=
+               bb.succs.end();
+      };
+      if (info.is_branch) {
+        const u32 target =
+            static_cast<u32>(static_cast<i32>(bb.last) + term.imm);
+        EXPECT_TRUE(has_succ(cfg.block_of(target)))
+            << name << " block " << b << ": branch target missing";
+        if (bb.last + 1 < p.size()) {
+          EXPECT_TRUE(has_succ(cfg.block_of(bb.last + 1)))
+              << name << " block " << b << ": fallthrough missing";
+        }
+      } else if (term.op == Opcode::kJal) {
+        const u32 target =
+            static_cast<u32>(static_cast<i32>(bb.last) + term.imm);
+        EXPECT_TRUE(has_succ(cfg.block_of(target)))
+            << name << " block " << b << ": jal target missing";
+      } else if (term.op == Opcode::kHalt || term.op == Opcode::kJalr) {
+        EXPECT_TRUE(has_succ(Cfg::kExitBlock)) << name << " block " << b;
+      }
+    }
+
+    // Single entry: every branch/jal target in the program lands on a
+    // block's first instruction, never mid-block.
+    for (u32 pc = 0; pc < p.size(); ++pc) {
+      const Instr& in = p.at(pc);
+      const OpInfo& info = op_info(in.op);
+      if (!info.is_branch && in.op != Opcode::kJal) continue;
+      const u32 target = static_cast<u32>(static_cast<i32>(pc) + in.imm);
+      ASSERT_LT(target, p.size()) << name << ": pc " << pc;
+      EXPECT_EQ(blocks[cfg.block_of(target)].first, target)
+          << name << ": pc " << pc << " jumps into the middle of a block";
+    }
+  }
 }
 
 }  // namespace

@@ -125,7 +125,9 @@ std::string diff_counters(const std::map<std::string, u64>& golden,
 
 /// The whole 4x8 matrix in one parallel batch (each point is an isolated
 /// deterministic simulation, so the pool only changes wall-clock time).
-std::vector<sim::MatrixResult> run_golden_matrix() {
+/// `block_cache` false re-runs the matrix on the legacy per-edge decode
+/// path; the SAME goldens pin both interpreter modes.
+std::vector<sim::MatrixResult> run_golden_matrix(bool block_cache = true) {
   std::vector<sim::MatrixJob> jobs;
   for (const ArchCase& arch_case : kArchCases) {
     for (const std::string& bench : workloads::bmla_names()) {
@@ -135,6 +137,7 @@ std::vector<sim::MatrixResult> run_golden_matrix() {
       job.tag = arch_case.name;  // carries the golden file stem's arch part
       job.options.rows = kGoldenRows;
       job.options.seed = kGoldenSeed;
+      job.options.cfg.block_cache = block_cache;
       jobs.push_back(job);
     }
   }
@@ -169,6 +172,34 @@ TEST(GoldenStats, FullMatrixMatchesSnapshots) {
   if (updated) {
     GTEST_SKIP() << "golden snapshots regenerated; rerun without "
                     "UPDATE_GOLDEN to verify";
+  }
+}
+
+TEST(GoldenStats, NoBlockCachePathMatchesSameSnapshots) {
+  // The decoded-block cache is a simulator-speed optimization: with it
+  // disabled (the --no-block-cache escape hatch) every counter must hit the
+  // SAME goldens, decode.* accounting included. Update mode only writes from
+  // the cache-on matrix above, so this pass pins cache-off against it.
+  if (update_mode()) {
+    GTEST_SKIP() << "goldens regenerate from the cache-on matrix only";
+  }
+  const std::vector<sim::MatrixResult> results =
+      run_golden_matrix(/*block_cache=*/false);
+  ASSERT_EQ(results.size(), 32u);
+  for (const sim::MatrixResult& run : results) {
+    const std::string& arch = run.job.tag;
+    const std::string& bench = run.job.bench;
+    ASSERT_TRUE(run.ok()) << arch << "/" << bench << ": " << run.error;
+    const std::map<std::string, u64> measured(run.result.stats.begin(),
+                                              run.result.stats.end());
+    const std::map<std::string, u64> golden =
+        load_golden(golden_path(arch, bench));
+    if (golden.empty()) continue;  // load already reported the failure
+    const std::string diff = diff_counters(golden, measured);
+    EXPECT_TRUE(diff.empty())
+        << arch << "/" << bench
+        << " with --no-block-cache drifted from the shared golden:\n"
+        << diff;
   }
 }
 
