@@ -1,8 +1,8 @@
 // service_bench — concurrency/latency load harness for the mlpserved
 // protocol: hammers one daemon with many concurrent client connections
 // running a deterministic mixed request script (submit, status poll,
-// result-wait, cancel) and reports throughput plus per-request latency
-// percentiles. By default the daemon runs in-process on an ephemeral TCP
+// result-wait, cancel, snapshot/restore) and reports throughput plus
+// per-request latency percentiles. By default the daemon runs in-process on an ephemeral TCP
 // port so one binary is the whole benchmark; --connect targets an external
 // daemon (any transport) instead.
 //
@@ -60,6 +60,8 @@ struct Tallies {
   u64 cancels_job_done = 0;  ///< cancels of finished jobs (typed job-done)
   u64 pings = 0;
   u64 statuses = 0;
+  u64 snapshots_captured = 0;  ///< snapshot verbs that captured a blob
+  u64 restores_done = 0;       ///< restore verbs that finished from a blob
 
   void add(const Tallies& other) {
     requests += other.requests;
@@ -68,6 +70,8 @@ struct Tallies {
     cancels_job_done += other.cancels_job_done;
     pings += other.pings;
     statuses += other.statuses;
+    snapshots_captured += other.snapshots_captured;
+    restores_done += other.restores_done;
   }
 };
 
@@ -90,7 +94,7 @@ sim::MatrixJob bench_job(const Options& opt) {
 }
 
 /// One client's deterministic script: `rounds` rounds, each a small request
-/// burst chosen by (client + round) % 4. Every submitted job's result is
+/// burst chosen by (client + round) % 5. Every submitted job's result is
 /// fetched with wait=true before the next round, so a client holds at most
 /// one admission slot and a queue-full rejection always resolves by retry.
 Tallies run_client(const Options& opt, const std::string& address, u32 client,
@@ -138,7 +142,7 @@ Tallies run_client(const Options& opt, const std::string& address, u32 client,
   };
 
   for (u32 round = 0; round < opt.rounds; ++round) {
-    switch ((client + round) % 4) {
+    switch ((client + round) % 5) {
       case 0:
       case 1: {  // the common path: submit, then block on the result
         fetch_done(submit_admitted());
@@ -154,6 +158,20 @@ Tallies run_client(const Options& opt, const std::string& address, u32 client,
         fetch_done(id);
         const serve::Response r = timed([&] { return c.cancel(id); });
         if (!r.ok && r.error == serve::kErrJobDone) ++t.cancels_job_done;
+        break;
+      }
+      case 4: {  // protocol v2 path: capture at cycle 1 (always quiescent
+                 // before the first edge, so the capture is deterministic),
+                 // then finish the same job from the cached warm blob
+        const serve::JobSpec spec{bench_job(opt), 0};
+        const serve::Response s = timed([&] { return c.snapshot(spec, 1); });
+        const trace::JsonValue* captured = s.doc.find("captured");
+        if (s.ok && captured != nullptr && captured->boolean) {
+          ++t.snapshots_captured;
+        }
+        const serve::Response r = timed([&] { return c.restore(spec, 1); });
+        const trace::JsonValue* run_ok = r.doc.find("run_ok");
+        if (r.ok && run_ok != nullptr && run_ok->boolean) ++t.restores_done;
         break;
       }
     }
@@ -218,6 +236,10 @@ void print_json(const Options& opt, const Tallies& t, double wall_ms,
   w.value(t.pings);
   w.key("statuses");
   w.value(t.statuses);
+  w.key("snapshots_captured");
+  w.value(t.snapshots_captured);
+  w.key("restores_done");
+  w.value(t.restores_done);
   w.end_object();
   w.key("metrics");
   w.begin_object();
@@ -379,10 +401,11 @@ int main(int argc, char** argv) {
     return 0;
   }
   std::printf("profile,clients,rounds,requests,submits,results_done,"
-              "cancels_job_done,pings,statuses,wall_ms,p50_ms,p99_ms,"
+              "cancels_job_done,pings,statuses,snapshots_captured,"
+              "restores_done,wall_ms,p50_ms,p99_ms,"
               "jobs_per_sec,requests_per_sec\n");
-  std::printf("%s,%u,%u,%llu,%llu,%llu,%llu,%llu,%llu,%.1f,%.2f,%.2f,%.1f,"
-              "%.1f\n",
+  std::printf("%s,%u,%u,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.1f,%.2f,"
+              "%.2f,%.1f,%.1f\n",
               opt.profile.c_str(), opt.clients, opt.rounds,
               static_cast<unsigned long long>(total.requests),
               static_cast<unsigned long long>(total.submits),
@@ -390,6 +413,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total.cancels_job_done),
               static_cast<unsigned long long>(total.pings),
               static_cast<unsigned long long>(total.statuses),
+              static_cast<unsigned long long>(total.snapshots_captured),
+              static_cast<unsigned long long>(total.restores_done),
               wall_ms, p50, p99, jobs_per_sec, requests_per_sec);
   return 0;
 }

@@ -6,6 +6,7 @@ Usage:
   check_trace.py --stats-json FILE
   check_trace.py --interval-csv FILE
   check_trace.py --service-response FILE [--expect-cache-hits N]
+  check_trace.py --snapshot FILE
 
 Checks (stdlib only, no dependencies):
   Chrome trace: document parses, has displayTimeUnit + traceEvents, event
@@ -23,6 +24,12 @@ Checks (stdlib only, no dependencies):
   stats run object consistent with the stats-JSON run schema, and status
   responses carry the cache counter block (--expect-cache-hits asserts a
   minimum observed hits value across them).
+  Snapshot: an MLPSNAP checkpoint blob (mlpsim --checkpoint-out): magic +
+  version header, a well-formed section table (every section's length
+  inside the blob, no duplicate ids, meta first, stats last), a fully
+  consumed meta section with a non-empty arch label and a nonzero capture
+  cycle, and — when the DRAM delta section is present — strictly ordered,
+  disjoint, in-bounds delta runs that sum to the section's payload.
 
 Exit status 0 on success; prints the first violation and exits 1 otherwise.
 """
@@ -201,6 +208,130 @@ def check_service_response(path, expect_cache_hits):
           f"{results} result(s), cache_hits={max_cache_hits}")
 
 
+# MLPSNAP constants (mirrors src/sim/snapshot.hpp).
+SNAPSHOT_MAGIC = b"MLPSNAP\x00"
+SNAPSHOT_VERSION = 1
+SEC_META = 1
+SEC_DRAM_DELTA = 3
+SEC_STATS = 5
+
+
+class SnapshotCursor:
+    """Bounded little-endian reader over one section's payload."""
+
+    def __init__(self, path, what, payload):
+        self.path = path
+        self.what = what
+        self.buf = payload
+        self.pos = 0
+
+    def take(self, n):
+        if len(self.buf) - self.pos < n:
+            fail(f"{self.path}: truncated {self.what} section")
+        out = self.buf[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+    def u32(self):
+        return int.from_bytes(self.take(4), "little")
+
+    def u64(self):
+        return int.from_bytes(self.take(8), "little")
+
+    def string(self):
+        return self.take(self.u64()).decode("utf-8", errors="replace")
+
+    def done(self):
+        return self.pos == len(self.buf)
+
+
+def check_snapshot(path):
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    if len(blob) < len(SNAPSHOT_MAGIC) + 4:
+        fail(f"{path}: blob shorter than its header")
+    if blob[:len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
+        fail(f"{path}: bad magic (not an MLPSNAP blob)")
+    version = int.from_bytes(blob[8:12], "little")
+    if version != SNAPSHOT_VERSION:
+        fail(f"{path}: unsupported snapshot version {version}")
+
+    # Section table: (u32 id, u64 length, payload), every length in bounds.
+    sections = []
+    pos = 12
+    while pos < len(blob):
+        if len(blob) - pos < 12:
+            fail(f"{path}: truncated section header at offset {pos}")
+        sec_id = int.from_bytes(blob[pos:pos + 4], "little")
+        length = int.from_bytes(blob[pos + 4:pos + 12], "little")
+        pos += 12
+        if len(blob) - pos < length:
+            fail(f"{path}: section {sec_id} length {length} exceeds the blob")
+        sections.append((sec_id, blob[pos:pos + length]))
+        pos += length
+    if not sections:
+        fail(f"{path}: no sections (a captured snapshot is never empty)")
+    ids = [sec_id for sec_id, _ in sections]
+    if len(ids) != len(set(ids)):
+        fail(f"{path}: duplicate section ids {sorted(ids)}")
+    if ids[0] != SEC_META:
+        fail(f"{path}: first section has id {ids[0]}, not meta")
+    if ids[-1] != SEC_STATS:
+        fail(f"{path}: last section has id {ids[-1]}, not stats")
+
+    meta = SnapshotCursor(path, "meta", sections[0][1])
+    meta_version = meta.u32()
+    cycle = meta.u64()
+    meta.u64()  # now_ps
+    arch_label = meta.string()
+    meta.u32()  # warp_width
+    image_bytes = meta.u64()
+    meta.u64()  # fault_sequence
+    if not meta.done():
+        fail(f"{path}: meta section has {len(meta.buf) - meta.pos} "
+             f"trailing byte(s)")
+    if meta_version != SNAPSHOT_VERSION:
+        fail(f"{path}: meta version {meta_version} != header {version}")
+    if not arch_label:
+        fail(f"{path}: meta arch label is empty")
+    if cycle == 0:
+        fail(f"{path}: capture cycle is 0 (captures happen at a quiescent "
+             f"cycle >= 1)")
+
+    delta_runs = 0
+    delta_bytes = 0
+    for sec_id, payload in sections[1:]:
+        if sec_id != SEC_DRAM_DELTA:
+            continue
+        delta = SnapshotCursor(path, "dram-delta", payload)
+        n = delta.u64()
+        if n != image_bytes:
+            fail(f"{path}: delta image size {n} != meta image_bytes "
+                 f"{image_bytes}")
+        delta_runs = delta.u64()
+        prev_end = 0
+        for k in range(delta_runs):
+            offset = delta.u64()
+            length = delta.u64()
+            if length == 0:
+                fail(f"{path}: delta run {k} is empty")
+            if offset < prev_end:
+                fail(f"{path}: delta run {k} at {offset} overlaps or "
+                     f"reorders the previous run ending at {prev_end}")
+            if offset > n or n - offset < length:
+                fail(f"{path}: delta run {k} [{offset}, {offset + length}) "
+                     f"out of bounds (image is {n} bytes)")
+            delta.take(length)
+            delta_bytes += length
+            prev_end = offset + length
+        if not delta.done():
+            fail(f"{path}: dram-delta section has "
+                 f"{len(delta.buf) - delta.pos} trailing byte(s)")
+    print(f"check_trace: OK {path}: {len(sections)} section(s), "
+          f"arch={arch_label}, cycle={cycle}, delta={delta_runs} run(s)/"
+          f"{delta_bytes} byte(s)")
+
+
 def check_interval_csv(path):
     with open(path, "r", encoding="utf-8") as fh:
         lines = [line.rstrip("\n") for line in fh if line.strip()]
@@ -231,6 +362,7 @@ def main():
     parser.add_argument("--stats-json", action="append", default=[])
     parser.add_argument("--interval-csv", action="append", default=[])
     parser.add_argument("--service-response", action="append", default=[])
+    parser.add_argument("--snapshot", action="append", default=[])
     parser.add_argument("--require-kinds", default="",
                         help="comma-separated event names that must appear "
                              "in every --chrome-trace file")
@@ -240,7 +372,7 @@ def main():
                              "report")
     args = parser.parse_args()
     if not (args.chrome_trace or args.stats_json or args.interval_csv
-            or args.service_response):
+            or args.service_response or args.snapshot):
         parser.error("nothing to check")
     kinds = [k for k in args.require_kinds.split(",") if k]
     for path in args.chrome_trace:
@@ -251,6 +383,8 @@ def main():
         check_interval_csv(path)
     for path in args.service_response:
         check_service_response(path, args.expect_cache_hits)
+    for path in args.snapshot:
+        check_snapshot(path)
 
 
 if __name__ == "__main__":

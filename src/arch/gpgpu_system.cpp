@@ -11,6 +11,7 @@
 #include "arch/system.hpp"
 
 #include <memory>
+#include <optional>
 #include "common/error.hpp"
 #include "core/decode_cache.hpp"
 #include "gpgpu/sm.hpp"
@@ -119,7 +120,8 @@ GpgpuParts build(const MachineConfig& cfg, const workloads::Workload& wl,
       }
     }
   }
-  if (parts.pb) parts.pb->prime(0);
+  // The caller primes the prefetch buffer (skipped when restoring a
+  // snapshot, whose state replaces the time-0 fetches).
   return parts;
 }
 
@@ -148,7 +150,8 @@ void attach(sim::SimulationKernel* kernel, GpgpuParts& parts) {
 
 RunResult run_gpgpu(const MachineConfig& cfg,
                     const workloads::Workload& workload, u64 seed,
-                    trace::TraceSession* trace, const PreparedInput* prepared) {
+                    trace::TraceSession* trace, const PreparedInput* prepared,
+                    sim::SnapshotPlan* snapshot) {
   cfg.validate();
   MLP_SIM_CHECK(!cfg.slab_layout, "config",
                 "the GPGPU needs word-size columns for coalescing "
@@ -162,8 +165,18 @@ RunResult run_gpgpu(const MachineConfig& cfg,
   PreparedInput input =
       prepared != nullptr ? *prepared : prepare_input(cfg, workload, seed);
 
+  const bool restoring =
+      snapshot != nullptr && snapshot->restore_from != nullptr;
   u32 width = cfg.gpgpu.vws ? 0 : cfg.gpgpu.warp_width;
-  if (cfg.gpgpu.vws) {
+  if (restoring) {
+    // The pilot already ran in the capturing process; its only durable
+    // output is the chosen warp width, which the snapshot's meta section
+    // carries. Re-running it here would simulate warmup cycles the restore
+    // exists to skip.
+    width = sim::snapshot_meta(*snapshot->restore_from).warp_width;
+    MLP_SIM_CHECK(width != 0 && cfg.core.cores % width == 0, "snapshot",
+                  "snapshot warp width does not divide the lane count");
+  } else if (cfg.gpgpu.vws) {
     // VWS pilot: sample divergence at full width, then commit to 4- or
     // 32-wide warps for the real run (Rogers et al. [41], coarse-grained).
     MachineConfig pilot_cfg = cfg;
@@ -190,11 +203,46 @@ RunResult run_gpgpu(const MachineConfig& cfg,
   }
 
   GpgpuParts parts = build(cfg, workload, input, width, trace);
+  if (parts.pb && !restoring) parts.pb->prime(0);
   const char* arch_label = cfg.gpgpu.row_oriented
                                ? "vws-row"
                                : (cfg.gpgpu.vws ? "vws" : "gpgpu");
   sim::SimulationKernel kernel(cfg, "gpgpu", trace);
   attach(&kernel, parts);
+
+  // Checkpoint wiring (fixed registration order = capture order).
+  std::optional<mem::DramImage> pristine_copy;
+  std::optional<sim::DramImageDelta> image_delta;
+  if (snapshot != nullptr) {
+    const mem::DramImage* pristine = prepared != nullptr ? &prepared->image
+                                                         : nullptr;
+    if (pristine == nullptr) {
+      pristine_copy.emplace(input.image);
+      pristine = &*pristine_copy;
+    }
+    image_delta.emplace(&input.image, pristine);
+    kernel.add_state(sim::kSecDramDelta, &*image_delta);
+    kernel.add_state(sim::kSecController, parts.ctrl.get());
+    kernel.add_state(sim::kSecSm, parts.sm.get());
+    if (parts.pb) kernel.add_state(sim::kSecPrefetchBuffer, parts.pb.get());
+    if (parts.prefetcher) {
+      kernel.add_state(sim::kSecSeqPrefetcher, parts.prefetcher.get());
+    }
+    kernel.add_state(sim::kSecDecodeCache, parts.dcache.get());
+    if (parts.l1d) kernel.add_state(sim::kSecL1Base, parts.l1d.get());
+    kernel.set_stats(&parts.stats);
+    const u64 image_bytes = input.image.size();
+    mem::MemoryController* ctrl = parts.ctrl.get();
+    kernel.set_meta_fn(
+        [ctrl, arch_label, width, image_bytes](sim::SnapshotMeta& m) {
+          m.arch_label = arch_label;
+          m.warp_width = width;
+          m.image_bytes = image_bytes;
+          m.fault_sequence = ctrl->fault_sequence();
+        });
+    kernel.set_plan(snapshot);
+  }
+
   kernel.wire_trace(
       std::string(arch_label) + "/" + workload.name, &parts.stats,
       [&](trace::TraceSession* session) {
@@ -216,6 +264,8 @@ RunResult run_gpgpu(const MachineConfig& cfg,
         }
       },
       [&parts] { return static_cast<u64>(parts.ctrl->queue_size()); });
+
+  if (restoring) kernel.restore(*snapshot->restore_from);
 
   const Picos runtime = kernel.run([&parts] { return parts.sm->halted(); });
 

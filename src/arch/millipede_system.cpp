@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include "common/error.hpp"
 #include "core/barrier.hpp"
 #include "core/corelet.hpp"
@@ -20,7 +21,8 @@ namespace mlp::arch {
 RunResult run_millipede(const MachineConfig& cfg,
                         const workloads::Workload& workload, u64 seed,
                         trace::TraceSession* trace,
-                        const PreparedInput* prepared) {
+                        const PreparedInput* prepared,
+                        sim::SnapshotPlan* snapshot) {
   cfg.validate();
   // The run owns a private copy of the prepared input: the controller
   // attaches to (and no-ECC fault injection may corrupt) the image.
@@ -97,7 +99,12 @@ RunResult run_millipede(const MachineConfig& cfg,
     }
   }
 
-  pb.prime(0);
+  // On restore, the prefetch buffer's state (and the controller's queue)
+  // come from the snapshot; priming would issue duplicate time-0 fetches
+  // whose callbacks target entries the restore is about to overwrite.
+  const bool restoring =
+      snapshot != nullptr && snapshot->restore_from != nullptr;
+  if (!restoring) pb.prime(0);
   kernel.set_compute_edge_hook([&dcache] { dcache.begin_compute_edge(); });
   for (core::Corelet& corelet : corelets) kernel.add_compute(&corelet);
   kernel.add_channel(&pb);
@@ -113,6 +120,42 @@ RunResult run_millipede(const MachineConfig& cfg,
       cfg.millipede.flow_control
           ? (cfg.millipede.rate_match ? "millipede" : "millipede-no-rate-match")
           : "millipede-no-flow-control";
+
+  // Checkpoint wiring: register every stateful component in a fixed order
+  // (the capture order and the restore validator), the DRAM image as a delta
+  // against the pristine prepared image, and the meta/stat hooks.
+  std::optional<mem::DramImage> pristine_copy;
+  std::optional<sim::DramImageDelta> image_delta;
+  if (snapshot != nullptr) {
+    const mem::DramImage* pristine = prepared != nullptr ? &prepared->image
+                                                         : nullptr;
+    if (pristine == nullptr) {
+      pristine_copy.emplace(input.image);  // image is still unmutated here
+      pristine = &*pristine_copy;
+    }
+    image_delta.emplace(&input.image, pristine);
+    kernel.add_state(sim::kSecDramDelta, &*image_delta);
+    kernel.add_state(sim::kSecController, &ctrl);
+    kernel.add_state(sim::kSecPrefetchBuffer, &pb);
+    if (rate_matcher) {
+      kernel.add_state(sim::kSecRateMatcher, rate_matcher.get());
+    }
+    if (uses_bar) kernel.add_state(sim::kSecBarrier, &barrier_port);
+    kernel.add_state(sim::kSecDecodeCache, &dcache);
+    for (u32 c = 0; c < cores; ++c) {
+      kernel.add_state(sim::kSecCoreletBase + c, &corelets[c]);
+    }
+    kernel.set_stats(&stats);
+    const u64 image_bytes = input.image.size();
+    kernel.set_meta_fn([&ctrl, arch_label, image_bytes](sim::SnapshotMeta& m) {
+      m.arch_label = arch_label;
+      m.warp_width = 0;
+      m.image_bytes = image_bytes;
+      m.fault_sequence = ctrl.fault_sequence();
+    });
+    kernel.set_plan(snapshot);
+  }
+
   kernel.wire_trace(
       std::string(arch_label) + "/" + workload.name, &stats,
       [&](trace::TraceSession* session) {
@@ -128,6 +171,8 @@ RunResult run_millipede(const MachineConfig& cfg,
         });
       },
       [&ctrl] { return static_cast<u64>(ctrl.queue_size()); });
+
+  if (restoring) kernel.restore(*snapshot->restore_from);
 
   const Picos runtime = kernel.run([&] {
     for (const auto& corelet : corelets) {

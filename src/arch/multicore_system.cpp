@@ -4,6 +4,8 @@
 // 64 KB L1 + 1 MB per-core L2, and off-chip DRAM at one quarter of the
 // die-stacked channel bandwidth with 70 pJ/bit access energy.
 
+#include <optional>
+
 #include "arch/system.hpp"
 #include "core/corelet.hpp"
 #include "core/decode_cache.hpp"
@@ -94,7 +96,8 @@ class WideCorelet final : public sim::Tickable {
 RunResult run_multicore(const MachineConfig& cfg,
                         const workloads::Workload& workload, u64 seed,
                         trace::TraceSession* trace,
-                        const PreparedInput* prepared) {
+                        const PreparedInput* prepared,
+                        sim::SnapshotPlan* snapshot) {
   // Off-chip memory: one quarter of the die-stacked memory bandwidth. A
   // die-stacked cube exposes 4 channels, so the multicore's off-chip DRAM
   // gets one channel's worth of bandwidth (~DDR4-class).
@@ -185,6 +188,40 @@ RunResult run_multicore(const MachineConfig& cfg,
   kernel.set_dump([&] {
     return "multicore state:\n" + dump_corelets(corelets) + ctrl.debug_dump();
   });
+
+  // Checkpoint wiring (fixed registration order = capture order). The inner
+  // Corelets — not the WideCorelet issue wrappers, which hold no state —
+  // implement the Snapshottable contract.
+  std::optional<mem::DramImage> pristine_copy;
+  std::optional<sim::DramImageDelta> image_delta;
+  if (snapshot != nullptr) {
+    const mem::DramImage* pristine = prepared != nullptr ? &prepared->image
+                                                         : nullptr;
+    if (pristine == nullptr) {
+      pristine_copy.emplace(input.image);
+      pristine = &*pristine_copy;
+    }
+    image_delta.emplace(&input.image, pristine);
+    kernel.add_state(sim::kSecDramDelta, &*image_delta);
+    kernel.add_state(sim::kSecController, &ctrl);
+    kernel.add_state(sim::kSecDecodeCache, &dcache);
+    for (u32 c = 0; c < cores; ++c) {
+      kernel.add_state(sim::kSecCoreletBase + c, &corelets[c]);
+      kernel.add_state(sim::kSecL1Base + c, &l1s[c]);
+      kernel.add_state(sim::kSecL2Base + c, &l2s[c]);
+      kernel.add_state(sim::kSecStreamTableBase + c, &prefetchers[c]);
+    }
+    kernel.set_stats(&stats);
+    const u64 image_bytes = input.image.size();
+    kernel.set_meta_fn([&ctrl, image_bytes](sim::SnapshotMeta& m) {
+      m.arch_label = "multicore";
+      m.warp_width = 0;
+      m.image_bytes = image_bytes;
+      m.fault_sequence = ctrl.fault_sequence();
+    });
+    kernel.set_plan(snapshot);
+  }
+
   kernel.wire_trace(
       std::string("multicore/") + workload.name, &stats,
       [&](trace::TraceSession* session) {
@@ -192,6 +229,10 @@ RunResult run_multicore(const MachineConfig& cfg,
       },
       /*arch_hook=*/nullptr,
       [&ctrl] { return static_cast<u64>(ctrl.queue_size()); });
+
+  if (snapshot != nullptr && snapshot->restore_from != nullptr) {
+    kernel.restore(*snapshot->restore_from);
+  }
 
   const Picos runtime = kernel.run([&] {
     for (const auto& corelet : corelets) {

@@ -4,6 +4,8 @@
 // row accesses at the shared FR-FCFS controller, and destroy row locality —
 // the baseline Millipede's row-orientedness is measured against.
 
+#include <optional>
+
 #include "arch/system.hpp"
 #include "core/corelet.hpp"
 #include "core/decode_cache.hpp"
@@ -71,7 +73,8 @@ class SsmcPort : public core::GlobalPort {
 
 RunResult run_ssmc(const MachineConfig& cfg,
                    const workloads::Workload& workload, u64 seed,
-                   trace::TraceSession* trace, const PreparedInput* prepared) {
+                   trace::TraceSession* trace, const PreparedInput* prepared,
+                   sim::SnapshotPlan* snapshot) {
   cfg.validate();
   // Private copy: the controller attaches to (and faults may corrupt) it.
   PreparedInput input =
@@ -145,6 +148,37 @@ RunResult run_ssmc(const MachineConfig& cfg,
   kernel.set_dump([&] {
     return "ssmc state:\n" + dump_corelets(corelets) + ctrl.debug_dump();
   });
+
+  // Checkpoint wiring (fixed registration order = capture order).
+  std::optional<mem::DramImage> pristine_copy;
+  std::optional<sim::DramImageDelta> image_delta;
+  if (snapshot != nullptr) {
+    const mem::DramImage* pristine = prepared != nullptr ? &prepared->image
+                                                         : nullptr;
+    if (pristine == nullptr) {
+      pristine_copy.emplace(input.image);
+      pristine = &*pristine_copy;
+    }
+    image_delta.emplace(&input.image, pristine);
+    kernel.add_state(sim::kSecDramDelta, &*image_delta);
+    kernel.add_state(sim::kSecController, &ctrl);
+    kernel.add_state(sim::kSecDecodeCache, &dcache);
+    for (u32 c = 0; c < cores; ++c) {
+      kernel.add_state(sim::kSecCoreletBase + c, &corelets[c]);
+      kernel.add_state(sim::kSecL1Base + c, &caches[c]);
+      kernel.add_state(sim::kSecStreamTableBase + c, &prefetchers[c]);
+    }
+    kernel.set_stats(&stats);
+    const u64 image_bytes = input.image.size();
+    kernel.set_meta_fn([&ctrl, image_bytes](sim::SnapshotMeta& m) {
+      m.arch_label = "ssmc";
+      m.warp_width = 0;
+      m.image_bytes = image_bytes;
+      m.fault_sequence = ctrl.fault_sequence();
+    });
+    kernel.set_plan(snapshot);
+  }
+
   kernel.wire_trace(
       std::string("ssmc/") + workload.name, &stats,
       [&](trace::TraceSession* session) {
@@ -152,6 +186,10 @@ RunResult run_ssmc(const MachineConfig& cfg,
       },
       /*arch_hook=*/nullptr,
       [&ctrl] { return static_cast<u64>(ctrl.queue_size()); });
+
+  if (snapshot != nullptr && snapshot->restore_from != nullptr) {
+    kernel.restore(*snapshot->restore_from);
+  }
 
   const Picos runtime = kernel.run([&] {
     for (const auto& corelet : corelets) {

@@ -136,38 +136,39 @@ void verify_result(RunResult* result, const workloads::Workload& workload,
 
 RunResult run_arch(ArchKind kind, const MachineConfig& cfg,
                    const workloads::Workload& workload, u64 seed,
-                   trace::TraceSession* trace, const PreparedInput* prepared) {
+                   trace::TraceSession* trace, const PreparedInput* prepared,
+                   sim::SnapshotPlan* snapshot) {
   MachineConfig tuned = cfg;
   switch (kind) {
     case ArchKind::kMillipede:
       tuned.millipede.flow_control = true;
       tuned.millipede.rate_match = true;
-      return run_millipede(tuned, workload, seed, trace, prepared);
+      return run_millipede(tuned, workload, seed, trace, prepared, snapshot);
     case ArchKind::kMillipedeNoFlowControl:
       tuned.millipede.flow_control = false;
       tuned.millipede.rate_match = false;
-      return run_millipede(tuned, workload, seed, trace, prepared);
+      return run_millipede(tuned, workload, seed, trace, prepared, snapshot);
     case ArchKind::kMillipedeNoRateMatch:
       tuned.millipede.flow_control = true;
       tuned.millipede.rate_match = false;
-      return run_millipede(tuned, workload, seed, trace, prepared);
+      return run_millipede(tuned, workload, seed, trace, prepared, snapshot);
     case ArchKind::kSsmc:
-      return run_ssmc(tuned, workload, seed, trace, prepared);
+      return run_ssmc(tuned, workload, seed, trace, prepared, snapshot);
     case ArchKind::kGpgpu:
       tuned.gpgpu.vws = false;
       tuned.gpgpu.row_oriented = false;
       tuned.gpgpu.warp_width = tuned.core.cores;
-      return run_gpgpu(tuned, workload, seed, trace, prepared);
+      return run_gpgpu(tuned, workload, seed, trace, prepared, snapshot);
     case ArchKind::kVws:
       tuned.gpgpu.vws = true;
       tuned.gpgpu.row_oriented = false;
-      return run_gpgpu(tuned, workload, seed, trace, prepared);
+      return run_gpgpu(tuned, workload, seed, trace, prepared, snapshot);
     case ArchKind::kVwsRow:
       tuned.gpgpu.vws = true;
       tuned.gpgpu.row_oriented = true;
-      return run_gpgpu(tuned, workload, seed, trace, prepared);
+      return run_gpgpu(tuned, workload, seed, trace, prepared, snapshot);
     case ArchKind::kMulticore:
-      return run_multicore(tuned, workload, seed, trace, prepared);
+      return run_multicore(tuned, workload, seed, trace, prepared, snapshot);
   }
   MLP_CHECK(false, "unknown architecture");
   return {};

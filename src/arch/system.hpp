@@ -12,6 +12,7 @@
 #include "core/corelet.hpp"
 #include "energy/energy.hpp"
 #include "mem/dram_image.hpp"
+#include "sim/snapshot.hpp"
 #include "trace/trace.hpp"
 #include "workloads/binding.hpp"
 #include "workloads/bmla.hpp"
@@ -121,27 +122,37 @@ std::string dump_corelets(const std::vector<core::Corelet>& corelets);
 /// run works on a private copy of it instead of regenerating layout, image
 /// and golden reference — the warm-cache fast path; the caller keeps
 /// ownership and the prepared input is never mutated.
+///
+/// A non-null SnapshotPlan requests mid-run checkpointing (sim/snapshot.hpp):
+/// either capture at the first quiescent edge at or past plan->checkpoint_at,
+/// or — when plan->restore_from is set — rebuild the machine, restore the
+/// blob's state and finish the run bit-identically to the uninterrupted one.
 RunResult run_arch(ArchKind kind, const MachineConfig& cfg,
                    const workloads::Workload& workload, u64 seed = 1,
                    trace::TraceSession* trace = nullptr,
-                   const PreparedInput* prepared = nullptr);
+                   const PreparedInput* prepared = nullptr,
+                   sim::SnapshotPlan* snapshot = nullptr);
 
 // Concrete system entry points.
 RunResult run_millipede(const MachineConfig& cfg,
                         const workloads::Workload& workload, u64 seed,
                         trace::TraceSession* trace = nullptr,
-                        const PreparedInput* prepared = nullptr);
+                        const PreparedInput* prepared = nullptr,
+                        sim::SnapshotPlan* snapshot = nullptr);
 RunResult run_ssmc(const MachineConfig& cfg,
                    const workloads::Workload& workload, u64 seed,
                    trace::TraceSession* trace = nullptr,
-                   const PreparedInput* prepared = nullptr);
+                   const PreparedInput* prepared = nullptr,
+                   sim::SnapshotPlan* snapshot = nullptr);
 RunResult run_gpgpu(const MachineConfig& cfg,
                     const workloads::Workload& workload, u64 seed,
                     trace::TraceSession* trace = nullptr,
-                    const PreparedInput* prepared = nullptr);
+                    const PreparedInput* prepared = nullptr,
+                    sim::SnapshotPlan* snapshot = nullptr);
 RunResult run_multicore(const MachineConfig& cfg,
                         const workloads::Workload& workload, u64 seed,
                         trace::TraceSession* trace = nullptr,
-                        const PreparedInput* prepared = nullptr);
+                        const PreparedInput* prepared = nullptr,
+                        sim::SnapshotPlan* snapshot = nullptr);
 
 }  // namespace mlp::arch

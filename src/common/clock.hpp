@@ -51,6 +51,15 @@ class ClockDomain {
     ticks_ = 0;
   }
 
+  /// Snapshot restore (sim/snapshot.hpp): reinstate the exact mid-run edge
+  /// grid — period (DFS may have retuned it), pending edge, and tick count.
+  void restore(Picos period_ps, Picos next_edge_ps, u64 ticks) {
+    MLP_CHECK(period_ps > 0, "clock period must be positive");
+    period_ps_ = period_ps;
+    next_edge_ps_ = next_edge_ps;
+    ticks_ = ticks;
+  }
+
  private:
   Picos period_ps_ = 1;
   Picos next_edge_ps_ = 0;

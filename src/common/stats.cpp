@@ -27,6 +27,16 @@ u64 StatSet::get(const std::string& name) const {
   return it->second->value;
 }
 
+void StatSet::set(const std::string& name, u64 value) {
+  auto it = counters_.find(name);
+  MLP_SIM_CHECK(it != counters_.end(), "snapshot",
+                "snapshot counter not present in this machine: " + name);
+  // The registry intentionally stores const pointers (components own their
+  // counters); restore is the one sanctioned writer, so cast the const away
+  // rather than widen every registration site.
+  const_cast<Counter*>(it->second)->value = value;
+}
+
 double StatSet::get_scalar(const std::string& name) const {
   auto it = scalars_.find(name);
   MLP_SIM_CHECK(it != scalars_.end(), "stat-missing",

@@ -36,6 +36,11 @@ class StatSet {
   /// Value of a registered scalar; throws SimError("stat-missing") if absent.
   double get_scalar(const std::string& name) const;
 
+  /// Snapshot restore (sim/snapshot.hpp): overwrite a registered counter
+  /// through its owning component. Throws SimError("snapshot") when the name
+  /// is not registered in this machine — a snapshot/config mismatch.
+  void set(const std::string& name, u64 value);
+
   bool has(const std::string& name) const { return counters_.count(name) != 0; }
 
   /// Stable (sorted) name -> value snapshot of all counters.

@@ -11,6 +11,7 @@
 
 #include "common/types.hpp"
 #include "core/port.hpp"
+#include "sim/snapshot.hpp"
 
 namespace mlp::core {
 
@@ -44,6 +45,23 @@ class Barrier {
   u32 waiting() const { return static_cast<u32>(waiters_.size()); }
   u64 episodes() const { return episodes_; }
 
+  /// Snapshot support (sim/snapshot.hpp): a barrier-blocked thread holds a
+  /// wakeup closure, so capture requires no waiters — then arrived_ is
+  /// guaranteed 0 and only the halt-decayed expectation and the episode
+  /// count carry state.
+  bool quiescent() const { return waiters_.empty(); }
+  void save(sim::SnapshotWriter& w) const {
+    MLP_SIM_CHECK(waiters_.empty() && arrived_ == 0, "snapshot",
+                  "barrier captured with waiting threads");
+    w.put_u32(expected_);
+    w.put_u64(episodes_);
+  }
+  void restore(sim::SnapshotCursor& r) {
+    expected_ = r.get_u32();
+    episodes_ = r.get_u64();
+    arrived_ = 0;
+  }
+
  private:
   void release(Picos at) {
     ++episodes_;
@@ -60,7 +78,7 @@ class Barrier {
 };
 
 /// GlobalPort decorator adding barrier support on top of any memory port.
-class BarrierPort : public GlobalPort {
+class BarrierPort : public GlobalPort, public sim::Snapshottable {
  public:
   BarrierPort(GlobalPort* inner, u32 threads)
       : inner_(inner), barrier_(threads) {
@@ -94,6 +112,11 @@ class BarrierPort : public GlobalPort {
   }
 
   const Barrier& state() const { return barrier_; }
+
+  // sim::Snapshottable: delegates to the wrapped Barrier.
+  void save_state(sim::SnapshotWriter& w) const override { barrier_.save(w); }
+  void restore_state(sim::SnapshotCursor& r) override { barrier_.restore(r); }
+  bool quiescent() const override { return barrier_.quiescent(); }
 
  private:
   GlobalPort* inner_;

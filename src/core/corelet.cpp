@@ -32,6 +32,47 @@ bool Corelet::halted() const {
   return true;
 }
 
+void Corelet::save_state(sim::SnapshotWriter& w) const {
+  MLP_SIM_CHECK(quiescent(), "snapshot",
+                "corelet captured with a context blocked on memory");
+  w.put_u32(static_cast<u32>(contexts_.size()));
+  for (const Context& ctx : contexts_) {
+    for (const u32 reg : ctx.regs) w.put_u32(reg);
+    w.put_u32(ctx.pc);
+    w.put_u8(static_cast<u8>(ctx.state));
+    w.put_u64(ctx.ready_at);
+    for (const u32 value : ctx.csr.values) w.put_u32(value);
+    w.put_u64(ctx.instret);
+  }
+  w.put_u32(rr_next_);
+  const std::vector<u32>& words = local_->words();
+  w.put_u64(words.size());
+  for (const u32 word : words) w.put_u32(word);
+}
+
+void Corelet::restore_state(sim::SnapshotCursor& r) {
+  const u32 contexts = r.get_u32();
+  MLP_SIM_CHECK(contexts == contexts_.size(), "snapshot",
+                "snapshot context count does not match this corelet");
+  for (Context& ctx : contexts_) {
+    for (u32& reg : ctx.regs) reg = r.get_u32();
+    ctx.pc = r.get_u32();
+    const u8 state = r.get_u8();
+    MLP_SIM_CHECK(state <= static_cast<u8>(Context::State::kHalted),
+                  "snapshot", "invalid context state in snapshot");
+    ctx.state = static_cast<Context::State>(state);
+    ctx.ready_at = r.get_u64();
+    for (u32& value : ctx.csr.values) value = r.get_u32();
+    ctx.instret = r.get_u64();
+  }
+  rr_next_ = r.get_u32();
+  std::vector<u32>& words = local_->words();
+  const u64 size = r.get_u64();
+  MLP_SIM_CHECK(size == words.size(), "snapshot",
+                "snapshot local-store size does not match this corelet");
+  for (u32& word : words) word = r.get_u32();
+}
+
 Picos Corelet::next_event(Picos now) const {
   // A kReady context issues at its wake-up edge; kWaitMem and kHalted
   // contexts only become schedulable through a port callback. Note a kReady

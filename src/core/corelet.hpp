@@ -12,6 +12,7 @@
 #include "common/stats.hpp"
 #include "core/functional.hpp"
 #include "core/port.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/tickable.hpp"
 #include "trace/trace.hpp"
 
@@ -44,7 +45,7 @@ struct ExecStats {
   }
 };
 
-class Corelet : public sim::Tickable {
+class Corelet : public sim::Tickable, public sim::Snapshottable {
  public:
   /// `dcache` is optional (tests drive bare corelets without one); when
   /// present it provides decode accounting and, if its dispatch flag is on,
@@ -68,6 +69,19 @@ class Corelet : public sim::Tickable {
   void skip_idle(u64 edges) override;
 
   bool halted() const;
+
+  // sim::Snapshottable: every context's architectural state, the round-robin
+  // cursor and this corelet's local-store words. A context blocked on a
+  // global load holds an unserializable port continuation, so capture waits
+  // until no context is in kWaitMem (barrier waiters are kWaitMem too).
+  void save_state(sim::SnapshotWriter& w) const override;
+  void restore_state(sim::SnapshotCursor& r) override;
+  bool quiescent() const override {
+    for (const Context& ctx : contexts_) {
+      if (ctx.state == Context::State::kWaitMem) return false;
+    }
+    return true;
+  }
 
   Context& context(u32 i) { return contexts_[i]; }
   const Context& context(u32 i) const { return contexts_[i]; }

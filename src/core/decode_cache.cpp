@@ -24,6 +24,29 @@ void DecodedBlockCache::decode_block(u32 block) {
   block_misses_.inc();
 }
 
+void DecodedBlockCache::save_state(sim::SnapshotWriter& w) const {
+  const auto& blocks = cfg_.blocks();
+  u32 decoded = 0;
+  for (u32 b = 0; b < blocks.size(); ++b) {
+    if (entries_[blocks[b].first].fn != nullptr) ++decoded;
+  }
+  w.put_u32(decoded);
+  for (u32 b = 0; b < blocks.size(); ++b) {
+    if (entries_[blocks[b].first].fn != nullptr) w.put_u32(b);
+  }
+}
+
+void DecodedBlockCache::restore_state(sim::SnapshotCursor& r) {
+  const u32 decoded = r.get_u32();
+  const u32 blocks = static_cast<u32>(cfg_.blocks().size());
+  for (u32 i = 0; i < decoded; ++i) {
+    const u32 block = r.get_u32();
+    MLP_SIM_CHECK(block < blocks, "snapshot",
+                  "snapshot decoded-block id outside this program");
+    decode_block(block);
+  }
+}
+
 void DecodedBlockCache::register_with(StatSet* stats,
                                       const std::string& prefix) {
   if (stats == nullptr) return;

@@ -14,10 +14,11 @@
 #include "common/stats.hpp"
 #include "core/functional.hpp"
 #include "isa/cfg.hpp"
+#include "sim/snapshot.hpp"
 
 namespace mlp::core {
 
-class DecodedBlockCache {
+class DecodedBlockCache : public sim::Snapshottable {
  public:
   /// Builds the CFG eagerly; instruction decoding happens lazily per block.
   /// `dispatch_enabled` false keeps the accounting (and the counters it
@@ -56,6 +57,15 @@ class DecodedBlockCache {
   const isa::Cfg& cfg() const { return cfg_; }
 
   void register_with(StatSet* stats, const std::string& prefix);
+
+  // sim::Snapshottable: the set of already-decoded blocks. Without this a
+  // restored run would count fresh block_misses where the original counted
+  // block_hits; restore re-decodes each saved block (the miss counts that
+  // incurs are overwritten by the snapshot's counter section, applied last).
+  // The convergence memo needs no saving: the kernel's compute-edge hook
+  // resets it before any post-restore issue.
+  void save_state(sim::SnapshotWriter& w) const override;
+  void restore_state(sim::SnapshotCursor& r) override;
 
  private:
   static constexpr u32 kNoBlock = 0xffffffffu;

@@ -41,13 +41,19 @@ class SimtStack {
 
   bool all_halted() const { return stack_.empty(); }
 
- private:
   struct Entry {
     u32 pc;
     u32 rpc;
     LaneMask mask;
   };
 
+  /// Raw stack view for snapshot capture/restore (sim/snapshot.hpp).
+  const std::vector<Entry>& entries() const { return stack_; }
+  void restore_entries(std::vector<Entry> entries) {
+    stack_ = std::move(entries);
+  }
+
+ private:
   void pop_converged();
 
   std::vector<Entry> stack_;

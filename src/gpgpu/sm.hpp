@@ -26,6 +26,7 @@
 #include "mem/prefetcher.hpp"
 #include "mem/sharedmem.hpp"
 #include "millipede/prefetch_buffer.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/tickable.hpp"
 #include "trace/trace.hpp"
 
@@ -60,7 +61,8 @@ struct SmStats {
   }
 };
 
-class StreamingMultiprocessor : public sim::Tickable {
+class StreamingMultiprocessor : public sim::Tickable,
+                                public sim::Snapshottable {
  public:
   struct Deps {
     const isa::Program* program = nullptr;
@@ -98,6 +100,21 @@ class StreamingMultiprocessor : public sim::Tickable {
 
   u32 warp_width() const { return warp_width_; }
   u32 groups() const { return groups_; }
+
+  // sim::Snapshottable: every warp's SIMT stack, lane contexts and timing
+  // fields, the per-group schedulers and the per-lane local state. A warp
+  // with outstanding fills or bounced lines holds callback/replay state, so
+  // capture waits for all of those to drain.
+  void save_state(sim::SnapshotWriter& w) const override;
+  void restore_state(sim::SnapshotCursor& r) override;
+  bool quiescent() const override {
+    for (const Warp& warp : warps_) {
+      if (warp.waiting || warp.outstanding != 0 || !warp.retry_lines.empty()) {
+        return false;
+      }
+    }
+    return true;
+  }
 
   /// Per-warp scheduling state (waiting, outstanding fills, lane PCs) for
   /// watchdog diagnostics.

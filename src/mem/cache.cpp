@@ -149,6 +149,40 @@ void Cache::install(Addr line, bool dirty, bool prefetched, Picos now) {
   victim->lru = ++lru_clock_;
 }
 
+void Cache::save_state(sim::SnapshotWriter& w) const {
+  MLP_SIM_CHECK(quiescent(), "snapshot",
+                "cache captured with outstanding fills");
+  w.put_u32(sets_);
+  w.put_u32(assoc_);
+  for (const auto& set : lines_) {
+    for (const Line& way : set) {
+      w.put_bool(way.valid);
+      w.put_bool(way.dirty);
+      w.put_bool(way.prefetched);
+      w.put_u64(way.tag);
+      w.put_u64(way.lru);
+    }
+  }
+  w.put_u64(lru_clock_);
+}
+
+void Cache::restore_state(sim::SnapshotCursor& r) {
+  const u32 sets = r.get_u32();
+  const u32 assoc = r.get_u32();
+  MLP_SIM_CHECK(sets == sets_ && assoc == assoc_, "snapshot",
+                "snapshot cache geometry does not match " + name_);
+  for (auto& set : lines_) {
+    for (Line& way : set) {
+      way.valid = r.get_bool();
+      way.dirty = r.get_bool();
+      way.prefetched = r.get_bool();
+      way.tag = r.get_u64();
+      way.lru = r.get_u64();
+    }
+  }
+  lru_clock_ = r.get_u64();
+}
+
 void Cache::pump(Picos now) {
   while (!issue_queue_.empty()) {
     if (!backend_->request(issue_queue_.front(), now)) return;

@@ -11,6 +11,7 @@
 
 #include "common/stats.hpp"
 #include "mem/req.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/tickable.hpp"
 
 namespace mlp::mem {
@@ -35,7 +36,8 @@ enum class AccessStatus : u8 {
   kMshrFull,  ///< structural stall: retry next cycle
 };
 
-class Cache : public MemBackend, public sim::Tickable {
+class Cache : public MemBackend, public sim::Tickable,
+              public sim::Snapshottable {
  public:
   using FillCallback = std::function<void(Picos)>;
 
@@ -64,7 +66,14 @@ class Cache : public MemBackend, public sim::Tickable {
   /// MemBackend: lets this cache be another cache's next level.
   bool request(MemRequest request, Picos now) override;
 
-  bool quiescent() const { return mshrs_.empty() && issue_queue_.empty(); }
+  bool quiescent() const override {
+    return mshrs_.empty() && issue_queue_.empty();
+  }
+
+  // sim::Snapshottable: the full tag/LRU/dirty array plus the LRU clock;
+  // MSHRs and the issue queue hold callbacks, so capture requires quiesce.
+  void save_state(sim::SnapshotWriter& w) const override;
+  void restore_state(sim::SnapshotCursor& r) override;
 
   Picos hit_latency_ps() const { return hit_latency_ps_; }
   u32 line_bytes() const { return line_bytes_; }

@@ -230,6 +230,41 @@ void MemoryController::tick(Picos now) {
   }
 }
 
+void MemoryController::save_state(sim::SnapshotWriter& w) const {
+  MLP_SIM_CHECK(idle(), "snapshot",
+                "memory controller captured with outstanding transfers");
+  w.put_u32(static_cast<u32>(banks_.size()));
+  for (const Bank& bank : banks_) {
+    w.put_bool(bank.has_open_row);
+    w.put_u64(bank.open_row);
+    w.put_u64(bank.ready_at);
+    w.put_u64(bank.activated_at);
+  }
+  w.put_u64(next_order_);
+  w.put_u64(bus_free_at_);
+  w.put_u64(busy_ps_);
+  w.put_u64(injector_ != nullptr ? injector_->transfers_drawn() : ~u64{0});
+}
+
+void MemoryController::restore_state(sim::SnapshotCursor& r) {
+  const u32 banks = r.get_u32();
+  MLP_SIM_CHECK(banks == banks_.size(), "snapshot",
+                "snapshot bank count does not match this controller");
+  for (Bank& bank : banks_) {
+    bank.has_open_row = r.get_bool();
+    bank.open_row = r.get_u64();
+    bank.ready_at = r.get_u64();
+    bank.activated_at = r.get_u64();
+  }
+  next_order_ = r.get_u64();
+  bus_free_at_ = r.get_u64();
+  busy_ps_ = r.get_u64();
+  const u64 sequence = r.get_u64();
+  MLP_SIM_CHECK((sequence == ~u64{0}) == (injector_ == nullptr), "snapshot",
+                "snapshot fault-injection mode does not match this machine");
+  if (injector_ != nullptr) injector_->set_sequence(sequence);
+}
+
 std::string MemoryController::debug_dump() const {
   std::string out;
   char line[160];

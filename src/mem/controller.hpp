@@ -32,12 +32,13 @@
 #include "mem/dram_image.hpp"
 #include "mem/fault.hpp"
 #include "mem/req.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/tickable.hpp"
 #include "trace/trace.hpp"
 
 namespace mlp::mem {
 
-class MemoryController : public sim::Tickable {
+class MemoryController : public sim::Tickable, public sim::Snapshottable {
  public:
   MemoryController(const DramConfig& cfg, std::string stat_prefix,
                    StatSet* stats, trace::TraceSession* trace = nullptr);
@@ -91,6 +92,19 @@ class MemoryController : public sim::Tickable {
   u64 ecc_detected() const { return ecc_detected_.value; }
   u64 fault_retries() const { return retries_.value; }
   bool fault_injection_enabled() const { return injector_ != nullptr; }
+
+  /// Transfers drawn by the fault injector so far (0 without injection);
+  /// recorded in SnapshotMeta for mlpsweep's fork-safety proof.
+  u64 fault_sequence() const {
+    return injector_ != nullptr ? injector_->transfers_drawn() : 0;
+  }
+
+  // sim::Snapshottable: bank timing state, scheduler order, bus occupancy
+  // and the fault injector's sequence number. Captured only at quiesce
+  // (queue and in-flight transfers empty), so requests never serialize.
+  void save_state(sim::SnapshotWriter& w) const override;
+  void restore_state(sim::SnapshotCursor& r) override;
+  bool quiescent() const override { return idle(); }
 
   /// One-line-per-item state snapshot (queue, in-flight transfers, banks)
   /// for watchdog diagnostics.

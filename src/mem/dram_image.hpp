@@ -52,6 +52,11 @@ class DramImage {
     if (addr < bytes_.size()) bytes_[addr] ^= static_cast<u8>(1u << (bit & 7));
   }
 
+  /// Raw byte view for the snapshot subsystem's delta capture/patch
+  /// (sim/snapshot.hpp) — restore may only change bytes, never the size.
+  const std::vector<u8>& raw() const { return bytes_; }
+  std::vector<u8>& raw() { return bytes_; }
+
  private:
   std::vector<u8> bytes_;
 };

@@ -48,4 +48,23 @@ TransferFaults FaultInjector::draw(u32 bytes) {
   return faults;
 }
 
+bool FaultInjector::transfer_clean(const FaultConfig& cfg, u64 sequence,
+                                   u32 max_bytes) {
+  // Mirrors draw()'s RNG consumption exactly (same seed expansion, same
+  // geometric first-gap math) but injects nothing and touches no counters.
+  Rng rng(cfg.seed ^ (0xa076'1d64'78bd'642full * sequence));
+  if (cfg.bit_flip_rate > 0.0) {
+    const double log1mp = std::log1p(-cfg.bit_flip_rate);
+    double u = rng.uniform();
+    if (u >= 1.0) u = 0.9999999999999999;
+    const u64 gap = static_cast<u64>(std::log1p(-u) / log1mp);
+    // A first gap inside the largest possible transfer means the flip (and
+    // the loop's draw count) would depend on the actual transfer size.
+    if (gap < static_cast<u64>(max_bytes) * 8) return false;
+  }
+  if (cfg.delay_rate > 0.0 && rng.chance(cfg.delay_rate)) return false;
+  if (cfg.drop_rate > 0.0 && rng.chance(cfg.drop_rate)) return false;
+  return true;
+}
+
 }  // namespace mlp::mem

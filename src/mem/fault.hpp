@@ -42,6 +42,21 @@ class FaultInjector {
 
   u64 transfers_drawn() const { return sequence_; }
 
+  /// Snapshot restore (sim/snapshot.hpp): the sequence number is the
+  /// injector's only state — reinstating it replays the exact same fault
+  /// stream the uninterrupted run would have drawn.
+  void set_sequence(u64 sequence) { sequence_ = sequence; }
+
+  /// True when the draw at `sequence` under `cfg` injects nothing AND
+  /// consumes an RNG draw count independent of the transfer size, for every
+  /// transfer of at most `max_bytes` bytes. mlpsweep's --fork-at uses this to
+  /// prove that two fault configs behave identically over a warmup prefix
+  /// (sequences 1..S): the flip loop consumes exactly one uniform whenever
+  /// its first geometric gap clears max_bytes*8 bits, so the downstream
+  /// delay/drop draws line up regardless of the actual transfer sizes.
+  static bool transfer_clean(const FaultConfig& cfg, u64 sequence,
+                             u32 max_bytes);
+
  private:
   FaultConfig cfg_;
   u64 sequence_ = 0;

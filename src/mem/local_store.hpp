@@ -60,6 +60,9 @@ class LocalStore {
 
   /// Raw view used by the host-side final Reduce.
   const std::vector<u32>& words() const { return words_; }
+  /// Mutable view for snapshot restore (sim/snapshot.hpp) — restore may
+  /// only change word values, never the size.
+  std::vector<u32>& words() { return words_; }
 
  private:
   u32 index(u32 addr) const {

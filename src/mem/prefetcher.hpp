@@ -8,10 +8,11 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "sim/snapshot.hpp"
 
 namespace mlp::mem {
 
-class StreamPrefetcher {
+class StreamPrefetcher : public sim::Snapshottable {
  public:
   StreamPrefetcher(u32 line_bytes, u32 degree, u32 distance)
       : line_bytes_(line_bytes), degree_(degree), distance_(distance) {}
@@ -20,6 +21,22 @@ class StreamPrefetcher {
   std::vector<Addr> observe(Addr addr);
 
   void reset();
+
+  // sim::Snapshottable: the stride-detection state (pure data).
+  void save_state(sim::SnapshotWriter& w) const override {
+    w.put_bool(has_last_);
+    w.put_u64(last_line_);
+    w.put_u64(static_cast<u64>(stride_));
+    w.put_u32(confidence_);
+    w.put_u64(issued_up_to_);
+  }
+  void restore_state(sim::SnapshotCursor& r) override {
+    has_last_ = r.get_bool();
+    last_line_ = r.get_u64();
+    stride_ = static_cast<i64>(r.get_u64());
+    confidence_ = r.get_u32();
+    issued_up_to_ = r.get_u64();
+  }
 
  private:
   u32 line_bytes_;
@@ -38,12 +55,22 @@ class StreamPrefetcher {
 /// marching through the interleaved layout). It tracks a high-water mark and
 /// runs `distance` lines ahead of the newest access, so reordered accesses
 /// behind the head neither confuse it nor re-issue covered lines.
-class SequentialPrefetcher {
+class SequentialPrefetcher : public sim::Snapshottable {
  public:
   SequentialPrefetcher(u32 line_bytes, u32 degree, u32 distance)
       : line_bytes_(line_bytes), degree_(degree), distance_(distance) {}
 
   std::vector<Addr> observe(Addr addr);
+
+  // sim::Snapshottable: the high-water-mark window cursor.
+  void save_state(sim::SnapshotWriter& w) const override {
+    w.put_bool(started_);
+    w.put_u64(next_line_);
+  }
+  void restore_state(sim::SnapshotCursor& r) override {
+    started_ = r.get_bool();
+    next_line_ = r.get_u64();
+  }
 
  private:
   u32 line_bytes_;
@@ -58,12 +85,37 @@ class SequentialPrefetcher {
 /// window), so interleaved access streams — e.g. 32 narrow VWS warps or a
 /// core hopping between field rows — are each tracked separately instead of
 /// destroying one another's stride detection. LRU replacement.
-class StreamTable {
+class StreamTable : public sim::Snapshottable {
  public:
   StreamTable(u32 line_bytes, u32 degree, u32 distance, u32 streams);
 
   /// Observe a demand access; returns line addresses to prefetch now.
   std::vector<Addr> observe(Addr addr);
+
+  // sim::Snapshottable: every stream slot (including its nested stride
+  // prefetcher) plus the LRU clock.
+  void save_state(sim::SnapshotWriter& w) const override {
+    w.put_u32(static_cast<u32>(entries_.size()));
+    for (const Entry& entry : entries_) {
+      entry.prefetcher.save_state(w);
+      w.put_u64(entry.last_line);
+      w.put_bool(entry.valid);
+      w.put_u64(entry.lru);
+    }
+    w.put_u64(clock_);
+  }
+  void restore_state(sim::SnapshotCursor& r) override {
+    const u32 streams = r.get_u32();
+    MLP_SIM_CHECK(streams == entries_.size(), "snapshot",
+                  "snapshot stream count does not match this prefetcher");
+    for (Entry& entry : entries_) {
+      entry.prefetcher.restore_state(r);
+      entry.last_line = r.get_u64();
+      entry.valid = r.get_bool();
+      entry.lru = r.get_u64();
+    }
+    clock_ = r.get_u64();
+  }
 
  private:
   struct Entry {

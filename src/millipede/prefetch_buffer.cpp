@@ -215,6 +215,69 @@ void PrefetchBuffer::trigger(Picos now, bool force_evict) {
   }
 }
 
+void PrefetchBuffer::save_state(sim::SnapshotWriter& w) const {
+  MLP_SIM_CHECK(quiescent(), "snapshot",
+                "prefetch buffer captured with outstanding waiters");
+  w.put_u32(num_entries_);
+  w.put_u32(head_);
+  w.put_u32(count_);
+  w.put_u64(next_row_);
+  w.put_u32(pending_triggers_);
+  w.put_u64(retired_rows_);
+  for (const Entry& entry : entries_) {
+    w.put_u64(entry.row);
+    w.put_bool(entry.valid);
+    w.put_bool(entry.filled);
+    w.put_bool(entry.pft);
+    w.put_bool(entry.demanded_before_fill);
+    w.put_u32(entry.df);
+    w.put_u64(entry.consumed.size());
+    for (const u64 mask : entry.consumed) w.put_u64(mask);
+    for (const u64 mask : entry.expected) w.put_u64(mask);
+  }
+  w.put_u64(victim_slabs_.size());
+  for (const auto& [key, slab] : victim_slabs_) {
+    w.put_u64(key.first);
+    w.put_u32(key.second);
+  }
+}
+
+void PrefetchBuffer::restore_state(sim::SnapshotCursor& r) {
+  const u32 num_entries = r.get_u32();
+  MLP_SIM_CHECK(num_entries == num_entries_, "snapshot",
+                "snapshot prefetch-buffer depth does not match this machine");
+  head_ = r.get_u32();
+  count_ = r.get_u32();
+  next_row_ = r.get_u64();
+  pending_triggers_ = r.get_u32();
+  retired_rows_ = r.get_u64();
+  for (Entry& entry : entries_) {
+    entry.row = r.get_u64();
+    entry.valid = r.get_bool();
+    entry.filled = r.get_bool();
+    entry.pft = r.get_bool();
+    entry.demanded_before_fill = r.get_bool();
+    entry.df = r.get_u32();
+    // Never-allocated slots carry empty masks; allocated ones one per core.
+    const u64 cores = r.get_u64();
+    MLP_SIM_CHECK(cores == 0 || cores == cfg_.core.cores, "snapshot",
+                  "snapshot slab-mask width does not match this machine");
+    entry.consumed.assign(cores, 0);
+    for (u64& mask : entry.consumed) mask = r.get_u64();
+    entry.expected.assign(cores, 0);
+    for (u64& mask : entry.expected) mask = r.get_u64();
+    entry.waiters.clear();
+  }
+  future_waiters_.clear();
+  victim_slabs_.clear();
+  const u64 slabs = r.get_u64();
+  for (u64 i = 0; i < slabs; ++i) {
+    const u64 row = r.get_u64();
+    const u32 core = r.get_u32();
+    victim_slabs_[{row, core}].filled = true;
+  }
+}
+
 std::string PrefetchBuffer::debug_dump() const {
   std::string out;
   char line[160];

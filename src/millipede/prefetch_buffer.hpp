@@ -28,6 +28,7 @@
 #include "core/port.hpp"
 #include "mem/controller.hpp"
 #include "millipede/rate_match.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/tickable.hpp"
 #include "trace/trace.hpp"
 
@@ -44,7 +45,8 @@ struct RowPlan {
   std::function<u64(u64 row, u32 corelet)> expected_mask;
 };
 
-class PrefetchBuffer : public core::GlobalPort, public sim::Tickable {
+class PrefetchBuffer : public core::GlobalPort, public sim::Tickable,
+                       public sim::Snapshottable {
  public:
   PrefetchBuffer(const MachineConfig& cfg, RowPlan plan,
                  mem::MemoryController* ctrl, RateMatcher* rate_matcher,
@@ -70,7 +72,27 @@ class PrefetchBuffer : public core::GlobalPort, public sim::Tickable {
     return issue_queue_.empty() ? sim::kNoEvent : now;
   }
 
-  bool quiescent() const { return issue_queue_.empty(); }
+  /// Quiesce for snapshot capture: no backpressured issues, no wakeup
+  /// closures anywhere (entry waiters, flow-control waits, victim-slab
+  /// waits) and every allocated entry's row data delivered. Holds whenever
+  /// the window is fully filled and compute lags — including the final
+  /// compute-only reduce phase.
+  bool quiescent() const override {
+    if (!issue_queue_.empty() || !future_waiters_.empty()) return false;
+    for (u32 i = 0; i < count_; ++i) {
+      const Entry& entry = entries_[(head_ + i) % num_entries_];
+      if (!entry.filled || !entry.waiters.empty()) return false;
+    }
+    for (const auto& [key, slab] : victim_slabs_) {
+      if (!slab.filled || !slab.waiters.empty()) return false;
+    }
+    return true;
+  }
+
+  // sim::Snapshottable: ring state, per-entry PFT/DF/consumption masks,
+  // trigger backlog, rate-match warmup cursor and the victim-slab keys.
+  void save_state(sim::SnapshotWriter& w) const override;
+  void restore_state(sim::SnapshotCursor& r) override;
 
   // Observability for tests and the rate matcher.
   u32 occupancy() const { return count_; }

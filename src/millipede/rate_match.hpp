@@ -15,11 +15,12 @@
 #include "common/clock.hpp"
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "sim/snapshot.hpp"
 #include "trace/trace.hpp"
 
 namespace mlp::millipede {
 
-class RateMatcher {
+class RateMatcher : public sim::Snapshottable {
  public:
   RateMatcher(const MillipedeConfig& cfg, const CoreConfig& core,
               ClockDomain* compute_clock, StatSet* stats,
@@ -31,6 +32,17 @@ class RateMatcher {
 
   double current_mhz() const { return clock_->frequency_mhz(); }
   u64 adjustments() const { return steps_down_.value + steps_up_.value; }
+
+  // sim::Snapshottable: the in-window vote tallies (the clock period itself
+  // is restored with the compute ClockDomain by the kernel section).
+  void save_state(sim::SnapshotWriter& w) const override {
+    w.put_u32(memory_votes_);
+    w.put_u32(compute_votes_);
+  }
+  void restore_state(sim::SnapshotCursor& r) override {
+    memory_votes_ = r.get_u32();
+    compute_votes_ = r.get_u32();
+  }
 
  private:
   void maybe_step(Picos now);

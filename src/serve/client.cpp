@@ -129,6 +129,12 @@ Response Client::result(u64 id, bool wait, u64 wait_ms) {
 }
 Response Client::cancel(u64 id) { return roundtrip(cancel_request(id)); }
 Response Client::shutdown() { return roundtrip(shutdown_request()); }
+Response Client::snapshot(const JobSpec& spec, u64 cycle) {
+  return roundtrip(snapshot_request(spec, cycle));
+}
+Response Client::restore(const JobSpec& spec, u64 cycle) {
+  return roundtrip(restore_request(spec, cycle));
+}
 
 /// Decode a result response into the RemoteResult slot.
 void decode_result_response(const Response& r, RemoteResult* out) {

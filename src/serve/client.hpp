@@ -69,6 +69,11 @@ class Client {
   Response result(u64 id, bool wait, u64 wait_ms);
   Response cancel(u64 id);
   Response shutdown();
+  /// Protocol v2: capture the job's quiesce-drained state at the first
+  /// quiescent cycle >= `cycle` into the daemon's snapshot cache / finish
+  /// the job from that cached snapshot (typed no-such-snapshot on a miss).
+  Response snapshot(const JobSpec& spec, u64 cycle);
+  Response restore(const JobSpec& spec, u64 cycle);
 
  private:
   int fd_ = -1;

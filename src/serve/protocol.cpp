@@ -229,8 +229,12 @@ std::optional<std::string> read_frame(int fd) {
   MLP_SIM_CHECK(len <= kMaxFrameBytes, "protocol",
                 "frame length " + std::to_string(len) + " exceeds limit (" +
                     std::to_string(kMaxFrameBytes) + ")");
+  // A zero-length frame can never hold the JSON object every request and
+  // response is; it is a desynced or broken peer, rejected with the typed
+  // kind instead of surfacing downstream as a confusing parse error.
+  MLP_SIM_CHECK(len > 0, kErrBadRequest, "zero-length frame");
   std::string payload(len, '\0');
-  if (len > 0 && !read_exact(fd, payload.data(), len)) {
+  if (!read_exact(fd, payload.data(), len)) {
     MLP_SIM_CHECK(false, "protocol", "connection closed before frame payload");
   }
   return payload;
@@ -269,8 +273,9 @@ std::optional<std::string> read_frame(int fd, i64 timeout_ms) {
   MLP_SIM_CHECK(len <= kMaxFrameBytes, "protocol",
                 "frame length " + std::to_string(len) + " exceeds limit (" +
                     std::to_string(kMaxFrameBytes) + ")");
+  MLP_SIM_CHECK(len > 0, kErrBadRequest, "zero-length frame");
   std::string payload(len, '\0');
-  if (len > 0 && !read_exact_deadline(fd, payload.data(), len, deadline)) {
+  if (!read_exact_deadline(fd, payload.data(), len, deadline)) {
     MLP_SIM_CHECK(false, "protocol", "connection closed before frame payload");
   }
   return payload;
@@ -476,6 +481,37 @@ std::string cancel_request(u64 id) { return id_request("cancel", id); }
 
 std::string shutdown_request() { return R"({"type":"shutdown"})"; }
 
+namespace {
+
+std::string versioned_job_request(const char* type, const JobSpec& spec,
+                                  u64 cycle) {
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("type");
+  w.value(type);
+  // The version declaration is MANDATORY for the snapshot verbs: the server
+  // rejects its absence with version-mismatch, so a v1 client replaying
+  // captured frames cannot trip into semantics it predates.
+  w.key("protocol_version");
+  w.value(kProtocolVersion);
+  w.key("cycle");
+  w.value(cycle);
+  w.key("job");
+  w.raw(job_json(spec));
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace
+
+std::string snapshot_request(const JobSpec& spec, u64 cycle) {
+  return versioned_job_request("snapshot", spec, cycle);
+}
+
+std::string restore_request(const JobSpec& spec, u64 cycle) {
+  return versioned_job_request("restore", spec, cycle);
+}
+
 // ---- response builders -----------------------------------------------------
 
 std::string pong_response() {
@@ -528,6 +564,19 @@ std::string status_response(const ServerStatus& status) {
   w.key("image_bytes");
   w.value(status.cache.image_bytes);
   w.end_object();
+  w.key("snapshots");
+  w.begin_object();
+  w.key("hits");
+  w.value(status.snapshot_hits);
+  w.key("misses");
+  w.value(status.snapshot_misses);
+  w.key("evictions");
+  w.value(status.snapshot_evictions);
+  w.key("entries");
+  w.value(status.snapshot_entries);
+  w.key("blob_bytes");
+  w.value(status.snapshot_blob_bytes);
+  w.end_object();
   w.end_object();
   return w.take();
 }
@@ -558,6 +607,47 @@ std::string result_response(u64 id, JobState state, bool cache_hit,
   w.value(csv);
   // Shipped as an escaped string (not a nested object) so the client can
   // reassemble sim::stats_json_document byte-for-byte from the fragments.
+  w.key("stats");
+  w.value(stats_run_json);
+  w.end_object();
+  return w.take();
+}
+
+std::string snapshot_response(const std::string& key, u64 captured_cycle,
+                              u64 blob_bytes, bool captured, bool run_ok,
+                              const std::string& csv,
+                              const std::string& stats_run_json) {
+  trace::JsonWriter w = response_head(true, "snapshot");
+  w.key("key");
+  w.value(key);
+  w.key("captured");
+  w.value(captured);
+  w.key("cycle");
+  w.value(captured_cycle);
+  w.key("blob_bytes");
+  w.value(blob_bytes);
+  w.key("run_ok");
+  w.value(run_ok);
+  w.key("csv");
+  w.value(csv);
+  w.key("stats");
+  w.value(stats_run_json);
+  w.end_object();
+  return w.take();
+}
+
+std::string restored_response(const std::string& key, u64 captured_cycle,
+                              bool run_ok, const std::string& csv,
+                              const std::string& stats_run_json) {
+  trace::JsonWriter w = response_head(true, "restored");
+  w.key("key");
+  w.value(key);
+  w.key("cycle");
+  w.value(captured_cycle);
+  w.key("run_ok");
+  w.value(run_ok);
+  w.key("csv");
+  w.value(csv);
   w.key("stats");
   w.value(stats_run_json);
   w.end_object();

@@ -17,6 +17,20 @@
 //   {"type":"result","id":N,"wait":b}    -> result {state,cache_hit,csv,stats}
 //   {"type":"cancel","id":N}             -> cancelled | error job-running/...
 //   {"type":"shutdown"}                  -> shutting-down (drain + exit)
+//   {"type":"snapshot","protocol_version":2,"cycle":N,"job":{...}}
+//                                        -> snapshot {key,cycle,...} — run the
+//                                           job, capture at the first
+//                                           quiescent cycle >= N, cache the
+//                                           blob server-side
+//   {"type":"restore","protocol_version":2,"cycle":N,"job":{...}}
+//                                        -> restored {csv,stats} | error
+//                                           no-such-snapshot
+//
+// The snapshot verbs joined in protocol version 2 and REQUIRE the client to
+// declare it ("protocol_version":2 in the request): an old client replaying
+// captured frames gets a typed version-mismatch, never a silent misparse.
+// Snapshot blobs never cross the wire — they live in the daemon's LRU cache
+// keyed (prepare key, architecture, requested cycle).
 //
 // The result's "stats" member is the run's stats-JSON object shipped as an
 // escaped string, byte-for-byte what a local sim::stats_json_run() emits, so
@@ -32,7 +46,10 @@
 namespace mlp::serve {
 
 /// Protocol revision; bumped on breaking wire changes. Reported by pong.
-inline constexpr u32 kProtocolVersion = 1;
+/// History: 1 initial vocabulary; 2 snapshot/restore verbs (which demand the
+/// client declare this version) and zero-length frames became typed
+/// bad-request rejections.
+inline constexpr u32 kProtocolVersion = 2;
 
 /// A frame larger than this is a protocol violation (a desynced or hostile
 /// peer), not a legitimate request.
@@ -46,6 +63,12 @@ inline constexpr char kErrJobRunning[] = "job-running";
 inline constexpr char kErrJobPending[] = "job-pending";
 inline constexpr char kErrJobDone[] = "job-done";
 inline constexpr char kErrShuttingDown[] = "shutting-down";
+/// A version-gated request (snapshot/restore) without the right
+/// "protocol_version" declaration — the typed rejection old clients see.
+inline constexpr char kErrVersionMismatch[] = "version-mismatch";
+/// Restore for a (prepare key, arch, cycle) the daemon has not captured (or
+/// has LRU-evicted).
+inline constexpr char kErrNoSuchSnapshot[] = "no-such-snapshot";
 /// CLIENT-side kind for a deadline expiring mid-exchange (connect handshake,
 /// request write, response read). Never sent by the server: a peer that hit
 /// this has an undecodable half-exchange on the wire and must drop the
@@ -111,6 +134,12 @@ std::string result_request(u64 id, bool wait);
 std::string result_request(u64 id, bool wait, u64 wait_ms);
 std::string cancel_request(u64 id);
 std::string shutdown_request();
+/// Snapshot verbs (protocol version 2): capture the job's state at the
+/// first quiescent cycle >= `cycle` into the daemon's snapshot cache /
+/// finish the job from that cached snapshot. Both requests carry the
+/// protocol_version declaration the server demands.
+std::string snapshot_request(const JobSpec& spec, u64 cycle);
+std::string restore_request(const JobSpec& spec, u64 cycle);
 
 // ---- response builders (server side) ----
 
@@ -124,6 +153,12 @@ struct ServerStatus {
   u64 queue_limit = 0;
   bool accepting = true;
   sim::PrepareCacheStats cache;
+  /// Snapshot-blob cache counters (protocol v2 snapshot/restore verbs).
+  u64 snapshot_hits = 0;
+  u64 snapshot_misses = 0;
+  u64 snapshot_evictions = 0;
+  u64 snapshot_entries = 0;
+  u64 snapshot_blob_bytes = 0;
 };
 
 std::string pong_response();
@@ -139,6 +174,19 @@ std::string result_response(u64 id, JobState state, bool cache_hit,
                             bool run_ok, const std::string& csv,
                             const std::string& stats_run_json);
 std::string shutting_down_response();
+/// Snapshot capture outcome: `captured` false means the run completed
+/// before any quiescent cycle >= the request's (graceful miss, nothing
+/// cached). `csv`/`stats_run_json` report the capturing run itself, which
+/// finishes normally either way.
+std::string snapshot_response(const std::string& key, u64 captured_cycle,
+                              u64 blob_bytes, bool captured, bool run_ok,
+                              const std::string& csv,
+                              const std::string& stats_run_json);
+/// Restore-and-finish outcome; same result payload shape as
+/// result_response so clients reuse the decoding path.
+std::string restored_response(const std::string& key, u64 captured_cycle,
+                              bool run_ok, const std::string& csv,
+                              const std::string& stats_run_json);
 std::string error_response(const std::string& kind,
                            const std::string& message);
 

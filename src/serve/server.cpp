@@ -22,10 +22,51 @@ bool non_terminal(JobState state) {
   return state == JobState::kQueued || state == JobState::kRunning;
 }
 
+/// The snapshot verbs are version-gated: a request that does not declare
+/// the current protocol version gets the typed version-mismatch rejection,
+/// so an old client can never trip into semantics it predates.
+void require_protocol_version(const trace::JsonValue& doc, const char* verb) {
+  const trace::JsonValue* v = doc.find("protocol_version");
+  MLP_SIM_CHECK(
+      v != nullptr && v->type == trace::JsonValue::Type::kNumber &&
+          v->is_integer && v->unsigned_integer == kProtocolVersion,
+      kErrVersionMismatch,
+      std::string(verb) + " requires \"protocol_version\":" +
+          std::to_string(kProtocolVersion) +
+          " (snapshot verbs joined the protocol in version 2)");
+}
+
+/// Shared parse of the snapshot/restore request body: the job spec plus the
+/// checkpoint cycle, with the snapshot-specific validity checks.
+JobSpec snapshot_verb_spec(const trace::JsonValue& doc, u64* cycle) {
+  const trace::JsonValue* job = doc.find("job");
+  MLP_SIM_CHECK(job != nullptr, kErrBadRequest,
+                "request lacks a \"job\" object");
+  JobSpec spec = job_from_json(*job);
+  // The cache key ignores trace config, and a restored run's trace would
+  // silently lack every warmup event — tracing and server-side snapshots
+  // don't compose.
+  MLP_SIM_CHECK(!spec.job.options.trace.enabled(), kErrBadRequest,
+                "snapshot/restore jobs cannot enable tracing");
+  MLP_SIM_CHECK(doc.find("cycle") != nullptr, kErrBadRequest,
+                "request lacks \"cycle\"");
+  *cycle = doc.u64_at("cycle");
+  MLP_SIM_CHECK(*cycle > 0, kErrBadRequest, "\"cycle\" must be positive");
+  return spec;
+}
+
+/// Cache key of a captured blob: preparation identity + architecture +
+/// REQUESTED cycle (what the client can reproduce; the quiesce-drained
+/// capture cycle travels in the response instead).
+std::string snapshot_cache_key(const sim::MatrixJob& job, u64 cycle) {
+  return sim::prepare_key(job) + "|" + arch::arch_name(job.kind) + "|" +
+         std::to_string(cycle);
+}
+
 }  // namespace
 
 Server::Server(const ServeConfig& cfg)
-    : cfg_(cfg), cache_(cfg.cache_entries) {}
+    : cfg_(cfg), cache_(cfg.cache_entries), snapshots_(cfg.snapshot_entries) {}
 
 Server::~Server() { close_listeners(); }
 
@@ -129,6 +170,12 @@ ServerStatus Server::status() const {
   out.queue_limit = cfg_.queue_limit;
   out.accepting = !stop_.load();
   out.cache = cache_.stats();
+  const sim::SnapshotCache::Stats snap = snapshots_.stats();
+  out.snapshot_hits = snap.hits;
+  out.snapshot_misses = snap.misses;
+  out.snapshot_evictions = snap.evictions;
+  out.snapshot_entries = snap.entries;
+  out.snapshot_blob_bytes = snap.blob_bytes;
   std::lock_guard<std::mutex> lock(mutex_);
   out.threads = pool_ != nullptr ? pool_->size() : 0;
   for (const auto& [id, entry] : jobs_) {
@@ -184,6 +231,8 @@ std::string Server::handle_request(const std::string& payload) {
     if (type->string == "status") return handle_status(doc);
     if (type->string == "result") return handle_result(doc);
     if (type->string == "cancel") return handle_cancel(doc);
+    if (type->string == "snapshot") return handle_snapshot(doc);
+    if (type->string == "restore") return handle_restore(doc);
     if (type->string == "shutdown") {
       request_stop();
       return shutting_down_response();
@@ -196,6 +245,7 @@ std::string Server::handle_request(const std::string& payload) {
     static const char* const kTyped[] = {
         kErrQueueFull,  kErrBadRequest, kErrNoSuchJob,    kErrJobRunning,
         kErrJobPending, kErrJobDone,    kErrShuttingDown,
+        kErrVersionMismatch, kErrNoSuchSnapshot,
     };
     for (const char* kind : kTyped) {
       if (e.kind() == kind) return error_response(e.kind(), e.what());
@@ -315,6 +365,57 @@ std::string Server::handle_cancel(const trace::JsonValue& doc) {
     entry.cv.notify_all();
   }
   return job_status_response(id, JobState::kCancelled);
+}
+
+std::string Server::handle_snapshot(const trace::JsonValue& doc) {
+  require_protocol_version(doc, "snapshot");
+  u64 cycle = 0;
+  JobSpec spec = snapshot_verb_spec(doc, &cycle);
+  if (stop_.load()) {
+    return error_response(kErrShuttingDown, "server is draining");
+  }
+  const std::string key = snapshot_cache_key(spec.job, cycle);
+
+  // Synchronous on the connection thread: the run both produces its normal
+  // result AND parks the quiesce-drained state in the snapshot cache.
+  sim::SnapshotPlan plan;
+  plan.capture = true;
+  plan.checkpoint_at = cycle;
+  const sim::MatrixResult result =
+      sim::run_job(spec.job, &cache_, nullptr, &plan);
+  u64 blob_bytes = 0;
+  const bool captured = result.ok() && plan.captured_ok;
+  if (captured) {
+    blob_bytes = plan.captured.size();
+    snapshots_.put(key, std::move(plan.captured), plan.captured_cycle);
+  }
+  return snapshot_response(key, captured ? plan.captured_cycle : 0,
+                           blob_bytes, captured, result.ok(),
+                           sim::sweep_csv_row(result),
+                           sim::stats_json_run(result));
+}
+
+std::string Server::handle_restore(const trace::JsonValue& doc) {
+  require_protocol_version(doc, "restore");
+  u64 cycle = 0;
+  JobSpec spec = snapshot_verb_spec(doc, &cycle);
+  if (stop_.load()) {
+    return error_response(kErrShuttingDown, "server is draining");
+  }
+  const std::string key = snapshot_cache_key(spec.job, cycle);
+  const sim::SnapshotCache::EntryPtr entry = snapshots_.get(key);
+  if (entry == nullptr) {
+    throw SimError(kErrNoSuchSnapshot,
+                   "no cached snapshot for \"" + key +
+                       "\"; capture one with the snapshot verb first");
+  }
+  sim::SnapshotPlan plan;
+  plan.restore_from = &entry->blob;
+  const sim::MatrixResult result =
+      sim::run_job(spec.job, &cache_, nullptr, &plan);
+  return restored_response(key, entry->captured_cycle, result.ok(),
+                           sim::sweep_csv_row(result),
+                           sim::stats_json_run(result));
 }
 
 void Server::execute(u64 id) {

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "serve/protocol.hpp"
+#include "sim/fork.hpp"
 #include "sim/pool.hpp"
 #include "sim/prepare.hpp"
 
@@ -44,6 +45,10 @@ struct ServeConfig {
   /// beyond it gets a typed queue-full rejection.
   u64 queue_limit = 64;
   std::size_t cache_entries = sim::PrepareCache::kDefaultEntries;
+  /// Snapshot-blob cache capacity (protocol v2 snapshot/restore verbs);
+  /// LRU-evicted. Blobs can reach tens of MB for big images, so the bound
+  /// is entries, with blob_bytes observable through status.
+  std::size_t snapshot_entries = sim::SnapshotCache::kDefaultEntries;
   /// Wall-clock budget per job in ms (0 = unlimited). Caps every job's
   /// watchdog.wall_ms — the backstop for the hang class the cycle watchdog
   /// cannot see (a simulation making nominal forward progress forever). A
@@ -105,6 +110,11 @@ class Server {
   std::string handle_status(const trace::JsonValue& doc);
   std::string handle_result(const trace::JsonValue& doc);
   std::string handle_cancel(const trace::JsonValue& doc);
+  /// Protocol v2 verbs; both run SYNCHRONOUSLY on the connection thread
+  /// (the caller wants the state transition, not a ticket) and require the
+  /// request to declare "protocol_version":2.
+  std::string handle_snapshot(const trace::JsonValue& doc);
+  std::string handle_restore(const trace::JsonValue& doc);
   void execute(u64 id);
   void serve_connection(int fd);
 
@@ -118,6 +128,9 @@ class Server {
 
   std::unique_ptr<sim::ThreadPool> pool_;
   sim::PrepareCache cache_;
+  /// Captured snapshot blobs keyed "prepare_key|arch|cycle"; thread-safe,
+  /// shared by every connection thread. Blobs never leave the daemon.
+  sim::SnapshotCache snapshots_;
 
   mutable std::mutex mutex_;
   std::map<u64, JobEntry> jobs_;

@@ -58,10 +58,189 @@ void SimulationKernel::wire_trace(
                     [this] { return compute_.period_ps(); });
 }
 
+bool SimulationKernel::all_quiescent() const {
+  for (const auto& [id, state] : states_) {
+    if (!state->quiescent()) return false;
+  }
+  return true;
+}
+
+void SimulationKernel::capture(const Watchdog& watchdog) {
+  SnapshotWriter w;
+
+  SnapshotMeta meta;
+  if (meta_fn_) meta_fn_(meta);
+  meta.cycle = compute_.ticks();
+  meta.now_ps = now_;
+  w.begin_section(kSecMeta);
+  meta.save(w);
+  w.end_section();
+
+  w.begin_section(kSecKernel);
+  w.put_u64(compute_.period_ps());
+  w.put_u64(compute_.next_edge_ps());
+  w.put_u64(compute_.ticks());
+  w.put_u64(channel_.period_ps());
+  w.put_u64(channel_.next_edge_ps());
+  w.put_u64(channel_.ticks());
+  w.put_u64(now_);
+  w.put_u64(flat_edges_);
+  w.put_bool(scan_enabled_);
+  w.put_u64(watchdog.iterations());
+  w.put_u64(watchdog.stalled());
+  w.put_u64(watchdog.last_progress());
+  w.end_section();
+
+  if (trace_ != nullptr) {
+    const trace::TraceSession::SamplerState sampler = trace_->sampler_state();
+    w.begin_section(kSecTraceSampler);
+    w.put_u64(sampler.next_sample_cycle);
+    w.put_u64(sampler.last_cycle);
+    w.put_u64(sampler.last_counters.size());
+    for (const u64 value : sampler.last_counters) w.put_u64(value);
+    w.end_section();
+  }
+
+  for (const auto& [id, state] : states_) {
+    w.begin_section(id);
+    state->save_state(w);
+    w.end_section();
+  }
+
+  // Counters LAST: restore then overwrites any restore-time side effects.
+  if (stats_snapshot_ != nullptr) {
+    w.begin_section(kSecStats);
+    const auto snap = stats_snapshot_->snapshot();
+    w.put_u64(snap.size());
+    for (const auto& [name, value] : snap) {
+      w.put_string(name);
+      w.put_u64(value);
+    }
+    w.end_section();
+  }
+
+  plan_->captured = w.blob();
+  plan_->captured_cycle = meta.cycle;
+  plan_->captured_ok = true;
+}
+
+void SimulationKernel::restore(const std::string& blob) {
+  SnapshotReader reader(blob);
+  bool saw_meta = false;
+  bool saw_kernel = false;
+  bool saw_sampler = false;
+  bool saw_stats = false;
+  SnapshotSection section;
+  while (reader.next(&section)) {
+    SnapshotCursor& r = section.cursor;
+    switch (section.id) {
+      case kSecMeta: {
+        MLP_SIM_CHECK(!saw_meta, "snapshot", "duplicate meta section");
+        SnapshotMeta meta;
+        meta.restore(r);
+        if (meta_fn_) {
+          SnapshotMeta expected;
+          meta_fn_(expected);
+          MLP_SIM_CHECK(meta.arch_label == expected.arch_label, "snapshot",
+                        "snapshot architecture '" + meta.arch_label +
+                            "' does not match this machine '" +
+                            expected.arch_label + "'");
+          MLP_SIM_CHECK(meta.warp_width == expected.warp_width, "snapshot",
+                        "snapshot warp width does not match this machine");
+          MLP_SIM_CHECK(meta.image_bytes == expected.image_bytes, "snapshot",
+                        "snapshot image size does not match this machine");
+        }
+        saw_meta = true;
+        break;
+      }
+      case kSecKernel: {
+        MLP_SIM_CHECK(saw_meta, "snapshot", "kernel section before meta");
+        // Named locals: argument evaluation order is unspecified.
+        const Picos c_period = r.get_u64();
+        const Picos c_edge = r.get_u64();
+        const u64 c_ticks = r.get_u64();
+        compute_.restore(c_period, c_edge, c_ticks);
+        const Picos ch_period = r.get_u64();
+        const Picos ch_edge = r.get_u64();
+        const u64 ch_ticks = r.get_u64();
+        channel_.restore(ch_period, ch_edge, ch_ticks);
+        now_ = r.get_u64();
+        flat_edges_ = r.get_u64();
+        scan_enabled_ = r.get_bool();
+        pending_wd_iterations_ = r.get_u64();
+        pending_wd_stalled_ = r.get_u64();
+        pending_wd_last_progress_ = r.get_u64();
+        saw_kernel = true;
+        break;
+      }
+      case kSecTraceSampler: {
+        MLP_SIM_CHECK(trace_ != nullptr, "snapshot",
+                      "snapshot was traced but this run has no trace session");
+        trace::TraceSession::SamplerState sampler;
+        sampler.next_sample_cycle = r.get_u64();
+        sampler.last_cycle = r.get_u64();
+        const u64 columns = r.get_u64();
+        sampler.last_counters.reserve(columns);
+        for (u64 i = 0; i < columns; ++i) {
+          sampler.last_counters.push_back(r.get_u64());
+        }
+        trace_->restore_sampler(sampler);
+        saw_sampler = true;
+        break;
+      }
+      case kSecStats: {
+        MLP_SIM_CHECK(stats_snapshot_ != nullptr, "snapshot",
+                      "snapshot has counters but no StatSet is attached");
+        const u64 count = r.get_u64();
+        for (u64 i = 0; i < count; ++i) {
+          const std::string name = r.get_string();
+          const u64 value = r.get_u64();
+          stats_snapshot_->set(name, value);
+        }
+        saw_stats = true;
+        break;
+      }
+      default: {
+        Snapshottable* target = nullptr;
+        for (const auto& [id, state] : states_) {
+          if (id == section.id) {
+            target = state;
+            break;
+          }
+        }
+        MLP_SIM_CHECK(target != nullptr, "snapshot",
+                      "unknown snapshot section id " +
+                          std::to_string(section.id));
+        target->restore_state(r);
+        break;
+      }
+    }
+    MLP_SIM_CHECK(r.done(), "snapshot",
+                  "trailing bytes in snapshot section " +
+                      std::to_string(section.id));
+  }
+  MLP_SIM_CHECK(saw_meta && saw_kernel, "snapshot",
+                "snapshot is missing its meta/kernel sections");
+  MLP_SIM_CHECK((trace_ != nullptr) == saw_sampler, "snapshot",
+                "trace attachment does not match the snapshot");
+  MLP_SIM_CHECK((stats_snapshot_ != nullptr) == saw_stats, "snapshot",
+                "counter section presence does not match the snapshot");
+  restored_ = true;
+}
+
 Picos SimulationKernel::run(const std::function<bool()>& done) {
   MLP_CHECK(progress_ != nullptr, "kernel needs a progress signature");
   Watchdog watchdog(watchdog_cfg_, watchdog_arch_, dump_, trace_);
+  if (restored_) {
+    watchdog.restore(pending_wd_iterations_, pending_wd_stalled_,
+                     pending_wd_last_progress_);
+  }
+  const bool want_capture = plan_ != nullptr && plan_->capture;
   while (!done()) {
+    if (want_capture && !plan_->captured_ok &&
+        compute_.ticks() >= plan_->checkpoint_at && all_quiescent()) {
+      capture(watchdog);
+    }
     const u64 signature = progress_();
     watchdog.step(signature, now_);
     if (compute_.next_edge_ps() <= channel_.next_edge_ps()) {

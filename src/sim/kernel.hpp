@@ -28,6 +28,7 @@
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "common/watchdog.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/tickable.hpp"
 #include "trace/trace.hpp"
 
@@ -81,6 +82,41 @@ class SimulationKernel {
                   const std::function<void(trace::TraceSession*)>& arch_hook,
                   std::function<u64()> dram_queue);
 
+  // ---- mid-run checkpoints (sim/snapshot.hpp) ----
+
+  /// Register a stateful component's snapshot section. Registration order is
+  /// capture order; `section_id` must be unique within one machine and
+  /// stable across processes (it is the restore dispatch key).
+  void add_state(u32 section_id, Snapshottable* state) {
+    states_.emplace_back(section_id, state);
+  }
+
+  /// The machine's StatSet; the kernel writes every counter by name as the
+  /// blob's LAST section, so restore applies counters after every
+  /// component's restore_state (whose incidental side effects — e.g. the
+  /// decode cache re-decoding its block set — are then overwritten).
+  void set_stats(StatSet* stats) { stats_snapshot_ = stats; }
+
+  /// Fills the identity/geometry half of SnapshotMeta (arch label, warp
+  /// width, image size, fault sequence); the kernel owns cycle and time.
+  /// Also the restore-side validator: a blob whose identity fields disagree
+  /// with this machine is rejected with SimError("snapshot").
+  void set_meta_fn(std::function<void(SnapshotMeta&)> fn) {
+    meta_fn_ = std::move(fn);
+  }
+
+  /// Attach the run's checkpoint intent. With `plan->capture`, run() scans
+  /// every step-loop top from `checkpoint_at` compute cycles onward and
+  /// captures at the first where every registered component is quiescent —
+  /// non-invasively: the run continues bit-identically. A run that finishes
+  /// first simply leaves `captured_ok` false.
+  void set_plan(SnapshotPlan* plan) { plan_ = plan; }
+
+  /// Apply a captured blob to the freshly-constructed machine. Must be
+  /// called after wire_trace (the sampler restore needs the counter columns)
+  /// and before run(). Throws SimError("snapshot") on any mismatch.
+  void restore(const std::string& blob);
+
   /// Runs until `done()` — typically "all corelets halted". Throws
   /// SimError (watchdog trip, memory-fault retry exhaustion, ...) with the
   /// trace left partially written, exactly like the old per-arch loops.
@@ -97,6 +133,9 @@ class SimulationKernel {
   /// watchdog trips exactly as it would have).
   bool try_fast_forward(Watchdog* watchdog, u64 signature);
 
+  bool all_quiescent() const;
+  void capture(const Watchdog& watchdog);
+
   ClockDomain compute_;
   ClockDomain channel_;
   WatchdogConfig watchdog_cfg_;
@@ -110,6 +149,17 @@ class SimulationKernel {
   std::function<std::string()> dump_;
   std::function<u64()> progress_;
   std::function<void()> compute_edge_hook_;
+
+  std::vector<std::pair<u32, Snapshottable*>> states_;
+  StatSet* stats_snapshot_ = nullptr;
+  std::function<void(SnapshotMeta&)> meta_fn_;
+  SnapshotPlan* plan_ = nullptr;
+  /// Watchdog state from restore(), applied when run() constructs its
+  /// Watchdog (the watchdog is loop-local, not a kernel member).
+  bool restored_ = false;
+  u64 pending_wd_iterations_ = 0;
+  u64 pending_wd_stalled_ = 0;
+  u64 pending_wd_last_progress_ = 0;
 
   Picos now_ = 0;
   /// Consecutive edges with an unchanged progress signature; a scan only

@@ -97,7 +97,7 @@ u64 records_for(const std::string& bench, const MachineConfig& cfg,
 }
 
 MatrixResult run_job(const MatrixJob& job, PrepareCache* cache,
-                     bool* cache_hit) {
+                     bool* cache_hit, SnapshotPlan* snapshot) {
   MatrixResult out;
   out.job = job;
   if (cache_hit != nullptr) *cache_hit = false;
@@ -114,7 +114,7 @@ MatrixResult run_job(const MatrixJob& job, PrepareCache* cache,
     out.result = arch::run_arch(job.kind, job.options.cfg,
                                 prepared->workload, job.options.seed,
                                 session ? &*session : nullptr,
-                                &prepared->input);
+                                &prepared->input, snapshot);
   } catch (const SimError& e) {
     out.error = e.what();
     out.diagnostic = e.diagnostic();

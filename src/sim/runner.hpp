@@ -82,8 +82,12 @@ class PrepareCache;  // sim/prepare.hpp — memoized job preparation
 /// goes through `cache` when given, so jobs with equivalent preparation keys
 /// share the artifacts; results are bit-identical either way. `cache_hit`
 /// (optional) reports whether this job's artifacts were already warm.
+/// `snapshot` (optional) threads a checkpoint capture/restore plan into the
+/// run (sim/snapshot.hpp) — the mlpsweep --fork-at machinery and the
+/// mlpserved snapshot verbs are built on it.
 MatrixResult run_job(const MatrixJob& job, PrepareCache* cache = nullptr,
-                     bool* cache_hit = nullptr);
+                     bool* cache_hit = nullptr,
+                     SnapshotPlan* snapshot = nullptr);
 
 /// Execute `jobs` on a pool of `threads` workers (0 = one per hardware
 /// thread) and return results in submission order. Jobs share no mutable

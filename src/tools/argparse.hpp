@@ -157,6 +157,18 @@ inline double parse_rate(const std::string& flag, const std::string& text) {
   return value;
 }
 
+/// Render a name list one entry per line — the --list-arches /
+/// --list-benches output contract shared by mlpsim and mlpsweep, kept
+/// grep/xargs-friendly (no header, no indentation, trailing newline).
+inline std::string name_list_lines(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    out += name;
+    out += '\n';
+  }
+  return out;
+}
+
 /// Split "a,b,c" into non-empty elements; an empty element is a usage error.
 inline std::vector<std::string> split_list(const std::string& flag,
                                            const std::string& text) {

@@ -34,6 +34,10 @@ void usage() {
                      are rejected with a typed queue-full error
                      (default 64)
   --cache-entries N  warm prepare-cache capacity, LRU-evicted (default 64)
+  --snapshot-entries N  snapshot-blob cache capacity for the protocol v2
+                     snapshot/restore verbs, LRU-evicted (default 16).
+                     Blobs never cross the wire; a restore of an evicted
+                     key is a typed no-such-snapshot error
   --job-timeout-ms N wall-clock budget per job; a job still running after
                      N ms is cancelled by its watchdog and reports a typed
                      job-timeout error (default 0 = unlimited). Catches
@@ -41,7 +45,8 @@ void usage() {
   --version          print the toolchain version
 
 Protocol: length-prefixed JSON frames; requests ping / submit / status /
-result / cancel / shutdown (see docs/ARCHITECTURE.md). SIGTERM and SIGINT
+result / cancel / shutdown, plus the version-gated snapshot / restore verbs
+(see docs/ARCHITECTURE.md). SIGTERM and SIGINT
 drain: queued and running jobs complete, their results stay fetchable
 until the last connection closes, then the daemon exits.
 )");
@@ -77,6 +82,9 @@ int main(int argc, char** argv) {
     } else if (args.is("--cache-entries")) {
       cfg.cache_entries = tools::parse_u64(args.flag(), args.value(),
                                            /*min=*/1);
+    } else if (args.is("--snapshot-entries")) {
+      cfg.snapshot_entries = tools::parse_u64(args.flag(), args.value(),
+                                              /*min=*/1);
     } else if (args.is("--job-timeout-ms")) {
       cfg.job_timeout_ms = tools::parse_u64(args.flag(), args.value(),
                                             /*min=*/0);

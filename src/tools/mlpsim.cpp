@@ -15,10 +15,29 @@
 #include "argparse.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
+#include "sim/snapshot.hpp"
 
 namespace {
 
 using namespace mlp;
+
+bool read_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool write_file(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  return std::fclose(f) == 0 && ok;
+}
 
 void usage() {
   std::printf(R"(mlpsim — Millipede PNM simulator driver
@@ -66,8 +85,16 @@ void usage() {
   --no-block-cache  disable the decoded-basic-block interpreter fast path
                     and re-decode every issued instruction (bit-identical
                     results; A/B equivalence checks)
+  --checkpoint-at N capture a snapshot of the machine state at the first
+                    quiescent cycle >= N (the run still completes; requires
+                    a single --bench and --checkpoint-out)
+  --checkpoint-out FILE  write the captured snapshot blob to FILE
+  --restore FILE    restore the machine from a snapshot blob and run to
+                    completion; the remainder is bit-identical to the
+                    uninterrupted run (requires a single --bench)
   --list            list architectures and benchmarks
   --list-arches     list architectures only, one per line
+  --list-benches    list benchmarks only, one per line
   --version         print the toolchain version
 
 A failed run (bad config, watchdog trip, uncorrectable fault, verification
@@ -85,6 +112,9 @@ int main(int argc, char** argv) {
   bool dump_stats = false;
   bool stats_json = false;
   u32 jobs = 1;
+  u64 checkpoint_at = 0;
+  std::string checkpoint_out;
+  std::string restore_path;
   sim::SuiteOptions options;
 
   tools::ArgCursor args(argc, argv);
@@ -110,9 +140,15 @@ int main(int argc, char** argv) {
       std::printf("\n");
       return 0;
     } else if (arg == "--list-arches") {
+      std::vector<std::string> names;
       for (arch::ArchKind k : arch::all_arch_kinds()) {
-        std::printf("%s\n", arch::arch_name(k));
+        names.push_back(arch::arch_name(k));
       }
+      std::fputs(tools::name_list_lines(names).c_str(), stdout);
+      return 0;
+    } else if (arg == "--list-benches") {
+      std::fputs(tools::name_list_lines(workloads::bmla_names()).c_str(),
+                 stdout);
       return 0;
     } else if (arg == "--arch") {
       const std::string name = next();
@@ -151,6 +187,12 @@ int main(int argc, char** argv) {
       options.cfg.watchdog.max_cycles = tools::parse_u64(arg, next());
     } else if (arg == "--watchdog-stall") {
       options.cfg.watchdog.stall_cycles = tools::parse_u64(arg, next());
+    } else if (arg == "--checkpoint-at") {
+      checkpoint_at = tools::parse_u64(arg, next(), /*min=*/1);
+    } else if (arg == "--checkpoint-out") {
+      checkpoint_out = next();
+    } else if (arg == "--restore") {
+      restore_path = next();
     } else if (arg == "--jobs" || arg == "-j") {
       jobs = tools::parse_u32(arg, next(), /*min=*/1);
     } else if (arg == "--no-flow-control") {
@@ -196,7 +238,65 @@ int main(int argc, char** argv) {
   for (const std::string& name : benches) {
     matrix.push_back({kind, name, options, /*tag=*/""});
   }
-  const std::vector<sim::MatrixResult> results = sim::run_matrix(matrix, jobs);
+
+  std::vector<sim::MatrixResult> results;
+  if (checkpoint_at > 0 || !restore_path.empty()) {
+    if (checkpoint_at > 0 && !restore_path.empty()) {
+      std::fprintf(stderr, "mlpsim: --checkpoint-at and --restore are "
+                           "mutually exclusive\n");
+      return 2;
+    }
+    if (checkpoint_at > 0 && checkpoint_out.empty()) {
+      std::fprintf(stderr,
+                   "mlpsim: --checkpoint-at requires --checkpoint-out FILE\n");
+      return 2;
+    }
+    if (matrix.size() != 1) {
+      std::fprintf(stderr, "mlpsim: --checkpoint-at/--restore require a "
+                           "single --bench\n");
+      return 2;
+    }
+    sim::SnapshotPlan plan;
+    std::string blob;
+    if (!restore_path.empty()) {
+      if (!read_file(restore_path, &blob)) {
+        std::fprintf(stderr, "mlpsim: cannot read snapshot %s\n",
+                     restore_path.c_str());
+        return 1;
+      }
+      plan.restore_from = &blob;
+    } else {
+      plan.capture = true;
+      plan.checkpoint_at = checkpoint_at;
+    }
+    results.push_back(sim::run_job(matrix[0], nullptr, nullptr, &plan));
+    if (plan.capture && results[0].ok()) {
+      if (!plan.captured_ok) {
+        std::fprintf(stderr,
+                     "mlpsim: run finished before cycle %llu; no snapshot "
+                     "captured\n",
+                     static_cast<unsigned long long>(checkpoint_at));
+        return 1;
+      }
+      if (!write_file(checkpoint_out, plan.captured)) {
+        std::fprintf(stderr, "mlpsim: cannot write snapshot %s\n",
+                     checkpoint_out.c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "mlpsim: snapshot captured at cycle %llu (%zu bytes) "
+                   "-> %s\n",
+                   static_cast<unsigned long long>(plan.captured_cycle),
+                   plan.captured.size(), checkpoint_out.c_str());
+    }
+  } else {
+    if (!checkpoint_out.empty()) {
+      std::fprintf(stderr, "mlpsim: --checkpoint-out requires "
+                           "--checkpoint-at N\n");
+      return 2;
+    }
+    results = sim::run_matrix(matrix, jobs);
+  }
 
   if (csv && !stats_json) {
     std::printf("arch,bench,records,runtime_us,cycles,insts,insts_per_word,"

@@ -26,11 +26,13 @@
 
 #include "argparse.hpp"
 #include "serve/shard.hpp"
+#include "sim/fork.hpp"
 #include "sim/pool.hpp"
 #include "sim/prepare.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
 #include "sweep_grid.hpp"
+#include "trace/json.hpp"
 
 namespace {
 
@@ -42,6 +44,13 @@ void usage() {
 %s
 Execution:
   --jobs N              concurrent simulations   (default: all hw threads)
+  --fork-at N           warm-snapshot forking (local runs only): grid
+                        points differing ONLY in fault-injection rates
+                        share one simulated warmup — a leader captures a
+                        snapshot at the first quiescent cycle >= N and the
+                        divergent points restore from it. Output stays
+                        byte-identical to an unforked sweep; savings are
+                        reported on stderr
   --no-fast-forward     step every clock edge instead of fast-forwarding
                         idle gaps (bit-identical output; equivalence checks)
   --no-block-cache      re-decode every issued instruction instead of
@@ -55,6 +64,8 @@ Execution:
                         window per node, results merged in grid order
   --stats-json          emit one JSON document (per-point config, metrics,
                         every registered counter) instead of the CSV
+  --list-arches         list architectures only, one per line
+  --list-benches        list benchmarks only, one per line
   --version             print the toolchain version
 
 Fleet resilience (with --server; see docs/ARCHITECTURE.md):
@@ -72,7 +83,8 @@ Fleet resilience (with --server; see docs/ARCHITECTURE.md):
                           drop=0.05,delay=0.1,delay-ms=20,truncate=0.01,
                           close=0.02,seed=7 (also: MLP_CHAOS env var)
   --fleet-stats           append the fleet-health report as a "fleet"
-                          member of the --stats-json document
+                          member of the --stats-json document (with
+                          --fork-at: the fork report as a "fork" member)
 
 Output: one CSV row per grid point on stdout, config columns first, a
 trailing `error` column last. Rows appear in grid order regardless of
@@ -83,6 +95,25 @@ stays rectangular, and makes the exit status 1; the remaining points still
 run, bit-identically for any --jobs.
 )",
               tools::SweepGrid::help());
+}
+
+/// The opt-in "fork" footer of the --stats-json document (mirrors the
+/// "fleet" footer of remote sweeps).
+std::string fork_stats_json(u64 fork_at, const sim::ForkStats& stats) {
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("fork_at");
+  w.value(fork_at);
+  w.key("groups");
+  w.value(stats.groups);
+  w.key("forked_points");
+  w.value(stats.forked_points);
+  w.key("unsafe_points");
+  w.value(stats.unsafe_points);
+  w.key("warmup_cycles_saved");
+  w.value(stats.warmup_cycles_saved);
+  w.end_object();
+  return w.take();
 }
 
 void print_fleet_report(const serve::FleetHealth& fleet) {
@@ -168,6 +199,7 @@ int run_remote(const std::vector<std::string>& servers,
 int main(int argc, char** argv) {
   tools::SweepGrid grid;
   u32 jobs = 0;
+  u64 fork_at = 0;
   bool stats_json = false;
   bool fast_forward = true;
   bool block_cache = true;
@@ -185,6 +217,19 @@ int main(int argc, char** argv) {
       return 0;
     } else if (args.is("--jobs") || args.is("-j")) {
       jobs = tools::parse_u32(args.flag(), args.value(), /*min=*/1);
+    } else if (args.is("--fork-at")) {
+      fork_at = tools::parse_u64(args.flag(), args.value(), /*min=*/1);
+    } else if (args.is("--list-arches")) {
+      std::vector<std::string> names;
+      for (arch::ArchKind k : arch::all_arch_kinds()) {
+        names.push_back(arch::arch_name(k));
+      }
+      std::fputs(tools::name_list_lines(names).c_str(), stdout);
+      return 0;
+    } else if (args.is("--list-benches")) {
+      std::fputs(tools::name_list_lines(workloads::bmla_names()).c_str(),
+                 stdout);
+      return 0;
     } else if (args.is("--stats-json")) {
       stats_json = true;
     } else if (args.is("--no-fast-forward")) {
@@ -230,6 +275,11 @@ int main(int argc, char** argv) {
   }
 
   if (!servers.empty()) {
+    if (fork_at > 0) {
+      std::fprintf(stderr, "mlpsweep: --fork-at runs locally; it cannot be "
+                           "combined with --server\n");
+      return 2;
+    }
     std::string names = servers[0];
     for (std::size_t i = 1; i < servers.size(); ++i) names += "," + servers[i];
     std::fprintf(stderr, "mlpsweep: %zu grid points via %zu server(s): %s\n",
@@ -249,8 +299,11 @@ int main(int argc, char** argv) {
   // Warm prepare cache: grid points sharing (bench, records, seed, layout)
   // reuse one assembled program / record set / DRAM image / reference.
   sim::PrepareCache cache;
+  sim::ForkStats fork;
   const std::vector<sim::MatrixResult> results =
-      sim::run_matrix(matrix, jobs, &cache);
+      fork_at > 0
+          ? sim::run_matrix_forked(matrix, fork_at, jobs, &cache, &fork)
+          : sim::run_matrix(matrix, jobs, &cache);
 
   int exit_code = 0;
   if (!stats_json) std::fputs(sim::sweep_csv_header().c_str(), stdout);
@@ -273,7 +326,35 @@ int main(int argc, char** argv) {
     }
     if (!stats_json) std::fputs(sim::sweep_csv_row(run).c_str(), stdout);
   }
-  if (stats_json) std::fputs(sim::stats_json(results).c_str(), stdout);
+  if (stats_json) {
+    // The fork footer is OPT-IN, exactly like the remote path's fleet
+    // footer: without --fleet-stats the document stays byte-identical to a
+    // plain (unforked) sweep's.
+    if (fork_at > 0 && fleet_stats) {
+      std::vector<std::string> stats_runs;
+      stats_runs.reserve(results.size());
+      for (const sim::MatrixResult& run : results) {
+        stats_runs.push_back(sim::stats_json_run(run));
+      }
+      std::fputs(sim::stats_json_document(stats_runs, "fork",
+                                          fork_stats_json(fork_at, fork))
+                     .c_str(),
+                 stdout);
+    } else {
+      std::fputs(sim::stats_json(results).c_str(), stdout);
+    }
+  }
+  if (fork_at > 0) {
+    std::fprintf(stderr,
+                 "mlpsweep: fork-at %llu: %llu group(s), %llu point(s) "
+                 "restored from warm snapshots, %llu ran in full, "
+                 "%llu warmup cycles saved\n",
+                 static_cast<unsigned long long>(fork_at),
+                 static_cast<unsigned long long>(fork.groups),
+                 static_cast<unsigned long long>(fork.forked_points),
+                 static_cast<unsigned long long>(fork.unsafe_points),
+                 static_cast<unsigned long long>(fork.warmup_cycles_saved));
+  }
   const sim::PrepareCacheStats cs = cache.stats();
   std::fprintf(stderr,
                "mlpsweep: prepare cache %llu hits / %llu misses "

@@ -109,6 +109,22 @@ void TraceSession::sample(u64 cycle, Picos now) {
   next_sample_cycle_ = cycle + cfg_.interval_cycles;
 }
 
+void TraceSession::restore_sampler(const SamplerState& state) {
+  if (cfg_.interval_cycles == 0) return;
+  MLP_SIM_CHECK(rows_.empty(), "snapshot",
+                "sampler restore after sampling began");
+  MLP_SIM_CHECK(state.last_counters.size() == last_counters_.size(),
+                "snapshot",
+                "snapshot sampler column count does not match this machine");
+  next_sample_cycle_ = state.next_sample_cycle;
+  last_cycle_ = state.last_cycle;
+  last_counters_ = state.last_counters;
+  // The first restored row's per-interval rates (ipc) divide by the cycles
+  // since the last PRE-capture sample, exactly as the uninterrupted export
+  // does for that row.
+  base_cycle_ = state.last_cycle;
+}
+
 void TraceSession::finish_run(u64 cycle, Picos now) {
   if (cfg_.interval_cycles == 0) return;
   if (!rows_.empty() && rows_.back().cycle == cycle) return;
@@ -302,7 +318,7 @@ std::string TraceSession::interval_csv() const {
     }
   }
 
-  u64 prev_cycle = 0;
+  u64 prev_cycle = base_cycle_;
   for (const IntervalRow& row : rows_) {
     csv_append_u64(out, row.cycle);
     out += ',';

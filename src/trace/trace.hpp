@@ -140,6 +140,22 @@ class TraceSession {
   /// whether or not the run completed.
   void finish_run(u64 cycle, Picos now);
 
+  /// Interval-sampler cursor for mid-run snapshots (sim/snapshot.hpp). A
+  /// restored session emits exactly the timeline rows the uninterrupted run
+  /// emits past the restore point: same sample cycles, same counter deltas
+  /// (last_counters holds the values already accounted to earlier rows).
+  struct SamplerState {
+    u64 next_sample_cycle = 0;
+    u64 last_cycle = 0;
+    std::vector<u64> last_counters;
+  };
+  SamplerState sampler_state() const {
+    return {next_sample_cycle_, last_cycle_, last_counters_};
+  }
+  /// Apply a captured cursor; must follow begin_run (the counter column set
+  /// is rebuilt there and the sizes must agree, else SimError("snapshot")).
+  void restore_sampler(const SamplerState& state);
+
   // ---- export ----
 
   const TraceConfig& config() const { return cfg_; }
@@ -206,6 +222,10 @@ class TraceSession {
   std::vector<IntervalRow> rows_;
   u64 next_sample_cycle_ = 0;
   u64 last_cycle_ = 0;
+  /// Cycle baseline for the first row's per-interval rates; nonzero only in
+  /// a snapshot-restored session (the pre-capture rows live in the capturing
+  /// process's timeline).
+  u64 base_cycle_ = 0;
 };
 
 /// Registers the standard per-context track names ("c3.x1") used by the

@@ -76,6 +76,17 @@ TEST(SplitList, SplitsAndRejectsEmptyElements) {
               "comma-separated");
 }
 
+// ---- name lists ------------------------------------------------------------
+
+// The --list-arches / --list-benches output contract (mlpsim and mlpsweep
+// both print through this helper): one name per line, no header, trailing
+// newline, empty list -> empty output.
+TEST(NameListLines, OneNamePerLineWithTrailingNewline) {
+  EXPECT_EQ(name_list_lines({"millipede", "ssmc"}), "millipede\nssmc\n");
+  EXPECT_EQ(name_list_lines({"solo"}), "solo\n");
+  EXPECT_EQ(name_list_lines({}), "");
+}
+
 // ---- ArgCursor -------------------------------------------------------------
 
 /// argv scaffold: keeps the strings alive and hands out char** like main().

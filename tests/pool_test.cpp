@@ -214,6 +214,69 @@ TEST(Prepare, CacheCountsHitsMissesAndEvicts) {
   EXPECT_TRUE(hit);
 }
 
+// Eviction accounting under contention: many threads walking more keys than
+// the cache holds, so insertions, evictions, and lost same-key races (both
+// threads prepare, the first insert wins, the loser's copy is dropped) all
+// overlap. Whatever interleaving happens, the counters must stay consistent
+// — in particular image_bytes, which is adjusted on BOTH the insert and the
+// evict side of the same critical section.
+TEST(Prepare, ConcurrentEvictionKeepsAccountingConsistent) {
+  constexpr std::size_t kCapacity = 3;
+  constexpr int kKeys = 8;
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 24;
+
+  SuiteOptions options;
+  options.records = 512;
+  const auto job_for = [&options](int key) {
+    SuiteOptions o = options;
+    o.seed = static_cast<u64>(key + 1);  // seed splits the key, nothing else
+    return MatrixJob{arch::ArchKind::kMillipede, "count", o, ""};
+  };
+
+  // Every key is the same benchmark at the same record count, so every
+  // pristine image has ONE size; measure it on a singleton cache.
+  u64 image_size = 0;
+  {
+    PrepareCache probe(/*max_entries=*/1);
+    probe.get(job_for(0));
+    image_size = probe.stats().image_bytes;
+  }
+  ASSERT_GT(image_size, 0u);
+
+  PrepareCache cache(kCapacity);
+  {
+    ThreadPool pool(kThreads);
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < kThreads; ++t) {
+      futures.push_back(pool.submit([&cache, &job_for, t] {
+        for (int i = 0; i < kRoundsPerThread; ++i) {
+          // Offset walks: threads chase each other across the key ring, so
+          // same-key races and cross-key evictions both fire constantly.
+          cache.get(job_for((t + i) % kKeys));
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+  const PrepareCacheStats stats = cache.stats();
+  // Every lookup was tallied exactly once, as either a hit or a miss.
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<u64>(kThreads) * kRoundsPerThread);
+  // More distinct keys than capacity: the cache ends exactly full, every
+  // key missed at least once, and at least the overflow got evicted. Only
+  // a miss can insert (and only an insert can evict), bounding evictions.
+  EXPECT_EQ(stats.entries, kCapacity);
+  EXPECT_GE(stats.misses, static_cast<u64>(kKeys));
+  EXPECT_GE(stats.evictions, static_cast<u64>(kKeys) - kCapacity);
+  EXPECT_LE(stats.evictions, stats.misses - stats.entries);
+  // The corruption detector: with one image size everywhere, the byte tally
+  // must be exactly entries × size — a double-counted lost race or an
+  // eviction that forgot to subtract shows up here immediately.
+  EXPECT_EQ(stats.image_bytes, kCapacity * image_size);
+}
+
 TEST(Prepare, CachedRunsAreBitIdenticalToUncached) {
   SuiteOptions options;
   options.records = 1024;

@@ -30,8 +30,7 @@ namespace {
 TEST(Framing, RoundTripsPayloads) {
   int fds[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
-  const std::vector<std::string> payloads = {"", "{}",
-                                             std::string(4096, 'x')};
+  const std::vector<std::string> payloads = {"{}", std::string(4096, 'x')};
   for (const std::string& payload : payloads) {
     ASSERT_TRUE(write_frame(fds[0], payload));
     const std::optional<std::string> got = read_frame(fds[1]);
@@ -41,6 +40,30 @@ TEST(Framing, RoundTripsPayloads) {
   ::close(fds[0]);
   const std::optional<std::string> eof = read_frame(fds[1]);
   EXPECT_FALSE(eof.has_value());  // clean EOF between frames
+  ::close(fds[1]);
+}
+
+TEST(Framing, ZeroLengthFramesAreTypedRejections) {
+  // Every legitimate frame is a JSON object, so a zero-length frame is a
+  // desynced or broken peer — both read variants must reject it with the
+  // typed bad-request kind instead of handing "" to the JSON parser.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(write_frame(fds[0], ""));
+  try {
+    read_frame(fds[1]);
+    FAIL() << "zero-length frame must throw";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), kErrBadRequest);
+  }
+  ASSERT_TRUE(write_frame(fds[0], "", /*timeout_ms=*/1000));
+  try {
+    read_frame(fds[1], /*timeout_ms=*/1000);
+    FAIL() << "zero-length frame must throw (deadline variant)";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), kErrBadRequest);
+  }
+  ::close(fds[0]);
   ::close(fds[1]);
 }
 
@@ -906,6 +929,95 @@ TEST(Sharded, RetryBudgetExhaustionIsATypedRow) {
   }
   EXPECT_GT(exhausted, 0u);
   EXPECT_EQ(fleet.points_lost, exhausted);
+}
+
+// ---- snapshot/restore verbs (protocol v2) ----------------------------------
+
+TEST(Service, SnapshotRestoreRoundTripMatchesUninterruptedRun) {
+  LiveServer live(ServeConfig{"", "", /*threads=*/2, /*queue_limit=*/8});
+  Client client;
+  client.connect(live.path());
+
+  const JobSpec spec = small_job("count");
+  // Capture: the run finishes normally AND parks a warm blob server-side.
+  const Response snap = client.snapshot(spec, /*cycle=*/1);
+  ASSERT_TRUE(snap.ok) << snap.message;
+  EXPECT_EQ(snap.type, "snapshot");
+  EXPECT_TRUE(snap.doc.find("captured")->boolean);
+  EXPECT_GE(snap.doc.u64_at("cycle"), 1u);
+  EXPECT_GT(snap.doc.u64_at("blob_bytes"), 0u);
+  EXPECT_TRUE(snap.doc.find("run_ok")->boolean);
+
+  // Restore-and-finish: byte-identical to an uninterrupted local run.
+  const Response restored = client.restore(spec, /*cycle=*/1);
+  ASSERT_TRUE(restored.ok) << restored.message;
+  EXPECT_EQ(restored.type, "restored");
+  EXPECT_TRUE(restored.doc.find("run_ok")->boolean);
+  const sim::MatrixResult local = sim::run_job(spec.job);
+  EXPECT_EQ(restored.doc.str_at("csv"), sim::sweep_csv_row(local));
+  EXPECT_EQ(restored.doc.str_at("stats"), sim::stats_json_run(local));
+  EXPECT_EQ(snap.doc.str_at("csv"), sim::sweep_csv_row(local));
+
+  // The cache counters are observable through status.
+  const Response status = client.server_status();
+  ASSERT_TRUE(status.ok);
+  const trace::JsonValue* snapshots = status.doc.find("snapshots");
+  ASSERT_NE(snapshots, nullptr);
+  EXPECT_EQ(snapshots->u64_at("entries"), 1u);
+  EXPECT_EQ(snapshots->u64_at("hits"), 1u);
+}
+
+TEST(Service, RestoreWithoutASnapshotIsTyped) {
+  LiveServer live(ServeConfig{"", "", /*threads=*/1, /*queue_limit=*/4});
+  Client client;
+  client.connect(live.path());
+  const Response miss = client.restore(small_job("count"), /*cycle=*/1);
+  EXPECT_FALSE(miss.ok);
+  EXPECT_EQ(miss.error, kErrNoSuchSnapshot);
+  // Different cycle, arch, or preparation identity = a different key.
+  ASSERT_TRUE(client.snapshot(small_job("count"), 1).ok);
+  EXPECT_FALSE(client.restore(small_job("count"), 2).ok);
+  EXPECT_FALSE(
+      client.restore(small_job("count", arch::ArchKind::kSsmc), 1).ok);
+  EXPECT_FALSE(client.restore(small_job("sample"), 1).ok);
+  EXPECT_TRUE(client.restore(small_job("count"), 1).ok);
+}
+
+TEST(Service, SnapshotVerbsRejectOldClients) {
+  // The verbs demand "protocol_version":2 — a v1 client replaying frames
+  // without the declaration gets the typed version-mismatch, and a
+  // malformed body is still bad-request.
+  LiveServer live(ServeConfig{"", "", /*threads=*/1, /*queue_limit=*/4});
+  Client client;
+  client.connect(live.path());
+
+  const Response pong = client.ping();
+  ASSERT_TRUE(pong.ok);
+  EXPECT_EQ(pong.doc.u64_at("protocol_version"), 2u);
+
+  for (const char* verb : {"snapshot", "restore"}) {
+    const Response unversioned = client.roundtrip(
+        std::string(R"({"type":")") + verb +
+        R"(","cycle":1,"job":{"bench":"count"}})");
+    EXPECT_FALSE(unversioned.ok);
+    EXPECT_EQ(unversioned.error, kErrVersionMismatch) << verb;
+    const Response stale = client.roundtrip(
+        std::string(R"({"type":")") + verb +
+        R"(","protocol_version":1,"cycle":1,"job":{"bench":"count"}})");
+    EXPECT_FALSE(stale.ok);
+    EXPECT_EQ(stale.error, kErrVersionMismatch) << verb;
+  }
+  // Version right, body wrong: cycle 0 and traced jobs are bad requests.
+  const Response no_cycle = client.roundtrip(
+      R"({"type":"snapshot","protocol_version":2,"cycle":0,)"
+      R"("job":{"bench":"count"}})");
+  EXPECT_FALSE(no_cycle.ok);
+  EXPECT_EQ(no_cycle.error, kErrBadRequest);
+  const Response traced = client.roundtrip(
+      R"({"type":"snapshot","protocol_version":2,"cycle":1,)"
+      R"("job":{"bench":"count","trace":true}})");
+  EXPECT_FALSE(traced.ok);
+  EXPECT_EQ(traced.error, kErrBadRequest);
 }
 
 TEST(Service, PerJobErrorsTravelInTheResult) {
