@@ -32,6 +32,7 @@ struct Point {
   const char* bench;
   const char* tag;             // CSV label; "membound" marks DRAM-bound points
   double bus_efficiency = 0;   // 0 = keep the paper default
+  const char* refresh = nullptr;  // DramConfig::refresh spec; null = off
 };
 
 // The four architectures under their paper configs, plus memory-bound
@@ -48,6 +49,10 @@ const Point kPoints[] = {
     {"multicore", "count", "membound", 0.05},
     {"ssmc", "count", "membound", 0.05},
     {"millipede", "pca", "compute", 0.9},
+    // JEDEC-cadence refresh on the heaviest default point: measures the
+    // per-rank cursor bookkeeping the high-fidelity DRAM model adds to the
+    // simulation loop (and keeps it on the perf trajectory).
+    {"millipede", "count", "refresh", 0, "on"},
 };
 
 double run_timed_ms(const sim::MatrixJob& job, sim::PrepareCache* cache,
@@ -291,6 +296,9 @@ int main(int argc, char** argv) {
     job.options.rows = rows;
     if (p.bus_efficiency > 0) {
       job.options.cfg.dram.bus_efficiency = p.bus_efficiency;
+    }
+    if (p.refresh) {
+      job.options.cfg.dram.refresh = p.refresh;
     }
 
     sim::MatrixJob poll_job = job;

@@ -44,7 +44,7 @@ void BM_ControllerStreaming(benchmark::State& state) {
   u64 rows = 0;
   for (auto _ : state) {
     StatSet stats;
-    mem::MemoryController ctrl(cfg, "dram", &stats);
+    mem::ChannelDemux ctrl(cfg, "dram", &stats);
     Picos now = 0;
     u64 issued = 0;
     u64 done = 0;

@@ -78,6 +78,13 @@ def check_chrome_trace(path, require_kinds):
         if tid not in thread_names:
             fail(f"{path}: event {i} uses unnamed tid {tid}")
         seen_kinds[event.get("name")] = seen_kinds.get(event.get("name"), 0) + 1
+        if event.get("name") == "REF":
+            args_obj = event.get("args")
+            if not isinstance(args_obj, dict):
+                fail(f"{path}: event {i} REF without args")
+            for key in ("rank", "debt"):
+                if not isinstance(args_obj.get(key), int):
+                    fail(f"{path}: event {i} REF args lack integer {key!r}")
         if ph == "B":
             open_slices[tid] = open_slices.get(tid, 0) + 1
         elif ph == "E":
@@ -100,8 +107,8 @@ def check_chrome_trace(path, require_kinds):
 def check_stats_json(path):
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    if doc.get("schema_version") != 2:
-        fail(f"{path}: schema_version != 2")
+    if doc.get("schema_version") != 3:
+        fail(f"{path}: schema_version != 3")
     runs = doc.get("runs")
     if not isinstance(runs, list) or not runs:
         fail(f"{path}: runs missing or empty")
@@ -121,6 +128,13 @@ def check_run_object(path, where, run):
     for field in ("arch", "bench", "tag", "ok", "error", "config"):
         if field not in run:
             fail(f"{path}: {where} missing {field!r}")
+    config = run["config"]
+    if not isinstance(config, dict):
+        fail(f"{path}: {where} config is not an object")
+    # Schema v3: the DRAM hierarchy knobs are always present.
+    for field in ("channels", "ranks", "mapping", "page_policy", "refresh"):
+        if field not in config:
+            fail(f"{path}: {where} config missing {field!r} (schema v3)")
     if run["ok"]:
         if run["error"]:
             fail(f"{path}: {where} ok but error set")
@@ -210,7 +224,7 @@ def check_service_response(path, expect_cache_hits):
 
 # MLPSNAP constants (mirrors src/sim/snapshot.hpp).
 SNAPSHOT_MAGIC = b"MLPSNAP\x00"
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
 SEC_META = 1
 SEC_DRAM_DELTA = 3
 SEC_STATS = 5

@@ -15,7 +15,7 @@
 #include "common/error.hpp"
 #include "core/decode_cache.hpp"
 #include "gpgpu/sm.hpp"
-#include "mem/controller.hpp"
+#include "mem/channels.hpp"
 #include "sim/kernel.hpp"
 
 namespace mlp::arch {
@@ -23,7 +23,7 @@ namespace {
 
 struct GpgpuParts {
   StatSet stats;
-  std::unique_ptr<mem::MemoryController> ctrl;
+  std::unique_ptr<mem::ChannelDemux> ctrl;
   std::unique_ptr<mem::ControllerBackend> backend;
   std::unique_ptr<mem::Cache> l1d;
   std::unique_ptr<mem::SequentialPrefetcher> prefetcher;
@@ -40,7 +40,7 @@ GpgpuParts build(const MachineConfig& cfg, const workloads::Workload& wl,
                  PreparedInput& input, u32 width,
                  trace::TraceSession* trace) {
   GpgpuParts parts;
-  parts.ctrl = std::make_unique<mem::MemoryController>(
+  parts.ctrl = std::make_unique<mem::ChannelDemux>(
       cfg.dram, "dram", &parts.stats, trace);
   parts.ctrl->attach_image(&input.image);
   parts.backend = std::make_unique<mem::ControllerBackend>(parts.ctrl.get());
@@ -232,7 +232,7 @@ RunResult run_gpgpu(const MachineConfig& cfg,
     if (parts.l1d) kernel.add_state(sim::kSecL1Base, parts.l1d.get());
     kernel.set_stats(&parts.stats);
     const u64 image_bytes = input.image.size();
-    mem::MemoryController* ctrl = parts.ctrl.get();
+    mem::ChannelDemux* ctrl = parts.ctrl.get();
     kernel.set_meta_fn(
         [ctrl, arch_label, width, image_bytes](sim::SnapshotMeta& m) {
           m.arch_label = arch_label;
@@ -263,7 +263,11 @@ RunResult run_gpgpu(const MachineConfig& cfg,
           });
         }
       },
-      [&parts] { return static_cast<u64>(parts.ctrl->queue_size()); });
+      [&parts] { return static_cast<u64>(parts.ctrl->queue_size()); },
+      parts.ctrl->refresh_enabled()
+          ? std::function<u64()>(
+                [&parts] { return parts.ctrl->refresh_debt(); })
+          : std::function<u64()>{});
 
   if (restoring) kernel.restore(*snapshot->restore_from);
 

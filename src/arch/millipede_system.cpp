@@ -12,7 +12,7 @@
 #include "core/barrier.hpp"
 #include "core/corelet.hpp"
 #include "core/decode_cache.hpp"
-#include "mem/controller.hpp"
+#include "mem/channels.hpp"
 #include "millipede/prefetch_buffer.hpp"
 #include "sim/kernel.hpp"
 
@@ -39,7 +39,7 @@ RunResult run_millipede(const MachineConfig& cfg,
                 "prefetch window smaller than a record's row footprint");
 
   StatSet stats;
-  mem::MemoryController ctrl(cfg.dram, "dram", &stats, trace);
+  mem::ChannelDemux ctrl(cfg.dram, "dram", &stats, trace);
   ctrl.attach_image(&input.image);
 
   sim::SimulationKernel kernel(cfg, "millipede", trace);
@@ -170,7 +170,10 @@ RunResult run_millipede(const MachineConfig& cfg,
           return static_cast<u64>(pb.saturated_entries());
         });
       },
-      [&ctrl] { return static_cast<u64>(ctrl.queue_size()); });
+      [&ctrl] { return static_cast<u64>(ctrl.queue_size()); },
+      ctrl.refresh_enabled()
+          ? std::function<u64()>([&ctrl] { return ctrl.refresh_debt(); })
+          : std::function<u64()>{});
 
   if (restoring) kernel.restore(*snapshot->restore_from);
 

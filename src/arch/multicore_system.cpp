@@ -10,7 +10,7 @@
 #include "core/corelet.hpp"
 #include "core/decode_cache.hpp"
 #include "mem/cache.hpp"
-#include "mem/controller.hpp"
+#include "mem/channels.hpp"
 #include "mem/prefetcher.hpp"
 #include "sim/kernel.hpp"
 
@@ -115,7 +115,7 @@ RunResult run_multicore(const MachineConfig& cfg,
       prepared != nullptr ? *prepared : prepare_input(mc, workload, seed);
 
   StatSet stats;
-  mem::MemoryController ctrl(mc.dram, "dram", &stats, trace);
+  mem::ChannelDemux ctrl(mc.dram, "dram", &stats, trace);
   ctrl.attach_image(&input.image);
   mem::ControllerBackend backend(&ctrl);
 
@@ -228,7 +228,10 @@ RunResult run_multicore(const MachineConfig& cfg,
         trace::name_context_tracks(session, cores, mc.core.contexts);
       },
       /*arch_hook=*/nullptr,
-      [&ctrl] { return static_cast<u64>(ctrl.queue_size()); });
+      [&ctrl] { return static_cast<u64>(ctrl.queue_size()); },
+      ctrl.refresh_enabled()
+          ? std::function<u64()>([&ctrl] { return ctrl.refresh_debt(); })
+          : std::function<u64()>{});
 
   if (snapshot != nullptr && snapshot->restore_from != nullptr) {
     kernel.restore(*snapshot->restore_from);

@@ -10,7 +10,7 @@
 #include "core/corelet.hpp"
 #include "core/decode_cache.hpp"
 #include "mem/cache.hpp"
-#include "mem/controller.hpp"
+#include "mem/channels.hpp"
 #include "mem/prefetcher.hpp"
 #include "sim/kernel.hpp"
 
@@ -81,7 +81,7 @@ RunResult run_ssmc(const MachineConfig& cfg,
       prepared != nullptr ? *prepared : prepare_input(cfg, workload, seed);
 
   StatSet stats;
-  mem::MemoryController ctrl(cfg.dram, "dram", &stats, trace);
+  mem::ChannelDemux ctrl(cfg.dram, "dram", &stats, trace);
   ctrl.attach_image(&input.image);
   mem::ControllerBackend backend(&ctrl);
 
@@ -185,7 +185,10 @@ RunResult run_ssmc(const MachineConfig& cfg,
         trace::name_context_tracks(session, cores, cfg.core.contexts);
       },
       /*arch_hook=*/nullptr,
-      [&ctrl] { return static_cast<u64>(ctrl.queue_size()); });
+      [&ctrl] { return static_cast<u64>(ctrl.queue_size()); },
+      ctrl.refresh_enabled()
+          ? std::function<u64()>([&ctrl] { return ctrl.refresh_debt(); })
+          : std::function<u64()>{});
 
   if (snapshot != nullptr && snapshot->restore_from != nullptr) {
     kernel.restore(*snapshot->restore_from);

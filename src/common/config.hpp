@@ -39,23 +39,90 @@ struct FaultConfig {
   }
 };
 
-/// Die-stacked DRAM channel parameters (Table III). Timing values are in
-/// channel-clock cycles; the controller converts to picoseconds.
+/// Per-bank row-buffer management policy (the phobos-style `Policy` knob).
+/// Both limits default to 0 = unlimited, which is the classic open-page
+/// policy the controller has always modelled; `max_row_hits == 1` is
+/// closed-page autoprecharge as the degenerate case. Parsed from
+/// `DramConfig::page_policy` ("open" | "closed" | "open:idle=N:hits=M").
+struct PagePolicy {
+  /// Channel cycles an open row may sit idle before an explicit PRE closes
+  /// it (0 = keep open until a conflicting activate).
+  u32 max_row_idle = 0;
+  /// Accesses served from one activation before an explicit PRE closes the
+  /// row (0 = unlimited; 1 = closed-page autoprecharge).
+  u32 max_row_hits = 0;
+
+  bool open_page() const { return max_row_idle == 0 && max_row_hits == 0; }
+};
+
+/// Per-rank refresh scheduling (off by default so default runs stay
+/// bit-identical to the pre-refresh model). Parsed from
+/// `DramConfig::refresh` ("off" | "on" | "on:trefi=N:trfc=N:postpone=K").
+/// When enabled the controller issues an all-bank refresh per rank every
+/// tREFI channel cycles; the rank's banks are blocked for tRFC. A refresh
+/// may be postponed while demand is queued for the rank, up to the JEDEC
+/// debt window of `max_postponed` outstanding refreshes (8 x tREFI), after
+/// which the rank stops issuing demand accesses until it catches up.
+struct RefreshSpec {
+  bool enabled = false;
+  u32 t_refi = 4680;      ///< channel cycles between refreshes (3.9 us @ 1.2 GHz)
+  u32 t_rfc = 192;        ///< refresh cycle time in channel cycles (160 ns)
+  u32 max_postponed = 8;  ///< JEDEC 8 x tREFI postponement debt window
+};
+
+/// Parse a `DramConfig::page_policy` spec; throws SimError("config") on a
+/// malformed string. Grammar: "open" | "closed" | "open:idle=N:hits=M"
+/// (both terms optional, any order; values are channel cycles / accesses).
+PagePolicy parse_page_policy(const std::string& spec);
+
+/// Parse a `DramConfig::refresh` spec; throws SimError("config") on a
+/// malformed string or inconsistent timing (tRFC >= tREFI, postpone == 0).
+/// Grammar: "off" | "on" | "on:trefi=N:trfc=N:postpone=K" (terms optional).
+RefreshSpec parse_refresh(const std::string& spec);
+
+/// Die-stacked DRAM parameters (Table III) plus the channel/rank hierarchy
+/// knobs. Timing values are in channel-clock cycles; the controller
+/// converts to picoseconds. Defaults (1 channel, 1 rank, row-interleaved
+/// mapping, open page, refresh off) reproduce the original flat
+/// "4 banks behind one bus" model bit-identically.
 struct DramConfig {
   u32 row_bytes = 2048;
-  u32 banks = 4;
+  u32 banks = 4;      ///< banks per rank
+  u32 ranks = 1;      ///< ranks per channel
+  u32 channels = 1;   ///< independent channels, one controller each
   double channel_mhz = 1200.0;
   u32 channel_bits = 128;  ///< data bus width; 16 B transferred per cycle
   u32 t_cas = 9;
   u32 t_rp = 9;
   u32 t_rcd = 9;
   u32 t_ras = 27;
-  u32 queue_depth = 16;  ///< FR-FCFS scheduler window
+  u32 queue_depth = 16;  ///< FR-FCFS scheduler window, per channel
+  /// Physical address interleave as a ':'-separated field order, most
+  /// significant first, over {row, col, bank, rank, channel}. `row` must
+  /// lead (capacity grows upward) and `col` must appear; fields whose
+  /// dimension is 1 may be omitted. The default reproduces the legacy
+  /// `bank = rowId % banks` row interleave exactly; "row:col:bank:channel"
+  /// is fine-grain interleaving that stripes a single row fetch across
+  /// every bank and channel. Validated by mem::AddressMap with typed
+  /// SimError("config") throws.
+  std::string mapping = "row:bank:col";
+  /// Row-buffer management policy spec; see parse_page_policy().
+  std::string page_policy = "open";
+  /// Per-rank refresh spec; see parse_refresh(). NOTE: when refresh is
+  /// enabled here it is simulated explicitly (tREFI/tRFC stalls), so the
+  /// refresh allowance folded into `bus_efficiency` must not also be
+  /// applied — raise bus_efficiency accordingly or the overhead is
+  /// double-counted (see the note on bus_efficiency).
+  std::string refresh = "off";
   /// Effective fraction of peak data-bus bandwidth actually delivered
-  /// (refresh, command bandwidth, read/write turnaround, DBI, ...).
-  /// Calibrated to ~0.5, which reproduces the paper's observable that its
-  /// GPGPU-Sim DRAM makes the light BMLAs memory-bandwidth-bound (Table IV
-  /// rate-matched clocks); see EXPERIMENTS.md.
+  /// (command bandwidth, read/write turnaround, DBI, ... and — only while
+  /// `refresh` is "off" — an allowance for refresh). Calibrated to 0.30,
+  /// which reproduces the paper's observable that its GPGPU-Sim DRAM makes
+  /// the light BMLAs memory-bandwidth-bound (Table IV rate-matched clocks);
+  /// see EXPERIMENTS.md. NOTE: with `refresh` enabled the tREFI/tRFC
+  /// interference is modelled explicitly and must NOT also be folded in
+  /// here — keep the derate to the non-refresh overheads only, otherwise
+  /// refresh is double-counted.
   double bus_efficiency = 0.30;
   /// Seeded fault injection + SECDED ECC on this channel (off by default).
   FaultConfig fault;

@@ -1,0 +1,166 @@
+#include "mem/addrmap.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mlp::mem {
+
+namespace {
+
+// Mapping validation runs per sweep point (grids construct arbitrary
+// geometry), so violations throw a recoverable SimError("config") — one bad
+// point must not kill a matrix.
+#define MLP_MAP_CHECK(cond, msg) MLP_SIM_CHECK(cond, "config", msg)
+
+std::vector<std::string> split_fields(const std::string& mapping) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (const char c : mapping) {
+    if (c == ':') {
+      fields.push_back(field);
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+void AddressMap::check_grammar(const std::string& mapping) {
+  const std::vector<std::string> fields = split_fields(mapping);
+  bool seen_row = false, seen_col = false;
+  std::vector<std::string> used;
+  for (const std::string& name : fields) {
+    MLP_MAP_CHECK(name == "row" || name == "col" || name == "bank" ||
+                      name == "rank" || name == "channel",
+                  "malformed --mapping field: '" + name + "' in '" + mapping +
+                      "'");
+    for (const std::string& prior : used) {
+      MLP_MAP_CHECK(prior != name, "malformed --mapping: duplicate field '" +
+                                       name + "' in '" + mapping + "'");
+    }
+    used.push_back(name);
+    seen_row |= name == "row";
+    seen_col |= name == "col";
+  }
+  MLP_MAP_CHECK(seen_col,
+                "malformed --mapping: missing 'col' in '" + mapping + "'");
+  MLP_MAP_CHECK(seen_row,
+                "malformed --mapping: missing 'row' in '" + mapping + "'");
+  MLP_MAP_CHECK(fields.front() == "row",
+                "malformed --mapping: 'row' must be the most significant "
+                "field in '" + mapping + "'");
+}
+
+AddressMap::AddressMap(const DramConfig& cfg)
+    : row_bytes_(cfg.row_bytes),
+      channels_(cfg.channels),
+      ranks_(cfg.ranks),
+      banks_(cfg.banks) {
+  MLP_MAP_CHECK(is_pow2(cfg.row_bytes),
+                "row size must be a power of two");
+  MLP_MAP_CHECK(cfg.banks > 0 && is_pow2(cfg.banks),
+                "bank count must be a power of two");
+  MLP_MAP_CHECK(cfg.ranks > 0 && is_pow2(cfg.ranks),
+                "rank count must be a power of two");
+  MLP_MAP_CHECK(cfg.channels > 0 && is_pow2(cfg.channels),
+                "channel count must be a power of two");
+  row_shift_ = log2_exact(cfg.row_bytes);
+
+  const std::vector<std::string> fields = split_fields(cfg.mapping);
+  bool seen[5] = {false, false, false, false, false};
+  enum { kFRow = 0, kFCol = 1, kFBank = 2, kFRank = 3, kFChannel = 4 };
+  // Assign offsets from the least significant (last) field upward.
+  u32 offset = 0;
+  for (size_t i = fields.size(); i > 0; --i) {
+    const std::string& name = fields[i - 1];
+    int which;
+    u32 width;
+    if (name == "row") {
+      which = kFRow;
+      width = 0;  // takes all remaining high bits; patched below
+    } else if (name == "col") {
+      which = kFCol;
+      width = row_shift_;
+    } else if (name == "bank") {
+      which = kFBank;
+      width = log2_exact(cfg.banks);
+    } else if (name == "rank") {
+      which = kFRank;
+      width = log2_exact(cfg.ranks);
+    } else if (name == "channel") {
+      which = kFChannel;
+      width = log2_exact(cfg.channels);
+    } else {
+      throw SimError("config", "malformed --mapping field: '" + name +
+                                   "' in '" + cfg.mapping + "'");
+    }
+    MLP_MAP_CHECK(!seen[which], "malformed --mapping: duplicate field '" +
+                                    name + "' in '" + cfg.mapping + "'");
+    seen[which] = true;
+    BitField field{width, offset};
+    switch (which) {
+      case kFRow: row_ = field; break;
+      case kFCol: column_ = field; break;
+      case kFBank: bank_ = field; break;
+      case kFRank: rank_ = field; break;
+      default: channel_ = field; break;
+    }
+    offset += width;
+  }
+  MLP_MAP_CHECK(seen[kFCol],
+                "malformed --mapping: missing 'col' in '" + cfg.mapping + "'");
+  MLP_MAP_CHECK(seen[kFRow],
+                "malformed --mapping: missing 'row' in '" + cfg.mapping + "'");
+  MLP_MAP_CHECK(fields.front() == "row",
+                "malformed --mapping: 'row' must be the most significant "
+                "field in '" + cfg.mapping + "'");
+  // A dimension larger than one with no field in the mapping would decode
+  // every address to coordinate 0 — a zero-width field.
+  MLP_MAP_CHECK(seen[kFBank] || cfg.banks == 1,
+                "--mapping leaves a zero-width 'bank' field (banks > 1 but "
+                "'bank' absent from '" + cfg.mapping + "')");
+  MLP_MAP_CHECK(seen[kFRank] || cfg.ranks == 1,
+                "--mapping leaves a zero-width 'rank' field (ranks > 1 but "
+                "'rank' absent from '" + cfg.mapping + "')");
+  MLP_MAP_CHECK(seen[kFChannel] || cfg.channels == 1,
+                "--mapping leaves a zero-width 'channel' field (channels > 1 "
+                "but 'channel' absent from '" + cfg.mapping + "')");
+  // Row takes every bit above the fields below it.
+  row_.width = 64 - row_.offset;
+
+  // Collect the channel/rank/bank fields sitting below the column field, in
+  // ascending offset order (contiguous addresses advance the lowest first):
+  // a contiguous row-sized block stripes across their cross product.
+  struct Candidate {
+    Which which;
+    u32 count;
+    u32 offset;
+  };
+  const Candidate candidates[3] = {
+      {kChannel, channels_, channel_.offset},
+      {kRank, ranks_, rank_.offset},
+      {kBank, banks_, bank_.offset},
+  };
+  for (u32 pass_offset = 0; pass_offset < column_.offset;) {
+    u32 best = 3;
+    for (u32 i = 0; i < 3; ++i) {
+      if (candidates[i].count > 1 && candidates[i].offset >= pass_offset &&
+          candidates[i].offset < column_.offset &&
+          (best == 3 || candidates[i].offset < candidates[best].offset)) {
+        best = i;
+      }
+    }
+    if (best == 3) break;
+    striped_[num_striped_++] = {candidates[best].which,
+                                candidates[best].count};
+    stripes_ *= candidates[best].count;
+    pass_offset = candidates[best].offset + 1;
+  }
+}
+
+}  // namespace mlp::mem

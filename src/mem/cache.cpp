@@ -1,7 +1,7 @@
 #include "mem/cache.hpp"
 
 #include "common/units.hpp"
-#include "mem/controller.hpp"
+#include "mem/channels.hpp"
 
 namespace mlp::mem {
 

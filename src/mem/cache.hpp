@@ -27,8 +27,8 @@ class MemBackend {
   virtual bool request(MemRequest request, Picos now) = 0;
 };
 
-/// Adapts MemoryController to the MemBackend interface.
-class MemoryController;
+/// Adapts the channel demux to the MemBackend interface.
+class ChannelDemux;
 
 enum class AccessStatus : u8 {
   kHit,       ///< data available after the cache's hit latency
@@ -127,14 +127,14 @@ class Cache : public MemBackend, public sim::Tickable,
       prefetch_issued_, prefetch_useful_, evictions_;
 };
 
-/// MemBackend view of a MemoryController.
+/// MemBackend view of the DRAM channel demux.
 class ControllerBackend : public MemBackend {
  public:
-  explicit ControllerBackend(MemoryController* ctrl) : ctrl_(ctrl) {}
+  explicit ControllerBackend(ChannelDemux* ctrl) : ctrl_(ctrl) {}
   bool request(MemRequest request, Picos now) override;
 
  private:
-  MemoryController* ctrl_;
+  ChannelDemux* ctrl_;
 };
 
 }  // namespace mlp::mem

@@ -7,44 +7,57 @@
 
 namespace mlp::mem {
 
-MemoryController::MemoryController(const DramConfig& cfg,
-                                   std::string stat_prefix, StatSet* stats,
+MemoryController::MemoryController(const DramConfig& cfg, u32 channel,
+                                   const AddressMap* map,
+                                   DramCounters* counters,
+                                   Counter* channel_bytes, StatSet* stats,
+                                   const std::string& stat_prefix,
                                    trace::TraceSession* trace)
     : cfg_(cfg),
+      channel_(channel),
       trace_(trace),
-      map_(cfg),
+      map_(map),
+      policy_(parse_page_policy(cfg.page_policy)),
+      refresh_(parse_refresh(cfg.refresh)),
       period_ps_(cfg.period_ps()),
       bytes_per_cycle_(cfg.bytes_per_cycle()),
-      banks_(cfg.banks) {
-  if (cfg.fault.enabled()) {
-    injector_ = std::make_unique<FaultInjector>(cfg.fault, stats,
-                                                stat_prefix + ".fault");
+      track_base_(trace::kDramTrackBase + channel * cfg.ranks * cfg.banks),
+      counters_(counters),
+      channel_bytes_(channel_bytes),
+      banks_(static_cast<size_t>(cfg.ranks) * cfg.banks),
+      ranks_(cfg.ranks) {
+  if (refresh_.enabled) {
+    trefi_ps_ = cycles(refresh_.t_refi);
+    trfc_ps_ = cycles(refresh_.t_rfc);
+    for (RankState& rank : ranks_) rank.next_due = trefi_ps_;
   }
-  if (stats != nullptr) {
-    stats->add(stat_prefix + ".reads", &reads_);
-    stats->add(stat_prefix + ".writes", &writes_);
-    stats->add(stat_prefix + ".row_hits", &row_hits_);
-    stats->add(stat_prefix + ".row_misses", &row_misses_);
-    stats->add(stat_prefix + ".bytes", &bytes_);
-    stats->add(stat_prefix + ".queue_rejections", &rejected_);
-    stats->add(stat_prefix + ".ecc_corrected", &ecc_corrected_);
-    stats->add(stat_prefix + ".ecc_detected", &ecc_detected_);
-    stats->add(stat_prefix + ".fault_retries", &retries_);
-    stats->add(stat_prefix + ".silent_corruptions", &silent_corruptions_);
+  if (cfg.fault.enabled()) {
+    // Each channel draws an independent, deterministic fault stream:
+    // channel 0 keeps the configured seed (bit-identity with the
+    // single-channel model), further channels mix the channel index in.
+    FaultConfig fault_cfg = cfg.fault;
+    fault_cfg.seed += u64{0x9e3779b97f4a7c15} * channel;
+    const std::string prefix =
+        channel == 0 ? stat_prefix + ".fault"
+                     : stat_prefix + ".ch" + std::to_string(channel) +
+                           ".fault";
+    injector_ = std::make_unique<FaultInjector>(fault_cfg, stats, prefix);
   }
 }
 
-bool MemoryController::try_push(MemRequest request, Picos now) {
+bool MemoryController::try_push(MemRequest request, const DramCoord& coord,
+                                Picos now) {
   if (queue_.size() >= cfg_.queue_depth) {
-    rejected_.inc();
+    counters_->rejected.inc();
     return false;
   }
   MLP_SIM_CHECK(request.bytes > 0, "config", "empty request");
+  // A request must not straddle a row boundary: callers split at rows (and
+  // the demux splits sub-row interleaves into per-bank stripes).
+  MLP_SIM_CHECK(coord.column + request.bytes <= cfg_.row_bytes, "config",
+                "request crosses a row boundary");
   Pending pending;
-  pending.coord = map_.decode(request.addr);
-  // A request must not straddle a row boundary: callers split at rows.
-  MLP_SIM_CHECK(pending.coord.column + request.bytes <= cfg_.row_bytes,
-                "config", "request crosses a row boundary");
+  pending.coord = coord;
   pending.request = std::move(request);
   pending.arrived_at = now;
   pending.order = next_order_++;
@@ -52,7 +65,8 @@ bool MemoryController::try_push(MemRequest request, Picos now) {
   return true;
 }
 
-Picos MemoryController::apply_faults(const MemRequest& request, Picos now,
+Picos MemoryController::apply_faults(const MemRequest& request,
+                                     const DramCoord& coord, Picos now,
                                      bool* needs_retry) {
   TransferFaults faults = injector_->draw(request.bytes);
   Picos extra = 0;
@@ -62,8 +76,7 @@ Picos MemoryController::apply_faults(const MemRequest& request, Picos now,
       (faults.delayed || faults.dropped || !faults.flipped_bits.empty())) {
     const u64 kind = !faults.flipped_bits.empty() ? 1 : faults.delayed ? 2 : 3;
     trace_->emit(trace::Domain::kChannel, trace::EventKind::kFault, now,
-                 trace::kDramTrackBase + map_.decode(request.addr).bank,
-                 request.addr, kind);
+                 bank_track(coord), request.addr, kind);
   }
 
   if (!faults.flipped_bits.empty()) {
@@ -74,17 +87,17 @@ Picos MemoryController::apply_faults(const MemRequest& request, Picos now,
       u32 flips_in_word = 0;
       for (const u32 bit : faults.flipped_bits) {  // bits arrive sorted
         if (bit / 64 != word) {
-          if (flips_in_word == 1) ecc_corrected_.inc();
+          if (flips_in_word == 1) counters_->ecc_corrected.inc();
           word = bit / 64;
           flips_in_word = 0;
         }
         ++flips_in_word;
         if (flips_in_word == 2) {
-          ecc_detected_.inc();
+          counters_->ecc_detected.inc();
           *needs_retry = true;
         }
       }
-      if (flips_in_word == 1) ecc_corrected_.inc();
+      if (flips_in_word == 1) counters_->ecc_corrected.inc();
     } else {
       // No ECC: the flips land in the functional bytes. Golden verification
       // turns this into a per-job failure instead of a silent wrong result.
@@ -92,7 +105,7 @@ Picos MemoryController::apply_faults(const MemRequest& request, Picos now,
         if (image_ != nullptr) {
           image_->flip_bit(request.addr + bit / 8, bit % 8);
         }
-        silent_corruptions_.inc();
+        counters_->silent_corruptions.inc();
       }
     }
   }
@@ -101,17 +114,24 @@ Picos MemoryController::apply_faults(const MemRequest& request, Picos now,
 
 bool MemoryController::try_issue(Pending& pending, Picos now,
                                  bool row_hit_only) {
-  Bank& bank = banks_[pending.coord.bank];
+  // A rank at its refresh-postponement cap stops issuing demand accesses
+  // until it catches up (the JEDEC debt window).
+  if (refresh_.enabled &&
+      ranks_[pending.coord.rank].debt >= refresh_.max_postponed) {
+    return false;
+  }
+  Bank& bank = bank_at(pending.coord);
   if (bank.ready_at > now) return false;
 
   const bool row_hit = bank.has_open_row && bank.open_row == pending.coord.row;
   if (row_hit_only && !row_hit) return false;
 
-  const u32 bank_track = trace::kDramTrackBase + pending.coord.bank;
+  const u32 track = bank_track(pending.coord);
   Picos cas_start;
   if (row_hit) {
     cas_start = now;
-    row_hits_.inc();
+    counters_->row_hits.inc();
+    ++bank.accesses;
   } else {
     Picos start = now;
     if (bank.has_open_row) {
@@ -121,7 +141,7 @@ bool MemoryController::try_issue(Pending& pending, Picos now,
       start = pre_start + cycles(cfg_.t_rp);
       if (trace_ != nullptr) {
         trace_->emit(trace::Domain::kChannel, trace::EventKind::kDramPrecharge,
-                     pre_start, bank_track, bank.open_row);
+                     pre_start, track, bank.open_row);
       }
     }
     const Picos act_start = start;
@@ -129,10 +149,11 @@ bool MemoryController::try_issue(Pending& pending, Picos now,
     bank.has_open_row = true;
     bank.open_row = pending.coord.row;
     bank.activated_at = act_start;
-    row_misses_.inc();
+    bank.accesses = 1;
+    counters_->row_misses.inc();
     if (trace_ != nullptr) {
       trace_->emit(trace::Domain::kChannel, trace::EventKind::kDramActivate,
-                   act_start, bank_track, pending.coord.row);
+                   act_start, track, pending.coord.row);
     }
   }
 
@@ -143,30 +164,126 @@ bool MemoryController::try_issue(Pending& pending, Picos now,
   bank.ready_at = data_end;
   busy_ps_ += data_end - data_start;
 
-  bytes_.inc(pending.request.bytes);
+  counters_->bytes.inc(pending.request.bytes);
+  if (channel_bytes_ != nullptr) channel_bytes_->inc(pending.request.bytes);
   if (pending.request.is_write) {
-    writes_.inc();
+    counters_->writes.inc();
   } else {
-    reads_.inc();
+    counters_->reads.inc();
   }
   if (trace_ != nullptr) {
     trace_->emit(trace::Domain::kChannel,
                  pending.request.is_write ? trace::EventKind::kDramWrite
                                           : trace::EventKind::kDramRead,
-                 data_start, bank_track, pending.coord.row, row_hit ? 1 : 0);
+                 data_start, track, pending.coord.row, row_hit ? 1 : 0);
+  }
+
+  // Hit-streak cap: autoprecharge after this access once the row has served
+  // max_row_hits column accesses (closed-page when the cap is 1).
+  if (policy_.max_row_hits != 0 && bank.accesses >= policy_.max_row_hits) {
+    const Picos pre_start =
+        std::max(data_end, bank.activated_at + cycles(cfg_.t_ras));
+    if (trace_ != nullptr) {
+      trace_->emit(trace::Domain::kChannel, trace::EventKind::kDramPrecharge,
+                   pre_start, track, bank.open_row);
+    }
+    counters_->explicit_precharges.inc();
+    bank.has_open_row = false;
+    bank.accesses = 0;
+    bank.ready_at = pre_start + cycles(cfg_.t_rp);
   }
 
   InFlight transfer;
   transfer.attempts = pending.attempts;
+  transfer.coord = pending.coord;
   if (injector_ != nullptr) {
     // Fault draw at issue: the injected delay lands on the response time
     // only (the bus/bank occupancy above is the physical transfer).
-    data_end += apply_faults(pending.request, now, &transfer.needs_retry);
+    data_end += apply_faults(pending.request, pending.coord, now,
+                             &transfer.needs_retry);
   }
   transfer.request = std::move(pending.request);
   transfer.done_at = data_end;
   in_flight_.push_back(std::move(transfer));
   return true;
+}
+
+void MemoryController::apply_idle_closures(Picos now) {
+  const Picos idle_ps = cycles(policy_.max_row_idle);
+  for (u32 b = 0; b < banks_.size(); ++b) {
+    Bank& bank = banks_[b];
+    if (!bank.has_open_row) continue;
+    // The row starts idling when its last transfer leaves the bank
+    // (ready_at); a future ready_at means a transfer is still in progress.
+    const Picos deadline = bank.ready_at + idle_ps;
+    if (deadline > now) continue;
+    const Picos pre_start =
+        std::max(deadline, bank.activated_at + cycles(cfg_.t_ras));
+    if (trace_ != nullptr) {
+      trace_->emit(trace::Domain::kChannel, trace::EventKind::kDramPrecharge,
+                   pre_start, track_base_ + b, bank.open_row);
+    }
+    counters_->explicit_precharges.inc();
+    bank.has_open_row = false;
+    bank.accesses = 0;
+    bank.ready_at = pre_start + cycles(cfg_.t_rp);
+  }
+}
+
+Picos MemoryController::rank_refresh_ready(u32 r) const {
+  Picos ready = 0;
+  for (u32 b = 0; b < cfg_.banks; ++b) {
+    const Bank& bank = banks_[r * cfg_.banks + b];
+    ready = std::max(ready, bank.ready_at);
+    if (bank.has_open_row) {
+      ready = std::max(ready, bank.activated_at + cycles(cfg_.t_ras));
+    }
+  }
+  return ready;
+}
+
+void MemoryController::run_refresh(Picos now) {
+  for (u32 r = 0; r < ranks_.size(); ++r) {
+    RankState& rank = ranks_[r];
+    while (now >= rank.next_due) {
+      ++rank.debt;
+      rank.next_due += trefi_ps_;
+    }
+    if (rank.debt == 0) continue;
+    // Postpone while demand is queued for the rank, unless the JEDEC debt
+    // window is exhausted (try_issue then blocks the rank's demand, so the
+    // banks drain and the refresh goes through).
+    const bool demand = rank_has_demand(r);
+    if (demand && rank.debt < refresh_.max_postponed) continue;
+    if (rank_refresh_ready(r) > now) continue;
+
+    // All banks of the rank must be precharged for REF; close any open rows
+    // first (one extra tRP) and block the rank for tRFC.
+    bool any_open = false;
+    for (u32 b = 0; b < cfg_.banks; ++b) {
+      if (banks_[r * cfg_.banks + b].has_open_row) any_open = true;
+    }
+    const Picos stall = (any_open ? cycles(cfg_.t_rp) : 0) + trfc_ps_;
+    for (u32 b = 0; b < cfg_.banks; ++b) {
+      Bank& bank = banks_[r * cfg_.banks + b];
+      if (bank.has_open_row && trace_ != nullptr) {
+        trace_->emit(trace::Domain::kChannel, trace::EventKind::kDramPrecharge,
+                     now, track_base_ + r * cfg_.banks + b, bank.open_row);
+      }
+      bank.has_open_row = false;
+      bank.accesses = 0;
+      bank.ready_at = now + stall;
+    }
+    counters_->refreshes.inc();
+    // Deterministic stall attribution: a refresh only counts as interference
+    // when demand was queued behind it at issue time.
+    if (demand) counters_->refresh_stall_ps.inc(stall);
+    if (trace_ != nullptr) {
+      trace_->emit(trace::Domain::kChannel, trace::EventKind::kDramRefresh,
+                   now, track_base_ + r * cfg_.banks, r, rank.debt);
+    }
+    --rank.debt;
+  }
 }
 
 void MemoryController::requeue(InFlight&& transfer, Picos now) {
@@ -182,9 +299,9 @@ void MemoryController::requeue(InFlight&& transfer, Picos now) {
                        : "dropped response: retry budget exhausted",
                    detail);
   }
-  retries_.inc();
+  counters_->retries.inc();
   Pending pending;
-  pending.coord = map_.decode(transfer.request.addr);
+  pending.coord = transfer.coord;
   pending.request = std::move(transfer.request);
   pending.arrived_at = now;
   pending.order = next_order_++;
@@ -212,6 +329,9 @@ void MemoryController::tick(Picos now) {
     }
   }
 
+  if (policy_.max_row_idle != 0) apply_idle_closures(now);
+  if (refresh_.enabled) run_refresh(now);
+
   if (queue_.empty()) return;
 
   // FR: any ready row-buffer hit, oldest first.
@@ -230,6 +350,38 @@ void MemoryController::tick(Picos now) {
   }
 }
 
+Picos MemoryController::next_event(Picos now) const {
+  Picos at = sim::kNoEvent;
+  for (const InFlight& transfer : in_flight_) {
+    at = std::min(at, std::max(transfer.done_at, now));
+  }
+  for (const Pending& pending : queue_) {
+    at = std::min(at, std::max(bank_at(pending.coord).ready_at, now));
+  }
+  if (policy_.max_row_idle != 0) {
+    const Picos idle_ps = cycles(policy_.max_row_idle);
+    for (const Bank& bank : banks_) {
+      if (bank.has_open_row) {
+        at = std::min(at, std::max(bank.ready_at + idle_ps, now));
+      }
+    }
+  }
+  if (refresh_.enabled) {
+    for (u32 r = 0; r < ranks_.size(); ++r) {
+      const RankState& rank = ranks_[r];
+      // Accrual edges are observable (the refresh-debt gauge), and once debt
+      // is owed the issue point matters; postponed-by-demand refreshes wake
+      // through the pending entries above.
+      at = std::min(at, std::max(rank.next_due, now));
+      if (rank.debt > 0 &&
+          (rank.debt >= refresh_.max_postponed || !rank_has_demand(r))) {
+        at = std::min(at, std::max(rank_refresh_ready(r), now));
+      }
+    }
+  }
+  return at;
+}
+
 void MemoryController::save_state(sim::SnapshotWriter& w) const {
   MLP_SIM_CHECK(idle(), "snapshot",
                 "memory controller captured with outstanding transfers");
@@ -239,6 +391,12 @@ void MemoryController::save_state(sim::SnapshotWriter& w) const {
     w.put_u64(bank.open_row);
     w.put_u64(bank.ready_at);
     w.put_u64(bank.activated_at);
+    w.put_u32(bank.accesses);
+  }
+  w.put_u32(static_cast<u32>(ranks_.size()));
+  for (const RankState& rank : ranks_) {
+    w.put_u64(rank.next_due);
+    w.put_u32(rank.debt);
   }
   w.put_u64(next_order_);
   w.put_u64(bus_free_at_);
@@ -255,6 +413,14 @@ void MemoryController::restore_state(sim::SnapshotCursor& r) {
     bank.open_row = r.get_u64();
     bank.ready_at = r.get_u64();
     bank.activated_at = r.get_u64();
+    bank.accesses = r.get_u32();
+  }
+  const u32 ranks = r.get_u32();
+  MLP_SIM_CHECK(ranks == ranks_.size(), "snapshot",
+                "snapshot rank count does not match this controller");
+  for (RankState& rank : ranks_) {
+    rank.next_due = r.get_u64();
+    rank.debt = r.get_u32();
   }
   next_order_ = r.get_u64();
   bus_free_at_ = r.get_u64();
@@ -277,7 +443,8 @@ std::string MemoryController::debug_dump() const {
     std::snprintf(line, sizeof(line),
                   "    queued addr=0x%llx bytes=%u bank=%u attempts=%u\n",
                   static_cast<unsigned long long>(p.request.addr),
-                  p.request.bytes, p.coord.bank, p.attempts);
+                  p.request.bytes, p.coord.rank * cfg_.banks + p.coord.bank,
+                  p.attempts);
     out += line;
   }
   for (const InFlight& f : in_flight_) {
@@ -296,6 +463,15 @@ std::string MemoryController::debug_dump() const {
                   static_cast<unsigned long long>(banks_[b].open_row),
                   static_cast<unsigned long long>(banks_[b].ready_at));
     out += line;
+  }
+  if (refresh_.enabled) {
+    for (u32 r = 0; r < ranks_.size(); ++r) {
+      std::snprintf(line, sizeof(line),
+                    "    rank[%u] refresh_debt=%u next_due=%llu\n", r,
+                    ranks_[r].debt,
+                    static_cast<unsigned long long>(ranks_[r].next_due));
+      out += line;
+    }
   }
   return out;
 }

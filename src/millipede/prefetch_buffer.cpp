@@ -8,7 +8,7 @@
 namespace mlp::millipede {
 
 PrefetchBuffer::PrefetchBuffer(const MachineConfig& cfg, RowPlan plan,
-                               mem::MemoryController* ctrl,
+                               mem::ChannelDemux* ctrl,
                                RateMatcher* rate_matcher, StatSet* stats,
                                const std::string& prefix,
                                trace::TraceSession* trace)

@@ -26,7 +26,7 @@
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "core/port.hpp"
-#include "mem/controller.hpp"
+#include "mem/channels.hpp"
 #include "millipede/rate_match.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/tickable.hpp"
@@ -49,7 +49,7 @@ class PrefetchBuffer : public core::GlobalPort, public sim::Tickable,
                        public sim::Snapshottable {
  public:
   PrefetchBuffer(const MachineConfig& cfg, RowPlan plan,
-                 mem::MemoryController* ctrl, RateMatcher* rate_matcher,
+                 mem::ChannelDemux* ctrl, RateMatcher* rate_matcher,
                  StatSet* stats, const std::string& prefix,
                  trace::TraceSession* trace = nullptr);
 
@@ -144,7 +144,7 @@ class PrefetchBuffer : public core::GlobalPort, public sim::Tickable,
 
   MachineConfig cfg_;
   RowPlan plan_;
-  mem::MemoryController* ctrl_;
+  mem::ChannelDemux* ctrl_;
   RateMatcher* rate_matcher_;
   trace::TraceSession* trace_ = nullptr;
 

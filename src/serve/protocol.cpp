@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "mem/addrmap.hpp"
 #include "sim/report.hpp"
 
 namespace mlp::serve {
@@ -307,6 +308,16 @@ std::string job_json(const JobSpec& spec) {
   w.value(o.cfg.millipede.pf_entries);
   w.key("bus_efficiency");
   w.value(o.cfg.dram.bus_efficiency);
+  w.key("channels");
+  w.value(o.cfg.dram.channels);
+  w.key("ranks");
+  w.value(o.cfg.dram.ranks);
+  w.key("mapping");
+  w.value(o.cfg.dram.mapping);
+  w.key("page_policy");
+  w.value(o.cfg.dram.page_policy);
+  w.key("refresh");
+  w.value(o.cfg.dram.refresh);
   w.key("slab_layout");
   w.value(o.cfg.slab_layout);
   w.key("fault_rate");
@@ -349,6 +360,8 @@ JobSpec job_from_json(const trace::JsonValue& doc) {
       "arch",        "bench",          "tag",            "records",
       "rows",        "seed",           "record_barrier", "cores",
       "pf_entries",  "bus_efficiency", "slab_layout",    "fault_rate",
+      "channels",    "ranks",          "mapping",        "page_policy",
+      "refresh",
       "fault_delay", "fault_drop",     "fault_seed",     "ecc",
       "watchdog_cycles", "watchdog_stall", "watchdog_wall", "fast_forward",
       "block_cache",
@@ -403,6 +416,31 @@ JobSpec job_from_json(const trace::JsonValue& doc) {
     bad_request("\"bus_efficiency\" must be positive");
   }
   o.cfg.slab_layout = member_bool(doc, "slab_layout", false);
+
+  const u64 channels = member_u64(doc, "channels", o.cfg.dram.channels);
+  if (channels == 0 || channels > 0xffffffffull) {
+    bad_request("\"channels\" must be a positive 32-bit integer");
+  }
+  o.cfg.dram.channels = static_cast<u32>(channels);
+  const u64 ranks = member_u64(doc, "ranks", o.cfg.dram.ranks);
+  if (ranks == 0 || ranks > 0xffffffffull) {
+    bad_request("\"ranks\" must be a positive 32-bit integer");
+  }
+  o.cfg.dram.ranks = static_cast<u32>(ranks);
+  o.cfg.dram.mapping = member_string(doc, "mapping", o.cfg.dram.mapping);
+  o.cfg.dram.page_policy =
+      member_string(doc, "page_policy", o.cfg.dram.page_policy);
+  o.cfg.dram.refresh = member_string(doc, "refresh", o.cfg.dram.refresh);
+  // Spec-string grammar errors surface here as kErrBadRequest rather than
+  // per-job failures (geometry-dependent checks stay per-job: the worker
+  // validates the full config when it builds the machine).
+  try {
+    mem::AddressMap::check_grammar(o.cfg.dram.mapping);
+    (void)parse_page_policy(o.cfg.dram.page_policy);
+    (void)parse_refresh(o.cfg.dram.refresh);
+  } catch (const SimError& e) {
+    bad_request(e.what());
+  }
 
   o.cfg.dram.fault.bit_flip_rate = member_double(doc, "fault_rate", 0.0);
   o.cfg.dram.fault.delay_rate = member_double(doc, "fault_delay", 0.0);

@@ -35,6 +35,8 @@ SimulationKernel::SimulationKernel(const MachineConfig& cfg,
       channel_(cfg.dram.period_ps()),
       watchdog_cfg_(cfg.watchdog),
       watchdog_arch_(std::move(watchdog_arch)),
+      channels_(cfg.dram.channels),
+      ranks_(cfg.dram.ranks),
       banks_(cfg.dram.banks),
       fast_forward_(cfg.fast_forward),
       trace_(trace) {}
@@ -43,17 +45,31 @@ void SimulationKernel::wire_trace(
     const std::string& process_name, const StatSet* stats,
     const std::function<void(trace::TraceSession*)>& name_tracks,
     const std::function<void(trace::TraceSession*)>& arch_hook,
-    std::function<u64()> dram_queue) {
+    std::function<u64()> dram_queue, std::function<u64()> dram_refresh) {
   if (trace_ == nullptr) return;
   trace_->begin_run(process_name, stats);
   if (name_tracks) name_tracks(trace_);
-  for (u32 b = 0; b < banks_; ++b) {
-    trace_->set_track_name(trace::kDramTrackBase + b,
-                           "dram.bank" + std::to_string(b));
+  // Bank tracks span the channel x rank x bank hierarchy; the default 1x1
+  // hierarchy keeps the historical flat "dram.bank<b>" names.
+  const bool flat = channels_ == 1 && ranks_ == 1;
+  for (u32 c = 0; c < channels_; ++c) {
+    for (u32 r = 0; r < ranks_; ++r) {
+      for (u32 b = 0; b < banks_; ++b) {
+        const u32 track =
+            trace::kDramTrackBase + (c * ranks_ + r) * banks_ + b;
+        trace_->set_track_name(
+            track, flat ? "dram.bank" + std::to_string(b)
+                        : "dram.c" + std::to_string(c) + ".r" +
+                              std::to_string(r) + ".b" + std::to_string(b));
+      }
+    }
   }
   if (arch_hook) arch_hook(trace_);
   trace_->set_track_name(trace::kWatchdogTrack, "watchdog");
   if (dram_queue) trace_->add_gauge("dram.queue", std::move(dram_queue));
+  if (dram_refresh) {
+    trace_->add_gauge("dram.refresh", std::move(dram_refresh));
+  }
   trace_->add_gauge("clock.period_ps",
                     [this] { return compute_.period_ps(); });
 }

@@ -73,14 +73,18 @@ class SimulationKernel {
 
   /// One-stop trace registration reproducing the pre-kernel per-arch layout:
   /// begin_run(process_name, stats), then `name_tracks` (per-context or
-  /// per-warp tracks), the DRAM bank tracks, `arch_hook` (arch-specific
-  /// tracks and gauges, e.g. pb/rate), the watchdog track, and finally the
-  /// "dram.queue" and "clock.period_ps" gauges. No-op without a trace
-  /// session; either hook may be empty.
+  /// per-warp tracks), the DRAM bank tracks (one per channel x rank x bank;
+  /// the flat "dram.bank<b>" names when the hierarchy is 1x1), `arch_hook`
+  /// (arch-specific tracks and gauges, e.g. pb/rate), the watchdog track,
+  /// and finally the "dram.queue", optional "dram.refresh" (pass an empty
+  /// function when refresh is off so default timelines keep their columns)
+  /// and "clock.period_ps" gauges. No-op without a trace session; either
+  /// hook may be empty.
   void wire_trace(const std::string& process_name, const StatSet* stats,
                   const std::function<void(trace::TraceSession*)>& name_tracks,
                   const std::function<void(trace::TraceSession*)>& arch_hook,
-                  std::function<u64()> dram_queue);
+                  std::function<u64()> dram_queue,
+                  std::function<u64()> dram_refresh = {});
 
   // ---- mid-run checkpoints (sim/snapshot.hpp) ----
 
@@ -140,7 +144,7 @@ class SimulationKernel {
   ClockDomain channel_;
   WatchdogConfig watchdog_cfg_;
   std::string watchdog_arch_;
-  u32 banks_;
+  u32 channels_, ranks_, banks_;
   bool fast_forward_;
   trace::TraceSession* trace_;
 

@@ -54,7 +54,8 @@ u64 job_records(const MatrixJob& job) {
 
 std::string sweep_csv_header() {
   return "arch,bench,cores,pf_entries,bus_efficiency,rows,records,seed,"
-         "fault_rate,ecc,runtime_us,cycles,insts,insts_per_word,clock_mhz,"
+         "fault_rate,ecc,channels,ranks,mapping,page_policy,refresh,"
+         "runtime_us,cycles,insts,insts_per_word,clock_mhz,"
          "core_uj,dram_uj,leak_uj,row_miss_rate,ecc_corrected,ecc_detected,"
          "fault_retries,error\n";
 }
@@ -62,13 +63,17 @@ std::string sweep_csv_header() {
 std::string sweep_csv_row(const MatrixResult& run) {
   const SuiteOptions& o = run.job.options;
   char buf[512];
-  std::snprintf(buf, sizeof(buf), "%s,%s,%u,%u,%.3f,%llu,%llu,%llu,%g,%d,",
+  std::snprintf(buf, sizeof(buf),
+                "%s,%s,%u,%u,%.3f,%llu,%llu,%llu,%g,%d,%u,%u,%s,%s,%s,",
                 arch_column(run), run.job.bench.c_str(), o.cfg.core.cores,
                 o.cfg.millipede.pf_entries, o.cfg.dram.bus_efficiency,
                 static_cast<unsigned long long>(o.rows),
                 static_cast<unsigned long long>(job_records(run.job)),
                 static_cast<unsigned long long>(o.seed),
-                o.cfg.dram.fault.bit_flip_rate, o.cfg.dram.fault.ecc ? 1 : 0);
+                o.cfg.dram.fault.bit_flip_rate, o.cfg.dram.fault.ecc ? 1 : 0,
+                o.cfg.dram.channels, o.cfg.dram.ranks,
+                o.cfg.dram.mapping.c_str(), o.cfg.dram.page_policy.c_str(),
+                o.cfg.dram.refresh.c_str());
   std::string row = buf;
   if (!run.ok()) {
     // 12 empty metric cells, then the error column.
@@ -130,6 +135,16 @@ std::string stats_json_run(const MatrixResult& run) {
   w.value(o.cfg.dram.fault.bit_flip_rate);
   w.key("ecc");
   w.value(o.cfg.dram.fault.ecc);
+  w.key("channels");
+  w.value(o.cfg.dram.channels);
+  w.key("ranks");
+  w.value(o.cfg.dram.ranks);
+  w.key("mapping");
+  w.value(o.cfg.dram.mapping);
+  w.key("page_policy");
+  w.value(o.cfg.dram.page_policy);
+  w.key("refresh");
+  w.value(o.cfg.dram.refresh);
   w.end_object();
   if (run.ok()) {
     const arch::RunResult& r = run.result;

@@ -17,8 +17,14 @@ namespace mlp::sim {
 ///  1  initial schema;
 ///  2  decode.block_hits / decode.block_misses / decode.batched_lanes
 ///     counters joined every run's counter map (docs/ARCHITECTURE.md,
-///     "Interpreter fast path").
-inline constexpr u32 kStatsJsonSchemaVersion = 2;
+///     "Interpreter fast path");
+///  3  channels / ranks / mapping / page_policy / refresh joined the config
+///     object (and the sweep CSV grew the same five columns after `ecc`);
+///     refresh-enabled runs add dram.refreshes / dram.refresh_stall_ps,
+///     non-open page policies add dram.explicit_precharges, and multi-channel
+///     runs add dram.ch<k>.bytes to the counter map (docs/ARCHITECTURE.md,
+///     "DRAM timing model").
+inline constexpr u32 kStatsJsonSchemaVersion = 3;
 
 /// Header line (with trailing '\n') for the sweep CSV. The final column is
 /// `error`: empty for successful points, the sanitized error message for

@@ -37,6 +37,12 @@ void append_kv(std::string& out, const char* name, bool value) {
   out += value ? '1' : '0';
 }
 
+void append_kv(std::string& out, const char* name, const std::string& value) {
+  out += '|';
+  out += name;
+  out += value;
+}
+
 }  // namespace
 
 std::string fork_key(const MatrixJob& job) {
@@ -65,6 +71,11 @@ std::string fork_key(const MatrixJob& job) {
   append_kv(key, "dras", u64{c.dram.t_ras});
   append_kv(key, "dqd", u64{c.dram.queue_depth});
   append_kv(key, "dbe", c.dram.bus_efficiency);
+  append_kv(key, "dch", u64{c.dram.channels});
+  append_kv(key, "drk", u64{c.dram.ranks});
+  append_kv(key, "dmap", c.dram.mapping);
+  append_kv(key, "dpp", c.dram.page_policy);
+  append_kv(key, "dref", c.dram.refresh);
   append_kv(key, "cmhz", c.core.clock_mhz);
   append_kv(key, "cc", u64{c.core.cores});
   append_kv(key, "cx", u64{c.core.contexts});

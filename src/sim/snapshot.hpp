@@ -34,7 +34,12 @@ namespace mlp::sim {
 
 inline constexpr char kSnapshotMagic[8] = {'M', 'L', 'P', 'S',
                                            'N', 'A', 'P', '\0'};
-inline constexpr u32 kSnapshotVersion = 1;
+/// Version history:
+///  1  initial format;
+///  2  kSecController gained per-bank access streaks and per-rank refresh
+///     cursors (next_due, postponement debt), framed per channel, and the
+///     fork key gained the dch/drk/dmap/dpp/dref DRAM-hierarchy entries.
+inline constexpr u32 kSnapshotVersion = 2;
 
 /// Section ids. Low ids are singleton kernel-level sections; component
 /// ranges are BASE + instance so per-core components stay distinct.

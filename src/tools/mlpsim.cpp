@@ -16,6 +16,7 @@
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
 #include "sim/snapshot.hpp"
+#include "sweep_grid.hpp"
 
 namespace {
 
@@ -55,6 +56,15 @@ void usage() {
   --jobs N          concurrent simulations          (default 1)
   --no-flow-control / --no-rate-match / --record-barrier
   --bus-efficiency F  effective DRAM bus efficiency (default 0.30)
+  --channels N      DRAM channels (pow2; one controller each, default 1)
+  --ranks N         DRAM ranks per channel (pow2; default 1)
+  --mapping SPEC    address interleave field order, msb first, of
+                    row|col|bank|rank|channel joined by ':'
+                    (default row:bank:col = legacy row-interleaved banks)
+  --page-policy SPEC  open | closed | open:idle=N:hits=M — per-bank row
+                    policy (N in DRAM cycles, M in column accesses)
+  --refresh SPEC    off | on | on:trefi=N:trfc=N:postpone=K — per-rank
+                    auto-refresh (cycles; K = JEDEC postponement slots)
   --fault-rate P    DRAM bit-flip probability per transferred bit
                     (deterministic per seed; default 0 = off)
   --fault-delay-rate P / --fault-drop-rate P
@@ -172,6 +182,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--bus-efficiency") {
       options.cfg.dram.bus_efficiency =
           tools::parse_positive_double(arg, next());
+    } else if (arg == "--channels") {
+      options.cfg.dram.channels = tools::parse_u32(arg, next(), /*min=*/1);
+    } else if (arg == "--ranks") {
+      options.cfg.dram.ranks = tools::parse_u32(arg, next(), /*min=*/1);
+    } else if (arg == "--mapping") {
+      options.cfg.dram.mapping = tools::parse_mapping_spec(arg, next());
+    } else if (arg == "--page-policy") {
+      options.cfg.dram.page_policy = tools::parse_page_policy_spec(arg, next());
+    } else if (arg == "--refresh") {
+      options.cfg.dram.refresh = tools::parse_refresh_spec(arg, next());
     } else if (arg == "--fault-rate") {
       options.cfg.dram.fault.bit_flip_rate =
           tools::parse_rate(arg, next());

@@ -3,8 +3,9 @@
 // local path, its --server remote path, and `mlpclient sweep`). One struct
 // owns the axis lists, consumes the axis flags from an ArgCursor, and
 // expands the cross product in ONE fixed axis order
-// (arch → bench → cores → pf → bus → rows → fault) so every driver emits
-// rows in the same deterministic grid order.
+// (arch → bench → cores → pf → bus → rows → fault → channels → ranks →
+// mapping → page-policy → refresh) so every driver emits rows in the same
+// deterministic grid order.
 
 #include <algorithm>
 #include <cstdio>
@@ -12,6 +13,8 @@
 #include <vector>
 
 #include "argparse.hpp"
+#include "common/error.hpp"
+#include "mem/addrmap.hpp"
 #include "sim/runner.hpp"
 
 namespace mlp::tools {
@@ -43,6 +46,40 @@ inline std::vector<std::string> parse_benches(const std::string& flag,
   return benches;
 }
 
+/// Eager command-line validation of the DRAM spec strings: a typo exits 2
+/// at parse time instead of failing every grid point. Grammar only for the
+/// mapping — zero-width-field checks need the per-point channel/rank/bank
+/// geometry and stay per-point SimErrors.
+inline std::string parse_mapping_spec(const std::string& flag,
+                                      const std::string& text) {
+  try {
+    mem::AddressMap::check_grammar(text);
+  } catch (const SimError&) {
+    flag_error(flag, text, "a field list like row:rank:bank:channel:col");
+  }
+  return text;
+}
+
+inline std::string parse_page_policy_spec(const std::string& flag,
+                                          const std::string& text) {
+  try {
+    (void)parse_page_policy(text);
+  } catch (const SimError&) {
+    flag_error(flag, text, "open, closed, or open:idle=N:hits=M");
+  }
+  return text;
+}
+
+inline std::string parse_refresh_spec(const std::string& flag,
+                                      const std::string& text) {
+  try {
+    (void)parse_refresh(text);
+  } catch (const SimError&) {
+    flag_error(flag, text, "off, on, or on:trefi=N:trfc=N:postpone=K");
+  }
+  return text;
+}
+
 struct SweepGrid {
   // Axes (each defaults to one paper-default point).
   std::vector<arch::ArchKind> archs = {arch::ArchKind::kMillipede};
@@ -52,6 +89,11 @@ struct SweepGrid {
   std::vector<double> bus_efficiencies = {0.30};
   std::vector<u64> rows = {sim::kDefaultRows};
   std::vector<double> fault_rates = {0.0};
+  std::vector<u32> channels = {1};
+  std::vector<u32> ranks = {1};
+  std::vector<std::string> mappings = {"row:bank:col"};
+  std::vector<std::string> page_policies = {"open"};
+  std::vector<std::string> refreshes = {"off"};
 
   // Scalars applied to every point.
   u64 records = 0;
@@ -73,6 +115,15 @@ struct SweepGrid {
         "  --rows LIST           data volume in DRAM rows (default 192)\n"
         "  --fault-rate LIST     DRAM bit-flip probability per transferred\n"
         "                        bit (default 0 = off)\n"
+        "  --channels LIST       DRAM channels, pow2       (default 1)\n"
+        "  --ranks LIST          DRAM ranks per channel    (default 1)\n"
+        "  --mapping LIST        address interleave field order, msb first\n"
+        "                        (default row:bank:col; e.g.\n"
+        "                        row:rank:bank:channel:col)\n"
+        "  --page-policy LIST    open | closed | open:idle=N:hits=M\n"
+        "                        (cycles / column accesses; default open)\n"
+        "  --refresh LIST        off | on | on:trefi=N:trfc=N:postpone=K\n"
+        "                        (cycles / slots; default off)\n"
         "\n"
         "Point scalars:\n"
         "  --records N           absolute record count (overrides --rows)\n"
@@ -120,6 +171,31 @@ struct SweepGrid {
       for (const std::string& item : split_list(arg, args.value())) {
         fault_rates.push_back(parse_rate(arg, item));
       }
+    } else if (args.is("--channels")) {
+      channels.clear();
+      for (const std::string& item : split_list(arg, args.value())) {
+        channels.push_back(parse_u32(arg, item, /*min=*/1));
+      }
+    } else if (args.is("--ranks")) {
+      ranks.clear();
+      for (const std::string& item : split_list(arg, args.value())) {
+        ranks.push_back(parse_u32(arg, item, /*min=*/1));
+      }
+    } else if (args.is("--mapping")) {
+      mappings.clear();
+      for (const std::string& item : split_list(arg, args.value())) {
+        mappings.push_back(parse_mapping_spec(arg, item));
+      }
+    } else if (args.is("--page-policy")) {
+      page_policies.clear();
+      for (const std::string& item : split_list(arg, args.value())) {
+        page_policies.push_back(parse_page_policy_spec(arg, item));
+      }
+    } else if (args.is("--refresh")) {
+      refreshes.clear();
+      for (const std::string& item : split_list(arg, args.value())) {
+        refreshes.push_back(parse_refresh_spec(arg, item));
+      }
     } else if (args.is("--records")) {
       records = parse_u64(arg, args.value(), /*min=*/1);
     } else if (args.is("--seed")) {
@@ -156,6 +232,11 @@ struct SweepGrid {
             for (const double bus_eff : bus_efficiencies) {
               for (const u64 row_count : rows) {
                 for (const double fault_rate : fault_rates) {
+                  for (const u32 channel_count : channels) {
+                  for (const u32 rank_count : ranks) {
+                  for (const std::string& mapping : mappings) {
+                  for (const std::string& page_policy : page_policies) {
+                  for (const std::string& refresh : refreshes) {
                   sim::SuiteOptions options;
                   options.records = records;
                   options.rows = row_count;
@@ -167,10 +248,17 @@ struct SweepGrid {
                   options.cfg.dram.fault.bit_flip_rate = fault_rate;
                   options.cfg.dram.fault.ecc = ecc;
                   options.cfg.dram.fault.seed = fault_seed;
+                  options.cfg.dram.channels = channel_count;
+                  options.cfg.dram.ranks = rank_count;
+                  options.cfg.dram.mapping = mapping;
+                  options.cfg.dram.page_policy = page_policy;
+                  options.cfg.dram.refresh = refresh;
                   options.cfg.watchdog = watchdog;
                   options.trace = trace_cfg;
                   // Tracing needs a unique per-point file stem: encode the
-                  // grid coordinates into the job tag.
+                  // grid coordinates into the job tag. The DRAM axes join
+                  // the stem only when swept (>1 point), keeping legacy
+                  // single-point trace names stable.
                   std::string tag;
                   if (trace_cfg.enabled()) {
                     char buf[96];
@@ -180,8 +268,26 @@ struct SweepGrid {
                                   static_cast<unsigned long long>(row_count),
                                   fault_rate);
                     tag = buf;
+                    if (channels.size() > 1 || ranks.size() > 1 ||
+                        mappings.size() > 1 || page_policies.size() > 1 ||
+                        refreshes.size() > 1) {
+                      std::snprintf(buf, sizeof(buf), "-ch%u-rk%u-%s-%s-%s",
+                                    channel_count, rank_count, mapping.c_str(),
+                                    page_policy.c_str(), refresh.c_str());
+                      std::string dram_part = buf;
+                      // ':' and '=' are awkward in file stems.
+                      for (char& ch : dram_part) {
+                        if (ch == ':' || ch == '=') ch = '.';
+                      }
+                      tag += dram_part;
+                    }
                   }
                   matrix.push_back({kind, bench, options, tag});
+                  }
+                  }
+                  }
+                  }
+                  }
                 }
               }
             }

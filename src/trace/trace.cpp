@@ -27,6 +27,7 @@ const char* event_name(EventKind kind) {
     case EventKind::kFreqStep: return "freq_step";
     case EventKind::kWatchdogTrip: return "watchdog_trip";
     case EventKind::kFault: return "fault";
+    case EventKind::kDramRefresh: return "REF";
   }
   return "?";
 }
@@ -273,6 +274,12 @@ std::string TraceSession::chrome_trace_json() const {
         w.value(event.a);
         w.key("kind");
         w.value(event.b == 1 ? "flip" : event.b == 2 ? "delay" : "drop");
+        break;
+      case EventKind::kDramRefresh:
+        w.key("rank");
+        w.value(event.a);
+        w.key("debt");
+        w.value(event.b);
         break;
     }
     w.end_object();

@@ -55,6 +55,7 @@ enum class EventKind : u8 {
   kFreqStep,          // a = new period [ps], b = new frequency [kHz]
   kWatchdogTrip,      // a = loop iterations at trip
   kFault,             // a = address, b = bit0 flip / bit1 delay / bit2 drop
+  kDramRefresh,       // a = rank, b = refresh debt at issue
 };
 
 /// Clock domain an event was recorded against; events are buffered per
@@ -63,7 +64,8 @@ enum class Domain : u8 { kCompute = 0, kChannel = 1 };
 
 /// Track-id convention for non-corelet emitters (corelet stalls use
 /// `corelet * contexts + context`, matching the dump_corelets layout).
-inline constexpr u32 kDramTrackBase = 0x10000;  ///< + bank index
+inline constexpr u32 kDramTrackBase = 0x10000;  ///< + (channel*ranks + rank)
+                                                ///<   * banks + bank
 inline constexpr u32 kPrefetchTrack = 0x20000;
 inline constexpr u32 kRateMatchTrack = 0x20001;
 inline constexpr u32 kWatchdogTrack = 0x20002;

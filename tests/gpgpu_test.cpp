@@ -6,7 +6,7 @@
 #include "common/units.hpp"
 #include "gpgpu/sm.hpp"
 #include "isa/assembler.hpp"
-#include "mem/controller.hpp"
+#include "mem/channels.hpp"
 
 namespace mlp::gpgpu {
 namespace {
@@ -103,7 +103,7 @@ struct SmFixture : ::testing::Test {
 
     program = isa::must_assemble("sm", src);
     dram = std::make_unique<mem::DramImage>(1 << 20);
-    ctrl = std::make_unique<mem::MemoryController>(cfg.dram, "dram", &stats);
+    ctrl = std::make_unique<mem::ChannelDemux>(cfg.dram, "dram", &stats);
     backend = std::make_unique<mem::ControllerBackend>(ctrl.get());
     l1d = std::make_unique<mem::Cache>(
         "l1d", cfg.gpgpu.l1d_bytes, cfg.gpgpu.line_bytes, cfg.gpgpu.l1d_assoc,
@@ -167,7 +167,7 @@ struct SmFixture : ::testing::Test {
   StatSet stats;
   isa::Program program;
   std::unique_ptr<mem::DramImage> dram;
-  std::unique_ptr<mem::MemoryController> ctrl;
+  std::unique_ptr<mem::ChannelDemux> ctrl;
   std::unique_ptr<mem::ControllerBackend> backend;
   std::unique_ptr<mem::Cache> l1d;
   std::unique_ptr<mem::SequentialPrefetcher> prefetcher;

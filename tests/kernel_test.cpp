@@ -241,6 +241,37 @@ TEST(KernelFastForward, CountersMatchPollingAcrossTheMatrix) {
   }
 }
 
+TEST(KernelFastForward, CountersMatchPollingWithRefreshAndHierarchy) {
+  // Fast-forward must not skip over refresh cursors, row idle-close
+  // deadlines, or striped sub-transfers: with every DRAM feature lit the
+  // skip-idle run still lands counter-identical to 1-cycle polling. The
+  // arch x bench subset keeps the runtime small; the features live in the
+  // shared controller, not the arch frontends.
+  for (const arch::ArchKind kind :
+       {arch::ArchKind::kMillipede, arch::ArchKind::kGpgpu}) {
+    for (const std::string bench : {"count", "kmeans"}) {
+      auto dram_job = [&](bool fast_forward) {
+        sim::MatrixJob job = matrix_job(kind, bench, fast_forward);
+        job.options.cfg.dram.channels = 2;
+        job.options.cfg.dram.ranks = 2;
+        job.options.cfg.dram.mapping = "row:rank:bank:channel:col";
+        job.options.cfg.dram.page_policy = "open:idle=64:hits=8";
+        job.options.cfg.dram.refresh = "on:trefi=40:trfc=8:postpone=4";
+        return job;
+      };
+      const sim::MatrixResult poll = sim::run_job(dram_job(false));
+      const sim::MatrixResult ff = sim::run_job(dram_job(true));
+      ASSERT_TRUE(poll.ok()) << poll.error;
+      ASSERT_TRUE(ff.ok()) << ff.error;
+      const std::string label =
+          std::string(arch::arch_name(kind)) + "/" + bench;
+      EXPECT_GT(poll.result.stats.at("dram.refreshes"), 0u) << label;
+      EXPECT_EQ(poll.result.runtime_ps, ff.result.runtime_ps) << label;
+      EXPECT_EQ(poll.result.stats, ff.result.stats) << label;
+    }
+  }
+}
+
 TEST(KernelFastForward, MillipedeFreqStepsMatchPolling) {
   workloads::WorkloadParams params;
   // 192 rows of 1-word records: enough voting rows for the DFS hill-climber

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 #include <set>
 
@@ -11,6 +12,7 @@
 #include "common/error.hpp"
 #include "mem/addrmap.hpp"
 #include "mem/cache.hpp"
+#include "mem/channels.hpp"
 #include "mem/controller.hpp"
 #include "mem/dram_image.hpp"
 #include "mem/local_store.hpp"
@@ -75,7 +77,7 @@ struct ControllerFixture : ::testing::Test {
   }
 
   StatSet stats;
-  MemoryController ctrl;
+  ChannelDemux ctrl;
   Picos now = 0;
   Picos period = dram_cfg().period_ps();
 };
@@ -176,6 +178,396 @@ TEST_F(ControllerFixture, RejectsRowStraddlingRequest) {
   req.addr = 2048 - 64;
   req.bytes = 128;  // crosses into the next row
   EXPECT_THROW(ctrl.try_push(std::move(req), now), SimError);
+}
+
+// --- AddressMap: mapping grammar (typed SimError("config") contracts) ---
+
+DramConfig mapped_cfg(const std::string& mapping, u32 channels = 1,
+                      u32 ranks = 1) {
+  DramConfig cfg = dram_cfg();
+  cfg.mapping = mapping;
+  cfg.channels = channels;
+  cfg.ranks = ranks;
+  return cfg;
+}
+
+TEST(AddressMapGrammar, UnknownFieldThrowsTypedConfigError) {
+  try {
+    AddressMap map(mapped_cfg("row:flib:col"));
+    FAIL() << "unknown field accepted";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), "config");
+    EXPECT_NE(std::string(e.what()).find("flib"), std::string::npos);
+  }
+}
+
+TEST(AddressMapGrammar, DuplicateFieldThrows) {
+  EXPECT_THROW(AddressMap map(mapped_cfg("row:bank:bank:col")), SimError);
+}
+
+TEST(AddressMapGrammar, EmptyFieldThrows) {
+  EXPECT_THROW(AddressMap map(mapped_cfg("row::col")), SimError);
+}
+
+TEST(AddressMapGrammar, MissingColumnThrows) {
+  EXPECT_THROW(AddressMap map(mapped_cfg("row:bank")), SimError);
+}
+
+TEST(AddressMapGrammar, RowMustLead) {
+  EXPECT_THROW(AddressMap map(mapped_cfg("bank:row:col")), SimError);
+}
+
+TEST(AddressMapGrammar, ZeroWidthFieldThrows) {
+  // banks = 4 but 'bank' absent: every address would decode to bank 0.
+  EXPECT_THROW(AddressMap map(mapped_cfg("row:col")), SimError);
+  // channels = 2 but 'channel' absent.
+  EXPECT_THROW(AddressMap map(mapped_cfg("row:bank:col", /*channels=*/2)),
+               SimError);
+}
+
+TEST(AddressMapGrammar, DimensionOneFieldsMayBeOmittedOrPresent) {
+  // rank/channel count 1: both spellings are valid and equivalent.
+  AddressMap omitted(mapped_cfg("row:bank:col"));
+  AddressMap spelled(mapped_cfg("row:rank:bank:channel:col"));
+  for (const Addr addr : {u64{0}, u64{4096}, u64{123456}}) {
+    EXPECT_EQ(omitted.decode(addr).bank, spelled.decode(addr).bank);
+    EXPECT_EQ(omitted.decode(addr).row, spelled.decode(addr).row);
+  }
+}
+
+TEST(AddressMapGrammar, CheckGrammarIsGeometryIndependent) {
+  // Grammar violations throw...
+  EXPECT_THROW(AddressMap::check_grammar("row:flib:col"), SimError);
+  EXPECT_THROW(AddressMap::check_grammar("col:row"), SimError);
+  EXPECT_THROW(AddressMap::check_grammar("row:bank:bank:col"), SimError);
+  // ...but zero-width checks need the geometry and pass here.
+  EXPECT_NO_THROW(AddressMap::check_grammar("row:col"));
+  EXPECT_NO_THROW(AddressMap::check_grammar("row:rank:bank:channel:col"));
+}
+
+TEST(AddressMap, DefaultMappingReproducesLegacyInterleave) {
+  // The default "row:bank:col" must decode exactly like the pre-hierarchy
+  // fixed interleave: bank = rowId % banks, row = rowId / banks.
+  const DramConfig cfg = dram_cfg();
+  AddressMap map(cfg);
+  for (Addr addr = 0; addr < 64 * cfg.row_bytes; addr += 97) {
+    const DramCoord coord = map.decode(addr);
+    const u64 row_id = addr / cfg.row_bytes;
+    EXPECT_EQ(coord.bank, row_id % cfg.banks);
+    EXPECT_EQ(coord.row, row_id / cfg.banks);
+    EXPECT_EQ(coord.column, addr % cfg.row_bytes);
+    EXPECT_EQ(coord.channel, 0u);
+    EXPECT_EQ(coord.rank, 0u);
+    EXPECT_EQ(map.encode(coord), addr);
+  }
+  EXPECT_EQ(map.stripes(), 1u);
+}
+
+TEST(AddressMap, SubRowFieldsStripeOneBlock) {
+  // channel below col: a contiguous row-sized block fans out across both
+  // channels at matching columns.
+  AddressMap map(mapped_cfg("row:bank:col:channel", /*channels=*/2));
+  EXPECT_EQ(map.stripes(), 2u);
+  const DramCoord base = map.decode(0);
+  const DramCoord s0 = map.stripe_coord(base, 0);
+  const DramCoord s1 = map.stripe_coord(base, 1);
+  EXPECT_EQ(s0.channel, 0u);
+  EXPECT_EQ(s1.channel, 1u);
+  EXPECT_EQ(map.stripe_index(s0), 0u);
+  EXPECT_EQ(map.stripe_index(s1), 1u);
+}
+
+// --- Page-policy / refresh spec grammar ---
+
+TEST(DramSpecs, PagePolicyParsesAndRejects) {
+  EXPECT_TRUE(parse_page_policy("open").open_page());
+  const PagePolicy closed = parse_page_policy("closed");
+  EXPECT_EQ(closed.max_row_hits, 1u);
+  const PagePolicy tuned = parse_page_policy("open:idle=500:hits=8");
+  EXPECT_EQ(tuned.max_row_idle, 500u);
+  EXPECT_EQ(tuned.max_row_hits, 8u);
+  for (const char* bad :
+       {"", "open!", "open:idle=", "open:idle=abc", "open:bogus=1",
+        "closed:idle=5", "open:idle=1:idle=2"}) {
+    try {
+      (void)parse_page_policy(bad);
+      FAIL() << "accepted " << bad;
+    } catch (const SimError& e) {
+      EXPECT_EQ(e.kind(), "config") << bad;
+    }
+  }
+}
+
+TEST(DramSpecs, RefreshParsesAndRejects) {
+  EXPECT_FALSE(parse_refresh("off").enabled);
+  const RefreshSpec on = parse_refresh("on");
+  EXPECT_TRUE(on.enabled);
+  EXPECT_EQ(on.t_refi, 4680u);
+  EXPECT_EQ(on.t_rfc, 192u);
+  EXPECT_EQ(on.max_postponed, 8u);
+  const RefreshSpec tuned = parse_refresh("on:trefi=100:trfc=10:postpone=2");
+  EXPECT_EQ(tuned.t_refi, 100u);
+  EXPECT_EQ(tuned.t_rfc, 10u);
+  EXPECT_EQ(tuned.max_postponed, 2u);
+  for (const char* bad :
+       {"", "maybe", "off:trefi=5", "on:trefi=abc", "on:trfc=0",
+        "on:trefi=10:trfc=20", "on:postpone=0", "on:bogus=1"}) {
+    try {
+      (void)parse_refresh(bad);
+      FAIL() << "accepted " << bad;
+    } catch (const SimError& e) {
+      EXPECT_EQ(e.kind(), "config") << bad;
+    }
+  }
+}
+
+// --- Page policy timing (per-bank open/closed state machine) ---
+
+struct PolicyFixture : ::testing::Test {
+  void build(const std::string& page_policy) {
+    DramConfig cfg = dram_cfg();
+    cfg.page_policy = page_policy;
+    ctrl.emplace(cfg, "dram", &stats);
+  }
+
+  Picos run_read(Addr addr, u32 bytes) {
+    std::optional<Picos> done;
+    MemRequest req;
+    req.addr = addr;
+    req.bytes = bytes;
+    req.on_complete = [&](Picos at) { done = at; };
+    EXPECT_TRUE(ctrl->try_push(std::move(req), now));
+    while (!ctrl->idle()) {
+      ctrl->tick(now);
+      now += period;
+    }
+    EXPECT_TRUE(done.has_value());
+    return *done;
+  }
+
+  StatSet stats;
+  std::optional<ChannelDemux> ctrl;
+  Picos now = 0;
+  Picos period = dram_cfg().period_ps();
+};
+
+TEST_F(PolicyFixture, ClosedPagePrechargesAfterEveryAccess) {
+  build("closed");
+  run_read(0, 64);
+  run_read(64, 64);  // same row: open-page would hit
+  EXPECT_EQ(stats.get("dram.row_misses"), 2u);
+  EXPECT_EQ(stats.get("dram.row_hits"), 0u);
+  EXPECT_EQ(stats.get("dram.explicit_precharges"), 2u);
+}
+
+TEST_F(PolicyFixture, HitStreakCapClosesTheRow) {
+  build("open:hits=2");
+  run_read(0, 64);    // miss, streak 1
+  run_read(64, 64);   // hit, streak 2 -> autoprecharge
+  run_read(128, 64);  // miss again
+  EXPECT_EQ(stats.get("dram.row_misses"), 2u);
+  EXPECT_EQ(stats.get("dram.row_hits"), 1u);
+  EXPECT_EQ(stats.get("dram.explicit_precharges"), 1u);
+}
+
+TEST_F(PolicyFixture, IdleTimeoutClosesTheRow) {
+  build("open:idle=50");
+  run_read(0, 64);
+  EXPECT_EQ(stats.get("dram.explicit_precharges"), 0u);
+  // Tick past the idle deadline with no demand: the bank closes on its own.
+  for (int i = 0; i < 60; ++i) {
+    ctrl->tick(now);
+    now += period;
+  }
+  EXPECT_EQ(stats.get("dram.explicit_precharges"), 1u);
+  run_read(64, 64);  // the closed row must re-activate
+  EXPECT_EQ(stats.get("dram.row_misses"), 2u);
+  EXPECT_EQ(stats.get("dram.row_hits"), 0u);
+}
+
+TEST_F(PolicyFixture, IdleDeadlineAppearsInNextEvent) {
+  build("open:idle=50");
+  run_read(0, 64);
+  // The controller must advertise the pending closure so the kernel's
+  // fast-forward cannot skip it.
+  const Picos at = ctrl->next_event(now);
+  ASSERT_NE(at, sim::kNoEvent);
+  EXPECT_GE(at, now);
+  EXPECT_LE(at, now + 51 * period);
+}
+
+// --- Refresh scheduling ---
+
+struct RefreshFixture : ::testing::Test {
+  void build(const std::string& refresh, u32 ranks = 1) {
+    DramConfig cfg = dram_cfg();
+    cfg.refresh = refresh;
+    cfg.ranks = ranks;
+    cfg.mapping = ranks > 1 ? "row:rank:bank:col" : "row:bank:col";
+    period = cfg.period_ps();
+    ctrl.emplace(cfg, "dram", &stats);
+  }
+
+  StatSet stats;
+  std::optional<ChannelDemux> ctrl;
+  Picos period = 0;
+};
+
+TEST_F(RefreshFixture, IdleRankFollowsTrefiCadenceExactly) {
+  build("on:trefi=100:trfc=10");
+  for (u64 c = 0; c <= 1000; ++c) ctrl->tick(c * period);
+  // Closed form: one refresh per elapsed tREFI, none postponed while idle.
+  EXPECT_EQ(stats.get("dram.refreshes"), 10u);
+  EXPECT_EQ(stats.get("dram.refresh_stall_ps"), 0u)
+      << "idle refreshes are not interference";
+  EXPECT_EQ(ctrl->refresh_debt(), 0u);
+}
+
+TEST_F(RefreshFixture, EveryRankRefreshesIndependently) {
+  build("on:trefi=100:trfc=10", /*ranks=*/2);
+  for (u64 c = 0; c <= 500; ++c) ctrl->tick(c * period);
+  EXPECT_EQ(stats.get("dram.refreshes"), 2u * 5u);
+}
+
+TEST_F(RefreshFixture, DemandPostponesUpToTheDebtWindow) {
+  build("on:trefi=20:trfc=5:postpone=2");
+  u32 completed = 0;
+  u64 max_debt = 0;
+  for (u64 c = 0; c < 400; ++c) {
+    const Picos now = c * period;
+    if (ctrl->queue_size() < ctrl->queue_capacity()) {
+      MemRequest req;
+      req.addr = 0;  // a hot row: demand always queued for rank 0
+      req.bytes = 64;
+      req.on_complete = [&](Picos) { ++completed; };
+      ctrl->try_push(std::move(req), now);
+    }
+    ctrl->tick(now);
+    max_debt = std::max(max_debt, ctrl->refresh_debt());
+  }
+  EXPECT_GT(completed, 0u) << "demand still drains between refreshes";
+  EXPECT_GT(stats.get("dram.refreshes"), 3u);
+  EXPECT_GT(stats.get("dram.refresh_stall_ps"), 0u)
+      << "refreshes behind queued demand count as interference";
+  // At the cap demand is blocked, but the transfer already in flight still
+  // has to drain before REF can issue; with this deliberately tiny tREFI
+  // (20 cycles vs a ~22-cycle row-miss access) one accrual edge can pass
+  // during that drain. Real tREFI (4680 cycles) dwarfs any single transfer,
+  // so the window is effectively hard there.
+  EXPECT_LE(max_debt, 3u) << "debt may overshoot the cap by at most the "
+                             "one in-flight transfer";
+}
+
+TEST_F(RefreshFixture, RefreshCursorAppearsInNextEvent) {
+  build("on:trefi=100:trfc=10");
+  const Picos at = ctrl->next_event(0);
+  ASSERT_NE(at, sim::kNoEvent);
+  EXPECT_EQ(at, 100 * period) << "the accrual edge is observable";
+}
+
+// --- Channel demux: routing, striping, conditional counters ---
+
+TEST(ChannelDemux, DefaultConfigRegistersOnlyLegacyCounters) {
+  StatSet stats;
+  ChannelDemux ctrl(dram_cfg(), "dram", &stats);
+  EXPECT_TRUE(stats.has("dram.reads"));
+  EXPECT_TRUE(stats.has("dram.bytes"));
+  // Feature counters join the set only when their feature is on, keeping
+  // default stats dumps bit-identical with the pre-hierarchy model.
+  EXPECT_FALSE(stats.has("dram.refreshes"));
+  EXPECT_FALSE(stats.has("dram.refresh_stall_ps"));
+  EXPECT_FALSE(stats.has("dram.explicit_precharges"));
+  EXPECT_FALSE(stats.has("dram.ch0.bytes"));
+}
+
+struct DemuxFixture : ::testing::Test {
+  void build(const std::string& mapping, u32 channels) {
+    DramConfig cfg = dram_cfg();
+    cfg.mapping = mapping;
+    cfg.channels = channels;
+    period = cfg.period_ps();
+    ctrl.emplace(cfg, "dram", &stats);
+  }
+
+  Picos run_read(Addr addr, u32 bytes) {
+    std::optional<Picos> done;
+    MemRequest req;
+    req.addr = addr;
+    req.bytes = bytes;
+    req.on_complete = [&](Picos at) { done = at; };
+    EXPECT_TRUE(ctrl->try_push(std::move(req), now));
+    while (!ctrl->idle()) {
+      ctrl->tick(now);
+      now += period;
+    }
+    EXPECT_TRUE(done.has_value());
+    return *done;
+  }
+
+  StatSet stats;
+  std::optional<ChannelDemux> ctrl;
+  Picos now = 0;
+  Picos period = 0;
+};
+
+TEST_F(DemuxFixture, CoarseMappingRoutesWholeRequestsPerChannel) {
+  build("row:bank:channel:col", /*channels=*/2);
+  run_read(0, 2048);     // channel bit (just above col) = 0
+  run_read(2048, 2048);  // = 1
+  EXPECT_EQ(stats.get("dram.bytes"), 4096u);
+  EXPECT_EQ(stats.get("dram.ch0.bytes"), 2048u);
+  EXPECT_EQ(stats.get("dram.ch1.bytes"), 2048u);
+  EXPECT_EQ(stats.get("dram.reads"), 2u);
+}
+
+TEST_F(DemuxFixture, SubRowMappingFansOneRequestAcrossChannels) {
+  build("row:bank:col:channel", /*channels=*/2);
+  run_read(0, 2048);  // one contiguous block -> two 1024 B stripes
+  EXPECT_EQ(stats.get("dram.bytes"), 2048u);
+  EXPECT_EQ(stats.get("dram.ch0.bytes"), 1024u);
+  EXPECT_EQ(stats.get("dram.ch1.bytes"), 1024u);
+  EXPECT_EQ(stats.get("dram.reads"), 2u) << "one read per stripe";
+}
+
+TEST_F(DemuxFixture, StripedCompletionFiresOnceAtTheLatestStripe) {
+  build("row:bank:col:channel", /*channels=*/2);
+  u32 completions = 0;
+  MemRequest req;
+  req.addr = 0;
+  req.bytes = 2048;
+  req.on_complete = [&](Picos) { ++completions; };
+  ASSERT_TRUE(ctrl->try_push(std::move(req), now));
+  while (!ctrl->idle()) {
+    ctrl->tick(now);
+    now += period;
+  }
+  EXPECT_EQ(completions, 1u);
+}
+
+TEST_F(DemuxFixture, ChannelParallelismBeatsSingleChannel) {
+  // The same four-row stream, coarse-interleaved across 2 channels, finishes
+  // sooner than on one channel: transfers overlap on independent buses.
+  auto stream_time = [](u32 channels) {
+    DramConfig cfg = dram_cfg();
+    cfg.channels = channels;
+    cfg.mapping = channels > 1 ? "row:bank:channel:col" : "row:bank:col";
+    StatSet stats;
+    ChannelDemux ctrl(cfg, "dram", &stats);
+    Picos now = 0;
+    const Picos period = cfg.period_ps();
+    for (u32 r = 0; r < 4; ++r) {
+      MemRequest req;
+      req.addr = static_cast<Addr>(r) * cfg.row_bytes;
+      req.bytes = cfg.row_bytes;
+      EXPECT_TRUE(ctrl.try_push(std::move(req), now));
+    }
+    while (!ctrl.idle()) {
+      ctrl.tick(now);
+      now += period;
+    }
+    return now;
+  };
+  EXPECT_LT(stream_time(2), stream_time(1));
 }
 
 // --- Cache ---

@@ -32,7 +32,7 @@ struct PbFixture : ::testing::Test {
             std::function<u64(u64, u32)> mask = nullptr) {
     cfg = small_cfg();
     cfg.millipede.flow_control = flow_control;
-    ctrl = std::make_unique<mem::MemoryController>(cfg.dram, "dram", &stats);
+    ctrl = std::make_unique<mem::ChannelDemux>(cfg.dram, "dram", &stats);
     RowPlan plan;
     plan.first_row = 0;
     plan.num_rows = num_rows;
@@ -70,7 +70,7 @@ struct PbFixture : ::testing::Test {
 
   MachineConfig cfg;
   StatSet stats;
-  std::unique_ptr<mem::MemoryController> ctrl;
+  std::unique_ptr<mem::ChannelDemux> ctrl;
   std::unique_ptr<PrefetchBuffer> pb;
   Picos now = 0;
 };

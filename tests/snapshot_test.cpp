@@ -297,6 +297,64 @@ TEST(SnapshotRestore, RejectsWrongArchitecture) {
       << rejected.error;
 }
 
+// --- DRAM hierarchy + refresh state across checkpoint/restore ---
+
+TEST(SnapshotDram, MidRefreshDebtRestoreIsCounterIdentical) {
+  // The acceptance bar for snapshot format v2: capture while rank refresh
+  // cursors are mid-interval and debt may be outstanding, restore into a
+  // fresh machine, and land counter-identical — including dram.refreshes
+  // and dram.refresh_stall_ps. An aggressive tREFI keeps refresh state hot
+  // at whatever quiescent edge the capture lands on, and the full
+  // hierarchy (2 channels x 2 ranks, sub-row striping, idle/hit-capped
+  // open policy) exercises every new snapshot section.
+  SuiteOptions o = small_options();
+  o.cfg.dram.channels = 2;
+  o.cfg.dram.ranks = 2;
+  o.cfg.dram.mapping = "row:rank:bank:channel:col";
+  o.cfg.dram.page_policy = "open:idle=64:hits=8";
+  o.cfg.dram.refresh = "on:trefi=40:trfc=8:postpone=4";
+  const MatrixJob job{arch::ArchKind::kMillipede, "nbayes", o, ""};
+  PrepareCache cache;
+
+  const MatrixResult baseline = run_job(job, &cache);
+  ASSERT_TRUE(baseline.ok()) << baseline.error;
+  ASSERT_GT(baseline.result.stats.at("dram.refreshes"), 0u);
+
+  SnapshotPlan capture;
+  capture.capture = true;
+  capture.checkpoint_at = 200;  // well into the refresh cadence
+  const MatrixResult captured = run_job(job, &cache, nullptr, &capture);
+  ASSERT_TRUE(captured.ok()) << captured.error;
+  ASSERT_TRUE(capture.captured_ok);
+  expect_identical(baseline.result, captured.result, "capture run");
+
+  SnapshotPlan restore;
+  restore.restore_from = &capture.captured;
+  const MatrixResult restored = run_job(job, &cache, nullptr, &restore);
+  ASSERT_TRUE(restored.ok()) << restored.error;
+  expect_identical(baseline.result, restored.result, "restored run");
+}
+
+TEST(SnapshotDram, ForkKeySplitsOnEveryDramAxis) {
+  const MatrixJob base{arch::ArchKind::kMillipede, "count", small_options(),
+                       ""};
+  MatrixJob changed = base;
+  changed.options.cfg.dram.channels = 2;
+  EXPECT_NE(fork_key(base), fork_key(changed));
+  changed = base;
+  changed.options.cfg.dram.ranks = 2;
+  EXPECT_NE(fork_key(base), fork_key(changed));
+  changed = base;
+  changed.options.cfg.dram.mapping = "row:rank:bank:channel:col";
+  EXPECT_NE(fork_key(base), fork_key(changed));
+  changed = base;
+  changed.options.cfg.dram.page_policy = "closed";
+  EXPECT_NE(fork_key(base), fork_key(changed));
+  changed = base;
+  changed.options.cfg.dram.refresh = "on";
+  EXPECT_NE(fork_key(base), fork_key(changed));
+}
+
 // --- Warm-snapshot forking (mlpsweep --fork-at) ---
 
 TEST(Fork, KeyIgnoresFaultRatesButNotTheInjectorBit) {

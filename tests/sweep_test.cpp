@@ -5,9 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "arch/system.hpp"
 #include "common/error.hpp"
 #include "sim/runner.hpp"
+#include "tools/sweep_grid.hpp"
 
 namespace mlp::arch {
 namespace {
@@ -129,6 +133,88 @@ TEST(Sweep, BusEfficiencyOneRestoresPeakBandwidth) {
   const RunResult full =
       run_arch(ArchKind::kMillipedeNoRateMatch, ideal, wl("count", 65536));
   EXPECT_LT(full.runtime_ps, derated.runtime_ps);
+}
+
+// --- SweepGrid DRAM axes ---
+
+// Feeds a synthetic argv through SweepGrid::consume the way the sweep
+// drivers do, returning the populated grid.
+tools::SweepGrid consume_flags(std::vector<std::string> words) {
+  words.insert(words.begin(), "sweep_test");
+  std::vector<char*> argv;
+  argv.reserve(words.size());
+  for (std::string& w : words) argv.push_back(w.data());
+  tools::ArgCursor args(static_cast<int>(argv.size()), argv.data());
+  tools::SweepGrid grid;
+  while (args.next()) {
+    if (!grid.consume(args)) {
+      ADD_FAILURE() << "flag not consumed: " << args.flag();
+      break;
+    }
+  }
+  return grid;
+}
+
+TEST(SweepGrid, DramFlagsPopulateAxes) {
+  const tools::SweepGrid grid = consume_flags(
+      {"--channels", "1,2", "--ranks", "2", "--mapping",
+       "row:bank:col,row:rank:bank:channel:col", "--page-policy",
+       "open,closed,open:idle=64:hits=4", "--refresh", "off,on:trefi=1000:trfc=100"});
+  EXPECT_EQ(grid.channels, (std::vector<u32>{1, 2}));
+  EXPECT_EQ(grid.ranks, (std::vector<u32>{2}));
+  ASSERT_EQ(grid.mappings.size(), 2u);
+  EXPECT_EQ(grid.mappings[1], "row:rank:bank:channel:col");
+  EXPECT_EQ(grid.page_policies.size(), 3u);
+  ASSERT_EQ(grid.refreshes.size(), 2u);
+  EXPECT_EQ(grid.refreshes[1], "on:trefi=1000:trfc=100");
+}
+
+TEST(SweepGrid, DramAxesExpandInDocumentedOrder) {
+  tools::SweepGrid grid = consume_flags(
+      {"--arch", "millipede", "--bench", "count", "--channels", "1,2",
+       "--refresh", "off,on"});
+  const std::vector<sim::MatrixJob> matrix = grid.expand();
+  // channels is the slower axis, refresh the fastest.
+  ASSERT_EQ(matrix.size(), 4u);
+  EXPECT_EQ(matrix[0].options.cfg.dram.channels, 1u);
+  EXPECT_EQ(matrix[0].options.cfg.dram.refresh, "off");
+  EXPECT_EQ(matrix[1].options.cfg.dram.channels, 1u);
+  EXPECT_EQ(matrix[1].options.cfg.dram.refresh, "on");
+  EXPECT_EQ(matrix[2].options.cfg.dram.channels, 2u);
+  EXPECT_EQ(matrix[2].options.cfg.dram.refresh, "off");
+  EXPECT_EQ(matrix[3].options.cfg.dram.channels, 2u);
+  EXPECT_EQ(matrix[3].options.cfg.dram.refresh, "on");
+  for (const sim::MatrixJob& job : matrix) {
+    EXPECT_EQ(job.options.cfg.dram.mapping, "row:bank:col");
+    EXPECT_EQ(job.options.cfg.dram.page_policy, "open");
+  }
+}
+
+TEST(SweepGrid, MalformedMappingExitsTwoAtParseTime) {
+  EXPECT_EXIT(consume_flags({"--mapping", "bank:row:col"}),
+              testing::ExitedWithCode(2), "--mapping");
+  EXPECT_EXIT(consume_flags({"--mapping", "row:bank"}),
+              testing::ExitedWithCode(2), "--mapping");
+  EXPECT_EXIT(consume_flags({"--mapping", "row:tower:col"}),
+              testing::ExitedWithCode(2), "--mapping");
+}
+
+TEST(SweepGrid, MalformedPagePolicyExitsTwoAtParseTime) {
+  EXPECT_EXIT(consume_flags({"--page-policy", "ajar"}),
+              testing::ExitedWithCode(2), "--page-policy");
+  EXPECT_EXIT(consume_flags({"--page-policy", "open:idle=x"}),
+              testing::ExitedWithCode(2), "--page-policy");
+  EXPECT_EXIT(consume_flags({"--page-policy", "closed:idle=4"}),
+              testing::ExitedWithCode(2), "--page-policy");
+}
+
+TEST(SweepGrid, MalformedRefreshExitsTwoAtParseTime) {
+  EXPECT_EXIT(consume_flags({"--refresh", "sometimes"}),
+              testing::ExitedWithCode(2), "--refresh");
+  EXPECT_EXIT(consume_flags({"--refresh", "on:trefi=0"}),
+              testing::ExitedWithCode(2), "--refresh");
+  EXPECT_EXIT(consume_flags({"--refresh", "off:trefi=100"}),
+              testing::ExitedWithCode(2), "--refresh");
 }
 
 }  // namespace

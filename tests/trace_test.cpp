@@ -357,7 +357,8 @@ TEST(SweepCsv, HeaderIsLocked) {
   // deliberately when adding columns.
   EXPECT_EQ(sim::sweep_csv_header(),
             "arch,bench,cores,pf_entries,bus_efficiency,rows,records,seed,"
-            "fault_rate,ecc,runtime_us,cycles,insts,insts_per_word,clock_mhz,"
+            "fault_rate,ecc,channels,ranks,mapping,page_policy,refresh,"
+            "runtime_us,cycles,insts,insts_per_word,clock_mhz,"
             "core_uj,dram_uj,leak_uj,row_miss_rate,ecc_corrected,"
             "ecc_detected,fault_retries,error\n");
 }
